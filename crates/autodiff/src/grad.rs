@@ -1,0 +1,733 @@
+//! The gradient engine: region traversal, value resolution (stack saves),
+//! and while-loop gradients.
+
+use crate::Result;
+use dcf_graph::{
+    ContextId, ContextKind, GraphBuilder, GraphError, NodeId, OpKind, TensorArrayHandle,
+    TensorRef, WhileContextInfo, WhileOptions,
+};
+use dcf_tensor::{DType, Tensor};
+use std::collections::{HashMap, HashSet};
+
+/// Stride used to compose nested loop iteration indices into one stack
+/// slot index: slot = outer_index * STRIDE + inner_index. Bounds each
+/// nesting level to `STRIDE` iterations (ample for the paper's workloads).
+pub(crate) const STRIDE: i64 = 1 << 20;
+
+/// Computes the symbolic gradients of scalar `y` with respect to each of
+/// `xs`, adding the gradient subgraph to the builder.
+///
+/// Works through conditionals, (nested) while-loops, and TensorArray
+/// operations per §5 of the paper. Tensors in `xs` that `y` does not depend
+/// on get zero gradients. Must be called with the builder at the root
+/// context, on tensors visible from it.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_graph::GraphBuilder;
+/// use dcf_autodiff::gradients;
+/// use dcf_tensor::Tensor;
+///
+/// let mut g = GraphBuilder::new();
+/// let x = g.variable("x", Tensor::scalar_f32(3.0));
+/// let y = g.square(x).unwrap();
+/// let grads = gradients(&mut g, y, &[x]).unwrap(); // dy/dx = 2x
+/// assert_eq!(grads.len(), 1);
+/// ```
+pub fn gradients(gb: &mut GraphBuilder, y: TensorRef, xs: &[TensorRef]) -> Result<Vec<TensorRef>> {
+    if gb.graph().dtype(y) != DType::F32 {
+        return Err(GraphError::Invalid("gradients: y must be f32".into()));
+    }
+    let mut engine = Engine::new(gb);
+    let seed = gb.ones_like(y)?;
+    let got = engine.region(gb, vec![(y, seed)], xs)?;
+    let mut out = Vec::with_capacity(xs.len());
+    for (x, g) in xs.iter().zip(got) {
+        match g {
+            Some(g) => out.push(g),
+            None => out.push(gb.zeros_like(*x)?),
+        }
+    }
+    Ok(out)
+}
+
+/// Per-TensorArray gradient bookkeeping.
+pub(crate) struct TaGrad {
+    /// The gradient array's handle tensor.
+    pub handle: TensorRef,
+    /// The most recent flow value: reads of the gradient array must be
+    /// ordered after the writes this flow covers.
+    pub flow: TensorRef,
+    /// Element dtype.
+    pub dtype: DType,
+}
+
+/// One level of the gradient-loop nesting (the innermost is last).
+pub(crate) struct Level {
+    /// The forward while-context this level differentiates.
+    pub wctx: ContextId,
+    /// Composite stack-slot index for this level's current forward
+    /// iteration, valid in the gradient loop body.
+    pub grad_idx: TensorRef,
+    /// Memoized stack pops: forward tensor -> value in the gradient body.
+    pub pops: HashMap<TensorRef, TensorRef>,
+    /// Current flow per TensorArray handle manipulated inside this level.
+    pub ta_flows: HashMap<TensorRef, TensorRef>,
+}
+
+/// The gradient construction engine.
+pub(crate) struct Engine {
+    /// Topological positions of all *forward* nodes (gradient-side nodes
+    /// added later have no position and are never traversed).
+    pub order: Vec<NodeId>,
+    /// Stack handles per saved forward tensor.
+    saves: HashMap<TensorRef, TensorRef>,
+    /// Forward composite index expression per while context.
+    fwd_idx: HashMap<ContextId, TensorRef>,
+    /// Gradient arrays per resolved forward handle.
+    pub ta_grads: HashMap<TensorRef, TaGrad>,
+    /// Gradient-loop nesting (empty at the root region).
+    pub levels: Vec<Level>,
+    /// Unique suffix for TensorArrayGrad sources.
+    grad_count: usize,
+}
+
+impl Engine {
+    pub(crate) fn new(gb: &GraphBuilder) -> Engine {
+        let order = gb.graph().topo_order().unwrap_or_default();
+        Engine {
+            order,
+            saves: HashMap::new(),
+            fwd_idx: HashMap::new(),
+            ta_grads: HashMap::new(),
+            levels: Vec::new(),
+            grad_count: 0,
+        }
+    }
+
+    /// The while-context of the current region (`None` at the root).
+    fn region_wctx(&self) -> Option<ContextId> {
+        self.levels.last().map(|l| l.wctx)
+    }
+
+    /// Innermost while-context of a graph context.
+    fn innermost_while(gb: &GraphBuilder, ctx: ContextId) -> Option<ContextId> {
+        gb.graph().while_chain(ctx).last().copied()
+    }
+
+    /// Follows constant-`Enter` chains back to the externally visible
+    /// tensor they forward.
+    pub(crate) fn resolve_source(gb: &GraphBuilder, mut t: TensorRef) -> TensorRef {
+        loop {
+            let node = gb.graph().node(t.node);
+            match &node.op {
+                OpKind::Enter { is_constant: true, .. } => t = node.inputs[0],
+                _ => return t,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The region sweep
+    // ------------------------------------------------------------------
+
+    /// Differentiates the current region: starting from `seeds`, sweeps the
+    /// forward nodes of the region in reverse topological order applying
+    /// per-op gradient rules, and returns the accumulated gradient for each
+    /// of `wanted`.
+    pub(crate) fn region(
+        &mut self,
+        gb: &mut GraphBuilder,
+        seeds: Vec<(TensorRef, TensorRef)>,
+        wanted: &[TensorRef],
+    ) -> Result<Vec<Option<TensorRef>>> {
+        let region_w = self.region_wctx();
+        let mut partials: HashMap<TensorRef, Vec<TensorRef>> = HashMap::new();
+        for (t, g) in seeds {
+            // Only differentiable tensors carry gradients (loop counters
+            // and predicates are threaded as zero loop variables but never
+            // seeded).
+            if gb.graph().dtype(t) == DType::F32 {
+                partials.entry(t).or_default().push(g);
+            }
+        }
+        let stop: HashSet<usize> = wanted.iter().map(|t| t.node.0).collect();
+
+        // Loop supernodes directly nested in this region, triggered at the
+        // smallest topo position among each loop's exits (visited last in
+        // the reverse sweep, when every exit's gradient is final).
+        let mut pos_of: HashMap<usize, usize> = HashMap::new();
+        for (p, id) in self.order.iter().enumerate() {
+            pos_of.insert(id.0, p);
+        }
+        let mut triggers: HashMap<usize, ContextId> = HashMap::new();
+        let mut loop_exit_nodes: HashSet<usize> = HashSet::new();
+        for ctx in gb.graph().contexts() {
+            if let ContextKind::While(info) = &ctx.kind {
+                // The loop's exits live in its parent context; the loop is
+                // nested in this region iff the exits' innermost while is
+                // the region's.
+                if info.exits.is_empty() {
+                    continue;
+                }
+                let exit_ctx = gb.graph().node(info.exits[0].node).ctx;
+                if Self::innermost_while(gb, exit_ctx) != region_w {
+                    continue;
+                }
+                let min_pos = info
+                    .exits
+                    .iter()
+                    .filter_map(|e| pos_of.get(&e.node.0))
+                    .copied()
+                    .min();
+                if let Some(p) = min_pos {
+                    triggers.insert(p, ctx.id);
+                    for e in &info.exits {
+                        loop_exit_nodes.insert(e.node.0);
+                    }
+                    if let Some(ce) = info.counter_exit {
+                        loop_exit_nodes.insert(ce.node.0);
+                    }
+                }
+            }
+        }
+
+        for p in (0..self.order.len()).rev() {
+            let nid = self.order[p];
+            if let Some(&wctx) = triggers.get(&p) {
+                self.loop_supernode(gb, wctx, &mut partials)?;
+                continue;
+            }
+            if loop_exit_nodes.contains(&nid.0) || stop.contains(&nid.0) {
+                continue;
+            }
+            let (ctx, op, n_out) = {
+                let node = gb.graph().node(nid);
+                (node.ctx, node.op.clone(), node.op.num_outputs())
+            };
+            if Self::innermost_while(gb, ctx) != region_w {
+                continue;
+            }
+            // TensorArray ops participate whenever their array has a
+            // gradient array, even without direct output gradients: the
+            // dependence runs through the resource.
+            let forced = self.is_forced_ta(gb, nid, &op);
+            let has_grads =
+                (0..n_out).any(|port| partials.contains_key(&TensorRef { node: nid, port }));
+            if !has_grads && !forced {
+                continue;
+            }
+            let out_grads: Vec<Option<TensorRef>> = (0..n_out)
+                .map(|port| self.take_partials(gb, &mut partials, TensorRef { node: nid, port }))
+                .collect::<Result<_>>()?;
+
+            let in_grads = self.node_grad(gb, nid, &op, ctx, &out_grads)?;
+            let inputs: Vec<TensorRef> = gb.graph().node(nid).inputs.clone();
+            for (inp, g) in inputs.into_iter().zip(in_grads) {
+                if let Some(g) = g {
+                    // Gradients into constants are always discarded; skip
+                    // accumulating (and, transitively, computing) them.
+                    let is_const =
+                        matches!(gb.graph().node(inp.node).op, OpKind::Const(_));
+                    if !is_const && gb.graph().dtype(inp) == DType::F32 {
+                        partials.entry(inp).or_default().push(g);
+                    }
+                }
+            }
+        }
+
+        wanted
+            .iter()
+            .map(|t| self.take_partials(gb, &mut partials, *t))
+            .collect()
+    }
+
+    /// Sums the partial gradients of `t`, if any.
+    fn take_partials(
+        &mut self,
+        gb: &mut GraphBuilder,
+        partials: &mut HashMap<TensorRef, Vec<TensorRef>>,
+        t: TensorRef,
+    ) -> Result<Option<TensorRef>> {
+        match partials.remove(&t) {
+            None => Ok(None),
+            Some(gs) if gs.is_empty() => Ok(None),
+            Some(gs) => {
+                if gs.len() == 1 {
+                    return Ok(Some(gs[0]));
+                }
+                // Accumulate in the context of the first partial, which by
+                // construction matches the forward tensor's level.
+                let target_ctx = if self.levels.is_empty() {
+                    gb.graph().node(gs[0].node).ctx
+                } else {
+                    gb.current_ctx()
+                };
+                gb.reenter_context(target_ctx);
+                let sum = gb.add_n(&gs);
+                gb.exit_reentered_context();
+                Ok(Some(sum?))
+            }
+        }
+    }
+
+    fn is_forced_ta(&self, gb: &GraphBuilder, nid: NodeId, op: &OpKind) -> bool {
+        match op {
+            OpKind::TensorArrayWrite | OpKind::TensorArrayUnpack => {
+                let handle = gb.graph().node(nid).inputs[0];
+                let resolved = Self::resolve_source(gb, handle);
+                self.ta_grads.contains_key(&resolved)
+            }
+            _ => false,
+        }
+    }
+
+    /// Applies the gradient rule for one node (dispatch lives in
+    /// `rules.rs`). At the root region, rules run re-entered into the
+    /// forward node's context so conditional gradients stay guarded; inside
+    /// gradient loops they run in the gradient body context.
+    fn node_grad(
+        &mut self,
+        gb: &mut GraphBuilder,
+        nid: NodeId,
+        op: &OpKind,
+        fwd_ctx: ContextId,
+        out_grads: &[Option<TensorRef>],
+    ) -> Result<Vec<Option<TensorRef>>> {
+        let reenter = self.levels.is_empty();
+        if reenter {
+            gb.reenter_context(fwd_ctx);
+        }
+        let r = self.rule(gb, nid, op, out_grads);
+        if reenter {
+            gb.exit_reentered_context();
+        }
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Value resolution (§5.1 stack saves)
+    // ------------------------------------------------------------------
+
+    /// Returns the value of forward tensor `t` as usable in the current
+    /// gradient context: the tensor itself at the root region (or for
+    /// values from outer scopes), or a stack pop of the saved per-iteration
+    /// value inside gradient loops.
+    pub(crate) fn resolve(&mut self, gb: &mut GraphBuilder, t: TensorRef) -> Result<TensorRef> {
+        let t = Self::resolve_source(gb, t);
+        if self.levels.is_empty() {
+            return Ok(t);
+        }
+        let t_ctx = gb.graph().node(t.node).ctx;
+        let t_while = Self::innermost_while(gb, t_ctx);
+        let Some(t_while) = t_while else {
+            // A value from outside every loop: usable directly (the builder
+            // threads it in as a loop constant on use).
+            return Ok(t);
+        };
+        // Find the gradient level differentiating t's loop.
+        let Some(level_idx) = self.levels.iter().position(|l| l.wctx == t_while) else {
+            return Err(GraphError::Invalid(format!(
+                "cannot resolve {} across unrelated loops",
+                gb.graph().node(t.node).name
+            )));
+        };
+        if let Some(v) = self.levels[level_idx].pops.get(&t) {
+            return Ok(*v);
+        }
+        let v = self.pop_value(gb, level_idx, t)?;
+        self.levels[level_idx].pops.insert(t, v);
+        Ok(v)
+    }
+
+    /// Builds the stack save (forward push) and gradient pop for `t` at
+    /// gradient level `level_idx`.
+    fn pop_value(&mut self, gb: &mut GraphBuilder, level_idx: usize, t: TensorRef) -> Result<TensorRef> {
+        let handle = self.ensure_save(gb, t)?;
+        let wctx = self.levels[level_idx].wctx;
+        let mut idx = self.levels[level_idx].grad_idx;
+        // Values produced under conditionals were only pushed when the
+        // branch was taken; gate the pop with the same (saved) predicates
+        // so it is dead in the other iterations (§5.1).
+        let t_ctx = gb.graph().node(t.node).ctx;
+        let chain = gb.graph().context_chain(t_ctx);
+        let start = chain.iter().position(|&c| c == wctx).map(|p| p + 1).unwrap_or(chain.len());
+        for &cctx in &chain[start..] {
+            if let ContextKind::Cond(info) = &gb.graph().context(cctx).kind {
+                let (pred, branch) = (info.pred, info.branch);
+                let rp = self.resolve(gb, pred)?;
+                let sw = gb.add_op(OpKind::Switch, &[idx, rp])?;
+                idx = TensorRef { node: sw, port: branch.port() };
+            }
+        }
+        let dtype = gb.graph().dtype(t);
+        let device = gb.graph().node(t.node).device.clone();
+        let pop = gb.stack_pop(handle, idx, dtype)?;
+        if let Some(d) = device {
+            gb.set_node_device(pop.node, d);
+        }
+        Ok(pop)
+    }
+
+    /// Ensures `t` is saved by the forward computation: creates the stack
+    /// (at the root) and the forward `StackPush` indexed by the composite
+    /// iteration counter, on first use.
+    fn ensure_save(&mut self, gb: &mut GraphBuilder, t: TensorRef) -> Result<TensorRef> {
+        if let Some(&h) = self.saves.get(&t) {
+            return Ok(h);
+        }
+        let t_ctx = gb.graph().node(t.node).ctx;
+        let t_while = Self::innermost_while(gb, t_ctx)
+            .ok_or_else(|| GraphError::Invalid("ensure_save outside any loop".into()))?;
+        let swap = gb
+            .graph()
+            .context(t_while)
+            .as_while()
+            .map(|w| w.swap_memory)
+            .unwrap_or(false);
+        // The stack resource lives at the root so pushes (in the forward
+        // frame) and pops (in the gradient frame) share it.
+        gb.reenter_context(ContextId::ROOT);
+        let anchor = gb.scalar_i64(0);
+        let handle = gb.stack_create(anchor, swap)?;
+        gb.exit_reentered_context();
+
+        let idx = self.forward_index(gb, t_while)?;
+        let device = gb.graph().node(t.node).device.clone();
+        gb.reenter_context(t_ctx);
+        let push = gb.stack_push(handle, idx, t);
+        gb.exit_reentered_context();
+        let push = push?;
+        // Save and restore on the device that produced the value.
+        if let Some(d) = device {
+            gb.set_node_device(push.node, d);
+        }
+        self.saves.insert(t, handle);
+        Ok(handle)
+    }
+
+    /// The composite forward iteration index for values in `wctx`:
+    /// `(((i_outermost) * STRIDE + ...) * STRIDE) + i_innermost`.
+    fn forward_index(&mut self, gb: &mut GraphBuilder, wctx: ContextId) -> Result<TensorRef> {
+        if let Some(&i) = self.fwd_idx.get(&wctx) {
+            return Ok(i);
+        }
+        let chain = gb.graph().while_chain(wctx);
+        gb.reenter_context(wctx);
+        let built = (|| {
+            let mut idx: Option<TensorRef> = None;
+            for w in &chain {
+                let counter = gb
+                    .graph()
+                    .context(*w)
+                    .as_while()
+                    .and_then(|i| i.counter_body)
+                    .ok_or_else(|| GraphError::Invalid("loop missing counter".into()))?;
+                idx = Some(match idx {
+                    None => counter,
+                    Some(prev) => {
+                        let stride = gb.constant(Tensor::scalar_i64(STRIDE));
+                        let scaled = gb.mul(prev, stride)?;
+                        gb.add(scaled, counter)?
+                    }
+                });
+            }
+            idx.ok_or_else(|| GraphError::Invalid("empty while chain".into()))
+        })();
+        gb.exit_reentered_context();
+        let idx = built?;
+        self.fwd_idx.insert(wctx, idx);
+        Ok(idx)
+    }
+
+    // ------------------------------------------------------------------
+    // While-loop gradients (§5.1)
+    // ------------------------------------------------------------------
+
+    /// Differentiates one while loop nested in the current region, consuming
+    /// its exits' partial gradients and accumulating gradients onto its
+    /// initial values and loop-invariant captures.
+    fn loop_supernode(
+        &mut self,
+        gb: &mut GraphBuilder,
+        wctx: ContextId,
+        partials: &mut HashMap<TensorRef, Vec<TensorRef>>,
+    ) -> Result<()> {
+        let info: WhileContextInfo = gb
+            .graph()
+            .context(wctx)
+            .as_while()
+            .cloned()
+            .ok_or_else(|| GraphError::Invalid("loop supernode on non-while".into()))?;
+        // Collect exit gradients.
+        let exit_grads: Vec<Option<TensorRef>> = info
+            .exits
+            .iter()
+            .map(|e| self.take_partials(gb, partials, *e))
+            .collect::<Result<_>>()?;
+
+        // Does any gradient actually flow into this loop?
+        let body_ta_handles = self.body_ta_handles(gb, wctx);
+        if exit_grads.iter().all(|g| g.is_none()) && body_ta_handles.is_empty() {
+            return Ok(());
+        }
+
+        // Trip count N, resolved into the current gradient context.
+        let n_exit = info
+            .counter_exit
+            .ok_or_else(|| GraphError::Invalid("while loop missing counter exit".into()))?;
+        let n = self.resolve(gb, n_exit)?;
+
+        // Differentiable loop variables: f32 only.
+        let var_count = info.exits.len();
+        let mut g_init = Vec::with_capacity(var_count);
+        for (i, eg) in exit_grads.iter().enumerate() {
+            let g = match eg {
+                Some(g) => *g,
+                None => {
+                    let v = self.resolve(gb, info.exits[i])?;
+                    gb.zeros_like(v)?
+                }
+            };
+            g_init.push(g);
+        }
+
+        // Loop-invariant captures with differentiable dtype.
+        let caps: Vec<(TensorRef, TensorRef)> = info
+            .captures
+            .iter()
+            .filter(|(ext, _)| gb.graph().dtype(*ext) == DType::F32)
+            .cloned()
+            .collect();
+        let mut acc_init = Vec::with_capacity(caps.len());
+        for (ext, _) in &caps {
+            let v = self.resolve(gb, *ext)?;
+            acc_init.push(gb.zeros_like(v)?);
+        }
+
+        // Gradient arrays and flow variables for every TensorArray touched
+        // by the body.
+        let mut flow_handles = Vec::new();
+        let mut flow_init = Vec::new();
+        for h in &body_ta_handles {
+            let entry = self.ensure_ta_grad(gb, *h)?;
+            flow_handles.push(*h);
+            flow_init.push(entry);
+        }
+
+        // Assemble the gradient loop.
+        let zero = gb.scalar_i64(0);
+        let mut inits = vec![zero];
+        inits.extend(g_init.iter().copied());
+        inits.extend(acc_init.iter().copied());
+        inits.extend(flow_init.iter().copied());
+
+        let body_results = info.body_results.clone();
+        let body_inputs = info.body_inputs.clone();
+        let cap_inners: Vec<TensorRef> = caps.iter().map(|(_, inner)| *inner).collect();
+        let parent_grad_idx = self.levels.last().map(|l| l.grad_idx);
+
+        let mut body_err: Option<GraphError> = None;
+        let outs = gb.while_loop(
+            &inits,
+            |g, vars| g.less(vars[0], n),
+            |g, vars| {
+                let one = g.scalar_i64(1);
+                let nm1 = g.sub(n, one)?;
+                let k = g.sub(nm1, vars[0])?;
+                let grad_idx = match parent_grad_idx {
+                    None => k,
+                    Some(p) => {
+                        let stride = g.constant(Tensor::scalar_i64(STRIDE));
+                        let scaled = g.mul(p, stride)?;
+                        g.add(scaled, k)?
+                    }
+                };
+                let mut ta_flows = HashMap::new();
+                for (h, fv) in flow_handles.iter().zip(&vars[1 + var_count + caps.len()..]) {
+                    ta_flows.insert(*h, *fv);
+                }
+                self.levels.push(Level {
+                    wctx,
+                    grad_idx,
+                    pops: HashMap::new(),
+                    ta_flows,
+                });
+
+                let run = (|| {
+                    let mut seeds = Vec::new();
+                    for (i, r) in body_results.iter().enumerate() {
+                        seeds.push((*r, vars[1 + i]));
+                    }
+                    let mut wanted = body_inputs.clone();
+                    wanted.extend(&cap_inners);
+                    let got = self.region(g, seeds, &wanted)?;
+
+                    let mut results = Vec::with_capacity(vars.len());
+                    let j1 = g.add(vars[0], one)?;
+                    results.push(j1);
+                    for i in 0..var_count {
+                        results.push(match got[i] {
+                            Some(grad) => grad,
+                            None => g.zeros_like(vars[1 + i])?,
+                        });
+                    }
+                    for (j, _) in caps.iter().enumerate() {
+                        let acc = vars[1 + var_count + j];
+                        results.push(match got[var_count + j] {
+                            Some(grad) => g.add(acc, grad)?,
+                            None => acc,
+                        });
+                    }
+                    // Updated flows (reads/writes inside the body advanced
+                    // them).
+                    let level = self.levels.last().expect("level pushed above");
+                    for h in &flow_handles {
+                        results.push(level.ta_flows[h]);
+                    }
+                    Ok(results)
+                })();
+                self.levels.pop();
+                match run {
+                    Ok(r) => Ok(r),
+                    Err(e) => {
+                        body_err = Some(e);
+                        // Return structurally valid values so while_loop can
+                        // unwind; the recorded error is surfaced below.
+                        Ok(vars.to_vec())
+                    }
+                }
+            },
+            WhileOptions {
+                parallel_iterations: info.parallel_iterations,
+                swap_memory: info.swap_memory,
+                name: Some(format!("grad_{}", info.frame)),
+            },
+        );
+        if let Some(e) = body_err {
+            return Err(e);
+        }
+        let outs = outs?;
+
+        // Accumulate: gradient loop exits onto the forward inits and
+        // captures.
+        for i in 0..var_count {
+            let init_input = gb.graph().node(info.enters[i].node).inputs[0];
+            partials.entry(init_input).or_default().push(outs[1 + i]);
+        }
+        for (j, (ext, _)) in caps.iter().enumerate() {
+            partials.entry(*ext).or_default().push(outs[1 + var_count + j]);
+        }
+        // Record final flows so later (earlier-in-forward) TensorArray
+        // gradients order after the loop's writes.
+        for (j, h) in flow_handles.iter().enumerate() {
+            let flow = outs[1 + var_count + caps.len() + j];
+            if let Some(entry) = self.ta_grads.get_mut(h) {
+                entry.flow = flow;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolved handles of every TensorArray the loop body touches with a
+    /// differentiable operation.
+    fn body_ta_handles(&self, gb: &GraphBuilder, wctx: ContextId) -> Vec<TensorRef> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for node in gb.graph().nodes() {
+            let in_body = gb.graph().while_chain(node.ctx).contains(&wctx);
+            if !in_body {
+                continue;
+            }
+            let relevant = matches!(
+                node.op,
+                OpKind::TensorArrayRead
+                    | OpKind::TensorArrayWrite
+                    | OpKind::TensorArrayPack
+                    | OpKind::TensorArrayUnpack
+            );
+            if !relevant {
+                continue;
+            }
+            let h = Self::resolve_source(gb, node.inputs[0]);
+            // Only arrays that already have gradient flow matter; arrays
+            // whose gradients originate inside the loop (reads feeding the
+            // loss path) are detected via the pack/read gradients instead.
+            if self.ta_grads.contains_key(&h) && seen.insert(h) {
+                out.push(h);
+            }
+        }
+        // Arrays only read in the body still need flow threading when their
+        // gradient array will be written inside the gradient loop; those
+        // were covered above because the pack gradient (processed earlier in
+        // the reverse sweep) created the entry. Arrays first seen inside the
+        // loop (read-only inputs) are added lazily by the read rule; to give
+        // them flow variables, include arrays with reads whose gradient
+        // entry does not exist yet.
+        for node in gb.graph().nodes() {
+            if !matches!(node.op, OpKind::TensorArrayRead) {
+                continue;
+            }
+            if !gb.graph().while_chain(node.ctx).contains(&wctx) {
+                continue;
+            }
+            let h = Self::resolve_source(gb, node.inputs[0]);
+            if seen.insert(h) {
+                out.push(h);
+            }
+        }
+        out
+    }
+
+    /// Looks up or creates the gradient array for a resolved forward
+    /// handle, returning its current flow.
+    pub(crate) fn ensure_ta_grad(&mut self, gb: &mut GraphBuilder, h: TensorRef) -> Result<TensorRef> {
+        if let Some(e) = self.ta_grads.get(&h) {
+            return Ok(e.flow);
+        }
+        let dtype = match &gb.graph().node(h.node).op {
+            OpKind::TensorArrayNew { dtype, .. } => *dtype,
+            _ => DType::F32,
+        };
+        self.grad_count += 1;
+        let source = format!("grad{}", self.grad_count);
+        let zero_flow = gb.scalar_f32(0.0);
+        let id = gb.add_op(OpKind::TensorArrayGrad { source }, &[h, zero_flow])?;
+        let entry = TaGrad {
+            handle: TensorRef { node: id, port: 0 },
+            flow: TensorRef { node: id, port: 1 },
+            dtype,
+        };
+        let flow = entry.flow;
+        self.ta_grads.insert(h, entry);
+        Ok(flow)
+    }
+
+    /// Builds a [`TensorArrayHandle`] view of a gradient array with the
+    /// current flow in the active region.
+    pub(crate) fn ta_grad_view(&mut self, gb: &mut GraphBuilder, h: TensorRef) -> Result<TensorArrayHandle> {
+        self.ensure_ta_grad(gb, h)?;
+        let entry = &self.ta_grads[&h];
+        let (handle, dtype, root_flow) = (entry.handle, entry.dtype, entry.flow);
+        let flow = self
+            .levels
+            .last()
+            .and_then(|l| l.ta_flows.get(&h).copied())
+            .unwrap_or(root_flow);
+        Ok(TensorArrayHandle { handle, flow, dtype })
+    }
+
+    /// Records an updated flow for `h` in the active region.
+    pub(crate) fn update_ta_flow(&mut self, h: TensorRef, flow: TensorRef) {
+        if let Some(level) = self.levels.last_mut() {
+            if let std::collections::hash_map::Entry::Occupied(mut e) = level.ta_flows.entry(h) {
+                e.insert(flow);
+                return;
+            }
+        }
+        if let Some(entry) = self.ta_grads.get_mut(&h) {
+            entry.flow = flow;
+        }
+    }
+}

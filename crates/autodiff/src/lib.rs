@@ -1,0 +1,48 @@
+//! Reverse-mode automatic differentiation through dynamic control flow.
+//!
+//! This crate implements §5 of the paper: given a graph built by
+//! `dcf-graph`, [`gradients`] adds a subgraph computing `dy/dx` for a
+//! scalar-valued `y` and any set of tensors `xs` — including through
+//! `cond`, (nested) `while_loop`, and TensorArray operations:
+//!
+//! * **Conditionals** (§5.1): the gradient of a `cond` is a `cond` running
+//!   the branch gradients. Mechanically, the gradient of `Merge` is a pair
+//!   of `Switch`es on the original predicate, and the gradient of a guard
+//!   `Switch` is a `Merge` (missing branch gradients are substituted with
+//!   branch-guarded zeros).
+//! * **While loops** (§5.1): the gradient of a loop is another loop that
+//!   runs the body's gradient once per forward iteration, in reverse. The
+//!   forward loop is augmented (via its implicit counter) with **stack
+//!   saves** of every intermediate the gradient needs; the gradient loop
+//!   pops them. Stacks are *index-addressed* (slot = iteration number, with
+//!   nesting levels composed into one index), which preserves the paper's
+//!   pairing while staying correct under parallel iterations — the
+//!   lowering the paper attributes to XLA. Values saved under a
+//!   conditional are pushed and popped under the same (saved) predicate,
+//!   exactly as §5.1 describes for `cond` nested in `while_loop`.
+//!   Gradients of loop-invariant captures are accumulated across gradient
+//!   iterations; the forward trip count is taken from the loop's counter
+//!   exit.
+//! * **TensorArrays** (§5.2): each forward array gets a gradient array;
+//!   `read`/`write` and `pack`/`unpack` are duals, and multiple reads of
+//!   one location accumulate their partial gradients in the gradient
+//!   array. Ordering between gradient reads and writes is threaded through
+//!   flow values (extra gradient-loop variables).
+//!
+//! The resulting gradient graph is ordinary dataflow: it can be placed,
+//! partitioned, and executed across devices like any other (§1's
+//! "distributed gradient computations").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grad;
+mod rules;
+
+pub use grad::gradients;
+
+/// Convenience alias reusing the graph error type.
+pub type Result<T> = std::result::Result<T, dcf_graph::GraphError>;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,657 @@
+//! Per-operation gradient rules.
+//!
+//! Each rule receives the already-summed output gradients of one forward
+//! node and returns one optional gradient per input. Forward values the
+//! rules need (operands, outputs) go through [`Engine::resolve`], which
+//! inside gradient loops turns them into stack saves (§5.1).
+//!
+//! The control-flow rules implement the paper's duality: the gradient of
+//! `Merge` is a pair of `Switch`es on the original predicate, and the
+//! gradient of a guard `Switch` is a `Merge` (with branch-guarded zeros
+//! substituted for missing branch gradients), so the gradient of a `cond`
+//! is itself a `cond`.
+
+use crate::grad::Engine;
+use crate::Result;
+use dcf_graph::{ContextKind, GraphBuilder, GraphError, NodeId, OpKind, TensorRef};
+use dcf_tensor::Shape;
+
+impl Engine {
+    pub(crate) fn rule(
+        &mut self,
+        gb: &mut GraphBuilder,
+        nid: NodeId,
+        op: &OpKind,
+        out_grads: &[Option<TensorRef>],
+    ) -> Result<Vec<Option<TensorRef>>> {
+        use OpKind::*;
+        let inputs: Vec<TensorRef> = gb.graph().node(nid).inputs.clone();
+        let n_in = inputs.len();
+        let none = |n: usize| Ok(vec![None; n]);
+        let g0 = out_grads.first().copied().flatten();
+
+        match op {
+            // ---------------- Sources and stops ----------------
+            Const(_) | Placeholder { .. } | Variable { .. } | RandomUniform { .. } => none(n_in),
+            Less | LessEqual | Greater | GreaterEqual | Equal | LogicalAnd | LogicalOr
+            | LogicalNot | ArgMax | OneHot { .. } | SizeF32 | DimSizeF32 { .. } => none(n_in),
+            Assign { .. } | AssignAdd { .. } | AssignSub { .. } | NoOp | ControlTrigger
+            | Send { .. } | Recv { .. } | StackCreate { .. } | StackPush | StackPop
+            | TensorArrayNew { .. } | TensorArraySize | TensorArrayGrad { .. } => none(n_in),
+
+            // ---------------- Pass-through ----------------
+            Identity | LoopCond => Ok(vec![g0]),
+            StopGradient => none(n_in),
+            Enter { is_constant, .. } => {
+                // Constant enters are resolved away before rules run; loop
+                // variable enters are handled by the loop supernode. If a
+                // gradient still lands here, forward it to the input.
+                let _ = is_constant;
+                Ok(vec![g0])
+            }
+            Exit | NextIteration => Ok(vec![g0]),
+
+            // ---------------- Control flow (cond) ----------------
+            Merge => self.merge_grad(gb, nid, &inputs, g0),
+            Switch => self.switch_grad(gb, nid, &inputs, out_grads),
+
+            // ---------------- Arithmetic ----------------
+            Add => {
+                let Some(g) = g0 else { return none(n_in) };
+                let ga = self.unbroadcast(gb, g, inputs[0])?;
+                let gbr = self.unbroadcast(gb, g, inputs[1])?;
+                Ok(vec![Some(ga), Some(gbr)])
+            }
+            AddN => Ok(vec![g0; n_in]),
+            Sub => {
+                let Some(g) = g0 else { return none(n_in) };
+                let ga = self.unbroadcast(gb, g, inputs[0])?;
+                let ng = gb.neg(g)?;
+                let gbr = self.unbroadcast(gb, ng, inputs[1])?;
+                Ok(vec![Some(ga), Some(gbr)])
+            }
+            Mul => {
+                let Some(g) = g0 else { return none(n_in) };
+                let a = self.resolve(gb, inputs[0])?;
+                let b = self.resolve(gb, inputs[1])?;
+                let gb_a = gb.mul(g, b)?;
+                let gb_b = gb.mul(g, a)?;
+                let ga = self.unbroadcast(gb, gb_a, inputs[0])?;
+                let gbr = self.unbroadcast(gb, gb_b, inputs[1])?;
+                Ok(vec![Some(ga), Some(gbr)])
+            }
+            Div => {
+                let Some(g) = g0 else { return none(n_in) };
+                let a = self.resolve(gb, inputs[0])?;
+                let b = self.resolve(gb, inputs[1])?;
+                let ga_raw = gb.div(g, b)?;
+                let ga = self.unbroadcast(gb, ga_raw, inputs[0])?;
+                // d/db (a/b) = -a / b^2.
+                let b2 = gb.square(b)?;
+                let ab2 = gb.div(a, b2)?;
+                let gb_raw = gb.mul(g, ab2)?;
+                let gneg = gb.neg(gb_raw)?;
+                let gbr = self.unbroadcast(gb, gneg, inputs[1])?;
+                Ok(vec![Some(ga), Some(gbr)])
+            }
+            Maximum | Minimum => {
+                let Some(g) = g0 else { return none(n_in) };
+                let a = self.resolve(gb, inputs[0])?;
+                let b = self.resolve(gb, inputs[1])?;
+                let a_wins = if matches!(op, Maximum) {
+                    gb.greater_equal(a, b)?
+                } else {
+                    gb.less_equal(a, b)?
+                };
+                let zero = gb.zeros_like(g)?;
+                let ga_raw = gb.select(a_wins, g, zero)?;
+                let gb_raw = gb.select(a_wins, zero, g)?;
+                let ga = self.unbroadcast(gb, ga_raw, inputs[0])?;
+                let gbr = self.unbroadcast(gb, gb_raw, inputs[1])?;
+                Ok(vec![Some(ga), Some(gbr)])
+            }
+            Neg => Ok(vec![g0.map(|g| gb.neg(g)).transpose()?]),
+            Exp => {
+                let Some(g) = g0 else { return none(n_in) };
+                let y = self.resolve(gb, out(nid, 0))?;
+                Ok(vec![Some(gb.mul(g, y)?)])
+            }
+            Log => {
+                let Some(g) = g0 else { return none(n_in) };
+                let x = self.resolve(gb, inputs[0])?;
+                Ok(vec![Some(gb.div(g, x)?)])
+            }
+            Sqrt => {
+                let Some(g) = g0 else { return none(n_in) };
+                let y = self.resolve(gb, out(nid, 0))?;
+                let half = gb.scalar_f32(0.5);
+                let gy = gb.div(g, y)?;
+                Ok(vec![Some(gb.mul(gy, half)?)])
+            }
+            Square => {
+                let Some(g) = g0 else { return none(n_in) };
+                let x = self.resolve(gb, inputs[0])?;
+                let two = gb.scalar_f32(2.0);
+                let gx = gb.mul(g, x)?;
+                Ok(vec![Some(gb.mul(gx, two)?)])
+            }
+            Abs => {
+                let Some(g) = g0 else { return none(n_in) };
+                let x = self.resolve(gb, inputs[0])?;
+                let zero = gb.zeros_like(x)?;
+                let pos = gb.greater_equal(x, zero)?;
+                let ng = gb.neg(g)?;
+                Ok(vec![Some(gb.select(pos, g, ng)?)])
+            }
+            Sigmoid => {
+                let Some(g) = g0 else { return none(n_in) };
+                let y = self.resolve(gb, out(nid, 0))?;
+                let one = gb.scalar_f32(1.0);
+                let om = gb.sub(one, y)?;
+                let yy = gb.mul(y, om)?;
+                Ok(vec![Some(gb.mul(g, yy)?)])
+            }
+            Tanh => {
+                let Some(g) = g0 else { return none(n_in) };
+                let y = self.resolve(gb, out(nid, 0))?;
+                let one = gb.scalar_f32(1.0);
+                let y2 = gb.square(y)?;
+                let om = gb.sub(one, y2)?;
+                Ok(vec![Some(gb.mul(g, om)?)])
+            }
+            Relu => {
+                let Some(g) = g0 else { return none(n_in) };
+                let x = self.resolve(gb, inputs[0])?;
+                let zero = gb.zeros_like(x)?;
+                let pos = gb.greater(x, zero)?;
+                let zg = gb.zeros_like(g)?;
+                Ok(vec![Some(gb.select(pos, g, zg)?)])
+            }
+            Softmax => {
+                let Some(g) = g0 else { return none(n_in) };
+                let y = self.resolve(gb, out(nid, 0))?;
+                // dx = (g - sum(g*y, -1, keep)) * y.
+                let gy = gb.mul(g, y)?;
+                let s = gb.reduce_sum_axis(gy, -1, true)?;
+                let centered = gb.sub(g, s)?;
+                Ok(vec![Some(gb.mul(centered, y)?)])
+            }
+            MatMul { transpose_a, transpose_b } => {
+                let Some(g) = g0 else { return none(n_in) };
+                let a = self.resolve(gb, inputs[0])?;
+                let b = self.resolve(gb, inputs[1])?;
+                let (ga, gbr) = match (transpose_a, transpose_b) {
+                    (false, false) => {
+                        (gb.matmul_t(g, b, false, true)?, gb.matmul_t(a, g, true, false)?)
+                    }
+                    (true, false) => {
+                        (gb.matmul_t(b, g, false, true)?, gb.matmul_t(a, g, false, false)?)
+                    }
+                    (false, true) => {
+                        (gb.matmul_t(g, b, false, false)?, gb.matmul_t(g, a, true, false)?)
+                    }
+                    (true, true) => {
+                        (gb.matmul_t(b, g, true, true)?, gb.matmul_t(g, a, true, true)?)
+                    }
+                };
+                Ok(vec![Some(ga), Some(gbr)])
+            }
+            Transpose => Ok(vec![g0.map(|g| gb.transpose(g)).transpose()?]),
+            ReduceSumAll => {
+                let Some(g) = g0 else { return none(n_in) };
+                let x = self.resolve(gb, inputs[0])?;
+                Ok(vec![Some(gb.broadcast_like(g, x)?)])
+            }
+            ReduceMeanAll => {
+                let Some(g) = g0 else { return none(n_in) };
+                let x = self.resolve(gb, inputs[0])?;
+                let b = gb.broadcast_like(g, x)?;
+                let n = gb.size_f32(x)?;
+                Ok(vec![Some(gb.div(b, n)?)])
+            }
+            ReduceSumAxis { axis, keep_dims } => {
+                let Some(g) = g0 else { return none(n_in) };
+                let x = self.resolve(gb, inputs[0])?;
+                let g = self.restore_axis(gb, g, x, *axis, *keep_dims)?;
+                Ok(vec![Some(gb.broadcast_like(g, x)?)])
+            }
+            ReduceMeanAxis { axis, keep_dims } => {
+                let Some(g) = g0 else { return none(n_in) };
+                let x = self.resolve(gb, inputs[0])?;
+                let g = self.restore_axis(gb, g, x, *axis, *keep_dims)?;
+                let b = gb.broadcast_like(g, x)?;
+                let rank = gb.graph().shape(inputs[0]).map(|s| s.rank());
+                let ax = resolve_axis(*axis, rank)?;
+                let extent = gb.dim_size_f32(x, ax)?;
+                Ok(vec![Some(gb.div(b, extent)?)])
+            }
+            ReduceMaxAll | ReduceMaxAxis { .. } => Err(GraphError::Invalid(
+                "gradient of max-reduction is not implemented (use it only on stop-gradient paths)"
+                    .into(),
+            )),
+            Reshape { .. } | ReshapeLike => {
+                let Some(g) = g0 else { return none(n_in) };
+                let x = self.resolve(gb, inputs[0])?;
+                let mut grads = vec![Some(gb.reshape_like(g, x)?)];
+                grads.resize(n_in, None);
+                Ok(grads)
+            }
+            BroadcastTo { .. } | BroadcastLike => {
+                let Some(g) = g0 else { return none(n_in) };
+                let x = self.resolve(gb, inputs[0])?;
+                let mut grads = vec![Some(gb.reduce_to_like(g, x)?)];
+                grads.resize(n_in, None);
+                Ok(grads)
+            }
+            ExpandDims { .. } => {
+                let Some(g) = g0 else { return none(n_in) };
+                let x = self.resolve(gb, inputs[0])?;
+                Ok(vec![Some(gb.reshape_like(g, x)?)])
+            }
+            ReduceToLike => {
+                let Some(g) = g0 else { return none(n_in) };
+                let x = self.resolve(gb, inputs[0])?;
+                Ok(vec![Some(gb.broadcast_like(g, x)?), None])
+            }
+            Cast { dtype } => {
+                // Only f32 -> f32 casts (identity) carry gradient.
+                if *dtype == dcf_tensor::DType::F32
+                    && gb.graph().dtype(inputs[0]) == dcf_tensor::DType::F32
+                {
+                    Ok(vec![g0])
+                } else {
+                    none(n_in)
+                }
+            }
+            ZerosLike | OnesLike => none(n_in),
+            Select => {
+                let Some(g) = g0 else { return none(n_in) };
+                let c = self.resolve(gb, inputs[0])?;
+                let zero = gb.zeros_like(g)?;
+                let ga = gb.select(c, g, zero)?;
+                let gbr = gb.select(c, zero, g)?;
+                Ok(vec![None, Some(ga), Some(gbr)])
+            }
+            Concat0 => {
+                let Some(g) = g0 else { return none(n_in) };
+                let likes: Vec<TensorRef> =
+                    inputs.iter().map(|i| self.resolve(gb, *i)).collect::<Result<_>>()?;
+                let mut grads = Vec::with_capacity(n_in);
+                for i in 0..n_in {
+                    grads.push(Some(gb.concat0_grad(g, &likes, i)?));
+                }
+                Ok(grads)
+            }
+            Concat1 => {
+                let Some(g) = g0 else { return none(n_in) };
+                let likes: Vec<TensorRef> =
+                    inputs.iter().map(|i| self.resolve(gb, *i)).collect::<Result<_>>()?;
+                let mut grads = Vec::with_capacity(n_in);
+                for i in 0..n_in {
+                    grads.push(Some(gb.concat1_grad(g, &likes, i)?));
+                }
+                Ok(grads)
+            }
+            Split1 { n } => {
+                // Gradient is the column concatenation of the part
+                // gradients (zeros for missing parts).
+                let mut parts = Vec::with_capacity(*n);
+                let any = out_grads.iter().any(|g| g.is_some());
+                if !any {
+                    return none(n_in);
+                }
+                for port in 0..*n {
+                    match out_grads.get(port).copied().flatten() {
+                        Some(g) => parts.push(g),
+                        None => {
+                            let some = out_grads
+                                .iter()
+                                .flatten()
+                                .next()
+                                .copied()
+                                .expect("at least one gradient");
+                            parts.push(gb.zeros_like(some)?);
+                        }
+                    }
+                }
+                Ok(vec![Some(gb.concat1(&parts)?)])
+            }
+            Pack => {
+                let Some(g) = g0 else { return none(n_in) };
+                let mut grads = Vec::with_capacity(n_in);
+                for i in 0..n_in {
+                    let ic = gb.scalar_i64(i as i64);
+                    grads.push(Some(gb.index0(g, ic)?));
+                }
+                Ok(grads)
+            }
+            Index0 => {
+                let Some(g) = g0 else { return none(n_in) };
+                let like = self.resolve(gb, inputs[0])?;
+                let idx = self.resolve(gb, inputs[1])?;
+                Ok(vec![Some(gb.index0_grad(g, like, idx)?), None])
+            }
+            Gather0 => {
+                let Some(g) = g0 else { return none(n_in) };
+                let like = self.resolve(gb, inputs[0])?;
+                let idx = self.resolve(gb, inputs[1])?;
+                // Scatter-add needs the static row count; read it from the
+                // like tensor's static shape if available.
+                let rows = gb
+                    .graph()
+                    .shape(inputs[0])
+                    .map(|s: &Shape| s.dim(0))
+                    .ok_or_else(|| {
+                        GraphError::Invalid(
+                            "Gather0 gradient requires a statically shaped table".into(),
+                        )
+                    })?;
+                let _ = like;
+                Ok(vec![Some(gb.scatter_add0(rows, idx, g)?), None])
+            }
+            ScatterAdd0 { .. } => {
+                let Some(g) = g0 else { return none(n_in) };
+                let idx = self.resolve(gb, inputs[0])?;
+                Ok(vec![None, Some(gb.gather0(g, idx)?)])
+            }
+
+            // ---------------- TensorArrays (§5.2) ----------------
+            TensorArrayWrite => self.ta_write_grad(gb, nid, &inputs),
+            TensorArrayRead => self.ta_read_grad(gb, nid, &inputs, g0),
+            TensorArrayPack => self.ta_pack_grad(gb, &inputs, g0),
+            TensorArrayUnpack => self.ta_unpack_grad(gb, &inputs),
+
+            other => Err(GraphError::Invalid(format!(
+                "no gradient rule for op {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Adapts the gradient of a broadcasting binary op to one operand:
+    /// statically when both shapes are known, otherwise via the runtime
+    /// `ReduceToLike` adapter (which needs the operand's saved value).
+    fn unbroadcast(
+        &mut self,
+        gb: &mut GraphBuilder,
+        g: TensorRef,
+        operand: TensorRef,
+    ) -> Result<TensorRef> {
+        let g_shape = gb.graph().shape(g).cloned();
+        let o_shape = gb.graph().shape(operand).cloned();
+        match (g_shape, o_shape) {
+            (Some(gs), Some(os)) if gs == os => Ok(g),
+            (Some(gs), Some(os)) => {
+                // Static un-broadcast: sum the axes broadcasting added.
+                let mut cur = g;
+                let mut cur_shape = gs;
+                while cur_shape.rank() > os.rank() {
+                    cur = gb.reduce_sum_axis(cur, 0, false)?;
+                    cur_shape = Shape::new(cur_shape.dims()[1..].to_vec());
+                }
+                for axis in 0..os.rank() {
+                    if os.dim(axis) == 1 && cur_shape.dim(axis) != 1 {
+                        cur = gb.reduce_sum_axis(cur, axis as i64, true)?;
+                        let mut dims = cur_shape.dims().to_vec();
+                        dims[axis] = 1;
+                        cur_shape = Shape::new(dims);
+                    }
+                }
+                Ok(cur)
+            }
+            _ => {
+                let like = self.resolve(gb, operand)?;
+                gb.reduce_to_like(g, like)
+            }
+        }
+    }
+
+    /// Re-inserts a reduced axis (as extent 1) into an axis-reduction
+    /// gradient when the forward op used `keep_dims = false`.
+    fn restore_axis(
+        &mut self,
+        gb: &mut GraphBuilder,
+        g: TensorRef,
+        _x: TensorRef,
+        axis: i64,
+        keep_dims: bool,
+    ) -> Result<TensorRef> {
+        if keep_dims {
+            return Ok(g);
+        }
+        let rank = gb.graph().shape(g).map(|s| s.rank());
+        let ax = resolve_axis(axis, rank.map(|r| r + 1))?;
+        gb.expand_dims(g, ax)
+    }
+
+    // ---------------- cond gradients ----------------
+
+    /// Gradient of a conditional `Merge`: route the gradient back to the
+    /// branch that produced the value, via one `Switch` per branch on the
+    /// original predicate.
+    fn merge_grad(
+        &mut self,
+        gb: &mut GraphBuilder,
+        nid: NodeId,
+        inputs: &[TensorRef],
+        g0: Option<TensorRef>,
+    ) -> Result<Vec<Option<TensorRef>>> {
+        let Some(g) = g0 else { return Ok(vec![None; inputs.len()]) };
+        // A loop merge reaching here is a bug: loop machinery is handled by
+        // the supernode.
+        let mut grads = Vec::with_capacity(inputs.len());
+        for &inp in inputs {
+            let branch_ctx = gb.graph().node(inp.node).ctx;
+            let info = match &gb.graph().context(branch_ctx).kind {
+                ContextKind::Cond(c) => (c.pred, c.branch),
+                _ => {
+                    return Err(GraphError::Invalid(format!(
+                        "merge {} input is not from a conditional branch",
+                        gb.graph().node(nid).name
+                    )))
+                }
+            };
+            let (pred, branch) = info;
+            let rp = self.resolve(gb, pred)?;
+            // At the root region the grad switch belongs to the branch
+            // context so its output is a branch-level value; inside a
+            // gradient loop it is an ordinary gradient-body op (inputs from
+            // outer scopes must be captured so tokens share a frame).
+            let sw = if self.levels.is_empty() {
+                gb.add_boundary_op(OpKind::Switch, &[g, rp], branch_ctx)?
+            } else {
+                gb.add_op(OpKind::Switch, &[g, rp])?
+            };
+            grads.push(Some(TensorRef { node: sw, port: branch.port() }));
+        }
+        Ok(grads)
+    }
+
+    /// Gradient of a guard `Switch`: merge the branch gradients, filling
+    /// a branch-guarded zero for a branch that produced no gradient.
+    fn switch_grad(
+        &mut self,
+        gb: &mut GraphBuilder,
+        nid: NodeId,
+        inputs: &[TensorRef],
+        out_grads: &[Option<TensorRef>],
+    ) -> Result<Vec<Option<TensorRef>>> {
+        let node_ctx = gb.graph().node(nid).ctx;
+        let is_guard = matches!(gb.graph().context(node_ctx).kind, ContextKind::Cond(_));
+        if !is_guard && self.levels.is_empty() {
+            return Err(GraphError::Invalid(format!(
+                "gradient reached a non-guard Switch {}",
+                gb.graph().node(nid).name
+            )));
+        }
+        let g_false = out_grads.first().copied().flatten();
+        let g_true = out_grads.get(1).copied().flatten();
+        if g_false.is_none() && g_true.is_none() {
+            return Ok(vec![None; inputs.len()]);
+        }
+        let pred = inputs[1];
+        let rp = self.resolve(gb, pred)?;
+        // Fill in the missing branch with zeros guarded to that branch so
+        // the merge always receives exactly one live token.
+        let data = inputs[0];
+        let at_root = self.levels.is_empty();
+        let mk_zero = |gb: &mut GraphBuilder, eng: &mut Engine, port: usize| -> Result<TensorRef> {
+            let d = eng.resolve(gb, data)?;
+            let sw = if at_root {
+                gb.add_boundary_op(OpKind::Switch, &[d, rp], node_ctx)?
+            } else {
+                gb.add_op(OpKind::Switch, &[d, rp])?
+            };
+            let z_in = TensorRef { node: sw, port };
+            if at_root {
+                let z = gb.add_boundary_op(OpKind::ZerosLike, &[z_in], node_ctx)?;
+                Ok(TensorRef { node: z, port: 0 })
+            } else {
+                gb.zeros_like(z_in)
+            }
+        };
+        let gf = match g_false {
+            Some(g) => g,
+            None => mk_zero(gb, self, 0)?,
+        };
+        let gt = match g_true {
+            Some(g) => g,
+            None => mk_zero(gb, self, 1)?,
+        };
+        // The merge lives at the switch's parent level: its output is the
+        // gradient of the pre-guard value.
+        let m = if at_root {
+            gb.add_boundary_op(OpKind::Merge, &[gt, gf], gb.graph().node(data.node).ctx)?
+        } else {
+            gb.add_op(OpKind::Merge, &[gt, gf])?
+        };
+        Ok(vec![Some(TensorRef { node: m, port: 0 }), None])
+    }
+
+    // ---------------- TensorArray gradients ----------------
+
+    fn ta_write_grad(
+        &mut self,
+        gb: &mut GraphBuilder,
+        _nid: NodeId,
+        inputs: &[TensorRef],
+    ) -> Result<Vec<Option<TensorRef>>> {
+        let h = Self::resolve_source(gb, inputs[0]);
+        if !self.ta_grads.contains_key(&h) {
+            return Ok(vec![None; inputs.len()]);
+        }
+        // grad(value) = grad_array.read(index) (§5.2 duality).
+        let view = self.ta_grad_view(gb, h)?;
+        let idx = self.resolve(gb, inputs[1])?;
+        let g_value = view.read(gb, idx)?;
+        Ok(vec![None, None, Some(g_value), None])
+    }
+
+    fn ta_read_grad(
+        &mut self,
+        gb: &mut GraphBuilder,
+        _nid: NodeId,
+        inputs: &[TensorRef],
+        g0: Option<TensorRef>,
+    ) -> Result<Vec<Option<TensorRef>>> {
+        let Some(g) = g0 else { return Ok(vec![None; inputs.len()]) };
+        let h = Self::resolve_source(gb, inputs[0]);
+        // Reads from an array that only ever holds a constant (e.g. the
+        // unstacked input sequence) need no gradient array: the gradient
+        // would be discarded at the constant.
+        if Self::array_is_const_fed(gb, h) {
+            return Ok(vec![None; inputs.len()]);
+        }
+        self.ensure_ta_grad(gb, h)?;
+        // grad of read = accumulate-write into the gradient array; multiple
+        // reads of one location sum their gradients (§5.2).
+        let view = self.ta_grad_view(gb, h)?;
+        let idx = self.resolve(gb, inputs[1])?;
+        let new = view.write(gb, idx, g)?;
+        self.update_ta_flow(h, new.flow);
+        Ok(vec![None; inputs.len()])
+    }
+
+    fn ta_pack_grad(
+        &mut self,
+        gb: &mut GraphBuilder,
+        inputs: &[TensorRef],
+        g0: Option<TensorRef>,
+    ) -> Result<Vec<Option<TensorRef>>> {
+        let Some(g) = g0 else { return Ok(vec![None; inputs.len()]) };
+        let h = Self::resolve_source(gb, inputs[0]);
+        self.ensure_ta_grad(gb, h)?;
+        // grad of pack = unstack the gradient into the gradient array.
+        let view = self.ta_grad_view(gb, h)?;
+        let new = view.unstack(gb, g)?;
+        self.update_ta_flow(h, new.flow);
+        Ok(vec![None; inputs.len()])
+    }
+
+    fn ta_unpack_grad(
+        &mut self,
+        gb: &mut GraphBuilder,
+        inputs: &[TensorRef],
+    ) -> Result<Vec<Option<TensorRef>>> {
+        let h = Self::resolve_source(gb, inputs[0]);
+        if !self.ta_grads.contains_key(&h) {
+            return Ok(vec![None; inputs.len()]);
+        }
+        // The unstacked value's gradient is discarded when the value is a
+        // constant (e.g. a fixed input sequence): skip building the pack.
+        let src = Self::resolve_source(gb, inputs[1]);
+        if matches!(gb.graph().node(src.node).op, OpKind::Const(_)) {
+            return Ok(vec![None; inputs.len()]);
+        }
+        // grad of unstack(value) = pack of the gradient array, ordered
+        // after every gradient write via the threaded flow.
+        let view = self.ta_grad_view(gb, h)?;
+        let g_value = view.pack(gb)?;
+        Ok(vec![None, Some(g_value), None])
+    }
+}
+
+impl Engine {
+    /// `true` when every value entering the array traces to a constant:
+    /// one constant-sourced unpack and no writes.
+    fn array_is_const_fed(gb: &GraphBuilder, h: TensorRef) -> bool {
+        let mut const_unpack = false;
+        for node in gb.graph().nodes() {
+            match node.op {
+                OpKind::TensorArrayUnpack => {
+                    if Self::resolve_source(gb, node.inputs[0]) == h {
+                        let src = Self::resolve_source(gb, node.inputs[1]);
+                        if matches!(gb.graph().node(src.node).op, OpKind::Const(_)) {
+                            const_unpack = true;
+                        } else {
+                            return false;
+                        }
+                    }
+                }
+                OpKind::TensorArrayWrite => {
+                    if Self::resolve_source(gb, node.inputs[0]) == h {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        const_unpack
+    }
+}
+
+fn out(nid: NodeId, port: usize) -> TensorRef {
+    TensorRef { node: nid, port }
+}
+
+fn resolve_axis(axis: i64, rank: Option<usize>) -> Result<usize> {
+    if axis >= 0 {
+        return Ok(axis as usize);
+    }
+    match rank {
+        Some(r) => Ok((axis + r as i64).max(0) as usize),
+        None => Err(GraphError::Invalid(
+            "negative reduction axis requires a statically known rank".into(),
+        )),
+    }
+}

@@ -1,0 +1,36 @@
+//! Ablation: the memory-swapping threshold (§5.3's "predefined threshold").
+//!
+//! Sweeps the pressure fraction above which stack saves swap to host
+//! memory, on the Table 1 workload at a sequence length that does not fit
+//! on the device without swapping. Low thresholds trade extra copy traffic
+//! for headroom; a threshold of 1.0 effectively disables swapping and must
+//! OOM — quantifying the design choice the paper describes qualitatively.
+
+use crate::table1::{calibrate_capacity, measure_with_threshold, Outcome};
+use crate::Report;
+
+/// Runs the threshold sweep.
+pub fn run(thresholds: &[f64], seq_len: usize, time_scale: f64) -> Report {
+    let capacity = calibrate_capacity();
+    let mut report = Report::new(
+        format!("Ablation: swap threshold at sequence length {seq_len}"),
+        &["threshold", "ms/iteration"],
+    );
+    for &t in thresholds {
+        let cell = match measure_with_threshold(seq_len, true, capacity, time_scale, t) {
+            Outcome::MsPerIteration(ms) => format!("{ms:.2}"),
+            Outcome::Oom => "OOM".to_string(),
+        };
+        report.row(vec![format!("{t:.2}"), cell]);
+    }
+    report.note(
+        "Lower thresholds swap earlier (more copy traffic, more headroom); a threshold of \
+         1.0 never swaps and runs out of memory at this length. The paper describes the \
+         threshold qualitatively (§5.3); this sweep quantifies the trade-off.",
+    );
+    report.note(format!(
+        "Device capacity {:.2} GiB (same calibration as Table 1).",
+        capacity as f64 / (1 << 30) as f64
+    ));
+    report
+}

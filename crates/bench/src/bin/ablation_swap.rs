@@ -1,0 +1,5 @@
+//! Swap-threshold ablation. Usage: `cargo run --release -p dcf-bench --bin ablation_swap`
+fn main() {
+    let thresholds = [0.2, 0.4, 0.6, 0.8, 1.0];
+    println!("{}", dcf_bench::ablation::run(&thresholds, 700, 0.1).render());
+}

@@ -1,0 +1,7 @@
+//! Reproduces Figure 11. Usage: `cargo run --release -p dcf-bench --bin fig11`
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let machines: &[usize] = if quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let iters = if quick { 100 } else { 400 };
+    println!("{}", dcf_bench::fig11::run(machines, iters).render());
+}

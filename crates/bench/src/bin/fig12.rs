@@ -1,0 +1,7 @@
+//! Reproduces Figure 12. Usage: `cargo run --release -p dcf-bench --bin fig12`
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let knobs: &[usize] = if quick { &[1, 8, 32] } else { &[1, 2, 4, 8, 16, 32] };
+    let iters = if quick { 32 } else { 128 };
+    println!("{}", dcf_bench::fig12::run(knobs, iters).render());
+}

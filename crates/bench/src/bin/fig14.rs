@@ -1,0 +1,7 @@
+//! Reproduces Figure 14. Usage: `cargo run --release -p dcf-bench --bin fig14`
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let batches: &[usize] = &[64, 128, 256, 512];
+    let (seq, ts) = if quick { (50, 0.2) } else { (200, 0.5) };
+    println!("{}", dcf_bench::fig14::run(batches, seq, ts).render());
+}

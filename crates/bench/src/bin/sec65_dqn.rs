@@ -1,0 +1,8 @@
+//! Reproduces the §6.5 DQN comparison.
+//! Usage: `cargo run --release -p dcf-bench --bin sec65_dqn`
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let dispatches: &[u64] = if quick { &[500] } else { &[0, 200, 500, 1000, 2000] };
+    let steps = if quick { 200 } else { 400 };
+    println!("{}", dcf_bench::sec65::run(dispatches, steps).render());
+}

@@ -1,0 +1,7 @@
+//! Reproduces Table 1. Usage: `cargo run --release -p dcf-bench --bin table1`
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let lens: &[usize] = &[100, 200, 500, 600, 700, 900, 1000];
+    let time_scale = if quick { 0.05 } else { 0.2 };
+    println!("{}", dcf_bench::table1::run(lens, time_scale).render());
+}

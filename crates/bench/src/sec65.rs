@@ -1,0 +1,70 @@
+//! Section 6.5: Deep Q-Networks — in-graph vs. out-of-graph control flow.
+//!
+//! Runs the same DQN agent on the same synthetic MDP twice: once with all
+//! steps fused into a single dataflow graph invoked per interaction, and
+//! once with the client program driving each conditional step as its own
+//! `Session::run` call. Both variants keep the replay database runtime-
+//! side; only control moves. A configurable dispatch latency models the
+//! client/runtime separation of the paper's deployment (a Python client
+//! and a remote runtime process).
+
+use crate::Report;
+use dcf_ml::dqn::{DqnConfig, InGraphDqn, MdpEnv, OutOfGraphDqn, Transition};
+use dcf_runtime::{Cluster, SessionOptions};
+use std::time::{Duration, Instant};
+
+fn drive(mut stepper: impl FnMut(&Transition, &[f32], f32) -> (usize, f32), steps: usize) {
+    let mut env = MdpEnv::new(4, 3, 42);
+    let mut state = env.state();
+    let mut action = 0usize;
+    for i in 0..steps {
+        let (next, reward) = env.step(action);
+        let prev = Transition { state: state.clone(), action, reward, next_state: next.clone() };
+        let eps = (1.0 - i as f32 / (steps as f32 * 0.6)).max(0.05);
+        let (a, _) = stepper(&prev, &next, eps);
+        state = next;
+        action = a;
+    }
+}
+
+/// Wall time per interaction (microseconds) for both variants.
+pub fn measure(dispatch: Duration, steps: usize) -> (f64, f64) {
+    let cfg = DqnConfig { dispatch, ..DqnConfig::default() };
+    let mut in_graph = InGraphDqn::new(cfg.clone(), Cluster::single_cpu(), SessionOptions::functional())
+        .expect("in-graph build");
+    let t0 = Instant::now();
+    drive(|p, c, e| in_graph.step(p, c, e).expect("in-graph step"), steps);
+    let t_in = t0.elapsed().as_secs_f64() * 1e6 / steps as f64;
+
+    let mut out_graph = OutOfGraphDqn::new(cfg, Cluster::single_cpu, SessionOptions::functional())
+        .expect("out-of-graph build");
+    let t0 = Instant::now();
+    drive(|p, c, e| out_graph.step(p, c, e).expect("out-of-graph step"), steps);
+    let t_out = t0.elapsed().as_secs_f64() * 1e6 / steps as f64;
+    (t_in, t_out)
+}
+
+/// Runs the comparison across client-dispatch latencies.
+pub fn run(dispatches_us: &[u64], steps: usize) -> Report {
+    let mut report = Report::new(
+        "Section 6.5: DQN, in-graph vs. out-of-graph control flow",
+        &["client dispatch", "in-graph us/step", "out-of-graph us/step", "in-graph speedup"],
+    );
+    for &d in dispatches_us {
+        let (t_in, t_out) = measure(Duration::from_micros(d), steps);
+        report.row(vec![
+            format!("{d} us"),
+            format!("{t_in:.0}"),
+            format!("{t_out:.0}"),
+            format!("{:.2}x", t_out / t_in),
+        ]);
+    }
+    report.note(
+        "Paper: the in-graph DQN is 21% faster than the client-driven baseline (and \
+         qualitatively more self-contained/deployable). Shape target: the fused graph wins \
+         once any realistic client dispatch cost exists, because it needs exactly one \
+         dispatch per interaction while the baseline needs one per conditional step.",
+    );
+    report.note(format!("{steps} environment interactions per measurement."));
+    report
+}

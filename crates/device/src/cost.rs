@@ -1,0 +1,174 @@
+//! Analytic kernel cost model.
+
+use crate::profile::DeviceProfile;
+use dcf_tensor::Shape;
+use std::time::Duration;
+
+/// Abstract cost of one kernel: arithmetic work and memory traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OpCost {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes moved through device memory.
+    pub bytes: f64,
+}
+
+impl OpCost {
+    /// Zero cost (control-flow and bookkeeping operations).
+    pub const FREE: OpCost = OpCost { flops: 0.0, bytes: 0.0 };
+}
+
+/// Maps operations to modeled durations on a device profile.
+///
+/// Dimensions are first multiplied by the profile's `shape_scale`, then the
+/// duration is the roofline estimate
+/// `max(flops / device_flops, bytes / mem_bandwidth) + launch_overhead`,
+/// scaled by the profile's `time_scale`.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    profile: DeviceProfile,
+}
+
+impl CostModel {
+    /// Creates a cost model for the given profile.
+    pub fn new(profile: DeviceProfile) -> CostModel {
+        CostModel { profile }
+    }
+
+    /// Returns the profile this model was built from.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Number of elements of `shape` after applying the shape scale.
+    ///
+    /// Only the trailing two (feature) dimensions are scaled: a rank-3
+    /// `[T, batch, hidden]` tensor models `[T, batch*s, hidden*s]` — the
+    /// sequence axis is already at its nominal length, while batch and
+    /// feature extents are computed reduced and modeled full-size.
+    pub fn scaled_elements(&self, shape: &Shape) -> f64 {
+        let s = self.profile.shape_scale as f64;
+        let rank = shape.rank();
+        shape
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| if i + 2 >= rank { d as f64 * s } else { d as f64 })
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// Modeled byte size of a tensor of `shape` with `elem_size`-byte
+    /// elements (used by the allocator).
+    pub fn scaled_bytes(&self, shape: &Shape, elem_size: usize) -> usize {
+        (self.scaled_elements(shape) * elem_size as f64) as usize
+    }
+
+    /// Cost of a matrix multiplication `[m, k] x [k, n]`.
+    pub fn matmul_cost(&self, m: usize, k: usize, n: usize) -> OpCost {
+        let s = self.profile.shape_scale as f64;
+        let (m, k, n) = (m as f64 * s, k as f64 * s, n as f64 * s);
+        OpCost { flops: 2.0 * m * k * n, bytes: 4.0 * (m * k + k * n + m * n) }
+    }
+
+    /// Cost of an elementwise kernel over the given output shape with
+    /// `arity` operands.
+    pub fn elementwise_cost(&self, out: &Shape, arity: usize) -> OpCost {
+        let n = self.scaled_elements(out);
+        OpCost { flops: n, bytes: 4.0 * n * (arity as f64 + 1.0) }
+    }
+
+    /// Cost of a reduction over `input` elements.
+    pub fn reduction_cost(&self, input: &Shape) -> OpCost {
+        let n = self.scaled_elements(input);
+        OpCost { flops: n, bytes: 4.0 * n }
+    }
+
+    /// Converts an abstract cost to a modeled duration on this device.
+    pub fn duration(&self, cost: OpCost) -> Duration {
+        if self.profile.time_scale == 0.0 {
+            return Duration::ZERO;
+        }
+        let compute = cost.flops / self.profile.flops;
+        let memory = cost.bytes / self.profile.mem_bandwidth;
+        let secs = compute.max(memory) * self.profile.time_scale;
+        let base = Duration::from_secs_f64(secs);
+        if cost.flops == 0.0 && cost.bytes == 0.0 {
+            Duration::ZERO
+        } else {
+            base + mul_duration(self.profile.launch_overhead, self.profile.time_scale)
+        }
+    }
+
+    /// Modeled duration of a host-device copy of `bytes` (at modeled size).
+    pub fn copy_duration(&self, bytes: usize) -> Duration {
+        if self.profile.time_scale == 0.0 {
+            return Duration::ZERO;
+        }
+        let secs = bytes as f64 / self.profile.copy_bandwidth * self.profile.time_scale;
+        Duration::from_secs_f64(secs)
+            + mul_duration(self.profile.launch_overhead, self.profile.time_scale)
+    }
+}
+
+fn mul_duration(d: Duration, f: f64) -> Duration {
+    Duration::from_secs_f64(d.as_secs_f64() * f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_scales_cubically_with_shape_scale() {
+        let m1 = CostModel::new(DeviceProfile::gpu_k40());
+        let m32 = CostModel::new(DeviceProfile::gpu_k40().with_shape_scale(32));
+        let c1 = m1.matmul_cost(32, 32, 32);
+        let c32 = m32.matmul_cost(32, 32, 32);
+        assert!((c32.flops / c1.flops - 32.0f64.powi(3)).abs() < 1e-6);
+        // A scaled 32^3 matmul is modeled as 1024^3: ~2.1 GFLOP.
+        assert!((c32.flops - 2.0 * 1024.0f64.powi(3)).abs() < 1.0);
+    }
+
+    #[test]
+    fn durations_reflect_device_speed() {
+        let k40 = CostModel::new(DeviceProfile::gpu_k40());
+        let v100 = CostModel::new(DeviceProfile::gpu_v100());
+        let cost = k40.matmul_cost(1024, 1024, 1024);
+        assert!(k40.duration(cost) > v100.duration(cost));
+        // 1024^3 matmul on K40: 2.1 GFLOP / 4.29 TFLOPs ~ 0.5 ms.
+        let d = k40.duration(cost);
+        assert!(d > Duration::from_micros(400) && d < Duration::from_micros(700), "{d:?}");
+    }
+
+    #[test]
+    fn zero_time_scale_disables_waiting() {
+        let m = CostModel::new(DeviceProfile::gpu_k40().with_time_scale(0.0));
+        assert_eq!(m.duration(m.matmul_cost(4096, 4096, 4096)), Duration::ZERO);
+        assert_eq!(m.copy_duration(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn free_cost_has_no_overhead() {
+        let m = CostModel::new(DeviceProfile::gpu_k40());
+        assert_eq!(m.duration(OpCost::FREE), Duration::ZERO);
+    }
+
+    #[test]
+    fn scaled_bytes_accounts_modeled_footprint() {
+        let m = CostModel::new(DeviceProfile::gpu_k40().with_shape_scale(32));
+        // A 16x16 f32 tensor models a 512x512 one: 1 MiB.
+        let b = m.scaled_bytes(&Shape::from([16, 16]), 4);
+        assert_eq!(b, 512 * 512 * 4);
+        // Scalars are unaffected by scaling.
+        assert_eq!(m.scaled_bytes(&Shape::scalar(), 8), 8);
+    }
+
+    #[test]
+    fn copy_duration_is_bandwidth_bound() {
+        let m = CostModel::new(DeviceProfile::gpu_k40());
+        // 12 GB/s -> 1 MiB in ~87 µs (plus launch overhead).
+        let d = m.copy_duration(1 << 20);
+        assert!(d > Duration::from_micros(80) && d < Duration::from_micros(120), "{d:?}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Byte-accurate tracking allocator with a hard capacity.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error returned when an allocation would exceed device memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemoryError {
+    /// Bytes requested.
+    pub requested: usize,
+    /// Bytes currently in use.
+    pub in_use: usize,
+    /// Device capacity.
+    pub capacity: usize,
+    /// Device name (diagnostic).
+    pub device: String,
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OOM on {}: requested {} B with {} B in use of {} B capacity",
+            self.device, self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+#[derive(Debug, Default)]
+struct Inner {
+    in_use: usize,
+    peak: usize,
+    total_allocs: u64,
+    failed_allocs: u64,
+}
+
+/// Tracks modeled memory consumption of one device.
+///
+/// The runtime charges every resident tensor at its *modeled* (shape-scaled)
+/// size; the swap engine consults [`TrackingAllocator::pressure`] to decide
+/// when to move tensors to host memory (§5.3: "watches the memory
+/// consumption reported by the memory allocator, and only starts to swap
+/// when memory consumption reaches a predefined threshold").
+#[derive(Clone, Debug)]
+pub struct TrackingAllocator {
+    capacity: usize,
+    device: String,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl TrackingAllocator {
+    /// Creates an allocator for `device` with `capacity` bytes.
+    pub fn new(device: impl Into<String>, capacity: usize) -> TrackingAllocator {
+        TrackingAllocator {
+            capacity,
+            device: device.into(),
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
+    }
+
+    /// Charges `bytes`, failing when capacity would be exceeded.
+    pub fn alloc(&self, bytes: usize) -> Result<(), MemoryError> {
+        let mut inner = self.inner.lock();
+        if inner.in_use + bytes > self.capacity {
+            inner.failed_allocs += 1;
+            return Err(MemoryError {
+                requested: bytes,
+                in_use: inner.in_use,
+                capacity: self.capacity,
+                device: self.device.clone(),
+            });
+        }
+        inner.in_use += bytes;
+        inner.peak = inner.peak.max(inner.in_use);
+        inner.total_allocs += 1;
+        Ok(())
+    }
+
+    /// Releases `bytes`.
+    ///
+    /// Saturates at zero (double-free of modeled bytes is a logic error but
+    /// must not wrap the counter).
+    pub fn free(&self, bytes: usize) {
+        let mut inner = self.inner.lock();
+        inner.in_use = inner.in_use.saturating_sub(bytes);
+    }
+
+    /// Bytes currently charged.
+    pub fn in_use(&self) -> usize {
+        self.inner.lock().in_use
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> usize {
+        self.inner.lock().peak
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fraction of capacity in use, in `[0, 1]`.
+    pub fn pressure(&self) -> f64 {
+        self.in_use() as f64 / self.capacity.max(1) as f64
+    }
+
+    /// Number of successful allocations.
+    pub fn total_allocs(&self) -> u64 {
+        self.inner.lock().total_allocs
+    }
+
+    /// Number of failed allocations.
+    pub fn failed_allocs(&self) -> u64 {
+        self.inner.lock().failed_allocs
+    }
+
+    /// Resets usage counters (between experiment repetitions).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        *inner = Inner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let a = TrackingAllocator::new("gpu:0", 100);
+        a.alloc(60).unwrap();
+        assert_eq!(a.in_use(), 60);
+        a.alloc(40).unwrap();
+        assert_eq!(a.in_use(), 100);
+        assert_eq!(a.peak(), 100);
+        a.free(50);
+        assert_eq!(a.in_use(), 50);
+        assert_eq!(a.peak(), 100);
+    }
+
+    #[test]
+    fn oom_is_structured() {
+        let a = TrackingAllocator::new("gpu:0", 100);
+        a.alloc(90).unwrap();
+        let err = a.alloc(20).unwrap_err();
+        assert_eq!(err.requested, 20);
+        assert_eq!(err.in_use, 90);
+        assert_eq!(err.capacity, 100);
+        assert!(err.to_string().contains("OOM"));
+        assert_eq!(a.failed_allocs(), 1);
+        // A failed alloc does not change usage.
+        assert_eq!(a.in_use(), 90);
+    }
+
+    #[test]
+    fn pressure_and_reset() {
+        let a = TrackingAllocator::new("gpu:0", 200);
+        a.alloc(100).unwrap();
+        assert!((a.pressure() - 0.5).abs() < 1e-9);
+        a.reset();
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.peak(), 0);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let a = TrackingAllocator::new("gpu:0", 100);
+        a.alloc(10).unwrap();
+        a.free(50);
+        assert_eq!(a.in_use(), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = TrackingAllocator::new("gpu:0", 100);
+        let b = a.clone();
+        a.alloc(30).unwrap();
+        assert_eq!(b.in_use(), 30);
+    }
+}

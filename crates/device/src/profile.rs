@@ -1,0 +1,130 @@
+//! Device performance and capacity profiles.
+
+use std::time::Duration;
+
+/// Static characteristics of a simulated device.
+///
+/// The GPU profiles are calibrated to the paper's hardware at the level the
+/// evaluation depends on: relative compute rate (V100 ≈ 3–4× K40 for dense
+/// kernels), PCIe copy bandwidth, per-kernel launch overhead, and device
+/// memory capacity.
+#[derive(Clone, Debug)]
+pub struct DeviceProfile {
+    /// Human-readable profile name.
+    pub name: &'static str,
+    /// `true` for accelerator (GPU-like) devices with separate streams.
+    pub is_gpu: bool,
+    /// Effective dense-compute rate in FLOP/s.
+    pub flops: f64,
+    /// Device memory bandwidth in bytes/s (bounds elementwise kernels).
+    pub mem_bandwidth: f64,
+    /// Host-device copy bandwidth in bytes/s (PCIe for GPUs).
+    pub copy_bandwidth: f64,
+    /// Fixed per-kernel launch overhead.
+    pub launch_overhead: Duration,
+    /// Device memory capacity in bytes (modeled).
+    pub memory_capacity: usize,
+    /// All dimensions are multiplied by this factor for cost and memory
+    /// modeling (see crate docs). `1` means shapes are taken at face value.
+    pub shape_scale: usize,
+    /// Additional multiplier applied to modeled kernel durations. Lets
+    /// experiments shrink modeled time uniformly (e.g. `0.1` runs a sweep
+    /// 10× faster without changing any ratio). Set to `0.0` to disable
+    /// modeled waiting entirely (pure functional execution, used by
+    /// correctness tests).
+    pub time_scale: f64,
+}
+
+impl DeviceProfile {
+    /// A host CPU profile: modest compute rate, abundant memory, no
+    /// modeled launch overhead or waiting by default.
+    pub fn cpu() -> DeviceProfile {
+        DeviceProfile {
+            name: "cpu",
+            is_gpu: false,
+            flops: 5.0e10,
+            mem_bandwidth: 2.0e10,
+            copy_bandwidth: 2.0e10,
+            launch_overhead: Duration::ZERO,
+            memory_capacity: 256 << 30,
+            shape_scale: 1,
+            time_scale: 0.0,
+        }
+    }
+
+    /// An NVIDIA Tesla K40-like profile (the paper's cluster GPU):
+    /// ~4.3 TFLOP/s single precision, 288 GB/s memory bandwidth, PCIe 3
+    /// x16 (~12 GB/s effective), 12 GB memory, ~5 µs launch overhead.
+    pub fn gpu_k40() -> DeviceProfile {
+        DeviceProfile {
+            name: "k40",
+            is_gpu: true,
+            flops: 4.29e12,
+            mem_bandwidth: 2.88e11,
+            copy_bandwidth: 1.2e10,
+            launch_overhead: Duration::from_micros(5),
+            memory_capacity: 12 << 30,
+            shape_scale: 1,
+            time_scale: 1.0,
+        }
+    }
+
+    /// An NVIDIA V100-like profile (the paper's DGX-1 GPU): ~15.7 TFLOP/s,
+    /// 900 GB/s memory bandwidth, NVLink-class copies, 16 GB memory.
+    pub fn gpu_v100() -> DeviceProfile {
+        DeviceProfile {
+            name: "v100",
+            is_gpu: true,
+            flops: 1.57e13,
+            mem_bandwidth: 9.0e11,
+            copy_bandwidth: 4.0e10,
+            launch_overhead: Duration::from_micros(4),
+            memory_capacity: 16 << 30,
+            shape_scale: 1,
+            time_scale: 1.0,
+        }
+    }
+
+    /// Returns the profile with a different shape scale.
+    pub fn with_shape_scale(mut self, scale: usize) -> DeviceProfile {
+        self.shape_scale = scale;
+        self
+    }
+
+    /// Returns the profile with a different time scale.
+    pub fn with_time_scale(mut self, scale: f64) -> DeviceProfile {
+        self.time_scale = scale;
+        self
+    }
+
+    /// Returns the profile with a different modeled memory capacity.
+    pub fn with_memory_capacity(mut self, bytes: usize) -> DeviceProfile {
+        self.memory_capacity = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_profiles_ordered() {
+        let k40 = DeviceProfile::gpu_k40();
+        let v100 = DeviceProfile::gpu_v100();
+        assert!(v100.flops > 3.0 * k40.flops);
+        assert!(k40.is_gpu && v100.is_gpu);
+        assert!(!DeviceProfile::cpu().is_gpu);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = DeviceProfile::gpu_k40()
+            .with_shape_scale(32)
+            .with_time_scale(0.5)
+            .with_memory_capacity(1 << 30);
+        assert_eq!(p.shape_scale, 32);
+        assert_eq!(p.time_scale, 0.5);
+        assert_eq!(p.memory_capacity, 1 << 30);
+    }
+}

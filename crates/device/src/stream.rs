@@ -1,0 +1,230 @@
+//! FIFO kernel streams and completion events.
+
+use crate::timeline::Tracer;
+use parking_lot::{Condvar, Mutex};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A one-shot completion event, analogous to a CUDA event.
+///
+/// Streams signal an event when a kernel finishes (real computation done
+/// *and* modeled duration elapsed); other streams or executor workers can
+/// block on it, which is how cross-stream causal dependencies are enforced
+/// (§5.3: "a combination of control edges and GPU hardware events to
+/// synchronize the dependent operations executed on different streams").
+#[derive(Clone, Debug, Default)]
+pub struct Event {
+    inner: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Event {
+    /// Creates an unsignaled event.
+    pub fn new() -> Event {
+        Event::default()
+    }
+
+    /// Signals the event, waking all waiters.
+    pub fn signal(&self) {
+        let (lock, cvar) = &*self.inner;
+        *lock.lock() = true;
+        cvar.notify_all();
+    }
+
+    /// Blocks until the event is signaled.
+    pub fn wait(&self) {
+        let (lock, cvar) = &*self.inner;
+        let mut done = lock.lock();
+        while !*done {
+            cvar.wait(&mut done);
+        }
+    }
+
+    /// Returns `true` if the event has been signaled.
+    pub fn is_signaled(&self) -> bool {
+        *self.inner.0.lock()
+    }
+}
+
+/// Waits until `deadline` with microsecond accuracy: OS sleep for the bulk
+/// (its granularity is tens of microseconds), then a short spin.
+///
+/// Without the spin, a stream of 2 microsecond copy kernels would drain at
+/// the sleeper's ~60 microsecond floor — 30x slower than modeled — and
+/// swap-out traffic would back up holding device memory.
+fn wait_until(deadline: Instant) {
+    const SPIN_WINDOW: Duration = Duration::from_micros(40);
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remain = deadline - now;
+        if remain > SPIN_WINDOW {
+            thread::sleep(remain - SPIN_WINDOW);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+struct Task {
+    name: String,
+    modeled: Duration,
+    wait_for: Vec<Event>,
+    work: Box<dyn FnOnce() + Send>,
+    /// Invoked after the modeled duration has elapsed (i.e. at the same
+    /// point the completion event is signaled). Used by the executor for
+    /// fully asynchronous kernel completion.
+    on_done: Option<Box<dyn FnOnce() + Send>>,
+    done: Event,
+}
+
+/// A FIFO kernel queue with a dedicated worker thread.
+///
+/// Kernels on one stream execute strictly in submission order. Each kernel
+/// first waits for its cross-stream dependencies, then runs its real
+/// computation, then waits out the remainder of its *modeled* duration
+/// before signaling completion — so stream occupancy matches the modeled
+/// hardware even though values are computed on the host.
+pub(crate) struct Stream {
+    sender: Option<mpsc::Sender<Task>>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Stream {
+    /// Spawns the stream worker. `label` identifies the stream in traces.
+    pub(crate) fn spawn(label: String, tracer: Tracer) -> Stream {
+        let (sender, receiver) = mpsc::channel::<Task>();
+        let handle = thread::Builder::new()
+            .name(label.clone())
+            .spawn(move || {
+                while let Ok(task) = receiver.recv() {
+                    for ev in &task.wait_for {
+                        ev.wait();
+                    }
+                    let t0 = Instant::now();
+                    (task.work)();
+                    wait_until(t0 + task.modeled);
+                    tracer.record(&label, &task.name, t0, Instant::now());
+                    task.done.signal();
+                    if let Some(cb) = task.on_done {
+                        cb();
+                    }
+                }
+            })
+            .expect("failed to spawn stream thread");
+        Stream { sender: Some(sender), handle: Some(handle) }
+    }
+
+    /// Enqueues a kernel; returns its completion event immediately.
+    pub(crate) fn submit(
+        &self,
+        name: String,
+        modeled: Duration,
+        wait_for: Vec<Event>,
+        work: Box<dyn FnOnce() + Send>,
+        on_done: Option<Box<dyn FnOnce() + Send>>,
+    ) -> Event {
+        let done = Event::new();
+        let task = Task { name, modeled, wait_for, work, on_done, done: done.clone() };
+        self.sender
+            .as_ref()
+            .expect("stream already shut down")
+            .send(task)
+            .expect("stream thread terminated unexpectedly");
+        done
+    }
+}
+
+impl Drop for Stream {
+    fn drop(&mut self) {
+        // Close the queue and drain remaining kernels.
+        drop(self.sender.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn events_signal_once() {
+        let e = Event::new();
+        assert!(!e.is_signaled());
+        e.signal();
+        assert!(e.is_signaled());
+        e.wait();
+    }
+
+    #[test]
+    fn stream_executes_in_fifo_order() {
+        let tracer = Tracer::new();
+        let s = Stream::spawn("test".into(), tracer);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut events = Vec::new();
+        for i in 0..10 {
+            let order = order.clone();
+            events.push(s.submit(
+                format!("k{i}"),
+                Duration::ZERO,
+                vec![],
+                Box::new(move || order.lock().push(i)),
+                None,
+            ));
+        }
+        for e in &events {
+            e.wait();
+        }
+        assert_eq!(*order.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn modeled_duration_is_waited_out() {
+        let tracer = Tracer::enabled();
+        let s = Stream::spawn("test".into(), tracer.clone());
+        let t0 = Instant::now();
+        let e = s.submit("slow".into(), Duration::from_millis(20), vec![], Box::new(|| {}), None);
+        e.wait();
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        let events = tracer.snapshot();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].end_us - events[0].start_us >= 20_000);
+    }
+
+    #[test]
+    fn cross_stream_dependency_blocks() {
+        let tracer = Tracer::new();
+        let a = Stream::spawn("a".into(), tracer.clone());
+        let b = Stream::spawn("b".into(), tracer);
+        let counter = Arc::new(AtomicUsize::new(0));
+
+        let c1 = counter.clone();
+        let e1 = a.submit(
+            "first".into(),
+            Duration::from_millis(10),
+            vec![],
+            Box::new(move || {
+                c1.store(1, Ordering::SeqCst);
+            }),
+            None,
+        );
+        let c2 = counter.clone();
+        let e2 = b.submit(
+            "second".into(),
+            Duration::ZERO,
+            vec![e1],
+            Box::new(move || {
+                // Must observe the first kernel's full completion.
+                assert_eq!(c2.load(Ordering::SeqCst), 1);
+            }),
+            None,
+        );
+        e2.wait();
+    }
+}

@@ -1,0 +1,232 @@
+//! Kernel timeline tracing (for Figure 13-style overlap reports).
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One kernel execution on one stream.
+#[derive(Clone, Debug)]
+pub struct TimelineEvent {
+    /// Stream label, e.g. `"gpu:0/compute"` or `"gpu:0/d2h"`.
+    pub stream: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Start offset from the trace epoch, microseconds.
+    pub start_us: u64,
+    /// End offset from the trace epoch, microseconds.
+    pub end_us: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    events: Vec<TimelineEvent>,
+    enabled: bool,
+}
+
+/// Collects per-stream kernel start/end times.
+///
+/// Shared by all streams of all devices in a run; rendering the collected
+/// events per stream reproduces the paper's Figure 13 timelines and the
+/// compute/I-O overlap measurement.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Creates a disabled tracer (recording off until
+    /// [`Tracer::set_enabled`]).
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Arc::new(Mutex::new(Inner {
+                epoch: Instant::now(),
+                events: Vec::new(),
+                enabled: false,
+            })),
+        }
+    }
+
+    /// Creates an enabled tracer.
+    pub fn enabled() -> Tracer {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.lock().enabled = on;
+    }
+
+    /// Clears recorded events and resets the epoch.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.epoch = Instant::now();
+        inner.events.clear();
+    }
+
+    /// Records one kernel execution.
+    pub fn record(&self, stream: &str, kernel: &str, start: Instant, end: Instant) {
+        let mut inner = self.inner.lock();
+        if !inner.enabled {
+            return;
+        }
+        let epoch = inner.epoch;
+        inner.events.push(TimelineEvent {
+            stream: stream.to_owned(),
+            kernel: kernel.to_owned(),
+            start_us: end_offset(epoch, start),
+            end_us: end_offset(epoch, end),
+        });
+    }
+
+    /// Returns a copy of all recorded events.
+    pub fn snapshot(&self) -> Vec<TimelineEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Total busy microseconds per stream.
+    pub fn busy_per_stream(&self) -> BTreeMap<String, u64> {
+        let mut map = BTreeMap::new();
+        for e in self.inner.lock().events.iter() {
+            *map.entry(e.stream.clone()).or_insert(0) += e.end_us - e.start_us;
+        }
+        map
+    }
+
+    /// Fraction of stream `a` busy time that overlaps stream `b` busy time.
+    ///
+    /// This quantifies the §5.3 claim that compute kernels and memory-copy
+    /// kernels proceed in parallel.
+    pub fn overlap_fraction(&self, a: &str, b: &str) -> f64 {
+        let events = self.inner.lock().events.clone();
+        let iv = |s: &str| -> Vec<(u64, u64)> {
+            let mut v: Vec<(u64, u64)> = events
+                .iter()
+                .filter(|e| e.stream == s)
+                .map(|e| (e.start_us, e.end_us))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let (ia, ib) = (iv(a), iv(b));
+        let busy_a: u64 = ia.iter().map(|(s, e)| e - s).sum();
+        if busy_a == 0 {
+            return 0.0;
+        }
+        let mut overlap = 0u64;
+        for &(s1, e1) in &ia {
+            for &(s2, e2) in &ib {
+                let s = s1.max(s2);
+                let e = e1.min(e2);
+                if e > s {
+                    overlap += e - s;
+                }
+            }
+        }
+        overlap as f64 / busy_a as f64
+    }
+
+    /// Renders an ASCII timeline, one row per stream, `width` columns.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let events = self.snapshot();
+        if events.is_empty() {
+            return String::from("(no events)\n");
+        }
+        let t_min = events.iter().map(|e| e.start_us).min().unwrap_or(0);
+        let t_max = events.iter().map(|e| e.end_us).max().unwrap_or(1).max(t_min + 1);
+        let span = (t_max - t_min) as f64;
+        let mut streams: Vec<String> = events.iter().map(|e| e.stream.clone()).collect();
+        streams.sort();
+        streams.dedup();
+        let mut out = String::new();
+        for s in &streams {
+            let mut row = vec![b'.'; width];
+            for e in events.iter().filter(|e| &e.stream == s) {
+                let a = (((e.start_us - t_min) as f64 / span) * width as f64) as usize;
+                let b = (((e.end_us - t_min) as f64 / span) * width as f64).ceil() as usize;
+                for c in row.iter_mut().take(b.min(width)).skip(a.min(width.saturating_sub(1))) {
+                    *c = b'#';
+                }
+            }
+            out.push_str(&format!("{:<24} {}\n", s, String::from_utf8_lossy(&row)));
+        }
+        out
+    }
+}
+
+fn end_offset(epoch: Instant, t: Instant) -> u64 {
+    t.saturating_duration_since(epoch).as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn mk_event(t: &Tracer, stream: &str, start_ms: u64, end_ms: u64) {
+        let epoch = t.inner.lock().epoch;
+        t.record(
+            stream,
+            "k",
+            epoch + Duration::from_millis(start_ms),
+            epoch + Duration::from_millis(end_ms),
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        mk_event(&t, "s", 0, 10);
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn busy_accounting() {
+        let t = Tracer::enabled();
+        mk_event(&t, "compute", 0, 10);
+        mk_event(&t, "compute", 20, 25);
+        mk_event(&t, "d2h", 5, 15);
+        let busy = t.busy_per_stream();
+        assert_eq!(busy["compute"], 15_000);
+        assert_eq!(busy["d2h"], 10_000);
+    }
+
+    #[test]
+    fn overlap_fraction_computed() {
+        let t = Tracer::enabled();
+        mk_event(&t, "a", 0, 10);
+        mk_event(&t, "b", 5, 15);
+        // a is busy 10ms; 5ms of it overlaps b.
+        assert!((t.overlap_fraction("a", "b") - 0.5).abs() < 1e-9);
+        assert_eq!(t.overlap_fraction("missing", "b"), 0.0);
+    }
+
+    #[test]
+    fn ascii_rendering_marks_busy_spans() {
+        let t = Tracer::enabled();
+        mk_event(&t, "compute", 0, 50);
+        mk_event(&t, "d2h", 50, 100);
+        let art = t.render_ascii(20);
+        assert!(art.contains("compute"));
+        assert!(art.contains('#'));
+        let t2 = Tracer::enabled();
+        assert_eq!(t2.render_ascii(10), "(no events)\n");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let t = Tracer::enabled();
+        mk_event(&t, "a", 0, 1);
+        t.reset();
+        assert!(t.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,1160 @@
+//! The tagged-token executor: evaluation rules of Figure 5, frame and
+//! iteration management, deadness propagation, asynchronous kernels, and
+//! memory swapping.
+
+use crate::exec_graph::ExecGraph;
+use crate::frame::{DeferredToken, FrameId, FrameState, IterationState, NodeInstance, ROOT_FRAME};
+use crate::kernels::{execute_op, is_compute_op, op_cost, should_charge};
+use crate::rendezvous::Rendezvous;
+use crate::resources::{ResourceManager, SlotEntry, StackRes, StackSlot};
+use crate::token::{Charge, ExecError, Token};
+use crate::Result;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dcf_device::{Device, Kernel, StreamKind};
+use dcf_graph::{NodeId, OpKind, TensorRef};
+use dcf_tensor::{Tensor, TensorRng};
+use parking_lot::{Condvar, Mutex};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::thread;
+
+/// Debug tracing, enabled with `DCF_TRACE=exec,deliver,stack` (cached so
+/// the per-op cost is one relaxed load).
+fn trace_enabled(kind: &str) -> bool {
+    static FLAGS: OnceLock<(bool, bool, bool)> = OnceLock::new();
+    let (exec, deliver, stack) = FLAGS.get_or_init(|| {
+        let v = std::env::var("DCF_TRACE").unwrap_or_default();
+        (v.contains("exec"), v.contains("deliver"), v.contains("stack"))
+    });
+    match kind {
+        "exec" => *exec,
+        "deliver" => *deliver,
+        _ => *stack,
+    }
+}
+
+/// Tunables of one executor.
+#[derive(Clone, Debug)]
+pub struct ExecutorOptions {
+    /// Worker threads processing ready operations. The stream threads of the
+    /// device add further concurrency; two workers suffice for most graphs.
+    pub workers: usize,
+    /// Memory-pressure fraction above which eligible stack pushes swap their
+    /// payload to host memory (§5.3 "predefined threshold").
+    pub swap_threshold: f64,
+    /// Minimum modeled tensor size for swapping (§5.3 "we do not swap small
+    /// tensors").
+    pub min_swap_bytes: usize,
+    /// Base seed for stateful random ops.
+    pub seed: u64,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        ExecutorOptions {
+            workers: 2,
+            swap_threshold: 0.9,
+            min_swap_bytes: 64 << 10,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Result of a run: the fetched tensors, in request order.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Fetched values.
+    pub values: Vec<Tensor>,
+}
+
+/// A per-device dataflow executor.
+///
+/// Executes its subgraph against one simulated device, communicating with
+/// peer executors (if any) through the shared rendezvous. See the crate
+/// docs for the execution model.
+pub struct Executor {
+    eg: Arc<ExecGraph>,
+    device: Arc<Device>,
+    resources: Arc<ResourceManager>,
+    rendezvous: Arc<dyn Rendezvous>,
+    options: ExecutorOptions,
+}
+
+enum Work {
+    Run(FrameId, usize, NodeId),
+    Shutdown,
+}
+
+struct RunState {
+    frames: HashMap<FrameId, FrameState>,
+    frame_index: HashMap<(FrameId, usize, String), FrameId>,
+    next_frame: FrameId,
+    fetched: HashMap<(usize, usize), Token>,
+}
+
+struct RunShared {
+    eg: Arc<ExecGraph>,
+    device: Arc<Device>,
+    resources: Arc<ResourceManager>,
+    rendezvous: Arc<dyn Rendezvous>,
+    options: ExecutorOptions,
+    feeds: HashMap<String, Tensor>,
+    fetch_set: HashSet<(usize, usize)>,
+    state: Mutex<RunState>,
+    queue_tx: Sender<Work>,
+    outstanding: AtomicI64,
+    done: Mutex<Option<Result<()>>>,
+    done_cv: Condvar,
+    cancel: Option<Arc<crate::token::CancelToken>>,
+}
+
+impl Executor {
+    /// Creates an executor for `eg` on `device`.
+    pub fn new(
+        eg: Arc<ExecGraph>,
+        device: Arc<Device>,
+        resources: Arc<ResourceManager>,
+        rendezvous: Arc<dyn Rendezvous>,
+        options: ExecutorOptions,
+    ) -> Executor {
+        Executor { eg, device, resources, rendezvous, options }
+    }
+
+    /// Runs the subgraph: feeds placeholder values, executes until
+    /// quiescent, and returns the fetched tensors.
+    ///
+    /// Fetches must refer to tensors produced in the root context.
+    pub fn run(&self, feeds: &HashMap<String, Tensor>, fetches: &[TensorRef]) -> Result<RunOutcome> {
+        self.run_cancellable(feeds, fetches, None)
+    }
+
+    /// Like [`Executor::run`], additionally aborting (with the peer's
+    /// error) if `cancel` fires — used by the session to stop all
+    /// partitions when one fails.
+    pub fn run_cancellable(
+        &self,
+        feeds: &HashMap<String, Tensor>,
+        fetches: &[TensorRef],
+        cancel: Option<Arc<crate::token::CancelToken>>,
+    ) -> Result<RunOutcome> {
+        let (queue_tx, queue_rx) = unbounded::<Work>();
+        let fetch_set: HashSet<(usize, usize)> =
+            fetches.iter().map(|t| (t.node.0, t.port)).collect();
+        let mut frames = HashMap::new();
+        frames.insert(ROOT_FRAME, FrameState::root());
+        let shared = Arc::new(RunShared {
+            eg: self.eg.clone(),
+            device: self.device.clone(),
+            resources: self.resources.clone(),
+            rendezvous: self.rendezvous.clone(),
+            options: self.options.clone(),
+            feeds: feeds.clone(),
+            fetch_set,
+            state: Mutex::new(RunState {
+                frames,
+                frame_index: HashMap::new(),
+                next_frame: 1,
+                fetched: HashMap::new(),
+            }),
+            queue_tx,
+            outstanding: AtomicI64::new(0),
+            done: Mutex::new(None),
+            done_cv: Condvar::new(),
+            cancel: cancel.clone(),
+        });
+        if let Some(token) = &cancel {
+            // Abort this run if any peer partition fails.
+            let weak = Arc::downgrade(&shared);
+            token.subscribe(Box::new(move |err| {
+                if let Some(sh) = weak.upgrade() {
+                    sh.complete(Err(err));
+                }
+            }));
+        }
+
+        // Seed the root sources.
+        {
+            let mut st = shared.state.lock();
+            let sources = shared.eg.sources.clone();
+            for src in sources {
+                shared.schedule(&mut st, ROOT_FRAME, 0, src);
+            }
+        }
+        if shared.outstanding.load(Ordering::SeqCst) == 0 {
+            shared.complete(Ok(()));
+        }
+
+        // Worker threads.
+        let mut handles = Vec::new();
+        for w in 0..self.options.workers.max(1) {
+            let rx: Receiver<Work> = queue_rx.clone();
+            let sh = shared.clone();
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("dcf-exec-{w}"))
+                    .spawn(move || {
+                        while let Ok(work) = rx.recv() {
+                            match work {
+                                Work::Shutdown => break,
+                                Work::Run(f, i, n) => sh.execute_node(f, i, n),
+                            }
+                        }
+                    })
+                    .expect("failed to spawn executor worker"),
+            );
+        }
+
+        // Wait for completion.
+        let result = {
+            let mut done = shared.done.lock();
+            while done.is_none() {
+                shared.done_cv.wait(&mut done);
+            }
+            done.clone().expect("done state set")
+        };
+        for _ in 0..handles.len() {
+            let _ = shared.queue_tx.send(Work::Shutdown);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        result?;
+
+        // Collect fetches.
+        let st = shared.state.lock();
+        let mut values = Vec::with_capacity(fetches.len());
+        for t in fetches {
+            match st.fetched.get(&(t.node.0, t.port)) {
+                Some(tok) if !tok.is_dead => values.push(tok.value.clone()),
+                Some(_) => {
+                    return Err(ExecError::DeadFetch(self.eg.graph.node(t.node).name.clone()))
+                }
+                None => {
+                    return Err(ExecError::BadFeedOrFetch(format!(
+                        "fetch {} was never produced (is it in the root context?)",
+                        self.eg.graph.node(t.node).name
+                    )))
+                }
+            }
+        }
+        Ok(RunOutcome { values })
+    }
+}
+
+impl RunShared {
+    // ------------------------------------------------------------------
+    // Scheduling and bookkeeping
+    // ------------------------------------------------------------------
+
+    fn schedule(&self, st: &mut RunState, f: FrameId, i: usize, node: NodeId) {
+        let inst = self.instance(st, f, i, node);
+        debug_assert!(!inst.scheduled, "double schedule of {:?}", node);
+        inst.scheduled = true;
+        if let Some(frame) = st.frames.get_mut(&f) {
+            if let Some(it) = frame.iterations.get_mut(&i) {
+                it.outstanding_ops += 1;
+            }
+        }
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        let _ = self.queue_tx.send(Work::Run(f, i, node));
+    }
+
+    fn instance<'a>(
+        &self,
+        st: &'a mut RunState,
+        f: FrameId,
+        i: usize,
+        node: NodeId,
+    ) -> &'a mut NodeInstance {
+        let slots = self.eg.total_input_slots(node);
+        let pending_data = self.eg.num_data_inputs(node);
+        let pending_control = self.eg.num_control_inputs(node);
+        let frame = st.frames.get_mut(&f).expect("frame exists");
+        let it = frame.iterations.entry(i).or_default();
+        it.nodes
+            .entry(node.0)
+            .or_insert_with(|| NodeInstance::new(slots, pending_data, pending_control))
+    }
+
+    fn ensure_iteration(&self, st: &mut RunState, f: FrameId, i: usize) {
+        let created = {
+            let frame = st.frames.get_mut(&f).expect("frame exists");
+            if frame.iterations.contains_key(&i) {
+                false
+            } else {
+                frame.iterations.insert(i, IterationState::default());
+                frame.started = frame.started.max(i + 1);
+                true
+            }
+        };
+        if created {
+            // Replay loop constants into the new iteration.
+            let constants = st.frames[&f].constants.clone();
+            for (enter_node, token) in constants {
+                self.deliver_to_consumers(st, f, i, enter_node, 0, token);
+            }
+        }
+    }
+
+    fn deliver_to_consumers(
+        &self,
+        st: &mut RunState,
+        f: FrameId,
+        i: usize,
+        node: NodeId,
+        port: usize,
+        token: Token,
+    ) {
+        // Record fetches first (root context only) — a fetched output may
+        // have no consumers at all.
+        if self.fetch_set.contains(&(node.0, port)) && f == ROOT_FRAME {
+            st.fetched.insert((node.0, port), token.clone());
+        }
+        let consumers = match self.eg.consumers.get(&(TensorRef { node, port })) {
+            Some(c) => c.clone(),
+            None => return,
+        };
+        // Clone per consumer; tensor buffers and memory charges are
+        // refcounted, so this is cheap and keeps lifetimes exact.
+        for (dst, slot) in consumers {
+            self.deliver(st, f, i, dst, slot, token.clone());
+        }
+    }
+
+    fn deliver(
+        &self,
+        st: &mut RunState,
+        f: FrameId,
+        i: usize,
+        dst: NodeId,
+        slot: usize,
+        token: Token,
+    ) {
+        if trace_enabled("deliver") {
+            eprintln!(
+                "DELIVER -> {} slot {} (frame {} iter {}) dead={}",
+                self.eg.graph.node(dst).name,
+                slot,
+                f,
+                i,
+                token.is_dead
+            );
+        }
+        self.ensure_iteration(st, f, i);
+        let is_merge = matches!(self.eg.graph.node(dst).op, OpKind::Merge);
+        let is_loop_merge = self.eg.is_loop_merge[dst.0];
+        let n_inputs = self.eg.num_data_inputs(dst);
+        let inst = self.instance(st, f, i, dst);
+        if is_merge {
+            inst.merge_arrivals += 1;
+            if token.is_dead {
+                inst.merge_dead += 1;
+            }
+            if inst.scheduled {
+                return; // Late arrival on an already-fired merge.
+            }
+            let fire = if is_loop_merge {
+                // A loop merge receives exactly one token per iteration
+                // (Enter at 0, NextIteration later); fire on it, live or
+                // dead.
+                inst.data[0] = Some(token);
+                true
+            } else if !token.is_dead {
+                inst.data[0] = Some(token);
+                true
+            } else if inst.merge_dead == n_inputs {
+                inst.any_dead = true;
+                inst.data[0] = Some(token);
+                true
+            } else {
+                false
+            };
+            if fire && inst.pending_control == 0 {
+                self.schedule(st, f, i, dst);
+            } else if fire {
+                // Remember readiness; fires when controls drain.
+                inst.pending_data = 0;
+            }
+            return;
+        }
+        if inst.scheduled || inst.data.get(slot).map(|s| s.is_some()).unwrap_or(false) {
+            self.fail(ExecError::Internal(format!(
+                "double delivery to {} slot {slot} (frame {f}, iter {i})",
+                self.eg.graph.node(dst).name
+            )));
+            return;
+        }
+        inst.any_dead |= token.is_dead;
+        inst.data[slot] = Some(token);
+        inst.pending_data -= 1;
+        if inst.pending_data == 0 && inst.pending_control == 0 {
+            self.schedule(st, f, i, dst);
+        }
+    }
+
+    fn deliver_control(&self, st: &mut RunState, f: FrameId, i: usize, dst: NodeId, dead: bool) {
+        self.ensure_iteration(st, f, i);
+        let is_merge = matches!(self.eg.graph.node(dst).op, OpKind::Merge);
+        let inst = self.instance(st, f, i, dst);
+        if inst.scheduled {
+            return;
+        }
+        inst.any_dead |= dead;
+        inst.pending_control = inst.pending_control.saturating_sub(1);
+        if inst.pending_control == 0 && inst.pending_data == 0 {
+            // For merges, pending_data reaching 0 means the fire condition
+            // was met earlier.
+            let _ = is_merge;
+            self.schedule(st, f, i, dst);
+        }
+    }
+
+    fn fail(&self, err: ExecError) {
+        if let Some(token) = &self.cancel {
+            token.fire(err.clone());
+        }
+        self.complete(Err(err));
+    }
+
+    fn complete(&self, result: Result<()>) {
+        let mut done = self.done.lock();
+        if done.is_none() {
+            *done = Some(result);
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn is_failed(&self) -> bool {
+        self.done.lock().as_ref().map(|r| r.is_err()).unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    fn execute_node(self: &Arc<Self>, f: FrameId, i: usize, node_id: NodeId) {
+        if self.is_failed() {
+            self.finish_noop(f, i);
+            return;
+        }
+        let node = self.eg.graph.node(node_id);
+        // Extract the input tokens and context under the lock.
+        let (tokens, any_dead, tag) = {
+            let mut st = self.state.lock();
+            let tag = st.frames[&f].tag(i);
+            let inst = self.instance(&mut st, f, i, node_id);
+            let tokens: Vec<Option<Token>> = inst.data.iter_mut().map(|s| s.take()).collect();
+            let any_dead = inst.any_dead;
+            (tokens, any_dead, tag)
+        };
+
+        if trace_enabled("exec") {
+            eprintln!("EXEC {} ({}) dead={}", node.name, tag, any_dead);
+        }
+        let is_merge = matches!(node.op, OpKind::Merge);
+        if any_dead && !is_merge {
+            self.execute_dead(f, i, node_id, tag);
+            return;
+        }
+        match self.execute_live(f, i, node_id, tokens, tag) {
+            Ok(Some(outputs)) => self.finish_op(f, i, node_id, outputs, false),
+            Ok(None) => {} // Asynchronous; a callback completes the op.
+            Err(e) => self.fail(e),
+        }
+    }
+
+    /// Handles a dead activation: skip the computation and propagate a dead
+    /// signal downstream (§4.3), including across devices via Send.
+    fn execute_dead(self: &Arc<Self>, f: FrameId, i: usize, node_id: NodeId, tag: String) {
+        let node = self.eg.graph.node(node_id);
+        if let OpKind::Send { key_base, .. } = &node.op {
+            // Propagate is_dead across devices (§4.4).
+            self.rendezvous.send(format!("{key_base}|{tag}"), Token::dead());
+            self.finish_op(f, i, node_id, vec![], true);
+            return;
+        }
+        let outputs = vec![Token::dead(); node.op.num_outputs()];
+        self.finish_op(f, i, node_id, outputs, true);
+    }
+
+    /// Executes a live activation. Returns `Ok(None)` when completion is
+    /// asynchronous (device kernel, Recv, swap-in).
+    fn execute_live(
+        self: &Arc<Self>,
+        f: FrameId,
+        i: usize,
+        node_id: NodeId,
+        mut tokens: Vec<Option<Token>>,
+        tag: String,
+    ) -> Result<Option<Vec<Token>>> {
+        let node = self.eg.graph.node(node_id);
+        let take = |tokens: &mut Vec<Option<Token>>, idx: usize| -> Result<Token> {
+            tokens
+                .get_mut(idx)
+                .and_then(|s| s.take())
+                .ok_or_else(|| ExecError::Internal(format!("missing input {idx} of {}", node.name)))
+        };
+        let kerr = |detail: String| ExecError::Kernel { node: node.name.clone(), detail };
+
+        match &node.op {
+            // ---------------- Sources ----------------
+            OpKind::Const(t) => Ok(Some(vec![self.materialize(t.clone())?])),
+            OpKind::Placeholder { name, .. } => match self.feeds.get(name) {
+                Some(t) => Ok(Some(vec![self.materialize(t.clone())?])),
+                None => Err(ExecError::BadFeedOrFetch(format!("placeholder {name} was not fed"))),
+            },
+            OpKind::Variable { name, init } => {
+                Ok(Some(vec![Token::live(self.resources.variable_read(name, init))]))
+            }
+            OpKind::RandomUniform { dims, lo, hi, seed } => {
+                let mut h = DefaultHasher::new();
+                (tag.as_str(), seed, self.options.seed).hash(&mut h);
+                let mut rng = TensorRng::new(h.finish());
+                Ok(Some(vec![Token::live(rng.uniform(dims, *lo, *hi))]))
+            }
+
+            // ---------------- Control flow ----------------
+            OpKind::Switch => {
+                let data = take(&mut tokens, 0)?;
+                let pred = take(&mut tokens, 1)?;
+                let p = pred.value.scalar_as_bool().map_err(|e| kerr(e.to_string()))?;
+                // Port 0 = false side, port 1 = true side (Figure 5).
+                let f_out = if p {
+                    Token::dead()
+                } else {
+                    Token { value: data.value.clone(), is_dead: false, charge: data.charge.clone() }
+                };
+                let t_out = if p {
+                    Token { value: data.value.clone(), is_dead: false, charge: data.charge.clone() }
+                } else {
+                    Token::dead()
+                };
+                Ok(Some(vec![f_out, t_out]))
+            }
+            OpKind::Merge => {
+                let chosen = tokens
+                    .iter_mut()
+                    .find_map(|s| s.take())
+                    .ok_or_else(|| ExecError::Internal(format!("merge {} fired empty", node.name)))?;
+                Ok(Some(vec![chosen]))
+            }
+            OpKind::Enter { .. }
+            | OpKind::Exit
+            | OpKind::NextIteration
+            | OpKind::LoopCond
+            | OpKind::Identity => {
+                let t = take(&mut tokens, 0)?;
+                Ok(Some(vec![t]))
+            }
+
+            // ---------------- Communication ----------------
+            OpKind::Send { key_base, .. } => {
+                let t = take(&mut tokens, 0)?;
+                self.rendezvous.send(format!("{key_base}|{tag}"), t);
+                Ok(Some(vec![]))
+            }
+            OpKind::Recv { key_base, .. } => {
+                let key = format!("{key_base}|{tag}");
+                let sh = self.clone();
+                self.rendezvous.recv_async(
+                    key,
+                    Box::new(move |token| {
+                        let dead = token.is_dead;
+                        sh.finish_op(f, i, node_id, vec![token], dead);
+                    }),
+                );
+                Ok(None)
+            }
+
+            // ---------------- Resources ----------------
+            OpKind::Assign { var } => {
+                let t = take(&mut tokens, 0)?;
+                Ok(Some(vec![Token::live(self.resources.assign(var, t.value))]))
+            }
+            OpKind::AssignAdd { var } => {
+                let t = take(&mut tokens, 0)?;
+                let v = self.resources.assign_add(var, &t.value).map_err(kerr)?;
+                Ok(Some(vec![Token::live(v)]))
+            }
+            OpKind::AssignSub { var } => {
+                let t = take(&mut tokens, 0)?;
+                let v = self.resources.assign_sub(var, &t.value).map_err(kerr)?;
+                Ok(Some(vec![Token::live(v)]))
+            }
+            OpKind::StackCreate { swap } => {
+                let id = self.resources.stack_create(*swap);
+                Ok(Some(vec![Token::live(Tensor::scalar_i64(id as i64))]))
+            }
+            OpKind::StackPush => {
+                let handle = take(&mut tokens, 0)?;
+                let index = take(&mut tokens, 1)?;
+                let value = take(&mut tokens, 2)?;
+                let out = Token {
+                    value: value.value.clone(),
+                    is_dead: false,
+                    charge: value.charge.clone(),
+                };
+                self.stack_push(
+                    handle.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))? as u64,
+                    index.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))?,
+                    value,
+                )
+                .map_err(kerr)?;
+                Ok(Some(vec![out]))
+            }
+            OpKind::StackPop => {
+                let handle = take(&mut tokens, 0)?;
+                let index = take(&mut tokens, 1)?;
+                self.stack_pop(
+                    f,
+                    i,
+                    node_id,
+                    handle.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))? as u64,
+                    index.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))?,
+                )
+            }
+            OpKind::TensorArrayNew { dtype, accumulate } => {
+                let size = take(&mut tokens, 0)?;
+                let n = size.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))?.max(0);
+                let id = self.resources.array_create(*dtype, *accumulate, n as usize);
+                Ok(Some(vec![
+                    Token::live(Tensor::scalar_i64(id as i64)),
+                    Token::live(Tensor::scalar_f32(0.0)),
+                ]))
+            }
+            OpKind::TensorArrayWrite => {
+                let handle = take(&mut tokens, 0)?;
+                let index = take(&mut tokens, 1)?;
+                let value = take(&mut tokens, 2)?;
+                let _flow = take(&mut tokens, 3)?;
+                let id = handle.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))? as u64;
+                let ix = index.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))?;
+                self.resources.array_write(id, ix, value).map_err(kerr)?;
+                Ok(Some(vec![Token::live(Tensor::scalar_f32(0.0))]))
+            }
+            OpKind::TensorArrayRead => {
+                let handle = take(&mut tokens, 0)?;
+                let index = take(&mut tokens, 1)?;
+                let id = handle.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))? as u64;
+                let ix = index.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))?;
+                let v = self.resources.array_read(id, ix).map_err(kerr)?;
+                Ok(Some(vec![Token::live(v)]))
+            }
+            OpKind::TensorArrayPack => {
+                let handle = take(&mut tokens, 0)?;
+                let id = handle.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))? as u64;
+                let v = self.resources.array_pack(id).map_err(kerr)?;
+                Ok(Some(vec![self.materialize(v)?]))
+            }
+            OpKind::TensorArrayUnpack => {
+                let handle = take(&mut tokens, 0)?;
+                let value = take(&mut tokens, 1)?;
+                let id = handle.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))? as u64;
+                self.resources.array_unpack(id, &value.value, value.charge.clone()).map_err(kerr)?;
+                Ok(Some(vec![Token::live(Tensor::scalar_f32(0.0))]))
+            }
+            OpKind::TensorArraySize => {
+                let handle = take(&mut tokens, 0)?;
+                let id = handle.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))? as u64;
+                let n = self.resources.array_size(id).map_err(kerr)?;
+                Ok(Some(vec![Token::live(Tensor::scalar_i64(n))]))
+            }
+            OpKind::TensorArrayGrad { source } => {
+                let handle = take(&mut tokens, 0)?;
+                let id = handle.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))? as u64;
+                let gid = self.resources.array_grad(id, source).map_err(kerr)?;
+                Ok(Some(vec![
+                    Token::live(Tensor::scalar_i64(gid as i64)),
+                    Token::live(Tensor::scalar_f32(0.0)),
+                ]))
+            }
+
+            // ---------------- Bookkeeping ----------------
+            OpKind::NoOp | OpKind::ControlTrigger => Ok(Some(vec![])),
+
+            // ---------------- Compute ----------------
+            op => {
+                let inputs: Vec<Token> = tokens
+                    .into_iter()
+                    .map(|s| {
+                        s.ok_or_else(|| {
+                            ExecError::Internal(format!("missing input of {}", node.name))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let values: Vec<&Tensor> = inputs.iter().map(|t| &t.value).collect();
+                let cm = self.device.cost_model();
+                let cost = op_cost(op, &values, cm);
+                let duration = cm.duration(cost);
+                if is_compute_op(op)
+                    && cm.profile().is_gpu
+                    && duration > std::time::Duration::ZERO
+                {
+                    // Submit to the device compute stream; completion is
+                    // asynchronous via callback (the executor treats the
+                    // kernel as done once enqueued, §4.4).
+                    let op = op.clone();
+                    let name = node.name.clone();
+                    let owned: Vec<Tensor> = inputs.iter().map(|t| t.value.clone()).collect();
+                    let sh = self.clone();
+                    self.device.submit_with_callback(
+                        StreamKind::Compute,
+                        Kernel {
+                            name: name.clone(),
+                            modeled: duration,
+                            wait_for: vec![],
+                            compute: Box::new(move || {
+                                let refs: Vec<&Tensor> = owned.iter().collect();
+                                execute_op(&op, &refs)
+                            }),
+                        },
+                        Box::new(move |result| match result {
+                            Ok(values) => {
+                                let mut outs = Vec::with_capacity(values.len());
+                                for v in values {
+                                    match sh.materialize(v) {
+                                        Ok(t) => outs.push(t),
+                                        Err(e) => {
+                                            sh.fail(e);
+                                            return;
+                                        }
+                                    }
+                                }
+                                sh.finish_op(f, i, node_id, outs, false);
+                            }
+                            Err(detail) => sh.fail(ExecError::Kernel { node: name, detail }),
+                        }),
+                    );
+                    Ok(None)
+                } else {
+                    let out = execute_op(op, &values).map_err(kerr)?;
+                    let mut outs = Vec::with_capacity(out.len());
+                    for v in out {
+                        outs.push(self.materialize(v)?);
+                    }
+                    Ok(Some(outs))
+                }
+            }
+        }
+    }
+
+    /// Wraps a freshly produced tensor in a token, charging device memory at
+    /// modeled size when appropriate.
+    fn materialize(&self, value: Tensor) -> Result<Token> {
+        let cm = self.device.cost_model();
+        if cm.profile().is_gpu {
+            let bytes = cm.scaled_bytes(value.shape(), value.dtype().size_of());
+            if should_charge(value.dtype(), bytes) {
+                let charge = Charge::new(self.device.allocator(), bytes)?;
+                return Ok(Token::live_charged(value, charge));
+            }
+        }
+        Ok(Token::live(value))
+    }
+
+    // ------------------------------------------------------------------
+    // Stack swapping (§5.3)
+    // ------------------------------------------------------------------
+
+    fn stack_push(&self, id: u64, index: i64, token: Token) -> std::result::Result<(), String> {
+        let (slot, waiters) = {
+            let mut stacks = self.resources.stacks.lock();
+            let stack: &mut StackRes =
+                stacks.get_mut(&id).ok_or_else(|| format!("no stack {id}"))?;
+            let cm = self.device.cost_model();
+            let swap_out = stack.swap
+                && cm.profile().is_gpu
+                && token.charge.as_ref().map(|c| c.bytes()).unwrap_or(0)
+                    >= self.options.min_swap_bytes
+                && self.device.allocator().pressure() > self.options.swap_threshold;
+            let slot = if swap_out {
+                let charge = token.charge.clone();
+                let bytes = charge.as_ref().map(|c| c.bytes()).unwrap_or(0);
+                // The D2H copy kernel owns the device charge; when the copy
+                // completes the charge drops and device memory is released.
+                let (ev, _slot) = self.device.submit(
+                    StreamKind::D2H,
+                    Kernel {
+                        name: format!("swap_out[{bytes}B]"),
+                        modeled: cm.copy_duration(bytes),
+                        wait_for: vec![],
+                        compute: Box::new(move || {
+                            drop(charge);
+                            Ok(vec![])
+                        }),
+                    },
+                );
+                if trace_enabled("stack") {
+                    eprintln!("SWAP_OUT {bytes}B pressure={:.3}", self.device.allocator().pressure());
+                }
+                StackSlot::Host { value: token.value, d2h_done: ev, is_dead: token.is_dead }
+            } else {
+                StackSlot::Device(token)
+            };
+            // Fill the slot, releasing any pops that were waiting on it. If
+            // pops were already parked, hand the value straight to them
+            // (the slot is consumed by its single pop).
+            match stack.slots.insert(index, SlotEntry::Ready(slot.clone())) {
+                Some(SlotEntry::Waiting(w)) if !w.is_empty() => {
+                    stack.slots.remove(&index);
+                    (slot, w)
+                }
+                _ => (slot, Vec::new()),
+            }
+        };
+        // Fire waiters outside the lock: they re-enter the executor.
+        for w in waiters {
+            w(slot.clone());
+        }
+        Ok(())
+    }
+
+    fn stack_pop(
+        self: &Arc<Self>,
+        f: FrameId,
+        i: usize,
+        node_id: NodeId,
+        id: u64,
+        index: i64,
+    ) -> Result<Option<Vec<Token>>> {
+        let ready = {
+            let mut stacks = self.resources.stacks.lock();
+            let stack = stacks.get_mut(&id).ok_or_else(|| ExecError::Kernel {
+                node: self.eg.graph.node(node_id).name.clone(),
+                detail: format!("no stack {id}"),
+            })?;
+            match stack.slots.get_mut(&index) {
+                Some(SlotEntry::Ready(_)) => {
+                    // Consume the slot: a saved value is popped exactly once
+                    // (per-iteration indices), and dropping the stored token
+                    // releases its device memory as backpropagation
+                    // progresses.
+                    match stack.slots.remove(&index) {
+                        Some(SlotEntry::Ready(slot)) => Some(slot),
+                        _ => unreachable!("checked Ready above"),
+                    }
+                }
+                Some(SlotEntry::Waiting(waiters)) => {
+                    // The forward push has not happened yet (it may be in a
+                    // still-running parallel iteration): park this pop.
+                    let sh = self.clone();
+                    waiters.push(Box::new(move |slot| sh.complete_pop(f, i, node_id, slot)));
+                    None
+                }
+                None => {
+                    let sh = self.clone();
+                    stack.slots.insert(
+                        index,
+                        SlotEntry::Waiting(vec![Box::new(move |slot| {
+                            sh.complete_pop(f, i, node_id, slot)
+                        })]),
+                    );
+                    None
+                }
+            }
+        };
+        match ready {
+            Some(slot) => {
+                self.complete_pop(f, i, node_id, slot);
+                Ok(None)
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Completes a pop once its slot value is available: directly for
+    /// device-resident values, via an H2D swap-in kernel for host-resident
+    /// ones.
+    fn complete_pop(self: &Arc<Self>, f: FrameId, i: usize, node_id: NodeId, slot: StackSlot) {
+        match slot {
+            StackSlot::Device(token) => {
+                let dead = token.is_dead;
+                self.finish_op(f, i, node_id, vec![token], dead);
+            }
+            StackSlot::Host { value, d2h_done, is_dead } => {
+                // Swap back in on the H2D stream; must wait for the
+                // outbound copy (cross-stream event dependency).
+                let cm = self.device.cost_model();
+                let bytes = cm.scaled_bytes(value.shape(), value.dtype().size_of());
+                let sh = self.clone();
+                self.device.submit_with_callback(
+                    StreamKind::H2D,
+                    Kernel {
+                        name: format!("swap_in[{bytes}B]"),
+                        modeled: cm.copy_duration(bytes),
+                        wait_for: vec![d2h_done],
+                        compute: Box::new(move || Ok(vec![value])),
+                    },
+                    Box::new(move |result| match result {
+                        Ok(mut values) => {
+                            let value = values.remove(0);
+                            match sh.materialize(value) {
+                                Ok(mut token) => {
+                                    token.is_dead = is_dead;
+                                    sh.finish_op(f, i, node_id, vec![token], is_dead);
+                                }
+                                Err(e) => sh.fail(e),
+                            }
+                        }
+                        Err(detail) => sh.fail(ExecError::Kernel {
+                            node: "StackPop/swap_in".into(),
+                            detail,
+                        }),
+                    }),
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Completion and propagation
+    // ------------------------------------------------------------------
+
+    /// Decrements counters for an op that was skipped due to a run error.
+    fn finish_noop(&self, f: FrameId, i: usize) {
+        let mut st = self.state.lock();
+        if let Some(frame) = st.frames.get_mut(&f) {
+            if let Some(it) = frame.iterations.get_mut(&i) {
+                it.outstanding_ops = it.outstanding_ops.saturating_sub(1);
+            }
+        }
+        drop(st);
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Propagates an op's outputs and advances completion state.
+    ///
+    /// `was_dead` is the op's deadness (drives control-edge deadness).
+    fn finish_op(
+        self: &Arc<Self>,
+        f: FrameId,
+        i: usize,
+        node_id: NodeId,
+        outputs: Vec<Token>,
+        was_dead: bool,
+    ) {
+        if self.is_failed() {
+            self.finish_noop(f, i);
+            return;
+        }
+        let node = self.eg.graph.node(node_id);
+        {
+            let mut st = self.state.lock();
+            match &node.op {
+                OpKind::NextIteration => {
+                    if let Some(token) = outputs.into_iter().next() {
+                        if token.is_dead {
+                            // Dead NextIterations are dropped: this is what
+                            // terminates the loop's dead wave.
+                        } else {
+                            let j = i + 1;
+                            let in_window = st.frames[&f].in_window(j);
+                            if in_window {
+                                self.ensure_iteration(&mut st, f, j);
+                                self.deliver_to_consumers(&mut st, f, j, node_id, 0, token);
+                            } else {
+                                // Beyond the parallel-iterations window:
+                                // defer until older iterations complete.
+                                st.frames
+                                    .get_mut(&f)
+                                    .expect("frame exists")
+                                    .deferred
+                                    .push_back(DeferredToken { iter: j, node: node_id, token });
+                            }
+                        }
+                    }
+                }
+                OpKind::Enter { frame: name, is_constant, parallel_iterations } => {
+                    if let Some(token) = outputs.into_iter().next() {
+                        let child = self.find_or_create_frame(
+                            &mut st,
+                            f,
+                            i,
+                            name.clone(),
+                            *parallel_iterations,
+                        );
+                        let fr = st.frames.get_mut(&child).expect("child frame exists");
+                        fr.enters_seen += 1;
+                        if *is_constant {
+                            fr.constants.push((node_id, token.clone()));
+                            let iters: Vec<usize> = fr.iterations.keys().copied().collect();
+                            for j in iters {
+                                self.deliver_to_consumers(&mut st, child, j, node_id, 0, token.clone());
+                            }
+                        } else {
+                            self.deliver_to_consumers(&mut st, child, 0, node_id, 0, token);
+                        }
+                        // The frame may already be able to complete (e.g. a
+                        // loop whose predicate was false at iteration 0 and
+                        // whose last Enter just arrived).
+                        self.maybe_advance(&mut st, child);
+                    }
+                }
+                OpKind::Exit => {
+                    if let Some(token) = outputs.into_iter().next() {
+                        let parent = st.frames[&f].parent;
+                        if let Some((pf, pi)) = parent {
+                            if token.is_dead {
+                                // Deferred: delivered once if the frame
+                                // never produces a live exit.
+                                let fr = st.frames.get_mut(&f).expect("frame exists");
+                                fr.dead_exits.insert(node_id);
+                            } else {
+                                let fr = st.frames.get_mut(&f).expect("frame exists");
+                                fr.live_exits.insert(node_id);
+                                self.deliver_to_consumers(&mut st, pf, pi, node_id, 0, token);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    for (port, token) in outputs.into_iter().enumerate() {
+                        self.deliver_to_consumers(&mut st, f, i, node_id, port, token);
+                    }
+                }
+            }
+            // Control successors observe this op's completion (and
+            // deadness) in the same frame and iteration.
+            if let Some(ctrls) = self.eg.control_consumers.get(&node_id) {
+                for dst in ctrls.clone() {
+                    self.deliver_control(&mut st, f, i, dst, was_dead);
+                }
+            }
+            // This op is no longer outstanding in its iteration.
+            if let Some(frame) = st.frames.get_mut(&f) {
+                if let Some(it) = frame.iterations.get_mut(&i) {
+                    it.outstanding_ops -= 1;
+                }
+            }
+            self.maybe_advance(&mut st, f);
+        }
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.complete(Ok(()));
+        }
+    }
+
+    fn find_or_create_frame(
+        &self,
+        st: &mut RunState,
+        parent: FrameId,
+        parent_iter: usize,
+        name: String,
+        parallel_iterations: usize,
+    ) -> FrameId {
+        let key = (parent, parent_iter, name.clone());
+        if let Some(&id) = st.frame_index.get(&key) {
+            return id;
+        }
+        let id = st.next_frame;
+        st.next_frame += 1;
+        let expected = self.eg.enter_counts.get(&name).copied().unwrap_or(0);
+        let parent_tag = st.frames[&parent].base_tag.clone();
+        let frame = FrameState::child(
+            name,
+            (parent, parent_iter),
+            &parent_tag,
+            parallel_iterations,
+            expected,
+        );
+        st.frames.insert(id, frame);
+        st.frame_index.insert(key, id);
+        if let Some(p) = st.frames.get_mut(&parent) {
+            if let Some(it) = p.iterations.get_mut(&parent_iter) {
+                it.outstanding_frames += 1;
+            }
+        }
+        id
+    }
+
+    /// Advances the iteration window of `f`, releasing deferred tokens, and
+    /// completes the frame when fully quiescent.
+    fn maybe_advance(self: &Arc<Self>, st: &mut RunState, f: FrameId) {
+        if f == ROOT_FRAME {
+            return;
+        }
+        loop {
+            let (advance, front) = {
+                let fr = match st.frames.get(&f) {
+                    Some(fr) => fr,
+                    None => return,
+                };
+                if fr.front >= fr.started {
+                    (false, fr.front)
+                } else {
+                    let enters_ok = fr.front > 0 || fr.enters_seen == fr.expected_enters;
+                    let it_done = fr
+                        .iterations
+                        .get(&fr.front)
+                        .map(|it| it.outstanding_ops == 0 && it.outstanding_frames == 0)
+                        .unwrap_or(true);
+                    (enters_ok && it_done, fr.front)
+                }
+            };
+            if !advance {
+                break;
+            }
+            {
+                let fr = st.frames.get_mut(&f).expect("frame exists");
+                fr.iterations.remove(&front);
+                fr.front = front + 1;
+            }
+            // Release deferred tokens now inside the window.
+            loop {
+                let next = {
+                    let fr = st.frames.get_mut(&f).expect("frame exists");
+                    let pos = fr.deferred.iter().position(|d| fr.in_window(d.iter));
+                    pos.map(|p| fr.deferred.remove(p).expect("position valid"))
+                };
+                match next {
+                    Some(d) => {
+                        self.ensure_iteration(st, f, d.iter);
+                        self.deliver_to_consumers(st, f, d.iter, d.node, 0, d.token);
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        // Frame completion.
+        let complete = {
+            let fr = match st.frames.get(&f) {
+                Some(fr) => fr,
+                None => return,
+            };
+            !fr.done
+                && fr.front >= fr.started
+                && fr.deferred.is_empty()
+                && fr.enters_seen == fr.expected_enters
+                && fr.iterations.values().all(|it| it.outstanding_ops == 0 && it.outstanding_frames == 0)
+        };
+        if !complete {
+            return;
+        }
+        let (parent, dead_exits) = {
+            let fr = st.frames.get_mut(&f).expect("frame exists");
+            fr.done = true;
+            let dead: Vec<NodeId> =
+                fr.dead_exits.difference(&fr.live_exits).copied().collect();
+            (fr.parent, dead)
+        };
+        if let Some((pf, pi)) = parent {
+            // Deliver one dead token per never-live exit (nested deadness).
+            for exit in dead_exits {
+                self.deliver_to_consumers(st, pf, pi, exit, 0, Token::dead());
+            }
+            // Drop the frame and release the parent's hold.
+            let fr = st.frames.remove(&f).expect("frame exists");
+            st.frame_index.remove(&(pf, pi, fr.name));
+            if let Some(p) = st.frames.get_mut(&pf) {
+                if let Some(it) = p.iterations.get_mut(&pi) {
+                    it.outstanding_frames -= 1;
+                }
+            }
+            self.maybe_advance(st, pf);
+        }
+    }
+}

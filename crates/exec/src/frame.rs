@@ -1,0 +1,195 @@
+//! Runtime frames and iterations: the dynamic execution contexts of §4.1.
+
+use crate::token::Token;
+use dcf_graph::NodeId;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Identifier of a dynamically created frame instance.
+pub(crate) type FrameId = u64;
+
+/// The root frame's id.
+pub(crate) const ROOT_FRAME: FrameId = 0;
+
+/// Per-(node, iteration) activation state.
+#[derive(Debug)]
+pub(crate) struct NodeInstance {
+    /// Buffered data input tokens, indexed by input slot.
+    pub data: Vec<Option<Token>>,
+    /// Member data inputs still missing.
+    pub pending_data: usize,
+    /// Member control inputs still missing.
+    pub pending_control: usize,
+    /// A dead data or control input has arrived.
+    pub any_dead: bool,
+    /// Merge bookkeeping: total arrivals so far.
+    pub merge_arrivals: usize,
+    /// Merge bookkeeping: dead arrivals so far.
+    pub merge_dead: usize,
+    /// The op instance has been scheduled (at-most-once execution).
+    pub scheduled: bool,
+}
+
+impl NodeInstance {
+    pub(crate) fn new(slots: usize, pending_data: usize, pending_control: usize) -> NodeInstance {
+        NodeInstance {
+            data: (0..slots).map(|_| None).collect(),
+            pending_data,
+            pending_control,
+            any_dead: false,
+            merge_arrivals: 0,
+            merge_dead: 0,
+            scheduled: false,
+        }
+    }
+}
+
+/// State of one loop iteration within a frame.
+#[derive(Debug, Default)]
+pub(crate) struct IterationState {
+    /// Activation state per node id.
+    pub nodes: HashMap<usize, NodeInstance>,
+    /// Ops scheduled in this iteration whose outputs have not yet been
+    /// propagated.
+    pub outstanding_ops: usize,
+    /// Child frames created in this iteration that have not yet completed.
+    pub outstanding_frames: usize,
+}
+
+/// A deferred `NextIteration` token: target iteration was beyond the
+/// parallel-iterations window when produced.
+#[derive(Debug)]
+pub(crate) struct DeferredToken {
+    pub iter: usize,
+    pub node: NodeId,
+    pub token: Token,
+}
+
+/// A dynamically allocated execution frame (one `while_loop` activation).
+#[derive(Debug)]
+pub(crate) struct FrameState {
+    /// Static frame name (from the `Enter` attribute).
+    pub name: String,
+    /// Parent frame and the parent iteration that spawned this frame.
+    pub parent: Option<(FrameId, usize)>,
+    /// The §4.3 parallelism knob for this frame.
+    pub parallel_iterations: usize,
+    /// Live iteration states, keyed by iteration number.
+    pub iterations: BTreeMap<usize, IterationState>,
+    /// Oldest incomplete iteration.
+    pub front: usize,
+    /// Number of iterations ever started (max started index + 1).
+    pub started: usize,
+    /// NextIteration tokens waiting for the window to advance.
+    pub deferred: VecDeque<DeferredToken>,
+    /// Total `Enter` tokens this frame will receive.
+    pub expected_enters: usize,
+    /// `Enter` tokens received so far.
+    pub enters_seen: usize,
+    /// Loop-constant tokens, replayed into every iteration: (enter node,
+    /// token).
+    pub constants: Vec<(NodeId, Token)>,
+    /// Exit nodes that have produced only dead tokens so far.
+    pub dead_exits: HashSet<NodeId>,
+    /// Exit nodes that have delivered a live value.
+    pub live_exits: HashSet<NodeId>,
+    /// Static tag prefix for rendezvous keys; full tag is
+    /// `"{base_tag};{iter}"`.
+    pub base_tag: String,
+    /// Set when the frame has completed (for debug assertions).
+    pub done: bool,
+}
+
+impl FrameState {
+    /// Creates the root frame (iteration 0 only, no parent).
+    pub(crate) fn root() -> FrameState {
+        let mut iterations = BTreeMap::new();
+        iterations.insert(0, IterationState::default());
+        FrameState {
+            name: "_root".into(),
+            parent: None,
+            parallel_iterations: 1,
+            iterations,
+            front: 0,
+            started: 1,
+            deferred: VecDeque::new(),
+            expected_enters: 0,
+            enters_seen: 0,
+            constants: Vec::new(),
+            dead_exits: HashSet::new(),
+            live_exits: HashSet::new(),
+            base_tag: "root".into(),
+            done: false,
+        }
+    }
+
+    /// Creates a child frame.
+    pub(crate) fn child(
+        name: String,
+        parent: (FrameId, usize),
+        parent_base_tag: &str,
+        parallel_iterations: usize,
+        expected_enters: usize,
+    ) -> FrameState {
+        let base_tag = format!("{};{}/{}", parent_base_tag, parent.1, name);
+        let mut iterations = BTreeMap::new();
+        iterations.insert(0, IterationState::default());
+        FrameState {
+            name,
+            parent: Some(parent),
+            parallel_iterations: parallel_iterations.max(1),
+            iterations,
+            front: 0,
+            started: 1,
+            deferred: VecDeque::new(),
+            expected_enters,
+            enters_seen: 0,
+            constants: Vec::new(),
+            dead_exits: HashSet::new(),
+            live_exits: HashSet::new(),
+            base_tag,
+            done: false,
+        }
+    }
+
+    /// The dynamic tag of iteration `iter` in this frame (rendezvous keys).
+    pub(crate) fn tag(&self, iter: usize) -> String {
+        format!("{};{}", self.base_tag, iter)
+    }
+
+    /// `true` if iteration `iter` is inside the parallel window.
+    pub(crate) fn in_window(&self, iter: usize) -> bool {
+        iter < self.front + self.parallel_iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_hierarchical() {
+        let root = FrameState::root();
+        assert_eq!(root.tag(0), "root;0");
+        let child = FrameState::child("loopA".into(), (ROOT_FRAME, 0), &root.base_tag, 32, 2);
+        assert_eq!(child.tag(3), "root;0/loopA;3");
+        let grand = FrameState::child("loopB".into(), (1, 3), &child.base_tag, 32, 1);
+        assert_eq!(grand.tag(0), "root;0/loopA;3/loopB;0");
+    }
+
+    #[test]
+    fn window_logic() {
+        let mut f = FrameState::child("l".into(), (ROOT_FRAME, 0), "root", 4, 1);
+        assert!(f.in_window(0));
+        assert!(f.in_window(3));
+        assert!(!f.in_window(4));
+        f.front = 2;
+        assert!(f.in_window(5));
+        assert!(!f.in_window(6));
+    }
+
+    #[test]
+    fn parallel_iterations_clamped_to_one() {
+        let f = FrameState::child("l".into(), (ROOT_FRAME, 0), "root", 0, 1);
+        assert_eq!(f.parallel_iterations, 1);
+    }
+}

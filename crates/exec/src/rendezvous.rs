@@ -1,0 +1,178 @@
+//! The Send/Recv rendezvous (§3).
+//!
+//! `Send(t, k)` publishes tensor `t` under rendezvous key `k`; `Recv(k)`
+//! pulls it, asynchronously. Keys combine the static edge name with the
+//! dynamic frame tag, so each loop iteration's transfer rendezvouses
+//! independently (§3: "the unique names and rendezvous keys must be
+//! generated dynamically to distinguish multiple invocations of the same
+//! operations"). Deadness crosses the rendezvous too, implementing the
+//! distributed is_dead propagation of §4.4.
+
+use crate::token::Token;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Callback invoked when the value for a pending `Recv` arrives.
+pub type RecvCallback = Box<dyn FnOnce(Token) + Send>;
+
+/// Abstract rendezvous between device executors.
+pub trait Rendezvous: Send + Sync {
+    /// Publishes `token` under `key`. Never blocks.
+    fn send(&self, key: String, token: Token);
+    /// Requests the value for `key`; `callback` fires (possibly immediately,
+    /// possibly on the sender's thread) once the value is available.
+    fn recv_async(&self, key: String, callback: RecvCallback);
+}
+
+enum Slot {
+    Value(Token),
+    Waiting(Vec<RecvCallback>),
+}
+
+/// A process-local rendezvous table.
+///
+/// `dcf-runtime` layers simulated network latency on top of this for
+/// cross-machine edges.
+#[derive(Clone, Default)]
+pub struct InMemoryRendezvous {
+    table: Arc<Mutex<HashMap<String, Slot>>>,
+}
+
+impl InMemoryRendezvous {
+    /// Creates an empty rendezvous.
+    pub fn new() -> InMemoryRendezvous {
+        InMemoryRendezvous::default()
+    }
+
+    /// Number of published-but-unconsumed values (diagnostics).
+    pub fn pending_values(&self) -> usize {
+        self.table
+            .lock()
+            .values()
+            .filter(|s| matches!(s, Slot::Value(_)))
+            .count()
+    }
+
+    /// Clears all state (between runs).
+    pub fn clear(&self) {
+        self.table.lock().clear();
+    }
+}
+
+impl Rendezvous for InMemoryRendezvous {
+    fn send(&self, key: String, token: Token) {
+        let waiters = {
+            let mut table = self.table.lock();
+            match table.remove(&key) {
+                None => {
+                    table.insert(key, Slot::Value(token));
+                    return;
+                }
+                Some(Slot::Waiting(w)) => w,
+                Some(Slot::Value(_)) => {
+                    // Double send on one key: a graph bug; keep the first.
+                    table.insert(key, Slot::Value(token));
+                    return;
+                }
+            }
+        };
+        // Invoke callbacks outside the lock. Multiple waiters each get a
+        // clone (only ever one in practice).
+        let n = waiters.len();
+        for (i, cb) in waiters.into_iter().enumerate() {
+            if i + 1 == n {
+                cb(token);
+                break;
+            }
+            cb(token.clone());
+        }
+    }
+
+    fn recv_async(&self, key: String, callback: RecvCallback) {
+        let value = {
+            let mut table = self.table.lock();
+            match table.remove(&key) {
+                Some(Slot::Value(t)) => Some(t),
+                Some(Slot::Waiting(mut w)) => {
+                    w.push(callback);
+                    table.insert(key, Slot::Waiting(w));
+                    return;
+                }
+                None => {
+                    table.insert(key, Slot::Waiting(vec![callback]));
+                    return;
+                }
+            }
+        };
+        if let Some(t) = value {
+            callback(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_tensor::Tensor;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn send_then_recv() {
+        let r = InMemoryRendezvous::new();
+        r.send("k1".into(), Token::live(Tensor::scalar_f32(5.0)));
+        assert_eq!(r.pending_values(), 1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        r.recv_async(
+            "k1".into(),
+            Box::new(move |t| {
+                assert_eq!(t.value.scalar_as_f32().unwrap(), 5.0);
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(r.pending_values(), 0);
+    }
+
+    #[test]
+    fn recv_then_send() {
+        let r = InMemoryRendezvous::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        r.recv_async(
+            "k1".into(),
+            Box::new(move |t| {
+                assert!(t.is_dead);
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        r.send("k1".into(), Token::dead());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let r = InMemoryRendezvous::new();
+        r.send("a".into(), Token::live(Tensor::scalar_i64(1)));
+        r.send("b".into(), Token::live(Tensor::scalar_i64(2)));
+        let got = Arc::new(Mutex::new(Vec::new()));
+        for key in ["b", "a"] {
+            let g = got.clone();
+            r.recv_async(
+                key.into(),
+                Box::new(move |t| g.lock().push(t.value.scalar_as_i64().unwrap())),
+            );
+        }
+        assert_eq!(*got.lock(), vec![2, 1]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let r = InMemoryRendezvous::new();
+        r.send("x".into(), Token::dead());
+        r.clear();
+        assert_eq!(r.pending_values(), 0);
+    }
+}

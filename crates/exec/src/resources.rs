@@ -1,0 +1,364 @@
+//! Stateful resources: variables, stacks, and TensorArrays.
+
+use crate::token::Token;
+use dcf_device::Event;
+use dcf_tensor::{DType, Tensor};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a saved stack slot currently resides (§5.3 memory swapping).
+#[derive(Clone)]
+pub(crate) enum StackSlot {
+    /// Resident in device memory; the token's charge holds the bytes.
+    Device(Token),
+    /// Swapped out to host memory. `d2h_done` is the copy kernel's
+    /// completion event — a swap-in must wait for it.
+    Host {
+        /// The saved value (host-resident, no device charge).
+        value: Tensor,
+        /// Completion of the device-to-host copy.
+        d2h_done: Event,
+        /// Whether the token was dead (preserved across the swap).
+        is_dead: bool,
+    },
+}
+
+/// Callback invoked when a waited-on slot is filled.
+pub(crate) type SlotWaiter = Box<dyn FnOnce(StackSlot) + Send>;
+
+/// A slot is either filled or has pops waiting on it.
+///
+/// Gradient-loop pops can race ahead of forward pushes (the gradient loop
+/// starts as soon as the loop exits fire, while inner iterations may still
+/// be completing asynchronously); a pop of a not-yet-filled slot therefore
+/// *waits*, exactly like a Recv at the rendezvous. This is the §5.1
+/// ordering requirement between stack operations, expressed in dataflow
+/// form. Slots are read non-destructively.
+pub(crate) enum SlotEntry {
+    /// The push happened; pops read (and clone) the slot.
+    Ready(StackSlot),
+    /// Pops arrived first and are parked here.
+    Waiting(Vec<SlotWaiter>),
+}
+
+pub(crate) struct StackRes {
+    pub swap: bool,
+    pub slots: HashMap<i64, SlotEntry>,
+}
+
+pub(crate) struct ArrayRes {
+    pub dtype: DType,
+    pub accumulate: bool,
+    pub elems: Vec<Option<Token>>,
+    /// For gradient arrays: the forward array supplying element shapes for
+    /// never-written locations.
+    pub source: Option<u64>,
+}
+
+/// Holds all stateful resources of a session: variables persist across
+/// `run` calls; stacks and TensorArrays are per-run transients.
+///
+/// One manager is shared by every device executor in a session, making
+/// resource handles globally addressable (handles are `i64` scalars minted
+/// here).
+#[derive(Default)]
+pub struct ResourceManager {
+    vars: Mutex<HashMap<String, Tensor>>,
+    pub(crate) stacks: Mutex<HashMap<u64, StackRes>>,
+    pub(crate) arrays: Mutex<HashMap<u64, ArrayRes>>,
+    grad_map: Mutex<HashMap<(u64, String), u64>>,
+    next_id: AtomicU64,
+}
+
+impl ResourceManager {
+    /// Creates an empty manager.
+    pub fn new() -> Arc<ResourceManager> {
+        Arc::new(ResourceManager::default())
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    // ------------------------------------------------------------------
+    // Variables
+    // ------------------------------------------------------------------
+
+    /// Reads a variable, installing `init` on first access.
+    pub fn variable_read(&self, name: &str, init: &Tensor) -> Tensor {
+        self.vars.lock().entry(name.to_owned()).or_insert_with(|| init.clone()).clone()
+    }
+
+    /// Overwrites a variable; creates it if missing.
+    pub fn assign(&self, name: &str, value: Tensor) -> Tensor {
+        self.vars.lock().insert(name.to_owned(), value.clone());
+        value
+    }
+
+    /// Adds `delta` to a variable, returning the new value.
+    pub fn assign_add(&self, name: &str, delta: &Tensor) -> Result<Tensor, String> {
+        let mut vars = self.vars.lock();
+        let cur = vars
+            .get(name)
+            .ok_or_else(|| format!("assign_add to uninitialized variable {name}"))?;
+        let new = cur.add(delta).map_err(|e| e.to_string())?;
+        vars.insert(name.to_owned(), new.clone());
+        Ok(new)
+    }
+
+    /// Subtracts `delta` from a variable, returning the new value.
+    pub fn assign_sub(&self, name: &str, delta: &Tensor) -> Result<Tensor, String> {
+        let mut vars = self.vars.lock();
+        let cur = vars
+            .get(name)
+            .ok_or_else(|| format!("assign_sub to uninitialized variable {name}"))?;
+        let new = cur.sub(delta).map_err(|e| e.to_string())?;
+        vars.insert(name.to_owned(), new.clone());
+        Ok(new)
+    }
+
+    /// Returns a variable's current value, if initialized.
+    pub fn variable_value(&self, name: &str) -> Option<Tensor> {
+        self.vars.lock().get(name).cloned()
+    }
+
+    // ------------------------------------------------------------------
+    // Stacks (§5.1 state saving)
+    // ------------------------------------------------------------------
+
+    /// Creates a stack; returns its handle.
+    pub fn stack_create(&self, swap: bool) -> u64 {
+        let id = self.fresh_id();
+        self.stacks.lock().insert(id, StackRes { swap, slots: HashMap::new() });
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // TensorArrays (§5.2)
+    // ------------------------------------------------------------------
+
+    /// Creates a TensorArray with `size` (possibly 0) initial slots.
+    pub fn array_create(&self, dtype: DType, accumulate: bool, size: usize) -> u64 {
+        let id = self.fresh_id();
+        self.arrays.lock().insert(
+            id,
+            ArrayRes { dtype, accumulate, elems: vec![None; size], source: None },
+        );
+        id
+    }
+
+    /// Writes `token` at `index`, enforcing write-once semantics for
+    /// forward arrays and accumulating for gradient arrays.
+    pub fn array_write(&self, id: u64, index: i64, token: Token) -> Result<(), String> {
+        let mut arrays = self.arrays.lock();
+        let arr = arrays.get_mut(&id).ok_or_else(|| format!("no TensorArray {id}"))?;
+        if index < 0 {
+            return Err(format!("TensorArray write at negative index {index}"));
+        }
+        let i = index as usize;
+        if i >= arr.elems.len() {
+            arr.elems.resize(i + 1, None);
+        }
+        match (&arr.elems[i], arr.accumulate) {
+            (Some(old), true) => {
+                let sum = old.value.add(&token.value).map_err(|e| e.to_string())?;
+                arr.elems[i] = Some(Token { value: sum, is_dead: false, charge: token.charge });
+            }
+            (Some(_), false) => {
+                return Err(format!(
+                    "TensorArray {id} location {i} written twice (write-once in forward arrays)"
+                ));
+            }
+            (None, _) => arr.elems[i] = Some(token),
+        }
+        Ok(())
+    }
+
+    /// Reads the element at `index`.
+    ///
+    /// For gradient arrays, a never-written location reads as zeros shaped
+    /// like the corresponding forward element (that forward value received
+    /// no gradient).
+    pub fn array_read(&self, id: u64, index: i64) -> Result<Tensor, String> {
+        let arrays = self.arrays.lock();
+        let arr = arrays.get(&id).ok_or_else(|| format!("no TensorArray {id}"))?;
+        if index < 0 || index as usize >= arr.elems.len() {
+            return Err(format!(
+                "TensorArray {id} read at {index} out of range (len {})",
+                arr.elems.len()
+            ));
+        }
+        if let Some(t) = &arr.elems[index as usize] {
+            return Ok(t.value.clone());
+        }
+        if let Some(src) = arr.source {
+            if let Some(srcarr) = arrays.get(&src) {
+                if let Some(Some(fwd)) = srcarr.elems.get(index as usize) {
+                    return Ok(Tensor::zeros(fwd.value.dtype(), fwd.value.shape().dims()));
+                }
+            }
+        }
+        Err(format!("TensorArray {id} read of unwritten location {index}"))
+    }
+
+    /// Stacks all elements into one tensor.
+    ///
+    /// Packing copies the elements into one contiguous buffer, so the
+    /// per-element device charges are released (the values stay readable
+    /// for gradient shape fallbacks).
+    pub fn array_pack(&self, id: u64) -> Result<Tensor, String> {
+        let mut arrays = self.arrays.lock();
+        let arr = arrays.get_mut(&id).ok_or_else(|| format!("no TensorArray {id}"))?;
+        let mut elems = Vec::with_capacity(arr.elems.len());
+        for (i, e) in arr.elems.iter().enumerate() {
+            match e {
+                Some(t) => elems.push(t.value.clone()),
+                None => return Err(format!("TensorArray {id} pack with hole at {i}")),
+            }
+        }
+        for e in arr.elems.iter_mut().flatten() {
+            e.charge = None;
+        }
+        if elems.is_empty() {
+            return Ok(Tensor::zeros(arr.dtype, &[0]));
+        }
+        Tensor::stack(&elems).map_err(|e| e.to_string())
+    }
+
+    /// Replaces the array contents with the leading-axis slices of `value`.
+    pub fn array_unpack(&self, id: u64, value: &Tensor, charge: Option<Arc<crate::token::Charge>>) -> Result<(), String> {
+        let rows = value.unstack().map_err(|e| e.to_string())?;
+        let mut arrays = self.arrays.lock();
+        let arr = arrays.get_mut(&id).ok_or_else(|| format!("no TensorArray {id}"))?;
+        arr.elems = rows
+            .into_iter()
+            .map(|v| Some(Token { value: v, is_dead: false, charge: charge.clone() }))
+            .collect();
+        Ok(())
+    }
+
+    /// Number of elements.
+    pub fn array_size(&self, id: u64) -> Result<i64, String> {
+        let arrays = self.arrays.lock();
+        let arr = arrays.get(&id).ok_or_else(|| format!("no TensorArray {id}"))?;
+        Ok(arr.elems.len() as i64)
+    }
+
+    /// Looks up or creates the gradient array for `(id, source)` (§5.2).
+    ///
+    /// The gradient array has the same length as the forward array,
+    /// accumulates writes, and falls back to the forward array for element
+    /// shapes.
+    pub fn array_grad(&self, id: u64, source: &str) -> Result<u64, String> {
+        let mut grad_map = self.grad_map.lock();
+        if let Some(&g) = grad_map.get(&(id, source.to_owned())) {
+            return Ok(g);
+        }
+        let mut arrays = self.arrays.lock();
+        let (dtype, len) = {
+            let arr = arrays.get(&id).ok_or_else(|| format!("no TensorArray {id}"))?;
+            (arr.dtype, arr.elems.len())
+        };
+        let gid = self.fresh_id();
+        arrays.insert(
+            gid,
+            ArrayRes { dtype, accumulate: true, elems: vec![None; len], source: Some(id) },
+        );
+        grad_map.insert((id, source.to_owned()), gid);
+        Ok(gid)
+    }
+
+    /// Drops all per-run transients (stacks, arrays); variables persist.
+    pub fn clear_transients(&self) {
+        self.stacks.lock().clear();
+        self.arrays.lock().clear();
+        self.grad_map.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_persist_and_update() {
+        let rm = ResourceManager::new();
+        let v = rm.variable_read("w", &Tensor::scalar_f32(1.0));
+        assert_eq!(v.scalar_as_f32().unwrap(), 1.0);
+        // Init only applies once.
+        let v = rm.variable_read("w", &Tensor::scalar_f32(9.0));
+        assert_eq!(v.scalar_as_f32().unwrap(), 1.0);
+        rm.assign_add("w", &Tensor::scalar_f32(2.0)).unwrap();
+        assert_eq!(rm.variable_value("w").unwrap().scalar_as_f32().unwrap(), 3.0);
+        rm.assign_sub("w", &Tensor::scalar_f32(1.0)).unwrap();
+        assert_eq!(rm.variable_value("w").unwrap().scalar_as_f32().unwrap(), 2.0);
+        assert!(rm.assign_add("missing", &Tensor::scalar_f32(0.0)).is_err());
+    }
+
+    #[test]
+    fn array_write_once_enforced() {
+        let rm = ResourceManager::new();
+        let id = rm.array_create(DType::F32, false, 2);
+        rm.array_write(id, 0, Token::live(Tensor::scalar_f32(1.0))).unwrap();
+        assert!(rm.array_write(id, 0, Token::live(Tensor::scalar_f32(2.0))).is_err());
+        assert!(rm.array_write(id, -1, Token::live(Tensor::scalar_f32(2.0))).is_err());
+        // Arrays grow on demand.
+        rm.array_write(id, 5, Token::live(Tensor::scalar_f32(9.0))).unwrap();
+        assert_eq!(rm.array_size(id).unwrap(), 6);
+    }
+
+    #[test]
+    fn gradient_arrays_accumulate() {
+        let rm = ResourceManager::new();
+        let fwd = rm.array_create(DType::F32, false, 2);
+        rm.array_write(fwd, 0, Token::live(Tensor::ones(&[2]))).unwrap();
+        rm.array_write(fwd, 1, Token::live(Tensor::ones(&[2]))).unwrap();
+        let g = rm.array_grad(fwd, "grad").unwrap();
+        // Same handle on repeat lookup.
+        assert_eq!(rm.array_grad(fwd, "grad").unwrap(), g);
+        // Different source gives a different array.
+        assert_ne!(rm.array_grad(fwd, "grad2").unwrap(), g);
+        rm.array_write(g, 0, Token::live(Tensor::ones(&[2]))).unwrap();
+        rm.array_write(g, 0, Token::live(Tensor::ones(&[2]))).unwrap();
+        assert_eq!(rm.array_read(g, 0).unwrap().as_f32_slice().unwrap(), &[2.0, 2.0]);
+        // Unwritten grad location reads as zeros shaped like the forward.
+        assert_eq!(rm.array_read(g, 1).unwrap().as_f32_slice().unwrap(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let rm = ResourceManager::new();
+        let id = rm.array_create(DType::F32, false, 0);
+        let x = Tensor::from_vec_f32(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        rm.array_unpack(id, &x, None).unwrap();
+        assert_eq!(rm.array_size(id).unwrap(), 2);
+        let packed = rm.array_pack(id).unwrap();
+        assert!(packed.value_eq(&x));
+        assert_eq!(rm.array_read(id, 1).unwrap().as_f32_slice().unwrap(), &[3.0, 4.0]);
+        assert!(rm.array_read(id, 2).is_err());
+    }
+
+    #[test]
+    fn pack_reports_holes_and_empty() {
+        let rm = ResourceManager::new();
+        let id = rm.array_create(DType::F32, false, 2);
+        rm.array_write(id, 1, Token::live(Tensor::scalar_f32(5.0))).unwrap();
+        assert!(rm.array_pack(id).is_err());
+        let empty = rm.array_create(DType::F32, false, 0);
+        assert_eq!(rm.array_pack(empty).unwrap().shape().dims(), &[0]);
+    }
+
+    #[test]
+    fn transients_cleared_variables_kept() {
+        let rm = ResourceManager::new();
+        rm.assign("w", Tensor::scalar_f32(5.0));
+        let sid = rm.stack_create(false);
+        let aid = rm.array_create(DType::F32, false, 1);
+        rm.clear_transients();
+        assert!(rm.variable_value("w").is_some());
+        assert!(rm.array_size(aid).is_err());
+        assert!(!rm.stacks.lock().contains_key(&sid));
+    }
+}

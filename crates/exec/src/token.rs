@@ -1,0 +1,228 @@
+//! Tokens: the values that flow between operations at run time.
+
+use dcf_device::{MemoryError, TrackingAllocator};
+use dcf_tensor::{Tensor, TensorError};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced by graph execution.
+#[derive(Clone, Debug)]
+pub enum ExecError {
+    /// A kernel failed (dtype/shape error at run time, bad index, ...).
+    Kernel {
+        /// Node name.
+        node: String,
+        /// Failure description.
+        detail: String,
+    },
+    /// Device memory exhausted (the structured OOM of Table 1).
+    OutOfMemory(MemoryError),
+    /// A fed placeholder was missing or a fetch was invalid.
+    BadFeedOrFetch(String),
+    /// A fetched tensor was dead (its producing branch was not taken).
+    DeadFetch(String),
+    /// Internal invariant violation; indicates a bug or a malformed graph.
+    Internal(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Kernel { node, detail } => write!(f, "kernel {node}: {detail}"),
+            ExecError::OutOfMemory(e) => write!(f, "{e}"),
+            ExecError::BadFeedOrFetch(s) => write!(f, "bad feed/fetch: {s}"),
+            ExecError::DeadFetch(s) => write!(f, "fetched dead tensor: {s}"),
+            ExecError::Internal(s) => write!(f, "internal: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<MemoryError> for ExecError {
+    fn from(e: MemoryError) -> Self {
+        ExecError::OutOfMemory(e)
+    }
+}
+
+impl From<TensorError> for ExecError {
+    fn from(e: TensorError) -> Self {
+        ExecError::Kernel { node: "<tensor>".into(), detail: e.to_string() }
+    }
+}
+
+/// A modeled-memory charge: holds `bytes` against an allocator until
+/// dropped.
+///
+/// Tokens carry an `Arc<Charge>`; forwarding operations (Switch, Merge,
+/// Enter, ...) clone the Arc rather than re-charging, so a tensor's modeled
+/// residency ends exactly when its last in-flight reference is gone —
+/// mirroring buffer refcounting in the paper's runtime.
+pub struct Charge {
+    allocator: TrackingAllocator,
+    bytes: usize,
+}
+
+impl Charge {
+    /// Charges `bytes` against `allocator`, failing on OOM.
+    pub fn new(allocator: &TrackingAllocator, bytes: usize) -> Result<Arc<Charge>, MemoryError> {
+        allocator.alloc(bytes)?;
+        Ok(Arc::new(Charge { allocator: allocator.clone(), bytes }))
+    }
+
+    /// The charged size in (modeled) bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for Charge {
+    fn drop(&mut self) {
+        self.allocator.free(self.bytes);
+    }
+}
+
+impl fmt::Debug for Charge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Charge({} B)", self.bytes)
+    }
+}
+
+/// Fans an error out to every executor participating in a run.
+///
+/// When one partition fails (OOM, kernel error), its peers may be blocked
+/// waiting on rendezvous messages that will never arrive; the session wires
+/// all executors of a run to one token so the first failure aborts all of
+/// them.
+#[derive(Default)]
+pub struct CancelToken {
+    inner: parking_lot::Mutex<CancelInner>,
+}
+
+#[derive(Default)]
+struct CancelInner {
+    fired: Option<ExecError>,
+    subscribers: Vec<Box<dyn FnOnce(ExecError) + Send>>,
+}
+
+impl CancelToken {
+    /// Creates an unfired token.
+    pub fn new() -> Arc<CancelToken> {
+        Arc::new(CancelToken::default())
+    }
+
+    /// Registers a callback invoked on the first failure (immediately if
+    /// one already fired).
+    pub fn subscribe(&self, cb: Box<dyn FnOnce(ExecError) + Send>) {
+        let fired = {
+            let mut inner = self.inner.lock();
+            match &inner.fired {
+                Some(e) => Some(e.clone()),
+                None => {
+                    inner.subscribers.push(cb);
+                    return;
+                }
+            }
+        };
+        if let Some(e) = fired {
+            cb(e);
+        }
+    }
+
+    /// Fires the token with `err`; only the first error wins.
+    pub fn fire(&self, err: ExecError) {
+        let subs = {
+            let mut inner = self.inner.lock();
+            if inner.fired.is_some() {
+                return;
+            }
+            inner.fired = Some(err.clone());
+            std::mem::take(&mut inner.subscribers)
+        };
+        for cb in subs {
+            cb(err.clone());
+        }
+    }
+
+    /// Returns the error the token fired with, if any.
+    pub fn error(&self) -> Option<ExecError> {
+        self.inner.lock().fired.clone()
+    }
+}
+
+/// A value flowing along a graph edge: the paper's *(value, is_dead, tag)*
+/// tuple. The tag is implicit — it is the (frame, iteration) the executor
+/// delivers the token within.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The tensor value. Dead tokens carry a placeholder value.
+    pub value: Tensor,
+    /// `true` if this token is on an untaken conditional path (§4.3).
+    pub is_dead: bool,
+    /// Modeled memory charge keeping the value resident on its device.
+    pub charge: Option<Arc<Charge>>,
+}
+
+impl Token {
+    /// Creates a live token without a memory charge (host/bookkeeping
+    /// values).
+    pub fn live(value: Tensor) -> Token {
+        Token { value, is_dead: false, charge: None }
+    }
+
+    /// Creates a live token carrying a charge.
+    pub fn live_charged(value: Tensor, charge: Arc<Charge>) -> Token {
+        Token { value, is_dead: false, charge: Some(charge) }
+    }
+
+    /// Creates a dead token.
+    pub fn dead() -> Token {
+        Token { value: Tensor::scalar_f32(0.0), is_dead: true, charge: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_lifecycle_frees_on_drop() {
+        let alloc = TrackingAllocator::new("gpu:0", 1000);
+        let c = Charge::new(&alloc, 400).unwrap();
+        assert_eq!(alloc.in_use(), 400);
+        assert_eq!(c.bytes(), 400);
+        let c2 = c.clone();
+        drop(c);
+        assert_eq!(alloc.in_use(), 400, "clone keeps the charge alive");
+        drop(c2);
+        assert_eq!(alloc.in_use(), 0);
+    }
+
+    #[test]
+    fn charge_oom_propagates() {
+        let alloc = TrackingAllocator::new("gpu:0", 100);
+        assert!(Charge::new(&alloc, 200).is_err());
+        assert_eq!(alloc.in_use(), 0);
+    }
+
+    #[test]
+    fn token_constructors() {
+        let t = Token::live(Tensor::scalar_i64(7));
+        assert!(!t.is_dead);
+        assert!(t.charge.is_none());
+        let d = Token::dead();
+        assert!(d.is_dead);
+        let alloc = TrackingAllocator::new("gpu:0", 100);
+        let c = Charge::new(&alloc, 10).unwrap();
+        let t = Token::live_charged(Tensor::scalar_f32(1.0), c);
+        assert!(t.charge.is_some());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ExecError::Kernel { node: "MatMul_3".into(), detail: "bad shape".into() };
+        assert!(e.to_string().contains("MatMul_3"));
+        let e = ExecError::DeadFetch("y".into());
+        assert!(e.to_string().contains("dead"));
+    }
+}

@@ -1,0 +1,964 @@
+//! The graph construction API.
+
+use crate::context::{
+    chain_to, CondBranch, CondContextInfo, Context, ContextId, ContextKind, WhileContextInfo,
+};
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId, TensorRef};
+use crate::node::Node;
+use crate::op::OpKind;
+use crate::Result;
+use dcf_tensor::{DType, Tensor};
+
+/// Builds a [`Graph`] incrementally, tracking the current control-flow
+/// context and device scope.
+///
+/// The builder mirrors TensorFlow's two-level programming model (§2.1): user
+/// code calls high-level operator methods, and the builder lowers
+/// control-flow constructs onto the dataflow primitives. Crucially, when an
+/// operation inside a conditional branch or loop body consumes a tensor
+/// produced *outside* that construct, the builder transparently captures it:
+/// through a `Switch` guard for conditionals and an `Enter` loop constant for
+/// while-loops (§4.2).
+pub struct GraphBuilder {
+    graph: Graph,
+    ctx_stack: Vec<ContextId>,
+    device_stack: Vec<Option<String>>,
+    seed_counter: u64,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphBuilder {
+    /// Creates a builder with an empty graph.
+    pub fn new() -> GraphBuilder {
+        GraphBuilder {
+            graph: Graph::new(),
+            ctx_stack: vec![ContextId::ROOT],
+            device_stack: vec![None],
+            seed_counter: 0,
+        }
+    }
+
+    /// Consumes the builder, returning the constructed graph.
+    ///
+    /// Validates structural invariants first.
+    pub fn finish(self) -> Result<Graph> {
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+
+    /// Returns a view of the graph under construction.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Returns the current (innermost) control-flow context.
+    pub fn current_ctx(&self) -> ContextId {
+        *self.ctx_stack.last().expect("context stack is never empty")
+    }
+
+    /// Returns the current device scope.
+    pub fn current_device(&self) -> Option<&str> {
+        self.device_stack.last().and_then(|d| d.as_deref())
+    }
+
+    // ------------------------------------------------------------------
+    // Scopes
+    // ------------------------------------------------------------------
+
+    /// Runs `f` with the device scope set to `device`.
+    ///
+    /// Nodes created inside `f` request placement on `device` (e.g.
+    /// `"/machine:0/gpu:1"`). The placement is honored by the `dcf-runtime`
+    /// placer; it never constrains graph construction.
+    pub fn with_device<R>(
+        &mut self,
+        device: impl Into<String>,
+        f: impl FnOnce(&mut GraphBuilder) -> R,
+    ) -> R {
+        self.device_stack.push(Some(device.into()));
+        let r = f(self);
+        self.device_stack.pop();
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Raw node creation and capture
+    // ------------------------------------------------------------------
+
+    /// Adds a node in an explicit context without capturing its inputs.
+    ///
+    /// This is the primitive used by the control-flow lowering, which wires
+    /// boundary ops (Enter/Exit/Switch/Merge) across contexts by design.
+    pub(crate) fn add_node_raw(
+        &mut self,
+        op: OpKind,
+        inputs: Vec<TensorRef>,
+        ctx: ContextId,
+        name_hint: &str,
+    ) -> Result<NodeId> {
+        let in_dtypes: Vec<DType> = inputs.iter().map(|t| self.graph.dtype(*t)).collect();
+        let out_dtypes = Graph::infer_dtypes(&op, &in_dtypes)?;
+        let in_shapes: Vec<Option<dcf_tensor::Shape>> =
+            inputs.iter().map(|t| self.graph.shape(*t).cloned()).collect();
+        let out_shapes = Graph::infer_shapes(&op, &in_shapes, out_dtypes.len());
+        let id = NodeId(self.graph.nodes.len());
+        let name = format!("{}_{}", name_hint, id.0);
+        self.graph.nodes.push(Node {
+            id,
+            name,
+            op,
+            inputs,
+            control_inputs: Vec::new(),
+            device: self.device_stack.last().cloned().flatten(),
+            ctx,
+            out_dtypes,
+            out_shapes,
+        });
+        Ok(id)
+    }
+
+    /// Adds an operation in the current context, capturing external inputs
+    /// through the enclosing control-flow constructs as needed.
+    pub fn add_op(&mut self, op: OpKind, inputs: &[TensorRef]) -> Result<NodeId> {
+        let cur = self.current_ctx();
+        let mut captured = Vec::with_capacity(inputs.len());
+        for &t in inputs {
+            captured.push(self.capture(t)?);
+        }
+        let hint = op.name().to_owned();
+        self.add_node_raw(op, captured, cur, &hint)
+    }
+
+    /// Adds an op and returns its (single) output.
+    pub fn add_op1(&mut self, op: OpKind, inputs: &[TensorRef]) -> Result<TensorRef> {
+        let id = self.add_op(op, inputs)?;
+        Ok(TensorRef { node: id, port: 0 })
+    }
+
+    /// Adds a control-flow boundary op (`Switch`/`Merge`) in an explicit
+    /// context *without* capturing its inputs.
+    ///
+    /// Boundary ops legitimately join values from different contexts (a
+    /// conditional's `Merge` consumes both branches); automatic
+    /// differentiation uses this to build the gradient `cond` machinery.
+    pub fn add_boundary_op(
+        &mut self,
+        op: OpKind,
+        inputs: &[TensorRef],
+        ctx: ContextId,
+    ) -> Result<NodeId> {
+        let hint = op.name().to_owned();
+        self.add_node_raw(op, inputs.to_vec(), ctx, &hint)
+    }
+
+    /// Adds a control dependency: `node` will not execute (within a frame
+    /// and iteration) before `dep` has.
+    pub fn add_control_input(&mut self, node: NodeId, dep: NodeId) {
+        let n = &mut self.graph.nodes[node.0];
+        if !n.control_inputs.contains(&dep) {
+            n.control_inputs.push(dep);
+        }
+    }
+
+    /// Overrides the requested device of an existing node.
+    pub fn set_node_device(&mut self, node: NodeId, device: impl Into<String>) {
+        self.graph.nodes[node.0].device = Some(device.into());
+    }
+
+    /// Maps tensor `t` into the current context, inserting `Switch` guards
+    /// (for conditional branches) and constant `Enter`s (for loop bodies)
+    /// along the context chain, with caching so each external tensor is
+    /// captured at most once per context (§4.2).
+    ///
+    /// Returns an error if `t` lives in a context that is neither the
+    /// current context nor an ancestor of it (for example, using a value
+    /// from the other branch of a conditional).
+    pub fn capture(&mut self, t: TensorRef) -> Result<TensorRef> {
+        let cur = self.current_ctx();
+        let pctx = self.graph.nodes[t.node.0].ctx;
+        if pctx == cur {
+            return Ok(t);
+        }
+        if !self.graph.context_is_ancestor_or_self(pctx, cur) {
+            return Err(GraphError::ControlFlow(format!(
+                "tensor {} (ctx {}) is not visible from ctx {}; values may only be used in the \
+                 context that produced them or nested contexts",
+                self.graph.nodes[t.node.0].name, pctx.0, cur.0
+            )));
+        }
+        // Walk from just below pctx down to cur, capturing one level at a
+        // time.
+        let chain = chain_to(&self.graph.contexts, cur);
+        let start = chain.iter().position(|&c| c == pctx).expect("pctx is an ancestor") + 1;
+        let mut value = t;
+        for &ctx in &chain[start..] {
+            value = self.capture_one_level(ctx, value)?;
+        }
+        Ok(value)
+    }
+
+    /// Captures `value` (which lives in `ctx`'s parent) into `ctx`.
+    fn capture_one_level(&mut self, ctx: ContextId, value: TensorRef) -> Result<TensorRef> {
+        // Check the cache first.
+        match &self.graph.contexts[ctx.0].kind {
+            ContextKind::Cond(info) => {
+                if let Some((_, inner)) = info.captures.iter().find(|(ext, _)| *ext == value) {
+                    return Ok(*inner);
+                }
+            }
+            ContextKind::While(info) => {
+                if let Some((_, inner)) = info.captures.iter().find(|(ext, _)| *ext == value) {
+                    return Ok(*inner);
+                }
+            }
+            ContextKind::Root => {
+                return Err(GraphError::ControlFlow("cannot capture into the root context".into()))
+            }
+        }
+        let inner = match self.graph.contexts[ctx.0].kind.clone() {
+            ContextKind::Cond(info) => {
+                // One Switch per external tensor, to maximize parallelism
+                // (§4.2): the guard ensures branch ops only run when the
+                // branch is taken.
+                let sw =
+                    self.add_node_raw(OpKind::Switch, vec![value, info.pred], ctx, "CondGuard")?;
+                TensorRef { node: sw, port: info.branch.port() }
+            }
+            ContextKind::While(info) => {
+                // Loop-invariant capture: Enter(is_constant) makes the value
+                // available to every iteration.
+                let en = self.add_node_raw(
+                    OpKind::Enter {
+                        frame: info.frame.clone(),
+                        is_constant: true,
+                        parallel_iterations: info.parallel_iterations,
+                    },
+                    vec![value],
+                    ctx,
+                    "EnterConst",
+                )?;
+                TensorRef { node: en, port: 0 }
+            }
+            ContextKind::Root => unreachable!("checked above"),
+        };
+        match &mut self.graph.contexts[ctx.0].kind {
+            ContextKind::Cond(info) => info.captures.push((value, inner)),
+            ContextKind::While(info) => info.captures.push((value, inner)),
+            ContextKind::Root => unreachable!(),
+        }
+        Ok(inner)
+    }
+
+    // ------------------------------------------------------------------
+    // Context-stack helpers used by the control-flow lowering
+    // ------------------------------------------------------------------
+
+    pub(crate) fn push_context(&mut self, kind: ContextKind) -> ContextId {
+        let id = ContextId(self.graph.contexts.len());
+        let parent = self.current_ctx();
+        self.graph.contexts.push(Context { id, parent: Some(parent), kind });
+        self.ctx_stack.push(id);
+        id
+    }
+
+    pub(crate) fn pop_context(&mut self) {
+        assert!(self.ctx_stack.len() > 1, "cannot pop the root context");
+        self.ctx_stack.pop();
+    }
+
+    pub(crate) fn context_info_mut(&mut self, id: ContextId) -> &mut ContextKind {
+        &mut self.graph.contexts[id.0].kind
+    }
+
+    /// Re-enters an existing context (used by autodiff to add nodes to a
+    /// previously built construct). Callers must pair with
+    /// [`GraphBuilder::exit_reentered_context`].
+    pub fn reenter_context(&mut self, id: ContextId) {
+        self.ctx_stack.push(id);
+    }
+
+    /// Leaves a context entered with [`GraphBuilder::reenter_context`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no context was re-entered.
+    pub fn exit_reentered_context(&mut self) {
+        self.pop_context();
+    }
+
+    /// Patches input `slot` of `node` to `value` (used to close loop back
+    /// edges onto dangling Merges).
+    pub(crate) fn patch_input(&mut self, node: NodeId, slot: usize, value: TensorRef) {
+        self.graph.nodes[node.0].inputs[slot] = value;
+    }
+
+    pub(crate) fn fresh_cond_info(&self, pred: TensorRef, branch: CondBranch) -> CondContextInfo {
+        CondContextInfo { pred, branch, captures: Vec::new(), results: Vec::new(), merges: Vec::new() }
+    }
+
+    pub(crate) fn fresh_while_info_swap(
+        &self,
+        frame: String,
+        parallel_iterations: usize,
+        swap_memory: bool,
+    ) -> WhileContextInfo {
+        WhileContextInfo {
+            frame,
+            parallel_iterations,
+            enters: Vec::new(),
+            merges: Vec::new(),
+            body_inputs: Vec::new(),
+            body_results: Vec::new(),
+            exits: Vec::new(),
+            loop_cond: None,
+            counter_merge: None,
+            counter_body: None,
+            counter_exit: None,
+            captures: Vec::new(),
+            swap_memory,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sources
+    // ------------------------------------------------------------------
+
+    /// Adds a constant.
+    ///
+    /// The `Const` node is created in the root context and captured into the
+    /// current context (mirroring TensorFlow, where constants are hoisted
+    /// out of control-flow constructs and re-enter as loop constants), so
+    /// that no source node ever lives inside a dynamic frame.
+    pub fn constant(&mut self, value: Tensor) -> TensorRef {
+        let id = self
+            .add_node_raw(OpKind::Const(value), vec![], ContextId::ROOT, "Const")
+            .expect("Const construction cannot fail");
+        let t = TensorRef { node: id, port: 0 };
+        self.capture(t).expect("capturing a root tensor cannot fail")
+    }
+
+    /// Adds a scalar `f32` constant.
+    pub fn scalar_f32(&mut self, v: f32) -> TensorRef {
+        self.constant(Tensor::scalar_f32(v))
+    }
+
+    /// Adds a scalar `i64` constant.
+    pub fn scalar_i64(&mut self, v: i64) -> TensorRef {
+        self.constant(Tensor::scalar_i64(v))
+    }
+
+    /// Adds a placeholder fed at run time under `name`.
+    pub fn placeholder(&mut self, name: impl Into<String>, dtype: DType) -> TensorRef {
+        self.placeholder_impl(name.into(), dtype, None)
+    }
+
+    /// Adds a placeholder with a declared static shape.
+    ///
+    /// The shape participates in static inference, letting gradient
+    /// construction emit static reductions (and letting `Gather0`
+    /// gradients know their table size).
+    pub fn placeholder_shaped(
+        &mut self,
+        name: impl Into<String>,
+        dtype: DType,
+        dims: &[usize],
+    ) -> TensorRef {
+        self.placeholder_impl(name.into(), dtype, Some(dims.to_vec()))
+    }
+
+    fn placeholder_impl(&mut self, name: String, dtype: DType, shape: Option<Vec<usize>>) -> TensorRef {
+        let id = self
+            .add_node_raw(
+                OpKind::Placeholder { name, dtype, shape },
+                vec![],
+                ContextId::ROOT,
+                "Placeholder",
+            )
+            .expect("Placeholder construction cannot fail");
+        let t = TensorRef { node: id, port: 0 };
+        self.capture(t).expect("capturing a root tensor cannot fail")
+    }
+
+    /// Adds a mutable variable with the given unique name and initial value.
+    ///
+    /// The output is the variable's current value, read once per execution.
+    pub fn variable(&mut self, name: impl Into<String>, init: Tensor) -> TensorRef {
+        let id = self
+            .add_node_raw(
+                OpKind::Variable { name: name.into(), init },
+                vec![],
+                ContextId::ROOT,
+                "Variable",
+            )
+            .expect("Variable construction cannot fail");
+        let t = TensorRef { node: id, port: 0 };
+        self.capture(t).expect("capturing a root tensor cannot fail")
+    }
+
+    /// Adds a stateful uniform random tensor in `[lo, hi)`.
+    ///
+    /// `tick` anchors the op to a frame: the op executes once per iteration
+    /// of `tick`'s frame, drawing fresh randomness each time. Pass any
+    /// in-frame tensor (e.g. a loop variable).
+    pub fn random_uniform(
+        &mut self,
+        dims: &[usize],
+        lo: f32,
+        hi: f32,
+        tick: TensorRef,
+    ) -> Result<TensorRef> {
+        self.seed_counter += 1;
+        self.add_op1(
+            OpKind::RandomUniform { dims: dims.to_vec(), lo, hi, seed: self.seed_counter },
+            &[tick],
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Math helpers
+    // ------------------------------------------------------------------
+
+    /// Elementwise addition.
+    pub fn add(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Add, &[a, b])
+    }
+
+    /// Variadic addition (used for gradient accumulation).
+    pub fn add_n(&mut self, ts: &[TensorRef]) -> Result<TensorRef> {
+        if ts.is_empty() {
+            return Err(GraphError::Arity { op: "AddN".into(), expected: 1, found: 0 });
+        }
+        if ts.len() == 1 {
+            return Ok(ts[0]);
+        }
+        self.add_op1(OpKind::AddN, ts)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Sub, &[a, b])
+    }
+
+    /// Elementwise multiplication.
+    pub fn mul(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Mul, &[a, b])
+    }
+
+    /// Elementwise division.
+    pub fn div(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Div, &[a, b])
+    }
+
+    /// Elementwise maximum.
+    pub fn maximum(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Maximum, &[a, b])
+    }
+
+    /// Elementwise minimum.
+    pub fn minimum(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Minimum, &[a, b])
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Neg, &[a])
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Exp, &[a])
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn log(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Log, &[a])
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Sqrt, &[a])
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Square, &[a])
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Abs, &[a])
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Sigmoid, &[a])
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Tanh, &[a])
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Relu, &[a])
+    }
+
+    /// Softmax along the last axis.
+    pub fn softmax(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Softmax, &[a])
+    }
+
+    /// Argmax along the last axis, as `i64`.
+    pub fn argmax(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::ArgMax, &[a])
+    }
+
+    /// Matrix multiplication.
+    pub fn matmul(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::MatMul { transpose_a: false, transpose_b: false }, &[a, b])
+    }
+
+    /// Matrix multiplication with transpose flags.
+    pub fn matmul_t(
+        &mut self,
+        a: TensorRef,
+        b: TensorRef,
+        transpose_a: bool,
+        transpose_b: bool,
+    ) -> Result<TensorRef> {
+        self.add_op1(OpKind::MatMul { transpose_a, transpose_b }, &[a, b])
+    }
+
+    /// Rank-2 transpose.
+    pub fn transpose(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Transpose, &[a])
+    }
+
+    /// Sum of all elements.
+    pub fn reduce_sum(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::ReduceSumAll, &[a])
+    }
+
+    /// Mean of all elements.
+    pub fn reduce_mean(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::ReduceMeanAll, &[a])
+    }
+
+    /// Max of all elements.
+    pub fn reduce_max(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::ReduceMaxAll, &[a])
+    }
+
+    /// Sum along one axis.
+    pub fn reduce_sum_axis(&mut self, a: TensorRef, axis: i64, keep_dims: bool) -> Result<TensorRef> {
+        self.add_op1(OpKind::ReduceSumAxis { axis, keep_dims }, &[a])
+    }
+
+    /// Mean along one axis.
+    pub fn reduce_mean_axis(
+        &mut self,
+        a: TensorRef,
+        axis: i64,
+        keep_dims: bool,
+    ) -> Result<TensorRef> {
+        self.add_op1(OpKind::ReduceMeanAxis { axis, keep_dims }, &[a])
+    }
+
+    /// Max along one axis.
+    pub fn reduce_max_axis(&mut self, a: TensorRef, axis: i64, keep_dims: bool) -> Result<TensorRef> {
+        self.add_op1(OpKind::ReduceMaxAxis { axis, keep_dims }, &[a])
+    }
+
+    /// Reshape to a static shape.
+    pub fn reshape(&mut self, a: TensorRef, dims: &[usize]) -> Result<TensorRef> {
+        self.add_op1(OpKind::Reshape { dims: dims.to_vec() }, &[a])
+    }
+
+    /// Broadcast to a static shape.
+    pub fn broadcast_to(&mut self, a: TensorRef, dims: &[usize]) -> Result<TensorRef> {
+        self.add_op1(OpKind::BroadcastTo { dims: dims.to_vec() }, &[a])
+    }
+
+    /// Cast to a dtype.
+    pub fn cast(&mut self, a: TensorRef, dtype: DType) -> Result<TensorRef> {
+        self.add_op1(OpKind::Cast { dtype }, &[a])
+    }
+
+    /// Identity.
+    pub fn identity(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Identity, &[a])
+    }
+
+    /// Identity that blocks gradients (e.g. for target-network values).
+    pub fn stop_gradient(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::StopGradient, &[a])
+    }
+
+    /// Zeros with the shape and dtype of `a`.
+    pub fn zeros_like(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::ZerosLike, &[a])
+    }
+
+    /// Ones with the shape of `a`.
+    pub fn ones_like(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::OnesLike, &[a])
+    }
+
+    /// One-hot encoding with `depth` classes.
+    pub fn one_hot(&mut self, a: TensorRef, depth: usize) -> Result<TensorRef> {
+        self.add_op1(OpKind::OneHot { depth }, &[a])
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime-shaped gradient adapters
+    // ------------------------------------------------------------------
+
+    /// Un-broadcasts `grad` to the runtime shape of `like`.
+    pub fn reduce_to_like(&mut self, grad: TensorRef, like: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::ReduceToLike, &[grad, like])
+    }
+
+    /// Broadcasts `grad` to the runtime shape of `like`.
+    pub fn broadcast_like(&mut self, grad: TensorRef, like: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::BroadcastLike, &[grad, like])
+    }
+
+    /// Inserts a size-1 axis at `axis`.
+    pub fn expand_dims(&mut self, a: TensorRef, axis: usize) -> Result<TensorRef> {
+        self.add_op1(OpKind::ExpandDims { axis }, &[a])
+    }
+
+    /// Reshapes `a` to the runtime shape of `like`.
+    pub fn reshape_like(&mut self, a: TensorRef, like: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::ReshapeLike, &[a, like])
+    }
+
+    /// Number of elements of `a`, as `f32`.
+    pub fn size_f32(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::SizeF32, &[a])
+    }
+
+    /// Extent of `axis` of `a`, as `f32`.
+    pub fn dim_size_f32(&mut self, a: TensorRef, axis: usize) -> Result<TensorRef> {
+        self.add_op1(OpKind::DimSizeF32 { axis }, &[a])
+    }
+
+    /// Gradient slice of `Concat0` operand `index` (inputs follow `grad`).
+    pub fn concat0_grad(
+        &mut self,
+        grad: TensorRef,
+        likes: &[TensorRef],
+        index: usize,
+    ) -> Result<TensorRef> {
+        let mut inputs = vec![grad];
+        inputs.extend_from_slice(likes);
+        self.add_op1(OpKind::Concat0Grad { index }, &inputs)
+    }
+
+    /// Gradient slice of `Concat1` operand `index` (inputs follow `grad`).
+    pub fn concat1_grad(
+        &mut self,
+        grad: TensorRef,
+        likes: &[TensorRef],
+        index: usize,
+    ) -> Result<TensorRef> {
+        let mut inputs = vec![grad];
+        inputs.extend_from_slice(likes);
+        self.add_op1(OpKind::Concat1Grad { index }, &inputs)
+    }
+
+    /// Gradient of `Index0`: scatters `grad` into zeros shaped like `like`.
+    pub fn index0_grad(
+        &mut self,
+        grad: TensorRef,
+        like: TensorRef,
+        index: TensorRef,
+    ) -> Result<TensorRef> {
+        self.add_op1(OpKind::Index0Grad, &[grad, like, index])
+    }
+
+    // ------------------------------------------------------------------
+    // Comparisons / logic / selection
+    // ------------------------------------------------------------------
+
+    /// Elementwise `<`.
+    pub fn less(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Less, &[a, b])
+    }
+
+    /// Elementwise `<=`.
+    pub fn less_equal(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::LessEqual, &[a, b])
+    }
+
+    /// Elementwise `>`.
+    pub fn greater(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Greater, &[a, b])
+    }
+
+    /// Elementwise `>=`.
+    pub fn greater_equal(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::GreaterEqual, &[a, b])
+    }
+
+    /// Elementwise `==`.
+    pub fn equal(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Equal, &[a, b])
+    }
+
+    /// Elementwise boolean AND.
+    pub fn logical_and(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::LogicalAnd, &[a, b])
+    }
+
+    /// Elementwise boolean OR.
+    pub fn logical_or(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::LogicalOr, &[a, b])
+    }
+
+    /// Elementwise boolean NOT.
+    pub fn logical_not(&mut self, a: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::LogicalNot, &[a])
+    }
+
+    /// Elementwise/scalar selection `cond ? a : b`.
+    pub fn select(&mut self, cond: TensorRef, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Select, &[cond, a, b])
+    }
+
+    // ------------------------------------------------------------------
+    // Array manipulation
+    // ------------------------------------------------------------------
+
+    /// Concatenation along axis 0.
+    pub fn concat0(&mut self, ts: &[TensorRef]) -> Result<TensorRef> {
+        self.add_op1(OpKind::Concat0, ts)
+    }
+
+    /// Concatenation of rank-2 tensors along axis 1.
+    pub fn concat1(&mut self, ts: &[TensorRef]) -> Result<TensorRef> {
+        self.add_op1(OpKind::Concat1, ts)
+    }
+
+    /// Split a rank-2 tensor into `n` equal column blocks.
+    pub fn split1(&mut self, a: TensorRef, n: usize) -> Result<Vec<TensorRef>> {
+        let id = self.add_op(OpKind::Split1 { n }, &[a])?;
+        Ok((0..n).map(|port| TensorRef { node: id, port }).collect())
+    }
+
+    /// Stack equal-shaped tensors along a new leading axis.
+    pub fn pack(&mut self, ts: &[TensorRef]) -> Result<TensorRef> {
+        self.add_op1(OpKind::Pack, ts)
+    }
+
+    /// Subtensor at a dynamic `i64` index along axis 0.
+    pub fn index0(&mut self, a: TensorRef, index: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Index0, &[a, index])
+    }
+
+    /// Gather rows by an `i64` index tensor.
+    pub fn gather0(&mut self, a: TensorRef, indices: TensorRef) -> Result<TensorRef> {
+        self.add_op1(OpKind::Gather0, &[a, indices])
+    }
+
+    /// Scatter-add rows into a zero tensor with `rows` rows.
+    pub fn scatter_add0(
+        &mut self,
+        rows: usize,
+        indices: TensorRef,
+        updates: TensorRef,
+    ) -> Result<TensorRef> {
+        self.add_op1(OpKind::ScatterAdd0 { rows }, &[indices, updates])
+    }
+
+    // ------------------------------------------------------------------
+    // Variables and stacks
+    // ------------------------------------------------------------------
+
+    /// Looks up the variable name behind a [`TensorRef`] produced by
+    /// [`GraphBuilder::variable`], following capture chains.
+    fn variable_name(&self, var: TensorRef) -> Result<String> {
+        let mut t = var;
+        loop {
+            let node = &self.graph.nodes[t.node.0];
+            match &node.op {
+                OpKind::Variable { name, .. } => return Ok(name.clone()),
+                // Follow capture boundary ops back to the source.
+                OpKind::Enter { .. } | OpKind::Identity => t = node.inputs[0],
+                OpKind::Switch => t = node.inputs[0],
+                _ => {
+                    return Err(GraphError::Invalid(format!(
+                        "{} is not a variable reference",
+                        node.name
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Overwrites variable `var` with `value`; returns the written value.
+    pub fn assign(&mut self, var: TensorRef, value: TensorRef) -> Result<TensorRef> {
+        let name = self.variable_name(var)?;
+        self.add_op1(OpKind::Assign { var: name }, &[value])
+    }
+
+    /// Adds `delta` to variable `var`; returns the updated value.
+    pub fn assign_add(&mut self, var: TensorRef, delta: TensorRef) -> Result<TensorRef> {
+        let name = self.variable_name(var)?;
+        self.add_op1(OpKind::AssignAdd { var: name }, &[delta])
+    }
+
+    /// Subtracts `delta` from variable `var`; returns the updated value.
+    ///
+    /// This is the gradient-descent parameter update.
+    pub fn assign_sub(&mut self, var: TensorRef, delta: TensorRef) -> Result<TensorRef> {
+        let name = self.variable_name(var)?;
+        self.add_op1(OpKind::AssignSub { var: name }, &[delta])
+    }
+
+    /// Creates a stack resource for saving forward intermediates (§5.1).
+    ///
+    /// `anchor` pins the creation to a frame (pass any tensor in the frame
+    /// where the stack should be created, typically the loop's parent).
+    /// `swap` marks the stack's storage eligible for device-to-host memory
+    /// swapping (§5.3).
+    pub fn stack_create(&mut self, anchor: TensorRef, swap: bool) -> Result<TensorRef> {
+        self.add_op1(OpKind::StackCreate { swap }, &[anchor])
+    }
+
+    /// Pushes `value` into slot `index` of the stack; forwards `value`.
+    pub fn stack_push(
+        &mut self,
+        handle: TensorRef,
+        index: TensorRef,
+        value: TensorRef,
+    ) -> Result<TensorRef> {
+        self.add_op1(OpKind::StackPush, &[handle, index, value])
+    }
+
+    /// Pops the value in slot `index` of the stack.
+    ///
+    /// `dtype` is the dtype of the stored value.
+    pub fn stack_pop(
+        &mut self,
+        handle: TensorRef,
+        index: TensorRef,
+        dtype: DType,
+    ) -> Result<TensorRef> {
+        let id = self.add_op(OpKind::StackPop, &[handle, index])?;
+        // StackPop's output dtype is supplied by the caller rather than
+        // inferred; fix it up.
+        self.graph.nodes[id.0].out_dtypes = vec![dtype];
+        Ok(TensorRef { node: id, port: 0 })
+    }
+
+    /// No-op anchor node for control dependencies.
+    pub fn no_op(&mut self) -> Result<NodeId> {
+        self.add_op(OpKind::NoOp, &[])
+    }
+
+    /// Overrides the inferred dtype of one output of a node.
+    ///
+    /// Used for resource reads whose element type is not expressible in the
+    /// static dtype-inference rules (TensorArray reads, stack pops).
+    pub(crate) fn set_output_dtype(&mut self, node: NodeId, port: usize, dtype: DType) {
+        self.graph.nodes[node.0].out_dtypes[port] = dtype;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_expression() {
+        let mut g = GraphBuilder::new();
+        let a = g.scalar_f32(2.0);
+        let b = g.scalar_f32(3.0);
+        let c = g.add(a, b).unwrap();
+        let d = g.mul(c, a).unwrap();
+        let graph = g.finish().unwrap();
+        assert_eq!(graph.dtype(d), DType::F32);
+        assert_eq!(graph.len(), 4);
+        graph.validate().unwrap();
+    }
+
+    #[test]
+    fn dtype_errors_surface() {
+        let mut g = GraphBuilder::new();
+        let a = g.scalar_f32(2.0);
+        let b = g.scalar_i64(3);
+        assert!(g.add(a, b).is_err());
+        assert!(g.sigmoid(b).is_err());
+    }
+
+    #[test]
+    fn device_scopes_nest() {
+        let mut g = GraphBuilder::new();
+        let a = g.scalar_f32(1.0);
+        let (b, c) = g.with_device("/machine:0/gpu:0", |g| {
+            let b = g.neg(a).unwrap();
+            let c = g.with_device("/machine:1/gpu:0", |g| g.neg(b).unwrap());
+            (b, c)
+        });
+        let d = g.neg(c).unwrap();
+        let graph = g.finish().unwrap();
+        assert_eq!(graph.node(b.node).device.as_deref(), Some("/machine:0/gpu:0"));
+        assert_eq!(graph.node(c.node).device.as_deref(), Some("/machine:1/gpu:0"));
+        assert_eq!(graph.node(d.node).device, None);
+    }
+
+    #[test]
+    fn add_n_collapses_singleton() {
+        let mut g = GraphBuilder::new();
+        let a = g.scalar_f32(1.0);
+        assert_eq!(g.add_n(&[a]).unwrap(), a);
+        assert!(g.add_n(&[]).is_err());
+        let b = g.scalar_f32(2.0);
+        let s = g.add_n(&[a, b]).unwrap();
+        assert_eq!(g.graph().node(s.node).inputs.len(), 2);
+    }
+
+    #[test]
+    fn variable_assign_resolution() {
+        let mut g = GraphBuilder::new();
+        let w = g.variable("w", Tensor::scalar_f32(0.0));
+        let d = g.scalar_f32(1.0);
+        let upd = g.assign_add(w, d).unwrap();
+        match &g.graph().node(upd.node).op {
+            OpKind::AssignAdd { var } => assert_eq!(var, "w"),
+            other => panic!("unexpected op {other:?}"),
+        }
+        // Assigning to a non-variable errors.
+        assert!(g.assign(d, d).is_err());
+    }
+
+    #[test]
+    fn control_inputs_deduplicate() {
+        let mut g = GraphBuilder::new();
+        let a = g.scalar_f32(1.0);
+        let n = g.neg(a).unwrap();
+        let dep = g.no_op().unwrap();
+        g.add_control_input(n.node, dep);
+        g.add_control_input(n.node, dep);
+        assert_eq!(g.graph().node(n.node).control_inputs.len(), 1);
+    }
+
+    #[test]
+    fn split_ports() {
+        let mut g = GraphBuilder::new();
+        let a = g.constant(Tensor::ones(&[2, 4]));
+        let parts = g.split1(a, 2).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].port, 0);
+        assert_eq!(parts[1].port, 1);
+        assert_eq!(parts[0].node, parts[1].node);
+    }
+}

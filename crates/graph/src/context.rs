@@ -1,0 +1,191 @@
+//! Control-flow contexts.
+//!
+//! Every node is associated with the innermost control-flow construct it
+//! belongs to (§5.1: "Each operation in the graph is associated with a
+//! 'control-flow context'"). The contexts form a tree rooted at the implicit
+//! top-level context. Automatic differentiation walks this tree to generate
+//! the corresponding constructs in the gradient graph, and the builder uses
+//! it to capture external tensors correctly (Switch guards for conditionals,
+//! Enter for loop constants).
+
+use crate::graph::{NodeId, TensorRef};
+
+/// Identifier of a control-flow context within a graph.
+///
+/// `ContextId(0)` is always the root context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContextId(pub usize);
+
+impl ContextId {
+    /// The root (top-level) context.
+    pub const ROOT: ContextId = ContextId(0);
+}
+
+/// Which branch of a conditional a context represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CondBranch {
+    /// The `true_fn` branch (Switch output 1).
+    True,
+    /// The `false_fn` branch (Switch output 0).
+    False,
+}
+
+impl CondBranch {
+    /// The Switch output port corresponding to this branch.
+    pub fn port(self) -> usize {
+        match self {
+            CondBranch::True => 1,
+            CondBranch::False => 0,
+        }
+    }
+}
+
+/// Metadata recorded for one branch context of a `cond`.
+#[derive(Clone, Debug)]
+pub struct CondContextInfo {
+    /// The predicate tensor evaluated outside the conditional.
+    pub pred: TensorRef,
+    /// Which branch this context is.
+    pub branch: CondBranch,
+    /// Cached Switch guards for captured external tensors: pairs of
+    /// (external tensor, guarded branch-side tensor).
+    pub captures: Vec<(TensorRef, TensorRef)>,
+    /// Branch result tensors (inputs to the output Merges), recorded when
+    /// the branch finishes building.
+    pub results: Vec<TensorRef>,
+    /// The Merge outputs of the whole `cond` (same for both branches).
+    pub merges: Vec<TensorRef>,
+}
+
+/// Metadata recorded for a `while_loop` body context.
+#[derive(Clone, Debug)]
+pub struct WhileContextInfo {
+    /// Unique frame name.
+    pub frame: String,
+    /// The §4.3 parallel-iterations knob for this frame.
+    pub parallel_iterations: usize,
+    /// Enter nodes of the loop variables (excluding the counter).
+    pub enters: Vec<TensorRef>,
+    /// Merge outputs for each loop variable, in order; these are the values
+    /// `pred` and `body` observe before the Switch.
+    pub merges: Vec<TensorRef>,
+    /// Switch body-side outputs for each loop variable (iteration inputs).
+    pub body_inputs: Vec<TensorRef>,
+    /// Body result tensors (inputs to NextIteration), one per loop variable.
+    pub body_results: Vec<TensorRef>,
+    /// Exit outputs, one per loop variable.
+    pub exits: Vec<TensorRef>,
+    /// The LoopCond output.
+    pub loop_cond: Option<TensorRef>,
+    /// Merge output of the implicit iteration counter (counts from 0).
+    pub counter_merge: Option<TensorRef>,
+    /// Body-side (Switch true output) value of the iteration counter: the
+    /// current iteration index, available inside the body. Autodiff uses it
+    /// as the stack slot index for saved intermediates.
+    pub counter_body: Option<TensorRef>,
+    /// Exit output of the implicit iteration counter = trip count N.
+    pub counter_exit: Option<TensorRef>,
+    /// Cached Enter(constant) captures: (external tensor, in-frame tensor).
+    pub captures: Vec<(TensorRef, TensorRef)>,
+    /// Whether intermediates saved for backpropagation through this loop
+    /// are eligible for device-to-host memory swapping (§5.3).
+    pub swap_memory: bool,
+}
+
+/// The payload of a context-tree node.
+#[derive(Clone, Debug)]
+pub enum ContextKind {
+    /// The implicit top-level context.
+    Root,
+    /// One branch of a `cond`.
+    Cond(CondContextInfo),
+    /// The body of a `while_loop`.
+    While(WhileContextInfo),
+}
+
+/// A node in the control-flow context tree.
+#[derive(Clone, Debug)]
+pub struct Context {
+    /// This context's id.
+    pub id: ContextId,
+    /// Parent context (`None` only for the root).
+    pub parent: Option<ContextId>,
+    /// Payload.
+    pub kind: ContextKind,
+}
+
+impl Context {
+    /// Returns the while-context info, if this is a while context.
+    pub fn as_while(&self) -> Option<&WhileContextInfo> {
+        match &self.kind {
+            ContextKind::While(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Returns the cond-context info, if this is a cond branch context.
+    pub fn as_cond(&self) -> Option<&CondContextInfo> {
+        match &self.kind {
+            ContextKind::Cond(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Ancestry helpers over a slice of contexts (indexed by `ContextId`).
+pub(crate) fn is_ancestor_or_self(contexts: &[Context], anc: ContextId, ctx: ContextId) -> bool {
+    let mut cur = Some(ctx);
+    while let Some(c) = cur {
+        if c == anc {
+            return true;
+        }
+        cur = contexts[c.0].parent;
+    }
+    false
+}
+
+/// Returns the chain from the root to `ctx`, inclusive.
+pub(crate) fn chain_to(contexts: &[Context], ctx: ContextId) -> Vec<ContextId> {
+    let mut chain = Vec::new();
+    let mut cur = Some(ctx);
+    while let Some(c) = cur {
+        chain.push(c);
+        cur = contexts[c.0].parent;
+    }
+    chain.reverse();
+    chain
+}
+
+/// Marker for nodes not yet assigned (used during construction only).
+pub(crate) const _UNUSED: Option<NodeId> = None;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(id: usize, parent: Option<usize>) -> Context {
+        Context { id: ContextId(id), parent: parent.map(ContextId), kind: ContextKind::Root }
+    }
+
+    #[test]
+    fn ancestry() {
+        let ctxs = vec![mk(0, None), mk(1, Some(0)), mk(2, Some(1)), mk(3, Some(0))];
+        assert!(is_ancestor_or_self(&ctxs, ContextId(0), ContextId(2)));
+        assert!(is_ancestor_or_self(&ctxs, ContextId(1), ContextId(2)));
+        assert!(is_ancestor_or_self(&ctxs, ContextId(2), ContextId(2)));
+        assert!(!is_ancestor_or_self(&ctxs, ContextId(3), ContextId(2)));
+    }
+
+    #[test]
+    fn chains() {
+        let ctxs = vec![mk(0, None), mk(1, Some(0)), mk(2, Some(1))];
+        assert_eq!(chain_to(&ctxs, ContextId(2)), vec![ContextId(0), ContextId(1), ContextId(2)]);
+        assert_eq!(chain_to(&ctxs, ContextId(0)), vec![ContextId(0)]);
+    }
+
+    #[test]
+    fn branch_ports() {
+        assert_eq!(CondBranch::True.port(), 1);
+        assert_eq!(CondBranch::False.port(), 0);
+    }
+}

@@ -1,0 +1,629 @@
+//! Compilation of `cond` and `while_loop` onto the dataflow primitives.
+//!
+//! This module implements §4.2 of the paper. `cond` lowers onto `Switch` and
+//! `Merge` only; `while_loop` lowers onto `Enter`, `Merge`, `Switch`,
+//! `NextIteration`, and `Exit` per loop variable (Figure 4), with an
+//! implicit iteration counter added for automatic differentiation (§5.1).
+//! Constructs nest arbitrarily.
+
+use crate::context::{CondBranch, ContextKind};
+use crate::error::GraphError;
+use crate::graph::TensorRef;
+use crate::op::OpKind;
+use crate::{GraphBuilder, Result};
+use dcf_tensor::{DType, Tensor};
+
+/// Options for [`GraphBuilder::while_loop`].
+#[derive(Clone, Debug)]
+pub struct WhileOptions {
+    /// Maximum number of loop iterations allowed to run concurrently — the
+    /// §4.3 knob. The paper finds 32 works well in general.
+    pub parallel_iterations: usize,
+    /// Marks intermediate values saved for backpropagation through this
+    /// loop as eligible for device-to-host memory swapping (§5.3).
+    pub swap_memory: bool,
+    /// Optional frame-name prefix for diagnostics.
+    pub name: Option<String>,
+}
+
+impl Default for WhileOptions {
+    fn default() -> Self {
+        WhileOptions { parallel_iterations: 32, swap_memory: false, name: None }
+    }
+}
+
+impl GraphBuilder {
+    /// Builds a conditional computation: returns the outputs of `true_fn`
+    /// when `pred` is true at run time, otherwise those of `false_fn`.
+    ///
+    /// Both functions must return the same number of tensors with matching
+    /// dtypes. Per §4.2, each external tensor consumed by a branch gets its
+    /// own `Switch` guard (inserted lazily by capture) so that operations in
+    /// a branch only execute when the branch is taken, and each output pair
+    /// is joined by a `Merge` enabling downstream computation as soon as the
+    /// taken branch's value is ready.
+    pub fn cond(
+        &mut self,
+        pred: TensorRef,
+        true_fn: impl FnOnce(&mut GraphBuilder) -> Result<Vec<TensorRef>>,
+        false_fn: impl FnOnce(&mut GraphBuilder) -> Result<Vec<TensorRef>>,
+    ) -> Result<Vec<TensorRef>> {
+        let pred = self.capture(pred)?;
+        if self.graph().dtype(pred) != DType::Bool {
+            return Err(GraphError::dtype("cond pred", DType::Bool, self.graph().dtype(pred)));
+        }
+        let parent = self.current_ctx();
+
+        // True branch.
+        let t_info = self.fresh_cond_info(pred, CondBranch::True);
+        let t_ctx = self.push_context(ContextKind::Cond(t_info));
+        let t_raw = true_fn(self)?;
+        // Guard any branch output that was not produced inside the branch,
+        // so the Merge only receives it when the branch is taken.
+        let t_results: Vec<TensorRef> =
+            t_raw.into_iter().map(|t| self.capture(t)).collect::<Result<_>>()?;
+        self.pop_context();
+
+        // False branch.
+        let f_info = self.fresh_cond_info(pred, CondBranch::False);
+        let f_ctx = self.push_context(ContextKind::Cond(f_info));
+        let f_raw = false_fn(self)?;
+        let f_results: Vec<TensorRef> =
+            f_raw.into_iter().map(|t| self.capture(t)).collect::<Result<_>>()?;
+        self.pop_context();
+
+        if t_results.len() != f_results.len() {
+            return Err(GraphError::ControlFlow(format!(
+                "cond branches return {} vs {} outputs",
+                t_results.len(),
+                f_results.len()
+            )));
+        }
+        for (t, f) in t_results.iter().zip(&f_results) {
+            let (dt, df) = (self.graph().dtype(*t), self.graph().dtype(*f));
+            if dt != df {
+                return Err(GraphError::ControlFlow(format!(
+                    "cond branch output dtypes differ: {dt} vs {df}"
+                )));
+            }
+        }
+
+        // Merge each output pair in the parent context.
+        let mut merges = Vec::with_capacity(t_results.len());
+        for (t, f) in t_results.iter().zip(&f_results) {
+            let m = self.add_node_raw(OpKind::Merge, vec![*t, *f], parent, "CondMerge")?;
+            merges.push(TensorRef { node: m, port: 0 });
+        }
+
+        // Record branch metadata for automatic differentiation.
+        for (ctx, results) in [(t_ctx, &t_results), (f_ctx, &f_results)] {
+            if let ContextKind::Cond(info) = self.context_info_mut(ctx) {
+                info.results = results.clone();
+                info.merges = merges.clone();
+            }
+        }
+        Ok(merges)
+    }
+
+    /// Builds an iterative computation (Figure 4).
+    ///
+    /// `inits` supplies the initial loop-variable values. `pred` receives
+    /// the current loop variables and must return a scalar boolean; `body`
+    /// receives the current loop variables and returns their updated values
+    /// (same count and dtypes). Returns the final values (the `Exit`
+    /// outputs).
+    ///
+    /// An implicit iteration counter is threaded through the loop as an
+    /// extra variable; automatic differentiation uses it as the trip count
+    /// and as the stack index for saved intermediates (§5.1).
+    pub fn while_loop(
+        &mut self,
+        inits: &[TensorRef],
+        pred: impl FnOnce(&mut GraphBuilder, &[TensorRef]) -> Result<TensorRef>,
+        body: impl FnOnce(&mut GraphBuilder, &[TensorRef]) -> Result<Vec<TensorRef>>,
+        options: WhileOptions,
+    ) -> Result<Vec<TensorRef>> {
+        if inits.is_empty() {
+            return Err(GraphError::ControlFlow("while_loop requires at least one loop variable".into()));
+        }
+        let parent = self.current_ctx();
+        let inits: Vec<TensorRef> =
+            inits.iter().map(|t| self.capture(*t)).collect::<Result<_>>()?;
+
+        // The counter's initial value lives in the parent context.
+        let zero = self.add_node_raw(
+            OpKind::Const(Tensor::scalar_i64(0)),
+            vec![],
+            crate::context::ContextId::ROOT,
+            "WhileCounterInit",
+        )?;
+        let zero = self.capture(TensorRef { node: zero, port: 0 })?;
+
+        let frame = format!(
+            "{}_frame_{}",
+            options.name.as_deref().unwrap_or("while"),
+            self.graph().len()
+        );
+        let info = self.fresh_while_info_swap(frame.clone(), options.parallel_iterations, options.swap_memory);
+        let wctx = self.push_context(ContextKind::While(info));
+
+        // Enter per loop variable (counter first).
+        let mk_enter = |b: &mut GraphBuilder, v: TensorRef| {
+            b.add_node_raw(
+                OpKind::Enter {
+                    frame: frame.clone(),
+                    is_constant: false,
+                    parallel_iterations: options.parallel_iterations,
+                },
+                vec![v],
+                wctx,
+                "Enter",
+            )
+        };
+        let counter_enter = TensorRef { node: mk_enter(self, zero)?, port: 0 };
+        let mut enters = Vec::with_capacity(inits.len());
+        for &v in &inits {
+            enters.push(TensorRef { node: mk_enter(self, v)?, port: 0 });
+        }
+
+        // Merge per loop variable; the second input is a dangling self-loop
+        // patched to the NextIteration below.
+        let mk_merge = |b: &mut GraphBuilder, e: TensorRef| {
+            b.add_node_raw(OpKind::Merge, vec![e, e], wctx, "Merge")
+        };
+        let counter_merge_id = mk_merge(self, counter_enter)?;
+        let counter_merge = TensorRef { node: counter_merge_id, port: 0 };
+        let mut merges = Vec::with_capacity(inits.len());
+        for &e in &enters {
+            let m = mk_merge(self, e)?;
+            merges.push(TensorRef { node: m, port: 0 });
+        }
+
+        // Predicate (built inside the frame on the merged variables).
+        let p = pred(self, &merges)?;
+        let p = self.capture(p)?;
+        if self.graph().dtype(p) != DType::Bool {
+            return Err(GraphError::dtype("while pred", DType::Bool, self.graph().dtype(p)));
+        }
+        let loop_cond =
+            TensorRef { node: self.add_node_raw(OpKind::LoopCond, vec![p], wctx, "LoopCond")?, port: 0 };
+
+        // Switch per loop variable: port 1 (true) continues into the body,
+        // port 0 (false) exits.
+        let mk_switch = |b: &mut GraphBuilder, m: TensorRef| {
+            b.add_node_raw(OpKind::Switch, vec![m, loop_cond], wctx, "Switch")
+        };
+        let counter_switch = mk_switch(self, counter_merge)?;
+        let mut switches = Vec::with_capacity(inits.len());
+        for &m in &merges {
+            switches.push(mk_switch(self, m)?);
+        }
+        let body_inputs: Vec<TensorRef> =
+            switches.iter().map(|&s| TensorRef { node: s, port: 1 }).collect();
+
+        // Counter increment.
+        let one = self.add_node_raw(
+            OpKind::Const(Tensor::scalar_i64(1)),
+            vec![],
+            crate::context::ContextId::ROOT,
+            "WhileCounterOne",
+        )?;
+        let one = self.capture(TensorRef { node: one, port: 0 })?;
+        let counter_body = TensorRef { node: counter_switch, port: 1 };
+        let counter_next = TensorRef {
+            node: self.add_node_raw(OpKind::Add, vec![counter_body, one], wctx, "CounterAdd")?,
+            port: 0,
+        };
+
+        // Body.
+        let body_raw = body(self, &body_inputs)?;
+        if body_raw.len() != inits.len() {
+            return Err(GraphError::ControlFlow(format!(
+                "while body returns {} values for {} loop variables",
+                body_raw.len(),
+                inits.len()
+            )));
+        }
+        let body_results: Vec<TensorRef> =
+            body_raw.into_iter().map(|t| self.capture(t)).collect::<Result<_>>()?;
+        for (i, (r, init)) in body_results.iter().zip(&inits).enumerate() {
+            let (dr, di) = (self.graph().dtype(*r), self.graph().dtype(*init));
+            if dr != di {
+                return Err(GraphError::ControlFlow(format!(
+                    "loop variable {i} changes dtype in body: {di} -> {dr}"
+                )));
+            }
+        }
+
+        // NextIteration per variable; patch the dangling Merge inputs.
+        let counter_ni = TensorRef {
+            node: self.add_node_raw(OpKind::NextIteration, vec![counter_next], wctx, "NextIter")?,
+            port: 0,
+        };
+        self.patch_input(counter_merge_id, 1, counter_ni);
+        for (i, &r) in body_results.iter().enumerate() {
+            let ni = TensorRef {
+                node: self.add_node_raw(OpKind::NextIteration, vec![r], wctx, "NextIter")?,
+                port: 0,
+            };
+            self.patch_input(merges[i].node, 1, ni);
+        }
+
+        // Exit per variable, placed in the parent context.
+        let counter_exit = TensorRef {
+            node: self.add_node_raw(
+                OpKind::Exit,
+                vec![TensorRef { node: counter_switch, port: 0 }],
+                parent,
+                "Exit",
+            )?,
+            port: 0,
+        };
+        let mut exits = Vec::with_capacity(inits.len());
+        for &s in &switches {
+            let e = self.add_node_raw(
+                OpKind::Exit,
+                vec![TensorRef { node: s, port: 0 }],
+                parent,
+                "Exit",
+            )?;
+            exits.push(TensorRef { node: e, port: 0 });
+        }
+
+        self.pop_context();
+
+        if let ContextKind::While(info) = self.context_info_mut(wctx) {
+            info.enters = enters;
+            info.merges = merges;
+            info.body_inputs = body_inputs;
+            info.body_results = body_results;
+            info.exits = exits.clone();
+            info.loop_cond = Some(loop_cond);
+            info.counter_merge = Some(counter_merge);
+            info.counter_body = Some(counter_body);
+            info.counter_exit = Some(counter_exit);
+        }
+        Ok(exits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    fn count_ops(g: &GraphBuilder, name: &str) -> usize {
+        g.graph().nodes().iter().filter(|n| n.op.name() == name).count()
+    }
+
+    #[test]
+    fn cond_structure() {
+        let mut g = GraphBuilder::new();
+        let p = g.constant(Tensor::scalar_bool(true));
+        let x = g.scalar_f32(1.0);
+        let outs = g
+            .cond(
+                p,
+                |g| {
+                    let y = g.neg(x)?;
+                    Ok(vec![y])
+                },
+                |g| {
+                    let two = g.scalar_f32(2.0);
+                    let y = g.mul(x, two)?;
+                    Ok(vec![y])
+                },
+            )
+            .unwrap();
+        assert_eq!(outs.len(), 1);
+        // x is captured once per branch, and the false branch's constant
+        // `2.0` is guarded too -> 3 guard Switches; one Merge.
+        assert_eq!(count_ops(&g, "Switch"), 3);
+        assert_eq!(count_ops(&g, "Merge"), 1);
+        g.finish().unwrap();
+    }
+
+    #[test]
+    fn cond_capture_is_cached_per_branch() {
+        let mut g = GraphBuilder::new();
+        let p = g.constant(Tensor::scalar_bool(false));
+        let x = g.scalar_f32(1.0);
+        g.cond(
+            p,
+            |g| {
+                // Two uses of x inside one branch share one guard.
+                let a = g.neg(x)?;
+                let b = g.add(a, x)?;
+                Ok(vec![b])
+            },
+            |g| Ok(vec![g.identity(x)?]),
+        )
+        .unwrap();
+        assert_eq!(count_ops(&g, "Switch"), 2);
+    }
+
+    #[test]
+    fn cond_branch_mismatches_rejected() {
+        let mut g = GraphBuilder::new();
+        let p = g.constant(Tensor::scalar_bool(true));
+        let x = g.scalar_f32(1.0);
+        let i = g.scalar_i64(1);
+        // Different output counts.
+        let r = g.cond(p, |g| Ok(vec![g.identity(x)?, g.identity(x)?]), |g| Ok(vec![g.identity(x)?]));
+        assert!(r.is_err());
+        // Different dtypes.
+        let r = g.cond(p, |g| Ok(vec![g.identity(x)?]), |g| Ok(vec![g.identity(i)?]));
+        assert!(r.is_err());
+        // Non-boolean predicate.
+        let r = g.cond(x, |g| Ok(vec![g.identity(x)?]), |g| Ok(vec![g.identity(x)?]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn while_structure_matches_figure_4() {
+        let mut g = GraphBuilder::new();
+        let i0 = g.scalar_i64(0);
+        let n = g.scalar_i64(10);
+        let outs = g
+            .while_loop(
+                &[i0],
+                |g, vars| g.less(vars[0], n),
+                |g, vars| {
+                    let one = g.scalar_i64(1);
+                    Ok(vec![g.add(vars[0], one)?])
+                },
+                WhileOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(outs.len(), 1);
+        // Counter + 1 loop variable: 2 each of Merge/Switch/NextIteration/
+        // Exit, plus Enters: 2 variable Enters + constant Enters for the
+        // captured `n` and the body constant `one`.
+        assert_eq!(count_ops(&g, "Merge"), 2);
+        assert_eq!(count_ops(&g, "Switch"), 2);
+        assert_eq!(count_ops(&g, "NextIteration"), 2);
+        assert_eq!(count_ops(&g, "Exit"), 2);
+        assert_eq!(count_ops(&g, "LoopCond"), 1);
+        let graph = g.finish().unwrap();
+        graph.validate().unwrap();
+        // Back edges close: each Merge's second input is a NextIteration.
+        for node in graph.nodes() {
+            if matches!(node.op, OpKind::Merge) {
+                let back = graph.node(node.inputs[1].node);
+                assert!(matches!(back.op, OpKind::NextIteration), "unpatched Merge {}", node.name);
+            }
+        }
+    }
+
+    #[test]
+    fn while_captures_external_as_loop_constant() {
+        let mut g = GraphBuilder::new();
+        let x = g.scalar_f32(3.0);
+        let i0 = g.scalar_i64(0);
+        let lim = g.scalar_i64(4);
+        g.while_loop(
+            &[i0],
+            |g, vars| g.less(vars[0], lim),
+            |g, vars| {
+                // `x` is external: must arrive via a constant Enter.
+                let _ = g.neg(x)?;
+                let one = g.scalar_i64(1);
+                Ok(vec![g.add(vars[0], one)?])
+            },
+            WhileOptions::default(),
+        )
+        .unwrap();
+        let has_const_enter = g.graph().nodes().iter().any(
+            |n| matches!(&n.op, OpKind::Enter { is_constant: true, .. }),
+        );
+        assert!(has_const_enter);
+    }
+
+    #[test]
+    fn while_body_arity_and_dtype_checked() {
+        let mut g = GraphBuilder::new();
+        let i0 = g.scalar_i64(0);
+        let lim = g.scalar_i64(4);
+        let r = g.while_loop(
+            &[i0],
+            |g, vars| g.less(vars[0], lim),
+            |g, vars| Ok(vec![vars[0], g.scalar_i64(0)]),
+            WhileOptions::default(),
+        );
+        assert!(r.is_err());
+        let r = g.while_loop(
+            &[i0],
+            |g, vars| g.less(vars[0], lim),
+            |g, _| Ok(vec![g.scalar_f32(0.0)]),
+            WhileOptions::default(),
+        );
+        assert!(r.is_err());
+        let r = g.while_loop(&[], |g, _| Ok(g.constant(Tensor::scalar_bool(false))), |_, _| Ok(vec![]), WhileOptions::default());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_while_inside_while() {
+        let mut g = GraphBuilder::new();
+        let i0 = g.scalar_i64(0);
+        let lim = g.scalar_i64(3);
+        let outs = g
+            .while_loop(
+                &[i0],
+                |g, vars| g.less(vars[0], lim),
+                |g, vars| {
+                    let inner_init = g.scalar_i64(0);
+                    let inner = g.while_loop(
+                        &[inner_init],
+                        |g, ivars| g.less(ivars[0], vars[0]),
+                        |g, ivars| {
+                            let one = g.scalar_i64(1);
+                            Ok(vec![g.add(ivars[0], one)?])
+                        },
+                        WhileOptions::default(),
+                    )?;
+                    let one = g.scalar_i64(1);
+                    let next = g.add(vars[0], one)?;
+                    let _ = inner;
+                    Ok(vec![next])
+                },
+                WhileOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(outs.len(), 1);
+        let graph = g.finish().unwrap();
+        graph.validate().unwrap();
+        graph.topo_order().unwrap();
+        // Two distinct frames exist.
+        let frames: std::collections::HashSet<String> = graph
+            .nodes()
+            .iter()
+            .filter_map(|n| match &n.op {
+                OpKind::Enter { frame, .. } => Some(frame.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(frames.len(), 2);
+    }
+
+    #[test]
+    fn cond_inside_while() {
+        let mut g = GraphBuilder::new();
+        let i0 = g.scalar_i64(0);
+        let lim = g.scalar_i64(5);
+        let outs = g
+            .while_loop(
+                &[i0],
+                |g, vars| g.less(vars[0], lim),
+                |g, vars| {
+                    let two = g.scalar_i64(2);
+                    let one = g.scalar_i64(1);
+                    let parity = g.equal(vars[0], two)?;
+                    let stepped = g.cond(
+                        parity,
+                        |g| Ok(vec![g.add(vars[0], two)?]),
+                        |g| Ok(vec![g.add(vars[0], one)?]),
+                    )?;
+                    Ok(vec![stepped[0]])
+                },
+                WhileOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(outs.len(), 1);
+        g.finish().unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn sibling_branch_use_rejected() {
+        let mut g = GraphBuilder::new();
+        let p = g.constant(Tensor::scalar_bool(true));
+        let x = g.scalar_f32(1.0);
+        let mut leaked: Option<TensorRef> = None;
+        let _ = g
+            .cond(
+                p,
+                |g| {
+                    let y = g.neg(x)?;
+                    leaked = Some(y);
+                    Ok(vec![y])
+                },
+                |g| Ok(vec![g.identity(x)?]),
+            )
+            .unwrap();
+        // Using the true branch's internal tensor at top level must fail.
+        let y = leaked.unwrap();
+        assert!(g.neg(y).is_err());
+    }
+
+    #[test]
+    fn exits_live_in_parent_context() {
+        let mut g = GraphBuilder::new();
+        let i0 = g.scalar_i64(0);
+        let lim = g.scalar_i64(2);
+        let outs = g
+            .while_loop(
+                &[i0],
+                |g, vars| g.less(vars[0], lim),
+                |g, vars| {
+                    let one = g.scalar_i64(1);
+                    Ok(vec![g.add(vars[0], one)?])
+                },
+                WhileOptions::default(),
+            )
+            .unwrap();
+        // Exit output is usable at top level without capture errors.
+        let doubled = g.add(outs[0], outs[0]).unwrap();
+        assert_ne!(doubled.node, NodeId(0));
+        g.finish().unwrap();
+    }
+}
+
+impl GraphBuilder {
+    /// Builds a multi-way conditional: executes `branches[i]` where `i` is
+    /// the run-time value of `index` (an `i64` scalar), or `default` when
+    /// `index` is out of range.
+    ///
+    /// Lowered onto a chain of binary `cond`s, so exactly one branch's
+    /// operations execute and the rest receive dead signals — the paper's
+    /// conditional-computation pattern generalized to N-way dispatch (as
+    /// used for expert selection in mixture-of-experts layers).
+    pub fn case(
+        &mut self,
+        index: TensorRef,
+        branches: Vec<Box<dyn FnOnce(&mut GraphBuilder) -> Result<Vec<TensorRef>> + '_>>,
+        default: impl FnOnce(&mut GraphBuilder) -> Result<Vec<TensorRef>>,
+    ) -> Result<Vec<TensorRef>> {
+        if self.graph().dtype(index) != DType::I64 {
+            return Err(GraphError::dtype("case index", DType::I64, self.graph().dtype(index)));
+        }
+        // Build from the last branch backwards:
+        // case(i, [b0, b1, b2], d) == cond(i==0, b0, cond(i==1, b1, cond(i==2, b2, d))).
+        let mut rest: Box<dyn FnOnce(&mut GraphBuilder) -> Result<Vec<TensorRef>>> =
+            Box::new(default);
+        for (i, branch) in branches.into_iter().enumerate().rev() {
+            let prev = rest;
+            rest = Box::new(move |g: &mut GraphBuilder| {
+                let idx_const = g.scalar_i64(i as i64);
+                let hit = g.equal(index, idx_const)?;
+                g.cond(hit, branch, prev)
+            });
+        }
+        rest(self)
+    }
+}
+
+#[cfg(test)]
+mod case_tests {
+    use super::*;
+
+    #[test]
+    fn case_builds_cond_chain() {
+        let mut g = GraphBuilder::new();
+        let i = g.constant(Tensor::scalar_i64(1));
+        let x = g.scalar_f32(10.0);
+        let outs = g
+            .case(
+                i,
+                vec![
+                    Box::new(|g: &mut GraphBuilder| Ok(vec![g.neg(x)?])),
+                    Box::new(|g: &mut GraphBuilder| Ok(vec![g.square(x)?])),
+                    Box::new(|g: &mut GraphBuilder| Ok(vec![g.identity(x)?])),
+                ],
+                |g| Ok(vec![g.scalar_f32(-1.0)]),
+            )
+            .unwrap();
+        assert_eq!(outs.len(), 1);
+        // Three binary conds: three predicate Equal nodes.
+        let eqs = g.graph().nodes().iter().filter(|n| n.op.name() == "Equal").count();
+        assert_eq!(eqs, 3);
+        g.finish().unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn case_rejects_non_integer_index() {
+        let mut g = GraphBuilder::new();
+        let i = g.scalar_f32(0.0);
+        let r = g.case(i, vec![], |g| Ok(vec![g.scalar_f32(0.0)]));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for graph construction.
+
+use dcf_tensor::{DType, TensorError};
+use std::fmt;
+
+/// Errors produced while building or validating a dataflow graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operand has the wrong dtype for the operation being added.
+    DType {
+        /// The operation being constructed.
+        op: String,
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// The operation received the wrong number of inputs.
+    Arity {
+        /// The operation being constructed.
+        op: String,
+        /// Number of inputs expected.
+        expected: usize,
+        /// Number of inputs found.
+        found: usize,
+    },
+    /// A referenced node or port does not exist.
+    DanglingRef(String),
+    /// Control-flow construction rule violated (e.g. mismatched branch
+    /// outputs, wrong number of loop variables).
+    ControlFlow(String),
+    /// An underlying tensor operation failed (e.g. while folding constants).
+    Tensor(TensorError),
+    /// Any other invalid-argument condition.
+    Invalid(String),
+}
+
+impl GraphError {
+    /// Creates a dtype error for op `op`.
+    pub fn dtype(op: impl Into<String>, expected: DType, found: DType) -> Self {
+        GraphError::DType {
+            op: op.into(),
+            detail: format!("expected {expected}, found {found}"),
+        }
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DType { op, detail } => write!(f, "{op}: {detail}"),
+            GraphError::Arity { op, expected, found } => {
+                write!(f, "{op}: expected {expected} inputs, found {found}")
+            }
+            GraphError::DanglingRef(s) => write!(f, "dangling reference: {s}"),
+            GraphError::ControlFlow(s) => write!(f, "control flow: {s}"),
+            GraphError::Tensor(e) => write!(f, "tensor: {e}"),
+            GraphError::Invalid(s) => write!(f, "invalid: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<TensorError> for GraphError {
+    fn from(e: TensorError) -> Self {
+        GraphError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = GraphError::dtype("add", DType::F32, DType::I64);
+        assert_eq!(e.to_string(), "add: expected f32, found i64");
+        let e = GraphError::Arity { op: "merge".into(), expected: 2, found: 1 };
+        assert!(e.to_string().contains("merge"));
+    }
+
+    #[test]
+    fn from_tensor_error() {
+        let te = TensorError::InvalidArgument("x".into());
+        let ge: GraphError = te.clone().into();
+        assert_eq!(ge, GraphError::Tensor(te));
+    }
+}

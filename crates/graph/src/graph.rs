@@ -1,0 +1,806 @@
+//! The dataflow graph container.
+
+use crate::context::{Context, ContextId, ContextKind};
+use crate::error::GraphError;
+use crate::node::Node;
+use crate::op::OpKind;
+use crate::Result;
+use dcf_tensor::{DType, Shape, Tensor};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node: its index in the graph's node table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A symbolic tensor: one data output of one node.
+///
+/// This is the value handle users manipulate while constructing graphs
+/// (analogous to a `tf.Tensor`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TensorRef {
+    /// Producing node.
+    pub node: NodeId,
+    /// Output port of the producing node.
+    pub port: usize,
+}
+
+/// A complete dataflow graph: nodes, edges (stored as per-node input lists),
+/// and the control-flow context tree.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) contexts: Vec<Context>,
+}
+
+impl Graph {
+    /// Creates an empty graph with only the root context.
+    pub fn new() -> Graph {
+        Graph {
+            nodes: Vec::new(),
+            contexts: vec![Context { id: ContextId::ROOT, parent: None, kind: ContextKind::Root }],
+        }
+    }
+
+    /// Returns the node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Returns all nodes in creation order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Returns the number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns the dtype of a symbolic tensor.
+    pub fn dtype(&self, t: TensorRef) -> DType {
+        self.nodes[t.node.0].out_dtypes[t.port]
+    }
+
+    /// Returns the control-flow context with the given id.
+    pub fn context(&self, id: ContextId) -> &Context {
+        &self.contexts[id.0]
+    }
+
+    /// Returns all control-flow contexts.
+    pub fn contexts(&self) -> &[Context] {
+        &self.contexts
+    }
+
+    /// Returns `true` if `anc` is `ctx` or one of its ancestors.
+    pub fn context_is_ancestor_or_self(&self, anc: ContextId, ctx: ContextId) -> bool {
+        crate::context::is_ancestor_or_self(&self.contexts, anc, ctx)
+    }
+
+    /// Returns the chain of contexts from the root to `ctx`, inclusive.
+    pub fn context_chain(&self, ctx: ContextId) -> Vec<ContextId> {
+        crate::context::chain_to(&self.contexts, ctx)
+    }
+
+    /// Validates structural invariants: all input references resolve, no
+    /// dangling Merge placeholders remain, arity matches the op where it is
+    /// statically known.
+    pub fn validate(&self) -> Result<()> {
+        for n in &self.nodes {
+            for (i, inp) in n.inputs.iter().enumerate() {
+                if inp.node.0 >= self.nodes.len() {
+                    return Err(GraphError::DanglingRef(format!(
+                        "{}: input {i} references missing node {:?}",
+                        n.name, inp.node
+                    )));
+                }
+                let producer = &self.nodes[inp.node.0];
+                if inp.port >= producer.out_dtypes.len() {
+                    return Err(GraphError::DanglingRef(format!(
+                        "{}: input {i} references port {} of {} which has {} outputs",
+                        n.name,
+                        inp.port,
+                        producer.name,
+                        producer.out_dtypes.len()
+                    )));
+                }
+            }
+            for c in &n.control_inputs {
+                if c.0 >= self.nodes.len() {
+                    return Err(GraphError::DanglingRef(format!(
+                        "{}: control input references missing node {:?}",
+                        n.name, c
+                    )));
+                }
+            }
+            if matches!(n.op, OpKind::Merge) && n.inputs.len() < 2 {
+                return Err(GraphError::ControlFlow(format!(
+                    "{}: Merge with {} inputs (dangling back edge not patched?)",
+                    n.name,
+                    n.inputs.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns node ids in a topological order that ignores loop back edges
+    /// (`NextIteration -> Merge`), which are the only cycles in a valid
+    /// graph.
+    ///
+    /// Useful for autodiff (reverse traversal) and for deterministic
+    /// scheduling decisions. Returns an error if a non-back-edge cycle is
+    /// found.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for node in &self.nodes {
+            for inp in &node.inputs {
+                let from = &self.nodes[inp.node.0];
+                // Back edges are NextIteration feeding a Merge.
+                let back_edge = matches!(from.op, OpKind::NextIteration)
+                    && matches!(node.op, OpKind::Merge);
+                if !back_edge {
+                    indegree[node.id.0] += 1;
+                    successors[inp.node.0].push(node.id.0);
+                }
+            }
+            for c in &node.control_inputs {
+                let from = &self.nodes[c.0];
+                let back_edge = matches!(from.op, OpKind::NextIteration)
+                    && matches!(node.op, OpKind::Merge);
+                if !back_edge {
+                    indegree[node.id.0] += 1;
+                    successors[c.0].push(node.id.0);
+                }
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        // Reverse so that pop() yields the smallest id first, keeping the
+        // order deterministic and close to creation order.
+        ready.sort_unstable_by(|a, b| b.cmp(a));
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(NodeId(i));
+            for &s in &successors[i] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    // Insert preserving descending sort for determinism.
+                    let pos = ready.partition_point(|&x| x > s);
+                    ready.insert(pos, s);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(GraphError::Invalid(
+                "graph contains a cycle not formed by NextIteration back edges".into(),
+            ));
+        }
+        Ok(order)
+    }
+
+    /// Returns, for every node, the list of (consumer node, input slot)
+    /// pairs per output port.
+    pub fn consumers(&self) -> HashMap<TensorRef, Vec<(NodeId, usize)>> {
+        let mut map: HashMap<TensorRef, Vec<(NodeId, usize)>> = HashMap::new();
+        for node in &self.nodes {
+            for (slot, inp) in node.inputs.iter().enumerate() {
+                map.entry(*inp).or_default().push((node.id, slot));
+            }
+        }
+        map
+    }
+
+    /// Returns the statically inferred shape of a tensor, if known.
+    pub fn shape(&self, t: TensorRef) -> Option<&Shape> {
+        self.nodes[t.node.0].out_shapes[t.port].as_ref()
+    }
+
+    /// Best-effort static shape inference.
+    ///
+    /// Returns one `Option<Shape>` per output; `None` where the shape
+    /// depends on run-time values (fed placeholders, TensorArray contents,
+    /// dynamic gathers). Static shapes let automatic differentiation emit
+    /// static reductions for broadcast gradients instead of saving forward
+    /// tensors merely to learn their shapes.
+    pub fn infer_shapes(op: &OpKind, inputs: &[Option<Shape>], n_outputs: usize) -> Vec<Option<Shape>> {
+        use OpKind::*;
+        let get = |i: usize| -> Option<Shape> { inputs.get(i).cloned().flatten() };
+        let bcast = || -> Option<Shape> {
+            let mut acc = get(0)?;
+            for i in 1..inputs.len() {
+                acc = dcf_tensor::broadcast_shapes(&acc, &get(i)?).ok()?;
+            }
+            Some(acc)
+        };
+        let scalar = || Some(Shape::scalar());
+        let one = |s: Option<Shape>| vec![s];
+        match op {
+            Const(t) => one(Some(t.shape().clone())),
+            Placeholder { shape, .. } => one(shape.clone().map(Shape::new)),
+            Variable { init, .. } => one(Some(init.shape().clone())),
+            RandomUniform { dims, .. } => one(Some(Shape::from(dims.clone()))),
+            Add | Sub | Mul | Div | Maximum | Minimum => one(bcast()),
+            AddN => one(get(0)),
+            Neg | Exp | Log | Sqrt | Square | Abs | Sigmoid | Tanh | Relu | Softmax
+            | Identity | StopGradient | ZerosLike | OnesLike | LoopCond | Cast { .. } => {
+                one(get(0))
+            }
+            ArgMax => one(get(0).and_then(|s| {
+                if s.rank() == 0 {
+                    None
+                } else {
+                    Some(Shape::new(s.dims()[..s.rank() - 1].to_vec()))
+                }
+            })),
+            MatMul { transpose_a, transpose_b } => {
+                let r = (|| {
+                    let a = get(0)?;
+                    let b = get(1)?;
+                    if a.rank() != 2 || b.rank() != 2 {
+                        return None;
+                    }
+                    let m = if *transpose_a { a.dim(1) } else { a.dim(0) };
+                    let n = if *transpose_b { b.dim(0) } else { b.dim(1) };
+                    Some(Shape::from([m, n]))
+                })();
+                one(r)
+            }
+            Transpose => one(get(0).and_then(|s| {
+                if s.rank() == 2 {
+                    Some(Shape::from([s.dim(1), s.dim(0)]))
+                } else {
+                    None
+                }
+            })),
+            ReduceSumAll | ReduceMeanAll | ReduceMaxAll | SizeF32 | DimSizeF32 { .. } => {
+                one(scalar())
+            }
+            ReduceSumAxis { axis, keep_dims }
+            | ReduceMeanAxis { axis, keep_dims }
+            | ReduceMaxAxis { axis, keep_dims } => {
+                let r = get(0).and_then(|s| {
+                    let rank = s.rank() as i64;
+                    let ax = if *axis < 0 { *axis + rank } else { *axis };
+                    if ax < 0 || ax >= rank {
+                        return None;
+                    }
+                    let mut dims = Vec::new();
+                    for (d, &e) in s.dims().iter().enumerate() {
+                        if d as i64 == ax {
+                            if *keep_dims {
+                                dims.push(1);
+                            }
+                        } else {
+                            dims.push(e);
+                        }
+                    }
+                    Some(Shape::new(dims))
+                });
+                one(r)
+            }
+            Reshape { dims } | BroadcastTo { dims } => one(Some(Shape::from(dims.clone()))),
+            OneHot { depth } => one(get(0).map(|s| {
+                let mut dims = s.dims().to_vec();
+                dims.push(*depth);
+                Shape::new(dims)
+            })),
+            ReduceToLike | BroadcastLike | ReshapeLike => one(get(1)),
+            ExpandDims { axis } => one(get(0).and_then(|s| {
+                if *axis > s.rank() {
+                    return None;
+                }
+                let mut dims = s.dims().to_vec();
+                dims.insert(*axis, 1);
+                Some(Shape::new(dims))
+            })),
+            Concat0Grad { index } | Concat1Grad { index } => one(get(1 + index)),
+            Index0Grad => one(get(1)),
+            Less | LessEqual | Greater | GreaterEqual | Equal => one(bcast()),
+            LogicalAnd | LogicalOr => one(bcast()),
+            LogicalNot => one(get(0)),
+            Select => one(get(1)),
+            Concat0 => {
+                let r = (|| {
+                    let mut lead = 0usize;
+                    let first = get(0)?;
+                    if first.rank() == 0 {
+                        return None;
+                    }
+                    for i in 0..inputs.len() {
+                        lead += get(i)?.dims().first().copied()?;
+                    }
+                    let mut dims = first.dims().to_vec();
+                    dims[0] = lead;
+                    Some(Shape::new(dims))
+                })();
+                one(r)
+            }
+            Concat1 => {
+                let r = (|| {
+                    let first = get(0)?;
+                    if first.rank() != 2 {
+                        return None;
+                    }
+                    let mut cols = 0usize;
+                    for i in 0..inputs.len() {
+                        cols += get(i)?.dims().get(1).copied()?;
+                    }
+                    Some(Shape::from([first.dim(0), cols]))
+                })();
+                one(r)
+            }
+            Split1 { n } => {
+                let r = get(0).and_then(|s| {
+                    if s.rank() == 2 && s.dim(1) % n == 0 {
+                        Some(Shape::from([s.dim(0), s.dim(1) / n]))
+                    } else {
+                        None
+                    }
+                });
+                vec![r; *n]
+            }
+            Pack => one(get(0).map(|s| s.prepend(inputs.len()))),
+            Index0 => one(get(0).and_then(|s| s.drop_leading().ok())),
+            Gather0 => {
+                let r = (|| {
+                    let data = get(0)?;
+                    let idx = get(1)?;
+                    let mut dims = idx.dims().to_vec();
+                    dims.extend_from_slice(data.drop_leading().ok()?.dims());
+                    Some(Shape::new(dims))
+                })();
+                one(r)
+            }
+            ScatterAdd0 { rows } => {
+                one(get(1).and_then(|s| s.drop_leading().ok()).map(|t| t.prepend(*rows)))
+            }
+            Switch => vec![get(0), get(0)],
+            Merge => {
+                let a = get(0);
+                let b = get(1);
+                one(if a == b { a } else { None })
+            }
+            Enter { .. } | Exit | NextIteration | Assign { .. } | AssignAdd { .. }
+            | AssignSub { .. } => one(get(0)),
+            StackPush => one(get(2)),
+            _ => vec![None; n_outputs],
+        }
+    }
+
+    /// Adds a node directly to the graph (runtime/partitioner use).
+    ///
+    /// Unlike the builder path, no context capture is performed: the caller
+    /// is responsible for the cross-context correctness of the edges (the
+    /// partitioner wires Send/Recv and control-loop machinery, which are
+    /// boundary operations by design). Output dtypes are inferred.
+    pub fn add_node_for_runtime(
+        &mut self,
+        op: OpKind,
+        inputs: Vec<TensorRef>,
+        ctx: ContextId,
+        device: Option<String>,
+        name_hint: &str,
+    ) -> Result<NodeId> {
+        let in_dtypes: Vec<DType> = inputs.iter().map(|t| self.dtype(*t)).collect();
+        let out_dtypes = Graph::infer_dtypes(&op, &in_dtypes)?;
+        let in_shapes: Vec<Option<Shape>> =
+            inputs.iter().map(|t| self.shape(*t).cloned()).collect();
+        let out_shapes = Graph::infer_shapes(&op, &in_shapes, out_dtypes.len());
+        let id = NodeId(self.nodes.len());
+        let name = format!("{}_{}", name_hint, id.0);
+        self.nodes.push(Node {
+            id,
+            name,
+            op,
+            inputs,
+            control_inputs: Vec::new(),
+            device,
+            ctx,
+            out_dtypes,
+            out_shapes,
+        });
+        Ok(id)
+    }
+
+    /// Replaces a node, in place, with a constant (constant-propagation
+    /// use). The node id and output port stay valid; inputs and control
+    /// edges are cleared.
+    pub fn replace_with_const(&mut self, node: NodeId, value: Tensor) {
+        let n = &mut self.nodes[node.0];
+        n.out_dtypes = vec![value.dtype()];
+        n.out_shapes = vec![Some(value.shape().clone())];
+        n.op = OpKind::Const(value);
+        n.inputs.clear();
+        n.control_inputs.clear();
+        n.ctx = ContextId::ROOT;
+    }
+
+    /// Rewrites input `slot` of `node` to `t` (partitioner use: replacing a
+    /// cross-device edge with a Recv output).
+    pub fn set_input(&mut self, node: NodeId, slot: usize, t: TensorRef) {
+        self.nodes[node.0].inputs[slot] = t;
+    }
+
+    /// Adds a control edge `dep -> node` (partitioner use: gating loop
+    /// Recvs on the control-loop state machine).
+    pub fn add_control_edge(&mut self, node: NodeId, dep: NodeId) {
+        let n = &mut self.nodes[node.0];
+        if !n.control_inputs.contains(&dep) {
+            n.control_inputs.push(dep);
+        }
+    }
+
+    /// Returns the chain of enclosing while-contexts of `ctx`, outermost
+    /// first (conditional branch contexts are skipped: they do not create
+    /// frames at run time).
+    pub fn while_chain(&self, ctx: ContextId) -> Vec<ContextId> {
+        self.context_chain(ctx)
+            .into_iter()
+            .filter(|c| matches!(self.contexts[c.0].kind, crate::context::ContextKind::While(_)))
+            .collect()
+    }
+
+    /// Infers the output dtypes of `op` applied to inputs of the given
+    /// dtypes. Returns an error for statically detectable type errors.
+    pub fn infer_dtypes(op: &OpKind, inputs: &[DType]) -> Result<Vec<DType>> {
+        use OpKind::*;
+        let first = inputs.first().copied();
+        let req = |idx: usize, want: DType| -> Result<()> {
+            match inputs.get(idx) {
+                Some(&d) if d == want => Ok(()),
+                Some(&d) => Err(GraphError::dtype(op.name(), want, d)),
+                None => Err(GraphError::Arity {
+                    op: op.name().into(),
+                    expected: idx + 1,
+                    found: inputs.len(),
+                }),
+            }
+        };
+        let same_as_first = |n: usize| -> Result<Vec<DType>> {
+            let f = first.ok_or_else(|| GraphError::Arity {
+                op: op.name().into(),
+                expected: n,
+                found: 0,
+            })?;
+            for &d in inputs {
+                if d != f {
+                    return Err(GraphError::dtype(op.name(), f, d));
+                }
+            }
+            Ok(vec![f])
+        };
+        Ok(match op {
+            Const(t) => vec![t.dtype()],
+            Placeholder { dtype, .. } => vec![*dtype],
+            Variable { init, .. } => vec![init.dtype()],
+            RandomUniform { .. } => vec![DType::F32],
+            Add | Sub | Mul | Maximum | Minimum => same_as_first(2)?,
+            AddN => same_as_first(1)?,
+            Div => {
+                req(0, DType::F32)?;
+                req(1, DType::F32)?;
+                vec![DType::F32]
+            }
+            Neg => same_as_first(1)?,
+            Exp | Log | Sqrt | Square | Abs | Sigmoid | Tanh | Relu | Softmax => {
+                req(0, DType::F32)?;
+                vec![DType::F32]
+            }
+            ArgMax => {
+                req(0, DType::F32)?;
+                vec![DType::I64]
+            }
+            MatMul { .. } => {
+                req(0, DType::F32)?;
+                req(1, DType::F32)?;
+                vec![DType::F32]
+            }
+            Transpose | Identity | StopGradient | ZerosLike | Reshape { .. } => same_as_first(1)?,
+            OnesLike => {
+                req(0, DType::F32)?;
+                vec![DType::F32]
+            }
+            BroadcastTo { .. } => {
+                req(0, DType::F32)?;
+                vec![DType::F32]
+            }
+            ReduceSumAll | ReduceMaxAll => same_as_first(1)?,
+            ReduceMeanAll | ReduceSumAxis { .. } | ReduceMeanAxis { .. }
+            | ReduceMaxAxis { .. } => {
+                req(0, DType::F32)?;
+                vec![DType::F32]
+            }
+            Cast { dtype } => {
+                if inputs.is_empty() {
+                    return Err(GraphError::Arity { op: "Cast".into(), expected: 1, found: 0 });
+                }
+                vec![*dtype]
+            }
+            OneHot { .. } => {
+                req(0, DType::I64)?;
+                vec![DType::F32]
+            }
+            ReduceToLike | BroadcastLike | ReshapeLike => {
+                req(0, DType::F32)?;
+                req(1, DType::F32)?;
+                vec![DType::F32]
+            }
+            ExpandDims { .. } => {
+                req(0, DType::F32)?;
+                vec![DType::F32]
+            }
+            SizeF32 | DimSizeF32 { .. } => {
+                if inputs.is_empty() {
+                    return Err(GraphError::Arity { op: op.name().into(), expected: 1, found: 0 });
+                }
+                vec![DType::F32]
+            }
+            Concat0Grad { .. } | Concat1Grad { .. } => {
+                req(0, DType::F32)?;
+                vec![DType::F32]
+            }
+            Index0Grad => {
+                req(0, DType::F32)?;
+                req(1, DType::F32)?;
+                req(2, DType::I64)?;
+                vec![DType::F32]
+            }
+            Less | LessEqual | Greater | GreaterEqual | Equal => {
+                same_as_first(2)?;
+                vec![DType::Bool]
+            }
+            LogicalAnd | LogicalOr => {
+                req(0, DType::Bool)?;
+                req(1, DType::Bool)?;
+                vec![DType::Bool]
+            }
+            LogicalNot => {
+                req(0, DType::Bool)?;
+                vec![DType::Bool]
+            }
+            Select => {
+                req(0, DType::Bool)?;
+                let a = inputs.get(1).copied().ok_or_else(|| GraphError::Arity {
+                    op: "Select".into(),
+                    expected: 3,
+                    found: inputs.len(),
+                })?;
+                vec![a]
+            }
+            Concat0 | Concat1 | Pack => same_as_first(1)?,
+            Split1 { n } => {
+                req(0, DType::F32)?;
+                vec![DType::F32; *n]
+            }
+            Index0 => {
+                let d = first.ok_or_else(|| GraphError::Arity {
+                    op: "Index0".into(),
+                    expected: 2,
+                    found: 0,
+                })?;
+                req(1, DType::I64)?;
+                vec![d]
+            }
+            Gather0 => {
+                let d = first.ok_or_else(|| GraphError::Arity {
+                    op: "Gather0".into(),
+                    expected: 2,
+                    found: 0,
+                })?;
+                req(1, DType::I64)?;
+                vec![d]
+            }
+            ScatterAdd0 { .. } => {
+                req(0, DType::I64)?;
+                req(1, DType::F32)?;
+                vec![DType::F32]
+            }
+            Switch => {
+                let d = first.ok_or_else(|| GraphError::Arity {
+                    op: "Switch".into(),
+                    expected: 2,
+                    found: 0,
+                })?;
+                req(1, DType::Bool)?;
+                vec![d, d]
+            }
+            Merge => same_as_first(1)?,
+            Enter { .. } | Exit | NextIteration => same_as_first(1)?,
+            LoopCond => {
+                req(0, DType::Bool)?;
+                vec![DType::Bool]
+            }
+            Assign { .. } | AssignAdd { .. } | AssignSub { .. } => same_as_first(1)?,
+            StackCreate { .. } => vec![DType::I64],
+            StackPush => {
+                req(0, DType::I64)?;
+                req(1, DType::I64)?;
+                let d = inputs.get(2).copied().ok_or_else(|| GraphError::Arity {
+                    op: "StackPush".into(),
+                    expected: 3,
+                    found: inputs.len(),
+                })?;
+                vec![d]
+            }
+            // StackPop's value dtype is not statically known from inputs
+            // alone; the builder supplies it via the dedicated helper, so
+            // here we default to F32 (stacks store differentiable values).
+            StackPop => {
+                req(0, DType::I64)?;
+                req(1, DType::I64)?;
+                vec![DType::F32]
+            }
+            TensorArrayNew { .. } => vec![DType::I64, DType::F32],
+            TensorArrayWrite => {
+                req(0, DType::I64)?;
+                req(1, DType::I64)?;
+                vec![DType::F32]
+            }
+            TensorArrayRead => {
+                req(0, DType::I64)?;
+                req(1, DType::I64)?;
+                vec![DType::F32]
+            }
+            TensorArrayPack => {
+                req(0, DType::I64)?;
+                vec![DType::F32]
+            }
+            TensorArrayUnpack => {
+                req(0, DType::I64)?;
+                vec![DType::F32]
+            }
+            TensorArraySize => {
+                req(0, DType::I64)?;
+                vec![DType::I64]
+            }
+            TensorArrayGrad { .. } => {
+                req(0, DType::I64)?;
+                vec![DType::I64, DType::F32]
+            }
+            Send { .. } => vec![],
+            Recv { dtype, .. } => vec![*dtype],
+            NoOp | ControlTrigger => vec![],
+        })
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Graph ({} nodes, {} contexts)", self.nodes.len(), self.contexts.len())?;
+        for n in &self.nodes {
+            let ins: Vec<String> =
+                n.inputs.iter().map(|i| format!("{}:{}", i.node.0, i.port)).collect();
+            writeln!(
+                f,
+                "  %{:<4} {:<16} {:<28} ins=[{}] ctx={} dev={}",
+                n.id.0,
+                n.op.name(),
+                n.name,
+                ins.join(", "),
+                n.ctx.0,
+                n.device.as_deref().unwrap_or("-")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_tensor::Tensor;
+
+    #[test]
+    fn infer_basics() {
+        let d = Graph::infer_dtypes(&OpKind::Add, &[DType::F32, DType::F32]).unwrap();
+        assert_eq!(d, vec![DType::F32]);
+        assert!(Graph::infer_dtypes(&OpKind::Add, &[DType::F32, DType::I64]).is_err());
+        let d = Graph::infer_dtypes(&OpKind::Less, &[DType::I64, DType::I64]).unwrap();
+        assert_eq!(d, vec![DType::Bool]);
+        let d = Graph::infer_dtypes(&OpKind::Switch, &[DType::F32, DType::Bool]).unwrap();
+        assert_eq!(d, vec![DType::F32, DType::F32]);
+        assert!(Graph::infer_dtypes(&OpKind::Switch, &[DType::F32, DType::F32]).is_err());
+        let d = Graph::infer_dtypes(&OpKind::Const(Tensor::scalar_i64(1)), &[]).unwrap();
+        assert_eq!(d, vec![DType::I64]);
+    }
+
+    #[test]
+    fn infer_arity_errors() {
+        assert!(Graph::infer_dtypes(&OpKind::Add, &[]).is_err());
+        assert!(Graph::infer_dtypes(&OpKind::Select, &[DType::Bool]).is_err());
+        assert!(Graph::infer_dtypes(&OpKind::LoopCond, &[]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_valid() {
+        let g = Graph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        g.validate().unwrap();
+        assert!(g.topo_order().unwrap().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod shape_inference_tests {
+    use crate::GraphBuilder;
+    use dcf_tensor::Tensor;
+
+    #[test]
+    fn shapes_propagate_through_builders() {
+        let mut b = GraphBuilder::new();
+        let a = b.constant(Tensor::ones(&[2, 3]));
+        let w = b.constant(Tensor::ones(&[3, 4]));
+        let m = b.matmul(a, w).unwrap();
+        assert_eq!(b.graph().shape(m).unwrap().dims(), &[2, 4]);
+        let t = b.transpose(m).unwrap();
+        assert_eq!(b.graph().shape(t).unwrap().dims(), &[4, 2]);
+        let s = b.reduce_sum_axis(m, 0, false).unwrap();
+        assert_eq!(b.graph().shape(s).unwrap().dims(), &[4]);
+        let k = b.reduce_sum_axis(m, 1, true).unwrap();
+        assert_eq!(b.graph().shape(k).unwrap().dims(), &[2, 1]);
+        let sm = b.reduce_sum(m).unwrap();
+        assert!(b.graph().shape(sm).unwrap().is_scalar());
+    }
+
+    #[test]
+    fn unknown_shapes_stay_unknown() {
+        let mut b = GraphBuilder::new();
+        let p = b.placeholder("p", dcf_tensor::DType::F32);
+        assert!(b.graph().shape(p).is_none());
+        let n = b.neg(p).unwrap();
+        assert!(b.graph().shape(n).is_none());
+        // But a shaped placeholder propagates.
+        let q = b.placeholder_shaped("q", dcf_tensor::DType::F32, &[5, 2]);
+        assert_eq!(b.graph().shape(q).unwrap().dims(), &[5, 2]);
+        let nq = b.neg(q).unwrap();
+        assert_eq!(b.graph().shape(nq).unwrap().dims(), &[5, 2]);
+    }
+
+    #[test]
+    fn broadcast_and_concat_shapes() {
+        let mut b = GraphBuilder::new();
+        let col = b.constant(Tensor::ones(&[4, 1]));
+        let row = b.constant(Tensor::ones(&[3]));
+        let s = b.add(col, row).unwrap();
+        assert_eq!(b.graph().shape(s).unwrap().dims(), &[4, 3]);
+        let c = b.concat1(&[s, s]).unwrap();
+        assert_eq!(b.graph().shape(c).unwrap().dims(), &[4, 6]);
+        let parts = b.split1(c, 3).unwrap();
+        assert_eq!(b.graph().shape(parts[2]).unwrap().dims(), &[4, 2]);
+        let packed = b.pack(&[s, s]).unwrap();
+        assert_eq!(b.graph().shape(packed).unwrap().dims(), &[2, 4, 3]);
+    }
+
+    #[test]
+    fn loop_variable_shapes_survive_the_machinery() {
+        let mut b = GraphBuilder::new();
+        let i0 = b.scalar_i64(0);
+        let x0 = b.constant(Tensor::ones(&[2, 2]));
+        let lim = b.scalar_i64(3);
+        let outs = b
+            .while_loop(
+                &[i0, x0],
+                |g, v| g.less(v[0], lim),
+                |g, v| {
+                    let one = g.scalar_i64(1);
+                    Ok(vec![g.add(v[0], one)?, g.matmul(v[1], v[1])?])
+                },
+                crate::WhileOptions::default(),
+            )
+            .unwrap();
+        // Enter -> Merge -> Switch -> Exit all forward the [2, 2] shape.
+        assert_eq!(b.graph().shape(outs[1]).unwrap().dims(), &[2, 2]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Higher-order functions defined in terms of `while_loop` and TensorArrays.
+//!
+//! Per §2.1 of the paper, the set of control-flow *primitives* stays small:
+//! `scan`, `map_fn`, `foldl`, and `foldr` are library functions lowered onto
+//! `while_loop` and `TensorArray` operations, exactly as in Figure 2.
+
+use crate::control_flow::WhileOptions;
+use crate::graph::TensorRef;
+use crate::{GraphBuilder, Result};
+use dcf_tensor::{DType, Tensor};
+
+impl GraphBuilder {
+    /// Generalized prefix sum (Figure 2): returns a tensor whose leading
+    /// index `i` holds `fn(...fn(fn(init, elems[0]), elems[1])..., elems[i])`.
+    ///
+    /// `elems` is unstacked along its leading axis; `f` is applied
+    /// repeatedly inside an in-graph while-loop; results are packed back
+    /// into a single tensor.
+    pub fn scan(
+        &mut self,
+        f: impl Fn(&mut GraphBuilder, TensorRef, TensorRef) -> Result<TensorRef>,
+        elems: TensorRef,
+        init: TensorRef,
+        options: WhileOptions,
+    ) -> Result<TensorRef> {
+        let elem_dtype = self.graph().dtype(elems);
+        let acc_dtype = self.graph().dtype(init);
+        let zero_size = self.scalar_i64(0);
+        let elem_ta = self.tensor_array(elem_dtype, zero_size)?;
+        let elem_ta = elem_ta.unstack(self, elems)?;
+        let result_ta = self.tensor_array(acc_dtype, zero_size)?;
+        let n = elem_ta.size(self)?;
+
+        let i0 = self.scalar_i64(0);
+        let outs = self.while_loop(
+            &[i0, init, result_ta.flow],
+            |g, vars| g.less(vars[0], n),
+            |g, vars| {
+                let (i, a, flow) = (vars[0], vars[1], vars[2]);
+                let e = elem_ta.with_flow(elem_ta.flow).read(g, i)?;
+                let a_out = f(g, a, e)?;
+                let out_flow = result_ta.with_flow(flow).write(g, i, a_out)?.flow;
+                let one = g.scalar_i64(1);
+                let i1 = g.add(i, one)?;
+                Ok(vec![i1, a_out, out_flow])
+            },
+            options,
+        )?;
+        result_ta.with_flow(outs[2]).pack(self)
+    }
+
+    /// Applies `f` to each leading-axis element of `elems` and packs the
+    /// results.
+    pub fn map_fn(
+        &mut self,
+        f: impl Fn(&mut GraphBuilder, TensorRef) -> Result<TensorRef>,
+        elems: TensorRef,
+        out_dtype: DType,
+        options: WhileOptions,
+    ) -> Result<TensorRef> {
+        let elem_dtype = self.graph().dtype(elems);
+        let zero_size = self.scalar_i64(0);
+        let elem_ta = self.tensor_array(elem_dtype, zero_size)?;
+        let elem_ta = elem_ta.unstack(self, elems)?;
+        let result_ta = self.tensor_array(out_dtype, zero_size)?;
+        let n = elem_ta.size(self)?;
+
+        let i0 = self.scalar_i64(0);
+        let outs = self.while_loop(
+            &[i0, result_ta.flow],
+            |g, vars| g.less(vars[0], n),
+            |g, vars| {
+                let (i, flow) = (vars[0], vars[1]);
+                let e = elem_ta.read(g, i)?;
+                let y = f(g, e)?;
+                let out_flow = result_ta.with_flow(flow).write(g, i, y)?.flow;
+                let one = g.scalar_i64(1);
+                let i1 = g.add(i, one)?;
+                Ok(vec![i1, out_flow])
+            },
+            options,
+        )?;
+        result_ta.with_flow(outs[1]).pack(self)
+    }
+
+    /// Left fold over the leading axis of `elems`, starting from `init`.
+    pub fn foldl(
+        &mut self,
+        f: impl Fn(&mut GraphBuilder, TensorRef, TensorRef) -> Result<TensorRef>,
+        elems: TensorRef,
+        init: TensorRef,
+        options: WhileOptions,
+    ) -> Result<TensorRef> {
+        let elem_dtype = self.graph().dtype(elems);
+        let zero_size = self.scalar_i64(0);
+        let elem_ta = self.tensor_array(elem_dtype, zero_size)?;
+        let elem_ta = elem_ta.unstack(self, elems)?;
+        let n = elem_ta.size(self)?;
+
+        let i0 = self.scalar_i64(0);
+        let outs = self.while_loop(
+            &[i0, init],
+            |g, vars| g.less(vars[0], n),
+            |g, vars| {
+                let (i, a) = (vars[0], vars[1]);
+                let e = elem_ta.read(g, i)?;
+                let a_out = f(g, a, e)?;
+                let one = g.scalar_i64(1);
+                let i1 = g.add(i, one)?;
+                Ok(vec![i1, a_out])
+            },
+            options,
+        )?;
+        Ok(outs[1])
+    }
+
+    /// Right fold over the leading axis of `elems`, starting from `init`.
+    pub fn foldr(
+        &mut self,
+        f: impl Fn(&mut GraphBuilder, TensorRef, TensorRef) -> Result<TensorRef>,
+        elems: TensorRef,
+        init: TensorRef,
+        options: WhileOptions,
+    ) -> Result<TensorRef> {
+        let elem_dtype = self.graph().dtype(elems);
+        let zero_size = self.scalar_i64(0);
+        let elem_ta = self.tensor_array(elem_dtype, zero_size)?;
+        let elem_ta = elem_ta.unstack(self, elems)?;
+        let n = elem_ta.size(self)?;
+
+        // Iterate i from n-1 down to 0.
+        let one_out = self.constant(Tensor::scalar_i64(1));
+        let start = self.sub(n, one_out)?;
+        let zero = self.scalar_i64(0);
+        let outs = self.while_loop(
+            &[start, init],
+            |g, vars| g.greater_equal(vars[0], zero),
+            |g, vars| {
+                let (i, a) = (vars[0], vars[1]);
+                let e = elem_ta.read(g, i)?;
+                let a_out = f(g, a, e)?;
+                let one = g.scalar_i64(1);
+                let i1 = g.sub(i, one)?;
+                Ok(vec![i1, a_out])
+            },
+            options,
+        )?;
+        Ok(outs[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_builds_loop_and_arrays() {
+        let mut g = GraphBuilder::new();
+        let elems = g.constant(Tensor::from_vec_f32(vec![1.0, 2.0, 3.0], &[3]).unwrap());
+        let init = g.scalar_f32(0.0);
+        let r = g.scan(|g, a, e| g.add(a, e), elems, init, WhileOptions::default()).unwrap();
+        assert_eq!(g.graph().dtype(r), DType::F32);
+        let graph = g.finish().unwrap();
+        graph.validate().unwrap();
+        // Uses two TensorArrays and one loop.
+        let ta_count =
+            graph.nodes().iter().filter(|n| n.op.name() == "TensorArrayNew").count();
+        assert_eq!(ta_count, 2);
+    }
+
+    #[test]
+    fn fold_and_map_build() {
+        let mut g = GraphBuilder::new();
+        let elems = g.constant(Tensor::from_vec_f32(vec![1.0, 2.0], &[2]).unwrap());
+        let init = g.scalar_f32(0.0);
+        let l = g.foldl(|g, a, e| g.add(a, e), elems, init, WhileOptions::default()).unwrap();
+        let r = g.foldr(|g, a, e| g.sub(a, e), elems, init, WhileOptions::default()).unwrap();
+        let m = g.map_fn(|g, e| g.square(e), elems, DType::F32, WhileOptions::default()).unwrap();
+        assert_eq!(g.graph().dtype(l), DType::F32);
+        assert_eq!(g.graph().dtype(r), DType::F32);
+        assert_eq!(g.graph().dtype(m), DType::F32);
+        g.finish().unwrap().validate().unwrap();
+    }
+}

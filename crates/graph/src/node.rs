@@ -1,0 +1,84 @@
+//! Graph nodes.
+
+use crate::context::ContextId;
+use crate::graph::{NodeId, TensorRef};
+use crate::op::OpKind;
+use dcf_tensor::{DType, Shape};
+
+/// One operation instance in the dataflow graph.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// This node's id (its index in the graph's node table).
+    pub id: NodeId,
+    /// Unique diagnostic name, e.g. `"while/Merge_1"`.
+    pub name: String,
+    /// The operation this node performs.
+    pub op: OpKind,
+    /// Data inputs, in operand order.
+    pub inputs: Vec<TensorRef>,
+    /// Control inputs: this node may not execute (in a given frame and
+    /// iteration) before these nodes have executed there.
+    pub control_inputs: Vec<NodeId>,
+    /// Requested placement, e.g. `"/machine:0/gpu:0"`. `None` lets the
+    /// placer choose.
+    pub device: Option<String>,
+    /// Innermost control-flow context containing this node.
+    pub ctx: ContextId,
+    /// Inferred dtype of each data output.
+    pub out_dtypes: Vec<DType>,
+    /// Statically inferred shape of each data output, where known.
+    pub out_shapes: Vec<Option<Shape>>,
+}
+
+impl Node {
+    /// Returns a [`TensorRef`] for output `port` of this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range for the op's output count.
+    pub fn out(&self, port: usize) -> TensorRef {
+        assert!(port < self.out_dtypes.len(), "output port {port} out of range on {}", self.name);
+        TensorRef { node: self.id, port }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_tensor::Tensor;
+
+    #[test]
+    fn out_ref() {
+        let n = Node {
+            id: NodeId(3),
+            name: "c".into(),
+            op: OpKind::Const(Tensor::scalar_f32(1.0)),
+            inputs: vec![],
+            control_inputs: vec![],
+            device: None,
+            ctx: ContextId::ROOT,
+            out_dtypes: vec![DType::F32],
+            out_shapes: vec![None],
+        };
+        let r = n.out(0);
+        assert_eq!(r.node, NodeId(3));
+        assert_eq!(r.port, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_ref_bounds() {
+        let n = Node {
+            id: NodeId(0),
+            name: "c".into(),
+            op: OpKind::Const(Tensor::scalar_f32(1.0)),
+            inputs: vec![],
+            control_inputs: vec![],
+            device: None,
+            ctx: ContextId::ROOT,
+            out_dtypes: vec![DType::F32],
+            out_shapes: vec![None],
+        };
+        let _ = n.out(1);
+    }
+}

@@ -1,0 +1,541 @@
+//! Operation kinds: the instruction set of the dataflow graph.
+
+use dcf_tensor::{DType, Tensor};
+
+/// The kind of a graph node.
+///
+/// The set comprises ordinary math/array operations, the control-flow
+/// primitives of §4.1, resource operations (variables, stacks,
+/// `TensorArray`s), and the communication operations (`Send`/`Recv`) that the
+/// partitioner inserts (§3, §4.4).
+#[derive(Clone, Debug)]
+pub enum OpKind {
+    // ------------------------------------------------------------------
+    // Sources
+    // ------------------------------------------------------------------
+    /// A compile-time constant tensor.
+    Const(Tensor),
+    /// A value fed at `Session::run` time.
+    Placeholder {
+        /// Feed key.
+        name: String,
+        /// Element type of the fed value.
+        dtype: DType,
+        /// Statically known shape of the fed value, if declared.
+        shape: Option<Vec<usize>>,
+    },
+    /// A mutable variable; holds state across executions. Output is the
+    /// current value.
+    Variable {
+        /// Unique variable name (resource key).
+        name: String,
+        /// Initial value, installed on first use.
+        init: Tensor,
+    },
+    /// Uniform random tensor in `[lo, hi)`; stateful.
+    RandomUniform {
+        /// Output dimensions.
+        dims: Vec<usize>,
+        /// Lower bound (inclusive).
+        lo: f32,
+        /// Upper bound (exclusive).
+        hi: f32,
+        /// RNG stream seed.
+        seed: u64,
+    },
+
+    // ------------------------------------------------------------------
+    // Elementwise / linear algebra / reductions
+    // ------------------------------------------------------------------
+    /// Elementwise addition with broadcasting.
+    Add,
+    /// Variadic addition (gradient accumulation).
+    AddN,
+    /// Elementwise subtraction with broadcasting.
+    Sub,
+    /// Elementwise multiplication with broadcasting.
+    Mul,
+    /// Elementwise division with broadcasting.
+    Div,
+    /// Elementwise maximum.
+    Maximum,
+    /// Elementwise minimum.
+    Minimum,
+    /// Elementwise negation.
+    Neg,
+    /// Elementwise exponential.
+    Exp,
+    /// Elementwise natural logarithm.
+    Log,
+    /// Elementwise square root.
+    Sqrt,
+    /// Elementwise square.
+    Square,
+    /// Elementwise absolute value.
+    Abs,
+    /// Elementwise logistic sigmoid.
+    Sigmoid,
+    /// Elementwise hyperbolic tangent.
+    Tanh,
+    /// Elementwise rectified linear unit.
+    Relu,
+    /// Softmax along the last axis.
+    Softmax,
+    /// Argmax along the last axis (returns `i64`).
+    ArgMax,
+    /// Matrix multiply with optional transposed operands.
+    MatMul {
+        /// Treat the left operand as transposed.
+        transpose_a: bool,
+        /// Treat the right operand as transposed.
+        transpose_b: bool,
+    },
+    /// Rank-2 transpose.
+    Transpose,
+    /// Sum of all elements (scalar output).
+    ReduceSumAll,
+    /// Mean of all elements (scalar output).
+    ReduceMeanAll,
+    /// Max of all elements (scalar output).
+    ReduceMaxAll,
+    /// Sum along one axis.
+    ReduceSumAxis {
+        /// Axis (negative counts from the end).
+        axis: i64,
+        /// Keep the reduced axis with extent 1.
+        keep_dims: bool,
+    },
+    /// Mean along one axis.
+    ReduceMeanAxis {
+        /// Axis (negative counts from the end).
+        axis: i64,
+        /// Keep the reduced axis with extent 1.
+        keep_dims: bool,
+    },
+    /// Max along one axis.
+    ReduceMaxAxis {
+        /// Axis (negative counts from the end).
+        axis: i64,
+        /// Keep the reduced axis with extent 1.
+        keep_dims: bool,
+    },
+    /// Reshape to a static shape of equal volume.
+    Reshape {
+        /// Target dimensions.
+        dims: Vec<usize>,
+    },
+    /// Broadcast to a static shape.
+    BroadcastTo {
+        /// Target dimensions.
+        dims: Vec<usize>,
+    },
+    /// Cast to a dtype.
+    Cast {
+        /// Target dtype.
+        dtype: DType,
+    },
+    /// Identity (forwards its input).
+    Identity,
+    /// Identity that blocks gradient flow (e.g. into target networks).
+    StopGradient,
+    /// Zero tensor with the shape and dtype of the input.
+    ZerosLike,
+    /// One-filled `f32` tensor with the shape of the input.
+    OnesLike,
+    /// One-hot encoding of an `i64` tensor.
+    OneHot {
+        /// Number of classes.
+        depth: usize,
+    },
+
+    // ------------------------------------------------------------------
+    // Runtime-shaped gradient adapters (shapes taken from a `like` operand
+    // at run time; used by automatic differentiation where static shapes
+    // are unavailable)
+    // ------------------------------------------------------------------
+    /// Un-broadcasts a gradient to the shape of the second (`like`) input.
+    ReduceToLike,
+    /// Broadcasts a gradient to the shape of the second (`like`) input.
+    BroadcastLike,
+    /// Inserts a size-1 axis at `axis`.
+    ExpandDims {
+        /// Position of the new axis.
+        axis: usize,
+    },
+    /// Reshapes the first input to the shape of the second (`like`) input.
+    ReshapeLike,
+    /// Number of elements of the input, as an `f32` scalar.
+    SizeF32,
+    /// Extent of `axis` of the input, as an `f32` scalar.
+    DimSizeF32 {
+        /// The axis measured.
+        axis: usize,
+    },
+    /// Gradient of `Concat0` for operand `index`: slices the matching rows
+    /// out of the gradient. Inputs: `(grad, like_0, ..., like_{n-1})`.
+    Concat0Grad {
+        /// Which operand's gradient to produce.
+        index: usize,
+    },
+    /// Gradient of `Concat1` for operand `index`: slices the matching
+    /// columns out of the gradient. Inputs: `(grad, like_0, ..., like_{n-1})`.
+    Concat1Grad {
+        /// Which operand's gradient to produce.
+        index: usize,
+    },
+    /// Gradient of `Index0`: scatters the gradient row into zeros shaped
+    /// like the original operand. Inputs: `(grad, like, index)`.
+    Index0Grad,
+
+    // ------------------------------------------------------------------
+    // Comparison / logic / selection
+    // ------------------------------------------------------------------
+    /// Elementwise `<`.
+    Less,
+    /// Elementwise `<=`.
+    LessEqual,
+    /// Elementwise `>`.
+    Greater,
+    /// Elementwise `>=`.
+    GreaterEqual,
+    /// Elementwise `==`.
+    Equal,
+    /// Elementwise boolean AND.
+    LogicalAnd,
+    /// Elementwise boolean OR.
+    LogicalOr,
+    /// Elementwise boolean NOT.
+    LogicalNot,
+    /// Elementwise/scalar selection `cond ? a : b`.
+    Select,
+
+    // ------------------------------------------------------------------
+    // Array manipulation
+    // ------------------------------------------------------------------
+    /// Concatenate along axis 0.
+    Concat0,
+    /// Concatenate rank-2 tensors along axis 1.
+    Concat1,
+    /// Split a rank-2 tensor into `n` equal column blocks (multi-output).
+    Split1 {
+        /// Number of parts.
+        n: usize,
+    },
+    /// Stack equal-shaped tensors along a new leading axis.
+    Pack,
+    /// Extract the subtensor at a dynamic index along axis 0.
+    Index0,
+    /// Gather rows by an `i64` index tensor.
+    Gather0,
+    /// Scatter-add rows into a zero tensor of `rows` rows.
+    ScatterAdd0 {
+        /// Number of output rows.
+        rows: usize,
+    },
+
+    // ------------------------------------------------------------------
+    // Control-flow primitives (§4.1)
+    // ------------------------------------------------------------------
+    /// Forwards the data input to output 1 (true) or 0 (false) according to
+    /// the boolean input; the untaken output is *dead*.
+    Switch,
+    /// Forwards the first available live input. Unlike all other ops, it is
+    /// enabled as soon as *any* input is available.
+    Merge,
+    /// Forwards its input into a child frame.
+    Enter {
+        /// Name of the child frame.
+        frame: String,
+        /// Loop-constant promotion: the value is made available to every
+        /// iteration of the frame.
+        is_constant: bool,
+        /// Maximum number of iterations allowed to run concurrently
+        /// (the §4.3 knob; meaningful on the first Enter of a frame).
+        parallel_iterations: usize,
+    },
+    /// Forwards a value from a frame to its parent frame.
+    Exit,
+    /// Forwards its input to the next iteration of its frame.
+    NextIteration,
+    /// Marks the loop predicate; forwards its boolean input.
+    LoopCond,
+
+    // ------------------------------------------------------------------
+    // Stateful resource ops
+    // ------------------------------------------------------------------
+    /// Overwrites a variable with the input value; outputs the new value.
+    Assign {
+        /// Target variable name.
+        var: String,
+    },
+    /// Adds the input to a variable; outputs the new value.
+    AssignAdd {
+        /// Target variable name.
+        var: String,
+    },
+    /// Subtracts the input from a variable; outputs the new value.
+    AssignSub {
+        /// Target variable name.
+        var: String,
+    },
+    /// Creates a stack resource; outputs an `i64` handle.
+    ///
+    /// Stacks save forward-pass intermediates for reuse during
+    /// backpropagation (§5.1). They are *index-addressed*: each push/pop
+    /// carries an explicit slot index (the loop iteration counter), which
+    /// preserves the paper's push/pop pairing while making the operations
+    /// order-independent and therefore safe under parallel iterations. The
+    /// paper notes the XLA compiler performs the same lowering of stacks to
+    /// indexed arrays.
+    StackCreate {
+        /// Eligible for device-to-host memory swapping (§5.3).
+        swap: bool,
+    },
+    /// Pushes `value` into slot `index`; forwards `value`.
+    StackPush,
+    /// Pops the value in slot `index`.
+    StackPop,
+
+    // ------------------------------------------------------------------
+    // TensorArray ops (§2.1, §5.2)
+    // ------------------------------------------------------------------
+    /// Creates a TensorArray of dynamic size; outputs `(handle, flow)`.
+    TensorArrayNew {
+        /// Element dtype.
+        dtype: DType,
+        /// Whether writes accumulate into existing values (gradient arrays)
+        /// instead of requiring write-once semantics.
+        accumulate: bool,
+    },
+    /// Writes `value` at `index`; inputs `(handle, index, value, flow)`,
+    /// outputs the updated flow.
+    TensorArrayWrite,
+    /// Reads the element at `index`; inputs `(handle, index, flow)`.
+    TensorArrayRead,
+    /// Stacks all elements into one tensor; inputs `(handle, flow)`.
+    TensorArrayPack,
+    /// Unstacks a tensor into the array; inputs `(handle, value, flow)`,
+    /// outputs the updated flow.
+    TensorArrayUnpack,
+    /// Number of elements; inputs `(handle, flow)`, outputs `i64`.
+    TensorArraySize,
+    /// Looks up or creates the gradient TensorArray for a handle; inputs
+    /// `(handle, flow)`, outputs `(grad_handle, flow)`.
+    TensorArrayGrad {
+        /// Disambiguates multiple gradient computations from one forward
+        /// array.
+        source: String,
+    },
+
+    // ------------------------------------------------------------------
+    // Communication (inserted by the partitioner, §3/§4.4)
+    // ------------------------------------------------------------------
+    /// Publishes its input under a rendezvous key derived from `key_base`
+    /// and the dynamic frame tag. No data output.
+    Send {
+        /// Static half of the rendezvous key.
+        key_base: String,
+        /// Index of the receiving device.
+        to_device: usize,
+    },
+    /// Pulls the tensor published under its rendezvous key; a source node.
+    Recv {
+        /// Static half of the rendezvous key.
+        key_base: String,
+        /// Index of the sending device.
+        from_device: usize,
+        /// Dtype of the received tensor.
+        dtype: DType,
+    },
+
+    // ------------------------------------------------------------------
+    // Miscellaneous
+    // ------------------------------------------------------------------
+    /// No-op used as a control-dependency anchor.
+    NoOp,
+    /// A source that emits one live signal when its frame starts. Used by
+    /// the partition-local control-loop state machine (§4.4).
+    ControlTrigger,
+}
+
+impl OpKind {
+    /// Returns a short stable name for display and rendezvous keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Const(_) => "Const",
+            OpKind::Placeholder { .. } => "Placeholder",
+            OpKind::Variable { .. } => "Variable",
+            OpKind::RandomUniform { .. } => "RandomUniform",
+            OpKind::Add => "Add",
+            OpKind::AddN => "AddN",
+            OpKind::Sub => "Sub",
+            OpKind::Mul => "Mul",
+            OpKind::Div => "Div",
+            OpKind::Maximum => "Maximum",
+            OpKind::Minimum => "Minimum",
+            OpKind::Neg => "Neg",
+            OpKind::Exp => "Exp",
+            OpKind::Log => "Log",
+            OpKind::Sqrt => "Sqrt",
+            OpKind::Square => "Square",
+            OpKind::Abs => "Abs",
+            OpKind::Sigmoid => "Sigmoid",
+            OpKind::Tanh => "Tanh",
+            OpKind::Relu => "Relu",
+            OpKind::Softmax => "Softmax",
+            OpKind::ArgMax => "ArgMax",
+            OpKind::MatMul { .. } => "MatMul",
+            OpKind::Transpose => "Transpose",
+            OpKind::ReduceSumAll => "ReduceSumAll",
+            OpKind::ReduceMeanAll => "ReduceMeanAll",
+            OpKind::ReduceMaxAll => "ReduceMaxAll",
+            OpKind::ReduceSumAxis { .. } => "ReduceSumAxis",
+            OpKind::ReduceMeanAxis { .. } => "ReduceMeanAxis",
+            OpKind::ReduceMaxAxis { .. } => "ReduceMaxAxis",
+            OpKind::Reshape { .. } => "Reshape",
+            OpKind::BroadcastTo { .. } => "BroadcastTo",
+            OpKind::Cast { .. } => "Cast",
+            OpKind::Identity => "Identity",
+            OpKind::StopGradient => "StopGradient",
+            OpKind::ZerosLike => "ZerosLike",
+            OpKind::OnesLike => "OnesLike",
+            OpKind::OneHot { .. } => "OneHot",
+            OpKind::ReduceToLike => "ReduceToLike",
+            OpKind::BroadcastLike => "BroadcastLike",
+            OpKind::ExpandDims { .. } => "ExpandDims",
+            OpKind::ReshapeLike => "ReshapeLike",
+            OpKind::SizeF32 => "SizeF32",
+            OpKind::DimSizeF32 { .. } => "DimSizeF32",
+            OpKind::Concat0Grad { .. } => "Concat0Grad",
+            OpKind::Concat1Grad { .. } => "Concat1Grad",
+            OpKind::Index0Grad => "Index0Grad",
+            OpKind::Less => "Less",
+            OpKind::LessEqual => "LessEqual",
+            OpKind::Greater => "Greater",
+            OpKind::GreaterEqual => "GreaterEqual",
+            OpKind::Equal => "Equal",
+            OpKind::LogicalAnd => "LogicalAnd",
+            OpKind::LogicalOr => "LogicalOr",
+            OpKind::LogicalNot => "LogicalNot",
+            OpKind::Select => "Select",
+            OpKind::Concat0 => "Concat0",
+            OpKind::Concat1 => "Concat1",
+            OpKind::Split1 { .. } => "Split1",
+            OpKind::Pack => "Pack",
+            OpKind::Index0 => "Index0",
+            OpKind::Gather0 => "Gather0",
+            OpKind::ScatterAdd0 { .. } => "ScatterAdd0",
+            OpKind::Switch => "Switch",
+            OpKind::Merge => "Merge",
+            OpKind::Enter { .. } => "Enter",
+            OpKind::Exit => "Exit",
+            OpKind::NextIteration => "NextIteration",
+            OpKind::LoopCond => "LoopCond",
+            OpKind::Assign { .. } => "Assign",
+            OpKind::AssignAdd { .. } => "AssignAdd",
+            OpKind::AssignSub { .. } => "AssignSub",
+            OpKind::StackCreate { .. } => "StackCreate",
+            OpKind::StackPush => "StackPush",
+            OpKind::StackPop => "StackPop",
+            OpKind::TensorArrayNew { .. } => "TensorArrayNew",
+            OpKind::TensorArrayWrite => "TensorArrayWrite",
+            OpKind::TensorArrayRead => "TensorArrayRead",
+            OpKind::TensorArrayPack => "TensorArrayPack",
+            OpKind::TensorArrayUnpack => "TensorArrayUnpack",
+            OpKind::TensorArraySize => "TensorArraySize",
+            OpKind::TensorArrayGrad { .. } => "TensorArrayGrad",
+            OpKind::Send { .. } => "Send",
+            OpKind::Recv { .. } => "Recv",
+            OpKind::NoOp => "NoOp",
+            OpKind::ControlTrigger => "ControlTrigger",
+        }
+    }
+
+    /// Returns the number of data outputs of this op.
+    pub fn num_outputs(&self) -> usize {
+        match self {
+            OpKind::Switch => 2,
+            OpKind::Split1 { n } => *n,
+            OpKind::TensorArrayNew { .. } => 2,
+            OpKind::TensorArrayGrad { .. } => 2,
+            OpKind::Send { .. } | OpKind::NoOp => 0,
+            OpKind::ControlTrigger => 0,
+            _ => 1,
+        }
+    }
+
+    /// Returns `true` if this op is one of the five control-flow primitives
+    /// (or `LoopCond`).
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Switch
+                | OpKind::Merge
+                | OpKind::Enter { .. }
+                | OpKind::Exit
+                | OpKind::NextIteration
+                | OpKind::LoopCond
+        )
+    }
+
+    /// Returns `true` if the op has side effects and must not be pruned.
+    pub fn is_stateful(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Variable { .. }
+                | OpKind::RandomUniform { .. }
+                | OpKind::Assign { .. }
+                | OpKind::AssignAdd { .. }
+                | OpKind::AssignSub { .. }
+                | OpKind::StackCreate { .. }
+                | OpKind::StackPush
+                | OpKind::StackPop
+                | OpKind::TensorArrayNew { .. }
+                | OpKind::TensorArrayWrite
+                | OpKind::TensorArrayRead
+                | OpKind::TensorArrayPack
+                | OpKind::TensorArrayUnpack
+                | OpKind::TensorArraySize
+                | OpKind::TensorArrayGrad { .. }
+                | OpKind::Send { .. }
+                | OpKind::Recv { .. }
+        )
+    }
+
+    /// Returns `true` for ops whose dead inputs are forwarded rather than
+    /// propagated (only `Merge`, per Figure 5).
+    pub fn is_merge(&self) -> bool {
+        matches!(self, OpKind::Merge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_counts() {
+        assert_eq!(OpKind::Switch.num_outputs(), 2);
+        assert_eq!(OpKind::Split1 { n: 4 }.num_outputs(), 4);
+        assert_eq!(OpKind::Add.num_outputs(), 1);
+        assert_eq!(OpKind::Send { key_base: "k".into(), to_device: 1 }.num_outputs(), 0);
+        assert_eq!(OpKind::TensorArrayNew { dtype: DType::F32, accumulate: false }.num_outputs(), 2);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(OpKind::Merge.is_control_flow());
+        assert!(OpKind::Merge.is_merge());
+        assert!(!OpKind::Add.is_control_flow());
+        assert!(OpKind::StackPush.is_stateful());
+        assert!(!OpKind::MatMul { transpose_a: false, transpose_b: false }.is_stateful());
+        assert!(OpKind::Enter { frame: "f".into(), is_constant: false, parallel_iterations: 32 }
+            .is_control_flow());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(OpKind::NextIteration.name(), "NextIteration");
+        assert_eq!(OpKind::Const(Tensor::scalar_f32(0.0)).name(), "Const");
+    }
+}

@@ -1,0 +1,148 @@
+//! TensorArray: a differentiable array of tensors (§2.1, §5.2).
+//!
+//! TensorArrays store values consumed and produced by loops in a
+//! differentiable way. Each array is a runtime resource; graph-side it is
+//! represented by an opaque `handle` tensor plus a scalar `flow` value that
+//! serializes operations on the array (reads/writes take the current flow
+//! and writes produce a new one). The flow is what loops thread through
+//! their variables, while the handle is loop-invariant.
+
+use crate::graph::TensorRef;
+use crate::op::OpKind;
+use crate::{GraphBuilder, Result};
+use dcf_tensor::DType;
+
+/// Graph-side handle to a TensorArray resource.
+#[derive(Clone, Copy, Debug)]
+pub struct TensorArrayHandle {
+    /// The opaque resource handle (`i64` scalar at run time).
+    pub handle: TensorRef,
+    /// The current flow value; threads ordering between array operations.
+    pub flow: TensorRef,
+    /// Element dtype.
+    pub dtype: DType,
+}
+
+impl TensorArrayHandle {
+    /// Returns this handle with a different flow value (used to thread the
+    /// flow through loop variables).
+    pub fn with_flow(self, flow: TensorRef) -> TensorArrayHandle {
+        TensorArrayHandle { flow, ..self }
+    }
+
+    /// Writes `value` at `index`, returning the handle with updated flow.
+    ///
+    /// In the forward computation each location may be written only once;
+    /// gradient arrays (created by [`TensorArrayHandle::grad`]) accumulate
+    /// instead (§5.2).
+    pub fn write(
+        &self,
+        g: &mut GraphBuilder,
+        index: TensorRef,
+        value: TensorRef,
+    ) -> Result<TensorArrayHandle> {
+        let flow = g.add_op1(OpKind::TensorArrayWrite, &[self.handle, index, value, self.flow])?;
+        Ok(TensorArrayHandle { flow, ..*self })
+    }
+
+    /// Reads the element at `index`.
+    pub fn read(&self, g: &mut GraphBuilder, index: TensorRef) -> Result<TensorRef> {
+        let id = g.add_op(OpKind::TensorArrayRead, &[self.handle, index, self.flow])?;
+        // The read's value dtype is the array's element dtype.
+        g.set_output_dtype(id, 0, self.dtype);
+        Ok(TensorRef { node: id, port: 0 })
+    }
+
+    /// Stacks all elements into one tensor along a new leading axis.
+    pub fn pack(&self, g: &mut GraphBuilder) -> Result<TensorRef> {
+        let id = g.add_op(OpKind::TensorArrayPack, &[self.handle, self.flow])?;
+        g.set_output_dtype(id, 0, self.dtype);
+        Ok(TensorRef { node: id, port: 0 })
+    }
+
+    /// Unstacks `value` along its leading axis into the array, returning the
+    /// handle with updated flow.
+    pub fn unstack(&self, g: &mut GraphBuilder, value: TensorRef) -> Result<TensorArrayHandle> {
+        let flow = g.add_op1(OpKind::TensorArrayUnpack, &[self.handle, value, self.flow])?;
+        Ok(TensorArrayHandle { flow, ..*self })
+    }
+
+    /// Returns the number of elements as an `i64` scalar.
+    pub fn size(&self, g: &mut GraphBuilder) -> Result<TensorRef> {
+        g.add_op1(OpKind::TensorArraySize, &[self.handle, self.flow])
+    }
+
+    /// Looks up or creates the gradient TensorArray associated with this
+    /// handle (§5.2). Writes to a gradient array accumulate partial
+    /// gradients from multiple reads of the same forward location.
+    pub fn grad(&self, g: &mut GraphBuilder, source: &str) -> Result<TensorArrayHandle> {
+        let id = g.add_op(
+            OpKind::TensorArrayGrad { source: source.to_owned() },
+            &[self.handle, self.flow],
+        )?;
+        Ok(TensorArrayHandle {
+            handle: TensorRef { node: id, port: 0 },
+            flow: TensorRef { node: id, port: 1 },
+            dtype: self.dtype,
+        })
+    }
+}
+
+impl GraphBuilder {
+    /// Creates a TensorArray with `size` elements (an `i64` scalar tensor;
+    /// may be zero — arrays grow on write).
+    pub fn tensor_array(&mut self, dtype: DType, size: TensorRef) -> Result<TensorArrayHandle> {
+        let id = self.add_op(OpKind::TensorArrayNew { dtype, accumulate: false }, &[size])?;
+        Ok(TensorArrayHandle {
+            handle: TensorRef { node: id, port: 0 },
+            flow: TensorRef { node: id, port: 1 },
+            dtype,
+        })
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_tensor::Tensor;
+
+    #[test]
+    fn tensor_array_ops_build() {
+        let mut g = GraphBuilder::new();
+        let size = g.scalar_i64(3);
+        let ta = g.tensor_array(DType::F32, size).unwrap();
+        let i = g.scalar_i64(0);
+        let v = g.constant(Tensor::ones(&[2]));
+        let ta = ta.write(&mut g, i, v).unwrap();
+        let r = ta.read(&mut g, i).unwrap();
+        assert_eq!(g.graph().dtype(r), DType::F32);
+        let packed = ta.pack(&mut g).unwrap();
+        assert_eq!(g.graph().dtype(packed), DType::F32);
+        let n = ta.size(&mut g).unwrap();
+        assert_eq!(g.graph().dtype(n), DType::I64);
+        g.finish().unwrap();
+    }
+
+    #[test]
+    fn flow_threads_through_writes() {
+        let mut g = GraphBuilder::new();
+        let size = g.scalar_i64(2);
+        let ta0 = g.tensor_array(DType::F32, size).unwrap();
+        let i = g.scalar_i64(0);
+        let v = g.scalar_f32(1.0);
+        let ta1 = ta0.write(&mut g, i, v).unwrap();
+        assert_ne!(ta0.flow, ta1.flow);
+        assert_eq!(ta0.handle, ta1.handle);
+    }
+
+    #[test]
+    fn grad_array_shares_dtype() {
+        let mut g = GraphBuilder::new();
+        let size = g.scalar_i64(2);
+        let ta = g.tensor_array(DType::F32, size).unwrap();
+        let gta = ta.grad(&mut g, "grad0").unwrap();
+        assert_eq!(gta.dtype, DType::F32);
+        assert_ne!(gta.handle, ta.handle);
+    }
+}

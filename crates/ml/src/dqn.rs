@@ -1,0 +1,631 @@
+//! Deep Q-Networks with an in-graph replay database (§6.5, Figure 16).
+//!
+//! Two implementations of the same algorithm:
+//!
+//! * [`InGraphDqn`] fuses every step of DQN — writing the incoming
+//!   experience into an in-graph database, conditionally sampling and
+//!   Q-learning on a batch, conditionally syncing the target network, and
+//!   selecting the next (ε-greedy) action — into a *single* dataflow graph
+//!   with dynamic control flow, invoked once per environment interaction.
+//! * [`OutOfGraphDqn`] is the baseline the paper compares against: the
+//!   client drives conditional execution sequentially with separate
+//!   `Session::run` calls (act / train / sync) and keeps the replay buffer
+//!   in client memory.
+//!
+//! The environment itself is a synthetic MDP ([`MdpEnv`]): the paper's
+//! point is dispatch and overlap behavior, which a synthetic environment
+//! exercises identically.
+
+use crate::Result;
+use dcf_autodiff::gradients;
+use dcf_graph::{GraphBuilder, TensorRef};
+use dcf_runtime::{Cluster, Session, SessionOptions};
+use dcf_tensor::{DType, Tensor, TensorRng};
+use std::collections::HashMap;
+
+/// Hyperparameters shared by both DQN variants.
+#[derive(Clone, Debug)]
+pub struct DqnConfig {
+    /// Environment observation size.
+    pub state_dim: usize,
+    /// Number of discrete actions.
+    pub actions: usize,
+    /// Hidden units of the Q-network MLP.
+    pub hidden: usize,
+    /// Replay database capacity.
+    pub capacity: usize,
+    /// Q-learning batch size.
+    pub batch: usize,
+    /// Discount factor.
+    pub gamma: f32,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Train every N interactions.
+    pub train_every: usize,
+    /// Sync the target network every N interactions.
+    pub sync_every: usize,
+    /// Modeled client-to-runtime dispatch latency charged per
+    /// `Session::run` call.
+    ///
+    /// The paper's client drives a remote runtime, so every run call pays
+    /// RPC and client-language overhead ("communication and
+    /// synchronization with the client process can be costly", §1); the
+    /// in-graph variant's advantage is needing exactly one dispatch per
+    /// interaction. Set to zero for purely in-process measurements.
+    pub dispatch: std::time::Duration,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        DqnConfig {
+            state_dim: 4,
+            actions: 3,
+            hidden: 16,
+            capacity: 64,
+            batch: 8,
+            gamma: 0.95,
+            lr: 0.05,
+            train_every: 4,
+            sync_every: 32,
+            dispatch: std::time::Duration::ZERO,
+        }
+    }
+}
+
+/// Q-network parameter handles (a two-layer MLP).
+struct QNet {
+    w1: TensorRef,
+    w2: TensorRef,
+}
+
+fn q_net(g: &mut GraphBuilder, name: &str, cfg: &DqnConfig, rng: &mut TensorRng) -> QNet {
+    let b1 = 1.0 / (cfg.state_dim as f32).sqrt();
+    let b2 = 1.0 / (cfg.hidden as f32).sqrt();
+    QNet {
+        w1: g.variable(format!("{name}/w1"), rng.uniform(&[cfg.state_dim, cfg.hidden], -b1, b1)),
+        w2: g.variable(format!("{name}/w2"), rng.uniform(&[cfg.hidden, cfg.actions], -b2, b2)),
+    }
+}
+
+fn q_values(g: &mut GraphBuilder, net: &QNet, s: TensorRef) -> Result<TensorRef> {
+    let h = g.matmul(s, net.w1)?;
+    let h = g.relu(h)?;
+    g.matmul(h, net.w2)
+}
+
+
+/// Builds the in-graph replay-database write: circular-buffer variables
+/// updated from the fed transition. Returns the post-write database
+/// tensors and the post-write fill count.
+fn build_db_write(
+    g: &mut GraphBuilder,
+    cfg: &DqnConfig,
+    s: TensorRef,
+    a: TensorRef,
+    r: TensorRef,
+    ns: TensorRef,
+) -> Result<([TensorRef; 4], TensorRef)> {
+    let zero_states = Tensor::zeros(DType::F32, &[cfg.capacity, cfg.state_dim]);
+    let db_s = g.variable("db/s", zero_states.clone());
+    let db_ns = g.variable("db/ns", zero_states);
+    let db_a = g.variable("db/a", Tensor::zeros(DType::F32, &[cfg.capacity, cfg.actions]));
+    let db_r = g.variable("db/r", Tensor::zeros(DType::F32, &[cfg.capacity, 1]));
+    let ptr = g.variable("db/ptr", Tensor::scalar_i64(0));
+    let count = g.variable("db/count", Tensor::scalar_i64(0));
+
+    // row_mask [CAP, 1] selects the write pointer's row.
+    let cap_range = g.constant(Tensor::range_i64(cfg.capacity));
+    let ptr_row = g.equal(cap_range, ptr)?;
+    let ptr_f = g.cast(ptr_row, DType::F32)?;
+    let mask = g.reshape(ptr_f, &[cfg.capacity, 1])?;
+    let one_f = g.scalar_f32(1.0);
+    let keep = g.sub(one_f, mask)?;
+    let mut db_updates = Vec::new();
+    for (db, row) in [(db_s, s), (db_ns, ns), (db_a, a), (db_r, r)] {
+        let kept = g.mul(db, keep)?;
+        let written = g.matmul(mask, row)?;
+        let merged = g.add(kept, written)?;
+        db_updates.push(g.assign(db, merged)?);
+    }
+    // Advance the pointer (wrapping) and the fill count (saturating).
+    let one_i = g.scalar_i64(1);
+    let cap_i = g.scalar_i64(cfg.capacity as i64);
+    let zero_i = g.scalar_i64(0);
+    let p1 = g.add(ptr, one_i)?;
+    let wrapped = g.greater_equal(p1, cap_i)?;
+    let p_next = g.select(wrapped, zero_i, p1)?;
+    let _ptr_upd = g.assign(ptr, p_next)?;
+    let c1 = g.add(count, one_i)?;
+    let c_next = g.minimum(c1, cap_i)?;
+    let count_upd = g.assign(count, c_next)?;
+    Ok(([db_updates[0], db_updates[1], db_updates[2], db_updates[3]], count_upd))
+}
+
+/// Builds the Q-learning loss over a batch sampled uniformly from the
+/// database tensors.
+#[allow(clippy::too_many_arguments)]
+fn build_train(
+    g: &mut GraphBuilder,
+    cfg: &DqnConfig,
+    main: &QNet,
+    target: &QNet,
+    db: [TensorRef; 4],
+    count: TensorRef,
+) -> Result<TensorRef> {
+    let [db_s, db_ns, db_a, db_r] = db;
+    let tick = g.identity(count)?;
+    let u = g.random_uniform(&[cfg.batch], 0.0, 1.0, tick)?;
+    let cnt_f = g.cast(count, DType::F32)?;
+    let scaled = g.mul(u, cnt_f)?;
+    let idx = g.cast(scaled, DType::I64)?;
+    let bs = g.gather0(db_s, idx)?;
+    let bns = g.gather0(db_ns, idx)?;
+    let ba = g.gather0(db_a, idx)?;
+    let br = g.gather0(db_r, idx)?;
+    let qn = q_values(g, target, bns)?;
+    let maxq = g.reduce_max_axis(qn, -1, true)?;
+    let maxq = g.stop_gradient(maxq)?;
+    let gamma_c = g.scalar_f32(cfg.gamma);
+    let discounted = g.mul(maxq, gamma_c)?;
+    let tgt = g.add(br, discounted)?;
+    let q = q_values(g, main, bs)?;
+    let qa = g.mul(q, ba)?;
+    let qa = g.reduce_sum_axis(qa, -1, true)?;
+    let err = g.sub(qa, tgt)?;
+    let sq = g.square(err)?;
+    g.reduce_mean(sq)
+}
+
+/// One transition fed to the learner.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// State before the action, `[state_dim]`.
+    pub state: Vec<f32>,
+    /// Action taken.
+    pub action: usize,
+    /// Reward received.
+    pub reward: f32,
+    /// State after the action, `[state_dim]`.
+    pub next_state: Vec<f32>,
+}
+
+// ----------------------------------------------------------------------
+// In-graph DQN
+// ----------------------------------------------------------------------
+
+/// The fused, in-graph DQN of §6.5.
+pub struct InGraphDqn {
+    session: Session,
+    cfg: DqnConfig,
+    action: TensorRef,
+    loss: TensorRef,
+    fetch_updates: Vec<TensorRef>,
+    /// Number of interactions so far (drives ε decay on the client).
+    pub steps: usize,
+}
+
+impl InGraphDqn {
+    /// Builds the fused step graph on the given cluster.
+    pub fn new(cfg: DqnConfig, cluster: Cluster, options: SessionOptions) -> Result<InGraphDqn> {
+        let mut g = GraphBuilder::new();
+        let mut rng = TensorRng::new(0xD00);
+        let main = q_net(&mut g, "main", &cfg, &mut rng);
+        let target = q_net(&mut g, "target", &cfg, &mut rng);
+
+        let train_timer = g.variable("timer/train", Tensor::scalar_i64(0));
+        let sync_timer = g.variable("timer/sync", Tensor::scalar_i64(0));
+
+        // Per-interaction inputs.
+        let s = g.placeholder_shaped("state", DType::F32, &[1, cfg.state_dim]);
+        let a = g.placeholder_shaped("action", DType::F32, &[1, cfg.actions]);
+        let r = g.placeholder_shaped("reward", DType::F32, &[1, 1]);
+        let ns = g.placeholder_shaped("next_state", DType::F32, &[1, cfg.state_dim]);
+        let cur = g.placeholder_shaped("cur_state", DType::F32, &[1, cfg.state_dim]);
+        let eps = g.placeholder("eps", DType::F32); // scalar
+
+        // --- 1. Write the transition into the database. -----------------
+        let (db, count_upd) = build_db_write(&mut g, &cfg, s, a, r, ns)?;
+        let one_i = g.scalar_i64(1);
+        let zero_i = g.scalar_i64(0);
+
+        // --- 2. Conditionally Q-learn on a sampled batch. ----------------
+        // The updated databases participate so training sees this step's
+        // write.
+        let batch_i = g.scalar_i64(cfg.batch as i64);
+        let t1 = g.add(train_timer, one_i)?;
+        let train_lim = g.scalar_i64(cfg.train_every as i64);
+        let timer_hit = g.greater_equal(t1, train_lim)?;
+        let enough = g.greater_equal(count_upd, batch_i)?;
+        let do_train = g.logical_and(timer_hit, enough)?;
+        let t_next = g.select(do_train, zero_i, t1)?;
+        let _timer_upd = g.assign(train_timer, t_next)?;
+
+        let loss_out = g.cond(
+            do_train,
+            |g| Ok(vec![build_train(g, &cfg, &main, &target, db, count_upd)?]),
+            |g| Ok(vec![g.scalar_f32(0.0)]),
+        )?;
+        let loss = loss_out[0];
+        // Gradients flow back through the conditional: when training is
+        // skipped the gradient tokens are dead and the updates no-ops.
+        let grads = gradients(&mut g, loss, &[main.w1, main.w2])?;
+        let lr_c = g.scalar_f32(cfg.lr);
+        let mut fetch_updates = Vec::new();
+        for (p, grad) in [main.w1, main.w2].into_iter().zip(grads) {
+            let scaled = g.mul(grad, lr_c)?;
+            let upd = g.assign_sub(p, scaled)?;
+            let _ = upd;
+        }
+
+        // --- 3. Conditionally sync the target network. -------------------
+        let s1 = g.add(sync_timer, one_i)?;
+        let sync_lim = g.scalar_i64(cfg.sync_every as i64);
+        let do_sync = g.greater_equal(s1, sync_lim)?;
+        let s_next = g.select(do_sync, zero_i, s1)?;
+        let _sync_timer_upd = g.assign(sync_timer, s_next)?;
+        let synced = g.cond(
+            do_sync,
+            |g| {
+                let t1 = g.assign(target.w1, main.w1)?;
+                let t2 = g.assign(target.w2, main.w2)?;
+                let a = g.reduce_sum(t1)?;
+                let b = g.reduce_sum(t2)?;
+                Ok(vec![g.add(a, b)?])
+            },
+            |g| Ok(vec![g.scalar_f32(0.0)]),
+        )?;
+        fetch_updates.push(synced[0]);
+
+        // --- 4. ε-greedy action for the current state. -------------------
+        let q_cur = q_values(&mut g, &main, cur)?;
+        let greedy = g.argmax(q_cur)?;
+        let tick2 = g.identity(eps)?;
+        let u = g.random_uniform(&[1], 0.0, 1.0, tick2)?;
+        let explore_flat = g.reshape(u, &[])?;
+        let explore = g.less(explore_flat, eps)?;
+        let ua = g.random_uniform(&[1], 0.0, cfg.actions as f32 - 1e-3, tick2)?;
+        let rand_a = g.cast(ua, DType::I64)?;
+        let action = g.select(explore, rand_a, greedy)?;
+
+        let session = Session::new(g.finish()?, cluster, options)
+            .map_err(|e| dcf_graph::GraphError::Invalid(format!("session: {e}")))?;
+        Ok(InGraphDqn { session, cfg, action, loss, fetch_updates, steps: 0 })
+    }
+
+    /// One environment interaction: records `prev` (the transition that
+    /// just happened), conditionally trains and syncs, and returns the
+    /// action for `cur_state`. Exactly one `Session::run`.
+    pub fn step(&mut self, prev: &Transition, cur_state: &[f32], eps: f32) -> Result<(usize, f32)> {
+        let cfg = &self.cfg;
+        let mut feeds = HashMap::new();
+        feeds.insert("state".into(), row(&prev.state));
+        feeds.insert("action".into(), one_hot_row(prev.action, cfg.actions));
+        feeds.insert("reward".into(), row(&[prev.reward]));
+        feeds.insert("next_state".into(), row(&prev.next_state));
+        feeds.insert("cur_state".into(), row(cur_state));
+        feeds.insert("eps".into(), Tensor::scalar_f32(eps));
+        let mut fetches = vec![self.action, self.loss];
+        fetches.extend(&self.fetch_updates);
+        if !cfg.dispatch.is_zero() {
+            std::thread::sleep(cfg.dispatch);
+        }
+        let out = self
+            .session
+            .run(&feeds, &fetches)
+            .map_err(|e| dcf_graph::GraphError::Invalid(format!("run: {e}")))?;
+        self.steps += 1;
+        let action = out[0].as_i64_slice().map_err(dcf_graph::GraphError::Tensor)?[0] as usize;
+        let loss = out[1].scalar_as_f32().map_err(dcf_graph::GraphError::Tensor)?;
+        Ok((action, loss))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Out-of-graph baseline
+// ----------------------------------------------------------------------
+
+/// The client-driven baseline: the conditionals of Figure 16 move into
+/// the host program, which issues a separate `Session::run` per step —
+/// write the experience, (sometimes) train, (sometimes) sync, and pick an
+/// action. The replay database is runtime-side state in both variants;
+/// only control moves to the client.
+pub struct OutOfGraphDqn {
+    write: Session,
+    act: Session,
+    train: Session,
+    sync: Session,
+    cfg: DqnConfig,
+    write_fetch: TensorRef,
+    act_fetch: TensorRef,
+    loss_fetch: TensorRef,
+    train_updates: Vec<TensorRef>,
+    sync_fetch: TensorRef,
+    rng: TensorRng,
+    /// Number of interactions so far.
+    pub steps: usize,
+}
+
+impl OutOfGraphDqn {
+    /// Builds the four per-purpose graphs over one shared variable store.
+    pub fn new(
+        cfg: DqnConfig,
+        mk_cluster: impl Fn() -> Cluster,
+        options: SessionOptions,
+    ) -> Result<OutOfGraphDqn> {
+        let resources = dcf_exec::ResourceManager::new();
+        let mk_err = |e: dcf_exec::ExecError| dcf_graph::GraphError::Invalid(format!("session: {e}"));
+
+        // Database-write graph (runs every interaction).
+        let (write, write_fetch) = {
+            let mut g = GraphBuilder::new();
+            let s = g.placeholder_shaped("state", DType::F32, &[1, cfg.state_dim]);
+            let a = g.placeholder_shaped("action", DType::F32, &[1, cfg.actions]);
+            let r = g.placeholder_shaped("reward", DType::F32, &[1, 1]);
+            let ns = g.placeholder_shaped("next_state", DType::F32, &[1, cfg.state_dim]);
+            let (_db, count) = build_db_write(&mut g, &cfg, s, a, r, ns)?;
+            (
+                Session::new_shared(g.finish()?, mk_cluster(), options.clone(), resources.clone())
+                    .map_err(mk_err)?,
+                count,
+            )
+        };
+
+        // Act graph.
+        let mut rng_init = TensorRng::new(0xD00);
+        let (act, act_fetch) = {
+            let mut g = GraphBuilder::new();
+            let main = q_net(&mut g, "main", &cfg, &mut rng_init);
+            let cur = g.placeholder_shaped("cur_state", DType::F32, &[1, cfg.state_dim]);
+            let q = q_values(&mut g, &main, cur)?;
+            let a = g.argmax(q)?;
+            (
+                Session::new_shared(g.finish()?, mk_cluster(), options.clone(), resources.clone())
+                    .map_err(mk_err)?,
+                a,
+            )
+        };
+
+        // Train graph: unconditional sample + Q-learning step on the
+        // runtime-side database (the client decides when to call it).
+        let mut rng2 = TensorRng::new(0xD00);
+        let (train, loss_fetch, train_updates) = {
+            let mut g = GraphBuilder::new();
+            let main = q_net(&mut g, "main", &cfg, &mut rng2);
+            let target = q_net(&mut g, "target", &cfg, &mut rng2);
+            let zs = Tensor::zeros(DType::F32, &[cfg.capacity, cfg.state_dim]);
+            let db_s = g.variable("db/s", zs.clone());
+            let db_ns = g.variable("db/ns", zs);
+            let db_a = g.variable("db/a", Tensor::zeros(DType::F32, &[cfg.capacity, cfg.actions]));
+            let db_r = g.variable("db/r", Tensor::zeros(DType::F32, &[cfg.capacity, 1]));
+            let count = g.variable("db/count", Tensor::scalar_i64(0));
+            let loss = build_train(&mut g, &cfg, &main, &target, [db_s, db_ns, db_a, db_r], count)?;
+            let updates = crate::sgd_step(&mut g, loss, &[main.w1, main.w2], cfg.lr)?;
+            (
+                Session::new_shared(g.finish()?, mk_cluster(), options.clone(), resources.clone())
+                    .map_err(mk_err)?,
+                loss,
+                updates,
+            )
+        };
+
+        // Sync graph.
+        let mut rng3 = TensorRng::new(0xD00);
+        let (sync, sync_fetch) = {
+            let mut g = GraphBuilder::new();
+            let main = q_net(&mut g, "main", &cfg, &mut rng3);
+            let target = q_net(&mut g, "target", &cfg, &mut rng3);
+            let t1 = g.assign(target.w1, main.w1)?;
+            let t2 = g.assign(target.w2, main.w2)?;
+            let a = g.reduce_sum(t1)?;
+            let b = g.reduce_sum(t2)?;
+            let f = g.add(a, b)?;
+            (
+                Session::new_shared(g.finish()?, mk_cluster(), options, resources.clone())
+                    .map_err(mk_err)?,
+                f,
+            )
+        };
+
+        Ok(OutOfGraphDqn {
+            write,
+            act,
+            train,
+            sync,
+            cfg,
+            write_fetch,
+            act_fetch,
+            loss_fetch,
+            train_updates,
+            sync_fetch,
+            rng: TensorRng::new(0xACE),
+            steps: 0,
+        })
+    }
+
+    fn dispatch(&self) {
+        if !self.cfg.dispatch.is_zero() {
+            std::thread::sleep(self.cfg.dispatch);
+        }
+    }
+
+    /// One environment interaction, driven step-by-step from the client.
+    pub fn step(&mut self, prev: &Transition, cur_state: &[f32], eps: f32) -> Result<(usize, f32)> {
+        let mk_err = |e: dcf_exec::ExecError| dcf_graph::GraphError::Invalid(format!("run: {e}"));
+        self.steps += 1;
+
+        // 1. Write the experience into the runtime-side database.
+        let mut feeds = HashMap::new();
+        feeds.insert("state".into(), row(&prev.state));
+        feeds.insert("action".into(), one_hot_row(prev.action, self.cfg.actions));
+        feeds.insert("reward".into(), row(&[prev.reward]));
+        feeds.insert("next_state".into(), row(&prev.next_state));
+        self.dispatch();
+        let out = self.write.run(&feeds, &[self.write_fetch]).map_err(mk_err)?;
+        let count = out[0].scalar_as_i64().map_err(dcf_graph::GraphError::Tensor)? as usize;
+
+        // 2. Client-side conditional training.
+        let mut loss = 0.0;
+        if self.steps % self.cfg.train_every == 0 && count >= self.cfg.batch {
+            let mut fetches = vec![self.loss_fetch];
+            fetches.extend(&self.train_updates);
+            self.dispatch();
+            let out = self.train.run(&HashMap::new(), &fetches).map_err(mk_err)?;
+            loss = out[0].scalar_as_f32().map_err(dcf_graph::GraphError::Tensor)?;
+        }
+
+        // 3. Client-side conditional target sync.
+        if self.steps % self.cfg.sync_every == 0 {
+            self.dispatch();
+            self.sync.run(&HashMap::new(), &[self.sync_fetch]).map_err(mk_err)?;
+        }
+
+        // 4. Client-side epsilon-greedy action.
+        let action = if self.rng.sample_unit() < eps {
+            self.rng.sample_index(self.cfg.actions)
+        } else {
+            let mut feeds = HashMap::new();
+            feeds.insert("cur_state".into(), row(cur_state));
+            self.dispatch();
+            let out = self.act.run(&feeds, &[self.act_fetch]).map_err(mk_err)?;
+            out[0].as_i64_slice().map_err(dcf_graph::GraphError::Tensor)?[0] as usize
+        };
+        Ok((action, loss))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Synthetic environment
+// ----------------------------------------------------------------------
+
+/// A small synthetic MDP: per-action linear dynamics with a goal state.
+///
+/// `reward = -||s' - goal||²/dim`, so an agent that learns to pick the
+/// action whose dynamics contract toward the goal earns higher reward.
+pub struct MdpEnv {
+    dynamics: Vec<Tensor>,
+    goal: Vec<f32>,
+    state: Vec<f32>,
+    dim: usize,
+}
+
+impl MdpEnv {
+    /// Creates an environment with `actions` linear dynamics matrices.
+    pub fn new(dim: usize, actions: usize, seed: u64) -> MdpEnv {
+        let mut rng = TensorRng::new(seed);
+        let mut dynamics = Vec::with_capacity(actions);
+        for a in 0..actions {
+            // Make action 0 contracting toward the goal; others noisier.
+            let scale = if a == 0 { 0.5 } else { 0.9 };
+            dynamics.push(rng.uniform(&[dim, dim], -scale / dim as f32 * 2.0, scale / dim as f32 * 2.0));
+        }
+        let goal = vec![0.0; dim];
+        let state = (0..dim).map(|i| 0.5 + 0.1 * i as f32).collect();
+        MdpEnv { dynamics, goal, state, dim }
+    }
+
+    /// Current observation.
+    pub fn state(&self) -> Vec<f32> {
+        self.state.clone()
+    }
+
+    /// Applies `action`; returns `(next_state, reward)`.
+    pub fn step(&mut self, action: usize) -> (Vec<f32>, f32) {
+        let m = self.dynamics[action].as_f32_slice().expect("dynamics are f32");
+        let mut next = vec![0.0f32; self.dim];
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                next[i] += self.state[j] * m[j * self.dim + i];
+            }
+            next[i] = next[i].tanh() + 0.05;
+        }
+        let dist: f32 = next
+            .iter()
+            .zip(&self.goal)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / self.dim as f32;
+        let reward = -dist;
+        self.state = next.clone();
+        (next, reward)
+    }
+}
+
+fn row(v: &[f32]) -> Tensor {
+    Tensor::from_vec_f32(v.to_vec(), &[1, v.len()]).expect("row construction")
+}
+
+fn one_hot_row(idx: usize, n: usize) -> Tensor {
+    let mut v = vec![0.0; n];
+    v[idx] = 1.0;
+    Tensor::from_vec_f32(v, &[1, n]).expect("one-hot construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_runtime::Cluster;
+
+    fn drive<F>(mut stepper: F, env: &mut MdpEnv, steps: usize) -> Vec<f32>
+    where
+        F: FnMut(&Transition, &[f32], f32) -> (usize, f32),
+    {
+        let mut losses = Vec::new();
+        let mut state = env.state();
+        let mut action = 0usize;
+        for i in 0..steps {
+            let (next, reward) = env.step(action);
+            let prev = Transition { state: state.clone(), action, reward, next_state: next.clone() };
+            let eps = (1.0 - i as f32 / steps as f32).max(0.1);
+            let (a, loss) = stepper(&prev, &next, eps);
+            if loss != 0.0 {
+                losses.push(loss);
+            }
+            state = next;
+            action = a;
+        }
+        losses
+    }
+
+    #[test]
+    fn in_graph_dqn_trains() {
+        let cfg = DqnConfig::default();
+        let mut dqn =
+            InGraphDqn::new(cfg, Cluster::single_cpu(), SessionOptions::functional()).unwrap();
+        let mut env = MdpEnv::new(4, 3, 42);
+        let losses = drive(
+            |prev, cur, eps| dqn.step(prev, cur, eps).expect("dqn step"),
+            &mut env,
+            120,
+        );
+        assert!(!losses.is_empty(), "training must have happened");
+        assert!(losses.iter().all(|l| l.is_finite()));
+        assert_eq!(dqn.steps, 120);
+    }
+
+    #[test]
+    fn out_of_graph_dqn_trains() {
+        let cfg = DqnConfig::default();
+        let mut dqn = OutOfGraphDqn::new(cfg, Cluster::single_cpu, SessionOptions::functional())
+            .unwrap();
+        let mut env = MdpEnv::new(4, 3, 42);
+        let losses = drive(
+            |prev, cur, eps| dqn.step(prev, cur, eps).expect("dqn step"),
+            &mut env,
+            120,
+        );
+        assert!(!losses.is_empty());
+        assert!(losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn environment_is_deterministic() {
+        let mut a = MdpEnv::new(4, 3, 7);
+        let mut b = MdpEnv::new(4, 3, 7);
+        for action in [0, 1, 2, 0, 1] {
+            let (sa, ra) = a.step(action);
+            let (sb, rb) = b.step(action);
+            assert_eq!(sa, sb);
+            assert_eq!(ra, rb);
+        }
+    }
+}

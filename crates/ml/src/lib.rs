@@ -1,0 +1,37 @@
+//! Models built on the `dcf` dataflow system.
+//!
+//! These are the workloads the paper evaluates with (§2.2, §6):
+//!
+//! * [`LstmCell`] — a standard LSTM cell built from public graph ops.
+//! * [`dynamic_rnn`] — the paper's `dynamic_rnn`: an RNN over a
+//!   variable-length sequence expressed as a `while_loop` over
+//!   `TensorArray`s (§6.2), with optional memory swapping.
+//! * [`static_rnn`] — the statically unrolled baseline of §6.3.
+//! * [`stacked_dynamic_rnn`] — multi-layer RNN with layer-per-device
+//!   placement (the §6.4 model-parallelism experiment).
+//! * [`MoeLayer`] — a mixture-of-experts layer whose experts live on
+//!   different devices and execute under in-graph conditionals (§2.2).
+//! * [`sgd_step`] — gradient computation plus in-graph SGD parameter
+//!   updates.
+//! * [`dqn`] — Deep Q-Network with an in-graph replay database and
+//!   conditional train/sync steps (§6.5), plus an out-of-graph baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dqn;
+mod lstm;
+mod moe;
+mod rnn;
+mod train;
+
+pub use lstm::LstmCell;
+pub use moe::MoeLayer;
+pub use rnn::{dynamic_rnn, stacked_dynamic_rnn, static_rnn, RnnOutputs};
+pub use train::sgd_step;
+
+/// Convenience alias reusing the graph error type.
+pub type Result<T> = std::result::Result<T, dcf_graph::GraphError>;
+
+#[cfg(test)]
+mod test_util;

@@ -1,0 +1,107 @@
+//! LSTM cell built from public graph operations.
+
+use crate::Result;
+use dcf_graph::{GraphBuilder, TensorRef};
+use dcf_tensor::TensorRng;
+
+/// A standard LSTM cell (Hochreiter & Schmidhuber) with fused gate weights.
+///
+/// Holds two trainable variables: a `[input + hidden, 4 * hidden]` weight
+/// matrix and a `[4 * hidden]` bias. One [`LstmCell::step`] implements
+///
+/// ```text
+/// [i f g o] = x·W + h·W' + b        (fused as concat([x, h]) · W + b)
+/// c' = sigmoid(f) * c + sigmoid(i) * tanh(g)
+/// h' = sigmoid(o) * tanh(c')
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct LstmCell {
+    /// Fused gate weights, `[input + hidden, 4 * hidden]`.
+    pub w: TensorRef,
+    /// Gate biases, `[4 * hidden]`.
+    pub b: TensorRef,
+    /// Number of hidden units.
+    pub hidden: usize,
+    /// Input feature size.
+    pub input: usize,
+}
+
+impl LstmCell {
+    /// Creates the cell's variables with uniform initialization.
+    ///
+    /// `name` must be unique per cell (it namespaces the variables).
+    pub fn new(
+        g: &mut GraphBuilder,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut TensorRng,
+    ) -> LstmCell {
+        let bound = 1.0 / (hidden as f32).sqrt();
+        let w = g.variable(
+            format!("{name}/w"),
+            rng.uniform(&[input + hidden, 4 * hidden], -bound, bound),
+        );
+        let b = g.variable(format!("{name}/b"), rng.uniform(&[4 * hidden], -bound, bound));
+        LstmCell { w, b, hidden, input }
+    }
+
+    /// Applies the cell to one timestep.
+    ///
+    /// `x` is `[batch, input]`; `h`/`c` are `[batch, hidden]`. Returns
+    /// `(h', c')`.
+    pub fn step(
+        &self,
+        g: &mut GraphBuilder,
+        x: TensorRef,
+        h: TensorRef,
+        c: TensorRef,
+    ) -> Result<(TensorRef, TensorRef)> {
+        let xh = g.concat1(&[x, h])?;
+        let z = g.matmul(xh, self.w)?;
+        let z = g.add(z, self.b)?;
+        let gates = g.split1(z, 4)?;
+        let i = g.sigmoid(gates[0])?;
+        let f = g.sigmoid(gates[1])?;
+        let gg = g.tanh(gates[2])?;
+        let o = g.sigmoid(gates[3])?;
+        let fc = g.mul(f, c)?;
+        let ig = g.mul(i, gg)?;
+        let c_new = g.add(fc, ig)?;
+        let tc = g.tanh(c_new)?;
+        let h_new = g.mul(o, tc)?;
+        Ok((h_new, c_new))
+    }
+
+    /// The trainable parameters.
+    pub fn params(&self) -> Vec<TensorRef> {
+        vec![self.w, self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::run1;
+    use dcf_tensor::Tensor;
+
+    #[test]
+    fn step_shapes_and_determinism() {
+        let mut g = GraphBuilder::new();
+        let mut rng = TensorRng::new(7);
+        let cell = LstmCell::new(&mut g, "lstm", 3, 4, &mut rng);
+        let x = g.constant(rng.uniform(&[2, 3], -1.0, 1.0));
+        let h0 = g.constant(Tensor::zeros(dcf_tensor::DType::F32, &[2, 4]));
+        let c0 = g.constant(Tensor::zeros(dcf_tensor::DType::F32, &[2, 4]));
+        let (h1, c1) = cell.step(&mut g, x, h0, c0).unwrap();
+        let (h2, _c2) = cell.step(&mut g, x, h1, c1).unwrap();
+        let out = run1(g, &[h1, h2]);
+        assert_eq!(out[0].shape().dims(), &[2, 4]);
+        assert_eq!(out[1].shape().dims(), &[2, 4]);
+        // Activations stay in (-1, 1): h = sigmoid * tanh.
+        for &v in out[1].as_f32_slice().unwrap() {
+            assert!(v.abs() < 1.0);
+        }
+        assert!(!out[0].value_eq(&out[1]), "state must evolve");
+    }
+}

@@ -1,0 +1,152 @@
+//! Mixture-of-experts layer with conditional, distributed expert execution.
+
+use crate::Result;
+use dcf_graph::{GraphBuilder, TensorRef};
+use dcf_tensor::{Tensor, TensorRng};
+
+/// A sparsely-gated mixture-of-experts layer (§2.2).
+///
+/// Each expert is a two-layer MLP that may live on its own device. A gating
+/// network scores the input; the winning expert is selected with in-graph
+/// conditionals, so only the chosen expert's subgraph executes (the losers'
+/// partitions receive dead signals — §4.4's conditional-computation story).
+///
+/// Routing granularity is per *batch* (the gate scores are averaged over
+/// the batch before the argmax): this keeps the selection a scalar
+/// predicate suitable for `cond`, a documented simplification relative to
+/// the paper's per-example dispatch.
+pub struct MoeLayer {
+    /// Gating weights, `[input, experts]`.
+    pub gate_w: TensorRef,
+    /// Per-expert weights: `(w1 [input, hidden], w2 [hidden, output])`.
+    pub experts: Vec<(TensorRef, TensorRef)>,
+    /// Device of each expert (if pinned).
+    pub devices: Vec<Option<String>>,
+    input: usize,
+    output: usize,
+}
+
+impl MoeLayer {
+    /// Creates the gating network and `devices.len()` experts.
+    pub fn new(
+        g: &mut GraphBuilder,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        output: usize,
+        devices: Vec<Option<String>>,
+        rng: &mut TensorRng,
+    ) -> MoeLayer {
+        let bound = 1.0 / (input as f32).sqrt();
+        let gate_w = g.variable(format!("{name}/gate"), rng.uniform(&[input, devices.len()], -bound, bound));
+        let mut experts = Vec::with_capacity(devices.len());
+        for (e, _) in devices.iter().enumerate() {
+            let w1 = g.variable(
+                format!("{name}/e{e}/w1"),
+                rng.uniform(&[input, hidden], -bound, bound),
+            );
+            let w2 = g.variable(
+                format!("{name}/e{e}/w2"),
+                rng.uniform(&[hidden, output], -bound, bound),
+            );
+            experts.push((w1, w2));
+        }
+        MoeLayer { gate_w, experts, devices, input, output }
+    }
+
+    /// Applies the layer to `x` (`[batch, input]`), returning
+    /// `[batch, output]`.
+    ///
+    /// Builds one `cond` per expert: expert `e` computes its MLP only when
+    /// the (batch-averaged) gate picks it, and contributes zeros otherwise;
+    /// the gate probability scales the chosen output so the gating network
+    /// receives gradients.
+    pub fn apply(&self, g: &mut GraphBuilder, x: TensorRef) -> Result<TensorRef> {
+        let scores = g.matmul(x, self.gate_w)?;
+        let probs = g.softmax(scores)?;
+        // Batch-level routing: average the probabilities over the batch and
+        // pick the strongest expert.
+        let mean = g.reduce_mean_axis(probs, 0, false)?;
+        let winner = g.argmax(mean)?;
+
+        let mut contributions = Vec::with_capacity(self.experts.len());
+        for (e, (w1, w2)) in self.experts.iter().enumerate() {
+            let idx = g.scalar_i64(e as i64);
+            let selected = g.equal(winner, idx)?;
+            let (w1, w2) = (*w1, *w2);
+            let device = self.devices[e].clone();
+            let input = self.input;
+            let output = self.output;
+            let _ = input;
+            let out = g.cond(
+                selected,
+                |g| {
+                    let run = |g: &mut GraphBuilder| -> Result<TensorRef> {
+                        let hmid = g.matmul(x, w1)?;
+                        let hact = g.relu(hmid)?;
+                        g.matmul(hact, w2)
+                    };
+                    let y = match &device {
+                        Some(d) => g.with_device(d.clone(), run)?,
+                        None => run(g)?,
+                    };
+                    // Scale by the expert's mean gate probability so the
+                    // gate is trainable.
+                    let pe = g.index0(mean, idx)?;
+                    Ok(vec![g.mul(y, pe)?])
+                },
+                |g| {
+                    let zero = g.constant(Tensor::scalar_f32(0.0));
+                    let zx = g.matmul(x, w1)?; // shape donor, never executed live
+                    let zz = g.zeros_like(zx)?;
+                    let z2 = g.matmul(zz, w2)?;
+                    let _ = output;
+                    Ok(vec![g.mul(z2, zero)?])
+                },
+            )?;
+            contributions.push(out[0]);
+        }
+        g.add_n(&contributions)
+    }
+
+    /// All trainable parameters (gate + experts).
+    pub fn params(&self) -> Vec<TensorRef> {
+        let mut p = vec![self.gate_w];
+        for (w1, w2) in &self.experts {
+            p.push(*w1);
+            p.push(*w2);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::run1;
+    use dcf_graph::GraphBuilder;
+
+    #[test]
+    fn moe_selects_one_expert() {
+        let mut g = GraphBuilder::new();
+        let mut rng = TensorRng::new(5);
+        let moe = MoeLayer::new(&mut g, "moe", 4, 8, 3, vec![None, None, None], &mut rng);
+        let x = g.constant(rng.uniform(&[2, 4], -1.0, 1.0));
+        let y = moe.apply(&mut g, x).unwrap();
+        let out = run1(g, &[y]).remove(0);
+        assert_eq!(out.shape().dims(), &[2, 3]);
+        // With softmax gating the output is a scaled single-expert output;
+        // it must be finite and not all zeros (one branch taken).
+        let v = out.as_f32_slice().unwrap();
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!(v.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn moe_params_enumerated() {
+        let mut g = GraphBuilder::new();
+        let mut rng = TensorRng::new(5);
+        let moe = MoeLayer::new(&mut g, "moe", 4, 8, 3, vec![None, None], &mut rng);
+        assert_eq!(moe.params().len(), 1 + 2 * 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! RNNs over sequences: dynamic (while_loop + TensorArray), statically
+//! unrolled, and multi-layer with per-layer device placement.
+
+use crate::lstm::LstmCell;
+use crate::Result;
+use dcf_graph::{GraphBuilder, TensorRef, WhileOptions};
+use dcf_tensor::DType;
+
+/// The tensors produced by an RNN sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct RnnOutputs {
+    /// Per-timestep outputs of the last layer, `[T, batch, hidden]`.
+    pub outputs: TensorRef,
+    /// Final hidden state of the last layer, `[batch, hidden]`.
+    pub h: TensorRef,
+    /// Final cell state of the last layer, `[batch, hidden]`.
+    pub c: TensorRef,
+}
+
+/// The paper's `dynamic_rnn` (§2.2, §6.2): applies `cell` across the
+/// leading (time) axis of `inputs` with an in-graph `while_loop`.
+///
+/// `inputs` is `[T, batch, input]`; `h0`/`c0` are `[batch, hidden]`. The
+/// input sequence is unstacked into a TensorArray, the loop reads one
+/// element per iteration, and outputs are written to a second TensorArray
+/// that is packed after the loop — exactly the construction of Figure 2.
+/// `options.swap_memory` enables §5.3 memory swapping for the
+/// backpropagation state saved by this loop; `options.parallel_iterations`
+/// is the §4.3 knob.
+pub fn dynamic_rnn(
+    g: &mut GraphBuilder,
+    cell: &LstmCell,
+    inputs: TensorRef,
+    h0: TensorRef,
+    c0: TensorRef,
+    options: WhileOptions,
+) -> Result<RnnOutputs> {
+    let zero = g.scalar_i64(0);
+    let input_ta = g.tensor_array(DType::F32, zero)?;
+    let input_ta = input_ta.unstack(g, inputs)?;
+    let output_ta = g.tensor_array(DType::F32, zero)?;
+    let n = input_ta.size(g)?;
+
+    let i0 = g.scalar_i64(0);
+    let outs = g.while_loop(
+        &[i0, h0, c0, output_ta.flow],
+        |g, v| g.less(v[0], n),
+        |g, v| {
+            let (i, h, c, flow) = (v[0], v[1], v[2], v[3]);
+            let x = input_ta.read(g, i)?;
+            let (h1, c1) = cell.step(g, x, h, c)?;
+            let flow1 = output_ta.with_flow(flow).write(g, i, h1)?.flow;
+            let one = g.scalar_i64(1);
+            let i1 = g.add(i, one)?;
+            Ok(vec![i1, h1, c1, flow1])
+        },
+        options,
+    )?;
+    let outputs = output_ta.with_flow(outs[3]).pack(g)?;
+    Ok(RnnOutputs { outputs, h: outs[1], c: outs[2] })
+}
+
+/// Statically unrolled RNN: the §6.3 baseline.
+///
+/// Applies `cell` for exactly `steps` timesteps with no control flow in
+/// the graph; the per-step subgraph is replicated `steps` times.
+pub fn static_rnn(
+    g: &mut GraphBuilder,
+    cell: &LstmCell,
+    inputs: TensorRef,
+    h0: TensorRef,
+    c0: TensorRef,
+    steps: usize,
+) -> Result<RnnOutputs> {
+    let mut h = h0;
+    let mut c = c0;
+    let mut outputs = Vec::with_capacity(steps);
+    for t in 0..steps {
+        let it = g.scalar_i64(t as i64);
+        let x = g.index0(inputs, it)?;
+        let (h1, c1) = cell.step(g, x, h, c)?;
+        outputs.push(h1);
+        h = h1;
+        c = c1;
+    }
+    let packed = g.pack(&outputs)?;
+    Ok(RnnOutputs { outputs: packed, h, c })
+}
+
+/// Multi-layer dynamic RNN with one device per layer (§6.4 model
+/// parallelism).
+///
+/// `layers` pairs each cell with an optional device spec (e.g.
+/// `"/machine:0/gpu:2"`). All layers advance inside a *single* in-graph
+/// while-loop, so with parallel iterations enabled the layer pipeline fills
+/// across timesteps — iteration `t+1` of layer 0 runs concurrently with
+/// iteration `t` of layer 1 (Figure 10(c)'s dependence structure).
+pub fn stacked_dynamic_rnn(
+    g: &mut GraphBuilder,
+    layers: &[(LstmCell, Option<String>)],
+    inputs: TensorRef,
+    states: &[(TensorRef, TensorRef)],
+    options: WhileOptions,
+) -> Result<RnnOutputs> {
+    assert_eq!(layers.len(), states.len(), "one (h0, c0) pair per layer");
+    let zero = g.scalar_i64(0);
+    let input_ta = g.tensor_array(DType::F32, zero)?;
+    let input_ta = input_ta.unstack(g, inputs)?;
+    let output_ta = g.tensor_array(DType::F32, zero)?;
+    let n = input_ta.size(g)?;
+
+    let i0 = g.scalar_i64(0);
+    let mut inits = vec![i0];
+    for (h, c) in states {
+        inits.push(*h);
+        inits.push(*c);
+    }
+    inits.push(output_ta.flow);
+    let outs = g.while_loop(
+        &inits,
+        |g, v| g.less(v[0], n),
+        |g, v| {
+            let i = v[0];
+            let mut x = input_ta.read(g, i)?;
+            let mut new_states = Vec::with_capacity(layers.len() * 2);
+            for (l, (cell, device)) in layers.iter().enumerate() {
+                let (h, c) = (v[1 + 2 * l], v[2 + 2 * l]);
+                let (h1, c1) = match device {
+                    Some(d) => g.with_device(d.clone(), |g| cell.step(g, x, h, c))?,
+                    None => cell.step(g, x, h, c)?,
+                };
+                new_states.push(h1);
+                new_states.push(c1);
+                x = h1;
+            }
+            let flow = v[1 + 2 * layers.len()];
+            let flow1 = output_ta.with_flow(flow).write(g, i, x)?.flow;
+            let one = g.scalar_i64(1);
+            let i1 = g.add(i, one)?;
+            let mut results = vec![i1];
+            results.extend(new_states);
+            results.push(flow1);
+            Ok(results)
+        },
+        options,
+    )?;
+    let outputs = output_ta.with_flow(outs[1 + 2 * layers.len()]).pack(g)?;
+    let last = layers.len() - 1;
+    Ok(RnnOutputs { outputs, h: outs[1 + 2 * last], c: outs[2 + 2 * last] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::run1;
+    use dcf_tensor::{Tensor, TensorRng};
+
+    fn build_pair() -> (Tensor, Tensor) {
+        // Returns (dynamic outputs, static outputs) for identical weights
+        // and inputs.
+        let mut results = Vec::new();
+        for dynamic in [true, false] {
+            let mut g = GraphBuilder::new();
+            let mut rng = TensorRng::new(11);
+            let cell = LstmCell::new(&mut g, "cell", 3, 5, &mut rng);
+            let x = g.constant(rng.uniform(&[4, 2, 3], -1.0, 1.0));
+            let h0 = g.constant(Tensor::zeros(DType::F32, &[2, 5]));
+            let c0 = g.constant(Tensor::zeros(DType::F32, &[2, 5]));
+            let out = if dynamic {
+                dynamic_rnn(&mut g, &cell, x, h0, c0, WhileOptions::default()).unwrap()
+            } else {
+                static_rnn(&mut g, &cell, x, h0, c0, 4).unwrap()
+            };
+            results.push(run1(g, &[out.outputs]).remove(0));
+        }
+        (results.remove(0), results.remove(0))
+    }
+
+    #[test]
+    fn dynamic_matches_static_unrolling() {
+        let (dyn_out, static_out) = build_pair();
+        assert_eq!(dyn_out.shape().dims(), &[4, 2, 5]);
+        assert!(
+            dyn_out.allclose(&static_out, 1e-5),
+            "dynamic and static RNNs must compute identical values"
+        );
+    }
+
+    #[test]
+    fn stacked_rnn_distributed_matches_local() {
+        // Same stacked RNN, computed on one device and split layer-per-
+        // machine, must produce identical values.
+        let build = |devices: [Option<String>; 2]| -> Tensor {
+            let mut g = GraphBuilder::new();
+            let mut rng = TensorRng::new(3);
+            let l0 = LstmCell::new(&mut g, "l0", 3, 4, &mut rng);
+            let l1 = LstmCell::new(&mut g, "l1", 4, 4, &mut rng);
+            let x = g.constant(rng.uniform(&[4, 2, 3], -1.0, 1.0));
+            let z = g.constant(Tensor::zeros(DType::F32, &[2, 4]));
+            let [d0, d1] = devices;
+            let out = stacked_dynamic_rnn(
+                &mut g,
+                &[(l0, d0), (l1, d1)],
+                x,
+                &[(z, z), (z, z)],
+                WhileOptions::default(),
+            )
+            .unwrap();
+            let mut cluster = dcf_runtime::Cluster::new();
+            cluster.add_device(0, dcf_device::DeviceProfile::cpu());
+            cluster.add_device(1, dcf_device::DeviceProfile::cpu());
+            let sess = dcf_runtime::Session::new(
+                g.finish().unwrap(),
+                cluster,
+                dcf_runtime::SessionOptions::functional(),
+            )
+            .unwrap();
+            sess.run(&std::collections::HashMap::new(), &[out.outputs]).unwrap().remove(0)
+        };
+        let local = build([None, None]);
+        let distributed = build([
+            Some("/machine:0/cpu:0".into()),
+            Some("/machine:1/cpu:0".into()),
+        ]);
+        assert!(local.allclose(&distributed, 1e-5));
+    }
+
+    #[test]
+    fn stacked_rnn_runs() {
+        let mut g = GraphBuilder::new();
+        let mut rng = TensorRng::new(3);
+        let l0 = LstmCell::new(&mut g, "l0", 3, 4, &mut rng);
+        let l1 = LstmCell::new(&mut g, "l1", 4, 4, &mut rng);
+        let x = g.constant(rng.uniform(&[5, 2, 3], -1.0, 1.0));
+        let z = g.constant(Tensor::zeros(DType::F32, &[2, 4]));
+        let out = stacked_dynamic_rnn(
+            &mut g,
+            &[(l0, None), (l1, None)],
+            x,
+            &[(z, z), (z, z)],
+            WhileOptions::default(),
+        )
+        .unwrap();
+        let v = run1(g, &[out.outputs, out.h]).remove(0);
+        assert_eq!(v.shape().dims(), &[5, 2, 4]);
+    }
+}

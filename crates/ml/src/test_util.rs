@@ -1,0 +1,12 @@
+//! Shared test helpers for the model crates.
+
+use dcf_graph::{GraphBuilder, TensorRef};
+use dcf_runtime::Session;
+use dcf_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Runs a graph on a local CPU session and returns the fetched tensors.
+pub(crate) fn run1(b: GraphBuilder, fetches: &[TensorRef]) -> Vec<Tensor> {
+    let sess = Session::local(b.finish().expect("graph should validate")).expect("session");
+    sess.run(&HashMap::new(), fetches).expect("run should succeed")
+}

@@ -1,0 +1,70 @@
+//! Training utilities: gradient descent steps assembled in-graph.
+
+use crate::Result;
+use dcf_autodiff::gradients;
+use dcf_graph::{GraphBuilder, TensorRef};
+
+/// Builds one SGD training step: computes `d loss / d param` for every
+/// parameter and applies `param -= lr * grad` with in-graph updates.
+///
+/// Returns the post-update parameter values; fetching them (or anything
+/// that depends on them) executes the whole forward + backward + update
+/// step inside the runtime — no client round-trips (§1's motivation for
+/// in-graph computation).
+pub fn sgd_step(
+    g: &mut GraphBuilder,
+    loss: TensorRef,
+    params: &[TensorRef],
+    lr: f32,
+) -> Result<Vec<TensorRef>> {
+    let grads = gradients(g, loss, params)?;
+    let lr = g.scalar_f32(lr);
+    let mut updates = Vec::with_capacity(params.len());
+    for (p, grad) in params.iter().zip(grads) {
+        let scaled = g.mul(grad, lr)?;
+        updates.push(g.assign_sub(*p, scaled)?);
+    }
+    Ok(updates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_runtime::Session;
+    use dcf_tensor::{Tensor, TensorRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn sgd_converges_on_linear_regression() {
+        // Fit y = x · w* with w* = [2, -1]; loss must shrink monotonically
+        // (small lr, convex problem).
+        let mut g = GraphBuilder::new();
+        let mut rng = TensorRng::new(13);
+        let x = g.constant(rng.uniform(&[16, 2], -1.0, 1.0));
+        let w_true = g.constant(Tensor::from_vec_f32(vec![2.0, -1.0], &[2, 1]).unwrap());
+        let y_true = g.matmul(x, w_true).unwrap();
+        let w = g.variable("w", Tensor::zeros(dcf_tensor::DType::F32, &[2, 1]));
+        let y = g.matmul(x, w).unwrap();
+        let err = g.sub(y, y_true).unwrap();
+        let sq = g.square(err).unwrap();
+        let loss = g.reduce_mean(sq).unwrap();
+        let updates = sgd_step(&mut g, loss, &[w], 0.5).unwrap();
+
+        let sess = Session::local(g.finish().unwrap()).unwrap();
+        let mut losses = Vec::new();
+        for _ in 0..60 {
+            let out = sess.run(&HashMap::new(), &[loss, updates[0]]).unwrap();
+            losses.push(out[0].scalar_as_f32().unwrap());
+        }
+        assert!(losses[0] > 0.1, "initial loss should be substantial");
+        assert!(
+            losses.last().unwrap() < &1e-3,
+            "SGD failed to converge: final loss {}",
+            losses.last().unwrap()
+        );
+        // Weights close to the target.
+        let wv = sess.resources().variable_value("w").unwrap();
+        assert!((wv.as_f32_slice().unwrap()[0] - 2.0).abs() < 0.05);
+        assert!((wv.as_f32_slice().unwrap()[1] + 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,277 @@
+//! Simulated network: delayed rendezvous delivery.
+
+use dcf_exec::{InMemoryRendezvous, RecvCallback, Rendezvous, Token};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Latency/bandwidth model for tensor transfers.
+///
+/// The paper's cluster connects machines "by Ethernet across a production
+/// networking fabric"; within a machine, GPUs communicate over PCIe. Both
+/// are modeled as a fixed latency plus a bandwidth term over the *modeled*
+/// tensor size (dimensions scaled by `shape_scale`, matching the devices).
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    /// One-way latency between machines.
+    pub cross_latency: Duration,
+    /// Cross-machine bandwidth, bytes/s.
+    pub cross_bandwidth: f64,
+    /// One-way latency between devices of one machine (PCIe hop).
+    pub intra_latency: Duration,
+    /// Intra-machine bandwidth, bytes/s.
+    pub intra_bandwidth: f64,
+    /// Dimension scale used when modeling payload size (keep equal to the
+    /// devices' `shape_scale`).
+    pub shape_scale: usize,
+    /// Global multiplier on modeled delays (0.0 disables delays).
+    pub time_scale: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            cross_latency: Duration::from_micros(25),
+            cross_bandwidth: 1.25e9, // 10 Gb/s Ethernet
+            intra_latency: Duration::from_micros(8),
+            intra_bandwidth: 1.2e10, // PCIe 3 x16
+            shape_scale: 1,
+            time_scale: 1.0,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// A model with all delays disabled (functional tests).
+    pub fn disabled() -> NetworkModel {
+        NetworkModel { time_scale: 0.0, ..Default::default() }
+    }
+
+    /// Modeled transfer time of `token` between `src` and `dst` machines.
+    pub fn delay(&self, src_machine: usize, dst_machine: usize, token: &Token) -> Duration {
+        if self.time_scale == 0.0 {
+            return Duration::ZERO;
+        }
+        let (lat, bw) = if src_machine == dst_machine {
+            (self.intra_latency, self.intra_bandwidth)
+        } else {
+            (self.cross_latency, self.cross_bandwidth)
+        };
+        let bytes = if token.is_dead {
+            // A dead signal is a header-only message.
+            16.0
+        } else {
+            let s = self.shape_scale as f64;
+            let dims = token.value.shape().dims();
+            let rank = dims.len();
+            // Match the device cost model: only the trailing two (feature)
+            // dimensions are scaled.
+            let scaled: f64 = dims
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| if i + 2 >= rank { d as f64 * s } else { d as f64 })
+                .product::<f64>()
+                .max(1.0);
+            scaled * token.value.dtype().size_of() as f64
+        };
+        let secs = (lat.as_secs_f64() + bytes / bw) * self.time_scale;
+        Duration::from_secs_f64(secs)
+    }
+}
+
+struct Pending {
+    due: Instant,
+    seq: u64,
+    key: String,
+    token: Token,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+struct SchedulerState {
+    heap: BinaryHeap<Reverse<Pending>>,
+    seq: u64,
+    shutdown: bool,
+}
+
+/// A rendezvous that injects modeled network delay into `send`.
+///
+/// Keys produced by the partitioner carry a `m{src}>m{dst}/` prefix naming
+/// the endpoint machines; delivery into the underlying in-memory table is
+/// postponed by the modeled transfer time on a dedicated timer thread.
+pub struct NetworkRendezvous {
+    inner: InMemoryRendezvous,
+    model: NetworkModel,
+    state: Arc<(Mutex<SchedulerState>, Condvar)>,
+    timer: Option<thread::JoinHandle<()>>,
+}
+
+impl NetworkRendezvous {
+    /// Creates a rendezvous with the given network model.
+    pub fn new(model: NetworkModel) -> Arc<NetworkRendezvous> {
+        let inner = InMemoryRendezvous::new();
+        let state = Arc::new((
+            Mutex::new(SchedulerState { heap: BinaryHeap::new(), seq: 0, shutdown: false }),
+            Condvar::new(),
+        ));
+        let timer_state = state.clone();
+        let timer_inner = inner.clone();
+        let timer = thread::Builder::new()
+            .name("dcf-netsim".into())
+            .spawn(move || {
+                let (lock, cvar) = &*timer_state;
+                let mut st = lock.lock();
+                loop {
+                    if st.shutdown {
+                        break;
+                    }
+                    let now = Instant::now();
+                    // Deliver everything due.
+                    while st.heap.peek().map(|Reverse(p)| p.due <= now).unwrap_or(false) {
+                        let Reverse(p) = st.heap.pop().expect("peeked");
+                        // Deliver outside the lock: recv callbacks may run
+                        // arbitrary executor code.
+                        let key = p.key;
+                        let token = p.token;
+                        drop(st);
+                        timer_inner.send(key, token);
+                        st = lock.lock();
+                    }
+                    match st.heap.peek() {
+                        Some(Reverse(p)) => {
+                            let due = p.due;
+                            cvar.wait_until(&mut st, due);
+                        }
+                        None => {
+                            cvar.wait(&mut st);
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn netsim timer");
+        Arc::new(NetworkRendezvous { inner, model, state, timer: Some(timer) })
+    }
+
+    /// Clears rendezvous state between runs.
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+
+    fn parse_machines(key: &str) -> Option<(usize, usize)> {
+        // Format: "m{a}>m{b}/...".
+        let rest = key.strip_prefix('m')?;
+        let (a, rest) = rest.split_once(">m")?;
+        let (b, _) = rest.split_once('/')?;
+        Some((a.parse().ok()?, b.parse().ok()?))
+    }
+}
+
+impl Rendezvous for NetworkRendezvous {
+    fn send(&self, key: String, token: Token) {
+        let delay = match Self::parse_machines(&key) {
+            Some((a, b)) => self.model.delay(a, b, &token),
+            None => Duration::ZERO,
+        };
+        if delay.is_zero() {
+            self.inner.send(key, token);
+            return;
+        }
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock();
+        st.seq += 1;
+        let seq = st.seq;
+        st.heap.push(Reverse(Pending { due: Instant::now() + delay, seq, key, token }));
+        cvar.notify_one();
+    }
+
+    fn recv_async(&self, key: String, callback: RecvCallback) {
+        self.inner.recv_async(key, callback);
+    }
+}
+
+impl Drop for NetworkRendezvous {
+    fn drop(&mut self) {
+        {
+            let (lock, cvar) = &*self.state;
+            lock.lock().shutdown = true;
+            cvar.notify_all();
+        }
+        if let Some(t) = self.timer.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_tensor::Tensor;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn key_parsing() {
+        assert_eq!(NetworkRendezvous::parse_machines("m3>m17/d1>d2/x"), Some((3, 17)));
+        assert_eq!(NetworkRendezvous::parse_machines("nokey"), None);
+    }
+
+    #[test]
+    fn delay_model_shapes() {
+        let m = NetworkModel { shape_scale: 32, ..Default::default() };
+        let small = Token::live(Tensor::scalar_f32(1.0));
+        let big = Token::live(Tensor::ones(&[32, 32]));
+        assert!(m.delay(0, 1, &big) > m.delay(0, 1, &small));
+        assert!(m.delay(0, 1, &small) >= m.cross_latency);
+        assert!(m.delay(0, 0, &small) < m.delay(0, 1, &small));
+        let dead = Token::dead();
+        assert!(m.delay(0, 1, &dead) < m.delay(0, 1, &big));
+        assert_eq!(NetworkModel::disabled().delay(0, 1, &big), Duration::ZERO);
+    }
+
+    #[test]
+    fn delayed_delivery_happens() {
+        let model = NetworkModel {
+            cross_latency: Duration::from_millis(20),
+            ..NetworkModel::default()
+        };
+        let r = NetworkRendezvous::new(model);
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = hit.clone();
+        r.recv_async("m0>m1/x".into(), Box::new(move |_| h.store(true, Ordering::SeqCst)));
+        let t0 = Instant::now();
+        r.send("m0>m1/x".into(), Token::live(Tensor::scalar_f32(1.0)));
+        assert!(!hit.load(Ordering::SeqCst), "must not deliver synchronously");
+        while !hit.load(Ordering::SeqCst) {
+            assert!(t0.elapsed() < Duration::from_secs(5), "delivery never happened");
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(18));
+    }
+
+    #[test]
+    fn unprefixed_keys_deliver_immediately() {
+        let r = NetworkRendezvous::new(NetworkModel::default());
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = hit.clone();
+        r.recv_async("plain".into(), Box::new(move |_| h.store(true, Ordering::SeqCst)));
+        r.send("plain".into(), Token::dead());
+        assert!(hit.load(Ordering::SeqCst));
+    }
+}

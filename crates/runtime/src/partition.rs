@@ -1,0 +1,377 @@
+//! Graph partitioning: Send/Recv insertion and control-loop rewriting.
+//!
+//! Implements §3 ("When this partitioning would cut an edge between two
+//! devices, it automatically replaces the edge with a pair of communication
+//! operations") and §4.4 ("we address this need by automatically rewriting
+//! the graph with simple control-loop state machines", Figure 6).
+
+use crate::cluster::Cluster;
+use dcf_device::DeviceId;
+use dcf_exec::ExecError;
+use dcf_graph::{ContextId, ContextKind, Graph, NodeId, OpKind, TensorRef};
+use dcf_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The result of partitioning: the augmented graph, per-device membership,
+/// and the (extended) placement vector.
+pub struct PartitionedGraph {
+    /// The graph including all inserted communication and control-loop
+    /// nodes.
+    pub graph: Arc<Graph>,
+    /// Node ids per device.
+    pub members: Vec<Vec<NodeId>>,
+    /// Device of every node.
+    pub placement: Vec<DeviceId>,
+}
+
+/// Returns the context whose frame a node's *output* tokens live in.
+///
+/// `Exit` nodes are constructed in the parent context already; everything
+/// else emits in its own context (for `Enter`, the child frame, which is
+/// its recorded context).
+fn edge_ctx(graph: &Graph, node: NodeId) -> ContextId {
+    graph.node(node).ctx
+}
+
+/// Innermost enclosing while-context of `ctx`, if any.
+fn innermost_while(graph: &Graph, ctx: ContextId) -> Option<ContextId> {
+    graph.while_chain(ctx).last().copied()
+}
+
+struct ControlLoop {
+    /// The Merge of the control loop; gates in-loop Recvs.
+    cmerge: NodeId,
+    /// The Switch's true output ("pivot"): one live token per continuing
+    /// iteration. Feeds nested control loops.
+    pivot: TensorRef,
+}
+
+struct Partitioner<'a> {
+    graph: Graph,
+    placement: Vec<DeviceId>,
+    cluster: &'a Cluster,
+    /// Cache: one Send/Recv pair per (source tensor, destination device).
+    recv_cache: HashMap<(TensorRef, DeviceId), TensorRef>,
+    /// Control loops per (while context, device).
+    control_loops: HashMap<(ContextId, DeviceId), ControlLoop>,
+    /// Predicate Sends already added per (while context, destination).
+    pred_sends: HashMap<(ContextId, DeviceId), ()>,
+}
+
+impl Partitioner<'_> {
+    fn machine(&self, d: DeviceId) -> usize {
+        self.cluster.device(d).machine()
+    }
+
+    fn key_base(&self, tag: &str, src: DeviceId, dst: DeviceId) -> String {
+        // The leading "m{a}>m{b}/" segment lets the network rendezvous
+        // model transfer delay; device ids make keys unique.
+        format!("m{}>m{}/d{}>d{}/{}", self.machine(src), self.machine(dst), src.0, dst.0, tag)
+    }
+
+    fn add_node(
+        &mut self,
+        op: OpKind,
+        inputs: Vec<TensorRef>,
+        ctx: ContextId,
+        device: DeviceId,
+        hint: &str,
+    ) -> Result<NodeId, ExecError> {
+        let id = self
+            .graph
+            .add_node_for_runtime(op, inputs, ctx, Some(self.cluster.device(device).name().into()), hint)
+            .map_err(|e| ExecError::Internal(format!("partitioner: {e}")))?;
+        debug_assert_eq!(id.0, self.placement.len());
+        self.placement.push(device);
+        Ok(id)
+    }
+
+    /// Returns the local stand-in for `src` on device `dst_dev`, inserting
+    /// a Send/Recv pair on first use.
+    fn recv_for(&mut self, src: TensorRef, dst_dev: DeviceId) -> Result<TensorRef, ExecError> {
+        if let Some(&r) = self.recv_cache.get(&(src, dst_dev)) {
+            return Ok(r);
+        }
+        let src_dev = self.placement[src.node.0];
+        let ctx = edge_ctx(&self.graph, src.node);
+        let dtype = self.graph.dtype(src);
+        let key = self.key_base(&format!("t{}p{}", src.node.0, src.port), src_dev, dst_dev);
+        // Send on the producing device.
+        let _send = self.add_node(
+            OpKind::Send { key_base: key.clone(), to_device: dst_dev.0 },
+            vec![src],
+            ctx,
+            src_dev,
+            "Send",
+        )?;
+        // Recv on the consuming device.
+        let recv = self.add_node(
+            OpKind::Recv { key_base: key, from_device: src_dev.0, dtype },
+            vec![],
+            ctx,
+            dst_dev,
+            "Recv",
+        )?;
+        let recv_ref = TensorRef { node: recv, port: 0 };
+        // A Recv inside a loop must be re-armed once per iteration by the
+        // control-loop state machine of its frame on this device.
+        if let Some(wctx) = innermost_while(&self.graph, ctx) {
+            let cmerge = self.ensure_control_loop(wctx, dst_dev)?;
+            self.graph.add_control_edge(recv, cmerge);
+        }
+        self.recv_cache.insert((src, dst_dev), recv_ref);
+        Ok(recv_ref)
+    }
+
+    /// Ensures a control-loop state machine exists for `wctx` on `dev`;
+    /// returns its Merge node (the per-iteration gate).
+    fn ensure_control_loop(&mut self, wctx: ContextId, dev: DeviceId) -> Result<NodeId, ExecError> {
+        if let Some(cl) = self.control_loops.get(&(wctx, dev)) {
+            return Ok(cl.cmerge);
+        }
+        let (frame, parallel_iterations, loop_cond) = {
+            let info = match &self.graph.context(wctx).kind {
+                ContextKind::While(w) => w,
+                _ => return Err(ExecError::Internal("control loop on non-while ctx".into())),
+            };
+            (
+                info.frame.clone(),
+                info.parallel_iterations,
+                info.loop_cond
+                    .ok_or_else(|| ExecError::Internal("while ctx without LoopCond".into()))?,
+            )
+        };
+        let pred_dev = self.placement[loop_cond.node.0];
+
+        // The Enter's input: for nested loops, one live token per parent
+        // iteration — the parent control loop's pivot; at top level, a
+        // root constant.
+        let parent_while = {
+            let chain = self.graph.while_chain(wctx);
+            if chain.len() >= 2 { Some(chain[chain.len() - 2]) } else { None }
+        };
+        let enter_in = match parent_while {
+            Some(p) => {
+                // Recursively ensure the parent loop's machinery.
+                self.ensure_control_loop(p, dev)?;
+                self.control_loops[&(p, dev)].pivot
+            }
+            None => {
+                let c = self.add_node(
+                    OpKind::Const(Tensor::scalar_bool(true)),
+                    vec![],
+                    ContextId::ROOT,
+                    dev,
+                    "CtlConst",
+                )?;
+                TensorRef { node: c, port: 0 }
+            }
+        };
+
+        let center = self.add_node(
+            OpKind::Enter { frame: frame.clone(), is_constant: false, parallel_iterations },
+            vec![enter_in],
+            wctx,
+            dev,
+            "CtlEnter",
+        )?;
+        let center_ref = TensorRef { node: center, port: 0 };
+        let cmerge =
+            self.add_node(OpKind::Merge, vec![center_ref, center_ref], wctx, dev, "CtlMerge")?;
+        let cmerge_ref = TensorRef { node: cmerge, port: 0 };
+
+        // The per-iteration predicate: local if this device computes the
+        // LoopCond, otherwise received from the predicate's device.
+        let pred_local = if pred_dev == dev {
+            loop_cond
+        } else {
+            let key = self.key_base(&format!("cond-{frame}"), pred_dev, dev);
+            // One Send of the LoopCond per destination device.
+            if self.pred_sends.insert((wctx, dev), ()).is_none() {
+                self.add_node(
+                    OpKind::Send { key_base: key.clone(), to_device: dev.0 },
+                    vec![loop_cond],
+                    wctx,
+                    pred_dev,
+                    "CondSend",
+                )?;
+            }
+            let recv = self.add_node(
+                OpKind::Recv { key_base: key, from_device: pred_dev.0, dtype: dcf_tensor::DType::Bool },
+                vec![],
+                wctx,
+                dev,
+                "CondRecv",
+            )?;
+            self.graph.add_control_edge(recv, cmerge);
+            TensorRef { node: recv, port: 0 }
+        };
+
+        let cswitch =
+            self.add_node(OpKind::Switch, vec![cmerge_ref, pred_local], wctx, dev, "CtlSwitch")?;
+        let pivot = TensorRef { node: cswitch, port: 1 };
+        let cnext =
+            self.add_node(OpKind::NextIteration, vec![pivot], wctx, dev, "CtlNext")?;
+        self.graph.set_input(cmerge, 1, TensorRef { node: cnext, port: 0 });
+
+        self.control_loops.insert((wctx, dev), ControlLoop { cmerge, pivot });
+        Ok(cmerge)
+    }
+}
+
+/// Partitions `graph` across the cluster according to `placement`.
+///
+/// Every cross-device data edge becomes a Send/Recv pair (one per
+/// (tensor, destination) — multiple consumers on one device share the
+/// transfer). Partitions whose loops receive tensors from other devices
+/// get a control-loop state machine per frame, so each device can
+/// independently decide, per iteration, whether to re-arm its Recvs or
+/// quiesce (§4.4).
+pub fn partition_graph(
+    graph: Graph,
+    placement: Vec<DeviceId>,
+    cluster: &Cluster,
+) -> Result<PartitionedGraph, ExecError> {
+    let mut p = Partitioner {
+        graph,
+        placement,
+        cluster,
+        recv_cache: HashMap::new(),
+        control_loops: HashMap::new(),
+        pred_sends: HashMap::new(),
+    };
+
+    let n0 = p.graph.len();
+    for node_idx in 0..n0 {
+        let node_id = NodeId(node_idx);
+        let dst_dev = p.placement[node_idx];
+        let inputs: Vec<TensorRef> = p.graph.node(node_id).inputs.clone();
+        for (slot, src) in inputs.into_iter().enumerate() {
+            let src_dev = p.placement[src.node.0];
+            if src_dev == dst_dev {
+                continue;
+            }
+            let local = p.recv_for(src, dst_dev)?;
+            p.graph.set_input(node_id, slot, local);
+        }
+        // Cross-device control edges are not supported (they would need a
+        // dummy-tensor transfer); keep plumbing colocated instead.
+        let ctrl: Vec<NodeId> = p.graph.node(node_id).control_inputs.clone();
+        for dep in ctrl {
+            if p.placement[dep.0] != dst_dev {
+                return Err(ExecError::Internal(format!(
+                    "control edge {} -> {} crosses devices; colocate these nodes",
+                    p.graph.node(dep).name,
+                    p.graph.node(node_id).name
+                )));
+            }
+        }
+    }
+
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); cluster.len()];
+    for (idx, dev) in p.placement.iter().enumerate() {
+        members[dev.0].push(NodeId(idx));
+    }
+    Ok(PartitionedGraph { graph: Arc::new(p.graph), members, placement: p.placement })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placer::place_nodes;
+    use dcf_device::DeviceProfile;
+    use dcf_graph::GraphBuilder;
+
+    fn two_device_cluster() -> Cluster {
+        let mut c = Cluster::new();
+        c.add_device(0, DeviceProfile::cpu());
+        c.add_device(1, DeviceProfile::cpu());
+        c
+    }
+
+    #[test]
+    fn cross_edge_becomes_send_recv() {
+        let c = two_device_cluster();
+        let mut b = GraphBuilder::new();
+        let a = b.scalar_f32(1.0);
+        let x = b.with_device("/machine:1/cpu:0", |b| b.neg(a).unwrap());
+        let _y = b.neg(x).unwrap(); // inherits device 1
+        let g = b.finish().unwrap();
+        let placement = place_nodes(&g, &c).unwrap();
+        let pg = partition_graph(g, placement, &c).unwrap();
+        let sends = pg.graph.nodes().iter().filter(|n| n.op.name() == "Send").count();
+        let recvs = pg.graph.nodes().iter().filter(|n| n.op.name() == "Recv").count();
+        assert_eq!(sends, 1);
+        assert_eq!(recvs, 1);
+        // Two partitions are non-empty.
+        assert!(!pg.members[0].is_empty());
+        assert!(!pg.members[1].is_empty());
+    }
+
+    #[test]
+    fn shared_transfer_for_multiple_consumers() {
+        let c = two_device_cluster();
+        let mut b = GraphBuilder::new();
+        let a = b.scalar_f32(1.0);
+        b.with_device("/machine:1/cpu:0", |b| {
+            let x = b.neg(a).unwrap();
+            let y = b.square(a).unwrap();
+            let _ = b.add(x, y).unwrap();
+        });
+        let g = b.finish().unwrap();
+        let placement = place_nodes(&g, &c).unwrap();
+        let pg = partition_graph(g, placement, &c).unwrap();
+        let sends = pg.graph.nodes().iter().filter(|n| n.op.name() == "Send").count();
+        assert_eq!(sends, 1, "one transfer should be shared by both consumers");
+    }
+
+    #[test]
+    fn distributed_loop_gets_control_loop() {
+        let c = two_device_cluster();
+        let mut b = GraphBuilder::new();
+        let i0 = b.scalar_i64(0);
+        let lim = b.scalar_i64(4);
+        b.while_loop(
+            &[i0],
+            |g, v| g.less(v[0], lim),
+            |g, v| {
+                // The body op runs on device 1; the loop structure stays on
+                // device 0 (Figure 6's shape).
+                let one = g.scalar_i64(1);
+                let stepped = g.with_device("/machine:1/cpu:0", |g| g.add(v[0], one)).unwrap();
+                // Bring the value back to device 0 for the next iteration.
+                Ok(vec![g.with_device("/machine:0/cpu:0", |g| g.identity(stepped)).unwrap()])
+            },
+            Default::default(),
+        )
+        .unwrap();
+        let g = b.finish().unwrap();
+        let placement = place_nodes(&g, &c).unwrap();
+        let pg = partition_graph(g, placement, &c).unwrap();
+        // Device 1 has a control loop: CtlEnter/CtlMerge/CtlSwitch/CtlNext.
+        let names: Vec<&str> = pg
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| pg.placement[n.id.0] == DeviceId(1))
+            .map(|n| n.name.as_str())
+            .collect();
+        assert!(names.iter().any(|n| n.starts_with("CtlMerge")), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("CtlSwitch")), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("CondRecv")), "{names:?}");
+        // The predicate flows from device 0 to device 1 once per iteration.
+        let cond_sends = pg
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| n.name.starts_with("CondSend"))
+            .count();
+        assert_eq!(cond_sends, 1);
+        // In-loop data Recvs on device 1 are gated by the control loop.
+        let gated = pg.graph.nodes().iter().any(|n| {
+            n.name.starts_with("Recv") && !n.control_inputs.is_empty()
+        });
+        assert!(gated, "loop Recv should have a control input from CtlMerge");
+    }
+}

@@ -1,0 +1,122 @@
+//! Node placement.
+
+use crate::cluster::Cluster;
+use dcf_exec::ExecError;
+use dcf_graph::{Graph, OpKind};
+use dcf_device::DeviceId;
+
+/// Assigns every node to a device.
+///
+/// Rules, in order:
+/// 1. An explicit `node.device` spec is resolved against the cluster
+///    (error if unknown).
+/// 2. Otherwise the node inherits the device of its first placed data
+///    input (colocate-with-input), which keeps control-flow plumbing and
+///    small glue ops next to the values they handle.
+/// 3. Sources and anything left default to device 0.
+///
+/// Placement is free of topology restrictions (§3): any op can go on any
+/// device; the partitioner inserts the necessary communication.
+pub fn place_nodes(graph: &Graph, cluster: &Cluster) -> Result<Vec<DeviceId>, ExecError> {
+    let n = graph.len();
+    let default = DeviceId(0);
+    let mut placement: Vec<Option<DeviceId>> = vec![None; n];
+
+    // Pass 1: explicit requests.
+    for node in graph.nodes() {
+        if let Some(spec) = &node.device {
+            match cluster.resolve(spec) {
+                Some(d) => placement[node.id.0] = Some(d),
+                None => {
+                    return Err(ExecError::BadFeedOrFetch(format!(
+                        "node {} requests unknown device {spec}",
+                        node.name
+                    )))
+                }
+            }
+        }
+    }
+
+    // Pass 2: propagate from inputs in topological order (back edges are
+    // NextIteration->Merge; a Merge always has an Enter input placed
+    // earlier, so ignoring back edges is safe).
+    let order = graph
+        .topo_order()
+        .map_err(|e| ExecError::Internal(format!("placement on cyclic graph: {e}")))?;
+    for id in order {
+        if placement[id.0].is_some() {
+            continue;
+        }
+        let node = graph.node(id);
+        // Resource plumbing colocates with its payload, not its handle:
+        // a stack push or TensorArray write belongs where the saved value
+        // lives (the handle is a root-created scalar).
+        let preferred_slot = match node.op {
+            OpKind::StackPush | OpKind::TensorArrayWrite | OpKind::TensorArrayUnpack => Some(2),
+            _ => None,
+        };
+        let inherited = preferred_slot
+            .and_then(|slot| node.inputs.get(slot.min(node.inputs.len().saturating_sub(1))))
+            .and_then(|i| placement[i.node.0])
+            .or_else(|| node.inputs.iter().find_map(|i| placement[i.node.0]));
+        placement[id.0] = Some(inherited.unwrap_or(default));
+    }
+    let mut placement: Vec<DeviceId> =
+        placement.into_iter().map(|p| p.unwrap_or(default)).collect();
+
+    // Pass 3: hard colocation for loop-variable plumbing. A Merge and its
+    // Enter/NextIteration producers must share a device: a loop variable's
+    // back edge carries exactly one token per iteration, which cannot be
+    // expressed as a per-iteration Send/Recv pair (the iteration-0 Recv
+    // would wait forever). TensorFlow imposes the same constraint.
+    for node in graph.nodes() {
+        if !matches!(node.op, OpKind::Merge) {
+            continue;
+        }
+        let d = placement[node.id.0];
+        for inp in &node.inputs {
+            let p = graph.node(inp.node);
+            if matches!(p.op, OpKind::Enter { .. } | OpKind::NextIteration) {
+                placement[inp.node.0] = d;
+            }
+        }
+    }
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_device::DeviceProfile;
+    use dcf_graph::GraphBuilder;
+
+    #[test]
+    fn explicit_and_inherited_placement() {
+        let mut c = Cluster::new();
+        c.add_device(0, DeviceProfile::cpu());
+        c.add_device(0, DeviceProfile::gpu_k40());
+        let mut b = GraphBuilder::new();
+        let a = b.scalar_f32(1.0);
+        let (x, y) = b.with_device("/machine:0/gpu:0", |b| {
+            let x = b.neg(a).unwrap();
+            let y = b.neg(x).unwrap();
+            (x, y)
+        });
+        let z = b.neg(y).unwrap();
+        let g = b.finish().unwrap();
+        let placement = place_nodes(&g, &c).unwrap();
+        assert_eq!(placement[a.node.0], DeviceId(0)); // source defaults
+        assert_eq!(placement[x.node.0], DeviceId(1)); // explicit
+        assert_eq!(placement[z.node.0], DeviceId(1)); // inherited from y
+    }
+
+    #[test]
+    fn unknown_device_is_an_error() {
+        let c = Cluster::single_cpu();
+        let mut b = GraphBuilder::new();
+        let a = b.scalar_f32(1.0);
+        b.with_device("/machine:7/gpu:3", |b| b.neg(a).unwrap());
+        let g = b.finish().unwrap();
+        assert!(place_nodes(&g, &c).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! The session: placing, partitioning, and running a graph on a cluster.
+
+use crate::cluster::Cluster;
+use crate::netsim::{NetworkModel, NetworkRendezvous};
+use crate::partition::{partition_graph, PartitionedGraph};
+use crate::placer::place_nodes;
+use crate::Result;
+use dcf_device::DeviceId;
+use dcf_exec::{CancelToken, ExecGraph, Executor, ExecutorOptions, ResourceManager};
+use dcf_graph::{Graph, TensorRef};
+use dcf_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Session configuration.
+#[derive(Clone, Debug, Default)]
+pub struct SessionOptions {
+    /// Per-partition executor tunables.
+    pub executor: ExecutorOptions,
+    /// Network model for cross-device transfers.
+    pub network: NetworkModel,
+}
+
+impl SessionOptions {
+    /// Options for functional tests: no modeled network delay.
+    pub fn functional() -> SessionOptions {
+        SessionOptions { executor: ExecutorOptions::default(), network: NetworkModel::disabled() }
+    }
+}
+
+/// Drives a dataflow graph on a cluster of simulated devices.
+///
+/// Construction places and partitions the graph; each `run` executes all
+/// partitions concurrently, coordinated only through the rendezvous —
+/// there is no per-iteration central coordinator, matching §4.4.
+pub struct Session {
+    cluster: Cluster,
+    pg: PartitionedGraph,
+    executors: Vec<(DeviceId, Executor)>,
+    resources: Arc<ResourceManager>,
+    rendezvous: Arc<NetworkRendezvous>,
+}
+
+impl Session {
+    /// Places, partitions, and prepares `graph` for execution on `cluster`.
+    pub fn new(graph: Graph, cluster: Cluster, options: SessionOptions) -> Result<Session> {
+        Session::new_shared(graph, cluster, options, ResourceManager::new())
+    }
+
+    /// Like [`Session::new`], but with externally provided resources so
+    /// several sessions (e.g. separate act/train/sync graphs of an
+    /// out-of-graph training driver) share one set of variables.
+    pub fn new_shared(
+        mut graph: Graph,
+        cluster: Cluster,
+        options: SessionOptions,
+        resources: Arc<ResourceManager>,
+    ) -> Result<Session> {
+        // Whole-graph optimization before placement (§3: constant
+        // propagation on the unified dataflow graph).
+        let _folded = crate::optimize::fold_constants(&mut graph);
+        let placement = place_nodes(&graph, &cluster)?;
+        let pg = partition_graph(graph, placement, &cluster)?;
+        let rendezvous = NetworkRendezvous::new(options.network.clone());
+        let mut executors = Vec::new();
+        for (dev_idx, members) in pg.members.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let eg = ExecGraph::partition(pg.graph.clone(), members);
+            let device = cluster.devices()[dev_idx].clone();
+            executors.push((
+                DeviceId(dev_idx),
+                Executor::new(
+                    eg,
+                    device,
+                    resources.clone(),
+                    rendezvous.clone(),
+                    options.executor.clone(),
+                ),
+            ));
+        }
+        Ok(Session { cluster, pg, executors, resources, rendezvous })
+    }
+
+    /// Convenience: a session on a single simulated CPU.
+    pub fn local(graph: Graph) -> Result<Session> {
+        Session::new(graph, Cluster::single_cpu(), SessionOptions::functional())
+    }
+
+    /// The cluster this session runs on.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The partitioned graph (diagnostics).
+    pub fn partitioned(&self) -> &PartitionedGraph {
+        &self.pg
+    }
+
+    /// The session's persistent resources (variables survive across runs).
+    pub fn resources(&self) -> &Arc<ResourceManager> {
+        &self.resources
+    }
+
+    /// Executes the graph: feeds placeholders, runs every partition to
+    /// quiescence, and returns the fetched tensors in request order.
+    pub fn run(&self, feeds: &HashMap<String, Tensor>, fetches: &[TensorRef]) -> Result<Vec<Tensor>> {
+        // Route each fetch to the partition that produces it.
+        let mut per_exec_fetches: Vec<Vec<TensorRef>> = vec![Vec::new(); self.executors.len()];
+        for &t in fetches {
+            let dev = self.pg.placement[t.node.0];
+            let idx = self
+                .executors
+                .iter()
+                .position(|(d, _)| *d == dev)
+                .ok_or_else(|| dcf_exec::ExecError::BadFeedOrFetch(format!(
+                    "fetch targets empty partition on device {}",
+                    dev.0
+                )))?;
+            per_exec_fetches[idx].push(t);
+        }
+
+        let cancel = CancelToken::new();
+        let results: Vec<Result<dcf_exec::RunOutcome>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (idx, (_, exec)) in self.executors.iter().enumerate() {
+                let fetches = per_exec_fetches[idx].clone();
+                let cancel = cancel.clone();
+                handles.push(scope.spawn(move || {
+                    exec.run_cancellable(feeds, &fetches, Some(cancel))
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("executor thread panicked")).collect()
+        });
+
+        // Per-run transients (stacks, TensorArrays, unclaimed rendezvous
+        // values) are dropped; variables persist.
+        self.resources.clear_transients();
+        self.rendezvous.clear();
+
+        // Collate: surface the first error; otherwise reassemble in
+        // request order.
+        let mut per_exec_values: Vec<std::vec::IntoIter<Tensor>> = Vec::new();
+        for r in results {
+            per_exec_values.push(r?.values.into_iter());
+        }
+        let mut cursor: HashMap<usize, usize> = HashMap::new();
+        let mut out = Vec::with_capacity(fetches.len());
+        for &t in fetches {
+            let dev = self.pg.placement[t.node.0];
+            let idx = self.executors.iter().position(|(d, _)| *d == dev).expect("checked above");
+            let _ = cursor.entry(idx).or_insert(0);
+            out.push(
+                per_exec_values[idx]
+                    .next()
+                    .ok_or_else(|| dcf_exec::ExecError::Internal("fetch misrouted".into()))?,
+            );
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod session_tests {
+    use super::*;
+    use dcf_graph::GraphBuilder;
+
+    #[test]
+    fn local_session_runs() {
+        let mut b = GraphBuilder::new();
+        let x = b.scalar_f32(6.0);
+        let y = b.scalar_f32(7.0);
+        let z = b.mul(x, y).unwrap();
+        let sess = Session::local(b.finish().unwrap()).unwrap();
+        let out = sess.run(&HashMap::new(), &[z]).unwrap();
+        assert_eq!(out[0].scalar_as_f32().unwrap(), 42.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Element data types supported by [`crate::Tensor`].
+
+use std::fmt;
+
+/// The element type of a tensor.
+///
+/// Mirrors the basic data types of the paper's programming model: floating
+/// point for model parameters and activations, integers for indices and loop
+/// counters, and booleans for control-flow predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 32-bit IEEE-754 floating point.
+    F32,
+    /// 64-bit signed integer.
+    I64,
+    /// Boolean.
+    Bool,
+}
+
+impl DType {
+    /// Returns the size of one element in bytes.
+    ///
+    /// Used by the device allocator to account for tensor memory.
+    pub fn size_of(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::I64 => 8,
+            DType::Bool => 1,
+        }
+    }
+
+    /// Returns `true` if this dtype supports gradient computation.
+    pub fn is_differentiable(self) -> bool {
+        matches!(self, DType::F32)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::F32 => write!(f, "f32"),
+            DType::I64 => write!(f, "i64"),
+            DType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(DType::F32.size_of(), 4);
+        assert_eq!(DType::I64.size_of(), 8);
+        assert_eq!(DType::Bool.size_of(), 1);
+    }
+
+    #[test]
+    fn differentiability() {
+        assert!(DType::F32.is_differentiable());
+        assert!(!DType::I64.is_differentiable());
+        assert!(!DType::Bool.is_differentiable());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::I64.to_string(), "i64");
+        assert_eq!(DType::Bool.to_string(), "bool");
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for tensor operations.
+
+use crate::{DType, Shape};
+use std::fmt;
+
+/// Errors produced by tensor construction and kernels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TensorError {
+    /// The operand dtypes do not match or are unsupported for the operation.
+    DTypeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// The dtype that was found.
+        found: DType,
+        /// The dtype that was expected, if a single one applies.
+        expected: Option<DType>,
+    },
+    /// The operand shapes are incompatible (e.g. non-broadcastable).
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Left-hand (or sole) operand shape.
+        lhs: Shape,
+        /// Right-hand operand shape, if binary.
+        rhs: Option<Shape>,
+    },
+    /// The provided buffer length does not match the product of dimensions.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        found: usize,
+    },
+    /// An index or axis was out of range.
+    IndexOutOfRange {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// The offending index.
+        index: i64,
+        /// The exclusive bound that was violated.
+        bound: usize,
+    },
+    /// A scalar was required but the tensor has more than one element.
+    NotAScalar {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// The shape that was found.
+        shape: Shape,
+    },
+    /// Any other invalid-argument condition.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DTypeMismatch { op, found, expected } => match expected {
+                Some(e) => write!(f, "{op}: dtype mismatch, expected {e}, found {found}"),
+                None => write!(f, "{op}: unsupported dtype {found}"),
+            },
+            TensorError::ShapeMismatch { op, lhs, rhs } => match rhs {
+                Some(r) => write!(f, "{op}: incompatible shapes {lhs} and {r}"),
+                None => write!(f, "{op}: invalid shape {lhs}"),
+            },
+            TensorError::LengthMismatch { expected, found } => {
+                write!(f, "buffer length {found} does not match shape volume {expected}")
+            }
+            TensorError::IndexOutOfRange { op, index, bound } => {
+                write!(f, "{op}: index {index} out of range (bound {bound})")
+            }
+            TensorError::NotAScalar { op, shape } => {
+                write!(f, "{op}: expected a scalar, found shape {shape}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = TensorError::DTypeMismatch {
+            op: "add",
+            found: DType::I64,
+            expected: Some(DType::F32),
+        };
+        assert_eq!(e.to_string(), "add: dtype mismatch, expected f32, found i64");
+
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: Shape::new(vec![2, 3]),
+            rhs: Some(Shape::new(vec![4, 5])),
+        };
+        assert!(e.to_string().contains("matmul"));
+
+        let e = TensorError::LengthMismatch { expected: 4, found: 3 };
+        assert!(e.to_string().contains('4'));
+    }
+}

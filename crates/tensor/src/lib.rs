@@ -1,0 +1,42 @@
+//! Dense tensor library for the `dcf` dataflow system.
+//!
+//! This crate provides the value type that flows along the edges of `dcf`
+//! dataflow graphs: a dense, multi-dimensional, dtype-tagged array with
+//! cheap (reference-counted) cloning, plus the host-side kernels used by the
+//! executor (elementwise arithmetic with broadcasting, matrix multiply,
+//! reductions, shape manipulation, comparisons, and random initialization).
+//!
+//! The design follows the paper's notion of tensors as "dense
+//! multi-dimensional arrays of basic data types": values are immutable once
+//! produced, so a tensor can be forwarded to many downstream operations (and
+//! across simulated devices) without copying.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcf_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec_f32(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c.as_f32_slice().unwrap(), a.as_f32_slice().unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dtype;
+mod error;
+mod ops;
+mod random;
+mod shape;
+mod tensor;
+
+pub use dtype::DType;
+pub use error::TensorError;
+pub use random::TensorRng;
+pub use shape::{broadcast_shapes, Shape};
+pub use tensor::{Data, Tensor};
+
+/// Convenience alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

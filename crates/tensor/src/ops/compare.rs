@@ -1,0 +1,207 @@
+//! Comparison, logical, and selection operations.
+//!
+//! Comparisons produce boolean tensors that drive the control-flow
+//! primitives: a `while_loop` predicate is a scalar produced by ops like
+//! [`Tensor::less`], and `Switch` consumes boolean predicates.
+
+use crate::shape::broadcast_shapes;
+use crate::{Data, DType, Result, Tensor, TensorError};
+use std::sync::Arc;
+
+fn compare(
+    op: &'static str,
+    a: &Tensor,
+    b: &Tensor,
+    ff: impl Fn(f32, f32) -> bool,
+    fi: impl Fn(i64, i64) -> bool,
+) -> Result<Tensor> {
+    let out_shape = broadcast_shapes(a.shape(), b.shape())?;
+    // Broadcasting for comparisons reuses the elementwise machinery by
+    // materializing operands; predicate tensors are small (usually scalar).
+    match (a.dtype(), b.dtype()) {
+        (DType::F32, DType::F32) => {
+            let l = broadcast_f32(a, &out_shape)?;
+            let r = broadcast_f32(b, &out_shape)?;
+            let v: Vec<bool> = l.iter().zip(&r).map(|(&x, &y)| ff(x, y)).collect();
+            Tensor::from_parts(out_shape, Data::Bool(Arc::new(v)))
+        }
+        (DType::I64, DType::I64) => {
+            let l = broadcast_i64(a, &out_shape)?;
+            let r = broadcast_i64(b, &out_shape)?;
+            let v: Vec<bool> = l.iter().zip(&r).map(|(&x, &y)| fi(x, y)).collect();
+            Tensor::from_parts(out_shape, Data::Bool(Arc::new(v)))
+        }
+        (da, _) => Err(TensorError::DTypeMismatch { op, found: da, expected: None }),
+    }
+}
+
+fn broadcast_f32(t: &Tensor, target: &crate::Shape) -> Result<Vec<f32>> {
+    if t.shape() == target {
+        return Ok(t.as_f32_slice()?.to_vec());
+    }
+    Ok(t.broadcast_to(target.dims())?.as_f32_slice()?.to_vec())
+}
+
+fn broadcast_i64(t: &Tensor, target: &crate::Shape) -> Result<Vec<i64>> {
+    if t.shape() == target {
+        return Ok(t.as_i64_slice()?.to_vec());
+    }
+    // Integer broadcast via cast round-trip is exact for |x| < 2^24, which
+    // covers loop counters; do it directly instead to stay exact everywhere.
+    let f = t.cast(DType::F32).broadcast_to(target.dims())?;
+    Ok(f.as_f32_slice()?.iter().map(|&x| x as i64).collect())
+}
+
+impl Tensor {
+    /// Elementwise `self < other`.
+    pub fn less(&self, other: &Tensor) -> Result<Tensor> {
+        compare("less", self, other, |x, y| x < y, |x, y| x < y)
+    }
+
+    /// Elementwise `self <= other`.
+    pub fn less_equal(&self, other: &Tensor) -> Result<Tensor> {
+        compare("less_equal", self, other, |x, y| x <= y, |x, y| x <= y)
+    }
+
+    /// Elementwise `self > other`.
+    pub fn greater(&self, other: &Tensor) -> Result<Tensor> {
+        compare("greater", self, other, |x, y| x > y, |x, y| x > y)
+    }
+
+    /// Elementwise `self >= other`.
+    pub fn greater_equal(&self, other: &Tensor) -> Result<Tensor> {
+        compare("greater_equal", self, other, |x, y| x >= y, |x, y| x >= y)
+    }
+
+    /// Elementwise equality.
+    pub fn equal(&self, other: &Tensor) -> Result<Tensor> {
+        compare("equal", self, other, |x, y| x == y, |x, y| x == y)
+    }
+
+    /// Elementwise boolean AND.
+    pub fn logical_and(&self, other: &Tensor) -> Result<Tensor> {
+        let a = self.as_bool_slice()?;
+        let b = other.as_bool_slice()?;
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "logical_and",
+                lhs: self.shape().clone(),
+                rhs: Some(other.shape().clone()),
+            });
+        }
+        let v: Vec<bool> = a.iter().zip(b).map(|(&x, &y)| x && y).collect();
+        Tensor::from_parts(self.shape().clone(), Data::Bool(Arc::new(v)))
+    }
+
+    /// Elementwise boolean OR.
+    pub fn logical_or(&self, other: &Tensor) -> Result<Tensor> {
+        let a = self.as_bool_slice()?;
+        let b = other.as_bool_slice()?;
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "logical_or",
+                lhs: self.shape().clone(),
+                rhs: Some(other.shape().clone()),
+            });
+        }
+        let v: Vec<bool> = a.iter().zip(b).map(|(&x, &y)| x || y).collect();
+        Tensor::from_parts(self.shape().clone(), Data::Bool(Arc::new(v)))
+    }
+
+    /// Elementwise boolean NOT.
+    pub fn logical_not(&self) -> Result<Tensor> {
+        let a = self.as_bool_slice()?;
+        let v: Vec<bool> = a.iter().map(|&x| !x).collect();
+        Tensor::from_parts(self.shape().clone(), Data::Bool(Arc::new(v)))
+    }
+
+    /// Elementwise selection: `cond ? a : b`.
+    ///
+    /// `cond` may be a scalar (selecting a whole operand) or match the
+    /// operand shape elementwise.
+    pub fn select(cond: &Tensor, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if a.shape() != b.shape() || a.dtype() != b.dtype() {
+            return Err(TensorError::ShapeMismatch {
+                op: "select",
+                lhs: a.shape().clone(),
+                rhs: Some(b.shape().clone()),
+            });
+        }
+        if cond.num_elements() == 1 {
+            return Ok(if cond.scalar_as_bool()? { a.clone() } else { b.clone() });
+        }
+        if cond.shape() != a.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "select",
+                lhs: cond.shape().clone(),
+                rhs: Some(a.shape().clone()),
+            });
+        }
+        let c = cond.as_bool_slice()?;
+        let data = match (a.data(), b.data()) {
+            (Data::F32(x), Data::F32(y)) => Data::F32(Arc::new(
+                c.iter().enumerate().map(|(i, &k)| if k { x[i] } else { y[i] }).collect(),
+            )),
+            (Data::I64(x), Data::I64(y)) => Data::I64(Arc::new(
+                c.iter().enumerate().map(|(i, &k)| if k { x[i] } else { y[i] }).collect(),
+            )),
+            (Data::Bool(x), Data::Bool(y)) => Data::Bool(Arc::new(
+                c.iter().enumerate().map(|(i, &k)| if k { x[i] } else { y[i] }).collect(),
+            )),
+            _ => unreachable!("dtype equality checked above"),
+        };
+        Tensor::from_parts(a.shape().clone(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_comparisons() {
+        let a = Tensor::scalar_i64(3);
+        let b = Tensor::scalar_i64(5);
+        assert!(a.less(&b).unwrap().scalar_as_bool().unwrap());
+        assert!(!a.greater(&b).unwrap().scalar_as_bool().unwrap());
+        assert!(a.less_equal(&a).unwrap().scalar_as_bool().unwrap());
+        assert!(a.greater_equal(&a).unwrap().scalar_as_bool().unwrap());
+        assert!(!a.equal(&b).unwrap().scalar_as_bool().unwrap());
+    }
+
+    #[test]
+    fn float_comparisons_elementwise() {
+        let a = Tensor::from_vec_f32(vec![1.0, 5.0], &[2]).unwrap();
+        let b = Tensor::from_vec_f32(vec![2.0, 2.0], &[2]).unwrap();
+        assert_eq!(a.less(&b).unwrap().as_bool_slice().unwrap(), &[true, false]);
+        assert_eq!(a.equal(&a).unwrap().as_bool_slice().unwrap(), &[true, true]);
+    }
+
+    #[test]
+    fn comparison_broadcasts() {
+        let a = Tensor::from_vec_f32(vec![1.0, 5.0], &[2]).unwrap();
+        let s = Tensor::scalar_f32(3.0);
+        assert_eq!(a.greater(&s).unwrap().as_bool_slice().unwrap(), &[false, true]);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let a = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        let b = Tensor::from_vec_bool(vec![true, true], &[2]).unwrap();
+        assert_eq!(a.logical_and(&b).unwrap().as_bool_slice().unwrap(), &[true, false]);
+        assert_eq!(a.logical_or(&b).unwrap().as_bool_slice().unwrap(), &[true, true]);
+        assert_eq!(a.logical_not().unwrap().as_bool_slice().unwrap(), &[false, true]);
+    }
+
+    #[test]
+    fn select_scalar_and_elementwise() {
+        let a = Tensor::from_vec_f32(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec_f32(vec![9.0, 8.0], &[2]).unwrap();
+        let sel = Tensor::select(&Tensor::scalar_bool(true), &a, &b).unwrap();
+        assert!(sel.value_eq(&a));
+        let mask = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        let sel = Tensor::select(&mask, &a, &b).unwrap();
+        assert_eq!(sel.as_f32_slice().unwrap(), &[1.0, 8.0]);
+        assert!(Tensor::select(&mask, &a, &Tensor::ones(&[3])).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Runtime-shaped helpers used by gradient functions.
+//!
+//! Gradient construction cannot rely on static shapes (loop variables and
+//! fed inputs have dynamic shapes), so these kernels take a "like" operand
+//! at run time and adapt the gradient to it: un-broadcasting, re-expanding
+//! reduced axes, and slicing concatenations apart.
+
+use crate::{Data, Result, Shape, Tensor, TensorError};
+use std::sync::Arc;
+
+impl Tensor {
+    /// Reduces this tensor (a gradient) to `like`'s shape by summing over
+    /// the axes that broadcasting expanded.
+    ///
+    /// This is the universal gradient adapter for broadcasting binary ops:
+    /// `grad(a + b, b) = g.reduce_to(b.shape())`.
+    pub fn reduce_to(&self, like: &Shape) -> Result<Tensor> {
+        if self.shape() == like {
+            return Ok(self.clone());
+        }
+        let mut cur = self.clone();
+        // Sum away leading axes the broadcast added.
+        while cur.shape().rank() > like.rank() {
+            cur = cur.reduce_sum_axis(0, false)?;
+        }
+        // Sum (keeping dims) over axes where `like` has extent 1.
+        for axis in 0..like.rank() {
+            if like.dim(axis) == 1 && cur.shape().dim(axis) != 1 {
+                cur = cur.reduce_sum_axis(axis as i64, true)?;
+            }
+        }
+        if cur.shape() != like {
+            return Err(TensorError::ShapeMismatch {
+                op: "reduce_to",
+                lhs: self.shape().clone(),
+                rhs: Some(like.clone()),
+            });
+        }
+        Ok(cur)
+    }
+
+    /// Inserts a size-1 axis at `axis` (supports `axis == rank`).
+    pub fn expand_dims(&self, axis: usize) -> Result<Tensor> {
+        if axis > self.shape().rank() {
+            return Err(TensorError::IndexOutOfRange {
+                op: "expand_dims",
+                index: axis as i64,
+                bound: self.shape().rank() + 1,
+            });
+        }
+        let mut dims = self.shape().dims().to_vec();
+        dims.insert(axis, 1);
+        self.reshape(&dims)
+    }
+
+    /// Reshapes to `like`'s shape (equal volume required).
+    pub fn reshape_like(&self, like: &Shape) -> Result<Tensor> {
+        self.reshape(like.dims())
+    }
+
+    /// Extracts `width` columns starting at `offset` from a rank-2 tensor.
+    pub fn slice_cols(&self, offset: usize, width: usize) -> Result<Tensor> {
+        if self.shape().rank() != 2 || offset + width > self.shape().dim(1) {
+            return Err(TensorError::ShapeMismatch {
+                op: "slice_cols",
+                lhs: self.shape().clone(),
+                rhs: None,
+            });
+        }
+        let (rows, cols) = (self.shape().dim(0), self.shape().dim(1));
+        let v = self.as_f32_slice()?;
+        let mut out = Vec::with_capacity(rows * width);
+        for r in 0..rows {
+            out.extend_from_slice(&v[r * cols + offset..r * cols + offset + width]);
+        }
+        Tensor::from_parts(Shape::from([rows, width]), Data::F32(Arc::new(out)))
+    }
+
+    /// Extracts `count` leading-axis slices starting at `offset`.
+    pub fn slice_rows(&self, offset: usize, count: usize) -> Result<Tensor> {
+        if self.shape().is_scalar() || offset + count > self.shape().dim(0) {
+            return Err(TensorError::ShapeMismatch {
+                op: "slice_rows",
+                lhs: self.shape().clone(),
+                rhs: None,
+            });
+        }
+        let tail = self.shape().drop_leading()?;
+        let block = tail.num_elements();
+        let v = self.as_f32_slice()?;
+        let out = v[offset * block..(offset + count) * block].to_vec();
+        Tensor::from_parts(tail.prepend(count), Data::F32(Arc::new(out)))
+    }
+
+    /// Scatter of `self` (the gradient of one row) into a zero tensor
+    /// shaped like `like`, at row `index`: the gradient of `index0`.
+    pub fn index0_grad(&self, like: &Tensor, index: i64) -> Result<Tensor> {
+        let rows = like.shape().dim(0);
+        let idx = if index < 0 { index + rows as i64 } else { index };
+        if idx < 0 || idx as usize >= rows {
+            return Err(TensorError::IndexOutOfRange { op: "index0_grad", index, bound: rows });
+        }
+        let block = self.num_elements();
+        let mut out = vec![0.0f32; like.num_elements()];
+        let g = self.as_f32_slice()?;
+        out[idx as usize * block..(idx as usize + 1) * block].copy_from_slice(g);
+        Tensor::from_parts(like.shape().clone(), Data::F32(Arc::new(out)))
+    }
+
+    /// The number of elements, as an `f32` scalar (for mean gradients).
+    pub fn size_f32(&self) -> Tensor {
+        Tensor::scalar_f32(self.num_elements() as f32)
+    }
+
+    /// The extent of `axis`, as an `f32` scalar.
+    pub fn dim_size_f32(&self, axis: usize) -> Result<Tensor> {
+        if axis >= self.shape().rank() {
+            return Err(TensorError::IndexOutOfRange {
+                op: "dim_size",
+                index: axis as i64,
+                bound: self.shape().rank(),
+            });
+        }
+        Ok(Tensor::scalar_f32(self.shape().dim(axis) as f32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec_f32(v, d).unwrap()
+    }
+
+    #[test]
+    fn reduce_to_unbroadcasts() {
+        let g = t(vec![1.0; 6], &[2, 3]);
+        // Like a bias of shape [3]: sum over axis 0.
+        let r = g.reduce_to(&Shape::from([3])).unwrap();
+        assert_eq!(r.as_f32_slice().unwrap(), &[2.0, 2.0, 2.0]);
+        // Like a column of shape [2, 1]: sum over axis 1, keep dims.
+        let r = g.reduce_to(&Shape::from([2, 1])).unwrap();
+        assert_eq!(r.as_f32_slice().unwrap(), &[3.0, 3.0]);
+        // Like a scalar: sum everything.
+        let r = g.reduce_to(&Shape::scalar()).unwrap();
+        assert_eq!(r.scalar_as_f32().unwrap(), 6.0);
+        // Same shape: identity.
+        let r = g.reduce_to(&Shape::from([2, 3])).unwrap();
+        assert!(r.value_eq(&g));
+        // Incompatible: error.
+        assert!(g.reduce_to(&Shape::from([4])).is_err());
+    }
+
+    #[test]
+    fn expand_and_reshape_like() {
+        let x = t(vec![1.0, 2.0], &[2]);
+        assert_eq!(x.expand_dims(0).unwrap().shape().dims(), &[1, 2]);
+        assert_eq!(x.expand_dims(1).unwrap().shape().dims(), &[2, 1]);
+        assert!(x.expand_dims(3).is_err());
+        let y = t(vec![1.0, 2.0], &[1, 2]);
+        assert_eq!(x.reshape_like(y.shape()).unwrap().shape().dims(), &[1, 2]);
+    }
+
+    #[test]
+    fn column_and_row_slices() {
+        let x = t((0..12).map(|i| i as f32).collect(), &[3, 4]);
+        let c = x.slice_cols(1, 2).unwrap();
+        assert_eq!(c.shape().dims(), &[3, 2]);
+        assert_eq!(c.as_f32_slice().unwrap(), &[1.0, 2.0, 5.0, 6.0, 9.0, 10.0]);
+        assert!(x.slice_cols(3, 2).is_err());
+        let r = x.slice_rows(1, 2).unwrap();
+        assert_eq!(r.shape().dims(), &[2, 4]);
+        assert_eq!(r.as_f32_slice().unwrap()[0], 4.0);
+        assert!(x.slice_rows(2, 2).is_err());
+    }
+
+    #[test]
+    fn index0_grad_places_row() {
+        let like = t(vec![0.0; 6], &[3, 2]);
+        let g = t(vec![5.0, 7.0], &[2]);
+        let out = g.index0_grad(&like, 1).unwrap();
+        assert_eq!(out.as_f32_slice().unwrap(), &[0.0, 0.0, 5.0, 7.0, 0.0, 0.0]);
+        assert!(g.index0_grad(&like, 3).is_err());
+    }
+
+    #[test]
+    fn size_helpers() {
+        let x = t(vec![0.0; 6], &[2, 3]);
+        assert_eq!(x.size_f32().scalar_as_f32().unwrap(), 6.0);
+        assert_eq!(x.dim_size_f32(1).unwrap().scalar_as_f32().unwrap(), 3.0);
+        assert!(x.dim_size_f32(2).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Reductions: sum, mean, max, argmax, and softmax.
+
+use crate::{Data, DType, Result, Shape, Tensor, TensorError};
+use std::sync::Arc;
+
+/// Resolves a possibly-negative axis against `rank`.
+fn resolve_axis(op: &'static str, axis: i64, rank: usize) -> Result<usize> {
+    let resolved = if axis < 0 { axis + rank as i64 } else { axis };
+    if resolved < 0 || resolved as usize >= rank {
+        return Err(TensorError::IndexOutOfRange { op, index: axis, bound: rank });
+    }
+    Ok(resolved as usize)
+}
+
+/// Applies `reduce` over `axis` of an `f32` tensor, producing an output with
+/// that axis removed (`keep_dims = false`) or kept as extent 1.
+fn reduce_axis_f32(
+    t: &Tensor,
+    axis: usize,
+    keep_dims: bool,
+    init: f32,
+    reduce: impl Fn(f32, f32) -> f32,
+) -> Result<Tensor> {
+    let v = t.as_f32_slice()?;
+    let dims = t.shape().dims();
+    let outer: usize = dims[..axis].iter().product();
+    let extent = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product();
+    let mut out = vec![init; outer * inner];
+    for o in 0..outer {
+        for e in 0..extent {
+            let base = (o * extent + e) * inner;
+            for i in 0..inner {
+                let acc = &mut out[o * inner + i];
+                *acc = reduce(*acc, v[base + i]);
+            }
+        }
+    }
+    let mut out_dims: Vec<usize> = Vec::with_capacity(dims.len());
+    for (d, &ext) in dims.iter().enumerate() {
+        if d == axis {
+            if keep_dims {
+                out_dims.push(1);
+            }
+        } else {
+            out_dims.push(ext);
+        }
+    }
+    Tensor::from_parts(Shape::new(out_dims), Data::F32(Arc::new(out)))
+}
+
+impl Tensor {
+    /// Sum of all elements, producing a scalar.
+    pub fn reduce_sum_all(&self) -> Result<Tensor> {
+        match self.dtype() {
+            DType::F32 => Ok(Tensor::scalar_f32(self.as_f32_slice()?.iter().sum())),
+            DType::I64 => Ok(Tensor::scalar_i64(self.as_i64_slice()?.iter().sum())),
+            d => Err(TensorError::DTypeMismatch { op: "reduce_sum", found: d, expected: None }),
+        }
+    }
+
+    /// Mean of all elements, producing a scalar.
+    pub fn reduce_mean_all(&self) -> Result<Tensor> {
+        let n = self.num_elements().max(1) as f32;
+        let s = self.reduce_sum_all()?;
+        if s.dtype() != DType::F32 {
+            return Err(TensorError::DTypeMismatch {
+                op: "reduce_mean",
+                found: self.dtype(),
+                expected: Some(DType::F32),
+            });
+        }
+        Ok(Tensor::scalar_f32(s.scalar_as_f32()? / n))
+    }
+
+    /// Maximum of all elements, producing a scalar.
+    pub fn reduce_max_all(&self) -> Result<Tensor> {
+        match self.dtype() {
+            DType::F32 => Ok(Tensor::scalar_f32(
+                self.as_f32_slice()?.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+            )),
+            DType::I64 => Ok(Tensor::scalar_i64(
+                self.as_i64_slice()?.iter().copied().fold(i64::MIN, i64::max),
+            )),
+            d => Err(TensorError::DTypeMismatch { op: "reduce_max", found: d, expected: None }),
+        }
+    }
+
+    /// Sum along `axis` (negative axes count from the end).
+    pub fn reduce_sum_axis(&self, axis: i64, keep_dims: bool) -> Result<Tensor> {
+        let axis = resolve_axis("reduce_sum_axis", axis, self.shape().rank())?;
+        reduce_axis_f32(self, axis, keep_dims, 0.0, |a, b| a + b)
+    }
+
+    /// Mean along `axis` (negative axes count from the end).
+    pub fn reduce_mean_axis(&self, axis: i64, keep_dims: bool) -> Result<Tensor> {
+        let resolved = resolve_axis("reduce_mean_axis", axis, self.shape().rank())?;
+        let extent = self.shape().dim(resolved) as f32;
+        let sum = self.reduce_sum_axis(axis, keep_dims)?;
+        sum.div(&Tensor::scalar_f32(extent))
+    }
+
+    /// Maximum along `axis` (negative axes count from the end).
+    pub fn reduce_max_axis(&self, axis: i64, keep_dims: bool) -> Result<Tensor> {
+        let axis = resolve_axis("reduce_max_axis", axis, self.shape().rank())?;
+        reduce_axis_f32(self, axis, keep_dims, f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element along the last axis, as `i64`.
+    ///
+    /// Used by e.g. the DQN greedy policy (`argmax_a Q(s, a)`) and the MoE
+    /// gating function.
+    pub fn argmax_last_axis(&self) -> Result<Tensor> {
+        if self.shape().rank() == 0 {
+            return Err(TensorError::ShapeMismatch {
+                op: "argmax",
+                lhs: self.shape().clone(),
+                rhs: None,
+            });
+        }
+        let v = self.as_f32_slice()?;
+        let extent = self.shape().dim(self.shape().rank() - 1);
+        if extent == 0 {
+            return Err(TensorError::ShapeMismatch {
+                op: "argmax",
+                lhs: self.shape().clone(),
+                rhs: None,
+            });
+        }
+        let rows = self.num_elements() / extent;
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &v[r * extent..(r + 1) * extent];
+            let mut best = 0usize;
+            for (i, &x) in row.iter().enumerate() {
+                if x > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best as i64);
+        }
+        let out_dims = self.shape().dims()[..self.shape().rank() - 1].to_vec();
+        Tensor::from_parts(Shape::new(out_dims), Data::I64(Arc::new(out)))
+    }
+
+    /// Numerically-stable softmax along the last axis.
+    pub fn softmax_last_axis(&self) -> Result<Tensor> {
+        if self.shape().rank() == 0 {
+            return Err(TensorError::ShapeMismatch {
+                op: "softmax",
+                lhs: self.shape().clone(),
+                rhs: None,
+            });
+        }
+        let v = self.as_f32_slice()?;
+        let extent = self.shape().dim(self.shape().rank() - 1);
+        let rows = if extent == 0 { 0 } else { self.num_elements() / extent };
+        let mut out = vec![0.0f32; self.num_elements()];
+        for r in 0..rows {
+            let row = &v[r * extent..(r + 1) * extent];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (i, &x) in row.iter().enumerate() {
+                let e = (x - max).exp();
+                out[r * extent + i] = e;
+                sum += e;
+            }
+            for o in &mut out[r * extent..(r + 1) * extent] {
+                *o /= sum;
+            }
+        }
+        Tensor::from_parts(self.shape().clone(), Data::F32(Arc::new(out)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec_f32(v, d).unwrap()
+    }
+
+    #[test]
+    fn sum_all() {
+        assert_eq!(t(vec![1.0, 2.0, 3.0], &[3]).reduce_sum_all().unwrap().scalar_as_f32().unwrap(), 6.0);
+        let i = Tensor::from_vec_i64(vec![1, 2, 3], &[3]).unwrap();
+        assert_eq!(i.reduce_sum_all().unwrap().scalar_as_i64().unwrap(), 6);
+    }
+
+    #[test]
+    fn mean_and_max_all() {
+        let x = t(vec![1.0, 2.0, 3.0, 6.0], &[2, 2]);
+        assert_eq!(x.reduce_mean_all().unwrap().scalar_as_f32().unwrap(), 3.0);
+        assert_eq!(x.reduce_max_all().unwrap().scalar_as_f32().unwrap(), 6.0);
+    }
+
+    #[test]
+    fn sum_along_axes() {
+        let x = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let r0 = x.reduce_sum_axis(0, false).unwrap();
+        assert_eq!(r0.shape().dims(), &[3]);
+        assert_eq!(r0.as_f32_slice().unwrap(), &[5.0, 7.0, 9.0]);
+        let r1 = x.reduce_sum_axis(1, false).unwrap();
+        assert_eq!(r1.shape().dims(), &[2]);
+        assert_eq!(r1.as_f32_slice().unwrap(), &[6.0, 15.0]);
+        let rneg = x.reduce_sum_axis(-1, true).unwrap();
+        assert_eq!(rneg.shape().dims(), &[2, 1]);
+        assert!(x.reduce_sum_axis(2, false).is_err());
+    }
+
+    #[test]
+    fn mean_and_max_along_axis() {
+        let x = t(vec![1.0, 5.0, 3.0, 4.0, 2.0, 6.0], &[2, 3]);
+        let m = x.reduce_mean_axis(1, false).unwrap();
+        assert_eq!(m.as_f32_slice().unwrap(), &[3.0, 4.0]);
+        let mx = x.reduce_max_axis(1, false).unwrap();
+        assert_eq!(mx.as_f32_slice().unwrap(), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax() {
+        let x = t(vec![1.0, 5.0, 3.0, 9.0, 2.0, 6.0], &[2, 3]);
+        let a = x.argmax_last_axis().unwrap();
+        assert_eq!(a.shape().dims(), &[2]);
+        assert_eq!(a.as_i64_slice().unwrap(), &[1, 0]);
+        // Vector argmax produces a scalar.
+        let v = t(vec![0.0, 1.0], &[2]);
+        assert_eq!(v.argmax_last_axis().unwrap().scalar_as_i64().unwrap(), 1);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = t(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]);
+        let s = x.softmax_last_axis().unwrap();
+        let v = s.as_f32_slice().unwrap();
+        for r in 0..2 {
+            let sum: f32 = v[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Large-but-equal logits must not produce NaN (stability).
+        assert!((v[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+}

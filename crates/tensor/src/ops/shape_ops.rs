@@ -1,0 +1,386 @@
+//! Shape-manipulating operations: concat, split, slice, stack, unstack,
+//! gather, scatter-add, and one-hot.
+
+use crate::{Data, DType, Result, Shape, Tensor, TensorError};
+use std::sync::Arc;
+
+impl Tensor {
+    /// Concatenates tensors along axis 0. All inputs must share dtype and
+    /// trailing dimensions.
+    pub fn concat0(tensors: &[Tensor]) -> Result<Tensor> {
+        if tensors.is_empty() {
+            return Err(TensorError::InvalidArgument("concat0 of zero tensors".into()));
+        }
+        let first = &tensors[0];
+        if first.shape().is_scalar() {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat0",
+                lhs: first.shape().clone(),
+                rhs: None,
+            });
+        }
+        let tail = first.shape().drop_leading()?;
+        let mut lead = 0usize;
+        for t in tensors {
+            if t.dtype() != first.dtype() {
+                return Err(TensorError::DTypeMismatch {
+                    op: "concat0",
+                    found: t.dtype(),
+                    expected: Some(first.dtype()),
+                });
+            }
+            if t.shape().is_scalar() || t.shape().drop_leading()? != tail {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat0",
+                    lhs: first.shape().clone(),
+                    rhs: Some(t.shape().clone()),
+                });
+            }
+            lead += t.shape().dim(0);
+        }
+        let out_shape = tail.prepend(lead);
+        let data = match first.data() {
+            Data::F32(_) => {
+                let mut out = Vec::with_capacity(out_shape.num_elements());
+                for t in tensors {
+                    out.extend_from_slice(t.as_f32_slice()?);
+                }
+                Data::F32(Arc::new(out))
+            }
+            Data::I64(_) => {
+                let mut out = Vec::with_capacity(out_shape.num_elements());
+                for t in tensors {
+                    out.extend_from_slice(t.as_i64_slice()?);
+                }
+                Data::I64(Arc::new(out))
+            }
+            Data::Bool(_) => {
+                let mut out = Vec::with_capacity(out_shape.num_elements());
+                for t in tensors {
+                    out.extend_from_slice(t.as_bool_slice()?);
+                }
+                Data::Bool(Arc::new(out))
+            }
+        };
+        Tensor::from_parts(out_shape, data)
+    }
+
+    /// Concatenates rank-2 tensors along axis 1 (columns).
+    ///
+    /// This is the common "concatenate input and hidden state" step of an
+    /// LSTM cell.
+    pub fn concat1(tensors: &[Tensor]) -> Result<Tensor> {
+        if tensors.is_empty() {
+            return Err(TensorError::InvalidArgument("concat1 of zero tensors".into()));
+        }
+        let rows = tensors[0].shape().dims().first().copied().unwrap_or(0);
+        let mut cols = 0usize;
+        for t in tensors {
+            if t.shape().rank() != 2 || t.shape().dim(0) != rows {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat1",
+                    lhs: tensors[0].shape().clone(),
+                    rhs: Some(t.shape().clone()),
+                });
+            }
+            cols += t.shape().dim(1);
+        }
+        let mut out = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for t in tensors {
+                let c = t.shape().dim(1);
+                out.extend_from_slice(&t.as_f32_slice()?[r * c..(r + 1) * c]);
+            }
+        }
+        Tensor::from_parts(Shape::from([rows, cols]), Data::F32(Arc::new(out)))
+    }
+
+    /// Splits a rank-2 tensor into `n` equal column blocks.
+    ///
+    /// The inverse of [`Tensor::concat1`] for equal-width parts; used to
+    /// split fused LSTM gate pre-activations.
+    pub fn split1(&self, n: usize) -> Result<Vec<Tensor>> {
+        if self.shape().rank() != 2 || n == 0 || self.shape().dim(1) % n != 0 {
+            return Err(TensorError::ShapeMismatch {
+                op: "split1",
+                lhs: self.shape().clone(),
+                rhs: None,
+            });
+        }
+        let rows = self.shape().dim(0);
+        let cols = self.shape().dim(1);
+        let w = cols / n;
+        let v = self.as_f32_slice()?;
+        let mut parts = Vec::with_capacity(n);
+        for p in 0..n {
+            let mut out = Vec::with_capacity(rows * w);
+            for r in 0..rows {
+                let base = r * cols + p * w;
+                out.extend_from_slice(&v[base..base + w]);
+            }
+            parts.push(Tensor::from_parts(Shape::from([rows, w]), Data::F32(Arc::new(out)))?);
+        }
+        Ok(parts)
+    }
+
+    /// Extracts the subtensor at `index` along axis 0, dropping that axis.
+    ///
+    /// This is `TensorArray.read`'s kernel after an `unstack`.
+    pub fn index0(&self, index: i64) -> Result<Tensor> {
+        if self.shape().is_scalar() {
+            return Err(TensorError::ShapeMismatch {
+                op: "index0",
+                lhs: self.shape().clone(),
+                rhs: None,
+            });
+        }
+        let lead = self.shape().dim(0);
+        let idx = if index < 0 { index + lead as i64 } else { index };
+        if idx < 0 || idx as usize >= lead {
+            return Err(TensorError::IndexOutOfRange { op: "index0", index, bound: lead });
+        }
+        let idx = idx as usize;
+        let tail = self.shape().drop_leading()?;
+        let block = tail.num_elements();
+        let data = match self.data() {
+            Data::F32(v) => Data::F32(Arc::new(v[idx * block..(idx + 1) * block].to_vec())),
+            Data::I64(v) => Data::I64(Arc::new(v[idx * block..(idx + 1) * block].to_vec())),
+            Data::Bool(v) => Data::Bool(Arc::new(v[idx * block..(idx + 1) * block].to_vec())),
+        };
+        Tensor::from_parts(tail, data)
+    }
+
+    /// Stacks tensors of identical shape along a new leading axis.
+    ///
+    /// This is `TensorArray.stack`'s kernel.
+    pub fn stack(tensors: &[Tensor]) -> Result<Tensor> {
+        if tensors.is_empty() {
+            return Err(TensorError::InvalidArgument("stack of zero tensors".into()));
+        }
+        let elem_shape = tensors[0].shape().clone();
+        for t in tensors {
+            if t.shape() != &elem_shape || t.dtype() != tensors[0].dtype() {
+                return Err(TensorError::ShapeMismatch {
+                    op: "stack",
+                    lhs: elem_shape.clone(),
+                    rhs: Some(t.shape().clone()),
+                });
+            }
+        }
+        let out_shape = elem_shape.prepend(tensors.len());
+        let data = match tensors[0].data() {
+            Data::F32(_) => {
+                let mut out = Vec::with_capacity(out_shape.num_elements());
+                for t in tensors {
+                    out.extend_from_slice(t.as_f32_slice()?);
+                }
+                Data::F32(Arc::new(out))
+            }
+            Data::I64(_) => {
+                let mut out = Vec::with_capacity(out_shape.num_elements());
+                for t in tensors {
+                    out.extend_from_slice(t.as_i64_slice()?);
+                }
+                Data::I64(Arc::new(out))
+            }
+            Data::Bool(_) => {
+                let mut out = Vec::with_capacity(out_shape.num_elements());
+                for t in tensors {
+                    out.extend_from_slice(t.as_bool_slice()?);
+                }
+                Data::Bool(Arc::new(out))
+            }
+        };
+        Tensor::from_parts(out_shape, data)
+    }
+
+    /// Splits along axis 0 into one tensor per leading index.
+    ///
+    /// This is `TensorArray.unstack`'s kernel.
+    pub fn unstack(&self) -> Result<Vec<Tensor>> {
+        if self.shape().is_scalar() {
+            return Err(TensorError::ShapeMismatch {
+                op: "unstack",
+                lhs: self.shape().clone(),
+                rhs: None,
+            });
+        }
+        let lead = self.shape().dim(0);
+        (0..lead as i64).map(|i| self.index0(i)).collect()
+    }
+
+    /// Gathers rows (axis-0 subtensors) by `indices` (an `i64` tensor).
+    pub fn gather0(&self, indices: &Tensor) -> Result<Tensor> {
+        let idx = indices.as_i64_slice()?;
+        let rows: Vec<Tensor> = idx.iter().map(|&i| self.index0(i)).collect::<Result<_>>()?;
+        if rows.is_empty() {
+            let tail = self.shape().drop_leading()?;
+            return Ok(Tensor::zeros(self.dtype(), tail.prepend(0).dims()));
+        }
+        let stacked = Tensor::stack(&rows)?;
+        // Preserve the index tensor's shape as the leading dims.
+        let mut dims = indices.shape().dims().to_vec();
+        dims.extend_from_slice(self.shape().drop_leading()?.dims());
+        stacked.reshape(&dims)
+    }
+
+    /// Scatter-add of `updates` rows into a zero tensor of `rows` rows:
+    /// `out[indices[i]] += updates[i]`.
+    ///
+    /// This is the gradient of [`Tensor::gather0`].
+    pub fn scatter_add0(rows: usize, indices: &Tensor, updates: &Tensor) -> Result<Tensor> {
+        let idx = indices.as_i64_slice()?;
+        if updates.shape().is_scalar() || updates.shape().dim(0) != idx.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "scatter_add0",
+                lhs: updates.shape().clone(),
+                rhs: Some(indices.shape().clone()),
+            });
+        }
+        let tail = updates.shape().drop_leading()?;
+        let block = tail.num_elements();
+        let u = updates.as_f32_slice()?;
+        let mut out = vec![0.0f32; rows * block];
+        for (i, &r) in idx.iter().enumerate() {
+            if r < 0 || r as usize >= rows {
+                return Err(TensorError::IndexOutOfRange {
+                    op: "scatter_add0",
+                    index: r,
+                    bound: rows,
+                });
+            }
+            let dst = &mut out[r as usize * block..(r as usize + 1) * block];
+            for (d, &s) in dst.iter_mut().zip(&u[i * block..(i + 1) * block]) {
+                *d += s;
+            }
+        }
+        Tensor::from_parts(tail.prepend(rows), Data::F32(Arc::new(out)))
+    }
+
+    /// One-hot encoding of an `i64` tensor into `depth` classes (`f32`).
+    pub fn one_hot(&self, depth: usize) -> Result<Tensor> {
+        let idx = self.as_i64_slice()?;
+        let mut out = vec![0.0f32; idx.len() * depth];
+        for (i, &c) in idx.iter().enumerate() {
+            if c < 0 || c as usize >= depth {
+                return Err(TensorError::IndexOutOfRange { op: "one_hot", index: c, bound: depth });
+            }
+            out[i * depth + c as usize] = 1.0;
+        }
+        let mut dims = self.shape().dims().to_vec();
+        dims.push(depth);
+        Tensor::from_parts(Shape::new(dims), Data::F32(Arc::new(out)))
+    }
+
+    /// Broadcasts this tensor to `dims`, materializing the data.
+    pub fn broadcast_to(&self, dims: &[usize]) -> Result<Tensor> {
+        let target = Shape::from(dims);
+        let joint = crate::broadcast_shapes(self.shape(), &target)?;
+        if joint != target {
+            return Err(TensorError::ShapeMismatch {
+                op: "broadcast_to",
+                lhs: self.shape().clone(),
+                rhs: Some(target),
+            });
+        }
+        if self.dtype() != DType::F32 {
+            return Err(TensorError::DTypeMismatch {
+                op: "broadcast_to",
+                found: self.dtype(),
+                expected: Some(DType::F32),
+            });
+        }
+        // Reuse the broadcast addition against a zero tensor; correctness
+        // over speed is fine here (used for Fill-style gradients).
+        let zeros = Tensor::zeros(DType::F32, dims);
+        self.add(&zeros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec_f32(v, d).unwrap()
+    }
+
+    #[test]
+    fn concat_axis0() {
+        let a = t(vec![1.0, 2.0], &[1, 2]);
+        let b = t(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]);
+        let c = Tensor::concat0(&[a, b]).unwrap();
+        assert_eq!(c.shape().dims(), &[3, 2]);
+        assert_eq!(c.as_f32_slice().unwrap(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(Tensor::concat0(&[]).is_err());
+    }
+
+    #[test]
+    fn concat_axis1_and_split() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![9.0, 8.0], &[2, 1]);
+        let c = Tensor::concat1(&[a.clone(), b]).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 3]);
+        assert_eq!(c.as_f32_slice().unwrap(), &[1.0, 2.0, 9.0, 3.0, 4.0, 8.0]);
+
+        let parts = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).split1(3).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].as_f32_slice().unwrap(), &[1.0, 4.0]);
+        assert_eq!(parts[2].as_f32_slice().unwrap(), &[3.0, 6.0]);
+        assert!(a.split1(3).is_err());
+    }
+
+    #[test]
+    fn split_then_concat_roundtrip() {
+        let x = t((0..12).map(|i| i as f32).collect(), &[3, 4]);
+        let parts = x.split1(2).unwrap();
+        let back = Tensor::concat1(&parts).unwrap();
+        assert!(back.value_eq(&x));
+    }
+
+    #[test]
+    fn indexing_and_stack_unstack() {
+        let x = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        assert_eq!(x.index0(1).unwrap().as_f32_slice().unwrap(), &[3.0, 4.0]);
+        assert_eq!(x.index0(-1).unwrap().as_f32_slice().unwrap(), &[5.0, 6.0]);
+        assert!(x.index0(3).is_err());
+
+        let rows = x.unstack().unwrap();
+        assert_eq!(rows.len(), 3);
+        let back = Tensor::stack(&rows).unwrap();
+        assert!(back.value_eq(&x));
+    }
+
+    #[test]
+    fn gather_and_scatter_are_duals() {
+        let x = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let idx = Tensor::from_vec_i64(vec![2, 0, 2], &[3]).unwrap();
+        let g = x.gather0(&idx).unwrap();
+        assert_eq!(g.shape().dims(), &[3, 2]);
+        assert_eq!(g.as_f32_slice().unwrap(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+
+        // Scatter-add accumulates duplicate indices.
+        let s = Tensor::scatter_add0(3, &idx, &g).unwrap();
+        assert_eq!(s.as_f32_slice().unwrap(), &[1.0, 2.0, 0.0, 0.0, 10.0, 12.0]);
+        let bad = Tensor::from_vec_i64(vec![5], &[1]).unwrap();
+        assert!(Tensor::scatter_add0(3, &bad, &t(vec![0.0, 0.0], &[1, 2])).is_err());
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let idx = Tensor::from_vec_i64(vec![0, 2], &[2]).unwrap();
+        let oh = idx.one_hot(3).unwrap();
+        assert_eq!(oh.shape().dims(), &[2, 3]);
+        assert_eq!(oh.as_f32_slice().unwrap(), &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+        let bad = Tensor::from_vec_i64(vec![3], &[1]).unwrap();
+        assert!(bad.one_hot(3).is_err());
+    }
+
+    #[test]
+    fn broadcast_to_materializes() {
+        let x = t(vec![1.0, 2.0], &[2]);
+        let b = x.broadcast_to(&[3, 2]).unwrap();
+        assert_eq!(b.as_f32_slice().unwrap(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        assert!(x.broadcast_to(&[3]).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Tensor shapes and broadcasting.
+
+use crate::{Result, TensorError};
+use std::fmt;
+
+/// The extent of each dimension of a tensor.
+///
+/// A rank-0 shape (`[]`) denotes a scalar. Shapes are small and cheaply
+/// cloneable; they are stored alongside every tensor and every graph edge.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// The scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Returns the dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Returns the number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns the total number of elements.
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` if this shape denotes a scalar.
+    pub fn is_scalar(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns the extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Returns row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Returns a new shape with `extent` prepended as the leading dimension.
+    pub fn prepend(&self, extent: usize) -> Shape {
+        let mut dims = Vec::with_capacity(self.rank() + 1);
+        dims.push(extent);
+        dims.extend_from_slice(&self.0);
+        Shape(dims)
+    }
+
+    /// Returns this shape with the leading dimension removed.
+    ///
+    /// Returns an error if the shape is a scalar.
+    pub fn drop_leading(&self) -> Result<Shape> {
+        if self.is_scalar() {
+            return Err(TensorError::ShapeMismatch {
+                op: "drop_leading",
+                lhs: self.clone(),
+                rhs: None,
+            });
+        }
+        Ok(Shape(self.0[1..].to_vec()))
+    }
+
+    /// Byte size of a tensor with this shape and element size `elem_size`.
+    pub fn byte_size(&self, elem_size: usize) -> usize {
+        self.num_elements() * elem_size
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+/// Computes the NumPy-style broadcast of two shapes.
+///
+/// Dimensions are aligned from the trailing side; extents must be equal or
+/// one of them must be `1`. Returns the broadcast shape, or an error when the
+/// shapes are incompatible.
+///
+/// # Examples
+///
+/// ```
+/// use dcf_tensor::{broadcast_shapes, Shape};
+/// let s = broadcast_shapes(&Shape::from([4, 1]), &Shape::from([3])).unwrap();
+/// assert_eq!(s.dims(), &[4, 3]);
+/// ```
+pub fn broadcast_shapes(lhs: &Shape, rhs: &Shape) -> Result<Shape> {
+    let rank = lhs.rank().max(rhs.rank());
+    let mut dims = vec![0usize; rank];
+    for i in 0..rank {
+        let l = if i < rank - lhs.rank() { 1 } else { lhs.dims()[i - (rank - lhs.rank())] };
+        let r = if i < rank - rhs.rank() { 1 } else { rhs.dims()[i - (rank - rhs.rank())] };
+        dims[i] = if l == r || r == 1 {
+            l
+        } else if l == 1 {
+            r
+        } else {
+            return Err(TensorError::ShapeMismatch {
+                op: "broadcast",
+                lhs: lhs.clone(),
+                rhs: Some(rhs.clone()),
+            });
+        };
+    }
+    Ok(Shape(dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.num_elements(), 24);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert!(!s.is_scalar());
+        assert!(Shape::scalar().is_scalar());
+        assert_eq!(Shape::scalar().num_elements(), 1);
+    }
+
+    #[test]
+    fn prepend_and_drop() {
+        let s = Shape::from([3, 4]);
+        let p = s.prepend(7);
+        assert_eq!(p.dims(), &[7, 3, 4]);
+        assert_eq!(p.drop_leading().unwrap(), s);
+        assert!(Shape::scalar().drop_leading().is_err());
+    }
+
+    #[test]
+    fn broadcasting() {
+        let b = broadcast_shapes(&Shape::from([2, 1]), &Shape::from([1, 3])).unwrap();
+        assert_eq!(b.dims(), &[2, 3]);
+        let b = broadcast_shapes(&Shape::scalar(), &Shape::from([5])).unwrap();
+        assert_eq!(b.dims(), &[5]);
+        let b = broadcast_shapes(&Shape::from([4, 3]), &Shape::from([3])).unwrap();
+        assert_eq!(b.dims(), &[4, 3]);
+        assert!(broadcast_shapes(&Shape::from([2]), &Shape::from([3])).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn byte_size() {
+        assert_eq!(Shape::from([10, 10]).byte_size(4), 400);
+    }
+}

@@ -1,0 +1,416 @@
+//! The dense tensor value type.
+
+use crate::{DType, Result, Shape, TensorError};
+use std::fmt;
+use std::sync::Arc;
+
+/// Reference-counted element storage for a tensor.
+///
+/// Storage is immutable once constructed, so clones share the same buffer.
+/// This makes forwarding a tensor through control-flow primitives (which is
+/// the common case in this system) an O(1) operation.
+#[derive(Clone, Debug)]
+pub enum Data {
+    /// 32-bit float elements.
+    F32(Arc<Vec<f32>>),
+    /// 64-bit integer elements.
+    I64(Arc<Vec<i64>>),
+    /// Boolean elements.
+    Bool(Arc<Vec<bool>>),
+}
+
+impl Data {
+    /// Returns the dtype of the stored elements.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Data::F32(_) => DType::F32,
+            Data::I64(_) => DType::I64,
+            Data::Bool(_) => DType::Bool,
+        }
+    }
+
+    /// Returns the number of stored elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Data::F32(v) => v.len(),
+            Data::I64(v) => v.len(),
+            Data::Bool(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A dense, immutable, multi-dimensional array.
+///
+/// This is the value that flows along graph edges. Cloning is cheap (the
+/// underlying buffer is shared), matching the paper's execution model where
+/// one produced value may be consumed by many operations, possibly on
+/// different devices and in different loop iterations.
+#[derive(Clone, Debug)]
+pub struct Tensor {
+    shape: Shape,
+    data: Data,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Creates an `f32` tensor from a flat row-major buffer.
+    ///
+    /// Returns an error if `data.len()` does not equal the shape volume.
+    pub fn from_vec_f32(data: Vec<f32>, dims: &[usize]) -> Result<Tensor> {
+        let shape = Shape::from(dims);
+        if data.len() != shape.num_elements() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                found: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data: Data::F32(Arc::new(data)) })
+    }
+
+    /// Creates an `i64` tensor from a flat row-major buffer.
+    pub fn from_vec_i64(data: Vec<i64>, dims: &[usize]) -> Result<Tensor> {
+        let shape = Shape::from(dims);
+        if data.len() != shape.num_elements() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                found: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data: Data::I64(Arc::new(data)) })
+    }
+
+    /// Creates a `bool` tensor from a flat row-major buffer.
+    pub fn from_vec_bool(data: Vec<bool>, dims: &[usize]) -> Result<Tensor> {
+        let shape = Shape::from(dims);
+        if data.len() != shape.num_elements() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                found: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data: Data::Bool(Arc::new(data)) })
+    }
+
+    /// Creates a scalar `f32` tensor.
+    pub fn scalar_f32(v: f32) -> Tensor {
+        Tensor { shape: Shape::scalar(), data: Data::F32(Arc::new(vec![v])) }
+    }
+
+    /// Creates a scalar `i64` tensor.
+    pub fn scalar_i64(v: i64) -> Tensor {
+        Tensor { shape: Shape::scalar(), data: Data::I64(Arc::new(vec![v])) }
+    }
+
+    /// Creates a scalar `bool` tensor.
+    pub fn scalar_bool(v: bool) -> Tensor {
+        Tensor { shape: Shape::scalar(), data: Data::Bool(Arc::new(vec![v])) }
+    }
+
+    /// Creates a tensor of zeros with the given dtype and shape.
+    pub fn zeros(dtype: DType, dims: &[usize]) -> Tensor {
+        let shape = Shape::from(dims);
+        let n = shape.num_elements();
+        let data = match dtype {
+            DType::F32 => Data::F32(Arc::new(vec![0.0; n])),
+            DType::I64 => Data::I64(Arc::new(vec![0; n])),
+            DType::Bool => Data::Bool(Arc::new(vec![false; n])),
+        };
+        Tensor { shape, data }
+    }
+
+    /// Creates an `f32` tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Tensor {
+        Tensor::fill_f32(1.0, dims)
+    }
+
+    /// Creates an `f32` tensor filled with `v`.
+    pub fn fill_f32(v: f32, dims: &[usize]) -> Tensor {
+        let shape = Shape::from(dims);
+        let n = shape.num_elements();
+        Tensor { shape, data: Data::F32(Arc::new(vec![v; n])) }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn eye(n: usize) -> Tensor {
+        let mut data = vec![0.0f32; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        Tensor { shape: Shape::from([n, n]), data: Data::F32(Arc::new(data)) }
+    }
+
+    /// Creates a rank-1 `i64` tensor holding `0..n`.
+    pub fn range_i64(n: usize) -> Tensor {
+        let data: Vec<i64> = (0..n as i64).collect();
+        Tensor { shape: Shape::from([n]), data: Data::I64(Arc::new(data)) }
+    }
+
+    /// Creates a tensor from parts; `data.len()` must match the shape.
+    pub fn from_parts(shape: Shape, data: Data) -> Result<Tensor> {
+        if data.len() != shape.num_elements() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                found: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Returns the element dtype.
+    pub fn dtype(&self) -> DType {
+        self.data.dtype()
+    }
+
+    /// Returns the shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Returns the number of elements.
+    pub fn num_elements(&self) -> usize {
+        self.shape.num_elements()
+    }
+
+    /// Returns the size of the element buffer in bytes.
+    ///
+    /// This is what the device allocator charges for the tensor.
+    pub fn byte_size(&self) -> usize {
+        self.shape.byte_size(self.dtype().size_of())
+    }
+
+    /// Returns the underlying storage.
+    pub fn data(&self) -> &Data {
+        &self.data
+    }
+
+    /// Returns the elements as an `f32` slice, or an error for other dtypes.
+    pub fn as_f32_slice(&self) -> Result<&[f32]> {
+        match &self.data {
+            Data::F32(v) => Ok(v),
+            _ => Err(TensorError::DTypeMismatch {
+                op: "as_f32_slice",
+                found: self.dtype(),
+                expected: Some(DType::F32),
+            }),
+        }
+    }
+
+    /// Returns the elements as an `i64` slice, or an error for other dtypes.
+    pub fn as_i64_slice(&self) -> Result<&[i64]> {
+        match &self.data {
+            Data::I64(v) => Ok(v),
+            _ => Err(TensorError::DTypeMismatch {
+                op: "as_i64_slice",
+                found: self.dtype(),
+                expected: Some(DType::I64),
+            }),
+        }
+    }
+
+    /// Returns the elements as a `bool` slice, or an error for other dtypes.
+    pub fn as_bool_slice(&self) -> Result<&[bool]> {
+        match &self.data {
+            Data::Bool(v) => Ok(v),
+            _ => Err(TensorError::DTypeMismatch {
+                op: "as_bool_slice",
+                found: self.dtype(),
+                expected: Some(DType::Bool),
+            }),
+        }
+    }
+
+    /// Extracts the single `f32` element of a scalar tensor.
+    pub fn scalar_as_f32(&self) -> Result<f32> {
+        if self.num_elements() != 1 {
+            return Err(TensorError::NotAScalar { op: "scalar_as_f32", shape: self.shape.clone() });
+        }
+        Ok(self.as_f32_slice()?[0])
+    }
+
+    /// Extracts the single `i64` element of a scalar tensor.
+    pub fn scalar_as_i64(&self) -> Result<i64> {
+        if self.num_elements() != 1 {
+            return Err(TensorError::NotAScalar { op: "scalar_as_i64", shape: self.shape.clone() });
+        }
+        Ok(self.as_i64_slice()?[0])
+    }
+
+    /// Extracts the single `bool` element of a scalar tensor.
+    ///
+    /// This is how the executor evaluates `Switch` predicates and loop
+    /// conditions.
+    pub fn scalar_as_bool(&self) -> Result<bool> {
+        if self.num_elements() != 1 {
+            return Err(TensorError::NotAScalar { op: "scalar_as_bool", shape: self.shape.clone() });
+        }
+        Ok(self.as_bool_slice()?[0])
+    }
+
+    /// Returns a copy of this tensor with a new shape of equal volume.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let shape = Shape::from(dims);
+        if shape.num_elements() != self.num_elements() {
+            return Err(TensorError::ShapeMismatch {
+                op: "reshape",
+                lhs: self.shape.clone(),
+                rhs: Some(shape),
+            });
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// Casts this tensor to `dtype`, converting elements.
+    pub fn cast(&self, dtype: DType) -> Tensor {
+        if self.dtype() == dtype {
+            return self.clone();
+        }
+        let n = self.num_elements();
+        let data = match (&self.data, dtype) {
+            (Data::F32(v), DType::I64) => Data::I64(Arc::new(v.iter().map(|&x| x as i64).collect())),
+            (Data::F32(v), DType::Bool) => Data::Bool(Arc::new(v.iter().map(|&x| x != 0.0).collect())),
+            (Data::I64(v), DType::F32) => Data::F32(Arc::new(v.iter().map(|&x| x as f32).collect())),
+            (Data::I64(v), DType::Bool) => Data::Bool(Arc::new(v.iter().map(|&x| x != 0).collect())),
+            (Data::Bool(v), DType::F32) => {
+                Data::F32(Arc::new(v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect()))
+            }
+            (Data::Bool(v), DType::I64) => {
+                Data::I64(Arc::new(v.iter().map(|&x| i64::from(x)).collect()))
+            }
+            // Same-dtype cases are handled above.
+            _ => unreachable!("cast covers all dtype pairs"),
+        };
+        debug_assert_eq!(data.len(), n);
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Returns `true` if the two tensors have identical dtype, shape, and
+    /// elements (exact equality; no tolerance).
+    pub fn value_eq(&self, other: &Tensor) -> bool {
+        if self.shape != other.shape {
+            return false;
+        }
+        match (&self.data, &other.data) {
+            (Data::F32(a), Data::F32(b)) => a == b,
+            (Data::I64(a), Data::I64(b)) => a == b,
+            (Data::Bool(a), Data::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if two `f32` tensors are elementwise within `tol`.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        if self.shape != other.shape {
+            return false;
+        }
+        match (self.as_f32_slice(), other.as_f32_slice()) {
+            (Ok(a), Ok(b)) => a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol),
+            _ => self.value_eq(other),
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor<{}>{}", self.dtype(), self.shape)?;
+        const MAX: usize = 8;
+        match &self.data {
+            Data::F32(v) => {
+                let shown: Vec<String> = v.iter().take(MAX).map(|x| format!("{x}")).collect();
+                write!(f, " [{}{}]", shown.join(", "), if v.len() > MAX { ", ..." } else { "" })
+            }
+            Data::I64(v) => {
+                let shown: Vec<String> = v.iter().take(MAX).map(|x| format!("{x}")).collect();
+                write!(f, " [{}{}]", shown.join(", "), if v.len() > MAX { ", ..." } else { "" })
+            }
+            Data::Bool(v) => {
+                let shown: Vec<String> = v.iter().take(MAX).map(|x| format!("{x}")).collect();
+                write!(f, " [{}{}]", shown.join(", "), if v.len() > MAX { ", ..." } else { "" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_checks_length() {
+        assert!(Tensor::from_vec_f32(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec_f32(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+        assert!(Tensor::from_vec_i64(vec![1], &[2]).is_err());
+        assert!(Tensor::from_vec_bool(vec![true], &[1, 1]).is_ok());
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Tensor::scalar_f32(2.5).scalar_as_f32().unwrap(), 2.5);
+        assert_eq!(Tensor::scalar_i64(-3).scalar_as_i64().unwrap(), -3);
+        assert!(Tensor::scalar_bool(true).scalar_as_bool().unwrap());
+        assert!(Tensor::ones(&[2]).scalar_as_f32().is_err());
+    }
+
+    #[test]
+    fn zeros_ones_eye() {
+        let z = Tensor::zeros(DType::I64, &[2, 2]);
+        assert_eq!(z.as_i64_slice().unwrap(), &[0, 0, 0, 0]);
+        let o = Tensor::ones(&[3]);
+        assert_eq!(o.as_f32_slice().unwrap(), &[1.0, 1.0, 1.0]);
+        let e = Tensor::eye(2);
+        assert_eq!(e.as_f32_slice().unwrap(), &[1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn reshape_shares_data() {
+        let t = Tensor::from_vec_f32(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let r = t.reshape(&[4]).unwrap();
+        assert_eq!(r.shape().dims(), &[4]);
+        assert_eq!(r.as_f32_slice().unwrap(), t.as_f32_slice().unwrap());
+        assert!(t.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn casting_round_trip() {
+        let t = Tensor::from_vec_i64(vec![0, 1, 2], &[3]).unwrap();
+        let f = t.cast(DType::F32);
+        assert_eq!(f.as_f32_slice().unwrap(), &[0.0, 1.0, 2.0]);
+        let b = t.cast(DType::Bool);
+        assert_eq!(b.as_bool_slice().unwrap(), &[false, true, true]);
+        let back = b.cast(DType::I64);
+        assert_eq!(back.as_i64_slice().unwrap(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn value_eq_and_allclose() {
+        let a = Tensor::from_vec_f32(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec_f32(vec![1.0, 2.0 + 1e-4], &[2]).unwrap();
+        assert!(!a.value_eq(&b));
+        assert!(a.allclose(&b, 1e-3));
+        assert!(!a.allclose(&Tensor::ones(&[3]), 1.0));
+    }
+
+    #[test]
+    fn byte_size_accounting() {
+        assert_eq!(Tensor::ones(&[10, 10]).byte_size(), 400);
+        assert_eq!(Tensor::scalar_i64(1).byte_size(), 8);
+        assert_eq!(Tensor::scalar_bool(true).byte_size(), 1);
+    }
+
+    #[test]
+    fn range() {
+        let r = Tensor::range_i64(4);
+        assert_eq!(r.as_i64_slice().unwrap(), &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,71 @@
+//! An in-graph training loop (§2.2 "Other usage").
+//!
+//! Normally the training loop lives in the host program, paying one
+//! client dispatch per step. Here the *entire* loop — forward pass, the
+//! gradient computed manually from the closed form, and the parameter
+//! update — runs inside a single `while_loop`, so one `Session::run`
+//! performs N optimization steps with zero intermediate client round
+//! trips: the pattern the paper describes for coordinator-free workers.
+//!
+//! The model is linear regression fit by gradient descent; the loop runs
+//! until the loss drops below a threshold (a data-dependent trip count).
+//!
+//! Run with: `cargo run --example in_graph_training_loop`
+
+use dcf::prelude::*;
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = TensorRng::new(4);
+    let n = 32usize;
+
+    let mut g = GraphBuilder::new();
+    let x = g.constant(rng.uniform(&[n, 2], -1.0, 1.0));
+    let w_true = g.constant(Tensor::from_vec_f32(vec![1.5, -0.75], &[2, 1])?);
+    let y_true = g.matmul(x, w_true)?;
+
+    // Loop variables: step counter and the weights themselves.
+    let w0 = g.constant(Tensor::zeros(DType::F32, &[2, 1]));
+    let steps0 = g.scalar_i64(0);
+    let tolerance = g.scalar_f32(1e-5);
+    let max_steps = g.scalar_i64(500);
+    let lr = g.scalar_f32(0.4);
+    let two_over_n = g.scalar_f32(2.0 / n as f32);
+
+    let outs = g.while_loop(
+        &[steps0, w0],
+        |g, v| {
+            // Continue while loss > tolerance AND step budget remains.
+            let pred_y = g.matmul(x, v[1])?;
+            let err = g.sub(pred_y, y_true)?;
+            let sq = g.square(err)?;
+            let loss = g.reduce_mean(sq)?;
+            let unconverged = g.greater(loss, tolerance)?;
+            let in_budget = g.less(v[0], max_steps)?;
+            g.logical_and(unconverged, in_budget)
+        },
+        |g, v| {
+            // One gradient-descent step, fully in-graph:
+            // grad = 2/N * X^T (Xw - y).
+            let pred_y = g.matmul(x, v[1])?;
+            let err = g.sub(pred_y, y_true)?;
+            let xte = g.matmul_t(x, err, true, false)?;
+            let grad = g.mul(xte, two_over_n)?;
+            let delta = g.mul(grad, lr)?;
+            let w_next = g.sub(v[1], delta)?;
+            let one = g.scalar_i64(1);
+            Ok(vec![g.add(v[0], one)?, w_next])
+        },
+        WhileOptions { name: Some("train".into()), ..Default::default() },
+    )?;
+
+    let sess = Session::local(g.finish()?)?;
+    let out = sess.run(&HashMap::new(), &outs)?;
+    let steps = out[0].scalar_as_i64()?;
+    let w = out[1].as_f32_slice()?.to_vec();
+    println!("converged in {steps} in-graph steps (single Session::run)");
+    println!("w = [{:.4}, {:.4}] (target [1.5, -0.75])", w[0], w[1]);
+    assert!((w[0] - 1.5).abs() < 0.01 && (w[1] + 0.75).abs() < 0.01);
+    println!("ok: the whole optimization ran inside the dataflow runtime");
+    Ok(())
+}

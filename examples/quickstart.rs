@@ -1,0 +1,46 @@
+//! Quickstart: in-graph control flow, automatic differentiation, and a
+//! local session.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dcf::prelude::*;
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A conditional: |x| if x < 0 { -x } else { x^2 }.
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", DType::F32);
+    let zero = g.scalar_f32(0.0);
+    let is_neg = g.less(x, zero)?;
+    let outs = g.cond(is_neg, |g| Ok(vec![g.neg(x)?]), |g| Ok(vec![g.square(x)?]))?;
+    let y = outs[0];
+
+    // 2. A loop: keep doubling y until it exceeds 100.
+    let hundred = g.scalar_f32(100.0);
+    let two = g.scalar_f32(2.0);
+    let doubled = g.while_loop(
+        &[y],
+        |g, v| g.less(v[0], hundred),
+        |g, v| Ok(vec![g.mul(v[0], two)?]),
+        WhileOptions::default(),
+    )?;
+    let z = doubled[0];
+
+    // 3. The gradient dz/dx flows through both constructs.
+    let grads = gradients(&mut g, z, &[x])?;
+
+    // 4. Run everything in one Session call.
+    let sess = Session::local(g.finish()?)?;
+    for xv in [-3.0f32, 0.5, 9.0] {
+        let mut feeds = HashMap::new();
+        feeds.insert("x".to_string(), Tensor::scalar_f32(xv));
+        let out = sess.run(&feeds, &[y, z, grads[0]])?;
+        println!(
+            "x = {xv:>5}: branch output = {:>8.2}, loop output = {:>8.2}, dz/dx = {:>8.2}",
+            out[0].scalar_as_f32()?,
+            out[1].scalar_as_f32()?,
+            out[2].scalar_as_f32()?,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,191 @@
+//! Property-based tests of the control-flow semantics: for arbitrary
+//! programs, the in-graph constructs must agree with direct host
+//! evaluation, regardless of the parallel-iterations knob or partitioning.
+
+use dcf::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A tiny loop-body language: affine update with optional conditional.
+#[derive(Clone, Debug)]
+struct LoopProgram {
+    init: f32,
+    scale: f32,
+    offset: f32,
+    /// When true, even iterations add `offset`, odd iterations subtract it.
+    alternating: bool,
+    trips: i64,
+}
+
+fn program_strategy() -> impl Strategy<Value = LoopProgram> {
+    (
+        -2.0f32..2.0,
+        -1.25f32..1.25,
+        -2.0f32..2.0,
+        any::<bool>(),
+        0i64..12,
+    )
+        .prop_map(|(init, scale, offset, alternating, trips)| LoopProgram {
+            init,
+            scale,
+            offset,
+            alternating,
+            trips,
+        })
+}
+
+/// Reference semantics on the host.
+fn reference(p: &LoopProgram) -> f32 {
+    let mut a = p.init;
+    for i in 0..p.trips {
+        let off = if p.alternating && i % 2 == 1 { -p.offset } else { p.offset };
+        a = a * p.scale + off;
+    }
+    a
+}
+
+/// In-graph semantics.
+fn in_graph(p: &LoopProgram, parallel: usize, machines: usize) -> f32 {
+    let mut g = GraphBuilder::new();
+    let i0 = g.scalar_i64(0);
+    let a0 = g.scalar_f32(p.init);
+    let lim = g.scalar_i64(p.trips);
+    let scale = g.scalar_f32(p.scale);
+    let offset = g.scalar_f32(p.offset);
+    let alternating = p.alternating;
+    let outs = g
+        .while_loop(
+            &[i0, a0],
+            |g, v| g.less(v[0], lim),
+            |g, v| {
+                let one = g.scalar_i64(1);
+                let scaled = if machines > 1 {
+                    g.with_device("/machine:1/cpu:0", |g| g.mul(v[1], scale))?
+                } else {
+                    g.mul(v[1], scale)?
+                };
+                let scaled = g.with_device("/machine:0/cpu:0", |g| g.identity(scaled))?;
+                let next = if alternating {
+                    let half_c = g.scalar_f32(0.5);
+                    let fi = g.cast(v[0], DType::F32)?;
+                    let half = g.mul(fi, half_c)?;
+                    let trunc = g.cast(half, DType::I64)?;
+                    let back = g.cast(trunc, DType::F32)?;
+                    let even = g.equal(half, back)?;
+                    let stepped = g.cond(
+                        even,
+                        |g| Ok(vec![g.add(scaled, offset)?]),
+                        |g| Ok(vec![g.sub(scaled, offset)?]),
+                    )?;
+                    stepped[0]
+                } else {
+                    g.add(scaled, offset)?
+                };
+                Ok(vec![g.add(v[0], one)?, next])
+            },
+            WhileOptions { parallel_iterations: parallel, ..Default::default() },
+        )
+        .unwrap();
+    let mut cluster = Cluster::new();
+    for m in 0..machines {
+        cluster.add_device(m, DeviceProfile::cpu());
+    }
+    let sess = Session::new(g.finish().unwrap(), cluster, SessionOptions::functional()).unwrap();
+    sess.run(&HashMap::new(), &[outs[1]]).unwrap()[0]
+        .scalar_as_f32()
+        .unwrap()
+}
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-3 * (1.0 + b.abs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// while_loop (+ nested cond) matches direct host evaluation.
+    #[test]
+    fn loop_matches_host_semantics(p in program_strategy()) {
+        let expect = reference(&p);
+        let got = in_graph(&p, 32, 1);
+        prop_assert!(close(got, expect), "got {got}, expected {expect}");
+    }
+
+    /// The parallel-iterations knob never changes values (§4.3).
+    #[test]
+    fn parallel_iterations_invariant(p in program_strategy(), knob in 1usize..16) {
+        let a = in_graph(&p, knob, 1);
+        let b = in_graph(&p, 32, 1);
+        prop_assert!(close(a, b), "knob={knob}: {a} vs {b}");
+    }
+
+    /// Partitioning across machines never changes values (§4.4).
+    #[test]
+    fn distribution_invariant(p in program_strategy()) {
+        let local = in_graph(&p, 32, 1);
+        let distributed = in_graph(&p, 32, 2);
+        prop_assert!(close(local, distributed), "{local} vs {distributed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// scan over arbitrary inputs equals the host prefix computation.
+    #[test]
+    fn scan_matches_prefix_sums(xs in proptest::collection::vec(-2.0f32..2.0, 1..10)) {
+        let mut g = GraphBuilder::new();
+        let elems = g.constant(Tensor::from_vec_f32(xs.clone(), &[xs.len()]).unwrap());
+        let init = g.scalar_f32(0.0);
+        let r = g.scan(|g, a, e| g.add(a, e), elems, init, WhileOptions::default()).unwrap();
+        let sess = Session::local(g.finish().unwrap()).unwrap();
+        let out = sess.run(&HashMap::new(), &[r]).unwrap().remove(0);
+        let got = out.as_f32_slice().unwrap();
+        let mut acc = 0.0f32;
+        for (i, x) in xs.iter().enumerate() {
+            acc += x;
+            prop_assert!((got[i] - acc).abs() < 1e-4, "prefix {i}: {} vs {acc}", got[i]);
+        }
+    }
+
+    /// Gradient of a random-trip-count loop matches numerical differentiation.
+    #[test]
+    fn loop_gradient_matches_numeric(scale in 0.5f32..1.4, trips in 1i64..8) {
+        let eval = |xv: f32, want_grad: bool| -> f32 {
+            let mut g = GraphBuilder::new();
+            let x = g.placeholder("x", DType::F32);
+            let i0 = g.scalar_i64(0);
+            let lim = g.scalar_i64(trips);
+            let c = g.scalar_f32(scale);
+            let outs = g.while_loop(
+                &[i0, x],
+                |g, v| g.less(v[0], lim),
+                |g, v| {
+                    let one = g.scalar_i64(1);
+                    let scaled = g.mul(v[1], c)?;
+                    let squashed = g.tanh(scaled)?;
+                    Ok(vec![g.add(v[0], one)?, squashed])
+                },
+                WhileOptions::default(),
+            ).unwrap();
+            let y = outs[1];
+            let fetch = if want_grad {
+                dcf::autodiff::gradients(&mut g, y, &[x]).unwrap()[0]
+            } else {
+                y
+            };
+            let sess = Session::local(g.finish().unwrap()).unwrap();
+            let mut feeds = HashMap::new();
+            feeds.insert("x".to_string(), Tensor::scalar_f32(xv));
+            sess.run(&feeds, &[fetch]).unwrap()[0].scalar_as_f32().unwrap()
+        };
+        let x0 = 0.37f32;
+        let analytic = eval(x0, true);
+        let eps = 1e-2;
+        let numeric = (eval(x0 + eps, false) - eval(x0 - eps, false)) / (2.0 * eps);
+        prop_assert!(
+            (analytic - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+}

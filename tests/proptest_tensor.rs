@@ -1,0 +1,113 @@
+//! Property-based tests of tensor algebra invariants.
+
+use dcf::tensor::{broadcast_shapes, Shape, Tensor};
+use proptest::prelude::*;
+
+fn vec_and_dims() -> impl Strategy<Value = (Vec<f32>, Vec<usize>)> {
+    (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c).prop_map(move |v| (v, vec![r, c]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Addition commutes; multiplication commutes; sub is anti-symmetric.
+    #[test]
+    fn elementwise_algebra((v, d) in vec_and_dims(), (w, e) in vec_and_dims()) {
+        prop_assume!(d == e);
+        let a = Tensor::from_vec_f32(v, &d).unwrap();
+        let b = Tensor::from_vec_f32(w, &d).unwrap();
+        prop_assert!(a.add(&b).unwrap().value_eq(&b.add(&a).unwrap()));
+        prop_assert!(a.mul(&b).unwrap().value_eq(&b.mul(&a).unwrap()));
+        let ab = a.sub(&b).unwrap();
+        let ba = b.sub(&a).unwrap().neg().unwrap();
+        prop_assert!(ab.allclose(&ba, 1e-5));
+    }
+
+    /// Matmul distributes over addition: (a + b)·c == a·c + b·c.
+    #[test]
+    fn matmul_distributes(
+        (m, k, n) in (1usize..4, 1usize..4, 1usize..4),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = dcf::tensor::TensorRng::new(seed);
+        let a = rng.uniform(&[m, k], -5.0, 5.0);
+        let b = rng.uniform(&[m, k], -5.0, 5.0);
+        let c = rng.uniform(&[k, n], -5.0, 5.0);
+        let lhs = a.add(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&c).unwrap().add(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-3), "{lhs} vs {rhs}");
+    }
+
+    /// Transpose is an involution and (a·b)^T == b^T · a^T.
+    #[test]
+    fn transpose_laws((v, d) in vec_and_dims(), (w, e) in vec_and_dims()) {
+        prop_assume!(d[1] == e[0]);
+        let a = Tensor::from_vec_f32(v, &d).unwrap();
+        let b = Tensor::from_vec_f32(w, &e).unwrap();
+        prop_assert!(a.transpose().unwrap().transpose().unwrap().value_eq(&a));
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    /// stack/unstack and concat0 round-trip.
+    #[test]
+    fn stack_roundtrip((v, d) in vec_and_dims()) {
+        let a = Tensor::from_vec_f32(v, &d).unwrap();
+        let rows = a.unstack().unwrap();
+        prop_assert!(Tensor::stack(&rows).unwrap().value_eq(&a));
+        let expanded: Vec<Tensor> =
+            rows.iter().map(|r| r.reshape(&[1, d[1]]).unwrap()).collect();
+        let concatenated = Tensor::concat0(&expanded).unwrap();
+        prop_assert!(concatenated.value_eq(&a));
+    }
+
+    /// reduce_to inverts broadcasting: broadcast then reduce == scale.
+    #[test]
+    fn reduce_to_inverts_broadcast((v, d) in vec_and_dims(), lead in 1usize..4) {
+        let a = Tensor::from_vec_f32(v, &d).unwrap();
+        let target = [lead, d[0], d[1]];
+        let big = a.broadcast_to(&target).unwrap();
+        let back = big.reduce_to(a.shape()).unwrap();
+        let scaled = a.mul(&Tensor::scalar_f32(lead as f32)).unwrap();
+        prop_assert!(back.allclose(&scaled, 1e-4));
+    }
+
+    /// Broadcasting is symmetric and monotone in rank.
+    #[test]
+    fn broadcast_shape_laws(d in 1usize..5, e in 1usize..5) {
+        let a = Shape::from([d, 1]);
+        let b = Shape::from([1, e]);
+        let ab = broadcast_shapes(&a, &b).unwrap();
+        let ba = broadcast_shapes(&b, &a).unwrap();
+        prop_assert_eq!(ab.clone(), ba);
+        prop_assert_eq!(ab.dims(), &[d, e]);
+    }
+
+    /// Softmax output is a probability distribution for any input.
+    #[test]
+    fn softmax_is_distribution((v, d) in vec_and_dims()) {
+        let a = Tensor::from_vec_f32(v, &d).unwrap();
+        let s = a.softmax_last_axis().unwrap();
+        let vals = s.as_f32_slice().unwrap();
+        prop_assert!(vals.iter().all(|&x| (0.0..=1.0).contains(&x) && x.is_finite()));
+        for r in 0..d[0] {
+            let sum: f32 = vals[r * d[1]..(r + 1) * d[1]].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// gather0(scatter_add0) of distinct indices restores the updates.
+    #[test]
+    fn gather_scatter_duality((v, d) in vec_and_dims()) {
+        let updates = Tensor::from_vec_f32(v, &d).unwrap();
+        // Distinct indices: identity permutation reversed.
+        let idx: Vec<i64> = (0..d[0] as i64).rev().collect();
+        let indices = Tensor::from_vec_i64(idx, &[d[0]]).unwrap();
+        let table = Tensor::scatter_add0(d[0], &indices, &updates).unwrap();
+        let back = table.gather0(&indices).unwrap();
+        prop_assert!(back.value_eq(&updates));
+    }
+}
