@@ -3,8 +3,8 @@
 
 use crate::Result;
 use dcf_graph::{
-    ContextId, ContextKind, GraphBuilder, GraphError, NodeId, OpKind, TensorArrayHandle,
-    TensorRef, WhileContextInfo, WhileOptions,
+    ContextId, ContextKind, GraphBuilder, GraphError, NodeId, OpKind, TensorArrayHandle, TensorRef,
+    WhileContextInfo, WhileOptions,
 };
 use dcf_tensor::{DType, Tensor};
 use std::collections::{HashMap, HashSet};
@@ -175,12 +175,8 @@ impl Engine {
                 if Self::innermost_while(gb, exit_ctx) != region_w {
                     continue;
                 }
-                let min_pos = info
-                    .exits
-                    .iter()
-                    .filter_map(|e| pos_of.get(&e.node.0))
-                    .copied()
-                    .min();
+                let min_pos =
+                    info.exits.iter().filter_map(|e| pos_of.get(&e.node.0)).copied().min();
                 if let Some(p) = min_pos {
                     triggers.insert(p, ctx.id);
                     for e in &info.exits {
@@ -228,8 +224,7 @@ impl Engine {
                 if let Some(g) = g {
                     // Gradients into constants are always discarded; skip
                     // accumulating (and, transitively, computing) them.
-                    let is_const =
-                        matches!(gb.graph().node(inp.node).op, OpKind::Const(_));
+                    let is_const = matches!(gb.graph().node(inp.node).op, OpKind::Const(_));
                     if !is_const && gb.graph().dtype(inp) == DType::F32 {
                         partials.entry(inp).or_default().push(g);
                     }
@@ -237,10 +232,7 @@ impl Engine {
             }
         }
 
-        wanted
-            .iter()
-            .map(|t| self.take_partials(gb, &mut partials, *t))
-            .collect()
+        wanted.iter().map(|t| self.take_partials(gb, &mut partials, *t)).collect()
     }
 
     /// Sums the partial gradients of `t`, if any.
@@ -343,7 +335,12 @@ impl Engine {
 
     /// Builds the stack save (forward push) and gradient pop for `t` at
     /// gradient level `level_idx`.
-    fn pop_value(&mut self, gb: &mut GraphBuilder, level_idx: usize, t: TensorRef) -> Result<TensorRef> {
+    fn pop_value(
+        &mut self,
+        gb: &mut GraphBuilder,
+        level_idx: usize,
+        t: TensorRef,
+    ) -> Result<TensorRef> {
         let handle = self.ensure_save(gb, t)?;
         let wctx = self.levels[level_idx].wctx;
         let mut idx = self.levels[level_idx].grad_idx;
@@ -380,12 +377,7 @@ impl Engine {
         let t_ctx = gb.graph().node(t.node).ctx;
         let t_while = Self::innermost_while(gb, t_ctx)
             .ok_or_else(|| GraphError::Invalid("ensure_save outside any loop".into()))?;
-        let swap = gb
-            .graph()
-            .context(t_while)
-            .as_while()
-            .map(|w| w.swap_memory)
-            .unwrap_or(false);
+        let swap = gb.graph().context(t_while).as_while().map(|w| w.swap_memory).unwrap_or(false);
         // The stack resource lives at the root so pushes (in the forward
         // frame) and pops (in the gradient frame) share it.
         gb.reenter_context(ContextId::ROOT);
@@ -548,12 +540,7 @@ impl Engine {
                 for (h, fv) in flow_handles.iter().zip(&vars[1 + var_count + caps.len()..]) {
                     ta_flows.insert(*h, *fv);
                 }
-                self.levels.push(Level {
-                    wctx,
-                    grad_idx,
-                    pops: HashMap::new(),
-                    ta_flows,
-                });
+                self.levels.push(Level { wctx, grad_idx, pops: HashMap::new(), ta_flows });
 
                 let run = (|| {
                     let mut seeds = Vec::new();
@@ -682,7 +669,11 @@ impl Engine {
 
     /// Looks up or creates the gradient array for a resolved forward
     /// handle, returning its current flow.
-    pub(crate) fn ensure_ta_grad(&mut self, gb: &mut GraphBuilder, h: TensorRef) -> Result<TensorRef> {
+    pub(crate) fn ensure_ta_grad(
+        &mut self,
+        gb: &mut GraphBuilder,
+        h: TensorRef,
+    ) -> Result<TensorRef> {
         if let Some(e) = self.ta_grads.get(&h) {
             return Ok(e.flow);
         }
@@ -706,15 +697,16 @@ impl Engine {
 
     /// Builds a [`TensorArrayHandle`] view of a gradient array with the
     /// current flow in the active region.
-    pub(crate) fn ta_grad_view(&mut self, gb: &mut GraphBuilder, h: TensorRef) -> Result<TensorArrayHandle> {
+    pub(crate) fn ta_grad_view(
+        &mut self,
+        gb: &mut GraphBuilder,
+        h: TensorRef,
+    ) -> Result<TensorArrayHandle> {
         self.ensure_ta_grad(gb, h)?;
         let entry = &self.ta_grads[&h];
         let (handle, dtype, root_flow) = (entry.handle, entry.dtype, entry.flow);
-        let flow = self
-            .levels
-            .last()
-            .and_then(|l| l.ta_flows.get(&h).copied())
-            .unwrap_or(root_flow);
+        let flow =
+            self.levels.last().and_then(|l| l.ta_flows.get(&h).copied()).unwrap_or(root_flow);
         Ok(TensorArrayHandle { handle, flow, dtype })
     }
 

@@ -33,11 +33,31 @@ impl Engine {
         match op {
             // ---------------- Sources and stops ----------------
             Const(_) | Placeholder { .. } | Variable { .. } | RandomUniform { .. } => none(n_in),
-            Less | LessEqual | Greater | GreaterEqual | Equal | LogicalAnd | LogicalOr
-            | LogicalNot | ArgMax | OneHot { .. } | SizeF32 | DimSizeF32 { .. } => none(n_in),
-            Assign { .. } | AssignAdd { .. } | AssignSub { .. } | NoOp | ControlTrigger
-            | Send { .. } | Recv { .. } | StackCreate { .. } | StackPush | StackPop
-            | TensorArrayNew { .. } | TensorArraySize | TensorArrayGrad { .. } => none(n_in),
+            Less
+            | LessEqual
+            | Greater
+            | GreaterEqual
+            | Equal
+            | LogicalAnd
+            | LogicalOr
+            | LogicalNot
+            | ArgMax
+            | OneHot { .. }
+            | SizeF32
+            | DimSizeF32 { .. } => none(n_in),
+            Assign { .. }
+            | AssignAdd { .. }
+            | AssignSub { .. }
+            | NoOp
+            | ControlTrigger
+            | Send { .. }
+            | Recv { .. }
+            | StackCreate { .. }
+            | StackPush
+            | StackPop
+            | TensorArrayNew { .. }
+            | TensorArraySize
+            | TensorArrayGrad { .. } => none(n_in),
 
             // ---------------- Pass-through ----------------
             Identity | LoopCond => Ok(vec![g0]),
@@ -337,11 +357,8 @@ impl Engine {
                 let idx = self.resolve(gb, inputs[1])?;
                 // Scatter-add needs the static row count; read it from the
                 // like tensor's static shape if available.
-                let rows = gb
-                    .graph()
-                    .shape(inputs[0])
-                    .map(|s: &Shape| s.dim(0))
-                    .ok_or_else(|| {
+                let rows =
+                    gb.graph().shape(inputs[0]).map(|s: &Shape| s.dim(0)).ok_or_else(|| {
                         GraphError::Invalid(
                             "Gather0 gradient requires a statically shaped table".into(),
                         )
@@ -361,10 +378,7 @@ impl Engine {
             TensorArrayPack => self.ta_pack_grad(gb, &inputs, g0),
             TensorArrayUnpack => self.ta_unpack_grad(gb, &inputs),
 
-            other => Err(GraphError::Invalid(format!(
-                "no gradient rule for op {}",
-                other.name()
-            ))),
+            other => Err(GraphError::Invalid(format!("no gradient rule for op {}", other.name()))),
         }
     }
 
@@ -436,7 +450,9 @@ impl Engine {
         inputs: &[TensorRef],
         g0: Option<TensorRef>,
     ) -> Result<Vec<Option<TensorRef>>> {
-        let Some(g) = g0 else { return Ok(vec![None; inputs.len()]) };
+        let Some(g) = g0 else {
+            return Ok(vec![None; inputs.len()]);
+        };
         // A loop merge reaching here is a bug: loop machinery is handled by
         // the supernode.
         let mut grads = Vec::with_capacity(inputs.len());
@@ -554,7 +570,9 @@ impl Engine {
         inputs: &[TensorRef],
         g0: Option<TensorRef>,
     ) -> Result<Vec<Option<TensorRef>>> {
-        let Some(g) = g0 else { return Ok(vec![None; inputs.len()]) };
+        let Some(g) = g0 else {
+            return Ok(vec![None; inputs.len()]);
+        };
         let h = Self::resolve_source(gb, inputs[0]);
         // Reads from an array that only ever holds a constant (e.g. the
         // unstacked input sequence) need no gradient array: the gradient
@@ -578,7 +596,9 @@ impl Engine {
         inputs: &[TensorRef],
         g0: Option<TensorRef>,
     ) -> Result<Vec<Option<TensorRef>>> {
-        let Some(g) = g0 else { return Ok(vec![None; inputs.len()]) };
+        let Some(g) = g0 else {
+            return Ok(vec![None; inputs.len()]);
+        };
         let h = Self::resolve_source(gb, inputs[0]);
         self.ensure_ta_grad(gb, h)?;
         // grad of pack = unstack the gradient into the gradient array.

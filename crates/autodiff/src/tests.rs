@@ -10,7 +10,11 @@ use dcf_tensor::{DType, Tensor};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-fn run_graph(b: GraphBuilder, feeds: &HashMap<String, Tensor>, fetches: &[TensorRef]) -> Vec<Tensor> {
+fn run_graph(
+    b: GraphBuilder,
+    feeds: &HashMap<String, Tensor>,
+    fetches: &[TensorRef],
+) -> Vec<Tensor> {
     let graph = Arc::new(b.finish().expect("graph should validate"));
     let eg = ExecGraph::local(graph);
     let device = Device::new(DeviceId(0), 0, DeviceProfile::cpu(), Tracer::new());
@@ -344,10 +348,7 @@ fn while_gradient_matches_static_unrolling() {
         feeds.insert("w".to_string(), w0);
         run_graph(b, &feeds, &[grads[0]]).remove(0)
     };
-    assert!(
-        looped.allclose(&unrolled, 1e-4),
-        "loop grad {looped} != unrolled grad {unrolled}"
-    );
+    assert!(looped.allclose(&unrolled, 1e-4), "loop grad {looped} != unrolled grad {unrolled}");
 }
 
 #[test]
@@ -455,9 +456,7 @@ fn scan_gradient_through_tensor_arrays() {
     check_grad(
         |b, x| {
             let init = b.scalar_f32(1.0);
-            let r = b
-                .scan(|g, a, e| g.mul(a, e), x, init, WhileOptions::default())
-                .unwrap();
+            let r = b.scan(|g, a, e| g.mul(a, e), x, init, WhileOptions::default()).unwrap();
             b.reduce_sum(r).unwrap()
         },
         vec_t(vec![1.1, 0.9, 1.3], &[3]),
@@ -469,9 +468,7 @@ fn scan_gradient_through_tensor_arrays() {
 fn map_fn_gradient() {
     check_grad(
         |b, x| {
-            let m = b
-                .map_fn(|g, e| g.square(e), x, DType::F32, WhileOptions::default())
-                .unwrap();
+            let m = b.map_fn(|g, e| g.square(e), x, DType::F32, WhileOptions::default()).unwrap();
             b.reduce_sum(m).unwrap()
         },
         vec_t(vec![1.0, -2.0, 0.5, 3.0], &[4]),

@@ -1,11 +1,11 @@
-//! Criterion microbenchmarks for the control-flow machinery.
+//! Microbenchmarks for the control-flow machinery.
 //!
-//! Run with `cargo bench -p dcf-bench`. These measure the *real* per-op and
-//! per-iteration overheads of the executor (modeled device time disabled),
-//! complementing the figure/table harness binaries which measure modeled
-//! end-to-end behavior.
+//! Run with `cargo bench -p dcf-bench --bench control_flow`. These measure
+//! the *real* per-op and per-iteration overheads of the executor (modeled
+//! device time disabled), complementing the figure/table harness binaries
+//! which measure modeled end-to-end behavior.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dcf_bench::microbench::Bench;
 use dcf_graph::{GraphBuilder, TensorRef, WhileOptions};
 use dcf_runtime::Session;
 use dcf_tensor::{DType, Tensor};
@@ -32,48 +32,46 @@ fn loop_session(iterations: i64, parallel: usize) -> (Session, Vec<TensorRef>) {
 /// Per-iteration executor overhead of an in-graph while loop (§6.1's
 /// "maximum number of distributed iterations the system can handle",
 /// single-device edition).
-fn bench_while_iteration(c: &mut Criterion) {
+fn bench_while_iteration(b: &mut Bench) {
     let (sess, outs) = loop_session(100, 32);
-    c.bench_function("while_loop/100_iterations", |b| {
-        b.iter(|| sess.run(&HashMap::new(), &outs).unwrap())
+    b.throughput_case("while_loop/100_iterations", 100.0, || {
+        sess.run(&HashMap::new(), &outs).unwrap();
     });
     let (sess, outs) = loop_session(100, 1);
-    c.bench_function("while_loop/100_iterations_sequential", |b| {
-        b.iter(|| sess.run(&HashMap::new(), &outs).unwrap())
+    b.throughput_case("while_loop/100_iterations_sequential", 100.0, || {
+        sess.run(&HashMap::new(), &outs).unwrap();
     });
 }
 
 /// Overhead of one conditional (Switch guards + Merge + deadness).
-fn bench_cond(c: &mut Criterion) {
+fn bench_cond(b: &mut Bench) {
     let mut g = GraphBuilder::new();
     let p = g.placeholder("p", DType::Bool);
     let x = g.scalar_f32(2.0);
-    let outs = g
-        .cond(p, |g| Ok(vec![g.square(x)?]), |g| Ok(vec![g.neg(x)?]))
-        .unwrap();
+    let outs = g.cond(p, |g| Ok(vec![g.square(x)?]), |g| Ok(vec![g.neg(x)?])).unwrap();
     let sess = Session::local(g.finish().unwrap()).unwrap();
     let mut feeds = HashMap::new();
     feeds.insert("p".to_string(), Tensor::scalar_bool(true));
-    c.bench_function("cond/one_branch", |b| {
-        b.iter(|| sess.run(&feeds, &outs).unwrap())
+    b.case("cond/one_branch", || {
+        sess.run(&feeds, &outs).unwrap();
     });
 }
 
 /// Baseline session dispatch cost (trivial graph): the quantity the
 /// in-graph approach amortizes (§6.5).
-fn bench_session_dispatch(c: &mut Criterion) {
+fn bench_session_dispatch(b: &mut Bench) {
     let mut g = GraphBuilder::new();
     let x = g.scalar_f32(1.0);
     let y = g.neg(x).unwrap();
     let sess = Session::local(g.finish().unwrap()).unwrap();
-    c.bench_function("session/trivial_run", |b| {
-        b.iter(|| sess.run(&HashMap::new(), &[y]).unwrap())
+    b.case("session/trivial_run", || {
+        sess.run(&HashMap::new(), &[y]).unwrap();
     });
 }
 
 /// TensorArray write+read round trip inside a loop (the dynamic_rnn inner
 /// pattern).
-fn bench_tensor_array_loop(c: &mut Criterion) {
+fn bench_tensor_array_loop(b: &mut Bench) {
     let mut g = GraphBuilder::new();
     let n = 32i64;
     let size = g.scalar_i64(n);
@@ -96,44 +94,39 @@ fn bench_tensor_array_loop(c: &mut Criterion) {
     let packed = ta.with_flow(outs[1]).pack(&mut g).unwrap();
     let s = g.reduce_sum(packed).unwrap();
     let sess = Session::local(g.finish().unwrap()).unwrap();
-    c.bench_function("tensor_array/32_writes_pack", |b| {
-        b.iter(|| sess.run(&HashMap::new(), &[s]).unwrap())
+    b.throughput_case("tensor_array/32_writes_pack", n as f64, || {
+        sess.run(&HashMap::new(), &[s]).unwrap();
     });
 }
 
 /// Gradient-graph construction cost for a loop (pure graph building).
-fn bench_gradient_construction(c: &mut Criterion) {
-    c.bench_function("autodiff/build_loop_gradient", |b| {
-        b.iter(|| {
-            let mut g = GraphBuilder::new();
-            let x = g.placeholder("x", DType::F32);
-            let i0 = g.scalar_i64(0);
-            let a0 = g.scalar_f32(1.0);
-            let lim = g.scalar_i64(10);
-            let outs = g
-                .while_loop(
-                    &[i0, a0],
-                    |g, v| g.less(v[0], lim),
-                    |g, v| {
-                        let one = g.scalar_i64(1);
-                        Ok(vec![g.add(v[0], one)?, g.mul(v[1], x)?])
-                    },
-                    WhileOptions::default(),
-                )
-                .unwrap();
-            dcf_autodiff::gradients(&mut g, outs[1], &[x]).unwrap()
-        })
+fn bench_gradient_construction(b: &mut Bench) {
+    b.case("autodiff/build_loop_gradient", || {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", DType::F32);
+        let i0 = g.scalar_i64(0);
+        let a0 = g.scalar_f32(1.0);
+        let lim = g.scalar_i64(10);
+        let outs = g
+            .while_loop(
+                &[i0, a0],
+                |g, v| g.less(v[0], lim),
+                |g, v| {
+                    let one = g.scalar_i64(1);
+                    Ok(vec![g.add(v[0], one)?, g.mul(v[1], x)?])
+                },
+                WhileOptions::default(),
+            )
+            .unwrap();
+        dcf_autodiff::gradients(&mut g, outs[1], &[x]).unwrap();
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(20)
+fn main() {
+    let mut b = Bench::new().sample_size(20);
+    bench_while_iteration(&mut b);
+    bench_cond(&mut b);
+    bench_session_dispatch(&mut b);
+    bench_tensor_array_loop(&mut b);
+    bench_gradient_construction(&mut b);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_while_iteration, bench_cond, bench_session_dispatch,
-              bench_tensor_array_loop, bench_gradient_construction
-}
-criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Executor hot-path microbenchmarks.
+//!
+//! Run with `cargo bench -p dcf-bench --bench exec_hot_path`; writes
+//! `BENCH_exec.json` into the current directory. These are the numbers the
+//! executor-overhaul PR is judged against: op-throughput of a tight
+//! in-graph `while_loop` at `workers` = 1/2/4/8, plus a nested-loop and a
+//! wide (`parallel_iterations = 100`) variant. Throughput is derived from
+//! the executor's exact `ops_executed` counter, not an estimate, so the
+//! elem/s column is ops/s.
+
+use dcf_bench::microbench::Bench;
+use dcf_device::{Device, DeviceId, DeviceProfile, Tracer};
+use dcf_exec::{ExecGraph, Executor, ExecutorOptions, InMemoryRendezvous, ResourceManager};
+use dcf_graph::{GraphBuilder, TensorRef, WhileOptions};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Builds an executor for `b`'s graph with `workers` worker threads.
+fn executor_for(b: GraphBuilder, workers: usize) -> Executor {
+    let graph = Arc::new(b.finish().expect("graph should validate"));
+    let eg = ExecGraph::local(graph);
+    let device = Device::new(DeviceId(0), 0, DeviceProfile::cpu(), Tracer::new());
+    Executor::new(
+        eg,
+        device,
+        ResourceManager::new(),
+        Arc::new(InMemoryRendezvous::new()),
+        ExecutorOptions { workers, ..Default::default() },
+    )
+}
+
+/// A tight counting loop: the minimal per-iteration executor workload
+/// (LoopCond + Switch + Merge + NextIteration + one add per trip).
+fn tight_loop(iterations: i64, parallel: usize) -> (GraphBuilder, Vec<TensorRef>) {
+    let mut g = GraphBuilder::new();
+    let i0 = g.scalar_i64(0);
+    let lim = g.scalar_i64(iterations);
+    let outs = g
+        .while_loop(
+            &[i0],
+            |g, v| g.less(v[0], lim),
+            |g, v| {
+                let one = g.scalar_i64(1);
+                Ok(vec![g.add(v[0], one)?])
+            },
+            WhileOptions { parallel_iterations: parallel, ..Default::default() },
+        )
+        .expect("while_loop should build");
+    (g, outs)
+}
+
+/// A triangular nested loop: outer loop runs `outer` trips, the inner loop
+/// re-enters a fresh child frame each trip — stresses frame creation,
+/// completion cascades, and loop-constant replay.
+fn nested_loop(outer: i64, inner: i64) -> (GraphBuilder, Vec<TensorRef>) {
+    let mut g = GraphBuilder::new();
+    let i0 = g.scalar_i64(0);
+    let acc0 = g.scalar_i64(0);
+    let olim = g.scalar_i64(outer);
+    let ilim = g.scalar_i64(inner);
+    let outs = g
+        .while_loop(
+            &[i0, acc0],
+            |g, v| g.less(v[0], olim),
+            |g, v| {
+                let j0 = g.scalar_i64(0);
+                let inner_outs = g.while_loop(
+                    &[j0, v[1]],
+                    |g, w| g.less(w[0], ilim),
+                    |g, w| {
+                        let one = g.scalar_i64(1);
+                        Ok(vec![g.add(w[0], one)?, g.add(w[1], one)?])
+                    },
+                    WhileOptions::default(),
+                )?;
+                let one = g.scalar_i64(1);
+                Ok(vec![g.add(v[0], one)?, inner_outs[1]])
+            },
+            WhileOptions::default(),
+        )
+        .expect("nested while_loop should build");
+    (g, outs)
+}
+
+/// Measures one (executor, fetches) pair, reporting exact ops/s.
+fn measure(b: &mut Bench, name: &str, exec: &Executor, fetches: &[TensorRef]) {
+    let feeds = HashMap::new();
+    // Probe once for the exact op count of a run; every run of the same
+    // graph executes the same number of node activations.
+    let ops = exec.run(&feeds, fetches).expect("bench graph should run").ops_executed;
+    b.throughput_case(name, ops as f64, || {
+        exec.run(&feeds, fetches).expect("bench graph should run");
+    });
+}
+
+fn main() {
+    let mut b = Bench::new().sample_size(15).warmup(3);
+
+    // Tight loop, 1000 trips, default window: the worker-scaling headline.
+    for workers in [1usize, 2, 4, 8] {
+        let (g, outs) = tight_loop(1000, 32);
+        let exec = executor_for(g, workers);
+        measure(&mut b, &format!("tight_loop/workers{workers}"), &exec, &outs);
+    }
+
+    // Wide window: 100 iterations all eligible to run concurrently.
+    for workers in [1usize, 4] {
+        let (g, outs) = tight_loop(100, 100);
+        let exec = executor_for(g, workers);
+        measure(&mut b, &format!("parallel100/workers{workers}"), &exec, &outs);
+    }
+
+    // Nested loops: frame churn (30 inner frames of 30 trips each).
+    for workers in [1usize, 4] {
+        let (g, outs) = nested_loop(30, 30);
+        let exec = executor_for(g, workers);
+        measure(&mut b, &format!("nested_loop/workers{workers}"), &exec, &outs);
+    }
+
+    // Write to the workspace root regardless of cargo's bench cwd.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+    b.write_json(path).expect("failed to write BENCH_exec.json");
+}

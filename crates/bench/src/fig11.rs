@@ -46,13 +46,11 @@ pub fn measure(machines: usize, barrier: bool, iterations: i64) -> f64 {
                 let mut results = vec![i];
                 if barrier {
                     // AllReduce-style: sum on machine 0, then redistribute.
-                    let total =
-                        g.with_device("/machine:0/cpu:0", |g| g.add_n(&partials))?;
+                    let total = g.with_device("/machine:0/cpu:0", |g| g.add_n(&partials))?;
                     let scale = g.scalar_f32(1.0 / machines as f32);
                     for m in 0..machines {
-                        let y = g.with_device(format!("/machine:{m}/cpu:0"), |g| {
-                            g.mul(total, scale)
-                        })?;
+                        let y =
+                            g.with_device(format!("/machine:{m}/cpu:0"), |g| g.mul(total, scale))?;
                         results.push(y);
                     }
                 } else {

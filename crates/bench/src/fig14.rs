@@ -22,11 +22,15 @@ use std::time::Instant;
 pub const SCALE: usize = 32;
 
 /// Seconds per training step and peak modeled memory for one variant.
-pub fn measure(batch_modeled: usize, seq_len: usize, dynamic: bool, time_scale: f64) -> (f64, usize) {
+pub fn measure(
+    batch_modeled: usize,
+    seq_len: usize,
+    dynamic: bool,
+    time_scale: f64,
+) -> (f64, usize) {
     let hidden = 512 / SCALE;
     let batch = (batch_modeled / SCALE).max(1);
-    let profile =
-        DeviceProfile::gpu_k40().with_shape_scale(SCALE).with_time_scale(time_scale);
+    let profile = DeviceProfile::gpu_k40().with_shape_scale(SCALE).with_time_scale(time_scale);
     let mut cluster = Cluster::new();
     cluster.add_device(0, profile);
     let device = cluster.devices()[0].clone();
@@ -66,7 +70,14 @@ pub fn measure(batch_modeled: usize, seq_len: usize, dynamic: bool, time_scale: 
 pub fn run(batches_modeled: &[usize], seq_len: usize, time_scale: f64) -> Report {
     let mut report = Report::new(
         "Figure 14: dynamic control flow vs. static unrolling (one training step)",
-        &["modeled batch", "static s", "dynamic s", "slowdown", "static peak MiB", "dynamic peak MiB"],
+        &[
+            "modeled batch",
+            "static s",
+            "dynamic s",
+            "slowdown",
+            "static peak MiB",
+            "dynamic peak MiB",
+        ],
     );
     for &b in batches_modeled {
         let (ts, ms) = measure(b, seq_len, false, time_scale);

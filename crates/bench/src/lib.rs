@@ -20,6 +20,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod microbench;
 pub mod sec65;
 pub mod table1;
 
@@ -72,7 +73,11 @@ impl Report {
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::from("|");
             for (i, c) in cells.iter().enumerate() {
-                line.push_str(&format!(" {:>width$} |", c, width = widths.get(i).copied().unwrap_or(4)));
+                line.push_str(&format!(
+                    " {:>width$} |",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(4)
+                ));
             }
             line.push('\n');
             line

@@ -1,0 +1,222 @@
+//! A small self-contained microbenchmark harness.
+//!
+//! Replaces the `criterion` dev-dependency (unfetchable in offline
+//! environments) with the subset the repo needs: warmup, fixed sample
+//! count, median/mean/min statistics, optional element throughput, a
+//! stdout table, and JSON emission for tracking perf across PRs.
+
+use std::time::Instant;
+
+/// Statistics of one benchmark case.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Benchmark name, e.g. `"tight_loop/workers4"`.
+    pub name: String,
+    /// Number of measured samples.
+    pub samples: usize,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: f64,
+    /// Work items processed per iteration (loop trips, ops, ...), if the
+    /// case declared any; enables throughput reporting.
+    pub elements_per_iter: Option<f64>,
+}
+
+impl CaseResult {
+    /// Elements per second at the median sample, if declared.
+    pub fn throughput(&self) -> Option<f64> {
+        self.elements_per_iter.map(|e| e / (self.median_ns / 1e9))
+    }
+}
+
+/// A benchmark session: collects cases, prints a table, writes JSON.
+pub struct Bench {
+    warmup: usize,
+    samples: usize,
+    results: Vec<CaseResult>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::new()
+    }
+}
+
+impl Bench {
+    /// Creates a harness with the default 3 warmup and 15 measured samples.
+    pub fn new() -> Bench {
+        Bench { warmup: 3, samples: 15, results: Vec::new() }
+    }
+
+    /// Overrides the measured sample count.
+    pub fn sample_size(mut self, samples: usize) -> Bench {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Overrides the warmup iteration count.
+    pub fn warmup(mut self, warmup: usize) -> Bench {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Runs `f` repeatedly and records timing under `name`.
+    pub fn case(&mut self, name: &str, mut f: impl FnMut()) -> &CaseResult {
+        self.case_inner(name, None, &mut f)
+    }
+
+    /// Like [`Bench::case`], declaring that each iteration processes
+    /// `elements` work items so throughput can be derived.
+    pub fn throughput_case(
+        &mut self,
+        name: &str,
+        elements: f64,
+        mut f: impl FnMut(),
+    ) -> &CaseResult {
+        self.case_inner(name, Some(elements), &mut f)
+    }
+
+    fn case_inner(
+        &mut self,
+        name: &str,
+        elements_per_iter: Option<f64>,
+        f: &mut dyn FnMut(),
+    ) -> &CaseResult {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let mut times_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            f();
+            times_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+        times_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median_ns = if times_ns.len() % 2 == 1 {
+            times_ns[times_ns.len() / 2]
+        } else {
+            (times_ns[times_ns.len() / 2 - 1] + times_ns[times_ns.len() / 2]) / 2.0
+        };
+        let mean_ns = times_ns.iter().sum::<f64>() / times_ns.len() as f64;
+        let result = CaseResult {
+            name: name.to_string(),
+            samples: times_ns.len(),
+            median_ns,
+            mean_ns,
+            min_ns: times_ns[0],
+            max_ns: *times_ns.last().expect("at least one sample"),
+            elements_per_iter,
+        };
+        println!("{}", render_line(&result));
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All recorded results.
+    pub fn results(&self) -> &[CaseResult] {
+        &self.results
+    }
+
+    /// Renders every case as a JSON array (no external dependencies, so
+    /// the encoding is hand-rolled; names are ASCII identifiers).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("  {");
+            out.push_str(&format!("\"name\": \"{}\", ", escape(&r.name)));
+            out.push_str(&format!("\"samples\": {}, ", r.samples));
+            out.push_str(&format!("\"median_ns\": {:.0}, ", r.median_ns));
+            out.push_str(&format!("\"mean_ns\": {:.0}, ", r.mean_ns));
+            out.push_str(&format!("\"min_ns\": {:.0}, ", r.min_ns));
+            out.push_str(&format!("\"max_ns\": {:.0}", r.max_ns));
+            if let Some(e) = r.elements_per_iter {
+                out.push_str(&format!(", \"elements_per_iter\": {e:.0}"));
+            }
+            if let Some(t) = r.throughput() {
+                out.push_str(&format!(", \"throughput_per_sec\": {t:.0}"));
+            }
+            out.push('}');
+            if i + 1 < self.results.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out.push('\n');
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())?;
+        println!("wrote {path}");
+        Ok(())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_line(r: &CaseResult) -> String {
+    let human = |ns: f64| -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    };
+    let mut line = format!(
+        "{:<44} median {:>12}  mean {:>12}  min {:>12}",
+        r.name,
+        human(r.median_ns),
+        human(r.mean_ns),
+        human(r.min_ns)
+    );
+    if let Some(t) = r.throughput() {
+        line.push_str(&format!("  {:>14.0} elem/s", t));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_statistics() {
+        let mut b = Bench::new().sample_size(5).warmup(0);
+        let mut n = 0u64;
+        b.case("spin", || {
+            for i in 0..1000u64 {
+                n = n.wrapping_add(i);
+            }
+        });
+        let r = &b.results()[0];
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(n > 0 || n == 0); // keep the accumulator observable
+    }
+
+    #[test]
+    fn throughput_and_json() {
+        let mut b = Bench::new().sample_size(3).warmup(0);
+        b.throughput_case("work", 100.0, || {
+            std::thread::sleep(std::time::Duration::from_micros(50))
+        });
+        let r = &b.results()[0];
+        assert!(r.throughput().expect("declared") > 0.0);
+        let json = b.to_json();
+        assert!(json.contains("\"name\": \"work\""));
+        assert!(json.contains("throughput_per_sec"));
+    }
+}

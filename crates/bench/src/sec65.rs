@@ -30,8 +30,9 @@ fn drive(mut stepper: impl FnMut(&Transition, &[f32], f32) -> (usize, f32), step
 /// Wall time per interaction (microseconds) for both variants.
 pub fn measure(dispatch: Duration, steps: usize) -> (f64, f64) {
     let cfg = DqnConfig { dispatch, ..DqnConfig::default() };
-    let mut in_graph = InGraphDqn::new(cfg.clone(), Cluster::single_cpu(), SessionOptions::functional())
-        .expect("in-graph build");
+    let mut in_graph =
+        InGraphDqn::new(cfg.clone(), Cluster::single_cpu(), SessionOptions::functional())
+            .expect("in-graph build");
     let t0 = Instant::now();
     drive(|p, c, e| in_graph.step(p, c, e).expect("in-graph step"), steps);
     let t_in = t0.elapsed().as_secs_f64() * 1e6 / steps as f64;

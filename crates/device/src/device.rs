@@ -5,8 +5,8 @@ use crate::memory::TrackingAllocator;
 use crate::profile::DeviceProfile;
 use crate::stream::{Event, Stream};
 use crate::timeline::Tracer;
+use dcf_sync::Mutex;
 use dcf_tensor::Tensor;
-use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -254,10 +254,8 @@ mod tests {
         let wall = t0.elapsed();
         // Both 30 ms kernels ran concurrently: well under 60 ms total.
         assert!(wall < Duration::from_millis(55), "no overlap: {wall:?}");
-        let overlap = d.tracer().overlap_fraction(
-            "/machine:0/k40:0/compute",
-            "/machine:0/k40:0/d2h",
-        );
+        let overlap =
+            d.tracer().overlap_fraction("/machine:0/k40:0/compute", "/machine:0/k40:0/d2h");
         assert!(overlap > 0.5, "overlap fraction {overlap}");
     }
 

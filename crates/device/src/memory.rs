@@ -1,6 +1,6 @@
 //! Byte-accurate tracking allocator with a hard capacity.
 
-use parking_lot::Mutex;
+use dcf_sync::Mutex;
 use std::fmt;
 use std::sync::Arc;
 

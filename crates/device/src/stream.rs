@@ -1,7 +1,7 @@
 //! FIFO kernel streams and completion events.
 
 use crate::timeline::Tracer;
-use parking_lot::{Condvar, Mutex};
+use dcf_sync::{Condvar, Mutex};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;

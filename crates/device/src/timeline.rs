@@ -1,6 +1,6 @@
 //! Kernel timeline tracing (for Figure 13-style overlap reports).
 
-use parking_lot::Mutex;
+use dcf_sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -109,11 +109,8 @@ impl Tracer {
     pub fn overlap_fraction(&self, a: &str, b: &str) -> f64 {
         let events = self.inner.lock().events.clone();
         let iv = |s: &str| -> Vec<(u64, u64)> {
-            let mut v: Vec<(u64, u64)> = events
-                .iter()
-                .filter(|e| e.stream == s)
-                .map(|e| (e.start_us, e.end_us))
-                .collect();
+            let mut v: Vec<(u64, u64)> =
+                events.iter().filter(|e| e.stream == s).map(|e| (e.start_us, e.end_us)).collect();
             v.sort_unstable();
             v
         };

@@ -80,8 +80,7 @@ impl ExecGraph {
             }
             if matches!(node.op, OpKind::Merge) {
                 let loopy = node.inputs.iter().any(|i| {
-                    member[i.node.0]
-                        && matches!(graph.node(i.node).op, OpKind::NextIteration)
+                    member[i.node.0] && matches!(graph.node(i.node).op, OpKind::NextIteration)
                 });
                 is_loop_merge[node.id.0] = loopy;
             }
@@ -151,11 +150,8 @@ mod tests {
         .unwrap();
         let g = Arc::new(b.finish().unwrap());
         let eg = ExecGraph::local(g.clone());
-        let merges: Vec<_> = g
-            .nodes()
-            .iter()
-            .filter(|n| matches!(n.op, dcf_graph::OpKind::Merge))
-            .collect();
+        let merges: Vec<_> =
+            g.nodes().iter().filter(|n| matches!(n.op, dcf_graph::OpKind::Merge)).collect();
         assert!(!merges.is_empty());
         for m in merges {
             assert!(eg.is_loop_merge[m.id.0], "loop merge not detected: {}", m.name);

@@ -5,19 +5,19 @@
 use crate::exec_graph::ExecGraph;
 use crate::frame::{DeferredToken, FrameId, FrameState, IterationState, NodeInstance, ROOT_FRAME};
 use crate::kernels::{execute_op, is_compute_op, op_cost, should_charge};
+use crate::pool::{unbounded, Receiver, Sender};
 use crate::rendezvous::Rendezvous;
 use crate::resources::{ResourceManager, SlotEntry, StackRes, StackSlot};
 use crate::token::{Charge, ExecError, Token};
 use crate::Result;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use dcf_device::{Device, Kernel, StreamKind};
 use dcf_graph::{NodeId, OpKind, TensorRef};
+use dcf_sync::{Condvar, Mutex};
 use dcf_tensor::{Tensor, TensorRng};
-use parking_lot::{Condvar, Mutex};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::OnceLock;
 use std::thread;
@@ -55,12 +55,7 @@ pub struct ExecutorOptions {
 
 impl Default for ExecutorOptions {
     fn default() -> Self {
-        ExecutorOptions {
-            workers: 2,
-            swap_threshold: 0.9,
-            min_swap_bytes: 64 << 10,
-            seed: 0x5eed,
-        }
+        ExecutorOptions { workers: 2, swap_threshold: 0.9, min_swap_bytes: 64 << 10, seed: 0x5eed }
     }
 }
 
@@ -69,6 +64,10 @@ impl Default for ExecutorOptions {
 pub struct RunOutcome {
     /// Fetched values.
     pub values: Vec<Tensor>,
+    /// Number of node activations the run executed (live or dead),
+    /// including asynchronous kernel completions. Used by benchmarks to
+    /// derive exact op-throughput.
+    pub ops_executed: u64,
 }
 
 /// A per-device dataflow executor.
@@ -107,6 +106,7 @@ struct RunShared {
     state: Mutex<RunState>,
     queue_tx: Sender<Work>,
     outstanding: AtomicI64,
+    ops: AtomicU64,
     done: Mutex<Option<Result<()>>>,
     done_cv: Condvar,
     cancel: Option<Arc<crate::token::CancelToken>>,
@@ -128,7 +128,11 @@ impl Executor {
     /// quiescent, and returns the fetched tensors.
     ///
     /// Fetches must refer to tensors produced in the root context.
-    pub fn run(&self, feeds: &HashMap<String, Tensor>, fetches: &[TensorRef]) -> Result<RunOutcome> {
+    pub fn run(
+        &self,
+        feeds: &HashMap<String, Tensor>,
+        fetches: &[TensorRef],
+    ) -> Result<RunOutcome> {
         self.run_cancellable(feeds, fetches, None)
     }
 
@@ -162,6 +166,7 @@ impl Executor {
             }),
             queue_tx,
             outstanding: AtomicI64::new(0),
+            ops: AtomicU64::new(0),
             done: Mutex::new(None),
             done_cv: Condvar::new(),
             cancel: cancel.clone(),
@@ -241,7 +246,7 @@ impl Executor {
                 }
             }
         }
-        Ok(RunOutcome { values })
+        Ok(RunOutcome { values, ops_executed: shared.ops.load(Ordering::Relaxed) })
     }
 }
 
@@ -437,6 +442,7 @@ impl RunShared {
     // ------------------------------------------------------------------
 
     fn execute_node(self: &Arc<Self>, f: FrameId, i: usize, node_id: NodeId) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
         if self.is_failed() {
             self.finish_noop(f, i);
             return;
@@ -536,10 +542,9 @@ impl RunShared {
                 Ok(Some(vec![f_out, t_out]))
             }
             OpKind::Merge => {
-                let chosen = tokens
-                    .iter_mut()
-                    .find_map(|s| s.take())
-                    .ok_or_else(|| ExecError::Internal(format!("merge {} fired empty", node.name)))?;
+                let chosen = tokens.iter_mut().find_map(|s| s.take()).ok_or_else(|| {
+                    ExecError::Internal(format!("merge {} fired empty", node.name))
+                })?;
                 Ok(Some(vec![chosen]))
             }
             OpKind::Enter { .. }
@@ -654,7 +659,9 @@ impl RunShared {
                 let handle = take(&mut tokens, 0)?;
                 let value = take(&mut tokens, 1)?;
                 let id = handle.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))? as u64;
-                self.resources.array_unpack(id, &value.value, value.charge.clone()).map_err(kerr)?;
+                self.resources
+                    .array_unpack(id, &value.value, value.charge.clone())
+                    .map_err(kerr)?;
                 Ok(Some(vec![Token::live(Tensor::scalar_f32(0.0))]))
             }
             OpKind::TensorArraySize => {
@@ -690,9 +697,7 @@ impl RunShared {
                 let cm = self.device.cost_model();
                 let cost = op_cost(op, &values, cm);
                 let duration = cm.duration(cost);
-                if is_compute_op(op)
-                    && cm.profile().is_gpu
-                    && duration > std::time::Duration::ZERO
+                if is_compute_op(op) && cm.profile().is_gpu && duration > std::time::Duration::ZERO
                 {
                     // Submit to the device compute stream; completion is
                     // asynchronous via callback (the executor treats the
@@ -789,7 +794,10 @@ impl RunShared {
                     },
                 );
                 if trace_enabled("stack") {
-                    eprintln!("SWAP_OUT {bytes}B pressure={:.3}", self.device.allocator().pressure());
+                    eprintln!(
+                        "SWAP_OUT {bytes}B pressure={:.3}",
+                        self.device.allocator().pressure()
+                    );
                 }
                 StackSlot::Host { value: token.value, d2h_done: ev, is_dead: token.is_dead }
             } else {
@@ -900,10 +908,9 @@ impl RunShared {
                                 Err(e) => sh.fail(e),
                             }
                         }
-                        Err(detail) => sh.fail(ExecError::Kernel {
-                            node: "StackPop/swap_in".into(),
-                            detail,
-                        }),
+                        Err(detail) => {
+                            sh.fail(ExecError::Kernel { node: "StackPop/swap_in".into(), detail })
+                        }
                     }),
                 );
             }
@@ -983,7 +990,14 @@ impl RunShared {
                             fr.constants.push((node_id, token.clone()));
                             let iters: Vec<usize> = fr.iterations.keys().copied().collect();
                             for j in iters {
-                                self.deliver_to_consumers(&mut st, child, j, node_id, 0, token.clone());
+                                self.deliver_to_consumers(
+                                    &mut st,
+                                    child,
+                                    j,
+                                    node_id,
+                                    0,
+                                    token.clone(),
+                                );
                             }
                         } else {
                             self.deliver_to_consumers(&mut st, child, 0, node_id, 0, token);
@@ -1129,7 +1143,10 @@ impl RunShared {
                 && fr.front >= fr.started
                 && fr.deferred.is_empty()
                 && fr.enters_seen == fr.expected_enters
-                && fr.iterations.values().all(|it| it.outstanding_ops == 0 && it.outstanding_frames == 0)
+                && fr
+                    .iterations
+                    .values()
+                    .all(|it| it.outstanding_ops == 0 && it.outstanding_frames == 0)
         };
         if !complete {
             return;
@@ -1137,8 +1154,7 @@ impl RunShared {
         let (parent, dead_exits) = {
             let fr = st.frames.get_mut(&f).expect("frame exists");
             fr.done = true;
-            let dead: Vec<NodeId> =
-                fr.dead_exits.difference(&fr.live_exits).copied().collect();
+            let dead: Vec<NodeId> = fr.dead_exits.difference(&fr.live_exits).copied().collect();
             (fr.parent, dead)
         };
         if let Some((pf, pi)) = parent {

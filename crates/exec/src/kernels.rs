@@ -83,7 +83,9 @@ pub fn execute_op(op: &OpKind, inputs: &[&Tensor]) -> Result<Vec<Tensor>, String
             one(Tensor::stack(&ts).map_err(e)?)
         }
         OpKind::ReduceToLike => one(inputs[0].reduce_to(inputs[1].shape()).map_err(e)?),
-        OpKind::BroadcastLike => one(inputs[0].broadcast_to(inputs[1].shape().dims()).map_err(e)?),
+        OpKind::BroadcastLike => {
+            one(inputs[0].broadcast_to(inputs[1].shape().dims()).map_err(e)?)
+        }
         OpKind::ExpandDims { axis } => one(inputs[0].expand_dims(*axis).map_err(e)?),
         OpKind::ReshapeLike => one(inputs[0].reshape_like(inputs[1].shape()).map_err(e)?),
         OpKind::SizeF32 => one(inputs[0].size_f32()),
@@ -199,12 +201,30 @@ pub(crate) fn op_kind_class(op: &OpKind) -> OpClass {
     use OpKind::*;
     match op {
         Switch | Merge | Enter { .. } | Exit | NextIteration | LoopCond => OpClass::ControlFlow,
-        Const(_) | Placeholder { .. } | Identity | NoOp | ControlTrigger | ZerosLike | OnesLike
-        | Reshape { .. } | Cast { .. } => OpClass::Bookkeeping,
-        Variable { .. } | Assign { .. } | AssignAdd { .. } | AssignSub { .. }
-        | StackCreate { .. } | StackPush | StackPop | TensorArrayNew { .. }
-        | TensorArrayWrite | TensorArrayRead | TensorArrayPack | TensorArrayUnpack
-        | TensorArraySize | TensorArrayGrad { .. } | RandomUniform { .. } => OpClass::Resource,
+        Const(_)
+        | Placeholder { .. }
+        | Identity
+        | NoOp
+        | ControlTrigger
+        | ZerosLike
+        | OnesLike
+        | Reshape { .. }
+        | Cast { .. } => OpClass::Bookkeeping,
+        Variable { .. }
+        | Assign { .. }
+        | AssignAdd { .. }
+        | AssignSub { .. }
+        | StackCreate { .. }
+        | StackPush
+        | StackPop
+        | TensorArrayNew { .. }
+        | TensorArrayWrite
+        | TensorArrayRead
+        | TensorArrayPack
+        | TensorArrayUnpack
+        | TensorArraySize
+        | TensorArrayGrad { .. }
+        | RandomUniform { .. } => OpClass::Resource,
         Send { .. } | Recv { .. } => OpClass::Comm,
         _ => OpClass::Compute,
     }
@@ -253,7 +273,8 @@ mod tests {
     fn matmul_cost_dominates_elementwise() {
         let cm = CostModel::new(DeviceProfile::gpu_k40());
         let a = Tensor::ones(&[64, 64]);
-        let mm = op_cost(&OpKind::MatMul { transpose_a: false, transpose_b: false }, &[&a, &a], &cm);
+        let mm =
+            op_cost(&OpKind::MatMul { transpose_a: false, transpose_b: false }, &[&a, &a], &cm);
         let add = op_cost(&OpKind::Add, &[&a, &a], &cm);
         assert!(mm.flops > add.flops * 10.0);
         let free = op_cost(&OpKind::Switch, &[&a, &a], &cm);

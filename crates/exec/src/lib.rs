@@ -35,6 +35,7 @@ mod exec_graph;
 mod executor;
 mod frame;
 mod kernels;
+mod pool;
 mod rendezvous;
 mod resources;
 mod token;

@@ -1,0 +1,150 @@
+//! Executor work distribution: an internal unbounded MPMC channel.
+//!
+//! Replaces the former `crossbeam` dependency so the workspace builds
+//! offline. Senders and receivers are cheap clones sharing one queue; a
+//! `recv` blocks until an item arrives or every sender is gone.
+
+use dcf_sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Chan<T> {
+    queue: Mutex<VecDeque<T>>,
+    available: Condvar,
+    senders: AtomicUsize,
+}
+
+/// Sending half of the channel.
+pub(crate) struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Receiving half of the channel.
+pub(crate) struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Error returned by `recv` once the channel is empty and closed.
+#[derive(Debug)]
+pub(crate) struct RecvError;
+
+/// Creates an unbounded multi-producer multi-consumer channel.
+pub(crate) fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        senders: AtomicUsize::new(1),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `item`, waking one blocked receiver. Never fails; the
+    /// `Result` mirrors the crossbeam API shape for drop-in use.
+    pub(crate) fn send(&self, item: T) -> Result<(), ()> {
+        self.chan.queue.lock().push_back(item);
+        self.chan.available.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.senders.fetch_add(1, Ordering::SeqCst);
+        Sender { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.chan.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake every blocked receiver so it can
+            // observe disconnection.
+            self.chan.available.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next item, blocking while the queue is empty. Returns
+    /// `Err(RecvError)` once the queue is empty and all senders dropped.
+    pub(crate) fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.chan.queue.lock();
+        loop {
+            if let Some(item) = queue.pop_front() {
+                return Ok(item);
+            }
+            if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            self.chan.available.wait(&mut queue);
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver { chan: self.chan.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_single_consumer() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_delivers_everything() {
+        let (tx, rx) = unbounded::<usize>();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_disconnect() {
+        let (tx, rx) = unbounded::<i32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(rx.recv().is_err());
+    }
+}

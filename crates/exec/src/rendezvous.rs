@@ -9,7 +9,7 @@
 //! distributed is_dead propagation of §4.4.
 
 use crate::token::Token;
-use parking_lot::Mutex;
+use dcf_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -47,11 +47,7 @@ impl InMemoryRendezvous {
 
     /// Number of published-but-unconsumed values (diagnostics).
     pub fn pending_values(&self) -> usize {
-        self.table
-            .lock()
-            .values()
-            .filter(|s| matches!(s, Slot::Value(_)))
-            .count()
+        self.table.lock().values().filter(|s| matches!(s, Slot::Value(_))).count()
     }
 
     /// Clears all state (between runs).

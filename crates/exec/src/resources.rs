@@ -2,8 +2,8 @@
 
 use crate::token::Token;
 use dcf_device::Event;
+use dcf_sync::Mutex;
 use dcf_tensor::{DType, Tensor};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -100,9 +100,8 @@ impl ResourceManager {
     /// Adds `delta` to a variable, returning the new value.
     pub fn assign_add(&self, name: &str, delta: &Tensor) -> Result<Tensor, String> {
         let mut vars = self.vars.lock();
-        let cur = vars
-            .get(name)
-            .ok_or_else(|| format!("assign_add to uninitialized variable {name}"))?;
+        let cur =
+            vars.get(name).ok_or_else(|| format!("assign_add to uninitialized variable {name}"))?;
         let new = cur.add(delta).map_err(|e| e.to_string())?;
         vars.insert(name.to_owned(), new.clone());
         Ok(new)
@@ -111,9 +110,8 @@ impl ResourceManager {
     /// Subtracts `delta` from a variable, returning the new value.
     pub fn assign_sub(&self, name: &str, delta: &Tensor) -> Result<Tensor, String> {
         let mut vars = self.vars.lock();
-        let cur = vars
-            .get(name)
-            .ok_or_else(|| format!("assign_sub to uninitialized variable {name}"))?;
+        let cur =
+            vars.get(name).ok_or_else(|| format!("assign_sub to uninitialized variable {name}"))?;
         let new = cur.sub(delta).map_err(|e| e.to_string())?;
         vars.insert(name.to_owned(), new.clone());
         Ok(new)
@@ -142,10 +140,9 @@ impl ResourceManager {
     /// Creates a TensorArray with `size` (possibly 0) initial slots.
     pub fn array_create(&self, dtype: DType, accumulate: bool, size: usize) -> u64 {
         let id = self.fresh_id();
-        self.arrays.lock().insert(
-            id,
-            ArrayRes { dtype, accumulate, elems: vec![None; size], source: None },
-        );
+        self.arrays
+            .lock()
+            .insert(id, ArrayRes { dtype, accumulate, elems: vec![None; size], source: None });
         id
     }
 
@@ -228,7 +225,12 @@ impl ResourceManager {
     }
 
     /// Replaces the array contents with the leading-axis slices of `value`.
-    pub fn array_unpack(&self, id: u64, value: &Tensor, charge: Option<Arc<crate::token::Charge>>) -> Result<(), String> {
+    pub fn array_unpack(
+        &self,
+        id: u64,
+        value: &Tensor,
+        charge: Option<Arc<crate::token::Charge>>,
+    ) -> Result<(), String> {
         let rows = value.unstack().map_err(|e| e.to_string())?;
         let mut arrays = self.arrays.lock();
         let arr = arrays.get_mut(&id).ok_or_else(|| format!("no TensorArray {id}"))?;

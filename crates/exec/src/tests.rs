@@ -103,9 +103,8 @@ fn cond_with_fed_predicate_both_ways() {
         let p = b.placeholder("p", DType::Bool);
         let one = b.scalar_f32(1.0);
         let two = b.scalar_f32(2.0);
-        let outs = b
-            .cond(p, |g| Ok(vec![g.identity(one)?]), |g| Ok(vec![g.identity(two)?]))
-            .unwrap();
+        let outs =
+            b.cond(p, |g| Ok(vec![g.identity(one)?]), |g| Ok(vec![g.identity(two)?])).unwrap();
         let mut feeds = HashMap::new();
         feeds.insert("p".to_string(), Tensor::scalar_bool(pv));
         let out = run_graph(b, &feeds, &[outs[0]]).unwrap();
@@ -272,11 +271,8 @@ fn cond_inside_while_alternates() {
                 let trunc = g.cast(halff, DType::I64)?;
                 let back = g.cast(trunc, DType::F32)?;
                 let even = g.equal(halff, back)?;
-                let stepped = g.cond(
-                    even,
-                    |g| Ok(vec![g.add(v[1], two)?]),
-                    |g| Ok(vec![g.add(v[1], one)?]),
-                )?;
+                let stepped =
+                    g.cond(even, |g| Ok(vec![g.add(v[1], two)?]), |g| Ok(vec![g.add(v[1], one)?]))?;
                 let one2 = g.scalar_i64(1);
                 let i = g.add(v[0], one2)?;
                 Ok(vec![i, stepped[0]])
@@ -334,11 +330,16 @@ fn foldl_foldr_directionality() {
     let l = b.foldl(|g, a, e| g.sub(a, e), elems, init, WhileOptions::default()).unwrap();
     let elems2 = b.constant(Tensor::from_vec_f32(vec![1.0, 2.0, 4.0], &[3]).unwrap());
     let r = b
-        .foldr(|g, a, e| {
-            let two = g.scalar_f32(2.0);
-            let ae = g.mul(a, two)?;
-            g.add(ae, e)
-        }, elems2, init, WhileOptions::default())
+        .foldr(
+            |g, a, e| {
+                let two = g.scalar_f32(2.0);
+                let ae = g.mul(a, two)?;
+                g.add(ae, e)
+            },
+            elems2,
+            init,
+            WhileOptions::default(),
+        )
         .unwrap();
     let vals = run_graph(b, &HashMap::new(), &[l, r]).unwrap();
     assert_eq!(vals[0].scalar_as_f32().unwrap(), -7.0);
@@ -587,10 +588,7 @@ fn forwarding_ops_share_memory_charges() {
     // Peak should be on the order of the single 1 MiB constant (plus small
     // outputs), far below 5x.
     let peak = device.allocator().peak();
-    assert!(
-        peak < 3 * (1 << 20),
-        "forwarding chains double-charged memory: peak {peak} bytes"
-    );
+    assert!(peak < 3 * (1 << 20), "forwarding chains double-charged memory: peak {peak} bytes");
 }
 
 #[test]
@@ -644,11 +642,7 @@ fn deeply_nested_conditionals_execute() {
             let scale_t = b.scalar_f32((lvl + 2) as f32);
             let cur = expr;
             let outs = b
-                .cond(
-                    p,
-                    |g| Ok(vec![g.mul(cur, scale_t)?]),
-                    |g| Ok(vec![g.identity(cur)?]),
-                )
+                .cond(p, |g| Ok(vec![g.mul(cur, scale_t)?]), |g| Ok(vec![g.identity(cur)?]))
                 .unwrap();
             expr = outs[0];
         }

@@ -96,7 +96,7 @@ impl fmt::Debug for Charge {
 /// them.
 #[derive(Default)]
 pub struct CancelToken {
-    inner: parking_lot::Mutex<CancelInner>,
+    inner: dcf_sync::Mutex<CancelInner>,
 }
 
 #[derive(Default)]

@@ -299,7 +299,13 @@ impl GraphBuilder {
     }
 
     pub(crate) fn fresh_cond_info(&self, pred: TensorRef, branch: CondBranch) -> CondContextInfo {
-        CondContextInfo { pred, branch, captures: Vec::new(), results: Vec::new(), merges: Vec::new() }
+        CondContextInfo {
+            pred,
+            branch,
+            captures: Vec::new(),
+            results: Vec::new(),
+            merges: Vec::new(),
+        }
     }
 
     pub(crate) fn fresh_while_info_swap(
@@ -372,7 +378,12 @@ impl GraphBuilder {
         self.placeholder_impl(name.into(), dtype, Some(dims.to_vec()))
     }
 
-    fn placeholder_impl(&mut self, name: String, dtype: DType, shape: Option<Vec<usize>>) -> TensorRef {
+    fn placeholder_impl(
+        &mut self,
+        name: String,
+        dtype: DType,
+        shape: Option<Vec<usize>>,
+    ) -> TensorRef {
         let id = self
             .add_node_raw(
                 OpKind::Placeholder { name, dtype, shape },
@@ -557,7 +568,12 @@ impl GraphBuilder {
     }
 
     /// Sum along one axis.
-    pub fn reduce_sum_axis(&mut self, a: TensorRef, axis: i64, keep_dims: bool) -> Result<TensorRef> {
+    pub fn reduce_sum_axis(
+        &mut self,
+        a: TensorRef,
+        axis: i64,
+        keep_dims: bool,
+    ) -> Result<TensorRef> {
         self.add_op1(OpKind::ReduceSumAxis { axis, keep_dims }, &[a])
     }
 
@@ -572,7 +588,12 @@ impl GraphBuilder {
     }
 
     /// Max along one axis.
-    pub fn reduce_max_axis(&mut self, a: TensorRef, axis: i64, keep_dims: bool) -> Result<TensorRef> {
+    pub fn reduce_max_axis(
+        &mut self,
+        a: TensorRef,
+        axis: i64,
+        keep_dims: bool,
+    ) -> Result<TensorRef> {
         self.add_op1(OpKind::ReduceMaxAxis { axis, keep_dims }, &[a])
     }
 

@@ -124,7 +124,9 @@ impl GraphBuilder {
         options: WhileOptions,
     ) -> Result<Vec<TensorRef>> {
         if inits.is_empty() {
-            return Err(GraphError::ControlFlow("while_loop requires at least one loop variable".into()));
+            return Err(GraphError::ControlFlow(
+                "while_loop requires at least one loop variable".into(),
+            ));
         }
         let parent = self.current_ctx();
         let inits: Vec<TensorRef> =
@@ -139,12 +141,13 @@ impl GraphBuilder {
         )?;
         let zero = self.capture(TensorRef { node: zero, port: 0 })?;
 
-        let frame = format!(
-            "{}_frame_{}",
-            options.name.as_deref().unwrap_or("while"),
-            self.graph().len()
+        let frame =
+            format!("{}_frame_{}", options.name.as_deref().unwrap_or("while"), self.graph().len());
+        let info = self.fresh_while_info_swap(
+            frame.clone(),
+            options.parallel_iterations,
+            options.swap_memory,
         );
-        let info = self.fresh_while_info_swap(frame.clone(), options.parallel_iterations, options.swap_memory);
         let wctx = self.push_context(ContextKind::While(info));
 
         // Enter per loop variable (counter first).
@@ -185,8 +188,10 @@ impl GraphBuilder {
         if self.graph().dtype(p) != DType::Bool {
             return Err(GraphError::dtype("while pred", DType::Bool, self.graph().dtype(p)));
         }
-        let loop_cond =
-            TensorRef { node: self.add_node_raw(OpKind::LoopCond, vec![p], wctx, "LoopCond")?, port: 0 };
+        let loop_cond = TensorRef {
+            node: self.add_node_raw(OpKind::LoopCond, vec![p], wctx, "LoopCond")?,
+            port: 0,
+        };
 
         // Switch per loop variable: port 1 (true) continues into the body,
         // port 0 (false) exits.
@@ -349,7 +354,8 @@ mod tests {
         let x = g.scalar_f32(1.0);
         let i = g.scalar_i64(1);
         // Different output counts.
-        let r = g.cond(p, |g| Ok(vec![g.identity(x)?, g.identity(x)?]), |g| Ok(vec![g.identity(x)?]));
+        let r =
+            g.cond(p, |g| Ok(vec![g.identity(x)?, g.identity(x)?]), |g| Ok(vec![g.identity(x)?]));
         assert!(r.is_err());
         // Different dtypes.
         let r = g.cond(p, |g| Ok(vec![g.identity(x)?]), |g| Ok(vec![g.identity(i)?]));
@@ -413,9 +419,11 @@ mod tests {
             WhileOptions::default(),
         )
         .unwrap();
-        let has_const_enter = g.graph().nodes().iter().any(
-            |n| matches!(&n.op, OpKind::Enter { is_constant: true, .. }),
-        );
+        let has_const_enter = g
+            .graph()
+            .nodes()
+            .iter()
+            .any(|n| matches!(&n.op, OpKind::Enter { is_constant: true, .. }));
         assert!(has_const_enter);
     }
 
@@ -438,7 +446,12 @@ mod tests {
             WhileOptions::default(),
         );
         assert!(r.is_err());
-        let r = g.while_loop(&[], |g, _| Ok(g.constant(Tensor::scalar_bool(false))), |_, _| Ok(vec![]), WhileOptions::default());
+        let r = g.while_loop(
+            &[],
+            |g, _| Ok(g.constant(Tensor::scalar_bool(false))),
+            |_, _| Ok(vec![]),
+            WhileOptions::default(),
+        );
         assert!(r.is_err());
     }
 

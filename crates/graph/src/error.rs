@@ -36,10 +36,7 @@ pub enum GraphError {
 impl GraphError {
     /// Creates a dtype error for op `op`.
     pub fn dtype(op: impl Into<String>, expected: DType, found: DType) -> Self {
-        GraphError::DType {
-            op: op.into(),
-            detail: format!("expected {expected}, found {found}"),
-        }
+        GraphError::DType { op: op.into(), detail: format!("expected {expected}, found {found}") }
     }
 }
 

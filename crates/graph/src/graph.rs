@@ -148,8 +148,8 @@ impl Graph {
             for inp in &node.inputs {
                 let from = &self.nodes[inp.node.0];
                 // Back edges are NextIteration feeding a Merge.
-                let back_edge = matches!(from.op, OpKind::NextIteration)
-                    && matches!(node.op, OpKind::Merge);
+                let back_edge =
+                    matches!(from.op, OpKind::NextIteration) && matches!(node.op, OpKind::Merge);
                 if !back_edge {
                     indegree[node.id.0] += 1;
                     successors[inp.node.0].push(node.id.0);
@@ -157,8 +157,8 @@ impl Graph {
             }
             for c in &node.control_inputs {
                 let from = &self.nodes[c.0];
-                let back_edge = matches!(from.op, OpKind::NextIteration)
-                    && matches!(node.op, OpKind::Merge);
+                let back_edge =
+                    matches!(from.op, OpKind::NextIteration) && matches!(node.op, OpKind::Merge);
                 if !back_edge {
                     indegree[node.id.0] += 1;
                     successors[c.0].push(node.id.0);
@@ -213,7 +213,11 @@ impl Graph {
     /// dynamic gathers). Static shapes let automatic differentiation emit
     /// static reductions for broadcast gradients instead of saving forward
     /// tensors merely to learn their shapes.
-    pub fn infer_shapes(op: &OpKind, inputs: &[Option<Shape>], n_outputs: usize) -> Vec<Option<Shape>> {
+    pub fn infer_shapes(
+        op: &OpKind,
+        inputs: &[Option<Shape>],
+        n_outputs: usize,
+    ) -> Vec<Option<Shape>> {
         use OpKind::*;
         let get = |i: usize| -> Option<Shape> { inputs.get(i).cloned().flatten() };
         let bcast = || -> Option<Shape> {
@@ -232,10 +236,22 @@ impl Graph {
             RandomUniform { dims, .. } => one(Some(Shape::from(dims.clone()))),
             Add | Sub | Mul | Div | Maximum | Minimum => one(bcast()),
             AddN => one(get(0)),
-            Neg | Exp | Log | Sqrt | Square | Abs | Sigmoid | Tanh | Relu | Softmax
-            | Identity | StopGradient | ZerosLike | OnesLike | LoopCond | Cast { .. } => {
-                one(get(0))
-            }
+            Neg
+            | Exp
+            | Log
+            | Sqrt
+            | Square
+            | Abs
+            | Sigmoid
+            | Tanh
+            | Relu
+            | Softmax
+            | Identity
+            | StopGradient
+            | ZerosLike
+            | OnesLike
+            | LoopCond
+            | Cast { .. } => one(get(0)),
             ArgMax => one(get(0).and_then(|s| {
                 if s.rank() == 0 {
                     None
@@ -371,7 +387,11 @@ impl Graph {
                 let b = get(1);
                 one(if a == b { a } else { None })
             }
-            Enter { .. } | Exit | NextIteration | Assign { .. } | AssignAdd { .. }
+            Enter { .. }
+            | Exit
+            | NextIteration
+            | Assign { .. }
+            | AssignAdd { .. }
             | AssignSub { .. } => one(get(0)),
             StackPush => one(get(2)),
             _ => vec![None; n_outputs],
@@ -516,8 +536,7 @@ impl Graph {
                 vec![DType::F32]
             }
             ReduceSumAll | ReduceMaxAll => same_as_first(1)?,
-            ReduceMeanAll | ReduceSumAxis { .. } | ReduceMeanAxis { .. }
-            | ReduceMaxAxis { .. } => {
+            ReduceMeanAll | ReduceSumAxis { .. } | ReduceMeanAxis { .. } | ReduceMaxAxis { .. } => {
                 req(0, DType::F32)?;
                 vec![DType::F32]
             }

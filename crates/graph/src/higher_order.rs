@@ -163,8 +163,7 @@ mod tests {
         let graph = g.finish().unwrap();
         graph.validate().unwrap();
         // Uses two TensorArrays and one loop.
-        let ta_count =
-            graph.nodes().iter().filter(|n| n.op.name() == "TensorArrayNew").count();
+        let ta_count = graph.nodes().iter().filter(|n| n.op.name() == "TensorArrayNew").count();
         assert_eq!(ta_count, 2);
     }
 

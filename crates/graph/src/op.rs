@@ -519,7 +519,10 @@ mod tests {
         assert_eq!(OpKind::Split1 { n: 4 }.num_outputs(), 4);
         assert_eq!(OpKind::Add.num_outputs(), 1);
         assert_eq!(OpKind::Send { key_base: "k".into(), to_device: 1 }.num_outputs(), 0);
-        assert_eq!(OpKind::TensorArrayNew { dtype: DType::F32, accumulate: false }.num_outputs(), 2);
+        assert_eq!(
+            OpKind::TensorArrayNew { dtype: DType::F32, accumulate: false }.num_outputs(),
+            2
+        );
     }
 
     #[test]

@@ -99,7 +99,6 @@ impl GraphBuilder {
             dtype,
         })
     }
-
 }
 
 #[cfg(test)]

@@ -93,7 +93,6 @@ fn q_values(g: &mut GraphBuilder, net: &QNet, s: TensorRef) -> Result<TensorRef>
     g.matmul(h, net.w2)
 }
 
-
 /// Builds the in-graph replay-database write: circular-buffer variables
 /// updated from the fed transition. Returns the post-write database
 /// tensors and the post-write fill count.
@@ -353,7 +352,8 @@ impl OutOfGraphDqn {
         options: SessionOptions,
     ) -> Result<OutOfGraphDqn> {
         let resources = dcf_exec::ResourceManager::new();
-        let mk_err = |e: dcf_exec::ExecError| dcf_graph::GraphError::Invalid(format!("session: {e}"));
+        let mk_err =
+            |e: dcf_exec::ExecError| dcf_graph::GraphError::Invalid(format!("session: {e}"));
 
         // Database-write graph (runs every interaction).
         let (write, write_fetch) = {
@@ -516,7 +516,11 @@ impl MdpEnv {
         for a in 0..actions {
             // Make action 0 contracting toward the goal; others noisier.
             let scale = if a == 0 { 0.5 } else { 0.9 };
-            dynamics.push(rng.uniform(&[dim, dim], -scale / dim as f32 * 2.0, scale / dim as f32 * 2.0));
+            dynamics.push(rng.uniform(
+                &[dim, dim],
+                -scale / dim as f32 * 2.0,
+                scale / dim as f32 * 2.0,
+            ));
         }
         let goal = vec![0.0; dim];
         let state = (0..dim).map(|i| 0.5 + 0.1 * i as f32).collect();
@@ -538,11 +542,7 @@ impl MdpEnv {
             }
             next[i] = next[i].tanh() + 0.05;
         }
-        let dist: f32 = next
-            .iter()
-            .zip(&self.goal)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f32>()
+        let dist: f32 = next.iter().zip(&self.goal).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
             / self.dim as f32;
         let reward = -dist;
         self.state = next.clone();
@@ -574,7 +574,8 @@ mod tests {
         let mut action = 0usize;
         for i in 0..steps {
             let (next, reward) = env.step(action);
-            let prev = Transition { state: state.clone(), action, reward, next_state: next.clone() };
+            let prev =
+                Transition { state: state.clone(), action, reward, next_state: next.clone() };
             let eps = (1.0 - i as f32 / steps as f32).max(0.1);
             let (a, loss) = stepper(&prev, &next, eps);
             if loss != 0.0 {
@@ -592,11 +593,8 @@ mod tests {
         let mut dqn =
             InGraphDqn::new(cfg, Cluster::single_cpu(), SessionOptions::functional()).unwrap();
         let mut env = MdpEnv::new(4, 3, 42);
-        let losses = drive(
-            |prev, cur, eps| dqn.step(prev, cur, eps).expect("dqn step"),
-            &mut env,
-            120,
-        );
+        let losses =
+            drive(|prev, cur, eps| dqn.step(prev, cur, eps).expect("dqn step"), &mut env, 120);
         assert!(!losses.is_empty(), "training must have happened");
         assert!(losses.iter().all(|l| l.is_finite()));
         assert_eq!(dqn.steps, 120);
@@ -605,14 +603,11 @@ mod tests {
     #[test]
     fn out_of_graph_dqn_trains() {
         let cfg = DqnConfig::default();
-        let mut dqn = OutOfGraphDqn::new(cfg, Cluster::single_cpu, SessionOptions::functional())
-            .unwrap();
+        let mut dqn =
+            OutOfGraphDqn::new(cfg, Cluster::single_cpu, SessionOptions::functional()).unwrap();
         let mut env = MdpEnv::new(4, 3, 42);
-        let losses = drive(
-            |prev, cur, eps| dqn.step(prev, cur, eps).expect("dqn step"),
-            &mut env,
-            120,
-        );
+        let losses =
+            drive(|prev, cur, eps| dqn.step(prev, cur, eps).expect("dqn step"), &mut env, 120);
         assert!(!losses.is_empty());
         assert!(losses.iter().all(|l| l.is_finite()));
     }

@@ -38,17 +38,14 @@ impl MoeLayer {
         rng: &mut TensorRng,
     ) -> MoeLayer {
         let bound = 1.0 / (input as f32).sqrt();
-        let gate_w = g.variable(format!("{name}/gate"), rng.uniform(&[input, devices.len()], -bound, bound));
+        let gate_w =
+            g.variable(format!("{name}/gate"), rng.uniform(&[input, devices.len()], -bound, bound));
         let mut experts = Vec::with_capacity(devices.len());
         for (e, _) in devices.iter().enumerate() {
-            let w1 = g.variable(
-                format!("{name}/e{e}/w1"),
-                rng.uniform(&[input, hidden], -bound, bound),
-            );
-            let w2 = g.variable(
-                format!("{name}/e{e}/w2"),
-                rng.uniform(&[hidden, output], -bound, bound),
-            );
+            let w1 =
+                g.variable(format!("{name}/e{e}/w1"), rng.uniform(&[input, hidden], -bound, bound));
+            let w2 = g
+                .variable(format!("{name}/e{e}/w2"), rng.uniform(&[hidden, output], -bound, bound));
             experts.push((w1, w2));
         }
         MoeLayer { gate_w, experts, devices, input, output }

@@ -218,10 +218,7 @@ mod tests {
             sess.run(&std::collections::HashMap::new(), &[out.outputs]).unwrap().remove(0)
         };
         let local = build([None, None]);
-        let distributed = build([
-            Some("/machine:0/cpu:0".into()),
-            Some("/machine:1/cpu:0".into()),
-        ]);
+        let distributed = build([Some("/machine:0/cpu:0".into()), Some("/machine:1/cpu:0".into())]);
         assert!(local.allclose(&distributed, 1e-5));
     }
 

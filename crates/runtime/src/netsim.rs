@@ -1,7 +1,7 @@
 //! Simulated network: delayed rendezvous delivery.
 
 use dcf_exec::{InMemoryRendezvous, RecvCallback, Rendezvous, Token};
-use parking_lot::{Condvar, Mutex};
+use dcf_sync::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -247,10 +247,8 @@ mod tests {
 
     #[test]
     fn delayed_delivery_happens() {
-        let model = NetworkModel {
-            cross_latency: Duration::from_millis(20),
-            ..NetworkModel::default()
-        };
+        let model =
+            NetworkModel { cross_latency: Duration::from_millis(20), ..NetworkModel::default() };
         let r = NetworkRendezvous::new(model);
         let hit = Arc::new(AtomicBool::new(false));
         let h = hit.clone();

@@ -130,8 +130,7 @@ mod tests {
             )
             .unwrap();
         let mut g = b.finish().unwrap();
-        let before: Vec<String> =
-            g.nodes().iter().map(|n| n.op.name().to_string()).collect();
+        let before: Vec<String> = g.nodes().iter().map(|n| n.op.name().to_string()).collect();
         let _ = fold_constants(&mut g);
         // Body ops (Mul/Sub inside the loop context) survive.
         let after: Vec<String> = g.nodes().iter().map(|n| n.op.name().to_string()).collect();

@@ -80,7 +80,13 @@ impl Partitioner<'_> {
     ) -> Result<NodeId, ExecError> {
         let id = self
             .graph
-            .add_node_for_runtime(op, inputs, ctx, Some(self.cluster.device(device).name().into()), hint)
+            .add_node_for_runtime(
+                op,
+                inputs,
+                ctx,
+                Some(self.cluster.device(device).name().into()),
+                hint,
+            )
             .map_err(|e| ExecError::Internal(format!("partitioner: {e}")))?;
         debug_assert_eq!(id.0, self.placement.len());
         self.placement.push(device);
@@ -149,7 +155,11 @@ impl Partitioner<'_> {
         // root constant.
         let parent_while = {
             let chain = self.graph.while_chain(wctx);
-            if chain.len() >= 2 { Some(chain[chain.len() - 2]) } else { None }
+            if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            }
         };
         let enter_in = match parent_while {
             Some(p) => {
@@ -198,7 +208,11 @@ impl Partitioner<'_> {
                 )?;
             }
             let recv = self.add_node(
-                OpKind::Recv { key_base: key, from_device: pred_dev.0, dtype: dcf_tensor::DType::Bool },
+                OpKind::Recv {
+                    key_base: key,
+                    from_device: pred_dev.0,
+                    dtype: dcf_tensor::DType::Bool,
+                },
                 vec![],
                 wctx,
                 dev,
@@ -211,8 +225,7 @@ impl Partitioner<'_> {
         let cswitch =
             self.add_node(OpKind::Switch, vec![cmerge_ref, pred_local], wctx, dev, "CtlSwitch")?;
         let pivot = TensorRef { node: cswitch, port: 1 };
-        let cnext =
-            self.add_node(OpKind::NextIteration, vec![pivot], wctx, dev, "CtlNext")?;
+        let cnext = self.add_node(OpKind::NextIteration, vec![pivot], wctx, dev, "CtlNext")?;
         self.graph.set_input(cmerge, 1, TensorRef { node: cnext, port: 0 });
 
         self.control_loops.insert((wctx, dev), ControlLoop { cmerge, pivot });
@@ -361,17 +374,14 @@ mod tests {
         assert!(names.iter().any(|n| n.starts_with("CtlSwitch")), "{names:?}");
         assert!(names.iter().any(|n| n.starts_with("CondRecv")), "{names:?}");
         // The predicate flows from device 0 to device 1 once per iteration.
-        let cond_sends = pg
+        let cond_sends = pg.graph.nodes().iter().filter(|n| n.name.starts_with("CondSend")).count();
+        assert_eq!(cond_sends, 1);
+        // In-loop data Recvs on device 1 are gated by the control loop.
+        let gated = pg
             .graph
             .nodes()
             .iter()
-            .filter(|n| n.name.starts_with("CondSend"))
-            .count();
-        assert_eq!(cond_sends, 1);
-        // In-loop data Recvs on device 1 are gated by the control loop.
-        let gated = pg.graph.nodes().iter().any(|n| {
-            n.name.starts_with("Recv") && !n.control_inputs.is_empty()
-        });
+            .any(|n| n.name.starts_with("Recv") && !n.control_inputs.is_empty());
         assert!(gated, "loop Recv should have a control input from CtlMerge");
     }
 }

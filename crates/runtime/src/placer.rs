@@ -1,9 +1,9 @@
 //! Node placement.
 
 use crate::cluster::Cluster;
+use dcf_device::DeviceId;
 use dcf_exec::ExecError;
 use dcf_graph::{Graph, OpKind};
-use dcf_device::DeviceId;
 
 /// Assigns every node to a device.
 ///

@@ -105,19 +105,21 @@ impl Session {
 
     /// Executes the graph: feeds placeholders, runs every partition to
     /// quiescence, and returns the fetched tensors in request order.
-    pub fn run(&self, feeds: &HashMap<String, Tensor>, fetches: &[TensorRef]) -> Result<Vec<Tensor>> {
+    pub fn run(
+        &self,
+        feeds: &HashMap<String, Tensor>,
+        fetches: &[TensorRef],
+    ) -> Result<Vec<Tensor>> {
         // Route each fetch to the partition that produces it.
         let mut per_exec_fetches: Vec<Vec<TensorRef>> = vec![Vec::new(); self.executors.len()];
         for &t in fetches {
             let dev = self.pg.placement[t.node.0];
-            let idx = self
-                .executors
-                .iter()
-                .position(|(d, _)| *d == dev)
-                .ok_or_else(|| dcf_exec::ExecError::BadFeedOrFetch(format!(
+            let idx = self.executors.iter().position(|(d, _)| *d == dev).ok_or_else(|| {
+                dcf_exec::ExecError::BadFeedOrFetch(format!(
                     "fetch targets empty partition on device {}",
                     dev.0
-                )))?;
+                ))
+            })?;
             per_exec_fetches[idx].push(t);
         }
 
@@ -127,9 +129,8 @@ impl Session {
             for (idx, (_, exec)) in self.executors.iter().enumerate() {
                 let fetches = per_exec_fetches[idx].clone();
                 let cancel = cancel.clone();
-                handles.push(scope.spawn(move || {
-                    exec.run_cancellable(feeds, &fetches, Some(cancel))
-                }));
+                handles
+                    .push(scope.spawn(move || exec.run_cancellable(feeds, &fetches, Some(cancel))));
             }
             handles.into_iter().map(|h| h.join().expect("executor thread panicked")).collect()
         });

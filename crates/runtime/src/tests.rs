@@ -7,12 +7,9 @@ use dcf_graph::{GraphBuilder, TensorRef, WhileOptions};
 use dcf_tensor::{DType, Tensor};
 use std::collections::HashMap;
 
-fn run_on(
-    b: GraphBuilder,
-    cluster: Cluster,
-    fetches: &[TensorRef],
-) -> crate::Result<Vec<Tensor>> {
-    let sess = Session::new(b.finish().expect("valid graph"), cluster, SessionOptions::functional())?;
+fn run_on(b: GraphBuilder, cluster: Cluster, fetches: &[TensorRef]) -> crate::Result<Vec<Tensor>> {
+    let sess =
+        Session::new(b.finish().expect("valid graph"), cluster, SessionOptions::functional())?;
     sess.run(&HashMap::new(), fetches)
 }
 
@@ -221,8 +218,7 @@ fn failure_on_one_device_aborts_the_run() {
     let a = b.constant(Tensor::ones(&[64, 64]));
     let x = b.with_device("/machine:1/gpu:0", |b| b.matmul(a, a).unwrap());
     let y = b.with_device("/machine:0/cpu:0", |b| b.reduce_sum(x).unwrap());
-    let sess =
-        Session::new(b.finish().unwrap(), c, SessionOptions::functional()).unwrap();
+    let sess = Session::new(b.finish().unwrap(), c, SessionOptions::functional()).unwrap();
     let err = sess.run(&HashMap::new(), &[y]).unwrap_err();
     assert!(
         matches!(err, dcf_exec::ExecError::OutOfMemory(_)),

@@ -84,11 +84,8 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = TensorError::DTypeMismatch {
-            op: "add",
-            found: DType::I64,
-            expected: Some(DType::F32),
-        };
+        let e =
+            TensorError::DTypeMismatch { op: "add", found: DType::I64, expected: Some(DType::F32) };
         assert_eq!(e.to_string(), "add: dtype mismatch, expected f32, found i64");
 
         let e = TensorError::ShapeMismatch {

@@ -5,7 +5,7 @@
 //! [`Tensor::less`], and `Switch` consumes boolean predicates.
 
 use crate::shape::broadcast_shapes;
-use crate::{Data, DType, Result, Tensor, TensorError};
+use crate::{DType, Data, Result, Tensor, TensorError};
 use std::sync::Arc;
 
 fn compare(

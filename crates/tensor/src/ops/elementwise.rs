@@ -1,18 +1,13 @@
 //! Elementwise arithmetic with NumPy-style broadcasting.
 
 use crate::shape::broadcast_shapes;
-use crate::{Data, DType, Result, Shape, Tensor, TensorError};
+use crate::{DType, Data, Result, Shape, Tensor, TensorError};
 use std::sync::Arc;
 
 /// Iterates over the flat indices of the two operands of a broadcast binary
 /// op, invoking `f(lhs_index, rhs_index)` once per output element in
 /// row-major order.
-fn for_each_broadcast_pair(
-    out: &Shape,
-    lhs: &Shape,
-    rhs: &Shape,
-    mut f: impl FnMut(usize, usize),
-) {
+fn for_each_broadcast_pair(out: &Shape, lhs: &Shape, rhs: &Shape, mut f: impl FnMut(usize, usize)) {
     let rank = out.rank();
     let out_dims = out.dims();
     // Align the operand dims/strides to the output rank from the right.

@@ -1,6 +1,6 @@
 //! Matrix multiplication and transposition.
 
-use crate::{Data, DType, Result, Tensor, TensorError};
+use crate::{DType, Data, Result, Tensor, TensorError};
 use std::sync::Arc;
 
 impl Tensor {

@@ -1,8 +1,8 @@
 //! Host-side kernels: the numeric operations invoked by the executor.
 
 mod compare;
-mod grad_helpers;
 mod elementwise;
+mod grad_helpers;
 mod matmul;
 mod reduce;
 mod shape_ops;

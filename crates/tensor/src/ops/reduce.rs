@@ -1,6 +1,6 @@
 //! Reductions: sum, mean, max, argmax, and softmax.
 
-use crate::{Data, DType, Result, Shape, Tensor, TensorError};
+use crate::{DType, Data, Result, Shape, Tensor, TensorError};
 use std::sync::Arc;
 
 /// Resolves a possibly-negative axis against `rank`.
@@ -183,7 +183,10 @@ mod tests {
 
     #[test]
     fn sum_all() {
-        assert_eq!(t(vec![1.0, 2.0, 3.0], &[3]).reduce_sum_all().unwrap().scalar_as_f32().unwrap(), 6.0);
+        assert_eq!(
+            t(vec![1.0, 2.0, 3.0], &[3]).reduce_sum_all().unwrap().scalar_as_f32().unwrap(),
+            6.0
+        );
         let i = Tensor::from_vec_i64(vec![1, 2, 3], &[3]).unwrap();
         assert_eq!(i.reduce_sum_all().unwrap().scalar_as_i64().unwrap(), 6);
     }

@@ -1,7 +1,7 @@
 //! Shape-manipulating operations: concat, split, slice, stack, unstack,
 //! gather, scatter-add, and one-hot.
 
-use crate::{Data, DType, Result, Shape, Tensor, TensorError};
+use crate::{DType, Data, Result, Shape, Tensor, TensorError};
 use std::sync::Arc;
 
 impl Tensor {

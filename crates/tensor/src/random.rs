@@ -1,9 +1,11 @@
 //! Deterministic random tensor generation for parameter initialization and
 //! synthetic workloads.
+//!
+//! Implemented with an internal xoshiro256++ generator (seeded through
+//! SplitMix64) so the crate has no external dependencies and builds
+//! offline; all draws are reproducible run-to-run for a fixed seed.
 
 use crate::{Data, Shape, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// A seeded random tensor generator.
@@ -20,20 +22,63 @@ use std::sync::Arc;
 /// assert_eq!(w.shape().dims(), &[10, 10]);
 /// ```
 pub struct TensorRng {
-    rng: StdRng,
+    state: [u64; 4],
 }
 
 impl TensorRng {
     /// Creates a generator with the given seed.
     pub fn new(seed: u64) -> Self {
-        TensorRng { rng: StdRng::seed_from_u64(seed) }
+        // SplitMix64 expansion of the seed into the xoshiro state, per the
+        // generator authors' recommendation (never all-zero).
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TensorRng { state: [next_sm(), next_sm(), next_sm(), next_sm()] }
+    }
+
+    /// Next raw 64-bit draw (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    fn next_unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Unbiased integer in `[0, bound)` via rejection sampling.
+    fn next_bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty sampling range");
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
     }
 
     /// Uniform `f32` tensor in `[lo, hi)`.
     pub fn uniform(&mut self, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+        assert!(lo < hi, "uniform range [{lo}, {hi}) is empty");
         let shape = Shape::from(dims);
         let n = shape.num_elements();
-        let v: Vec<f32> = (0..n).map(|_| self.rng.gen_range(lo..hi)).collect();
+        let span = hi - lo;
+        let v: Vec<f32> = (0..n).map(|_| lo + span * self.next_unit_f32()).collect();
         Tensor::from_parts(shape, Data::F32(Arc::new(v))).expect("length matches by construction")
     }
 
@@ -45,8 +90,8 @@ impl TensorRng {
         let n = shape.num_elements();
         let mut v = Vec::with_capacity(n);
         while v.len() < n {
-            let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
-            let u2: f32 = self.rng.gen_range(0.0..1.0);
+            let u1: f32 = self.next_unit_f32().max(f32::EPSILON);
+            let u2: f32 = self.next_unit_f32();
             let r = (-2.0 * u1.ln()).sqrt();
             let theta = 2.0 * std::f32::consts::PI * u2;
             v.push(r * theta.cos() * stddev);
@@ -59,20 +104,24 @@ impl TensorRng {
 
     /// Uniform `i64` tensor in `[lo, hi)`.
     pub fn uniform_i64(&mut self, dims: &[usize], lo: i64, hi: i64) -> Tensor {
+        assert!(lo < hi, "uniform range [{lo}, {hi}) is empty");
         let shape = Shape::from(dims);
         let n = shape.num_elements();
-        let v: Vec<i64> = (0..n).map(|_| self.rng.gen_range(lo..hi)).collect();
+        let span = hi.wrapping_sub(lo) as u64;
+        let v: Vec<i64> =
+            (0..n).map(|_| lo.wrapping_add(self.next_bounded_u64(span) as i64)).collect();
         Tensor::from_parts(shape, Data::I64(Arc::new(v))).expect("length matches by construction")
     }
 
     /// Draws a single `f32` uniform sample in `[0, 1)`.
     pub fn sample_unit(&mut self) -> f32 {
-        self.rng.gen_range(0.0..1.0)
+        self.next_unit_f32()
     }
 
     /// Draws a single integer in `[0, bound)`.
     pub fn sample_index(&mut self, bound: usize) -> usize {
-        self.rng.gen_range(0..bound)
+        assert!(bound > 0, "sample_index with empty range");
+        self.next_bounded_u64(bound as u64) as usize
     }
 }
 
@@ -110,8 +159,22 @@ mod tests {
     #[test]
     fn integer_uniform() {
         let t = TensorRng::new(3).uniform_i64(&[100], 0, 5);
+        let mut seen = [false; 5];
         for &x in t.as_i64_slice().unwrap() {
             assert!((0..5).contains(&x));
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range appear in 100 draws");
+    }
+
+    #[test]
+    fn unit_samples_in_range() {
+        let mut rng = TensorRng::new(9);
+        for _ in 0..1000 {
+            let u = rng.sample_unit();
+            assert!((0.0..1.0).contains(&u));
+            let i = rng.sample_index(7);
+            assert!(i < 7);
         }
     }
 }

@@ -253,7 +253,10 @@ impl Tensor {
     /// conditions.
     pub fn scalar_as_bool(&self) -> Result<bool> {
         if self.num_elements() != 1 {
-            return Err(TensorError::NotAScalar { op: "scalar_as_bool", shape: self.shape.clone() });
+            return Err(TensorError::NotAScalar {
+                op: "scalar_as_bool",
+                shape: self.shape.clone(),
+            });
         }
         Ok(self.as_bool_slice()?[0])
     }
@@ -278,10 +281,18 @@ impl Tensor {
         }
         let n = self.num_elements();
         let data = match (&self.data, dtype) {
-            (Data::F32(v), DType::I64) => Data::I64(Arc::new(v.iter().map(|&x| x as i64).collect())),
-            (Data::F32(v), DType::Bool) => Data::Bool(Arc::new(v.iter().map(|&x| x != 0.0).collect())),
-            (Data::I64(v), DType::F32) => Data::F32(Arc::new(v.iter().map(|&x| x as f32).collect())),
-            (Data::I64(v), DType::Bool) => Data::Bool(Arc::new(v.iter().map(|&x| x != 0).collect())),
+            (Data::F32(v), DType::I64) => {
+                Data::I64(Arc::new(v.iter().map(|&x| x as i64).collect()))
+            }
+            (Data::F32(v), DType::Bool) => {
+                Data::Bool(Arc::new(v.iter().map(|&x| x != 0.0).collect()))
+            }
+            (Data::I64(v), DType::F32) => {
+                Data::F32(Arc::new(v.iter().map(|&x| x as f32).collect()))
+            }
+            (Data::I64(v), DType::Bool) => {
+                Data::Bool(Arc::new(v.iter().map(|&x| x != 0).collect()))
+            }
             (Data::Bool(v), DType::F32) => {
                 Data::F32(Arc::new(v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect()))
             }

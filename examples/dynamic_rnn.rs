@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let sess = Session::local(g.finish()?)?;
     let out = sess.run(&HashMap::new(), &[rnn.outputs, srnn.outputs])?;
-    assert!(
-        out[0].allclose(&out[1], 1e-4),
-        "dynamic and static RNN outputs must match"
-    );
+    assert!(out[0].allclose(&out[1], 1e-4), "dynamic and static RNN outputs must match");
     println!("dynamic_rnn output [T,B,H] = {:?} matches static unrolling", out[0].shape().dims());
 
     let mut fetches = vec![loss];

@@ -45,7 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = DqnConfig { dispatch: std::time::Duration::from_millis(2), ..DqnConfig::default() };
 
     println!("== in-graph DQN (single fused graph per interaction) ==");
-    let mut in_graph = InGraphDqn::new(cfg.clone(), Cluster::single_cpu(), SessionOptions::functional())?;
+    let mut in_graph =
+        InGraphDqn::new(cfg.clone(), Cluster::single_cpu(), SessionOptions::functional())?;
     let t0 = Instant::now();
     let (early, late) = drive(|p, c, e| in_graph.step(p, c, e).expect("in-graph step"));
     let in_time = t0.elapsed();
@@ -53,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  wall time for {STEPS} interactions: {in_time:?}");
 
     println!("== out-of-graph DQN (client-driven conditionals) ==");
-    let mut out_graph =
-        OutOfGraphDqn::new(cfg, Cluster::single_cpu, SessionOptions::functional())?;
+    let mut out_graph = OutOfGraphDqn::new(cfg, Cluster::single_cpu, SessionOptions::functional())?;
     let t0 = Instant::now();
     let (early, late) = drive(|p, c, e| out_graph.step(p, c, e).expect("out-of-graph step"));
     let out_time = t0.elapsed();

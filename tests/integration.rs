@@ -85,13 +85,11 @@ fn distributed_training_step_matches_local() {
         let mut cluster = Cluster::new();
         cluster.add_device(0, DeviceProfile::cpu());
         cluster.add_device(1, DeviceProfile::cpu());
-        let sess = Session::new(g.finish().unwrap(), cluster, SessionOptions::functional()).unwrap();
+        let sess =
+            Session::new(g.finish().unwrap(), cluster, SessionOptions::functional()).unwrap();
         results.push(sess.run(&HashMap::new(), &[grad]).unwrap().remove(0));
     }
-    assert!(
-        results[0].allclose(&results[1], 1e-5),
-        "distributed gradient differs from local"
-    );
+    assert!(results[0].allclose(&results[1], 1e-5), "distributed gradient differs from local");
 }
 
 #[test]
@@ -117,10 +115,7 @@ fn dynamic_rnn_gradients_match_static_unrolling() {
     };
     let dynamic = grad_of(true);
     let fixed = grad_of(false);
-    assert!(
-        dynamic.allclose(&fixed, 1e-3),
-        "loop gradient must equal unrolled gradient"
-    );
+    assert!(dynamic.allclose(&fixed, 1e-3), "loop gradient must equal unrolled gradient");
 }
 
 #[test]
@@ -175,10 +170,7 @@ fn memory_swapping_preserves_values() {
         let loss = g.reduce_sum(sq).unwrap();
         let grads = dcf::autodiff::gradients(&mut g, loss, &[cell.w]).unwrap();
         let mut cluster = Cluster::new();
-        cluster.add_device(
-            0,
-            DeviceProfile::gpu_k40().with_time_scale(0.0).with_shape_scale(8),
-        );
+        cluster.add_device(0, DeviceProfile::gpu_k40().with_time_scale(0.0).with_shape_scale(8));
         let sess = Session::new(
             g.finish().unwrap(),
             cluster,

@@ -18,20 +18,15 @@ struct LoopProgram {
 }
 
 fn program_strategy() -> impl Strategy<Value = LoopProgram> {
-    (
-        -2.0f32..2.0,
-        -1.25f32..1.25,
-        -2.0f32..2.0,
-        any::<bool>(),
-        0i64..12,
-    )
-        .prop_map(|(init, scale, offset, alternating, trips)| LoopProgram {
+    (-2.0f32..2.0, -1.25f32..1.25, -2.0f32..2.0, any::<bool>(), 0i64..12).prop_map(
+        |(init, scale, offset, alternating, trips)| LoopProgram {
             init,
             scale,
             offset,
             alternating,
             trips,
-        })
+        },
+    )
 }
 
 /// Reference semantics on the host.
@@ -91,9 +86,7 @@ fn in_graph(p: &LoopProgram, parallel: usize, machines: usize) -> f32 {
         cluster.add_device(m, DeviceProfile::cpu());
     }
     let sess = Session::new(g.finish().unwrap(), cluster, SessionOptions::functional()).unwrap();
-    sess.run(&HashMap::new(), &[outs[1]]).unwrap()[0]
-        .scalar_as_f32()
-        .unwrap()
+    sess.run(&HashMap::new(), &[outs[1]]).unwrap()[0].scalar_as_f32().unwrap()
 }
 
 fn close(a: f32, b: f32) -> bool {
