@@ -638,20 +638,16 @@ impl Engine {
         let mut const_unpack = false;
         for node in gb.graph().nodes() {
             match node.op {
-                OpKind::TensorArrayUnpack => {
-                    if Self::resolve_source(gb, node.inputs[0]) == h {
-                        let src = Self::resolve_source(gb, node.inputs[1]);
-                        if matches!(gb.graph().node(src.node).op, OpKind::Const(_)) {
-                            const_unpack = true;
-                        } else {
-                            return false;
-                        }
-                    }
-                }
-                OpKind::TensorArrayWrite => {
-                    if Self::resolve_source(gb, node.inputs[0]) == h {
+                OpKind::TensorArrayUnpack if Self::resolve_source(gb, node.inputs[0]) == h => {
+                    let src = Self::resolve_source(gb, node.inputs[1]);
+                    if matches!(gb.graph().node(src.node).op, OpKind::Const(_)) {
+                        const_unpack = true;
+                    } else {
                         return false;
                     }
+                }
+                OpKind::TensorArrayWrite if Self::resolve_source(gb, node.inputs[0]) == h => {
+                    return false;
                 }
                 _ => {}
             }

@@ -3,6 +3,6 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let gpus: &[usize] = if quick { &[1, 4, 8] } else { &[1, 2, 3, 4, 5, 6, 7, 8] };
     let steps: &[usize] = if quick { &[50] } else { &[50, 100, 200] };
-    let ts = if quick { 4.0 } else { 4.0 };
+    let ts = 4.0;
     println!("{}", dcf_bench::fig15::run(gpus, steps, ts).render());
 }

@@ -1,8 +1,9 @@
 //! Byte-accurate tracking allocator with a hard capacity.
 
-use dcf_sync::Mutex;
+use dcf_sync::{Condvar, Mutex};
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Error returned when an allocation would exceed device memory.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,7 +49,7 @@ struct Inner {
 pub struct TrackingAllocator {
     capacity: usize,
     device: String,
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<(Mutex<Inner>, Condvar)>,
 }
 
 impl TrackingAllocator {
@@ -57,13 +58,35 @@ impl TrackingAllocator {
         TrackingAllocator {
             capacity,
             device: device.into(),
-            inner: Arc::new(Mutex::new(Inner::default())),
+            inner: Arc::new((Mutex::new(Inner::default()), Condvar::new())),
         }
     }
 
     /// Charges `bytes`, failing when capacity would be exceeded.
     pub fn alloc(&self, bytes: usize) -> Result<(), MemoryError> {
-        let mut inner = self.inner.lock();
+        self.alloc_retrying(bytes, Duration::ZERO)
+    }
+
+    /// Charges `bytes`; on a full device, waits up to `patience` for
+    /// concurrent deallocations (swap-out copies draining, consumers
+    /// releasing buffers) to make room before reporting OOM.
+    ///
+    /// This is the allocator-level backpressure real runtimes apply (e.g.
+    /// TensorFlow's retry-on-OOM allocator wrapper): an execution engine
+    /// that dispatches faster than the copy streams drain would otherwise
+    /// turn a transient high-water mark into a spurious OOM. Callers must
+    /// not hold locks that deallocation paths need.
+    pub fn alloc_retrying(&self, bytes: usize, patience: Duration) -> Result<(), MemoryError> {
+        let (lock, freed) = &*self.inner;
+        let mut inner = lock.lock();
+        if inner.in_use + bytes > self.capacity && !patience.is_zero() {
+            let deadline = Instant::now() + patience;
+            while inner.in_use + bytes > self.capacity {
+                if Instant::now() >= deadline || freed.wait_until(&mut inner, deadline) {
+                    break;
+                }
+            }
+        }
         if inner.in_use + bytes > self.capacity {
             inner.failed_allocs += 1;
             return Err(MemoryError {
@@ -84,18 +107,20 @@ impl TrackingAllocator {
     /// Saturates at zero (double-free of modeled bytes is a logic error but
     /// must not wrap the counter).
     pub fn free(&self, bytes: usize) {
-        let mut inner = self.inner.lock();
+        let (lock, freed) = &*self.inner;
+        let mut inner = lock.lock();
         inner.in_use = inner.in_use.saturating_sub(bytes);
+        freed.notify_all();
     }
 
     /// Bytes currently charged.
     pub fn in_use(&self) -> usize {
-        self.inner.lock().in_use
+        self.inner.0.lock().in_use
     }
 
     /// High-water mark.
     pub fn peak(&self) -> usize {
-        self.inner.lock().peak
+        self.inner.0.lock().peak
     }
 
     /// Capacity in bytes.
@@ -110,17 +135,17 @@ impl TrackingAllocator {
 
     /// Number of successful allocations.
     pub fn total_allocs(&self) -> u64 {
-        self.inner.lock().total_allocs
+        self.inner.0.lock().total_allocs
     }
 
     /// Number of failed allocations.
     pub fn failed_allocs(&self) -> u64 {
-        self.inner.lock().failed_allocs
+        self.inner.0.lock().failed_allocs
     }
 
     /// Resets usage counters (between experiment repetitions).
     pub fn reset(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.0.lock();
         *inner = Inner::default();
     }
 }
@@ -172,6 +197,33 @@ mod tests {
         a.alloc(10).unwrap();
         a.free(50);
         assert_eq!(a.in_use(), 0);
+    }
+
+    #[test]
+    fn retrying_alloc_waits_for_a_concurrent_free() {
+        let a = TrackingAllocator::new("gpu:0", 100);
+        a.alloc(90).unwrap();
+        let b = a.clone();
+        let freer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            b.free(50);
+        });
+        // Needs 20 B; succeeds only because the free lands within patience.
+        a.alloc_retrying(20, Duration::from_secs(2)).unwrap();
+        freer.join().unwrap();
+        assert_eq!(a.in_use(), 60);
+        assert_eq!(a.failed_allocs(), 0);
+    }
+
+    #[test]
+    fn retrying_alloc_times_out_without_frees() {
+        let a = TrackingAllocator::new("gpu:0", 100);
+        a.alloc(90).unwrap();
+        let t0 = Instant::now();
+        let err = a.alloc_retrying(20, Duration::from_millis(50)).unwrap_err();
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+        assert_eq!(err.requested, 20);
+        assert_eq!(a.failed_allocs(), 1);
     }
 
     #[test]

@@ -47,25 +47,54 @@ impl Event {
     }
 }
 
+/// Modeled durations below this are served purely by spinning: an OS sleep
+/// is not worth its overshoot at this scale, and copy/compute kernels this
+/// short are exactly the ones whose drain rate bounds swap throughput.
+const PURE_SPIN_BELOW: Duration = Duration::from_micros(100);
+
+/// Measures the scheduler's typical overshoot for a minimal sleep, once per
+/// process. A 1ns `thread::sleep` returns after (timer slack + wakeup
+/// latency); sleeping `remain - overshoot` then spinning the rest gives
+/// microsecond-accurate deadlines without hardcoding a per-kernel guess.
+fn sleep_overshoot() -> Duration {
+    static OVERSHOOT: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
+    *OVERSHOOT.get_or_init(|| {
+        let mut worst = Duration::ZERO;
+        for _ in 0..8 {
+            let t0 = Instant::now();
+            thread::sleep(Duration::from_nanos(1));
+            worst = worst.max(t0.elapsed());
+        }
+        // Headroom for scheduling jitter beyond the sampled worst case,
+        // bounded so a loaded calibration run cannot degrade every wait
+        // into a full spin.
+        (worst * 2).clamp(Duration::from_micros(20), Duration::from_micros(500))
+    })
+}
+
 /// Waits until `deadline` with microsecond accuracy: OS sleep for the bulk
-/// (its granularity is tens of microseconds), then a short spin.
+/// (its granularity is tens of microseconds), then a short spin. The sleep
+/// margin is calibrated per process rather than hardcoded — see
+/// [`sleep_overshoot`].
 ///
 /// Without the spin, a stream of 2 microsecond copy kernels would drain at
 /// the sleeper's ~60 microsecond floor — 30x slower than modeled — and
 /// swap-out traffic would back up holding device memory.
 fn wait_until(deadline: Instant) {
-    const SPIN_WINDOW: Duration = Duration::from_micros(40);
     loop {
         let now = Instant::now();
         if now >= deadline {
             return;
         }
         let remain = deadline - now;
-        if remain > SPIN_WINDOW {
-            thread::sleep(remain - SPIN_WINDOW);
-        } else {
-            std::hint::spin_loop();
+        if remain > PURE_SPIN_BELOW {
+            let margin = sleep_overshoot();
+            if remain > margin {
+                thread::sleep(remain - margin);
+                continue;
+            }
         }
+        std::hint::spin_loop();
     }
 }
 
@@ -143,6 +172,13 @@ impl Drop for Stream {
         // Close the queue and drain remaining kernels.
         drop(self.sender.take());
         if let Some(h) = self.handle.take() {
+            if h.thread().id() == thread::current().id() {
+                // The stream worker itself holds the last reference to its
+                // device (an async completion callback outlived the run);
+                // the thread exits right after this drop, so detach rather
+                // than self-join (which would abort with EDEADLK).
+                return;
+            }
             let _ = h.join();
         }
     }
@@ -152,6 +188,20 @@ impl Drop for Stream {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn wait_until_never_undershoots() {
+        // Short waits take the pure-spin path; longer ones sleep with the
+        // calibrated margin and spin the tail. Overshoot bounds are kept
+        // loose (shared CI machines), undershoot is exact.
+        for wait in [Duration::from_micros(50), Duration::from_micros(300)] {
+            let t0 = Instant::now();
+            wait_until(t0 + wait);
+            let elapsed = t0.elapsed();
+            assert!(elapsed >= wait, "undershot: {elapsed:?} < {wait:?}");
+            assert!(elapsed < wait + Duration::from_millis(50), "runaway wait: {elapsed:?}");
+        }
+    }
 
     #[test]
     fn events_signal_once() {

@@ -1,11 +1,23 @@
 //! The tagged-token executor: evaluation rules of Figure 5, frame and
 //! iteration management, deadness propagation, asynchronous kernels, and
 //! memory swapping.
+//!
+//! # Concurrency structure
+//!
+//! Run state is sharded per frame: every dynamic frame owns a mutex over
+//! its iteration bookkeeping ([`crate::frame::FrameCore`]), so workers
+//! advancing different loops (or communicating ops in different frames)
+//! never contend. A short-held frame-table lock arbitrates frame
+//! creation, and fetched values live behind their own leaf mutex. Worker
+//! threads are created once per [`Executor`] and reused across runs via
+//! the persistent [`WorkerPool`]. The locking discipline (what may be
+//! held when, and why the completion cascade is deadlock-free) is
+//! documented in `DESIGN.md`.
 
-use crate::exec_graph::ExecGraph;
-use crate::frame::{DeferredToken, FrameId, FrameState, IterationState, NodeInstance, ROOT_FRAME};
+use crate::exec_graph::{ExecGraph, FrameNameId};
+use crate::frame::{DeferredToken, Frame, FrameCore, FrameId, NodeInstance, ROOT_FRAME};
 use crate::kernels::{execute_op, is_compute_op, op_cost, should_charge};
-use crate::pool::{unbounded, Receiver, Sender};
+use crate::pool::{PoolMsg, Sender, WorkerPool};
 use crate::rendezvous::Rendezvous;
 use crate::resources::{ResourceManager, SlotEntry, StackRes, StackSlot};
 use crate::token::{Charge, ExecError, Token};
@@ -20,7 +32,6 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::OnceLock;
-use std::thread;
 
 /// Debug tracing, enabled with `DCF_TRACE=exec,deliver,stack` (cached so
 /// the per-op cost is one relaxed load).
@@ -49,13 +60,25 @@ pub struct ExecutorOptions {
     /// Minimum modeled tensor size for swapping (§5.3 "we do not swap small
     /// tensors").
     pub min_swap_bytes: usize,
+    /// How long an allocation on a full device waits for in-flight
+    /// deallocations (swap-out copies, consumers releasing buffers) before
+    /// reporting OOM — allocator-level backpressure, so a scheduler that
+    /// outruns the modeled copy streams does not turn a transient
+    /// high-water mark into a spurious OOM.
+    pub oom_patience: std::time::Duration,
     /// Base seed for stateful random ops.
     pub seed: u64,
 }
 
 impl Default for ExecutorOptions {
     fn default() -> Self {
-        ExecutorOptions { workers: 2, swap_threshold: 0.9, min_swap_bytes: 64 << 10, seed: 0x5eed }
+        ExecutorOptions {
+            workers: 2,
+            swap_threshold: 0.9,
+            min_swap_bytes: 64 << 10,
+            oom_patience: std::time::Duration::from_secs(2),
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -73,26 +96,34 @@ pub struct RunOutcome {
 /// A per-device dataflow executor.
 ///
 /// Executes its subgraph against one simulated device, communicating with
-/// peer executors (if any) through the shared rendezvous. See the crate
-/// docs for the execution model.
+/// peer executors (if any) through the shared rendezvous. Worker threads
+/// are spawned once here and shared by all subsequent runs (concurrent
+/// runs are allowed; jobs carry their run's state). See the crate docs
+/// for the execution model.
 pub struct Executor {
     eg: Arc<ExecGraph>,
     device: Arc<Device>,
     resources: Arc<ResourceManager>,
     rendezvous: Arc<dyn Rendezvous>,
     options: ExecutorOptions,
+    pool: WorkerPool<Job>,
 }
 
-enum Work {
-    Run(FrameId, usize, NodeId),
-    Shutdown,
+/// One schedulable node activation, self-contained so the persistent pool
+/// can serve many runs at once.
+struct Job {
+    shared: Arc<RunShared>,
+    frame: Arc<Frame>,
+    iter: usize,
+    node: NodeId,
 }
 
-struct RunState {
-    frames: HashMap<FrameId, FrameState>,
-    frame_index: HashMap<(FrameId, usize, String), FrameId>,
-    next_frame: FrameId,
-    fetched: HashMap<(usize, usize), Token>,
+/// Frame registry: maps (parent frame, parent iteration, frame name) to
+/// the live child activation. Held briefly, only on frame creation and
+/// completion — never while delivering tokens.
+struct FrameTable {
+    index: HashMap<(FrameId, usize, FrameNameId), Arc<Frame>>,
+    next: FrameId,
 }
 
 struct RunShared {
@@ -101,10 +132,11 @@ struct RunShared {
     resources: Arc<ResourceManager>,
     rendezvous: Arc<dyn Rendezvous>,
     options: ExecutorOptions,
-    feeds: HashMap<String, Tensor>,
+    feeds: Arc<HashMap<String, Tensor>>,
     fetch_set: HashSet<(usize, usize)>,
-    state: Mutex<RunState>,
-    queue_tx: Sender<Work>,
+    table: Mutex<FrameTable>,
+    fetched: Mutex<HashMap<(usize, usize), Token>>,
+    queue_tx: Sender<PoolMsg<Job>>,
     outstanding: AtomicI64,
     ops: AtomicU64,
     done: Mutex<Option<Result<()>>>,
@@ -113,7 +145,7 @@ struct RunShared {
 }
 
 impl Executor {
-    /// Creates an executor for `eg` on `device`.
+    /// Creates an executor for `eg` on `device`, spawning its worker pool.
     pub fn new(
         eg: Arc<ExecGraph>,
         device: Arc<Device>,
@@ -121,7 +153,11 @@ impl Executor {
         rendezvous: Arc<dyn Rendezvous>,
         options: ExecutorOptions,
     ) -> Executor {
-        Executor { eg, device, resources, rendezvous, options }
+        let pool = WorkerPool::new("dcf-exec", options.workers, |job: Job| {
+            let Job { shared, frame, iter, node } = job;
+            shared.execute_node(&frame, iter, node);
+        });
+        Executor { eg, device, resources, rendezvous, options, pool }
     }
 
     /// Runs the subgraph: feeds placeholder values, executes until
@@ -133,38 +169,33 @@ impl Executor {
         feeds: &HashMap<String, Tensor>,
         fetches: &[TensorRef],
     ) -> Result<RunOutcome> {
-        self.run_cancellable(feeds, fetches, None)
+        self.run_cancellable(Arc::new(feeds.clone()), fetches, None)
     }
 
-    /// Like [`Executor::run`], additionally aborting (with the peer's
-    /// error) if `cancel` fires — used by the session to stop all
-    /// partitions when one fails.
+    /// Like [`Executor::run`], taking the feed dictionary by `Arc` (shared
+    /// across partitions without copying) and additionally aborting (with
+    /// the peer's error) if `cancel` fires — used by the session to stop
+    /// all partitions when one fails.
     pub fn run_cancellable(
         &self,
-        feeds: &HashMap<String, Tensor>,
+        feeds: Arc<HashMap<String, Tensor>>,
         fetches: &[TensorRef],
         cancel: Option<Arc<crate::token::CancelToken>>,
     ) -> Result<RunOutcome> {
-        let (queue_tx, queue_rx) = unbounded::<Work>();
         let fetch_set: HashSet<(usize, usize)> =
             fetches.iter().map(|t| (t.node.0, t.port)).collect();
-        let mut frames = HashMap::new();
-        frames.insert(ROOT_FRAME, FrameState::root());
+        let root = Frame::root();
         let shared = Arc::new(RunShared {
             eg: self.eg.clone(),
             device: self.device.clone(),
             resources: self.resources.clone(),
             rendezvous: self.rendezvous.clone(),
             options: self.options.clone(),
-            feeds: feeds.clone(),
+            feeds,
             fetch_set,
-            state: Mutex::new(RunState {
-                frames,
-                frame_index: HashMap::new(),
-                next_frame: 1,
-                fetched: HashMap::new(),
-            }),
-            queue_tx,
+            table: Mutex::new(FrameTable { index: HashMap::new(), next: ROOT_FRAME + 1 }),
+            fetched: Mutex::new(HashMap::new()),
+            queue_tx: self.pool.sender(),
             outstanding: AtomicI64::new(0),
             ops: AtomicU64::new(0),
             done: Mutex::new(None),
@@ -181,36 +212,16 @@ impl Executor {
             }));
         }
 
-        // Seed the root sources.
+        // Seed the root sources; the persistent pool starts draining
+        // immediately.
         {
-            let mut st = shared.state.lock();
-            let sources = shared.eg.sources.clone();
-            for src in sources {
-                shared.schedule(&mut st, ROOT_FRAME, 0, src);
+            let mut core = root.core.lock();
+            for src in &shared.eg.sources {
+                shared.schedule(&root, &mut core, 0, *src);
             }
         }
         if shared.outstanding.load(Ordering::SeqCst) == 0 {
             shared.complete(Ok(()));
-        }
-
-        // Worker threads.
-        let mut handles = Vec::new();
-        for w in 0..self.options.workers.max(1) {
-            let rx: Receiver<Work> = queue_rx.clone();
-            let sh = shared.clone();
-            handles.push(
-                thread::Builder::new()
-                    .name(format!("dcf-exec-{w}"))
-                    .spawn(move || {
-                        while let Ok(work) = rx.recv() {
-                            match work {
-                                Work::Shutdown => break,
-                                Work::Run(f, i, n) => sh.execute_node(f, i, n),
-                            }
-                        }
-                    })
-                    .expect("failed to spawn executor worker"),
-            );
         }
 
         // Wait for completion.
@@ -221,19 +232,13 @@ impl Executor {
             }
             done.clone().expect("done state set")
         };
-        for _ in 0..handles.len() {
-            let _ = shared.queue_tx.send(Work::Shutdown);
-        }
-        for h in handles {
-            let _ = h.join();
-        }
         result?;
 
         // Collect fetches.
-        let st = shared.state.lock();
+        let fetched = shared.fetched.lock();
         let mut values = Vec::with_capacity(fetches.len());
         for t in fetches {
-            match st.fetched.get(&(t.node.0, t.port)) {
+            match fetched.get(&(t.node.0, t.port)) {
                 Some(tok) if !tok.is_dead => values.push(tok.value.clone()),
                 Some(_) => {
                     return Err(ExecError::DeadFetch(self.eg.graph.node(t.node).name.clone()))
@@ -252,63 +257,65 @@ impl Executor {
 
 impl RunShared {
     // ------------------------------------------------------------------
-    // Scheduling and bookkeeping
+    // Scheduling and bookkeeping (per-frame lock held by the caller)
     // ------------------------------------------------------------------
 
-    fn schedule(&self, st: &mut RunState, f: FrameId, i: usize, node: NodeId) {
-        let inst = self.instance(st, f, i, node);
+    fn schedule(
+        self: &Arc<Self>,
+        frame: &Arc<Frame>,
+        core: &mut FrameCore,
+        i: usize,
+        node: NodeId,
+    ) {
+        debug_assert!(!core.done, "schedule into completed frame {}", frame.id);
+        let inst = self.instance(core, i, node);
         debug_assert!(!inst.scheduled, "double schedule of {:?}", node);
         inst.scheduled = true;
-        if let Some(frame) = st.frames.get_mut(&f) {
-            if let Some(it) = frame.iterations.get_mut(&i) {
-                it.outstanding_ops += 1;
-            }
+        if let Some(it) = core.iterations.get_mut(&i) {
+            it.outstanding_ops += 1;
         }
         self.outstanding.fetch_add(1, Ordering::SeqCst);
-        let _ = self.queue_tx.send(Work::Run(f, i, node));
+        let _ = self.queue_tx.send(PoolMsg::Job(Job {
+            shared: self.clone(),
+            frame: frame.clone(),
+            iter: i,
+            node,
+        }));
     }
 
     fn instance<'a>(
         &self,
-        st: &'a mut RunState,
-        f: FrameId,
+        core: &'a mut FrameCore,
         i: usize,
         node: NodeId,
     ) -> &'a mut NodeInstance {
         let slots = self.eg.total_input_slots(node);
         let pending_data = self.eg.num_data_inputs(node);
         let pending_control = self.eg.num_control_inputs(node);
-        let frame = st.frames.get_mut(&f).expect("frame exists");
-        let it = frame.iterations.entry(i).or_default();
+        let it = core.iterations.entry(i).or_default();
         it.nodes
             .entry(node.0)
             .or_insert_with(|| NodeInstance::new(slots, pending_data, pending_control))
     }
 
-    fn ensure_iteration(&self, st: &mut RunState, f: FrameId, i: usize) {
-        let created = {
-            let frame = st.frames.get_mut(&f).expect("frame exists");
-            if frame.iterations.contains_key(&i) {
-                false
-            } else {
-                frame.iterations.insert(i, IterationState::default());
-                frame.started = frame.started.max(i + 1);
-                true
-            }
-        };
-        if created {
-            // Replay loop constants into the new iteration.
-            let constants = st.frames[&f].constants.clone();
-            for (enter_node, token) in constants {
-                self.deliver_to_consumers(st, f, i, enter_node, 0, token);
-            }
+    fn ensure_iteration(self: &Arc<Self>, frame: &Arc<Frame>, core: &mut FrameCore, i: usize) {
+        if core.iterations.contains_key(&i) {
+            return;
+        }
+        debug_assert!(!core.done, "new iteration in completed frame {}", frame.id);
+        core.iterations.insert(i, Default::default());
+        core.started = core.started.max(i + 1);
+        // Replay loop constants into the new iteration.
+        let constants = core.constants.clone();
+        for (enter_node, token) in constants {
+            self.deliver_to_consumers(frame, core, i, enter_node, 0, token);
         }
     }
 
     fn deliver_to_consumers(
-        &self,
-        st: &mut RunState,
-        f: FrameId,
+        self: &Arc<Self>,
+        frame: &Arc<Frame>,
+        core: &mut FrameCore,
         i: usize,
         node: NodeId,
         port: usize,
@@ -316,24 +323,28 @@ impl RunShared {
     ) {
         // Record fetches first (root context only) — a fetched output may
         // have no consumers at all.
-        if self.fetch_set.contains(&(node.0, port)) && f == ROOT_FRAME {
-            st.fetched.insert((node.0, port), token.clone());
+        if frame.id == ROOT_FRAME && self.fetch_set.contains(&(node.0, port)) {
+            self.fetched.lock().insert((node.0, port), token.clone());
         }
-        let consumers = match self.eg.consumers.get(&(TensorRef { node, port })) {
-            Some(c) => c.clone(),
-            None => return,
-        };
-        // Clone per consumer; tensor buffers and memory charges are
-        // refcounted, so this is cheap and keeps lifetimes exact.
-        for (dst, slot) in consumers {
-            self.deliver(st, f, i, dst, slot, token.clone());
+        let consumers = self.eg.consumers(TensorRef { node, port });
+        if consumers.is_empty() {
+            return;
         }
+        // Tensor buffers and memory charges are refcounted, so cloning per
+        // consumer is cheap and keeps lifetimes exact; the final consumer
+        // takes the token by move.
+        let last = consumers.len() - 1;
+        for &(dst, slot) in &consumers[..last] {
+            self.deliver(frame, core, i, dst, slot as usize, token.clone());
+        }
+        let (dst, slot) = consumers[last];
+        self.deliver(frame, core, i, dst, slot as usize, token);
     }
 
     fn deliver(
-        &self,
-        st: &mut RunState,
-        f: FrameId,
+        self: &Arc<Self>,
+        frame: &Arc<Frame>,
+        core: &mut FrameCore,
         i: usize,
         dst: NodeId,
         slot: usize,
@@ -344,16 +355,16 @@ impl RunShared {
                 "DELIVER -> {} slot {} (frame {} iter {}) dead={}",
                 self.eg.graph.node(dst).name,
                 slot,
-                f,
+                frame.id,
                 i,
                 token.is_dead
             );
         }
-        self.ensure_iteration(st, f, i);
-        let is_merge = matches!(self.eg.graph.node(dst).op, OpKind::Merge);
+        self.ensure_iteration(frame, core, i);
+        let is_merge = self.eg.is_merge(dst);
         let is_loop_merge = self.eg.is_loop_merge[dst.0];
         let n_inputs = self.eg.num_data_inputs(dst);
-        let inst = self.instance(st, f, i, dst);
+        let inst = self.instance(core, i, dst);
         if is_merge {
             inst.merge_arrivals += 1;
             if token.is_dead {
@@ -379,7 +390,7 @@ impl RunShared {
                 false
             };
             if fire && inst.pending_control == 0 {
-                self.schedule(st, f, i, dst);
+                self.schedule(frame, core, i, dst);
             } else if fire {
                 // Remember readiness; fires when controls drain.
                 inst.pending_data = 0;
@@ -388,8 +399,9 @@ impl RunShared {
         }
         if inst.scheduled || inst.data.get(slot).map(|s| s.is_some()).unwrap_or(false) {
             self.fail(ExecError::Internal(format!(
-                "double delivery to {} slot {slot} (frame {f}, iter {i})",
-                self.eg.graph.node(dst).name
+                "double delivery to {} slot {slot} (frame {}, iter {i})",
+                self.eg.graph.node(dst).name,
+                frame.id
             )));
             return;
         }
@@ -397,14 +409,20 @@ impl RunShared {
         inst.data[slot] = Some(token);
         inst.pending_data -= 1;
         if inst.pending_data == 0 && inst.pending_control == 0 {
-            self.schedule(st, f, i, dst);
+            self.schedule(frame, core, i, dst);
         }
     }
 
-    fn deliver_control(&self, st: &mut RunState, f: FrameId, i: usize, dst: NodeId, dead: bool) {
-        self.ensure_iteration(st, f, i);
-        let is_merge = matches!(self.eg.graph.node(dst).op, OpKind::Merge);
-        let inst = self.instance(st, f, i, dst);
+    fn deliver_control(
+        self: &Arc<Self>,
+        frame: &Arc<Frame>,
+        core: &mut FrameCore,
+        i: usize,
+        dst: NodeId,
+        dead: bool,
+    ) {
+        self.ensure_iteration(frame, core, i);
+        let inst = self.instance(core, i, dst);
         if inst.scheduled {
             return;
         }
@@ -413,8 +431,7 @@ impl RunShared {
         if inst.pending_control == 0 && inst.pending_data == 0 {
             // For merges, pending_data reaching 0 means the fire condition
             // was met earlier.
-            let _ = is_merge;
-            self.schedule(st, f, i, dst);
+            self.schedule(frame, core, i, dst);
         }
     }
 
@@ -441,33 +458,33 @@ impl RunShared {
     // Execution
     // ------------------------------------------------------------------
 
-    fn execute_node(self: &Arc<Self>, f: FrameId, i: usize, node_id: NodeId) {
+    fn execute_node(self: &Arc<Self>, frame: &Arc<Frame>, i: usize, node_id: NodeId) {
         self.ops.fetch_add(1, Ordering::Relaxed);
         if self.is_failed() {
-            self.finish_noop(f, i);
+            self.finish_noop(frame, i);
             return;
         }
         let node = self.eg.graph.node(node_id);
-        // Extract the input tokens and context under the lock.
-        let (tokens, any_dead, tag) = {
-            let mut st = self.state.lock();
-            let tag = st.frames[&f].tag(i);
-            let inst = self.instance(&mut st, f, i, node_id);
+        // Extract the input tokens under the frame's lock. The tag is
+        // derived lock-free from immutable frame metadata, and only by the
+        // few ops that need one (random, Send, Recv).
+        let (tokens, any_dead) = {
+            let mut core = frame.core.lock();
+            let inst = self.instance(&mut core, i, node_id);
             let tokens: Vec<Option<Token>> = inst.data.iter_mut().map(|s| s.take()).collect();
-            let any_dead = inst.any_dead;
-            (tokens, any_dead, tag)
+            (tokens, inst.any_dead)
         };
 
         if trace_enabled("exec") {
-            eprintln!("EXEC {} ({}) dead={}", node.name, tag, any_dead);
+            eprintln!("EXEC {} ({}) dead={}", node.name, frame.tag(i), any_dead);
         }
         let is_merge = matches!(node.op, OpKind::Merge);
         if any_dead && !is_merge {
-            self.execute_dead(f, i, node_id, tag);
+            self.execute_dead(frame, i, node_id);
             return;
         }
-        match self.execute_live(f, i, node_id, tokens, tag) {
-            Ok(Some(outputs)) => self.finish_op(f, i, node_id, outputs, false),
+        match self.execute_live(frame, i, node_id, tokens) {
+            Ok(Some(outputs)) => self.finish_op(frame, i, node_id, outputs, false),
             Ok(None) => {} // Asynchronous; a callback completes the op.
             Err(e) => self.fail(e),
         }
@@ -475,27 +492,26 @@ impl RunShared {
 
     /// Handles a dead activation: skip the computation and propagate a dead
     /// signal downstream (§4.3), including across devices via Send.
-    fn execute_dead(self: &Arc<Self>, f: FrameId, i: usize, node_id: NodeId, tag: String) {
+    fn execute_dead(self: &Arc<Self>, frame: &Arc<Frame>, i: usize, node_id: NodeId) {
         let node = self.eg.graph.node(node_id);
         if let OpKind::Send { key_base, .. } = &node.op {
             // Propagate is_dead across devices (§4.4).
-            self.rendezvous.send(format!("{key_base}|{tag}"), Token::dead());
-            self.finish_op(f, i, node_id, vec![], true);
+            self.rendezvous.send(format!("{key_base}|{}", frame.tag(i)), Token::dead());
+            self.finish_op(frame, i, node_id, vec![], true);
             return;
         }
         let outputs = vec![Token::dead(); node.op.num_outputs()];
-        self.finish_op(f, i, node_id, outputs, true);
+        self.finish_op(frame, i, node_id, outputs, true);
     }
 
     /// Executes a live activation. Returns `Ok(None)` when completion is
     /// asynchronous (device kernel, Recv, swap-in).
     fn execute_live(
         self: &Arc<Self>,
-        f: FrameId,
+        frame: &Arc<Frame>,
         i: usize,
         node_id: NodeId,
         mut tokens: Vec<Option<Token>>,
-        tag: String,
     ) -> Result<Option<Vec<Token>>> {
         let node = self.eg.graph.node(node_id);
         let take = |tokens: &mut Vec<Option<Token>>, idx: usize| -> Result<Token> {
@@ -518,7 +534,7 @@ impl RunShared {
             }
             OpKind::RandomUniform { dims, lo, hi, seed } => {
                 let mut h = DefaultHasher::new();
-                (tag.as_str(), seed, self.options.seed).hash(&mut h);
+                (frame.tag(i).as_str(), seed, self.options.seed).hash(&mut h);
                 let mut rng = TensorRng::new(h.finish());
                 Ok(Some(vec![Token::live(rng.uniform(dims, *lo, *hi))]))
             }
@@ -559,17 +575,18 @@ impl RunShared {
             // ---------------- Communication ----------------
             OpKind::Send { key_base, .. } => {
                 let t = take(&mut tokens, 0)?;
-                self.rendezvous.send(format!("{key_base}|{tag}"), t);
+                self.rendezvous.send(format!("{key_base}|{}", frame.tag(i)), t);
                 Ok(Some(vec![]))
             }
             OpKind::Recv { key_base, .. } => {
-                let key = format!("{key_base}|{tag}");
+                let key = format!("{key_base}|{}", frame.tag(i));
                 let sh = self.clone();
+                let fr = frame.clone();
                 self.rendezvous.recv_async(
                     key,
                     Box::new(move |token| {
                         let dead = token.is_dead;
-                        sh.finish_op(f, i, node_id, vec![token], dead);
+                        sh.finish_op(&fr, i, node_id, vec![token], dead);
                     }),
                 );
                 Ok(None)
@@ -615,7 +632,7 @@ impl RunShared {
                 let handle = take(&mut tokens, 0)?;
                 let index = take(&mut tokens, 1)?;
                 self.stack_pop(
-                    f,
+                    frame,
                     i,
                     node_id,
                     handle.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))? as u64,
@@ -706,6 +723,7 @@ impl RunShared {
                     let name = node.name.clone();
                     let owned: Vec<Tensor> = inputs.iter().map(|t| t.value.clone()).collect();
                     let sh = self.clone();
+                    let fr = frame.clone();
                     self.device.submit_with_callback(
                         StreamKind::Compute,
                         Kernel {
@@ -729,7 +747,7 @@ impl RunShared {
                                         }
                                     }
                                 }
-                                sh.finish_op(f, i, node_id, outs, false);
+                                sh.finish_op(&fr, i, node_id, outs, false);
                             }
                             Err(detail) => sh.fail(ExecError::Kernel { node: name, detail }),
                         }),
@@ -754,7 +772,11 @@ impl RunShared {
         if cm.profile().is_gpu {
             let bytes = cm.scaled_bytes(value.shape(), value.dtype().size_of());
             if should_charge(value.dtype(), bytes) {
-                let charge = Charge::new(self.device.allocator(), bytes)?;
+                let charge = Charge::new_retrying(
+                    self.device.allocator(),
+                    bytes,
+                    self.options.oom_patience,
+                )?;
                 return Ok(Token::live_charged(value, charge));
             }
         }
@@ -823,7 +845,7 @@ impl RunShared {
 
     fn stack_pop(
         self: &Arc<Self>,
-        f: FrameId,
+        frame: &Arc<Frame>,
         i: usize,
         node_id: NodeId,
         id: u64,
@@ -850,15 +872,17 @@ impl RunShared {
                     // The forward push has not happened yet (it may be in a
                     // still-running parallel iteration): park this pop.
                     let sh = self.clone();
-                    waiters.push(Box::new(move |slot| sh.complete_pop(f, i, node_id, slot)));
+                    let fr = frame.clone();
+                    waiters.push(Box::new(move |slot| sh.complete_pop(&fr, i, node_id, slot)));
                     None
                 }
                 None => {
                     let sh = self.clone();
+                    let fr = frame.clone();
                     stack.slots.insert(
                         index,
                         SlotEntry::Waiting(vec![Box::new(move |slot| {
-                            sh.complete_pop(f, i, node_id, slot)
+                            sh.complete_pop(&fr, i, node_id, slot)
                         })]),
                     );
                     None
@@ -867,7 +891,7 @@ impl RunShared {
         };
         match ready {
             Some(slot) => {
-                self.complete_pop(f, i, node_id, slot);
+                self.complete_pop(frame, i, node_id, slot);
                 Ok(None)
             }
             None => Ok(None),
@@ -877,11 +901,17 @@ impl RunShared {
     /// Completes a pop once its slot value is available: directly for
     /// device-resident values, via an H2D swap-in kernel for host-resident
     /// ones.
-    fn complete_pop(self: &Arc<Self>, f: FrameId, i: usize, node_id: NodeId, slot: StackSlot) {
+    fn complete_pop(
+        self: &Arc<Self>,
+        frame: &Arc<Frame>,
+        i: usize,
+        node_id: NodeId,
+        slot: StackSlot,
+    ) {
         match slot {
             StackSlot::Device(token) => {
                 let dead = token.is_dead;
-                self.finish_op(f, i, node_id, vec![token], dead);
+                self.finish_op(frame, i, node_id, vec![token], dead);
             }
             StackSlot::Host { value, d2h_done, is_dead } => {
                 // Swap back in on the H2D stream; must wait for the
@@ -889,6 +919,7 @@ impl RunShared {
                 let cm = self.device.cost_model();
                 let bytes = cm.scaled_bytes(value.shape(), value.dtype().size_of());
                 let sh = self.clone();
+                let fr = frame.clone();
                 self.device.submit_with_callback(
                     StreamKind::H2D,
                     Kernel {
@@ -903,7 +934,7 @@ impl RunShared {
                             match sh.materialize(value) {
                                 Ok(mut token) => {
                                     token.is_dead = is_dead;
-                                    sh.finish_op(f, i, node_id, vec![token], is_dead);
+                                    sh.finish_op(&fr, i, node_id, vec![token], is_dead);
                                 }
                                 Err(e) => sh.fail(e),
                             }
@@ -922,211 +953,224 @@ impl RunShared {
     // ------------------------------------------------------------------
 
     /// Decrements counters for an op that was skipped due to a run error.
-    fn finish_noop(&self, f: FrameId, i: usize) {
-        let mut st = self.state.lock();
-        if let Some(frame) = st.frames.get_mut(&f) {
-            if let Some(it) = frame.iterations.get_mut(&i) {
+    fn finish_noop(&self, frame: &Arc<Frame>, i: usize) {
+        {
+            let mut core = frame.core.lock();
+            if let Some(it) = core.iterations.get_mut(&i) {
                 it.outstanding_ops = it.outstanding_ops.saturating_sub(1);
             }
         }
-        drop(st);
         self.outstanding.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Propagates an op's outputs and advances completion state.
     ///
     /// `was_dead` is the op's deadness (drives control-edge deadness).
+    /// Same-frame ops complete under a single acquisition of their frame's
+    /// lock; `Enter` and `Exit` touch the neighbor frame's lock strictly
+    /// after releasing any other (see `DESIGN.md`).
     fn finish_op(
         self: &Arc<Self>,
-        f: FrameId,
+        frame: &Arc<Frame>,
         i: usize,
         node_id: NodeId,
         outputs: Vec<Token>,
         was_dead: bool,
     ) {
         if self.is_failed() {
-            self.finish_noop(f, i);
+            self.finish_noop(frame, i);
             return;
         }
         let node = self.eg.graph.node(node_id);
-        {
-            let mut st = self.state.lock();
-            match &node.op {
-                OpKind::NextIteration => {
-                    if let Some(token) = outputs.into_iter().next() {
-                        if token.is_dead {
-                            // Dead NextIterations are dropped: this is what
-                            // terminates the loop's dead wave.
+        let completed = match &node.op {
+            OpKind::NextIteration => {
+                let mut core = frame.core.lock();
+                if let Some(token) = outputs.into_iter().next() {
+                    if token.is_dead {
+                        // Dead NextIterations are dropped: this is what
+                        // terminates the loop's dead wave.
+                    } else {
+                        let j = i + 1;
+                        if frame.in_window(&core, j) {
+                            self.ensure_iteration(frame, &mut core, j);
+                            self.deliver_to_consumers(frame, &mut core, j, node_id, 0, token);
                         } else {
-                            let j = i + 1;
-                            let in_window = st.frames[&f].in_window(j);
-                            if in_window {
-                                self.ensure_iteration(&mut st, f, j);
-                                self.deliver_to_consumers(&mut st, f, j, node_id, 0, token);
-                            } else {
-                                // Beyond the parallel-iterations window:
-                                // defer until older iterations complete.
-                                st.frames
-                                    .get_mut(&f)
-                                    .expect("frame exists")
-                                    .deferred
-                                    .push_back(DeferredToken { iter: j, node: node_id, token });
-                            }
+                            // Beyond the parallel-iterations window:
+                            // defer until older iterations complete.
+                            core.deferred.push_back(DeferredToken {
+                                iter: j,
+                                node: node_id,
+                                token,
+                            });
                         }
                     }
                 }
-                OpKind::Enter { frame: name, is_constant, parallel_iterations } => {
-                    if let Some(token) = outputs.into_iter().next() {
-                        let child = self.find_or_create_frame(
-                            &mut st,
-                            f,
-                            i,
-                            name.clone(),
-                            *parallel_iterations,
-                        );
-                        let fr = st.frames.get_mut(&child).expect("child frame exists");
-                        fr.enters_seen += 1;
-                        if *is_constant {
-                            fr.constants.push((node_id, token.clone()));
-                            let iters: Vec<usize> = fr.iterations.keys().copied().collect();
-                            for j in iters {
-                                self.deliver_to_consumers(
-                                    &mut st,
-                                    child,
-                                    j,
-                                    node_id,
-                                    0,
-                                    token.clone(),
-                                );
-                            }
-                        } else {
-                            self.deliver_to_consumers(&mut st, child, 0, node_id, 0, token);
-                        }
-                        // The frame may already be able to complete (e.g. a
-                        // loop whose predicate was false at iteration 0 and
-                        // whose last Enter just arrived).
-                        self.maybe_advance(&mut st, child);
-                    }
-                }
-                OpKind::Exit => {
-                    if let Some(token) = outputs.into_iter().next() {
-                        let parent = st.frames[&f].parent;
-                        if let Some((pf, pi)) = parent {
-                            if token.is_dead {
-                                // Deferred: delivered once if the frame
-                                // never produces a live exit.
-                                let fr = st.frames.get_mut(&f).expect("frame exists");
-                                fr.dead_exits.insert(node_id);
-                            } else {
-                                let fr = st.frames.get_mut(&f).expect("frame exists");
-                                fr.live_exits.insert(node_id);
-                                self.deliver_to_consumers(&mut st, pf, pi, node_id, 0, token);
-                            }
-                        }
-                    }
-                }
-                _ => {
-                    for (port, token) in outputs.into_iter().enumerate() {
-                        self.deliver_to_consumers(&mut st, f, i, node_id, port, token);
-                    }
-                }
+                self.tail_locked(frame, &mut core, i, node_id, was_dead)
             }
-            // Control successors observe this op's completion (and
-            // deadness) in the same frame and iteration.
-            if let Some(ctrls) = self.eg.control_consumers.get(&node_id) {
-                for dst in ctrls.clone() {
-                    self.deliver_control(&mut st, f, i, dst, was_dead);
-                }
+            OpKind::Enter { is_constant, parallel_iterations, .. } => {
+                self.finish_enter(frame, i, node_id, outputs, *is_constant, *parallel_iterations);
+                let mut core = frame.core.lock();
+                self.tail_locked(frame, &mut core, i, node_id, was_dead)
             }
-            // This op is no longer outstanding in its iteration.
-            if let Some(frame) = st.frames.get_mut(&f) {
-                if let Some(it) = frame.iterations.get_mut(&i) {
-                    it.outstanding_ops -= 1;
-                }
+            OpKind::Exit => {
+                self.finish_exit(frame, node_id, outputs);
+                let mut core = frame.core.lock();
+                self.tail_locked(frame, &mut core, i, node_id, was_dead)
             }
-            self.maybe_advance(&mut st, f);
+            _ => {
+                let mut core = frame.core.lock();
+                for (port, token) in outputs.into_iter().enumerate() {
+                    self.deliver_to_consumers(frame, &mut core, i, node_id, port, token);
+                }
+                self.tail_locked(frame, &mut core, i, node_id, was_dead)
+            }
+        };
+        if completed {
+            self.complete_frame(frame.clone());
         }
         if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
             self.complete(Ok(()));
         }
     }
 
-    fn find_or_create_frame(
-        &self,
-        st: &mut RunState,
-        parent: FrameId,
-        parent_iter: usize,
-        name: String,
-        parallel_iterations: usize,
-    ) -> FrameId {
-        let key = (parent, parent_iter, name.clone());
-        if let Some(&id) = st.frame_index.get(&key) {
-            return id;
+    /// Common completion tail, under the finishing op's frame lock:
+    /// control successors observe the completion (and deadness) in the same
+    /// frame and iteration, the op stops being outstanding, and the frame's
+    /// window/completion state advances. Returns `true` if the frame just
+    /// completed (caller runs the cascade after releasing the lock).
+    fn tail_locked(
+        self: &Arc<Self>,
+        frame: &Arc<Frame>,
+        core: &mut FrameCore,
+        i: usize,
+        node_id: NodeId,
+        was_dead: bool,
+    ) -> bool {
+        for &dst in self.eg.control_consumers(node_id) {
+            self.deliver_control(frame, core, i, dst, was_dead);
         }
-        let id = st.next_frame;
-        st.next_frame += 1;
-        let expected = self.eg.enter_counts.get(&name).copied().unwrap_or(0);
-        let parent_tag = st.frames[&parent].base_tag.clone();
-        let frame = FrameState::child(
-            name,
-            (parent, parent_iter),
-            &parent_tag,
-            parallel_iterations,
-            expected,
-        );
-        st.frames.insert(id, frame);
-        st.frame_index.insert(key, id);
-        if let Some(p) = st.frames.get_mut(&parent) {
-            if let Some(it) = p.iterations.get_mut(&parent_iter) {
+        if let Some(it) = core.iterations.get_mut(&i) {
+            it.outstanding_ops -= 1;
+        }
+        self.advance_locked(frame, core)
+    }
+
+    /// `Enter` completion: route the token into the (possibly new) child
+    /// frame. Lock order: frame table → parent core (creation only) →
+    /// child core; never more than one frame core at a time.
+    fn finish_enter(
+        self: &Arc<Self>,
+        frame: &Arc<Frame>,
+        i: usize,
+        node_id: NodeId,
+        outputs: Vec<Token>,
+        is_constant: bool,
+        parallel_iterations: usize,
+    ) {
+        let Some(token) = outputs.into_iter().next() else { return };
+        let name_id = self.eg.enter_frame(node_id).expect("Enter node has a frame name");
+        let (child, created) = {
+            let mut table = self.table.lock();
+            match table.index.get(&(frame.id, i, name_id)) {
+                Some(c) => (c.clone(), false),
+                None => {
+                    let id = table.next;
+                    table.next += 1;
+                    let child = Frame::child(
+                        id,
+                        name_id,
+                        self.eg.frame_name(name_id),
+                        (frame.clone(), i),
+                        parallel_iterations,
+                        self.eg.expected_enters(name_id),
+                    );
+                    table.index.insert((frame.id, i, name_id), child.clone());
+                    (child, true)
+                }
+            }
+        };
+        if created {
+            // Register the parent's hold. This Enter op is still
+            // outstanding in (frame, i), so the parent iteration cannot
+            // concurrently be observed quiescent before the hold lands.
+            let mut pcore = frame.core.lock();
+            if let Some(it) = pcore.iterations.get_mut(&i) {
                 it.outstanding_frames += 1;
             }
         }
-        id
+        let completed_child = {
+            let mut ccore = child.core.lock();
+            ccore.enters_seen += 1;
+            if is_constant {
+                ccore.constants.push((node_id, token.clone()));
+                let iters: Vec<usize> = ccore.iterations.keys().copied().collect();
+                for j in iters {
+                    self.deliver_to_consumers(&child, &mut ccore, j, node_id, 0, token.clone());
+                }
+            } else {
+                self.deliver_to_consumers(&child, &mut ccore, 0, node_id, 0, token);
+            }
+            // The frame may already be able to complete (e.g. a loop whose
+            // predicate was false at iteration 0 and whose last Enter just
+            // arrived).
+            self.advance_locked(&child, &mut ccore)
+        };
+        if completed_child {
+            self.complete_frame(child);
+        }
     }
 
-    /// Advances the iteration window of `f`, releasing deferred tokens, and
-    /// completes the frame when fully quiescent.
-    fn maybe_advance(self: &Arc<Self>, st: &mut RunState, f: FrameId) {
-        if f == ROOT_FRAME {
-            return;
+    /// `Exit` completion: live exits deliver into the parent frame
+    /// immediately; dead exits are recorded and delivered (once) only if
+    /// the frame completes without that exit ever going live.
+    fn finish_exit(self: &Arc<Self>, frame: &Arc<Frame>, node_id: NodeId, outputs: Vec<Token>) {
+        let Some(token) = outputs.into_iter().next() else { return };
+        let Some((parent, pi)) = &frame.parent else { return };
+        if token.is_dead {
+            frame.core.lock().dead_exits.insert(node_id);
+        } else {
+            frame.core.lock().live_exits.insert(node_id);
+            // The parent iteration holds this frame outstanding, so it is
+            // still live; own lock released before taking the parent's.
+            let mut pcore = parent.core.lock();
+            self.deliver_to_consumers(parent, &mut pcore, *pi, node_id, 0, token);
+        }
+    }
+
+    /// Advances the iteration window of `frame` under its lock, releasing
+    /// deferred tokens. Returns `true` when the frame transitioned to
+    /// complete (exactly one caller observes the transition; `core.done`
+    /// guards repeats).
+    fn advance_locked(self: &Arc<Self>, frame: &Arc<Frame>, core: &mut FrameCore) -> bool {
+        if frame.id == ROOT_FRAME {
+            return false;
         }
         loop {
-            let (advance, front) = {
-                let fr = match st.frames.get(&f) {
-                    Some(fr) => fr,
-                    None => return,
-                };
-                if fr.front >= fr.started {
-                    (false, fr.front)
-                } else {
-                    let enters_ok = fr.front > 0 || fr.enters_seen == fr.expected_enters;
-                    let it_done = fr
-                        .iterations
-                        .get(&fr.front)
-                        .map(|it| it.outstanding_ops == 0 && it.outstanding_frames == 0)
-                        .unwrap_or(true);
-                    (enters_ok && it_done, fr.front)
-                }
+            let advance = if core.front >= core.started {
+                false
+            } else {
+                let enters_ok = core.front > 0 || core.enters_seen == frame.expected_enters;
+                let it_done = core
+                    .iterations
+                    .get(&core.front)
+                    .map(|it| it.outstanding_ops == 0 && it.outstanding_frames == 0)
+                    .unwrap_or(true);
+                enters_ok && it_done
             };
             if !advance {
                 break;
             }
-            {
-                let fr = st.frames.get_mut(&f).expect("frame exists");
-                fr.iterations.remove(&front);
-                fr.front = front + 1;
-            }
+            let front = core.front;
+            core.iterations.remove(&front);
+            core.front = front + 1;
             // Release deferred tokens now inside the window.
             loop {
-                let next = {
-                    let fr = st.frames.get_mut(&f).expect("frame exists");
-                    let pos = fr.deferred.iter().position(|d| fr.in_window(d.iter));
-                    pos.map(|p| fr.deferred.remove(p).expect("position valid"))
-                };
-                match next {
+                let limit = core.front + frame.parallel_iterations;
+                let pos = core.deferred.iter().position(|d| d.iter < limit);
+                match pos.map(|p| core.deferred.remove(p).expect("position valid")) {
                     Some(d) => {
-                        self.ensure_iteration(st, f, d.iter);
-                        self.deliver_to_consumers(st, f, d.iter, d.node, 0, d.token);
+                        self.ensure_iteration(frame, core, d.iter);
+                        self.deliver_to_consumers(frame, core, d.iter, d.node, 0, d.token);
                     }
                     None => break,
                 }
@@ -1134,43 +1178,54 @@ impl RunShared {
         }
 
         // Frame completion.
-        let complete = {
-            let fr = match st.frames.get(&f) {
-                Some(fr) => fr,
-                None => return,
-            };
-            !fr.done
-                && fr.front >= fr.started
-                && fr.deferred.is_empty()
-                && fr.enters_seen == fr.expected_enters
-                && fr
-                    .iterations
-                    .values()
-                    .all(|it| it.outstanding_ops == 0 && it.outstanding_frames == 0)
-        };
-        if !complete {
-            return;
+        let complete = !core.done
+            && core.front >= core.started
+            && core.deferred.is_empty()
+            && core.enters_seen == frame.expected_enters
+            && core
+                .iterations
+                .values()
+                .all(|it| it.outstanding_ops == 0 && it.outstanding_frames == 0);
+        if complete {
+            core.done = true;
         }
-        let (parent, dead_exits) = {
-            let fr = st.frames.get_mut(&f).expect("frame exists");
-            fr.done = true;
-            let dead: Vec<NodeId> = fr.dead_exits.difference(&fr.live_exits).copied().collect();
-            (fr.parent, dead)
-        };
-        if let Some((pf, pi)) = parent {
-            // Deliver one dead token per never-live exit (nested deadness).
-            for exit in dead_exits {
-                self.deliver_to_consumers(st, pf, pi, exit, 0, Token::dead());
+        complete
+    }
+
+    /// Completion cascade: walks up the ancestor chain, delivering each
+    /// completed frame's never-live dead exits into its parent, releasing
+    /// the parent's hold, and repeating if that completes the parent.
+    /// Iterative, holding at most one frame lock at a time.
+    fn complete_frame(self: &Arc<Self>, frame: Arc<Frame>) {
+        let mut cur = frame;
+        loop {
+            let Some((parent, pi)) = cur.parent.clone() else { return };
+            let dead_exits: Vec<NodeId> = {
+                let core = cur.core.lock();
+                debug_assert!(core.done, "cascade on incomplete frame {}", cur.id);
+                core.dead_exits.difference(&core.live_exits).copied().collect()
+            };
+            // Unregister before releasing the parent's hold.
+            if let Some(name_id) = cur.name_id {
+                self.table.lock().index.remove(&(parent.id, pi, name_id));
             }
-            // Drop the frame and release the parent's hold.
-            let fr = st.frames.remove(&f).expect("frame exists");
-            st.frame_index.remove(&(pf, pi, fr.name));
-            if let Some(p) = st.frames.get_mut(&pf) {
-                if let Some(it) = p.iterations.get_mut(&pi) {
+            let completed_parent = {
+                let mut pcore = parent.core.lock();
+                // Deliver one dead token per never-live exit (nested
+                // deadness).
+                for exit in dead_exits {
+                    self.deliver_to_consumers(&parent, &mut pcore, pi, exit, 0, Token::dead());
+                }
+                if let Some(it) = pcore.iterations.get_mut(&pi) {
                     it.outstanding_frames -= 1;
                 }
+                self.advance_locked(&parent, &mut pcore)
+            };
+            if completed_parent {
+                cur = parent;
+            } else {
+                return;
             }
-            self.maybe_advance(st, pf);
         }
     }
 }

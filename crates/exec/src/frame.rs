@@ -1,8 +1,18 @@
 //! Runtime frames and iterations: the dynamic execution contexts of §4.1.
+//!
+//! Frame state is sharded for parallel execution: each dynamically created
+//! frame is an [`Arc<Frame>`] whose immutable metadata (identity, parent
+//! link, tag prefix, parallelism knob) is read lock-free, while its mutable
+//! bookkeeping lives in a per-frame [`FrameCore`] mutex. Workers operating
+//! on different frames — or different loops — never contend. See
+//! `DESIGN.md` ("Executor locking discipline") for the ordering rules.
 
+use crate::exec_graph::FrameNameId;
 use crate::token::Token;
 use dcf_graph::NodeId;
+use dcf_sync::Mutex;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Identifier of a dynamically created frame instance.
 pub(crate) type FrameId = u64;
@@ -64,15 +74,9 @@ pub(crate) struct DeferredToken {
     pub token: Token,
 }
 
-/// A dynamically allocated execution frame (one `while_loop` activation).
+/// Mutable per-frame bookkeeping, guarded by the frame's own mutex.
 #[derive(Debug)]
-pub(crate) struct FrameState {
-    /// Static frame name (from the `Enter` attribute).
-    pub name: String,
-    /// Parent frame and the parent iteration that spawned this frame.
-    pub parent: Option<(FrameId, usize)>,
-    /// The §4.3 parallelism knob for this frame.
-    pub parallel_iterations: usize,
+pub(crate) struct FrameCore {
     /// Live iteration states, keyed by iteration number.
     pub iterations: BTreeMap<usize, IterationState>,
     /// Oldest incomplete iteration.
@@ -81,8 +85,6 @@ pub(crate) struct FrameState {
     pub started: usize,
     /// NextIteration tokens waiting for the window to advance.
     pub deferred: VecDeque<DeferredToken>,
-    /// Total `Enter` tokens this frame will receive.
-    pub expected_enters: usize,
     /// `Enter` tokens received so far.
     pub enters_seen: usize,
     /// Loop-constant tokens, replayed into every iteration: (enter node,
@@ -92,73 +94,96 @@ pub(crate) struct FrameState {
     pub dead_exits: HashSet<NodeId>,
     /// Exit nodes that have delivered a live value.
     pub live_exits: HashSet<NodeId>,
-    /// Static tag prefix for rendezvous keys; full tag is
-    /// `"{base_tag};{iter}"`.
-    pub base_tag: String,
-    /// Set when the frame has completed (for debug assertions).
+    /// Set when the frame has completed (guards double completion).
     pub done: bool,
 }
 
-impl FrameState {
-    /// Creates the root frame (iteration 0 only, no parent).
-    pub(crate) fn root() -> FrameState {
+impl FrameCore {
+    fn new() -> FrameCore {
         let mut iterations = BTreeMap::new();
         iterations.insert(0, IterationState::default());
-        FrameState {
-            name: "_root".into(),
-            parent: None,
-            parallel_iterations: 1,
+        FrameCore {
             iterations,
             front: 0,
             started: 1,
             deferred: VecDeque::new(),
-            expected_enters: 0,
             enters_seen: 0,
             constants: Vec::new(),
             dead_exits: HashSet::new(),
             live_exits: HashSet::new(),
-            base_tag: "root".into(),
             done: false,
         }
+    }
+}
+
+/// A dynamically allocated execution frame (one `while_loop` activation).
+///
+/// The fields outside [`Frame::core`] are immutable after creation and can
+/// be read without any lock — in particular [`Frame::tag`], used for
+/// rendezvous keys and random-op seeding on the execution hot path.
+#[derive(Debug)]
+pub(crate) struct Frame {
+    /// Unique id of this activation within the run.
+    pub id: FrameId,
+    /// Interned static frame name (`None` for the root frame).
+    pub name_id: Option<FrameNameId>,
+    /// Parent frame and the parent iteration that spawned this frame.
+    pub parent: Option<(Arc<Frame>, usize)>,
+    /// The §4.3 parallelism knob for this frame.
+    pub parallel_iterations: usize,
+    /// Total `Enter` tokens this frame will receive.
+    pub expected_enters: usize,
+    /// Static tag prefix for rendezvous keys; full tag is
+    /// `"{base_tag};{iter}"`.
+    pub base_tag: String,
+    /// Mutable bookkeeping (iterations, windows, exits).
+    pub core: Mutex<FrameCore>,
+}
+
+impl Frame {
+    /// Creates the root frame (iteration 0 only, no parent).
+    pub(crate) fn root() -> Arc<Frame> {
+        Arc::new(Frame {
+            id: ROOT_FRAME,
+            name_id: None,
+            parent: None,
+            parallel_iterations: 1,
+            expected_enters: 0,
+            base_tag: "root".into(),
+            core: Mutex::new(FrameCore::new()),
+        })
     }
 
     /// Creates a child frame.
     pub(crate) fn child(
-        name: String,
-        parent: (FrameId, usize),
-        parent_base_tag: &str,
+        id: FrameId,
+        name_id: FrameNameId,
+        name: &str,
+        parent: (Arc<Frame>, usize),
         parallel_iterations: usize,
         expected_enters: usize,
-    ) -> FrameState {
-        let base_tag = format!("{};{}/{}", parent_base_tag, parent.1, name);
-        let mut iterations = BTreeMap::new();
-        iterations.insert(0, IterationState::default());
-        FrameState {
-            name,
+    ) -> Arc<Frame> {
+        let base_tag = format!("{};{}/{}", parent.0.base_tag, parent.1, name);
+        Arc::new(Frame {
+            id,
+            name_id: Some(name_id),
             parent: Some(parent),
             parallel_iterations: parallel_iterations.max(1),
-            iterations,
-            front: 0,
-            started: 1,
-            deferred: VecDeque::new(),
             expected_enters,
-            enters_seen: 0,
-            constants: Vec::new(),
-            dead_exits: HashSet::new(),
-            live_exits: HashSet::new(),
             base_tag,
-            done: false,
-        }
+            core: Mutex::new(FrameCore::new()),
+        })
     }
 
     /// The dynamic tag of iteration `iter` in this frame (rendezvous keys).
+    /// Lock-free: derived from immutable metadata only.
     pub(crate) fn tag(&self, iter: usize) -> String {
         format!("{};{}", self.base_tag, iter)
     }
 
     /// `true` if iteration `iter` is inside the parallel window.
-    pub(crate) fn in_window(&self, iter: usize) -> bool {
-        iter < self.front + self.parallel_iterations
+    pub(crate) fn in_window(&self, core: &FrameCore, iter: usize) -> bool {
+        iter < core.front + self.parallel_iterations
     }
 }
 
@@ -168,28 +193,34 @@ mod tests {
 
     #[test]
     fn tags_are_hierarchical() {
-        let root = FrameState::root();
+        let root = Frame::root();
         assert_eq!(root.tag(0), "root;0");
-        let child = FrameState::child("loopA".into(), (ROOT_FRAME, 0), &root.base_tag, 32, 2);
+        let child = Frame::child(1, 0, "loopA", (root.clone(), 0), 32, 2);
         assert_eq!(child.tag(3), "root;0/loopA;3");
-        let grand = FrameState::child("loopB".into(), (1, 3), &child.base_tag, 32, 1);
+        let grand = Frame::child(2, 1, "loopB", (child, 3), 32, 1);
         assert_eq!(grand.tag(0), "root;0/loopA;3/loopB;0");
     }
 
     #[test]
     fn window_logic() {
-        let mut f = FrameState::child("l".into(), (ROOT_FRAME, 0), "root", 4, 1);
-        assert!(f.in_window(0));
-        assert!(f.in_window(3));
-        assert!(!f.in_window(4));
-        f.front = 2;
-        assert!(f.in_window(5));
-        assert!(!f.in_window(6));
+        let root = Frame::root();
+        let f = Frame::child(1, 0, "l", (root, 0), 4, 1);
+        {
+            let core = f.core.lock();
+            assert!(f.in_window(&core, 0));
+            assert!(f.in_window(&core, 3));
+            assert!(!f.in_window(&core, 4));
+        }
+        f.core.lock().front = 2;
+        let core = f.core.lock();
+        assert!(f.in_window(&core, 5));
+        assert!(!f.in_window(&core, 6));
     }
 
     #[test]
     fn parallel_iterations_clamped_to_one() {
-        let f = FrameState::child("l".into(), (ROOT_FRAME, 0), "root", 0, 1);
+        let root = Frame::root();
+        let f = Frame::child(1, 0, "l", (root, 0), 0, 1);
         assert_eq!(f.parallel_iterations, 1);
     }
 }

@@ -70,6 +70,17 @@ impl Charge {
         Ok(Arc::new(Charge { allocator: allocator.clone(), bytes }))
     }
 
+    /// Like [`Charge::new`], but on a full device waits up to `patience`
+    /// for in-flight deallocations (e.g. swap-out copies) before giving up.
+    pub fn new_retrying(
+        allocator: &TrackingAllocator,
+        bytes: usize,
+        patience: std::time::Duration,
+    ) -> Result<Arc<Charge>, MemoryError> {
+        allocator.alloc_retrying(bytes, patience)?;
+        Ok(Arc::new(Charge { allocator: allocator.clone(), bytes }))
+    }
+
     /// The charged size in (modeled) bytes.
     pub fn bytes(&self) -> usize {
         self.bytes

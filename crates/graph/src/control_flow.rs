@@ -13,6 +13,9 @@ use crate::op::OpKind;
 use crate::{GraphBuilder, Result};
 use dcf_tensor::{DType, Tensor};
 
+/// A deferred branch-body builder, as accepted by [`GraphBuilder::case`].
+pub type BranchFn<'a> = Box<dyn FnOnce(&mut GraphBuilder) -> Result<Vec<TensorRef>> + 'a>;
+
 /// Options for [`GraphBuilder::while_loop`].
 #[derive(Clone, Debug)]
 pub struct WhileOptions {
@@ -583,7 +586,7 @@ impl GraphBuilder {
     pub fn case(
         &mut self,
         index: TensorRef,
-        branches: Vec<Box<dyn FnOnce(&mut GraphBuilder) -> Result<Vec<TensorRef>> + '_>>,
+        branches: Vec<BranchFn<'_>>,
         default: impl FnOnce(&mut GraphBuilder) -> Result<Vec<TensorRef>>,
     ) -> Result<Vec<TensorRef>> {
         if self.graph().dtype(index) != DType::I64 {
@@ -591,8 +594,7 @@ impl GraphBuilder {
         }
         // Build from the last branch backwards:
         // case(i, [b0, b1, b2], d) == cond(i==0, b0, cond(i==1, b1, cond(i==2, b2, d))).
-        let mut rest: Box<dyn FnOnce(&mut GraphBuilder) -> Result<Vec<TensorRef>>> =
-            Box::new(default);
+        let mut rest: BranchFn<'_> = Box::new(default);
         for (i, branch) in branches.into_iter().enumerate().rev() {
             let prev = rest;
             rest = Box::new(move |g: &mut GraphBuilder| {

@@ -465,7 +465,7 @@ impl OutOfGraphDqn {
 
         // 2. Client-side conditional training.
         let mut loss = 0.0;
-        if self.steps % self.cfg.train_every == 0 && count >= self.cfg.batch {
+        if self.steps.is_multiple_of(self.cfg.train_every) && count >= self.cfg.batch {
             let mut fetches = vec![self.loss_fetch];
             fetches.extend(&self.train_updates);
             self.dispatch();
@@ -474,7 +474,7 @@ impl OutOfGraphDqn {
         }
 
         // 3. Client-side conditional target sync.
-        if self.steps % self.cfg.sync_every == 0 {
+        if self.steps.is_multiple_of(self.cfg.sync_every) {
             self.dispatch();
             self.sync.run(&HashMap::new(), &[self.sync_fetch]).map_err(mk_err)?;
         }

@@ -124,11 +124,14 @@ impl Session {
         }
 
         let cancel = CancelToken::new();
+        // One shared copy of the feed dictionary for every partition.
+        let feeds = Arc::new(feeds.clone());
         let results: Vec<Result<dcf_exec::RunOutcome>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (idx, (_, exec)) in self.executors.iter().enumerate() {
                 let fetches = per_exec_fetches[idx].clone();
                 let cancel = cancel.clone();
+                let feeds = feeds.clone();
                 handles
                     .push(scope.spawn(move || exec.run_cancellable(feeds, &fetches, Some(cancel))));
             }

@@ -154,7 +154,7 @@ impl Tensor {
         }
         let v = self.as_f32_slice()?;
         let extent = self.shape().dim(self.shape().rank() - 1);
-        let rows = if extent == 0 { 0 } else { self.num_elements() / extent };
+        let rows = self.num_elements().checked_div(extent).unwrap_or(0);
         let mut out = vec![0.0f32; self.num_elements()];
         for r in 0..rows {
             let row = &v[r * extent..(r + 1) * extent];

@@ -100,7 +100,7 @@ impl Tensor {
     /// The inverse of [`Tensor::concat1`] for equal-width parts; used to
     /// split fused LSTM gate pre-activations.
     pub fn split1(&self, n: usize) -> Result<Vec<Tensor>> {
-        if self.shape().rank() != 2 || n == 0 || self.shape().dim(1) % n != 0 {
+        if self.shape().rank() != 2 || n == 0 || !self.shape().dim(1).is_multiple_of(n) {
             return Err(TensorError::ShapeMismatch {
                 op: "split1",
                 lhs: self.shape().clone(),

@@ -134,10 +134,10 @@ impl<const N: usize> From<[usize; N]> for Shape {
 pub fn broadcast_shapes(lhs: &Shape, rhs: &Shape) -> Result<Shape> {
     let rank = lhs.rank().max(rhs.rank());
     let mut dims = vec![0usize; rank];
-    for i in 0..rank {
+    for (i, dim) in dims.iter_mut().enumerate() {
         let l = if i < rank - lhs.rank() { 1 } else { lhs.dims()[i - (rank - lhs.rank())] };
         let r = if i < rank - rhs.rank() { 1 } else { rhs.dims()[i - (rank - rhs.rank())] };
-        dims[i] = if l == r || r == 1 {
+        *dim = if l == r || r == 1 {
             l
         } else if l == 1 {
             r
