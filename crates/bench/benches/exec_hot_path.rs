@@ -9,8 +9,12 @@
 //! elem/s column is ops/s.
 
 use dcf_bench::microbench::Bench;
-use dcf_device::{Device, DeviceId, DeviceProfile, Tracer};
-use dcf_exec::{ExecGraph, Executor, ExecutorOptions, InMemoryRendezvous, ResourceManager};
+use dcf_device::{
+    Device, DeviceCollector, DeviceId, DeviceProfile, StepStatsCollector, TraceLevel, Tracer,
+};
+use dcf_exec::{
+    ExecGraph, Executor, ExecutorOptions, InMemoryRendezvous, ResourceManager, RunConfig,
+};
 use dcf_graph::{GraphBuilder, TensorRef, WhileOptions};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -93,6 +97,32 @@ fn measure(b: &mut Bench, name: &str, exec: &Executor, fetches: &[TensorRef]) {
     });
 }
 
+/// Like [`measure`] but with a fresh `TraceLevel::Full` collector per run,
+/// quantifying the cost of step-stats collection on the hot path. The
+/// untraced cases above run with `RunConfig::collector = None` (the
+/// `TraceLevel::None` path) and are the regression baseline.
+fn measure_traced(b: &mut Bench, name: &str, exec: &Executor, fetches: &[TensorRef]) {
+    let feeds = Arc::new(HashMap::new());
+    let traced_run = || {
+        let collector = Arc::new(StepStatsCollector::new(TraceLevel::Full));
+        collector.register_device("/bench/cpu:0");
+        let config = RunConfig {
+            collector: Some(DeviceCollector::new(0, collector.clone())),
+            ..RunConfig::default()
+        };
+        let outcome =
+            exec.run_with(feeds.clone(), fetches, config).expect("bench graph should run");
+        // Merge the shards so the traced case pays the full collection cost.
+        let stats = collector.finish();
+        assert!(!stats.devices.is_empty());
+        outcome
+    };
+    let ops = traced_run().ops_executed;
+    b.throughput_case(name, ops as f64, || {
+        traced_run();
+    });
+}
+
 fn main() {
     let mut b = Bench::new().sample_size(15).warmup(3);
 
@@ -115,6 +145,14 @@ fn main() {
         let (g, outs) = nested_loop(30, 30);
         let exec = executor_for(g, workers);
         measure(&mut b, &format!("nested_loop/workers{workers}"), &exec, &outs);
+    }
+
+    // Tracing on: the same tight loop under a TraceLevel::Full collector,
+    // for the observability-overhead entry in EXPERIMENTS.md.
+    for workers in [1usize, 4] {
+        let (g, outs) = tight_loop(1000, 32);
+        let exec = executor_for(g, workers);
+        measure_traced(&mut b, &format!("tight_loop_traced/workers{workers}"), &exec, &outs);
     }
 
     // Write to the workspace root regardless of cargo's bench cwd.

@@ -1,7 +1,15 @@
 //! Reproduces Figure 11. Usage: `cargo run --release -p dcf-bench --bin fig11`
+//!
+//! Pass `--trace-out <path>` to also write a Chrome-trace JSON of one
+//! traced barrier-mode loop (load it in `chrome://tracing`).
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let machines: &[usize] = if quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64] };
     let iters = if quick { 100 } else { 400 };
     println!("{}", dcf_bench::fig11::run(machines, iters).render());
+    if let Some(path) = dcf_bench::trace_out_arg(&args) {
+        let json = dcf_bench::fig11::trace(4, 20);
+        dcf_bench::write_trace(&path, &json);
+    }
 }

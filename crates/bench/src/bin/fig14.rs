@@ -1,7 +1,16 @@
 //! Reproduces Figure 14. Usage: `cargo run --release -p dcf-bench --bin fig14`
+//!
+//! Pass `--trace-out <path>` to also write a Chrome-trace JSON of one
+//! traced dynamic training step with memory swapping, showing
+//! compute/H2D/D2H overlap (load it in `chrome://tracing`).
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let batches: &[usize] = &[64, 128, 256, 512];
     let (seq, ts) = if quick { (50, 0.2) } else { (200, 0.5) };
     println!("{}", dcf_bench::fig14::run(batches, seq, ts).render());
+    if let Some(path) = dcf_bench::trace_out_arg(&args) {
+        let json = dcf_bench::fig14::trace(256, seq, ts);
+        dcf_bench::write_trace(&path, &json);
+    }
 }

@@ -1,7 +1,15 @@
 //! Reproduces Table 1. Usage: `cargo run --release -p dcf-bench --bin table1`
+//!
+//! Pass `--trace-out <path>` to also write a Chrome-trace JSON of one
+//! swap-enabled training step (load it in `chrome://tracing`).
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let lens: &[usize] = &[100, 200, 500, 600, 700, 900, 1000];
     let time_scale = if quick { 0.05 } else { 0.2 };
     println!("{}", dcf_bench::table1::run(lens, time_scale).render());
+    if let Some(path) = dcf_bench::trace_out_arg(&args) {
+        let json = dcf_bench::table1::trace(100, time_scale);
+        dcf_bench::write_trace(&path, &json);
+    }
 }

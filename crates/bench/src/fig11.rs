@@ -12,7 +12,7 @@
 use crate::Report;
 use dcf_device::DeviceProfile;
 use dcf_graph::{GraphBuilder, WhileOptions};
-use dcf_runtime::{Cluster, NetworkModel, Session, SessionOptions};
+use dcf_runtime::{Cluster, NetworkModel, RunOptions, Session, SessionOptions, TraceLevel};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -73,12 +73,67 @@ pub fn measure(machines: usize, barrier: bool, iterations: i64) -> f64 {
     .expect("session");
 
     // Warm-up run, then the measured run.
-    sess.run(&HashMap::new(), &[outs[0]]).expect("warmup");
+    sess.run_simple(&HashMap::new(), &[outs[0]]).expect("warmup");
     let t0 = Instant::now();
-    let out = sess.run(&HashMap::new(), &[outs[0]]).expect("measured run");
+    let out = sess.run_simple(&HashMap::new(), &[outs[0]]).expect("measured run");
     let wall = t0.elapsed();
     assert_eq!(out[0].scalar_as_i64().expect("counter"), iterations);
     iterations as f64 / wall.as_secs_f64()
+}
+
+/// Runs one traced barrier-mode loop and returns Chrome-trace JSON.
+///
+/// The trace shows one process per device plus a network process whose
+/// rendezvous track carries the cross-machine transfers of the
+/// AllReduce-style barrier.
+pub fn trace(machines: usize, iterations: i64) -> String {
+    let cluster = Cluster::gpu_machines(machines, DeviceProfile::cpu());
+    let mut g = GraphBuilder::new();
+    let i0 = g.scalar_i64(0);
+    let lim = g.scalar_i64(iterations);
+    let mut inits = vec![i0];
+    for m in 0..machines {
+        let x0 = g.with_device(format!("/machine:{m}/cpu:0"), |g| g.scalar_f32(1.0));
+        inits.push(x0);
+    }
+    let outs = g
+        .while_loop(
+            &inits,
+            |g, v| g.less(v[0], lim),
+            |g, v| {
+                let one = g.scalar_i64(1);
+                let i = g.add(v[0], one)?;
+                let mut partials = Vec::with_capacity(machines);
+                for m in 0..machines {
+                    let y = g.with_device(format!("/machine:{m}/cpu:0"), |g| {
+                        let c = g.scalar_f32(1.0000001);
+                        g.mul(v[1 + m], c)
+                    })?;
+                    partials.push(y);
+                }
+                let total = g.with_device("/machine:0/cpu:0", |g| g.add_n(&partials))?;
+                let scale = g.scalar_f32(1.0 / machines as f32);
+                let mut results = vec![i];
+                for m in 0..machines {
+                    let y =
+                        g.with_device(format!("/machine:{m}/cpu:0"), |g| g.mul(total, scale))?;
+                    results.push(y);
+                }
+                Ok(results)
+            },
+            WhileOptions { parallel_iterations: 32, ..Default::default() },
+        )
+        .expect("loop construction");
+    let sess = Session::new(
+        g.finish().expect("valid graph"),
+        cluster,
+        SessionOptions { network: NetworkModel::default(), ..SessionOptions::functional() },
+    )
+    .expect("session");
+    let (_, meta) = sess
+        .run(&RunOptions::traced(TraceLevel::Full).with_tag("fig11"), &HashMap::new(), &[outs[0]])
+        .expect("traced run");
+    dcf_runtime::chrome_trace_json(&meta.step_stats.expect("trace requested"))
 }
 
 /// Runs the full sweep.

@@ -1,10 +1,10 @@
 //! Figure 13: kernel timelines showing compute/copy overlap during memory
 //! swapping.
 //!
-//! Runs the Table 1 workload (swap enabled) with the kernel tracer on and
-//! reports per-stream busy time, the fraction of copy traffic overlapped
-//! with compute, and an ASCII rendering of the three streams — the
-//! information content of the paper's Figure 13.
+//! Runs the Table 1 workload (swap enabled) under a `TraceLevel::Full`
+//! step trace and reports per-stream busy time, the fraction of copy
+//! traffic overlapped with compute, and an ASCII rendering of the three
+//! streams — the information content of the paper's Figure 13.
 
 use crate::table1::{BATCH, HIDDEN, SCALE};
 use crate::Report;
@@ -12,7 +12,7 @@ use dcf_autodiff::gradients;
 use dcf_device::DeviceProfile;
 use dcf_graph::{GraphBuilder, WhileOptions};
 use dcf_ml::LstmCell;
-use dcf_runtime::{Cluster, Session, SessionOptions};
+use dcf_runtime::{Cluster, RunOptions, Session, SessionOptions, TraceLevel};
 use dcf_tensor::{DType, Tensor, TensorRng};
 use std::collections::HashMap;
 
@@ -26,7 +26,6 @@ pub fn run(seq_len: usize, time_scale: f64) -> (Report, String) {
         .with_memory_capacity(2 << 30);
     let mut cluster = Cluster::new();
     cluster.add_device(0, profile);
-    cluster.tracer().set_enabled(true);
 
     let mut g = GraphBuilder::new();
     let mut rng = TensorRng::new(17);
@@ -47,20 +46,19 @@ pub fn run(seq_len: usize, time_scale: f64) -> (Report, String) {
     let loss = g.reduce_mean(sq).expect("loss");
     let grads = gradients(&mut g, loss, &cell.params()).expect("gradients");
 
-    let tracer = cluster.tracer().clone();
     let sess = Session::new(
         g.finish().expect("valid graph"),
         cluster,
-        SessionOptions {
-            executor: dcf_exec::ExecutorOptions { swap_threshold: 0.3, ..Default::default() },
-            ..SessionOptions::functional()
-        },
+        SessionOptions::functional()
+            .with_executor(dcf_exec::ExecutorOptions { swap_threshold: 0.3, ..Default::default() }),
     )
     .expect("session");
-    tracer.reset();
-    sess.run(&HashMap::new(), &[loss, grads[0], grads[1]]).expect("traced run");
+    let (_, meta) = sess
+        .run(&RunOptions::traced(TraceLevel::Full), &HashMap::new(), &[loss, grads[0], grads[1]])
+        .expect("traced run");
+    let stats = meta.step_stats.expect("trace requested");
 
-    let busy = tracer.busy_per_stream();
+    let busy = stats.busy_per_stream();
     let compute = "/machine:0/k40:0/compute";
     let d2h = "/machine:0/k40:0/d2h";
     let h2d = "/machine:0/k40:0/h2d";
@@ -73,7 +71,7 @@ pub fn run(seq_len: usize, time_scale: f64) -> (Report, String) {
         let overlap = if key == compute {
             "-".to_string()
         } else {
-            format!("{:.0}%", tracer.overlap_fraction(key, compute) * 100.0)
+            format!("{:.0}%", stats.overlap_fraction(key, compute) * 100.0)
         };
         report.row(vec![label.to_string(), format!("{ms:.1}"), overlap]);
     }
@@ -82,7 +80,6 @@ pub fn run(seq_len: usize, time_scale: f64) -> (Report, String) {
          elapsed time with swapping is almost identical to without. Shape target: high \
          overlap percentage for the copy streams.",
     );
-    let art = tracer.render_ascii(100);
-    tracer.set_enabled(false);
+    let art = stats.ascii_timeline(100);
     (report, art)
 }

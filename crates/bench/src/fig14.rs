@@ -13,7 +13,7 @@ use dcf_autodiff::gradients;
 use dcf_device::DeviceProfile;
 use dcf_graph::{GraphBuilder, WhileOptions};
 use dcf_ml::{dynamic_rnn, static_rnn, LstmCell};
-use dcf_runtime::{Cluster, Session, SessionOptions};
+use dcf_runtime::{Cluster, RunOptions, Session, SessionOptions, TraceLevel};
 use dcf_tensor::{DType, Tensor, TensorRng};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -59,11 +59,67 @@ pub fn measure(
         Session::new(g.finish().expect("valid graph"), cluster, SessionOptions::functional())
             .expect("session");
     // Warm-up then measure.
-    sess.run(&HashMap::new(), &fetches).expect("warmup");
+    sess.run_simple(&HashMap::new(), &fetches).expect("warmup");
     device.allocator().reset();
     let t0 = Instant::now();
-    sess.run(&HashMap::new(), &fetches).expect("measured run");
+    sess.run_simple(&HashMap::new(), &fetches).expect("measured run");
     (t0.elapsed().as_secs_f64(), device.allocator().peak())
+}
+
+/// Runs one traced `dynamic_rnn` training step and returns Chrome-trace
+/// JSON for `chrome://tracing`.
+///
+/// Swapping is enabled with a reduced device capacity (as in Figure 13) so
+/// the H2D/D2H copy streams carry traffic and the trace shows compute/copy
+/// overlap alongside the scheduler and rendezvous tracks.
+pub fn trace(batch_modeled: usize, seq_len: usize, time_scale: f64) -> String {
+    let hidden = 512 / SCALE;
+    let batch = (batch_modeled / SCALE).max(1);
+    let profile = DeviceProfile::gpu_k40()
+        .with_shape_scale(SCALE)
+        .with_time_scale(time_scale)
+        // Reduced capacity (the sweep's dynamic peak fits in 2 GiB with
+        // room to spare) so the 0.3 swap threshold below actually trips
+        // and the copy streams carry traffic.
+        .with_memory_capacity(1 << 30);
+    let mut cluster = Cluster::new();
+    cluster.add_device(0, profile);
+
+    let mut g = GraphBuilder::new();
+    let mut rng = TensorRng::new(23);
+    let cell = LstmCell::new(&mut g, "lstm", hidden, hidden, &mut rng);
+    let x = g.constant(rng.uniform(&[seq_len, batch, hidden], -1.0, 1.0));
+    let h0 = g.constant(Tensor::zeros(DType::F32, &[batch, hidden]));
+    let c0 = g.constant(Tensor::zeros(DType::F32, &[batch, hidden]));
+    let rnn = dynamic_rnn(
+        &mut g,
+        &cell,
+        x,
+        h0,
+        c0,
+        WhileOptions { swap_memory: true, ..Default::default() },
+    )
+    .expect("dynamic rnn");
+    let sq = g.square(rnn.outputs).expect("loss");
+    let loss = g.reduce_mean(sq).expect("loss");
+    let grads = gradients(&mut g, loss, &cell.params()).expect("gradients");
+    let lr = g.scalar_f32(1e-4);
+    let mut fetches = vec![loss];
+    for (p, grad) in cell.params().into_iter().zip(grads) {
+        let scaled = g.mul(grad, lr).expect("update");
+        fetches.push(g.assign_sub(p, scaled).expect("update"));
+    }
+    let sess = Session::new(
+        g.finish().expect("valid graph"),
+        cluster,
+        SessionOptions::functional()
+            .with_executor(dcf_exec::ExecutorOptions { swap_threshold: 0.3, ..Default::default() }),
+    )
+    .expect("session");
+    let (_, meta) = sess
+        .run(&RunOptions::traced(TraceLevel::Full).with_tag("fig14"), &HashMap::new(), &fetches)
+        .expect("traced run");
+    dcf_runtime::chrome_trace_json(&meta.step_stats.expect("trace requested"))
 }
 
 /// Runs the batch-size sweep.

@@ -81,9 +81,9 @@ pub fn measure(gpus: usize, timesteps: usize, time_scale: f64) -> f64 {
         },
     )
     .expect("session");
-    sess.run(&HashMap::new(), &fetches).expect("warmup");
+    sess.run_simple(&HashMap::new(), &fetches).expect("warmup");
     let t0 = Instant::now();
-    sess.run(&HashMap::new(), &fetches).expect("measured run");
+    sess.run_simple(&HashMap::new(), &fetches).expect("measured run");
     t0.elapsed().as_secs_f64()
 }
 

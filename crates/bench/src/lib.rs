@@ -24,6 +24,20 @@ pub mod microbench;
 pub mod sec65;
 pub mod table1;
 
+/// Parses a `--trace-out <path>` flag from a raw argument list.
+///
+/// Returns the path following the flag, or `None` if the flag is absent.
+/// Shared by the benchmark binaries that can emit Chrome-trace JSON.
+pub fn trace_out_arg(args: &[String]) -> Option<String> {
+    args.iter().position(|a| a == "--trace-out").and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Writes Chrome-trace JSON to `path` and prints where it went.
+pub fn write_trace(path: &str, json: &str) {
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+    println!("wrote Chrome trace ({} bytes) to {path}; load it in chrome://tracing", json.len());
+}
+
 /// A printable result table.
 #[derive(Clone, Debug)]
 pub struct Report {

@@ -18,7 +18,7 @@ use dcf_device::DeviceProfile;
 use dcf_exec::{ExecError, ExecutorOptions};
 use dcf_graph::{GraphBuilder, WhileOptions};
 use dcf_ml::LstmCell;
-use dcf_runtime::{Cluster, NetworkModel, Session, SessionOptions};
+use dcf_runtime::{Cluster, NetworkModel, RunOptions, Session, SessionOptions, TraceLevel};
 use dcf_tensor::{DType, Tensor, TensorRng};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -94,7 +94,7 @@ pub fn measure_with_threshold(
     )
     .expect("session");
     let t0 = Instant::now();
-    match sess.run(&HashMap::new(), &fetches) {
+    match sess.run_simple(&HashMap::new(), &fetches) {
         Ok(_) => Outcome::MsPerIteration(t0.elapsed().as_secs_f64() * 1e3 / seq_len as f64),
         Err(ExecError::OutOfMemory(e)) => {
             if std::env::var("DCF_OOM_DEBUG").is_ok() {
@@ -104,6 +104,56 @@ pub fn measure_with_threshold(
         }
         Err(e) => panic!("unexpected failure: {e}"),
     }
+}
+
+/// Runs one traced swap-enabled training step and returns Chrome-trace
+/// JSON showing the D2H/H2D copy streams overlapping with compute.
+pub fn trace(seq_len: usize, time_scale: f64) -> String {
+    let profile = DeviceProfile::gpu_k40()
+        .with_shape_scale(SCALE)
+        .with_time_scale(time_scale)
+        // Small capacity with an aggressive swap threshold so swapping
+        // starts early and the copy streams stay busy, as in Figure 13.
+        .with_memory_capacity(2 << 30);
+    let mut cluster = Cluster::new();
+    cluster.add_device(0, profile);
+
+    let mut g = GraphBuilder::new();
+    let mut rng = TensorRng::new(17);
+    let cell = LstmCell::new(&mut g, "lstm", HIDDEN, HIDDEN, &mut rng);
+    let x = g.constant(rng.uniform(&[seq_len, BATCH, HIDDEN], -1.0, 1.0));
+    let h0 = g.constant(Tensor::zeros(DType::F32, &[BATCH, HIDDEN]));
+    let c0 = g.constant(Tensor::zeros(DType::F32, &[BATCH, HIDDEN]));
+    let rnn = dcf_ml::dynamic_rnn(
+        &mut g,
+        &cell,
+        x,
+        h0,
+        c0,
+        WhileOptions { swap_memory: true, ..Default::default() },
+    )
+    .expect("rnn construction");
+    let sq = g.square(rnn.outputs).expect("loss");
+    let loss = g.reduce_mean(sq).expect("loss");
+    let grads = gradients(&mut g, loss, &cell.params()).expect("gradient construction");
+
+    let sess = Session::new(
+        g.finish().expect("valid graph"),
+        cluster,
+        SessionOptions {
+            network: NetworkModel::disabled(),
+            executor: ExecutorOptions { workers: 2, swap_threshold: 0.3, ..Default::default() },
+        },
+    )
+    .expect("session");
+    let (_, meta) = sess
+        .run(
+            &RunOptions::traced(TraceLevel::Full).with_tag("table1"),
+            &HashMap::new(),
+            &[loss, grads[0]],
+        )
+        .expect("traced run");
+    dcf_runtime::chrome_trace_json(&meta.step_stats.expect("trace requested"))
 }
 
 /// Measures the peak device footprint of a short run, used to calibrate
@@ -135,7 +185,7 @@ fn probe_peak(probe_len: usize) -> usize {
     let sess =
         Session::new(g.finish().expect("valid graph"), cluster, SessionOptions::functional())
             .expect("session");
-    sess.run(&HashMap::new(), &[loss, grads[0]]).expect("probe run");
+    sess.run_simple(&HashMap::new(), &[loss, grads[0]]).expect("probe run");
     device.allocator().peak()
 }
 

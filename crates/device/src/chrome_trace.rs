@@ -1,0 +1,288 @@
+//! Chrome `chrome://tracing` export of [`StepStats`].
+//!
+//! Layout: one trace *process* per device (pid = device index + 1) with one
+//! track per stream thread (compute / h2d / d2h), one "scheduler" track per
+//! executor worker thread, and a "rendezvous" track; plus a synthetic
+//! "network" process (pid 0) carrying the modeled transfers. All events are
+//! complete ("X") events with microsecond timestamps, so the file loads
+//! directly in `chrome://tracing` or Perfetto.
+
+use crate::json::escape;
+use crate::stats::{RendezvousKind, StepStats};
+
+/// Pid of the synthetic network process.
+const NETWORK_PID: u64 = 0;
+/// Tid of the rendezvous track within each device process.
+const RENDEZVOUS_TID: u64 = 90;
+/// Base tid of the per-worker scheduler tracks within each device process.
+const SCHEDULER_TID_BASE: u64 = 100;
+
+fn push_meta(out: &mut String, pid: u64, tid: Option<u64>, what: &str, name: &str) {
+    out.push_str(&format!("{{\"ph\":\"M\",\"pid\":{pid}"));
+    if let Some(tid) = tid {
+        out.push_str(&format!(",\"tid\":{tid}"));
+    }
+    out.push_str(&format!(",\"name\":\"{what}\",\"args\":{{\"name\":\"{}\"}}}}", escape(name)));
+}
+
+fn push_event(
+    out: &mut String,
+    pid: u64,
+    tid: u64,
+    name: &str,
+    ts: u64,
+    dur: u64,
+    args: &[(&str, String)],
+) {
+    out.push_str(&format!(
+        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\"name\":\"{}\"",
+        escape(name)
+    ));
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", escape(k)));
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Renders `stats` as Chrome trace-event JSON (the
+/// `{"traceEvents": [...]}` object format).
+pub fn chrome_trace_json(stats: &StepStats) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    for (idx, dev) in stats.devices.iter().enumerate() {
+        let pid = idx as u64 + 1;
+        {
+            let mut m = String::new();
+            push_meta(&mut m, pid, None, "process_name", &dev.device);
+            events.push(m);
+        }
+
+        // One track per stream thread, tids 1..; thread names drop the
+        // device-name prefix for readability.
+        let mut streams: Vec<&str> = dev.kernel_stats.iter().map(|k| k.stream.as_str()).collect();
+        streams.sort_unstable();
+        streams.dedup();
+        for (s_idx, stream) in streams.iter().enumerate() {
+            let tid = s_idx as u64 + 1;
+            let short = stream
+                .strip_prefix(dev.device.as_str())
+                .map(|s| s.trim_start_matches('/'))
+                .unwrap_or(stream);
+            let mut m = String::new();
+            push_meta(&mut m, pid, Some(tid), "thread_name", short);
+            events.push(m);
+            for k in dev.kernel_stats.iter().filter(|k| k.stream == *stream) {
+                let mut e = String::new();
+                push_event(
+                    &mut e,
+                    pid,
+                    tid,
+                    &k.kernel,
+                    k.start_us,
+                    k.end_us.saturating_sub(k.start_us),
+                    &[],
+                );
+                events.push(e);
+            }
+        }
+
+        // One scheduler track per executor worker thread. Each track maps
+        // to one OS thread recording synchronous spans, so events within a
+        // track never overlap.
+        let mut workers: Vec<u32> = dev.node_stats.iter().map(|n| n.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        for w in &workers {
+            let tid = SCHEDULER_TID_BASE + *w as u64;
+            let mut m = String::new();
+            push_meta(&mut m, pid, Some(tid), "thread_name", &format!("scheduler/{w}"));
+            events.push(m);
+        }
+        for n in &dev.node_stats {
+            let mut e = String::new();
+            push_event(
+                &mut e,
+                pid,
+                SCHEDULER_TID_BASE + n.worker as u64,
+                &n.node,
+                n.start_us,
+                n.end_us.saturating_sub(n.start_us),
+                &[
+                    ("frame", format!("\"{}\"", escape(&n.frame))),
+                    ("iter", n.iter.to_string()),
+                    ("scheduled_us", n.scheduled_us.to_string()),
+                    ("dead", if n.is_dead { "true".into() } else { "false".into() }),
+                ],
+            );
+            events.push(e);
+        }
+
+        if !dev.rendezvous.is_empty() {
+            let mut m = String::new();
+            push_meta(&mut m, pid, Some(RENDEZVOUS_TID), "thread_name", "rendezvous");
+            events.push(m);
+            for w in &dev.rendezvous {
+                let kind = match w.kind {
+                    RendezvousKind::Send => "send",
+                    RendezvousKind::Recv => "recv",
+                };
+                let mut e = String::new();
+                push_event(
+                    &mut e,
+                    pid,
+                    RENDEZVOUS_TID,
+                    &format!("{kind} {}", w.key),
+                    w.start_us,
+                    w.wait_us,
+                    &[("kind", format!("\"{kind}\""))],
+                );
+                events.push(e);
+            }
+        }
+    }
+
+    if !stats.transfers.is_empty() {
+        let mut m = String::new();
+        push_meta(&mut m, NETWORK_PID, None, "process_name", "network");
+        events.push(m);
+        let mut m = String::new();
+        push_meta(&mut m, NETWORK_PID, Some(1), "thread_name", "transfers");
+        events.push(m);
+        for t in &stats.transfers {
+            let mut e = String::new();
+            push_event(
+                &mut e,
+                NETWORK_PID,
+                1,
+                &t.key,
+                t.start_us,
+                t.delay_us,
+                &[("bytes", t.bytes.to_string())],
+            );
+            events.push(e);
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(e);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::stats::{
+        FrameStats, KernelStats, NodeStats, RendezvousWait, StepStatsCollector, TraceLevel,
+        TransferStats,
+    };
+
+    fn sample_stats() -> StepStats {
+        let c = StepStatsCollector::new(TraceLevel::Full);
+        let d = c.register_device("/machine:0/k40:0");
+        c.record_node(
+            d,
+            NodeStats {
+                node: "MatMul_1".into(),
+                frame: "root;0/while_frame_4".into(),
+                iter: 3,
+                worker: 0,
+                scheduled_us: 5,
+                start_us: 10,
+                end_us: 20,
+                is_dead: false,
+            },
+        );
+        c.record_kernel(
+            d,
+            KernelStats {
+                stream: "/machine:0/k40:0/compute".into(),
+                kernel: "MatMul_1".into(),
+                start_us: 12,
+                end_us: 30,
+            },
+        );
+        c.record_frame(
+            d,
+            FrameStats { frame: "root;0/while_frame_4".into(), iterations: 4, dead_tokens: 2 },
+        );
+        c.record_rendezvous(
+            d,
+            RendezvousWait {
+                key: "m0>m1/e|root;0".into(),
+                kind: RendezvousKind::Recv,
+                start_us: 1,
+                wait_us: 9,
+            },
+        );
+        c.record_transfer(TransferStats {
+            key: "m0>m1/e|root;0".into(),
+            bytes: 4096,
+            start_us: 2,
+            delay_us: 7,
+        });
+        c.finish()
+    }
+
+    #[test]
+    fn emits_parseable_trace_with_tracks() {
+        let json = chrome_trace_json(&sample_stats());
+        let doc = parse(&json).expect("emitted JSON parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        // Exactly one process-name metadata event per process.
+        let process_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(process_names.contains(&"/machine:0/k40:0"));
+        assert!(process_names.contains(&"network"));
+        // The kernel event carries ts/dur.
+        let kernel = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("X")
+                    && e.get("name").and_then(Json::as_str) == Some("MatMul_1")
+                    && e.get("tid").and_then(Json::as_u64) == Some(1)
+            })
+            .expect("kernel event present");
+        assert_eq!(kernel.get("ts").unwrap().as_u64(), Some(12));
+        assert_eq!(kernel.get("dur").unwrap().as_u64(), Some(18));
+        // The scheduler event carries frame/iter args (its tid depends on
+        // the recording thread's process-wide ordinal).
+        let node = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("X")
+                    && e.get("tid").and_then(Json::as_u64).unwrap_or(0) >= SCHEDULER_TID_BASE
+            })
+            .expect("scheduler event present");
+        assert_eq!(
+            node.get("args").unwrap().get("frame").unwrap().as_str(),
+            Some("root;0/while_frame_4")
+        );
+        assert_eq!(node.get("args").unwrap().get("iter").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn empty_stats_still_parse() {
+        let json = chrome_trace_json(&StepStats::default());
+        let doc = parse(&json).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::cost::CostModel;
 use crate::memory::TrackingAllocator;
 use crate::profile::DeviceProfile;
+use crate::stats::{CollectorSlot, DeviceCollector};
 use crate::stream::{Event, Stream};
 use crate::timeline::Tracer;
 use dcf_sync::Mutex;
@@ -54,6 +55,7 @@ pub struct Device {
     cost: CostModel,
     allocator: TrackingAllocator,
     tracer: Tracer,
+    collector: CollectorSlot,
     compute: Stream,
     h2d: Stream,
     d2h: Stream,
@@ -72,6 +74,7 @@ impl Device {
         let name = format!("/machine:{}/{}:{}", machine, profile.name, id.0);
         let allocator = TrackingAllocator::new(name.clone(), profile.memory_capacity);
         let cost = CostModel::new(profile);
+        let collector = CollectorSlot::new();
         Arc::new(Device {
             id,
             name: name.clone(),
@@ -79,9 +82,10 @@ impl Device {
             cost,
             allocator,
             tracer: tracer.clone(),
-            compute: Stream::spawn(format!("{name}/compute"), tracer.clone()),
-            h2d: Stream::spawn(format!("{name}/h2d"), tracer.clone()),
-            d2h: Stream::spawn(format!("{name}/d2h"), tracer),
+            collector: collector.clone(),
+            compute: Stream::spawn(format!("{name}/compute"), tracer.clone(), collector.clone()),
+            h2d: Stream::spawn(format!("{name}/h2d"), tracer.clone(), collector.clone()),
+            d2h: Stream::spawn(format!("{name}/d2h"), tracer, collector),
         })
     }
 
@@ -113,6 +117,14 @@ impl Device {
     /// The shared timeline tracer.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Installs (or, with `None`, clears) the per-run step-stats handle the
+    /// device's stream threads record kernel timings into. The session sets
+    /// this for `TraceLevel::Full` runs and clears it at run end; a traced
+    /// run assumes exclusive use of the device for its duration.
+    pub fn set_collector(&self, dc: Option<DeviceCollector>) {
+        self.collector.set(dc);
     }
 
     /// Submits a kernel asynchronously; the returned event is signaled when
@@ -229,7 +241,9 @@ mod tests {
 
     #[test]
     fn compute_and_copy_streams_overlap() {
-        let d = Device::new(DeviceId(0), 0, DeviceProfile::gpu_k40(), Tracer::enabled());
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        let d = Device::new(DeviceId(0), 0, DeviceProfile::gpu_k40(), tracer);
         let t0 = Instant::now();
         let (e1, _) = d.submit(
             StreamKind::Compute,

@@ -29,16 +29,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chrome_trace;
 mod cost;
 mod device;
+pub mod json;
 mod memory;
 mod profile;
+mod stats;
 mod stream;
 mod timeline;
 
+pub use chrome_trace::chrome_trace_json;
 pub use cost::{CostModel, OpCost};
 pub use device::{Device, DeviceId, Kernel, KernelOutput, StreamKind};
 pub use memory::{MemoryError, TrackingAllocator};
 pub use profile::DeviceProfile;
+pub use stats::{
+    CollectorSlot, DeviceCollector, DeviceStepStats, FrameStats, KernelStats, MemStats, NodeStats,
+    RendezvousKind, RendezvousWait, StepStats, StepStatsCollector, TraceLevel, TransferStats,
+};
 pub use stream::Event;
 pub use timeline::{TimelineEvent, Tracer};

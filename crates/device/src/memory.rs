@@ -143,6 +143,18 @@ impl TrackingAllocator {
         self.inner.0.lock().failed_allocs
     }
 
+    /// Snapshot of all counters under one lock, for step-stats reporting.
+    pub fn snapshot(&self) -> crate::stats::MemStats {
+        let inner = self.inner.0.lock();
+        crate::stats::MemStats {
+            peak_bytes: inner.peak as u64,
+            in_use_bytes: inner.in_use as u64,
+            capacity_bytes: self.capacity as u64,
+            total_allocs: inner.total_allocs,
+            failed_allocs: inner.failed_allocs,
+        }
+    }
+
     /// Resets usage counters (between experiment repetitions).
     pub fn reset(&self) {
         let mut inner = self.inner.0.lock();

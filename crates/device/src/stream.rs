@@ -1,5 +1,6 @@
 //! FIFO kernel streams and completion events.
 
+use crate::stats::{CollectorSlot, KernelStats};
 use crate::timeline::Tracer;
 use dcf_sync::{Condvar, Mutex};
 use std::sync::mpsc;
@@ -123,8 +124,10 @@ pub(crate) struct Stream {
 }
 
 impl Stream {
-    /// Spawns the stream worker. `label` identifies the stream in traces.
-    pub(crate) fn spawn(label: String, tracer: Tracer) -> Stream {
+    /// Spawns the stream worker. `label` identifies the stream in traces;
+    /// `collector` is the device's per-run step-stats slot, consulted per
+    /// kernel so the session can attach and detach collection between runs.
+    pub(crate) fn spawn(label: String, tracer: Tracer, collector: CollectorSlot) -> Stream {
         let (sender, receiver) = mpsc::channel::<Task>();
         let handle = thread::Builder::new()
             .name(label.clone())
@@ -136,7 +139,16 @@ impl Stream {
                     let t0 = Instant::now();
                     (task.work)();
                     wait_until(t0 + task.modeled);
-                    tracer.record(&label, &task.name, t0, Instant::now());
+                    let end = Instant::now();
+                    tracer.record(&label, &task.name, t0, end);
+                    if let Some(dc) = collector.get() {
+                        dc.kernel(KernelStats {
+                            stream: label.clone(),
+                            kernel: task.name.clone(),
+                            start_us: dc.rel_us(t0),
+                            end_us: dc.rel_us(end),
+                        });
+                    }
                     task.done.signal();
                     if let Some(cb) = task.on_done {
                         cb();
@@ -215,7 +227,7 @@ mod tests {
     #[test]
     fn stream_executes_in_fifo_order() {
         let tracer = Tracer::new();
-        let s = Stream::spawn("test".into(), tracer);
+        let s = Stream::spawn("test".into(), tracer, CollectorSlot::new());
         let order = Arc::new(Mutex::new(Vec::new()));
         let mut events = Vec::new();
         for i in 0..10 {
@@ -236,8 +248,9 @@ mod tests {
 
     #[test]
     fn modeled_duration_is_waited_out() {
-        let tracer = Tracer::enabled();
-        let s = Stream::spawn("test".into(), tracer.clone());
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        let s = Stream::spawn("test".into(), tracer.clone(), CollectorSlot::new());
         let t0 = Instant::now();
         let e = s.submit("slow".into(), Duration::from_millis(20), vec![], Box::new(|| {}), None);
         e.wait();
@@ -248,10 +261,31 @@ mod tests {
     }
 
     #[test]
+    fn stream_records_into_attached_collector() {
+        use crate::stats::{DeviceCollector, StepStatsCollector, TraceLevel};
+
+        let slot = CollectorSlot::new();
+        let s = Stream::spawn("dev/compute".into(), Tracer::new(), slot.clone());
+        let collector = Arc::new(StepStatsCollector::new(TraceLevel::Full));
+        let dev = collector.register_device("dev");
+        slot.set(Some(DeviceCollector::new(dev, collector.clone())));
+        s.submit("k0".into(), Duration::from_millis(2), vec![], Box::new(|| {}), None).wait();
+        slot.set(None);
+        // Detached: this kernel must not be recorded.
+        s.submit("k1".into(), Duration::ZERO, vec![], Box::new(|| {}), None).wait();
+        let stats = collector.finish();
+        let kernels = &stats.devices[0].kernel_stats;
+        assert_eq!(kernels.len(), 1);
+        assert_eq!(kernels[0].kernel, "k0");
+        assert_eq!(kernels[0].stream, "dev/compute");
+        assert!(kernels[0].end_us - kernels[0].start_us >= 2_000);
+    }
+
+    #[test]
     fn cross_stream_dependency_blocks() {
         let tracer = Tracer::new();
-        let a = Stream::spawn("a".into(), tracer.clone());
-        let b = Stream::spawn("b".into(), tracer);
+        let a = Stream::spawn("a".into(), tracer.clone(), CollectorSlot::new());
+        let b = Stream::spawn("b".into(), tracer, CollectorSlot::new());
         let counter = Arc::new(AtomicUsize::new(0));
 
         let c1 = counter.clone();

@@ -55,6 +55,17 @@ impl Tracer {
     }
 
     /// Creates an enabled tracer.
+    ///
+    /// Deprecated: the "one process-global enabled tracer" pattern predates
+    /// per-run collection. Request a trace per run via the session's
+    /// `RunOptions::trace_level` and read the returned `StepStats` instead;
+    /// the `Tracer` remains as an internal sink for ad-hoc stream
+    /// diagnostics.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use RunOptions::trace_level and the returned StepStats instead of a globally \
+                enabled Tracer"
+    )]
     pub fn enabled() -> Tracer {
         let t = Tracer::new();
         t.set_enabled(true);
@@ -165,6 +176,7 @@ fn end_offset(epoch: Instant, t: Instant) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::time::Duration;

@@ -22,7 +22,10 @@ use crate::rendezvous::Rendezvous;
 use crate::resources::{ResourceManager, SlotEntry, StackRes, StackSlot};
 use crate::token::{Charge, ExecError, Token};
 use crate::Result;
-use dcf_device::{Device, Kernel, StreamKind};
+use dcf_device::{
+    Device, DeviceCollector, FrameStats, Kernel, NodeStats, RendezvousKind, RendezvousWait,
+    StreamKind,
+};
 use dcf_graph::{NodeId, OpKind, TensorRef};
 use dcf_sync::{Condvar, Mutex};
 use dcf_tensor::{Tensor, TensorRng};
@@ -82,6 +85,24 @@ impl Default for ExecutorOptions {
     }
 }
 
+/// Per-run execution settings beyond feeds and fetches: cancellation
+/// wiring, an optional step-stats collector handle, and an optional
+/// deadline. Constructed by the session from its `RunOptions`.
+#[derive(Default)]
+pub struct RunConfig {
+    /// Shared cancellation token aborting this run when a peer partition
+    /// fails (and firing when this one does).
+    pub cancel: Option<Arc<crate::token::CancelToken>>,
+    /// Step-stats collector handle for this executor's device. When set,
+    /// every node activation, frame completion, and rendezvous wait is
+    /// recorded; when `None` the executor pays one pointer check per node.
+    pub collector: Option<DeviceCollector>,
+    /// Wall-clock budget for the run. On expiry the run fails with
+    /// [`ExecError::DeadlineExceeded`] (and fires `cancel`, aborting peer
+    /// partitions); in-flight activations drain as no-ops.
+    pub timeout: Option<std::time::Duration>,
+}
+
 /// Result of a run: the fetched tensors, in request order.
 #[derive(Clone, Debug)]
 pub struct RunOutcome {
@@ -116,6 +137,9 @@ struct Job {
     frame: Arc<Frame>,
     iter: usize,
     node: NodeId,
+    /// Collector timestamp at scheduling time (0 when not tracing);
+    /// reported as the node's `scheduled_us`.
+    sched_us: u64,
 }
 
 /// Frame registry: maps (parent frame, parent iteration, frame name) to
@@ -142,6 +166,9 @@ struct RunShared {
     done: Mutex<Option<Result<()>>>,
     done_cv: Condvar,
     cancel: Option<Arc<crate::token::CancelToken>>,
+    /// Per-run step-stats handle; `None` keeps the hot path at a single
+    /// `Option` check per activation.
+    collector: Option<DeviceCollector>,
 }
 
 impl Executor {
@@ -154,8 +181,8 @@ impl Executor {
         options: ExecutorOptions,
     ) -> Executor {
         let pool = WorkerPool::new("dcf-exec", options.workers, |job: Job| {
-            let Job { shared, frame, iter, node } = job;
-            shared.execute_node(&frame, iter, node);
+            let Job { shared, frame, iter, node, sched_us } = job;
+            shared.execute_node(&frame, iter, node, sched_us);
         });
         Executor { eg, device, resources, rendezvous, options, pool }
     }
@@ -182,6 +209,19 @@ impl Executor {
         fetches: &[TensorRef],
         cancel: Option<Arc<crate::token::CancelToken>>,
     ) -> Result<RunOutcome> {
+        self.run_with(feeds, fetches, RunConfig { cancel, ..RunConfig::default() })
+    }
+
+    /// The full-control run entry point: feeds by `Arc`, plus a
+    /// [`RunConfig`] carrying cancellation, step-stats collection, and an
+    /// optional deadline. All other run methods are wrappers around this.
+    pub fn run_with(
+        &self,
+        feeds: Arc<HashMap<String, Tensor>>,
+        fetches: &[TensorRef],
+        config: RunConfig,
+    ) -> Result<RunOutcome> {
+        let RunConfig { cancel, collector, timeout } = config;
         let fetch_set: HashSet<(usize, usize)> =
             fetches.iter().map(|t| (t.node.0, t.port)).collect();
         let root = Frame::root();
@@ -201,6 +241,7 @@ impl Executor {
             done: Mutex::new(None),
             done_cv: Condvar::new(),
             cancel: cancel.clone(),
+            collector,
         });
         if let Some(token) = &cancel {
             // Abort this run if any peer partition fails.
@@ -224,14 +265,39 @@ impl Executor {
             shared.complete(Ok(()));
         }
 
-        // Wait for completion.
+        // Wait for completion, enforcing the deadline if one was given.
+        let deadline = timeout.map(|t| (t, std::time::Instant::now() + t));
         let result = {
             let mut done = shared.done.lock();
             while done.is_none() {
-                shared.done_cv.wait(&mut done);
+                match deadline {
+                    None => shared.done_cv.wait(&mut done),
+                    Some((budget, dl)) => {
+                        let timed_out = shared.done_cv.wait_until(&mut done, dl);
+                        if timed_out && done.is_none() {
+                            // `fail` takes the done lock itself; release
+                            // first. In-flight activations observe the
+                            // failure and drain as no-ops.
+                            drop(done);
+                            shared.fail(ExecError::DeadlineExceeded(budget));
+                            done = shared.done.lock();
+                        }
+                    }
+                }
             }
             done.clone().expect("done state set")
         };
+
+        // The root frame never "completes" through the window logic, so
+        // its stats are recorded here, after quiescence (or failure).
+        if let Some(dc) = &shared.collector {
+            let core = root.core.lock();
+            dc.frame(FrameStats {
+                frame: root.base_tag.clone(),
+                iterations: core.started as u64,
+                dead_tokens: core.dead_tokens,
+            });
+        }
         result?;
 
         // Collect fetches.
@@ -275,11 +341,13 @@ impl RunShared {
             it.outstanding_ops += 1;
         }
         self.outstanding.fetch_add(1, Ordering::SeqCst);
+        let sched_us = self.collector.as_ref().map(|dc| dc.now_us()).unwrap_or(0);
         let _ = self.queue_tx.send(PoolMsg::Job(Job {
             shared: self.clone(),
             frame: frame.clone(),
             iter: i,
             node,
+            sched_us,
         }));
     }
 
@@ -458,12 +526,55 @@ impl RunShared {
     // Execution
     // ------------------------------------------------------------------
 
-    fn execute_node(self: &Arc<Self>, frame: &Arc<Frame>, i: usize, node_id: NodeId) {
+    fn execute_node(
+        self: &Arc<Self>,
+        frame: &Arc<Frame>,
+        i: usize,
+        node_id: NodeId,
+        sched_us: u64,
+    ) {
         self.ops.fetch_add(1, Ordering::Relaxed);
         if self.is_failed() {
             self.finish_noop(frame, i);
             return;
         }
+        match &self.collector {
+            None => {
+                self.execute_node_inner(frame, i, node_id);
+            }
+            Some(dc) => {
+                // An extra `outstanding` guard keeps the run (and thus the
+                // session's `collector.finish()`) from completing between
+                // the op's own completion inside `execute_node_inner` and
+                // the stats record below — without it the final node's
+                // record can land in an already-drained shard.
+                self.outstanding.fetch_add(1, Ordering::SeqCst);
+                let start_us = dc.now_us();
+                let was_dead = self.execute_node_inner(frame, i, node_id);
+                // For asynchronous ops (device kernels, Recv, swap-in) this
+                // span covers dispatch only; the device's kernel track shows
+                // the modeled execution.
+                dc.node(NodeStats {
+                    node: self.eg.graph.node(node_id).name.clone(),
+                    frame: frame.base_tag.clone(),
+                    iter: i as u64,
+                    worker: 0, // filled in by the collector from the thread ordinal
+                    scheduled_us: sched_us,
+                    start_us,
+                    end_us: dc.now_us(),
+                    is_dead: was_dead,
+                });
+                if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    self.complete(Ok(()));
+                }
+            }
+        }
+    }
+
+    /// Dispatches one activation; returns `true` when it took the dead
+    /// path (dispatch-side deadness, for stats only — completion-side
+    /// deadness is what `tail_locked` counts into the frame).
+    fn execute_node_inner(self: &Arc<Self>, frame: &Arc<Frame>, i: usize, node_id: NodeId) -> bool {
         let node = self.eg.graph.node(node_id);
         // Extract the input tokens under the frame's lock. The tag is
         // derived lock-free from immutable frame metadata, and only by the
@@ -481,13 +592,14 @@ impl RunShared {
         let is_merge = matches!(node.op, OpKind::Merge);
         if any_dead && !is_merge {
             self.execute_dead(frame, i, node_id);
-            return;
+            return true;
         }
         match self.execute_live(frame, i, node_id, tokens) {
             Ok(Some(outputs)) => self.finish_op(frame, i, node_id, outputs, false),
             Ok(None) => {} // Asynchronous; a callback completes the op.
             Err(e) => self.fail(e),
         }
+        false
     }
 
     /// Handles a dead activation: skip the computation and propagate a dead
@@ -496,7 +608,7 @@ impl RunShared {
         let node = self.eg.graph.node(node_id);
         if let OpKind::Send { key_base, .. } = &node.op {
             // Propagate is_dead across devices (§4.4).
-            self.rendezvous.send(format!("{key_base}|{}", frame.tag(i)), Token::dead());
+            self.send_timed(format!("{key_base}|{}", frame.tag(i)), Token::dead());
             self.finish_op(frame, i, node_id, vec![], true);
             return;
         }
@@ -575,16 +687,27 @@ impl RunShared {
             // ---------------- Communication ----------------
             OpKind::Send { key_base, .. } => {
                 let t = take(&mut tokens, 0)?;
-                self.rendezvous.send(format!("{key_base}|{}", frame.tag(i)), t);
+                self.send_timed(format!("{key_base}|{}", frame.tag(i)), t);
                 Ok(Some(vec![]))
             }
             OpKind::Recv { key_base, .. } => {
                 let key = format!("{key_base}|{}", frame.tag(i));
                 let sh = self.clone();
                 let fr = frame.clone();
+                // When tracing, time from recv issue to value arrival.
+                let issued =
+                    self.collector.as_ref().map(|dc| (dc.clone(), dc.now_us(), key.clone()));
                 self.rendezvous.recv_async(
                     key,
                     Box::new(move |token| {
+                        if let Some((dc, t0, key)) = issued {
+                            dc.rendezvous(RendezvousWait {
+                                key,
+                                kind: RendezvousKind::Recv,
+                                start_us: t0,
+                                wait_us: dc.now_us().saturating_sub(t0),
+                            });
+                        }
                         let dead = token.is_dead;
                         sh.finish_op(&fr, i, node_id, vec![token], dead);
                     }),
@@ -761,6 +884,25 @@ impl RunShared {
                     }
                     Ok(Some(outs))
                 }
+            }
+        }
+    }
+
+    /// Sends `token` on the rendezvous, recording the send-side wait (time
+    /// spent inside the rendezvous, e.g. modeled-network queueing) when a
+    /// collector is attached.
+    fn send_timed(&self, key: String, token: Token) {
+        match &self.collector {
+            None => self.rendezvous.send(key, token),
+            Some(dc) => {
+                let t0 = dc.now_us();
+                self.rendezvous.send(key.clone(), token);
+                dc.rendezvous(RendezvousWait {
+                    key,
+                    kind: RendezvousKind::Send,
+                    start_us: t0,
+                    wait_us: dc.now_us().saturating_sub(t0),
+                });
             }
         }
     }
@@ -1049,6 +1191,9 @@ impl RunShared {
         for &dst in self.eg.control_consumers(node_id) {
             self.deliver_control(frame, core, i, dst, was_dead);
         }
+        if was_dead {
+            core.dead_tokens += 1;
+        }
         if let Some(it) = core.iterations.get_mut(&i) {
             it.outstanding_ops -= 1;
         }
@@ -1188,6 +1333,13 @@ impl RunShared {
                 .all(|it| it.outstanding_ops == 0 && it.outstanding_frames == 0);
         if complete {
             core.done = true;
+            if let Some(dc) = &self.collector {
+                dc.frame(FrameStats {
+                    frame: frame.base_tag.clone(),
+                    iterations: core.started as u64,
+                    dead_tokens: core.dead_tokens,
+                });
+            }
         }
         complete
     }

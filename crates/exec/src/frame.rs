@@ -94,6 +94,10 @@ pub(crate) struct FrameCore {
     pub dead_exits: HashSet<NodeId>,
     /// Exit nodes that have delivered a live value.
     pub live_exits: HashSet<NodeId>,
+    /// Completed dead activations in this frame (step-stats accounting;
+    /// counted even when no collector is attached — one add under a lock
+    /// already held).
+    pub dead_tokens: u64,
     /// Set when the frame has completed (guards double completion).
     pub done: bool,
 }
@@ -111,6 +115,7 @@ impl FrameCore {
             constants: Vec::new(),
             dead_exits: HashSet::new(),
             live_exits: HashSet::new(),
+            dead_tokens: 0,
             done: false,
         }
     }

@@ -41,7 +41,7 @@ mod resources;
 mod token;
 
 pub use exec_graph::ExecGraph;
-pub use executor::{Executor, ExecutorOptions, RunOutcome};
+pub use executor::{Executor, ExecutorOptions, RunConfig, RunOutcome};
 pub use kernels::{execute_op, op_cost};
 pub use rendezvous::{InMemoryRendezvous, RecvCallback, Rendezvous};
 pub use resources::ResourceManager;

@@ -21,6 +21,8 @@ pub enum ExecError {
     BadFeedOrFetch(String),
     /// A fetched tensor was dead (its producing branch was not taken).
     DeadFetch(String),
+    /// The run exceeded the deadline given in its `RunConfig`.
+    DeadlineExceeded(std::time::Duration),
     /// Internal invariant violation; indicates a bug or a malformed graph.
     Internal(String),
 }
@@ -32,6 +34,7 @@ impl fmt::Display for ExecError {
             ExecError::OutOfMemory(e) => write!(f, "{e}"),
             ExecError::BadFeedOrFetch(s) => write!(f, "bad feed/fetch: {s}"),
             ExecError::DeadFetch(s) => write!(f, "fetched dead tensor: {s}"),
+            ExecError::DeadlineExceeded(t) => write!(f, "deadline exceeded after {t:?}"),
             ExecError::Internal(s) => write!(f, "internal: {s}"),
         }
     }

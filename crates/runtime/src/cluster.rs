@@ -94,6 +94,15 @@ impl Cluster {
     }
 
     /// The shared kernel-timeline tracer for all devices.
+    ///
+    /// Deprecated: the process-global tracer predates per-run collection.
+    /// Request a trace with `RunOptions::trace_level` and read the
+    /// returned `RunMetadata::step_stats` instead.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use RunOptions::trace_level and RunMetadata::step_stats instead of the shared \
+                Tracer"
+    )]
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
     }

@@ -35,7 +35,14 @@ pub use netsim::{NetworkModel, NetworkRendezvous};
 pub use optimize::fold_constants;
 pub use partition::{partition_graph, PartitionedGraph};
 pub use placer::place_nodes;
-pub use session::{Session, SessionOptions};
+pub use session::{RunMetadata, RunOptions, Session, SessionOptions};
+
+// Step-stats vocabulary, re-exported so session users need not depend on
+// `dcf-device` directly.
+pub use dcf_device::{
+    chrome_trace_json, DeviceStepStats, FrameStats, KernelStats, MemStats, NodeStats,
+    RendezvousKind, RendezvousWait, StepStats, TraceLevel, TransferStats,
+};
 
 /// Convenience alias: runtime errors are executor errors.
 pub type Result<T> = std::result::Result<T, dcf_exec::ExecError>;

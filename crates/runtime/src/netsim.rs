@@ -1,5 +1,6 @@
 //! Simulated network: delayed rendezvous delivery.
 
+use dcf_device::{StepStatsCollector, TransferStats};
 use dcf_exec::{InMemoryRendezvous, RecvCallback, Rendezvous, Token};
 use dcf_sync::{Condvar, Mutex};
 use std::cmp::Reverse;
@@ -50,6 +51,27 @@ impl NetworkModel {
         NetworkModel { time_scale: 0.0, ..Default::default() }
     }
 
+    /// Modeled on-the-wire size of `token` in bytes: a header-only message
+    /// for dead signals, otherwise the shape-scaled payload size (matching
+    /// the device cost model, which scales only the trailing two feature
+    /// dimensions).
+    pub fn modeled_bytes(&self, token: &Token) -> f64 {
+        if token.is_dead {
+            // A dead signal is a header-only message.
+            return 16.0;
+        }
+        let s = self.shape_scale as f64;
+        let dims = token.value.shape().dims();
+        let rank = dims.len();
+        let scaled: f64 = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| if i + 2 >= rank { d as f64 * s } else { d as f64 })
+            .product::<f64>()
+            .max(1.0);
+        scaled * token.value.dtype().size_of() as f64
+    }
+
     /// Modeled transfer time of `token` between `src` and `dst` machines.
     pub fn delay(&self, src_machine: usize, dst_machine: usize, token: &Token) -> Duration {
         if self.time_scale == 0.0 {
@@ -60,24 +82,7 @@ impl NetworkModel {
         } else {
             (self.cross_latency, self.cross_bandwidth)
         };
-        let bytes = if token.is_dead {
-            // A dead signal is a header-only message.
-            16.0
-        } else {
-            let s = self.shape_scale as f64;
-            let dims = token.value.shape().dims();
-            let rank = dims.len();
-            // Match the device cost model: only the trailing two (feature)
-            // dimensions are scaled.
-            let scaled: f64 = dims
-                .iter()
-                .enumerate()
-                .map(|(i, &d)| if i + 2 >= rank { d as f64 * s } else { d as f64 })
-                .product::<f64>()
-                .max(1.0);
-            scaled * token.value.dtype().size_of() as f64
-        };
-        let secs = (lat.as_secs_f64() + bytes / bw) * self.time_scale;
+        let secs = (lat.as_secs_f64() + self.modeled_bytes(token) / bw) * self.time_scale;
         Duration::from_secs_f64(secs)
     }
 }
@@ -122,6 +127,9 @@ pub struct NetworkRendezvous {
     model: NetworkModel,
     state: Arc<(Mutex<SchedulerState>, Condvar)>,
     timer: Option<thread::JoinHandle<()>>,
+    /// Per-run step-stats sink for modeled transfers (attached by the
+    /// session for traced runs, detached at run end).
+    collector: Mutex<Option<Arc<StepStatsCollector>>>,
 }
 
 impl NetworkRendezvous {
@@ -167,12 +175,24 @@ impl NetworkRendezvous {
                 }
             })
             .expect("failed to spawn netsim timer");
-        Arc::new(NetworkRendezvous { inner, model, state, timer: Some(timer) })
+        Arc::new(NetworkRendezvous {
+            inner,
+            model,
+            state,
+            timer: Some(timer),
+            collector: Mutex::new(None),
+        })
     }
 
     /// Clears rendezvous state between runs.
     pub fn clear(&self) {
         self.inner.clear();
+    }
+
+    /// Attaches (or, with `None`, detaches) the step-stats collector that
+    /// cross-device transfers are recorded into.
+    pub fn set_collector(&self, collector: Option<Arc<StepStatsCollector>>) {
+        *self.collector.lock() = collector;
     }
 
     fn parse_machines(key: &str) -> Option<(usize, usize)> {
@@ -186,10 +206,22 @@ impl NetworkRendezvous {
 
 impl Rendezvous for NetworkRendezvous {
     fn send(&self, key: String, token: Token) {
-        let delay = match Self::parse_machines(&key) {
+        let machines = Self::parse_machines(&key);
+        let delay = match machines {
             Some((a, b)) => self.model.delay(a, b, &token),
             None => Duration::ZERO,
         };
+        if machines.is_some() {
+            let collector = self.collector.lock().clone();
+            if let Some(c) = collector {
+                c.record_transfer(TransferStats {
+                    key: key.clone(),
+                    bytes: self.model.modeled_bytes(&token) as u64,
+                    start_us: c.now_us(),
+                    delay_us: delay.as_micros() as u64,
+                });
+            }
+        }
         if delay.is_zero() {
             self.inner.send(key, token);
             return;

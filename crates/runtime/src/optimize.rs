@@ -164,7 +164,7 @@ mod tests {
             .unwrap();
             let mut feeds = std::collections::HashMap::new();
             feeds.insert("x".to_string(), dcf_tensor::Tensor::scalar_f32(3.0));
-            sess.run(&feeds, &[y]).unwrap()[0].scalar_as_f32().unwrap()
+            sess.run_simple(&feeds, &[y]).unwrap()[0].scalar_as_f32().unwrap()
         };
         // Note: Session::new folds again internally; both paths agree.
         assert!((run(g_plain, y1) - run(g_opt, y2)).abs() < 1e-6);

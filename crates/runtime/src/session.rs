@@ -5,12 +5,13 @@ use crate::netsim::{NetworkModel, NetworkRendezvous};
 use crate::partition::{partition_graph, PartitionedGraph};
 use crate::placer::place_nodes;
 use crate::Result;
-use dcf_device::DeviceId;
-use dcf_exec::{CancelToken, ExecGraph, Executor, ExecutorOptions, ResourceManager};
+use dcf_device::{DeviceCollector, DeviceId, StepStats, StepStatsCollector, TraceLevel};
+use dcf_exec::{CancelToken, ExecGraph, Executor, ExecutorOptions, ResourceManager, RunConfig};
 use dcf_graph::{Graph, TensorRef};
 use dcf_tensor::Tensor;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Session configuration.
 #[derive(Clone, Debug, Default)]
@@ -26,6 +27,76 @@ impl SessionOptions {
     pub fn functional() -> SessionOptions {
         SessionOptions { executor: ExecutorOptions::default(), network: NetworkModel::disabled() }
     }
+
+    /// Replaces the executor tunables (builder style).
+    pub fn with_executor(mut self, executor: ExecutorOptions) -> SessionOptions {
+        self.executor = executor;
+        self
+    }
+
+    /// Replaces the network model (builder style).
+    pub fn with_network(mut self, network: NetworkModel) -> SessionOptions {
+        self.network = network;
+        self
+    }
+}
+
+/// Per-run options, mirroring TensorFlow's `RunOptions` proto: how much to
+/// trace, how long to wait, and a free-form tag echoed in the metadata.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// How much detail to record into [`RunMetadata::step_stats`].
+    /// [`TraceLevel::None`] (the default) keeps the executor hot path
+    /// untouched; [`TraceLevel::Software`] records executor-level events;
+    /// [`TraceLevel::Full`] additionally records device kernel timings,
+    /// allocator high-water marks, and modeled network transfers.
+    pub trace_level: TraceLevel,
+    /// Wall-clock budget for the run; on expiry the run fails with
+    /// [`dcf_exec::ExecError::DeadlineExceeded`].
+    pub timeout: Option<Duration>,
+    /// Free-form label echoed in [`RunMetadata::tag`] (e.g. a step number).
+    pub tag: String,
+}
+
+impl RunOptions {
+    /// Options requesting step-stats collection at `level`.
+    pub fn traced(level: TraceLevel) -> RunOptions {
+        RunOptions { trace_level: level, ..RunOptions::default() }
+    }
+
+    /// Sets the trace level (builder style).
+    pub fn with_trace(mut self, level: TraceLevel) -> RunOptions {
+        self.trace_level = level;
+        self
+    }
+
+    /// Sets the run deadline (builder style).
+    pub fn with_timeout(mut self, timeout: Duration) -> RunOptions {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the metadata tag (builder style).
+    pub fn with_tag(mut self, tag: impl Into<String>) -> RunOptions {
+        self.tag = tag.into();
+        self
+    }
+}
+
+/// What a run reports back besides the fetched tensors, mirroring
+/// TensorFlow's `RunMetadata` proto.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetadata {
+    /// Collected step statistics; `Some` iff the run's
+    /// [`RunOptions::trace_level`] enabled collection. Render with
+    /// [`dcf_device::chrome_trace_json`] or [`StepStats::summary_report`].
+    pub step_stats: Option<StepStats>,
+    /// Wall-clock duration of the run as observed by the session.
+    pub wall: Duration,
+    /// Node activations executed across all partitions (live or dead).
+    pub ops_executed: u64,
+    /// The tag from the run's [`RunOptions`], echoed back.
+    pub tag: String,
 }
 
 /// Drives a dataflow graph on a cluster of simulated devices.
@@ -104,12 +175,27 @@ impl Session {
     }
 
     /// Executes the graph: feeds placeholders, runs every partition to
-    /// quiescence, and returns the fetched tensors in request order.
-    pub fn run(
+    /// quiescence, and returns the fetched tensors in request order —
+    /// ignoring metadata. Equivalent to `run` with default [`RunOptions`].
+    pub fn run_simple(
         &self,
         feeds: &HashMap<String, Tensor>,
         fetches: &[TensorRef],
     ) -> Result<Vec<Tensor>> {
+        self.run(&RunOptions::default(), feeds, fetches).map(|(values, _)| values)
+    }
+
+    /// Executes the graph under `options`: feeds placeholders, runs every
+    /// partition to quiescence, and returns the fetched tensors in request
+    /// order together with the run's [`RunMetadata`] (step stats when
+    /// tracing was requested, wall time, op counts).
+    pub fn run(
+        &self,
+        options: &RunOptions,
+        feeds: &HashMap<String, Tensor>,
+        fetches: &[TensorRef],
+    ) -> Result<(Vec<Tensor>, RunMetadata)> {
+        let start = Instant::now();
         // Route each fetch to the partition that produces it.
         let mut per_exec_fetches: Vec<Vec<TensorRef>> = vec![Vec::new(); self.executors.len()];
         for &t in fetches {
@@ -123,45 +209,92 @@ impl Session {
             per_exec_fetches[idx].push(t);
         }
 
+        // One collector shared by every partition of the run. Devices are
+        // registered in cluster order, so a collector device index equals
+        // the `DeviceId`. `Full` additionally hooks the device stream
+        // threads and the network rendezvous; a traced run assumes
+        // exclusive use of the session for its duration.
+        let collector = if options.trace_level.is_enabled() {
+            let c = Arc::new(StepStatsCollector::new(options.trace_level));
+            for dev in self.cluster.devices() {
+                let idx = c.register_device(dev.name());
+                debug_assert_eq!(idx as usize, dev.id().0);
+            }
+            if options.trace_level >= TraceLevel::Full {
+                for dev in self.cluster.devices() {
+                    dev.set_collector(Some(DeviceCollector::new(dev.id().0 as u16, c.clone())));
+                }
+                self.rendezvous.set_collector(Some(c.clone()));
+            }
+            Some(c)
+        } else {
+            None
+        };
+
         let cancel = CancelToken::new();
         // One shared copy of the feed dictionary for every partition.
         let feeds = Arc::new(feeds.clone());
         let results: Vec<Result<dcf_exec::RunOutcome>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (idx, (_, exec)) in self.executors.iter().enumerate() {
+            for (idx, (dev, exec)) in self.executors.iter().enumerate() {
                 let fetches = per_exec_fetches[idx].clone();
-                let cancel = cancel.clone();
+                let config = RunConfig {
+                    cancel: Some(cancel.clone()),
+                    collector: collector
+                        .as_ref()
+                        .map(|c| DeviceCollector::new(dev.0 as u16, c.clone())),
+                    timeout: options.timeout,
+                };
                 let feeds = feeds.clone();
-                handles
-                    .push(scope.spawn(move || exec.run_cancellable(feeds, &fetches, Some(cancel))));
+                handles.push(scope.spawn(move || exec.run_with(feeds, &fetches, config)));
             }
             handles.into_iter().map(|h| h.join().expect("executor thread panicked")).collect()
         });
 
         // Per-run transients (stacks, TensorArrays, unclaimed rendezvous
-        // values) are dropped; variables persist.
+        // values) are dropped; variables persist. Collection hooks are
+        // detached before any error propagates.
         self.resources.clear_transients();
         self.rendezvous.clear();
+        let step_stats = collector.map(|c| {
+            if c.level() >= TraceLevel::Full {
+                for dev in self.cluster.devices() {
+                    dev.set_collector(None);
+                }
+                self.rendezvous.set_collector(None);
+            }
+            for dev in self.cluster.devices() {
+                c.record_memory(dev.id().0 as u16, dev.allocator().snapshot());
+            }
+            c.finish()
+        });
 
         // Collate: surface the first error; otherwise reassemble in
         // request order.
+        let mut ops_executed = 0;
         let mut per_exec_values: Vec<std::vec::IntoIter<Tensor>> = Vec::new();
         for r in results {
-            per_exec_values.push(r?.values.into_iter());
+            let outcome = r?;
+            ops_executed += outcome.ops_executed;
+            per_exec_values.push(outcome.values.into_iter());
         }
-        let mut cursor: HashMap<usize, usize> = HashMap::new();
         let mut out = Vec::with_capacity(fetches.len());
         for &t in fetches {
             let dev = self.pg.placement[t.node.0];
             let idx = self.executors.iter().position(|(d, _)| *d == dev).expect("checked above");
-            let _ = cursor.entry(idx).or_insert(0);
             out.push(
                 per_exec_values[idx]
                     .next()
                     .ok_or_else(|| dcf_exec::ExecError::Internal("fetch misrouted".into()))?,
             );
         }
-        Ok(out)
+        let metadata = RunMetadata {
+            step_stats,
+            wall: start.elapsed(),
+            ops_executed,
+            tag: options.tag.clone(),
+        };
+        Ok((out, metadata))
     }
 }
 
@@ -177,7 +310,74 @@ mod session_tests {
         let y = b.scalar_f32(7.0);
         let z = b.mul(x, y).unwrap();
         let sess = Session::local(b.finish().unwrap()).unwrap();
-        let out = sess.run(&HashMap::new(), &[z]).unwrap();
+        let out = sess.run_simple(&HashMap::new(), &[z]).unwrap();
         assert_eq!(out[0].scalar_as_f32().unwrap(), 42.0);
+    }
+
+    #[test]
+    fn run_returns_metadata() {
+        let mut b = GraphBuilder::new();
+        let x = b.scalar_f32(2.0);
+        let y = b.scalar_f32(3.0);
+        let z = b.add(x, y).unwrap();
+        let sess = Session::local(b.finish().unwrap()).unwrap();
+        let opts = RunOptions::default().with_tag("step-7");
+        let (out, meta) = sess.run(&opts, &HashMap::new(), &[z]).unwrap();
+        assert_eq!(out[0].scalar_as_f32().unwrap(), 5.0);
+        assert_eq!(meta.tag, "step-7");
+        assert!(meta.ops_executed > 0);
+        assert!(meta.step_stats.is_none(), "no stats unless requested");
+    }
+
+    #[test]
+    fn traced_run_collects_node_stats() {
+        let mut b = GraphBuilder::new();
+        let x = b.scalar_f32(2.0);
+        let y = b.scalar_f32(3.0);
+        let z = b.add(x, y).unwrap();
+        let sess = Session::local(b.finish().unwrap()).unwrap();
+        let opts = RunOptions::traced(TraceLevel::Full);
+        let (_, meta) = sess.run(&opts, &HashMap::new(), &[z]).unwrap();
+        let stats = meta.step_stats.expect("stats requested");
+        assert_eq!(stats.devices.len(), 1);
+        let nodes = &stats.devices[0].node_stats;
+        assert!(nodes.iter().any(|n| n.node.contains("Add")), "nodes: {nodes:?}");
+        assert!(nodes.iter().all(|n| n.frame == "root"));
+        let mem = stats.devices[0].memory.expect("memory snapshot present");
+        assert!(mem.capacity_bytes > 0);
+    }
+
+    #[test]
+    fn timeout_aborts_unbounded_loop() {
+        use dcf_graph::WhileOptions;
+        let mut b = GraphBuilder::new();
+        let init = b.scalar_i64(0);
+        let lim = b.scalar_i64(1_000_000_000);
+        let outs = b
+            .while_loop(
+                &[init],
+                |g, v| g.less(v[0], lim),
+                |g, v| {
+                    let one = g.scalar_i64(1);
+                    Ok(vec![g.add(v[0], one)?])
+                },
+                WhileOptions::default(),
+            )
+            .unwrap();
+        let sess = Session::local(b.finish().unwrap()).unwrap();
+        let opts = RunOptions::default().with_timeout(Duration::from_millis(50));
+        let t0 = Instant::now();
+        let err = sess.run(&opts, &HashMap::new(), &[outs[0]]).unwrap_err();
+        assert!(matches!(err, dcf_exec::ExecError::DeadlineExceeded(_)), "unexpected error: {err}");
+        assert!(t0.elapsed() < Duration::from_secs(10), "run did not abort promptly");
+    }
+
+    #[test]
+    fn session_options_builders() {
+        let opts = SessionOptions::functional()
+            .with_executor(ExecutorOptions { workers: 3, ..ExecutorOptions::default() })
+            .with_network(NetworkModel::disabled());
+        assert_eq!(opts.executor.workers, 3);
+        assert_eq!(opts.network.time_scale, 0.0);
     }
 }

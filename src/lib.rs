@@ -45,7 +45,7 @@
 //!     )
 //!     .unwrap();
 //! let sess = Session::local(g.finish().unwrap()).unwrap();
-//! let out = sess.run(&HashMap::new(), &[outs[1]]).unwrap();
+//! let out = sess.run_simple(&HashMap::new(), &[outs[1]]).unwrap();
 //! assert_eq!(out[0].scalar_as_f32().unwrap(), 1024.0);
 //! ```
 
@@ -65,6 +65,8 @@ pub mod prelude {
     pub use dcf_autodiff::gradients;
     pub use dcf_device::DeviceProfile;
     pub use dcf_graph::{GraphBuilder, TensorRef, WhileOptions};
-    pub use dcf_runtime::{Cluster, NetworkModel, Session, SessionOptions};
+    pub use dcf_runtime::{
+        Cluster, NetworkModel, RunMetadata, RunOptions, Session, SessionOptions, TraceLevel,
+    };
     pub use dcf_tensor::{DType, Tensor, TensorRng};
 }
