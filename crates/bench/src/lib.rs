@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod abort;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;

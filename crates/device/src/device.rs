@@ -8,6 +8,7 @@ use crate::stream::{Event, Stream};
 use crate::timeline::Tracer;
 use dcf_sync::Mutex;
 use dcf_tensor::Tensor;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,6 +41,12 @@ pub struct Kernel {
     pub wait_for: Vec<Event>,
     /// The actual value computation.
     pub compute: Box<dyn FnOnce() -> KernelOutput + Send>,
+    /// Optional run-abort flag. While unset the kernel waits out its full
+    /// modeled duration; once set the remaining modeled time is skipped
+    /// (the computation still runs and the completion event still fires).
+    /// Executors thread their run's cancellation state through here so an
+    /// aborted run's streams quiesce in microseconds, not modeled seconds.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 /// A simulated device.
@@ -142,7 +149,7 @@ impl Device {
             *slot2.lock() = Some(compute());
         });
         let s = self.stream(stream);
-        let ev = s.submit(kernel.name, kernel.modeled, kernel.wait_for, work, None);
+        let ev = s.submit(kernel.name, kernel.modeled, kernel.wait_for, work, None, kernel.cancel);
         (ev, slot)
     }
 
@@ -168,7 +175,14 @@ impl Device {
             let out = slot.lock().take().unwrap_or_else(|| Err("kernel produced no output".into()));
             on_done(out);
         });
-        self.stream(stream).submit(kernel.name, kernel.modeled, kernel.wait_for, work, Some(done))
+        self.stream(stream).submit(
+            kernel.name,
+            kernel.modeled,
+            kernel.wait_for,
+            work,
+            Some(done),
+            kernel.cancel,
+        )
     }
 
     fn stream(&self, kind: StreamKind) -> &Stream {
@@ -218,6 +232,7 @@ mod tests {
                     modeled: Duration::ZERO,
                     wait_for: vec![],
                     compute: Box::new(|| Ok(vec![Tensor::scalar_f32(42.0)])),
+                    cancel: None,
                 },
             )
             .unwrap();
@@ -234,6 +249,7 @@ mod tests {
                 modeled: Duration::ZERO,
                 wait_for: vec![],
                 compute: Box::new(|| Err("boom".into())),
+                cancel: None,
             },
         );
         assert_eq!(out.unwrap_err(), "boom");
@@ -252,6 +268,7 @@ mod tests {
                 modeled: Duration::from_millis(30),
                 wait_for: vec![],
                 compute: Box::new(|| Ok(vec![])),
+                cancel: None,
             },
         );
         let (e2, _) = d.submit(
@@ -261,6 +278,7 @@ mod tests {
                 modeled: Duration::from_millis(30),
                 wait_for: vec![],
                 compute: Box::new(|| Ok(vec![])),
+                cancel: None,
             },
         );
         e1.wait();

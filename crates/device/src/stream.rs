@@ -3,6 +3,7 @@
 use crate::stats::{CollectorSlot, KernelStats};
 use crate::timeline::Tracer;
 use dcf_sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -99,6 +100,37 @@ fn wait_until(deadline: Instant) {
     }
 }
 
+/// Sleep quantum for cancellable waits: bounds how long a stream thread
+/// can keep sleeping out a modeled duration after its run was aborted,
+/// without measurably changing the accuracy of uncancelled waits.
+const CANCEL_POLL: Duration = Duration::from_micros(500);
+
+/// Like [`wait_until`], but returns early (abandoning the rest of the
+/// modeled duration) once `cancel` becomes true. A timed-out run used to
+/// leave stream threads sleeping out full modeled kernel durations; with
+/// the flag observed here, aborting a run quiesces its streams within
+/// roughly [`CANCEL_POLL`].
+fn wait_until_cancellable(deadline: Instant, cancel: &AtomicBool) {
+    loop {
+        if cancel.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remain = deadline - now;
+        if remain > PURE_SPIN_BELOW {
+            let margin = sleep_overshoot();
+            if remain > margin {
+                thread::sleep((remain - margin).min(CANCEL_POLL));
+                continue;
+            }
+        }
+        std::hint::spin_loop();
+    }
+}
+
 struct Task {
     name: String,
     modeled: Duration,
@@ -109,6 +141,10 @@ struct Task {
     /// fully asynchronous kernel completion.
     on_done: Option<Box<dyn FnOnce() + Send>>,
     done: Event,
+    /// Run-abort flag: when it turns true the modeled wait is cut short.
+    /// The kernel's real computation still runs and its completion event
+    /// still fires, so dependents never hang.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 /// A FIFO kernel queue with a dedicated worker thread.
@@ -138,7 +174,10 @@ impl Stream {
                     }
                     let t0 = Instant::now();
                     (task.work)();
-                    wait_until(t0 + task.modeled);
+                    match &task.cancel {
+                        None => wait_until(t0 + task.modeled),
+                        Some(flag) => wait_until_cancellable(t0 + task.modeled, flag),
+                    }
                     let end = Instant::now();
                     tracer.record(&label, &task.name, t0, end);
                     if let Some(dc) = collector.get() {
@@ -167,15 +206,36 @@ impl Stream {
         wait_for: Vec<Event>,
         work: Box<dyn FnOnce() + Send>,
         on_done: Option<Box<dyn FnOnce() + Send>>,
+        cancel: Option<Arc<AtomicBool>>,
     ) -> Event {
         let done = Event::new();
-        let task = Task { name, modeled, wait_for, work, on_done, done: done.clone() };
-        self.sender
-            .as_ref()
-            .expect("stream already shut down")
-            .send(task)
-            .expect("stream thread terminated unexpectedly");
+        let task = Task { name, modeled, wait_for, work, on_done, done: done.clone(), cancel };
+        let Some(sender) = self.sender.as_ref() else {
+            // Stream shut down (device dropping): run inline so callers
+            // never hang on an event that would otherwise go unsignaled.
+            Stream::run_inline(task);
+            return done;
+        };
+        if let Err(mpsc::SendError(task)) = sender.send(task) {
+            // The worker exited between our check and the send (shutdown
+            // race); same inline fallback instead of a panic.
+            Stream::run_inline(task);
+        }
         done
+    }
+
+    /// Degraded path for kernels submitted to an already-terminated
+    /// stream: execute immediately on the caller, skipping modeled time
+    /// (the device is going away; only completion semantics matter).
+    fn run_inline(task: Task) {
+        for ev in &task.wait_for {
+            ev.wait();
+        }
+        (task.work)();
+        task.done.signal();
+        if let Some(cb) = task.on_done {
+            cb();
+        }
     }
 }
 
@@ -216,6 +276,45 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_modeled_wait_ends_early() {
+        // A fired cancel flag cuts the remaining modeled duration: the
+        // kernel's work still runs and its event still signals, but the
+        // stream does not sleep out the full modeled time.
+        let cancel = Arc::new(AtomicBool::new(true));
+        let t0 = Instant::now();
+        wait_until_cancellable(t0 + Duration::from_secs(5), &cancel);
+        assert!(t0.elapsed() < Duration::from_millis(100), "wait ignored the cancel flag");
+
+        // Unfired flag: the full duration is still waited out.
+        let live = Arc::new(AtomicBool::new(false));
+        let t0 = Instant::now();
+        let wait = Duration::from_millis(5);
+        wait_until_cancellable(t0 + wait, &live);
+        assert!(t0.elapsed() >= wait, "uncancelled wait undershot");
+
+        // Through the stream: a long modeled kernel aborts promptly once
+        // the flag fires, and the completion event still signals.
+        let s = Stream::spawn("test".into(), Tracer::new(), CollectorSlot::new());
+        let cancel = Arc::new(AtomicBool::new(false));
+        let ran = Arc::new(AtomicBool::new(false));
+        let r = ran.clone();
+        let t0 = Instant::now();
+        let e = s.submit(
+            "cancelled".into(),
+            Duration::from_secs(30),
+            vec![],
+            Box::new(move || r.store(true, Ordering::SeqCst)),
+            None,
+            Some(cancel.clone()),
+        );
+        thread::sleep(Duration::from_millis(10));
+        cancel.store(true, Ordering::SeqCst);
+        e.wait();
+        assert!(t0.elapsed() < Duration::from_secs(5), "cancel did not cut the modeled wait");
+        assert!(ran.load(Ordering::SeqCst), "work must still run under cancellation");
+    }
+
+    #[test]
     fn events_signal_once() {
         let e = Event::new();
         assert!(!e.is_signaled());
@@ -238,6 +337,7 @@ mod tests {
                 vec![],
                 Box::new(move || order.lock().push(i)),
                 None,
+                None,
             ));
         }
         for e in &events {
@@ -252,7 +352,8 @@ mod tests {
         tracer.set_enabled(true);
         let s = Stream::spawn("test".into(), tracer.clone(), CollectorSlot::new());
         let t0 = Instant::now();
-        let e = s.submit("slow".into(), Duration::from_millis(20), vec![], Box::new(|| {}), None);
+        let e =
+            s.submit("slow".into(), Duration::from_millis(20), vec![], Box::new(|| {}), None, None);
         e.wait();
         assert!(t0.elapsed() >= Duration::from_millis(20));
         let events = tracer.snapshot();
@@ -269,10 +370,10 @@ mod tests {
         let collector = Arc::new(StepStatsCollector::new(TraceLevel::Full));
         let dev = collector.register_device("dev");
         slot.set(Some(DeviceCollector::new(dev, collector.clone())));
-        s.submit("k0".into(), Duration::from_millis(2), vec![], Box::new(|| {}), None).wait();
+        s.submit("k0".into(), Duration::from_millis(2), vec![], Box::new(|| {}), None, None).wait();
         slot.set(None);
         // Detached: this kernel must not be recorded.
-        s.submit("k1".into(), Duration::ZERO, vec![], Box::new(|| {}), None).wait();
+        s.submit("k1".into(), Duration::ZERO, vec![], Box::new(|| {}), None, None).wait();
         let stats = collector.finish();
         let kernels = &stats.devices[0].kernel_stats;
         assert_eq!(kernels.len(), 1);
@@ -297,6 +398,7 @@ mod tests {
                 c1.store(1, Ordering::SeqCst);
             }),
             None,
+            None,
         );
         let c2 = counter.clone();
         let e2 = b.submit(
@@ -307,6 +409,7 @@ mod tests {
                 // Must observe the first kernel's full completion.
                 assert_eq!(c2.load(Ordering::SeqCst), 1);
             }),
+            None,
             None,
         );
         e2.wait();

@@ -101,6 +101,11 @@ pub struct RunConfig {
     /// [`ExecError::DeadlineExceeded`] (and fires `cancel`, aborting peer
     /// partitions); in-flight activations drain as no-ops.
     pub timeout: Option<std::time::Duration>,
+    /// Step id scoping this run's rendezvous entries; all partitions of a
+    /// session run share one id, and the session reclaims the step's
+    /// entries when the run finishes or aborts. Defaults to step 0 for
+    /// standalone executor runs.
+    pub step: crate::rendezvous::StepId,
 }
 
 /// Result of a run: the fetched tensors, in request order.
@@ -166,6 +171,12 @@ struct RunShared {
     done: Mutex<Option<Result<()>>>,
     done_cv: Condvar,
     cancel: Option<Arc<crate::token::CancelToken>>,
+    /// Lock-free mirror of `cancel` threaded into device kernel
+    /// submissions, so stream threads can cut modeled waits short the
+    /// moment the run aborts.
+    cancel_flag: Option<Arc<std::sync::atomic::AtomicBool>>,
+    /// Rendezvous scope of this run; see [`RunConfig::step`].
+    step: crate::rendezvous::StepId,
     /// Per-run step-stats handle; `None` keeps the hot path at a single
     /// `Option` check per activation.
     collector: Option<DeviceCollector>,
@@ -221,7 +232,7 @@ impl Executor {
         fetches: &[TensorRef],
         config: RunConfig,
     ) -> Result<RunOutcome> {
-        let RunConfig { cancel, collector, timeout } = config;
+        let RunConfig { cancel, collector, timeout, step } = config;
         let fetch_set: HashSet<(usize, usize)> =
             fetches.iter().map(|t| (t.node.0, t.port)).collect();
         let root = Frame::root();
@@ -240,7 +251,9 @@ impl Executor {
             ops: AtomicU64::new(0),
             done: Mutex::new(None),
             done_cv: Condvar::new(),
+            cancel_flag: cancel.as_ref().map(|t| t.flag()),
             cancel: cancel.clone(),
+            step,
             collector,
         });
         if let Some(token) = &cancel {
@@ -285,7 +298,12 @@ impl Executor {
                     }
                 }
             }
-            done.clone().expect("done state set")
+            // The loop above only exits with `done` set; if that invariant
+            // ever breaks, surface a structured error rather than panic
+            // (this path runs under cancellation).
+            done.clone().unwrap_or_else(|| {
+                Err(ExecError::Internal("run signalled done without a result".into()))
+            })
         };
 
         // The root frame never "completes" through the window logic, so
@@ -698,8 +716,9 @@ impl RunShared {
                 let issued =
                     self.collector.as_ref().map(|dc| (dc.clone(), dc.now_us(), key.clone()));
                 self.rendezvous.recv_async(
+                    self.step,
                     key,
-                    Box::new(move |token| {
+                    Box::new(move |result| {
                         if let Some((dc, t0, key)) = issued {
                             dc.rendezvous(RendezvousWait {
                                 key,
@@ -708,8 +727,19 @@ impl RunShared {
                                 wait_us: dc.now_us().saturating_sub(t0),
                             });
                         }
-                        let dead = token.is_dead;
-                        sh.finish_op(&fr, i, node_id, vec![token], dead);
+                        match result {
+                            Ok(token) => {
+                                let dead = token.is_dead;
+                                sh.finish_op(&fr, i, node_id, vec![token], dead);
+                            }
+                            Err(e) => {
+                                // Transfer failed or the step was torn
+                                // down: abort the run (idempotent if it
+                                // already failed) and drain this op.
+                                sh.fail(e);
+                                sh.finish_noop(&fr, i);
+                            }
+                        }
                     }),
                 );
                 Ok(None)
@@ -853,6 +883,7 @@ impl RunShared {
                             name: name.clone(),
                             modeled: duration,
                             wait_for: vec![],
+                            cancel: self.cancel_flag.clone(),
                             compute: Box::new(move || {
                                 let refs: Vec<&Tensor> = owned.iter().collect();
                                 execute_op(&op, &refs)
@@ -893,10 +924,10 @@ impl RunShared {
     /// collector is attached.
     fn send_timed(&self, key: String, token: Token) {
         match &self.collector {
-            None => self.rendezvous.send(key, token),
+            None => self.rendezvous.send(self.step, key, token),
             Some(dc) => {
                 let t0 = dc.now_us();
-                self.rendezvous.send(key.clone(), token);
+                self.rendezvous.send(self.step, key.clone(), token);
                 dc.rendezvous(RendezvousWait {
                     key,
                     kind: RendezvousKind::Send,
@@ -951,6 +982,7 @@ impl RunShared {
                         name: format!("swap_out[{bytes}B]"),
                         modeled: cm.copy_duration(bytes),
                         wait_for: vec![],
+                        cancel: self.cancel_flag.clone(),
                         compute: Box::new(move || {
                             drop(charge);
                             Ok(vec![])
@@ -1068,6 +1100,7 @@ impl RunShared {
                         name: format!("swap_in[{bytes}B]"),
                         modeled: cm.copy_duration(bytes),
                         wait_for: vec![d2h_done],
+                        cancel: self.cancel_flag.clone(),
                         compute: Box::new(move || Ok(vec![value])),
                     },
                     Box::new(move |result| match result {

@@ -43,7 +43,7 @@ mod token;
 pub use exec_graph::ExecGraph;
 pub use executor::{Executor, ExecutorOptions, RunConfig, RunOutcome};
 pub use kernels::{execute_op, op_cost};
-pub use rendezvous::{InMemoryRendezvous, RecvCallback, Rendezvous};
+pub use rendezvous::{InMemoryRendezvous, RecvCallback, RecvResult, Rendezvous, StepId};
 pub use resources::ResourceManager;
 pub use token::{CancelToken, Charge, ExecError, Token};
 

@@ -7,36 +7,73 @@
 //! generated dynamically to distinguish multiple invocations of the same
 //! operations"). Deadness crosses the rendezvous too, implementing the
 //! distributed is_dead propagation of §4.4.
+//!
+//! Every entry is additionally scoped by a **step id** — the run that
+//! produced it. A run that aborts (deadline, kernel failure, injected
+//! fault) tears down exactly its own entries with [`Rendezvous::drop_step`]:
+//! published-but-unconsumed values are reclaimed and blocked receivers get
+//! `Err(Cancelled)`, so back-to-back runs on one rendezvous can never
+//! observe a stale tensor from an earlier step.
 
-use crate::token::Token;
+use crate::token::{ExecError, Token};
 use dcf_sync::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-/// Callback invoked when the value for a pending `Recv` arrives.
-pub type RecvCallback = Box<dyn FnOnce(Token) + Send>;
+/// Identifier of one run ("step") sharing a rendezvous. Step 0 is the
+/// default for single-executor runs that never overlap.
+pub type StepId = u64;
+
+/// What a pending `Recv` resolves to: the sent token, or a structured
+/// error when the transfer failed or its step was torn down.
+pub type RecvResult = crate::Result<Token>;
+
+/// Callback invoked when the value (or failure) for a pending `Recv` is
+/// known.
+pub type RecvCallback = Box<dyn FnOnce(RecvResult) + Send>;
 
 /// Abstract rendezvous between device executors.
 pub trait Rendezvous: Send + Sync {
-    /// Publishes `token` under `key`. Never blocks.
-    fn send(&self, key: String, token: Token);
-    /// Requests the value for `key`; `callback` fires (possibly immediately,
-    /// possibly on the sender's thread) once the value is available.
-    fn recv_async(&self, key: String, callback: RecvCallback);
+    /// Publishes `token` under `key` within `step`. Never blocks.
+    fn send(&self, step: StepId, key: String, token: Token);
+    /// Publishes a delivery failure under `key` within `step`: a pending
+    /// (or future) `recv_async` for the key observes `Err(err)` instead of
+    /// a value. Used by fault-injecting transports whose retries ran out.
+    fn send_error(&self, step: StepId, key: String, err: ExecError);
+    /// Requests the value for `key` within `step`; `callback` fires
+    /// (possibly immediately, possibly on the sender's thread) once the
+    /// value is available or the transfer is known to have failed.
+    fn recv_async(&self, step: StepId, key: String, callback: RecvCallback);
+    /// Reclaims every entry of `step`: unconsumed values are dropped and
+    /// blocked receivers observe `Err(err)`. Called by the session when a
+    /// run finishes or aborts, so one step's leftovers cannot leak into
+    /// the next.
+    fn drop_step(&self, step: StepId, err: ExecError);
 }
 
 enum Slot {
-    Value(Token),
+    Value(RecvResult),
     Waiting(Vec<RecvCallback>),
 }
 
 /// A process-local rendezvous table.
 ///
-/// `dcf-runtime` layers simulated network latency on top of this for
-/// cross-machine edges.
+/// `dcf-runtime` layers simulated network latency (and injected faults)
+/// on top of this for cross-machine edges.
 #[derive(Clone, Default)]
 pub struct InMemoryRendezvous {
-    table: Arc<Mutex<HashMap<String, Slot>>>,
+    state: Arc<Mutex<TableState>>,
+}
+
+#[derive(Default)]
+struct TableState {
+    table: HashMap<StepId, HashMap<String, Slot>>,
+    /// Steps already torn down. A straggler `send` racing `drop_step`
+    /// (e.g. a delayed netsim delivery popped off the timer heap just
+    /// before the purge) must not resurrect a table entry, and a straggler
+    /// `recv_async` must observe the teardown rather than block forever.
+    /// One `u64` per completed run; cleared by [`InMemoryRendezvous::clear`].
+    dropped: HashSet<StepId>,
 }
 
 impl InMemoryRendezvous {
@@ -45,64 +82,154 @@ impl InMemoryRendezvous {
         InMemoryRendezvous::default()
     }
 
-    /// Number of published-but-unconsumed values (diagnostics).
+    /// Number of published-but-unconsumed values across all steps
+    /// (diagnostics).
     pub fn pending_values(&self) -> usize {
-        self.table.lock().values().filter(|s| matches!(s, Slot::Value(_))).count()
+        self.state
+            .lock()
+            .table
+            .values()
+            .flat_map(|step| step.values())
+            .filter(|s| matches!(s, Slot::Value(_)))
+            .count()
     }
 
-    /// Clears all state (between runs).
+    /// Number of receivers blocked on values that have not arrived, across
+    /// all steps (diagnostics / quiescence checks).
+    pub fn pending_waiters(&self) -> usize {
+        self.state
+            .lock()
+            .table
+            .values()
+            .flat_map(|step| step.values())
+            .map(|s| match s {
+                Slot::Waiting(w) => w.len(),
+                Slot::Value(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Total live entries (values + waiter slots) across all steps. Zero
+    /// means the table is fully quiescent.
+    pub fn live_entries(&self) -> usize {
+        self.state.lock().table.values().map(|step| step.len()).sum()
+    }
+
+    /// Clears all state across every step, including the tombstones of
+    /// dropped steps (between unrelated test runs; prefer
+    /// [`Rendezvous::drop_step`] for per-run teardown).
     pub fn clear(&self) {
-        self.table.lock().clear();
+        let cleared: (HashMap<StepId, HashMap<String, Slot>>, HashSet<StepId>) = {
+            let mut st = self.state.lock();
+            (std::mem::take(&mut st.table), std::mem::take(&mut st.dropped))
+        };
+        // Waiting callbacks are dropped (not invoked) here: `clear` is the
+        // blunt whole-table reset, only used when no run is in flight.
+        drop(cleared);
     }
-}
 
-impl Rendezvous for InMemoryRendezvous {
-    fn send(&self, key: String, token: Token) {
+    fn publish(&self, step: StepId, key: String, result: RecvResult) {
         let waiters = {
-            let mut table = self.table.lock();
-            match table.remove(&key) {
-                None => {
-                    table.insert(key, Slot::Value(token));
-                    return;
-                }
-                Some(Slot::Waiting(w)) => w,
-                Some(Slot::Value(_)) => {
-                    // Double send on one key: a graph bug; keep the first.
-                    table.insert(key, Slot::Value(token));
-                    return;
-                }
+            let mut st = self.state.lock();
+            if st.dropped.contains(&step) {
+                // The step was torn down; discard the straggler.
+                return;
             }
+            let (w, now_empty) = {
+                let entries = st.table.entry(step).or_default();
+                match entries.remove(&key) {
+                    None => {
+                        entries.insert(key, Slot::Value(result));
+                        return;
+                    }
+                    Some(Slot::Waiting(w)) => {
+                        let empty = entries.is_empty();
+                        (w, empty)
+                    }
+                    Some(Slot::Value(prev)) => {
+                        // Double send on one key: a duplicated transfer (or
+                        // a graph bug); keep the first value.
+                        entries.insert(key, Slot::Value(prev));
+                        return;
+                    }
+                }
+            };
+            if now_empty {
+                st.table.remove(&step);
+            }
+            w
         };
         // Invoke callbacks outside the lock. Multiple waiters each get a
         // clone (only ever one in practice).
         let n = waiters.len();
         for (i, cb) in waiters.into_iter().enumerate() {
             if i + 1 == n {
-                cb(token);
+                cb(result);
                 break;
             }
-            cb(token.clone());
+            cb(result.clone());
         }
     }
+}
 
-    fn recv_async(&self, key: String, callback: RecvCallback) {
+impl Rendezvous for InMemoryRendezvous {
+    fn send(&self, step: StepId, key: String, token: Token) {
+        self.publish(step, key, Ok(token));
+    }
+
+    fn send_error(&self, step: StepId, key: String, err: ExecError) {
+        self.publish(step, key, Err(err));
+    }
+
+    fn recv_async(&self, step: StepId, key: String, callback: RecvCallback) {
         let value = {
-            let mut table = self.table.lock();
-            match table.remove(&key) {
-                Some(Slot::Value(t)) => Some(t),
-                Some(Slot::Waiting(mut w)) => {
-                    w.push(callback);
-                    table.insert(key, Slot::Waiting(w));
-                    return;
+            let mut st = self.state.lock();
+            if st.dropped.contains(&step) {
+                drop(st);
+                callback(Err(ExecError::Cancelled(format!("step {step} torn down"))));
+                return;
+            }
+            let (value, now_empty) = {
+                let entries = st.table.entry(step).or_default();
+                match entries.remove(&key) {
+                    Some(Slot::Value(t)) => {
+                        let empty = entries.is_empty();
+                        (t, empty)
+                    }
+                    Some(Slot::Waiting(mut w)) => {
+                        w.push(callback);
+                        entries.insert(key, Slot::Waiting(w));
+                        return;
+                    }
+                    None => {
+                        entries.insert(key, Slot::Waiting(vec![callback]));
+                        return;
+                    }
                 }
-                None => {
-                    table.insert(key, Slot::Waiting(vec![callback]));
-                    return;
+            };
+            if now_empty {
+                st.table.remove(&step);
+            }
+            value
+        };
+        callback(value);
+    }
+
+    fn drop_step(&self, step: StepId, err: ExecError) {
+        let entries = {
+            let mut st = self.state.lock();
+            st.dropped.insert(step);
+            st.table.remove(&step)
+        };
+        let Some(entries) = entries else { return };
+        // Fire stranded receivers outside the lock: they re-enter the
+        // executor (which drains them as no-ops once its run has failed).
+        for (_, slot) in entries {
+            if let Slot::Waiting(waiters) = slot {
+                for cb in waiters {
+                    cb(Err(err.clone()));
                 }
             }
-        };
-        if let Some(t) = value {
-            callback(t);
         }
     }
 }
@@ -116,19 +243,21 @@ mod tests {
     #[test]
     fn send_then_recv() {
         let r = InMemoryRendezvous::new();
-        r.send("k1".into(), Token::live(Tensor::scalar_f32(5.0)));
+        r.send(1, "k1".into(), Token::live(Tensor::scalar_f32(5.0)));
         assert_eq!(r.pending_values(), 1);
         let hits = Arc::new(AtomicUsize::new(0));
         let h = hits.clone();
         r.recv_async(
+            1,
             "k1".into(),
             Box::new(move |t| {
-                assert_eq!(t.value.scalar_as_f32().unwrap(), 5.0);
+                assert_eq!(t.unwrap().value.scalar_as_f32().unwrap(), 5.0);
                 h.fetch_add(1, Ordering::SeqCst);
             }),
         );
         assert_eq!(hits.load(Ordering::SeqCst), 1);
         assert_eq!(r.pending_values(), 0);
+        assert_eq!(r.live_entries(), 0);
     }
 
     #[test]
@@ -137,38 +266,128 @@ mod tests {
         let hits = Arc::new(AtomicUsize::new(0));
         let h = hits.clone();
         r.recv_async(
+            0,
             "k1".into(),
             Box::new(move |t| {
-                assert!(t.is_dead);
+                assert!(t.unwrap().is_dead);
                 h.fetch_add(1, Ordering::SeqCst);
             }),
         );
         assert_eq!(hits.load(Ordering::SeqCst), 0);
-        r.send("k1".into(), Token::dead());
+        assert_eq!(r.pending_waiters(), 1);
+        r.send(0, "k1".into(), Token::dead());
         assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(r.pending_waiters(), 0);
     }
 
     #[test]
     fn keys_are_independent() {
         let r = InMemoryRendezvous::new();
-        r.send("a".into(), Token::live(Tensor::scalar_i64(1)));
-        r.send("b".into(), Token::live(Tensor::scalar_i64(2)));
+        r.send(0, "a".into(), Token::live(Tensor::scalar_i64(1)));
+        r.send(0, "b".into(), Token::live(Tensor::scalar_i64(2)));
         let got = Arc::new(Mutex::new(Vec::new()));
         for key in ["b", "a"] {
             let g = got.clone();
             r.recv_async(
+                0,
                 key.into(),
-                Box::new(move |t| g.lock().push(t.value.scalar_as_i64().unwrap())),
+                Box::new(move |t| g.lock().push(t.unwrap().value.scalar_as_i64().unwrap())),
             );
         }
         assert_eq!(*got.lock(), vec![2, 1]);
     }
 
     #[test]
+    fn steps_are_isolated() {
+        // The same key in two different steps holds two different values:
+        // a stale tensor from step 7 can never satisfy step 8's recv.
+        let r = InMemoryRendezvous::new();
+        r.send(7, "x".into(), Token::live(Tensor::scalar_i64(70)));
+        r.send(8, "x".into(), Token::live(Tensor::scalar_i64(80)));
+        let got = Arc::new(AtomicUsize::new(0));
+        let g = got.clone();
+        r.recv_async(
+            8,
+            "x".into(),
+            Box::new(move |t| {
+                g.store(t.unwrap().value.scalar_as_i64().unwrap() as usize, Ordering::SeqCst)
+            }),
+        );
+        assert_eq!(got.load(Ordering::SeqCst), 80);
+        assert_eq!(r.pending_values(), 1, "step 7's value is untouched");
+    }
+
+    #[test]
+    fn drop_step_reclaims_values_and_cancels_waiters() {
+        let r = InMemoryRendezvous::new();
+        r.send(3, "stale".into(), Token::live(Tensor::scalar_i64(1)));
+        let errs = Arc::new(AtomicUsize::new(0));
+        let e = errs.clone();
+        r.recv_async(
+            3,
+            "never".into(),
+            Box::new(move |t| {
+                assert!(matches!(t, Err(ExecError::Cancelled(_))), "got {t:?}");
+                e.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        r.send(4, "other".into(), Token::live(Tensor::scalar_i64(2)));
+        r.drop_step(3, ExecError::Cancelled("test abort".into()));
+        assert_eq!(errs.load(Ordering::SeqCst), 1, "blocked recv observed cancellation");
+        assert_eq!(r.pending_values(), 1, "other steps survive");
+        r.drop_step(3, ExecError::Cancelled("idempotent".into()));
+    }
+
+    #[test]
+    fn dropped_step_discards_stragglers() {
+        // A send racing (and losing to) drop_step must not resurrect the
+        // step, and a late recv must observe the teardown immediately.
+        let r = InMemoryRendezvous::new();
+        r.drop_step(5, ExecError::Cancelled("torn down".into()));
+        r.send(5, "late".into(), Token::live(Tensor::scalar_i64(9)));
+        assert_eq!(r.live_entries(), 0, "straggler send discarded");
+        let errs = Arc::new(AtomicUsize::new(0));
+        let e = errs.clone();
+        r.recv_async(
+            5,
+            "late".into(),
+            Box::new(move |t| {
+                assert!(matches!(t, Err(ExecError::Cancelled(_))));
+                e.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(errs.load(Ordering::SeqCst), 1, "late recv fails fast");
+        assert_eq!(r.live_entries(), 0);
+        // `clear` forgets the tombstone: step ids are then reusable.
+        r.clear();
+        r.send(5, "fresh".into(), Token::live(Tensor::scalar_i64(1)));
+        assert_eq!(r.pending_values(), 1);
+    }
+
+    #[test]
+    fn send_error_reaches_receiver() {
+        let r = InMemoryRendezvous::new();
+        r.send_error(0, "k".into(), ExecError::TransferFailed { key: "k".into(), attempts: 5 });
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        r.recv_async(
+            0,
+            "k".into(),
+            Box::new(move |t| {
+                assert!(matches!(t, Err(ExecError::TransferFailed { .. })));
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
     fn clear_resets() {
         let r = InMemoryRendezvous::new();
-        r.send("x".into(), Token::dead());
+        r.send(0, "x".into(), Token::dead());
+        r.send(9, "y".into(), Token::dead());
         r.clear();
         assert_eq!(r.pending_values(), 0);
+        assert_eq!(r.live_entries(), 0);
     }
 }

@@ -23,6 +23,18 @@ pub enum ExecError {
     DeadFetch(String),
     /// The run exceeded the deadline given in its `RunConfig`.
     DeadlineExceeded(std::time::Duration),
+    /// The run was aborted: either a peer partition failed first, or the
+    /// session tore the step down (e.g. a blocked `Recv` whose value can
+    /// no longer arrive). The payload names the cancellation source.
+    Cancelled(String),
+    /// A cross-device transfer could not be delivered within its retry
+    /// budget or per-transfer deadline (injected faults, §3.3 conditions).
+    TransferFailed {
+        /// Rendezvous key of the failed transfer.
+        key: String,
+        /// Delivery attempts made (1 initial + retries) before giving up.
+        attempts: u32,
+    },
     /// Internal invariant violation; indicates a bug or a malformed graph.
     Internal(String),
 }
@@ -35,6 +47,10 @@ impl fmt::Display for ExecError {
             ExecError::BadFeedOrFetch(s) => write!(f, "bad feed/fetch: {s}"),
             ExecError::DeadFetch(s) => write!(f, "fetched dead tensor: {s}"),
             ExecError::DeadlineExceeded(t) => write!(f, "deadline exceeded after {t:?}"),
+            ExecError::Cancelled(s) => write!(f, "cancelled: {s}"),
+            ExecError::TransferFailed { key, attempts } => {
+                write!(f, "transfer {key} failed after {attempts} attempts")
+            }
             ExecError::Internal(s) => write!(f, "internal: {s}"),
         }
     }
@@ -110,6 +126,10 @@ impl fmt::Debug for Charge {
 /// them.
 #[derive(Default)]
 pub struct CancelToken {
+    /// Lock-free mirror of "has fired": polled from hot paths (stream
+    /// modeled waits, executor spin loops) where taking the mutex per
+    /// check would serialize unrelated work.
+    fired_flag: Arc<std::sync::atomic::AtomicBool>,
     inner: dcf_sync::Mutex<CancelInner>,
 }
 
@@ -123,6 +143,19 @@ impl CancelToken {
     /// Creates an unfired token.
     pub fn new() -> Arc<CancelToken> {
         Arc::new(CancelToken::default())
+    }
+
+    /// `true` once [`CancelToken::fire`] has been called. One relaxed
+    /// atomic load — safe to poll from modeled-time waits.
+    pub fn is_fired(&self) -> bool {
+        self.fired_flag.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// A shareable view of the fired state, for layers (device streams)
+    /// that must observe cancellation without depending on this crate's
+    /// error types. The flag is set before subscriber callbacks run.
+    pub fn flag(&self) -> Arc<std::sync::atomic::AtomicBool> {
+        self.fired_flag.clone()
     }
 
     /// Registers a callback invoked on the first failure (immediately if
@@ -151,6 +184,7 @@ impl CancelToken {
                 return;
             }
             inner.fired = Some(err.clone());
+            self.fired_flag.store(true, std::sync::atomic::Ordering::SeqCst);
             std::mem::take(&mut inner.subscribers)
         };
         for cb in subs {

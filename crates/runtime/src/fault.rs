@@ -1,0 +1,268 @@
+//! Deterministic fault injection for the simulated network (§3.3, §5).
+//!
+//! The paper's distributed conditionals and loops only work if the
+//! rendezvous stays correct when transfers are slow, reordered, lost, or
+//! duplicated. A [`FaultPlan`] describes a *seeded, reproducible* set of
+//! such faults that [`NetworkRendezvous`](crate::NetworkRendezvous) applies
+//! to cross-machine transfers, and a [`RetryPolicy`] describes how the
+//! transport recovers: exponential backoff per attempt, a bounded retry
+//! budget, and an optional per-transfer deadline.
+//!
+//! Fault *decisions* are pure functions of `(seed, key, attempt)` — two
+//! runs with the same plan and the same transfer keys inject exactly the
+//! same faults, which is what makes the property-style sweep in
+//! `tests/fault_injection.rs` meaningful. The injection hooks themselves
+//! only compile with `--features faultinject`; without the feature a plan
+//! can still be constructed (API stability) but is ignored by the network
+//! layer.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One-shot stall of a worker machine: the first cross-machine transfer
+/// leaving `machine` is held for an extra `delay` before its normal
+/// latency applies. Models a worker pausing (GC, preemption, page fault
+/// storm) without failing.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerStall {
+    /// Machine index whose first outgoing transfer stalls.
+    pub machine: usize,
+    /// Extra delay added to that transfer.
+    pub delay: Duration,
+}
+
+/// A seeded, deterministic description of network faults to inject.
+///
+/// Probabilities are per delivery attempt and independent per fault kind;
+/// with `drop` = 0.5 a transfer's first attempt is dropped for half of all
+/// `(seed, key)` pairs, its second attempt for an independent half, and so
+/// on — so retries make eventual delivery overwhelmingly likely unless the
+/// retry budget is tiny.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed feeding every fault decision.
+    pub seed: u64,
+    /// Probability a delivery attempt is dropped (forcing a retry).
+    pub drop: f64,
+    /// Probability a delivered attempt is delayed by extra time.
+    pub delay: f64,
+    /// Upper bound of the injected extra delay (uniform in `0..=max`).
+    pub max_extra_delay: Duration,
+    /// Probability a delivered transfer is also delivered a second time
+    /// (the rendezvous must tolerate the duplicate).
+    pub duplicate: f64,
+    /// Probability a delivered transfer is reordered behind later sends
+    /// (implemented as an extra scheduling delay, which lets transfers
+    /// sent afterwards overtake it).
+    pub reorder: f64,
+    /// Optional one-shot worker stall.
+    pub stall: Option<WorkerStall>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled; use the builder
+    /// methods to switch individual fault kinds on.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop: 0.0,
+            delay: 0.0,
+            max_extra_delay: Duration::from_millis(2),
+            duplicate: 0.0,
+            reorder: 0.0,
+            stall: None,
+        }
+    }
+
+    /// Sets the per-attempt drop probability.
+    pub fn with_drop(mut self, p: f64) -> FaultPlan {
+        self.drop = p;
+        self
+    }
+
+    /// Sets the extra-delay probability and its upper bound.
+    pub fn with_delay(mut self, p: f64, max: Duration) -> FaultPlan {
+        self.delay = p;
+        self.max_extra_delay = max;
+        self
+    }
+
+    /// Sets the duplicate-delivery probability.
+    pub fn with_duplicate(mut self, p: f64) -> FaultPlan {
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the reorder probability.
+    pub fn with_reorder(mut self, p: f64) -> FaultPlan {
+        self.reorder = p;
+        self
+    }
+
+    /// Adds a one-shot stall of `machine`'s first outgoing transfer.
+    pub fn with_stall(mut self, machine: usize, delay: Duration) -> FaultPlan {
+        self.stall = Some(WorkerStall { machine, delay });
+        self
+    }
+
+    /// Uniform roll in `[0, 1)`, a pure function of
+    /// `(seed, kind, key, attempt)`.
+    #[cfg_attr(not(feature = "faultinject"), allow(dead_code))]
+    pub(crate) fn roll(&self, kind: u8, key: &str, attempt: u32) -> f64 {
+        let mut h = DefaultHasher::new();
+        self.seed.hash(&mut h);
+        kind.hash(&mut h);
+        key.hash(&mut h);
+        attempt.hash(&mut h);
+        // 53 high bits -> f64 in [0, 1).
+        (h.finish() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Retry/backoff policy for cross-machine transfers.
+///
+/// An attempt that is dropped by the [`FaultPlan`] is retried after an
+/// exponentially growing backoff until the budget runs out
+/// (`TransferFailed`) or the accumulated time exceeds the per-transfer
+/// deadline (also `TransferFailed` — the receiver observes a structured
+/// error either way, never a hang).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (total attempts = 1 + retries).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: Duration,
+    /// Multiplier applied to the backoff per further retry.
+    pub backoff_multiplier: f64,
+    /// Optional cap on a transfer's total modeled time (network delay +
+    /// backoffs); exceeding it fails the transfer even with retries left.
+    pub transfer_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            backoff_base: Duration::from_micros(200),
+            backoff_multiplier: 2.0,
+            transfer_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (first drop fails the transfer).
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+    }
+
+    /// Backoff waited before retry number `retry` (1-based).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = self.backoff_multiplier.powi(retry.saturating_sub(1) as i32);
+        self.backoff_base.mul_f64(factor.max(0.0))
+    }
+}
+
+/// Kind of an injected fault, for the per-run fault log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A delivery attempt was dropped.
+    Drop,
+    /// Extra latency was added to a delivery.
+    Delay,
+    /// The transfer was delivered twice.
+    Duplicate,
+    /// The transfer was held back so later sends overtake it.
+    Reorder,
+    /// A one-shot worker stall delayed the transfer.
+    Stall,
+}
+
+/// One injected fault, recorded into [`RunMetadata`](crate::RunMetadata).
+#[derive(Clone, Debug)]
+pub struct FaultEvent {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// Rendezvous key of the affected transfer.
+    pub key: String,
+    /// Delivery attempt the fault applied to (1-based).
+    pub attempt: u32,
+}
+
+/// Per-run accumulator of retries and injected faults; shared between the
+/// network layer and the session that reports [`RunMetadata`].
+#[derive(Default)]
+#[cfg_attr(not(feature = "faultinject"), allow(dead_code))]
+pub(crate) struct FaultLog {
+    pub(crate) retries: AtomicU64,
+    pub(crate) events: dcf_sync::Mutex<Vec<FaultEvent>>,
+    /// Set once the plan's one-shot worker stall has been consumed.
+    pub(crate) stall_used: AtomicBool,
+}
+
+#[cfg_attr(not(feature = "faultinject"), allow(dead_code))]
+impl FaultLog {
+    pub(crate) fn record(&self, kind: FaultKind, key: &str, attempt: u32) {
+        self.events.lock().push(FaultEvent { kind, key: key.to_string(), attempt });
+    }
+
+    pub(crate) fn add_retries(&self, n: u64) {
+        self.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn take_stall(&self) -> bool {
+        !self.stall_used.swap(true, Ordering::Relaxed)
+    }
+
+    pub(crate) fn snapshot(&self) -> (u64, Vec<FaultEvent>) {
+        (self.retries.load(Ordering::Relaxed), self.events.lock().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic_and_spread() {
+        let p = FaultPlan::seeded(42).with_drop(0.5);
+        let a = p.roll(0, "m0>m1/x", 1);
+        let b = p.roll(0, "m0>m1/x", 1);
+        assert_eq!(a, b, "same inputs, same roll");
+        assert!((0.0..1.0).contains(&a));
+        // Different attempts / keys / seeds decorrelate.
+        assert_ne!(a, p.roll(0, "m0>m1/x", 2));
+        assert_ne!(a, p.roll(0, "m0>m1/y", 1));
+        assert_ne!(a, FaultPlan::seeded(43).roll(0, "m0>m1/x", 1));
+        // Rough uniformity: over many keys, about half fall under 0.5.
+        let under: usize = (0..1000).filter(|i| p.roll(0, &format!("k{i}"), 1) < 0.5).count();
+        assert!((350..=650).contains(&under), "under={under}");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let r = RetryPolicy {
+            backoff_base: Duration::from_millis(1),
+            backoff_multiplier: 2.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(r.backoff(1), Duration::from_millis(1));
+        assert_eq!(r.backoff(2), Duration::from_millis(2));
+        assert_eq!(r.backoff(3), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn fault_log_accumulates() {
+        let log = FaultLog::default();
+        log.add_retries(2);
+        log.record(FaultKind::Drop, "k", 1);
+        assert!(log.take_stall(), "first take wins");
+        assert!(!log.take_stall(), "stall is one-shot");
+        let (retries, events) = log.snapshot();
+        assert_eq!(retries, 2);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FaultKind::Drop);
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod fault;
 mod netsim;
 mod optimize;
 mod partition;
@@ -31,6 +32,7 @@ mod placer;
 mod session;
 
 pub use cluster::Cluster;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, RetryPolicy, WorkerStall};
 pub use netsim::{NetworkModel, NetworkRendezvous};
 pub use optimize::fold_constants;
 pub use partition::{partition_graph, PartitionedGraph};

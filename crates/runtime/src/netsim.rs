@@ -1,13 +1,18 @@
-//! Simulated network: delayed rendezvous delivery.
+//! Simulated network: delayed rendezvous delivery, retry/backoff, and
+//! (feature-gated) deterministic fault injection.
 
+use crate::fault::{FaultLog, FaultPlan, RetryPolicy};
 use dcf_device::{StepStatsCollector, TransferStats};
-use dcf_exec::{InMemoryRendezvous, RecvCallback, Rendezvous, Token};
+use dcf_exec::{ExecError, InMemoryRendezvous, RecvCallback, Rendezvous, StepId, Token};
 use dcf_sync::{Condvar, Mutex};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+
+#[cfg(feature = "faultinject")]
+use crate::fault::FaultKind;
 
 /// Latency/bandwidth model for tensor transfers.
 ///
@@ -87,11 +92,18 @@ impl NetworkModel {
     }
 }
 
+/// What a scheduled heap entry delivers once due.
+enum Payload {
+    Deliver(Token),
+    Fail(ExecError),
+}
+
 struct Pending {
     due: Instant,
     seq: u64,
+    step: StepId,
     key: String,
-    token: Token,
+    payload: Payload,
 }
 
 impl PartialEq for Pending {
@@ -117,16 +129,53 @@ struct SchedulerState {
     shutdown: bool,
 }
 
-/// A rendezvous that injects modeled network delay into `send`.
+/// Per-run transport context: how the run's transfers retry, what faults
+/// they suffer, and where retries/faults are logged.
+struct RunCtx {
+    retry: RetryPolicy,
+    #[cfg_attr(not(feature = "faultinject"), allow(dead_code))]
+    plan: Option<FaultPlan>,
+    log: Arc<FaultLog>,
+}
+
+/// Outcome of a transfer's delivery attempts, computed synchronously at
+/// send time (the plan is deterministic, so the full attempt sequence is
+/// known up front).
+struct Fate {
+    /// Modeled time until the value (or failure) reaches the receiver.
+    total: Duration,
+    /// Attempts made (1 + retries).
+    attempts: u32,
+    /// If set, a duplicate delivery is scheduled this long after `total`.
+    duplicate_after: Option<Duration>,
+    /// `None` to deliver the token; `Some(err)` if the retry budget or the
+    /// per-transfer deadline ran out.
+    error: Option<ExecError>,
+}
+
+impl Fate {
+    fn clean(total: Duration) -> Fate {
+        Fate { total, attempts: 1, duplicate_after: None, error: None }
+    }
+}
+
+/// A rendezvous that injects modeled network delay — and, under the
+/// `faultinject` feature, seeded faults with retry/backoff recovery — into
+/// `send`.
 ///
 /// Keys produced by the partitioner carry a `m{src}>m{dst}/` prefix naming
 /// the endpoint machines; delivery into the underlying in-memory table is
 /// postponed by the modeled transfer time on a dedicated timer thread.
+/// Entries are step-scoped: [`Rendezvous::drop_step`] purges a run's
+/// in-flight (still-delayed) transfers from the timer heap *and* its table
+/// entries, so an aborted run leaves the network verifiably quiescent.
 pub struct NetworkRendezvous {
     inner: InMemoryRendezvous,
     model: NetworkModel,
     state: Arc<(Mutex<SchedulerState>, Condvar)>,
     timer: Option<thread::JoinHandle<()>>,
+    /// Per-run transport contexts, installed by the session around a run.
+    runs: Mutex<HashMap<StepId, RunCtx>>,
     /// Per-run step-stats sink for modeled transfers (attached by the
     /// session for traced runs, detached at run end).
     collector: Mutex<Option<Arc<StepStatsCollector>>>,
@@ -154,13 +203,14 @@ impl NetworkRendezvous {
                     let now = Instant::now();
                     // Deliver everything due.
                     while st.heap.peek().map(|Reverse(p)| p.due <= now).unwrap_or(false) {
-                        let Reverse(p) = st.heap.pop().expect("peeked");
+                        let Some(Reverse(p)) = st.heap.pop() else { break };
                         // Deliver outside the lock: recv callbacks may run
                         // arbitrary executor code.
-                        let key = p.key;
-                        let token = p.token;
                         drop(st);
-                        timer_inner.send(key, token);
+                        match p.payload {
+                            Payload::Deliver(token) => timer_inner.send(p.step, p.key, token),
+                            Payload::Fail(err) => timer_inner.send_error(p.step, p.key, err),
+                        }
                         st = lock.lock();
                     }
                     match st.heap.peek() {
@@ -180,13 +230,47 @@ impl NetworkRendezvous {
             model,
             state,
             timer: Some(timer),
+            runs: Mutex::new(HashMap::new()),
             collector: Mutex::new(None),
         })
     }
 
-    /// Clears rendezvous state between runs.
+    /// Installs the transport context for `step`: its retry policy and
+    /// (optionally) a fault plan. Call before the run's executors start.
+    pub fn begin_run(&self, step: StepId, retry: RetryPolicy, plan: Option<FaultPlan>) {
+        self.runs.lock().insert(step, RunCtx { retry, plan, log: Arc::new(FaultLog::default()) });
+    }
+
+    /// Removes the transport context for `step`, returning the retries
+    /// performed and the faults injected over the run.
+    pub fn end_run(&self, step: StepId) -> (u64, Vec<crate::fault::FaultEvent>) {
+        match self.runs.lock().remove(&step) {
+            Some(ctx) => ctx.log.snapshot(),
+            None => (0, Vec::new()),
+        }
+    }
+
+    /// Clears rendezvous state between unrelated runs (prefer
+    /// [`Rendezvous::drop_step`] for per-run teardown).
     pub fn clear(&self) {
         self.inner.clear();
+    }
+
+    /// `true` when no transfer is in flight on the timer and no rendezvous
+    /// entry (value or blocked receiver) is live — the post-run/abort
+    /// invariant the session asserts.
+    pub fn quiescent(&self) -> bool {
+        self.state.0.lock().heap.is_empty() && self.inner.live_entries() == 0
+    }
+
+    /// Live rendezvous-table entries across all steps (diagnostics).
+    pub fn live_entries(&self) -> usize {
+        self.inner.live_entries()
+    }
+
+    /// Receivers blocked on values that have not arrived (diagnostics).
+    pub fn pending_waiters(&self) -> usize {
+        self.inner.pending_waiters()
     }
 
     /// Attaches (or, with `None`, detaches) the step-stats collector that
@@ -202,14 +286,135 @@ impl NetworkRendezvous {
         let (b, _) = rest.split_once('/')?;
         Some((a.parse().ok()?, b.parse().ok()?))
     }
+
+    /// Decides the transfer's outcome: with a fault plan installed (and the
+    /// `faultinject` feature on), walks the deterministic attempt sequence
+    /// accumulating backoffs and injected delays; otherwise a clean
+    /// delivery after the base network delay, still subject to the
+    /// policy's per-transfer deadline.
+    fn decide_fate(&self, step: StepId, key: &str, src_machine: usize, base: Duration) -> Fate {
+        let runs = self.runs.lock();
+        let Some(ctx) = runs.get(&step) else {
+            let _ = src_machine;
+            return Fate::clean(base);
+        };
+        let retry = ctx.retry;
+        let mut fate = Fate::clean(base);
+
+        #[cfg(feature = "faultinject")]
+        if let Some(plan) = &ctx.plan {
+            fate = Self::faulted_fate(plan, &ctx.log, &retry, key, src_machine, base);
+        }
+
+        if fate.error.is_none() {
+            if let Some(deadline) = retry.transfer_deadline {
+                if fate.total > deadline {
+                    fate.error = Some(ExecError::TransferFailed {
+                        key: key.to_string(),
+                        attempts: fate.attempts,
+                    });
+                }
+            }
+        }
+        fate
+    }
+
+    /// Walks the attempt sequence under `plan`. Each attempt rolls drop /
+    /// delay / duplicate / reorder independently; a dropped attempt costs
+    /// its network delay plus the next backoff and is retried until the
+    /// budget or the per-transfer deadline runs out.
+    #[cfg(feature = "faultinject")]
+    fn faulted_fate(
+        plan: &FaultPlan,
+        log: &FaultLog,
+        retry: &RetryPolicy,
+        key: &str,
+        src_machine: usize,
+        base: Duration,
+    ) -> Fate {
+        let max_attempts = 1 + retry.max_retries;
+        let mut total = Duration::ZERO;
+
+        // One-shot worker stall on the first transfer leaving the stalled
+        // machine.
+        if let Some(stall) = plan.stall {
+            if stall.machine == src_machine && log.take_stall() {
+                total += stall.delay;
+                log.record(FaultKind::Stall, key, 1);
+            }
+        }
+
+        for attempt in 1..=max_attempts {
+            if attempt > 1 {
+                total += retry.backoff(attempt - 1);
+                log.add_retries(1);
+            }
+            total += base;
+            if let Some(deadline) = retry.transfer_deadline {
+                if total > deadline {
+                    return Fate {
+                        total,
+                        attempts: attempt,
+                        duplicate_after: None,
+                        error: Some(ExecError::TransferFailed {
+                            key: key.to_string(),
+                            attempts: attempt,
+                        }),
+                    };
+                }
+            }
+            if plan.roll(0, key, attempt) < plan.drop {
+                log.record(FaultKind::Drop, key, attempt);
+                continue;
+            }
+            // Delivered. Roll the non-fatal faults.
+            let mut duplicate_after = None;
+            if plan.roll(1, key, attempt) < plan.delay {
+                let extra = plan.max_extra_delay.mul_f64(plan.roll(5, key, attempt));
+                total += extra;
+                log.record(FaultKind::Delay, key, attempt);
+            }
+            if plan.roll(3, key, attempt) < plan.reorder {
+                // Hold the transfer long enough for later sends to overtake.
+                total += base * 2 + plan.max_extra_delay;
+                log.record(FaultKind::Reorder, key, attempt);
+            }
+            if plan.roll(2, key, attempt) < plan.duplicate {
+                duplicate_after = Some(base.max(Duration::from_micros(50)));
+                log.record(FaultKind::Duplicate, key, attempt);
+            }
+            return Fate { total, attempts: attempt, duplicate_after, error: None };
+        }
+        Fate {
+            total,
+            attempts: max_attempts,
+            duplicate_after: None,
+            error: Some(ExecError::TransferFailed { key: key.to_string(), attempts: max_attempts }),
+        }
+    }
+
+    fn schedule(&self, due: Instant, step: StepId, key: String, payload: Payload) {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock();
+        st.seq += 1;
+        let seq = st.seq;
+        st.heap.push(Reverse(Pending { due, seq, step, key, payload }));
+        cvar.notify_one();
+    }
 }
 
 impl Rendezvous for NetworkRendezvous {
-    fn send(&self, key: String, token: Token) {
+    fn send(&self, step: StepId, key: String, token: Token) {
         let machines = Self::parse_machines(&key);
-        let delay = match machines {
+        let base = match machines {
             Some((a, b)) => self.model.delay(a, b, &token),
             None => Duration::ZERO,
+        };
+        let fate = match machines {
+            Some((src, _)) => self.decide_fate(step, &key, src, base),
+            // Same-device (unprefixed) edges bypass the network model and
+            // the fault plan entirely.
+            None => Fate::clean(Duration::ZERO),
         };
         if machines.is_some() {
             let collector = self.collector.lock().clone();
@@ -218,24 +423,44 @@ impl Rendezvous for NetworkRendezvous {
                     key: key.clone(),
                     bytes: self.model.modeled_bytes(&token) as u64,
                     start_us: c.now_us(),
-                    delay_us: delay.as_micros() as u64,
+                    delay_us: fate.total.as_micros() as u64,
                 });
             }
         }
-        if delay.is_zero() {
-            self.inner.send(key, token);
+        if let Some(err) = fate.error {
+            self.schedule(Instant::now() + fate.total, step, key, Payload::Fail(err));
             return;
         }
-        let (lock, cvar) = &*self.state;
-        let mut st = lock.lock();
-        st.seq += 1;
-        let seq = st.seq;
-        st.heap.push(Reverse(Pending { due: Instant::now() + delay, seq, key, token }));
-        cvar.notify_one();
+        if fate.total.is_zero() && fate.duplicate_after.is_none() {
+            self.inner.send(step, key, token);
+            return;
+        }
+        let due = Instant::now() + fate.total;
+        if let Some(extra) = fate.duplicate_after {
+            // The rendezvous keeps the first value for a key, so the
+            // duplicate is absorbed there (and reclaimed at drop_step).
+            self.schedule(due + extra, step, key.clone(), Payload::Deliver(token.clone()));
+        }
+        self.schedule(due, step, key, Payload::Deliver(token));
     }
 
-    fn recv_async(&self, key: String, callback: RecvCallback) {
-        self.inner.recv_async(key, callback);
+    fn send_error(&self, step: StepId, key: String, err: ExecError) {
+        self.inner.send_error(step, key, err);
+    }
+
+    fn recv_async(&self, step: StepId, key: String, callback: RecvCallback) {
+        self.inner.recv_async(step, key, callback);
+    }
+
+    fn drop_step(&self, step: StepId, err: ExecError) {
+        // Purge the step's in-flight (delayed) transfers so nothing lands
+        // in the table after teardown.
+        {
+            let mut st = self.state.0.lock();
+            let drained = std::mem::take(&mut st.heap);
+            st.heap = drained.into_iter().filter(|Reverse(p)| p.step != step).collect();
+        }
+        self.inner.drop_step(step, err);
     }
 }
 
@@ -284,15 +509,16 @@ mod tests {
         let r = NetworkRendezvous::new(model);
         let hit = Arc::new(AtomicBool::new(false));
         let h = hit.clone();
-        r.recv_async("m0>m1/x".into(), Box::new(move |_| h.store(true, Ordering::SeqCst)));
+        r.recv_async(0, "m0>m1/x".into(), Box::new(move |_| h.store(true, Ordering::SeqCst)));
         let t0 = Instant::now();
-        r.send("m0>m1/x".into(), Token::live(Tensor::scalar_f32(1.0)));
+        r.send(0, "m0>m1/x".into(), Token::live(Tensor::scalar_f32(1.0)));
         assert!(!hit.load(Ordering::SeqCst), "must not deliver synchronously");
         while !hit.load(Ordering::SeqCst) {
             assert!(t0.elapsed() < Duration::from_secs(5), "delivery never happened");
             thread::sleep(Duration::from_millis(1));
         }
         assert!(t0.elapsed() >= Duration::from_millis(18));
+        assert!(r.quiescent());
     }
 
     #[test]
@@ -300,8 +526,165 @@ mod tests {
         let r = NetworkRendezvous::new(NetworkModel::default());
         let hit = Arc::new(AtomicBool::new(false));
         let h = hit.clone();
-        r.recv_async("plain".into(), Box::new(move |_| h.store(true, Ordering::SeqCst)));
-        r.send("plain".into(), Token::dead());
+        r.recv_async(0, "plain".into(), Box::new(move |_| h.store(true, Ordering::SeqCst)));
+        r.send(0, "plain".into(), Token::dead());
         assert!(hit.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn drop_step_purges_in_flight_transfers() {
+        let model =
+            NetworkModel { cross_latency: Duration::from_millis(50), ..NetworkModel::default() };
+        let r = NetworkRendezvous::new(model);
+        r.send(7, "m0>m1/x".into(), Token::live(Tensor::scalar_f32(1.0)));
+        assert!(!r.quiescent(), "transfer is in flight");
+        r.drop_step(7, ExecError::Cancelled("abort".into()));
+        assert!(r.quiescent(), "drop_step purged the heap");
+        // Nothing lands later either.
+        thread::sleep(Duration::from_millis(70));
+        assert_eq!(r.live_entries(), 0);
+    }
+
+    #[test]
+    fn transfer_deadline_fails_structurally() {
+        let model =
+            NetworkModel { cross_latency: Duration::from_millis(20), ..NetworkModel::default() };
+        let r = NetworkRendezvous::new(model);
+        let retry = RetryPolicy {
+            transfer_deadline: Some(Duration::from_millis(1)),
+            ..RetryPolicy::default()
+        };
+        r.begin_run(9, retry, None);
+        let got = Arc::new(Mutex::new(None));
+        let g = got.clone();
+        r.recv_async(9, "m0>m1/slow".into(), Box::new(move |res| *g.lock() = Some(res)));
+        r.send(9, "m0>m1/slow".into(), Token::live(Tensor::scalar_f32(1.0)));
+        let t0 = Instant::now();
+        loop {
+            if let Some(res) = got.lock().take() {
+                assert!(matches!(res, Err(ExecError::TransferFailed { .. })), "got {res:?}");
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(5), "failure never delivered");
+            thread::sleep(Duration::from_millis(1));
+        }
+        r.end_run(9);
+    }
+
+    #[cfg(feature = "faultinject")]
+    #[test]
+    fn dropped_transfers_retry_and_deliver() {
+        let r = NetworkRendezvous::new(NetworkModel::disabled());
+        // Heavy drop probability, generous retry budget: every transfer
+        // still gets through, with retries logged.
+        let plan = FaultPlan::seeded(7).with_drop(0.6);
+        let retry = RetryPolicy { max_retries: 16, ..RetryPolicy::default() };
+        r.begin_run(1, retry, Some(plan));
+        let mut delivered = 0;
+        for i in 0..32 {
+            let key = format!("m0>m1/k{i}");
+            let hit = Arc::new(AtomicBool::new(false));
+            let h = hit.clone();
+            r.recv_async(1, key.clone(), Box::new(move |_| h.store(true, Ordering::SeqCst)));
+            r.send(1, key, Token::live(Tensor::scalar_f32(i as f32)));
+            let t0 = Instant::now();
+            while !hit.load(Ordering::SeqCst) {
+                assert!(t0.elapsed() < Duration::from_secs(5), "k{i} never delivered");
+                thread::sleep(Duration::from_micros(200));
+            }
+            delivered += 1;
+        }
+        let (retries, events) = r.end_run(1);
+        assert_eq!(delivered, 32);
+        assert!(retries > 0, "drop rate 0.6 must force retries");
+        assert!(events.iter().any(|e| e.kind == FaultKind::Drop));
+    }
+
+    #[cfg(feature = "faultinject")]
+    #[test]
+    fn retry_budget_exhaustion_is_structured() {
+        let r = NetworkRendezvous::new(NetworkModel::disabled());
+        let plan = FaultPlan::seeded(3).with_drop(1.0); // every attempt drops
+        r.begin_run(2, RetryPolicy { max_retries: 2, ..RetryPolicy::default() }, Some(plan));
+        let got = Arc::new(Mutex::new(None));
+        let g = got.clone();
+        r.recv_async(2, "m0>m1/doomed".into(), Box::new(move |res| *g.lock() = Some(res)));
+        r.send(2, "m0>m1/doomed".into(), Token::live(Tensor::scalar_f32(1.0)));
+        let t0 = Instant::now();
+        loop {
+            if let Some(res) = got.lock().take() {
+                match res {
+                    Err(ExecError::TransferFailed { attempts, .. }) => {
+                        assert_eq!(attempts, 3, "1 initial + 2 retries");
+                    }
+                    other => panic!("expected TransferFailed, got {other:?}"),
+                }
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(5), "failure never delivered");
+            thread::sleep(Duration::from_micros(200));
+        }
+        r.end_run(2);
+    }
+
+    #[cfg(feature = "faultinject")]
+    #[test]
+    fn duplicates_are_absorbed() {
+        let r = NetworkRendezvous::new(NetworkModel::disabled());
+        let plan = FaultPlan::seeded(11).with_duplicate(1.0);
+        r.begin_run(4, RetryPolicy::default(), Some(plan));
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let h = hits.clone();
+        r.recv_async(
+            4,
+            "m0>m1/dup".into(),
+            Box::new(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        r.send(4, "m0>m1/dup".into(), Token::live(Tensor::scalar_f32(2.0)));
+        let t0 = Instant::now();
+        while hits.load(Ordering::SeqCst) == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(5));
+            thread::sleep(Duration::from_micros(200));
+        }
+        // Give the duplicate time to land; the receiver must fire once.
+        thread::sleep(Duration::from_millis(5));
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "duplicate absorbed by rendezvous");
+        let (_, events) = r.end_run(4);
+        assert!(events.iter().any(|e| e.kind == FaultKind::Duplicate));
+        r.drop_step(4, ExecError::Cancelled("cleanup".into()));
+        assert!(r.quiescent());
+    }
+
+    #[cfg(feature = "faultinject")]
+    #[test]
+    fn stall_is_one_shot() {
+        let r = NetworkRendezvous::new(NetworkModel::disabled());
+        let plan = FaultPlan::seeded(5).with_stall(0, Duration::from_millis(30));
+        r.begin_run(6, RetryPolicy::default(), Some(plan));
+        let t0 = Instant::now();
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = hit.clone();
+        r.recv_async(6, "m0>m1/a".into(), Box::new(move |_| h.store(true, Ordering::SeqCst)));
+        r.send(6, "m0>m1/a".into(), Token::live(Tensor::scalar_f32(1.0)));
+        while !hit.load(Ordering::SeqCst) {
+            assert!(t0.elapsed() < Duration::from_secs(5));
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(25), "first send stalls");
+        // Second send from the same machine is not stalled.
+        let t1 = Instant::now();
+        let hit2 = Arc::new(AtomicBool::new(false));
+        let h2 = hit2.clone();
+        r.recv_async(6, "m0>m1/b".into(), Box::new(move |_| h2.store(true, Ordering::SeqCst)));
+        r.send(6, "m0>m1/b".into(), Token::live(Tensor::scalar_f32(2.0)));
+        while !hit2.load(Ordering::SeqCst) {
+            assert!(t1.elapsed() < Duration::from_secs(5));
+            thread::sleep(Duration::from_micros(200));
+        }
+        assert!(t1.elapsed() < Duration::from_millis(25), "stall was consumed");
+        let (_, events) = r.end_run(6);
+        assert_eq!(events.iter().filter(|e| e.kind == FaultKind::Stall).count(), 1);
     }
 }

@@ -1,17 +1,26 @@
 //! The session: placing, partitioning, and running a graph on a cluster.
 
 use crate::cluster::Cluster;
+use crate::fault::{FaultEvent, FaultPlan, RetryPolicy};
 use crate::netsim::{NetworkModel, NetworkRendezvous};
 use crate::partition::{partition_graph, PartitionedGraph};
 use crate::placer::place_nodes;
 use crate::Result;
 use dcf_device::{DeviceCollector, DeviceId, StepStats, StepStatsCollector, TraceLevel};
-use dcf_exec::{CancelToken, ExecGraph, Executor, ExecutorOptions, ResourceManager, RunConfig};
+use dcf_exec::{
+    CancelToken, ExecGraph, Executor, ExecutorOptions, Rendezvous, ResourceManager, RunConfig,
+};
 use dcf_graph::{Graph, TensorRef};
 use dcf_tensor::Tensor;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Global step-id allocator: every `run` on any session gets a distinct
+/// step, so rendezvous entries of concurrent or back-to-back runs can
+/// never collide. Step 0 is reserved for standalone executors.
+static NEXT_STEP: AtomicU64 = AtomicU64::new(1);
 
 /// Session configuration.
 #[derive(Clone, Debug, Default)]
@@ -56,6 +65,11 @@ pub struct RunOptions {
     pub timeout: Option<Duration>,
     /// Free-form label echoed in [`RunMetadata::tag`] (e.g. a step number).
     pub tag: String,
+    /// Retry/backoff policy for cross-machine transfers.
+    pub retry: RetryPolicy,
+    /// Seeded fault plan applied to this run's cross-machine transfers.
+    /// Ignored unless the crate is built with `--features faultinject`.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl RunOptions {
@@ -81,6 +95,19 @@ impl RunOptions {
         self.tag = tag.into();
         self
     }
+
+    /// Sets the transfer retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> RunOptions {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs a seeded fault plan for this run (builder style). Only
+    /// effective with the `faultinject` feature.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> RunOptions {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 /// What a run reports back besides the fetched tensors, mirroring
@@ -97,6 +124,14 @@ pub struct RunMetadata {
     pub ops_executed: u64,
     /// The tag from the run's [`RunOptions`], echoed back.
     pub tag: String,
+    /// Transfer retries performed by the network layer over the run.
+    pub retries: u64,
+    /// Faults injected by the run's [`FaultPlan`], in injection order.
+    pub fault_events: Vec<FaultEvent>,
+    /// Why the run aborted (`Display` of the failing error), or `None` for
+    /// a successful run. Populated even when the error itself is returned,
+    /// so metadata consumers need not re-derive it.
+    pub abort_reason: Option<String>,
 }
 
 /// Drives a dataflow graph on a cluster of simulated devices.
@@ -195,7 +230,46 @@ impl Session {
         feeds: &HashMap<String, Tensor>,
         fetches: &[TensorRef],
     ) -> Result<(Vec<Tensor>, RunMetadata)> {
+        let (result, metadata) = self.run_full(options, feeds, fetches);
+        result.map(|values| (values, metadata))
+    }
+
+    /// `true` when the session's network layer holds no in-flight transfer
+    /// and no live rendezvous entry — the invariant every run (successful
+    /// or aborted) must restore before `run` returns.
+    pub fn quiescent(&self) -> bool {
+        self.rendezvous.quiescent()
+    }
+
+    /// Like [`Session::run`], but always returns the [`RunMetadata`] —
+    /// including for failed runs, where `abort_reason`, `retries`, and
+    /// `fault_events` describe what went wrong and what the network layer
+    /// observed on the way down.
+    pub fn run_full(
+        &self,
+        options: &RunOptions,
+        feeds: &HashMap<String, Tensor>,
+        fetches: &[TensorRef],
+    ) -> (Result<Vec<Tensor>>, RunMetadata) {
         let start = Instant::now();
+        let step = NEXT_STEP.fetch_add(1, Ordering::Relaxed);
+        let mut metadata = RunMetadata { tag: options.tag.clone(), ..RunMetadata::default() };
+        let result = self.run_step(options, feeds, fetches, step, &mut metadata);
+        metadata.wall = start.elapsed();
+        if let Err(e) = &result {
+            metadata.abort_reason = Some(e.to_string());
+        }
+        (result, metadata)
+    }
+
+    fn run_step(
+        &self,
+        options: &RunOptions,
+        feeds: &HashMap<String, Tensor>,
+        fetches: &[TensorRef],
+        step: u64,
+        metadata: &mut RunMetadata,
+    ) -> Result<Vec<Tensor>> {
         // Route each fetch to the partition that produces it.
         let mut per_exec_fetches: Vec<Vec<TensorRef>> = vec![Vec::new(); self.executors.len()];
         for &t in fetches {
@@ -231,6 +305,10 @@ impl Session {
             None
         };
 
+        // Install the run's transport context (retry policy, fault plan)
+        // before any executor can send.
+        self.rendezvous.begin_run(step, options.retry, options.fault_plan.clone());
+
         let cancel = CancelToken::new();
         // One shared copy of the feed dictionary for every partition.
         let feeds = Arc::new(feeds.clone());
@@ -244,18 +322,32 @@ impl Session {
                         .as_ref()
                         .map(|c| DeviceCollector::new(dev.0 as u16, c.clone())),
                     timeout: options.timeout,
+                    step,
                 };
                 let feeds = feeds.clone();
                 handles.push(scope.spawn(move || exec.run_with(feeds, &fetches, config)));
             }
-            handles.into_iter().map(|h| h.join().expect("executor thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(dcf_exec::ExecError::Internal("executor thread panicked".into()))
+                    })
+                })
+                .collect()
         });
 
-        // Per-run transients (stacks, TensorArrays, unclaimed rendezvous
-        // values) are dropped; variables persist. Collection hooks are
-        // detached before any error propagates.
+        // Tear down exactly this run's network state: purge still-delayed
+        // transfers, reclaim unconsumed rendezvous values, and fail any
+        // receiver stranded by an abort — then record what the transport
+        // observed. Per-run transients (stacks, TensorArrays) are dropped
+        // too; variables persist. Hooks detach before any error propagates.
+        self.rendezvous
+            .drop_step(step, dcf_exec::ExecError::Cancelled(format!("step {step} torn down")));
+        let (retries, fault_events) = self.rendezvous.end_run(step);
+        metadata.retries = retries;
+        metadata.fault_events = fault_events;
         self.resources.clear_transients();
-        self.rendezvous.clear();
         let step_stats = collector.map(|c| {
             if c.level() >= TraceLevel::Full {
                 for dev in self.cluster.devices() {
@@ -269,8 +361,25 @@ impl Session {
             c.finish()
         });
 
-        // Collate: surface the first error; otherwise reassemble in
+        metadata.step_stats = step_stats;
+
+        // Collate: surface the root-cause error (a partition's own failure
+        // over a peer-propagated `Cancelled`); otherwise reassemble in
         // request order.
+        if results.iter().any(|r| r.is_err()) {
+            let mut first_cancelled = None;
+            for r in results {
+                match r {
+                    Err(e @ dcf_exec::ExecError::Cancelled(_)) => {
+                        first_cancelled.get_or_insert(e);
+                    }
+                    Err(e) => return Err(e),
+                    Ok(_) => {}
+                }
+            }
+            return Err(first_cancelled
+                .unwrap_or_else(|| dcf_exec::ExecError::Internal("error vanished".into())));
+        }
         let mut ops_executed = 0;
         let mut per_exec_values: Vec<std::vec::IntoIter<Tensor>> = Vec::new();
         for r in results {
@@ -281,20 +390,17 @@ impl Session {
         let mut out = Vec::with_capacity(fetches.len());
         for &t in fetches {
             let dev = self.pg.placement[t.node.0];
-            let idx = self.executors.iter().position(|(d, _)| *d == dev).expect("checked above");
+            let idx = self.executors.iter().position(|(d, _)| *d == dev).ok_or_else(|| {
+                dcf_exec::ExecError::Internal("fetch routed to unknown partition".into())
+            })?;
             out.push(
                 per_exec_values[idx]
                     .next()
                     .ok_or_else(|| dcf_exec::ExecError::Internal("fetch misrouted".into()))?,
             );
         }
-        let metadata = RunMetadata {
-            step_stats,
-            wall: start.elapsed(),
-            ops_executed,
-            tag: options.tag.clone(),
-        };
-        Ok((out, metadata))
+        metadata.ops_executed = ops_executed;
+        Ok(out)
     }
 }
 
@@ -367,9 +473,66 @@ mod session_tests {
         let sess = Session::local(b.finish().unwrap()).unwrap();
         let opts = RunOptions::default().with_timeout(Duration::from_millis(50));
         let t0 = Instant::now();
-        let err = sess.run(&opts, &HashMap::new(), &[outs[0]]).unwrap_err();
+        let (result, meta) = sess.run_full(&opts, &HashMap::new(), &[outs[0]]);
+        let err = result.unwrap_err();
         assert!(matches!(err, dcf_exec::ExecError::DeadlineExceeded(_)), "unexpected error: {err}");
         assert!(t0.elapsed() < Duration::from_secs(10), "run did not abort promptly");
+        assert_eq!(meta.abort_reason.as_deref(), Some(err.to_string().as_str()));
+
+        // The abort must leave the runtime verifiably quiescent (no live
+        // rendezvous entries, no in-flight transfers).
+        assert!(sess.quiescent(), "abort left the network layer non-quiescent");
+    }
+
+    #[test]
+    fn aborted_session_completes_a_subsequent_run() {
+        use dcf_graph::WhileOptions;
+        use dcf_tensor::DType;
+        // The loop limit is fed, so one session can both hang (huge limit
+        // + timeout) and complete (small limit) — proving an abort leaves
+        // no poisoned state behind.
+        let mut b = GraphBuilder::new();
+        let lim = b.placeholder("lim", DType::I64);
+        let init = b.scalar_i64(0);
+        let outs = b
+            .while_loop(
+                &[init],
+                |g, v| g.less(v[0], lim),
+                |g, v| {
+                    let one = g.scalar_i64(1);
+                    Ok(vec![g.add(v[0], one)?])
+                },
+                WhileOptions::default(),
+            )
+            .unwrap();
+        let sess = Session::local(b.finish().unwrap()).unwrap();
+
+        let mut feeds = HashMap::new();
+        feeds.insert("lim".to_string(), Tensor::scalar_i64(1_000_000_000));
+        let opts = RunOptions::default().with_timeout(Duration::from_millis(50));
+        let (result, _) = sess.run_full(&opts, &feeds, &[outs[0]]);
+        assert!(matches!(result, Err(dcf_exec::ExecError::DeadlineExceeded(_))));
+        assert!(sess.quiescent());
+
+        // Same session, satisfiable limit, no timeout: must succeed.
+        feeds.insert("lim".to_string(), Tensor::scalar_i64(25));
+        let out = sess.run_simple(&feeds, &[outs[0]]).unwrap();
+        assert_eq!(out[0].scalar_as_i64().unwrap(), 25);
+        assert!(sess.quiescent());
+    }
+
+    #[test]
+    fn run_metadata_reports_defaults_without_faults() {
+        let mut b = GraphBuilder::new();
+        let x = b.scalar_f32(1.0);
+        let y = b.scalar_f32(2.0);
+        let z = b.add(x, y).unwrap();
+        let sess = Session::local(b.finish().unwrap()).unwrap();
+        let (_, meta) = sess.run(&RunOptions::default(), &HashMap::new(), &[z]).unwrap();
+        assert_eq!(meta.retries, 0);
+        assert!(meta.fault_events.is_empty());
+        assert!(meta.abort_reason.is_none());
+        assert!(sess.quiescent());
     }
 
     #[test]
