@@ -42,6 +42,7 @@ fn one_kernel(device: &Device, cancel: Option<Arc<AtomicBool>>) {
             wait_for: vec![],
             compute: Box::new(|| Ok(vec![])),
             cancel,
+            collector: None,
         },
     );
     if let Some(flag) = flag {

@@ -1,0 +1,13 @@
+//! Multi-client serving throughput on one shared session.
+//!
+//! Usage: `cargo run --release -p dcf-bench --bin concurrent_steps [--quick]`
+//!
+//! Sweeps client-thread counts (each thread issuing while-loop-gradient
+//! steps against the same `Session`), reports steps/sec and p50/p99
+//! per-step latency, and writes `BENCH_serve.json` at the repo root.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let clients: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let runs = if quick { 20 } else { 100 };
+    println!("{}", dcf_bench::concurrent::run(clients, runs).render());
+}

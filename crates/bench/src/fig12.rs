@@ -73,6 +73,7 @@ pub fn measure(profile: DeviceProfile, parallel: usize, iterations: i64) -> f64 
         SessionOptions {
             network: NetworkModel { shape_scale: scale, ..NetworkModel::default() },
             executor: dcf_exec::ExecutorOptions { workers: 4, ..Default::default() },
+            ..Default::default()
         },
     )
     .expect("session");

@@ -78,6 +78,7 @@ pub fn measure(gpus: usize, timesteps: usize, time_scale: f64) -> f64 {
                 swap_threshold: 0.0,
                 ..Default::default()
             },
+            ..Default::default()
         },
     )
     .expect("session");

@@ -16,6 +16,7 @@
 
 pub mod ablation;
 pub mod abort;
+pub mod concurrent;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;

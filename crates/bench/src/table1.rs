@@ -90,6 +90,7 @@ pub fn measure_with_threshold(
         SessionOptions {
             network: NetworkModel::disabled(),
             executor: ExecutorOptions { workers: 2, swap_threshold, ..Default::default() },
+            ..Default::default()
         },
     )
     .expect("session");
@@ -143,6 +144,7 @@ pub fn trace(seq_len: usize, time_scale: f64) -> String {
         SessionOptions {
             network: NetworkModel::disabled(),
             executor: ExecutorOptions { workers: 2, swap_threshold: 0.3, ..Default::default() },
+            ..Default::default()
         },
     )
     .expect("session");

@@ -3,7 +3,7 @@
 use crate::cost::CostModel;
 use crate::memory::TrackingAllocator;
 use crate::profile::DeviceProfile;
-use crate::stats::{CollectorSlot, DeviceCollector};
+use crate::stats::DeviceCollector;
 use crate::stream::{Event, Stream};
 use crate::timeline::Tracer;
 use dcf_sync::Mutex;
@@ -47,6 +47,11 @@ pub struct Kernel {
     /// Executors thread their run's cancellation state through here so an
     /// aborted run's streams quiesce in microseconds, not modeled seconds.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Optional step-stats handle of the submitting run. When set, the
+    /// stream thread records this kernel's timing into it. Routed per
+    /// kernel rather than installed on the device so concurrent traced
+    /// steps never observe each other's kernels.
+    pub collector: Option<DeviceCollector>,
 }
 
 /// A simulated device.
@@ -62,7 +67,6 @@ pub struct Device {
     cost: CostModel,
     allocator: TrackingAllocator,
     tracer: Tracer,
-    collector: CollectorSlot,
     compute: Stream,
     h2d: Stream,
     d2h: Stream,
@@ -81,7 +85,6 @@ impl Device {
         let name = format!("/machine:{}/{}:{}", machine, profile.name, id.0);
         let allocator = TrackingAllocator::new(name.clone(), profile.memory_capacity);
         let cost = CostModel::new(profile);
-        let collector = CollectorSlot::new();
         Arc::new(Device {
             id,
             name: name.clone(),
@@ -89,10 +92,9 @@ impl Device {
             cost,
             allocator,
             tracer: tracer.clone(),
-            collector: collector.clone(),
-            compute: Stream::spawn(format!("{name}/compute"), tracer.clone(), collector.clone()),
-            h2d: Stream::spawn(format!("{name}/h2d"), tracer.clone(), collector.clone()),
-            d2h: Stream::spawn(format!("{name}/d2h"), tracer, collector),
+            compute: Stream::spawn(format!("{name}/compute"), tracer.clone()),
+            h2d: Stream::spawn(format!("{name}/h2d"), tracer.clone()),
+            d2h: Stream::spawn(format!("{name}/d2h"), tracer),
         })
     }
 
@@ -126,14 +128,6 @@ impl Device {
         &self.tracer
     }
 
-    /// Installs (or, with `None`, clears) the per-run step-stats handle the
-    /// device's stream threads record kernel timings into. The session sets
-    /// this for `TraceLevel::Full` runs and clears it at run end; a traced
-    /// run assumes exclusive use of the device for its duration.
-    pub fn set_collector(&self, dc: Option<DeviceCollector>) {
-        self.collector.set(dc);
-    }
-
     /// Submits a kernel asynchronously; the returned event is signaled when
     /// the kernel (computation + modeled duration) completes, and the output
     /// slot is filled just before that.
@@ -149,7 +143,15 @@ impl Device {
             *slot2.lock() = Some(compute());
         });
         let s = self.stream(stream);
-        let ev = s.submit(kernel.name, kernel.modeled, kernel.wait_for, work, None, kernel.cancel);
+        let ev = s.submit(
+            kernel.name,
+            kernel.modeled,
+            kernel.wait_for,
+            work,
+            None,
+            kernel.cancel,
+            kernel.collector,
+        );
         (ev, slot)
     }
 
@@ -182,6 +184,7 @@ impl Device {
             work,
             Some(done),
             kernel.cancel,
+            kernel.collector,
         )
     }
 
@@ -233,6 +236,7 @@ mod tests {
                     wait_for: vec![],
                     compute: Box::new(|| Ok(vec![Tensor::scalar_f32(42.0)])),
                     cancel: None,
+                    collector: None,
                 },
             )
             .unwrap();
@@ -250,6 +254,7 @@ mod tests {
                 wait_for: vec![],
                 compute: Box::new(|| Err("boom".into())),
                 cancel: None,
+                collector: None,
             },
         );
         assert_eq!(out.unwrap_err(), "boom");
@@ -269,6 +274,7 @@ mod tests {
                 wait_for: vec![],
                 compute: Box::new(|| Ok(vec![])),
                 cancel: None,
+                collector: None,
             },
         );
         let (e2, _) = d.submit(
@@ -279,6 +285,7 @@ mod tests {
                 wait_for: vec![],
                 compute: Box::new(|| Ok(vec![])),
                 cancel: None,
+                collector: None,
             },
         );
         e1.wait();

@@ -400,32 +400,6 @@ impl DeviceCollector {
     }
 }
 
-/// A mutable slot on a device through which the session installs (and
-/// clears) the current run's [`DeviceCollector`] for the device's stream
-/// threads. Replaces the process-global enabled flag of the deprecated
-/// `Tracer::enabled()` pattern with per-run wiring.
-#[derive(Clone, Debug, Default)]
-pub struct CollectorSlot {
-    inner: Arc<Mutex<Option<DeviceCollector>>>,
-}
-
-impl CollectorSlot {
-    /// Creates an empty slot.
-    pub fn new() -> CollectorSlot {
-        CollectorSlot::default()
-    }
-
-    /// Installs (or, with `None`, clears) the per-run collector handle.
-    pub fn set(&self, dc: Option<DeviceCollector>) {
-        *self.inner.lock() = dc;
-    }
-
-    /// The currently installed handle, if any.
-    pub fn get(&self) -> Option<DeviceCollector> {
-        self.inner.lock().clone()
-    }
-}
-
 // ---------------------------------------------------------------------
 // Aggregations (absorbing `Tracer::busy_per_stream` / `overlap_fraction`)
 // ---------------------------------------------------------------------
@@ -739,17 +713,6 @@ mod tests {
         assert_eq!(a, thread_ordinal());
         let b = std::thread::spawn(thread_ordinal).join().unwrap();
         assert_ne!(a, b);
-    }
-
-    #[test]
-    fn collector_slot_roundtrip() {
-        let slot = CollectorSlot::new();
-        assert!(slot.get().is_none());
-        let c = Arc::new(StepStatsCollector::new(TraceLevel::Full));
-        slot.set(Some(DeviceCollector::new(3, c)));
-        assert_eq!(slot.get().unwrap().device(), 3);
-        slot.set(None);
-        assert!(slot.get().is_none());
     }
 
     #[test]

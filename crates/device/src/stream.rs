@@ -1,6 +1,6 @@
 //! FIFO kernel streams and completion events.
 
-use crate::stats::{CollectorSlot, KernelStats};
+use crate::stats::{DeviceCollector, KernelStats};
 use crate::timeline::Tracer;
 use dcf_sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -145,6 +145,10 @@ struct Task {
     /// The kernel's real computation still runs and its completion event
     /// still fires, so dependents never hang.
     cancel: Option<Arc<AtomicBool>>,
+    /// The submitting run's step-stats handle. Carried per kernel (rather
+    /// than installed device-wide) so concurrently traced steps on one
+    /// device each record into their own collector.
+    collector: Option<DeviceCollector>,
 }
 
 /// A FIFO kernel queue with a dedicated worker thread.
@@ -160,10 +164,10 @@ pub(crate) struct Stream {
 }
 
 impl Stream {
-    /// Spawns the stream worker. `label` identifies the stream in traces;
-    /// `collector` is the device's per-run step-stats slot, consulted per
-    /// kernel so the session can attach and detach collection between runs.
-    pub(crate) fn spawn(label: String, tracer: Tracer, collector: CollectorSlot) -> Stream {
+    /// Spawns the stream worker. `label` identifies the stream in traces.
+    /// Kernel timings are recorded into each task's own collector handle,
+    /// so runs tracing concurrently never observe each other's kernels.
+    pub(crate) fn spawn(label: String, tracer: Tracer) -> Stream {
         let (sender, receiver) = mpsc::channel::<Task>();
         let handle = thread::Builder::new()
             .name(label.clone())
@@ -180,7 +184,7 @@ impl Stream {
                     }
                     let end = Instant::now();
                     tracer.record(&label, &task.name, t0, end);
-                    if let Some(dc) = collector.get() {
+                    if let Some(dc) = &task.collector {
                         dc.kernel(KernelStats {
                             stream: label.clone(),
                             kernel: task.name.clone(),
@@ -199,6 +203,7 @@ impl Stream {
     }
 
     /// Enqueues a kernel; returns its completion event immediately.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn submit(
         &self,
         name: String,
@@ -207,9 +212,11 @@ impl Stream {
         work: Box<dyn FnOnce() + Send>,
         on_done: Option<Box<dyn FnOnce() + Send>>,
         cancel: Option<Arc<AtomicBool>>,
+        collector: Option<DeviceCollector>,
     ) -> Event {
         let done = Event::new();
-        let task = Task { name, modeled, wait_for, work, on_done, done: done.clone(), cancel };
+        let task =
+            Task { name, modeled, wait_for, work, on_done, done: done.clone(), cancel, collector };
         let Some(sender) = self.sender.as_ref() else {
             // Stream shut down (device dropping): run inline so callers
             // never hang on an event that would otherwise go unsignaled.
@@ -294,7 +301,7 @@ mod tests {
 
         // Through the stream: a long modeled kernel aborts promptly once
         // the flag fires, and the completion event still signals.
-        let s = Stream::spawn("test".into(), Tracer::new(), CollectorSlot::new());
+        let s = Stream::spawn("test".into(), Tracer::new());
         let cancel = Arc::new(AtomicBool::new(false));
         let ran = Arc::new(AtomicBool::new(false));
         let r = ran.clone();
@@ -306,6 +313,7 @@ mod tests {
             Box::new(move || r.store(true, Ordering::SeqCst)),
             None,
             Some(cancel.clone()),
+            None,
         );
         thread::sleep(Duration::from_millis(10));
         cancel.store(true, Ordering::SeqCst);
@@ -326,7 +334,7 @@ mod tests {
     #[test]
     fn stream_executes_in_fifo_order() {
         let tracer = Tracer::new();
-        let s = Stream::spawn("test".into(), tracer, CollectorSlot::new());
+        let s = Stream::spawn("test".into(), tracer);
         let order = Arc::new(Mutex::new(Vec::new()));
         let mut events = Vec::new();
         for i in 0..10 {
@@ -336,6 +344,7 @@ mod tests {
                 Duration::ZERO,
                 vec![],
                 Box::new(move || order.lock().push(i)),
+                None,
                 None,
                 None,
             ));
@@ -350,10 +359,17 @@ mod tests {
     fn modeled_duration_is_waited_out() {
         let tracer = Tracer::new();
         tracer.set_enabled(true);
-        let s = Stream::spawn("test".into(), tracer.clone(), CollectorSlot::new());
+        let s = Stream::spawn("test".into(), tracer.clone());
         let t0 = Instant::now();
-        let e =
-            s.submit("slow".into(), Duration::from_millis(20), vec![], Box::new(|| {}), None, None);
+        let e = s.submit(
+            "slow".into(),
+            Duration::from_millis(20),
+            vec![],
+            Box::new(|| {}),
+            None,
+            None,
+            None,
+        );
         e.wait();
         assert!(t0.elapsed() >= Duration::from_millis(20));
         let events = tracer.snapshot();
@@ -362,31 +378,46 @@ mod tests {
     }
 
     #[test]
-    fn stream_records_into_attached_collector() {
-        use crate::stats::{DeviceCollector, StepStatsCollector, TraceLevel};
+    fn kernels_record_into_their_own_collector() {
+        use crate::stats::{StepStatsCollector, TraceLevel};
 
-        let slot = CollectorSlot::new();
-        let s = Stream::spawn("dev/compute".into(), Tracer::new(), slot.clone());
+        let s = Stream::spawn("dev/compute".into(), Tracer::new());
         let collector = Arc::new(StepStatsCollector::new(TraceLevel::Full));
         let dev = collector.register_device("dev");
-        slot.set(Some(DeviceCollector::new(dev, collector.clone())));
-        s.submit("k0".into(), Duration::from_millis(2), vec![], Box::new(|| {}), None, None).wait();
-        slot.set(None);
-        // Detached: this kernel must not be recorded.
-        s.submit("k1".into(), Duration::ZERO, vec![], Box::new(|| {}), None, None).wait();
+        let dc = DeviceCollector::new(dev, collector.clone());
+        // Two runs interleave on one stream: only the kernel carrying this
+        // run's handle is recorded into it.
+        s.submit(
+            "k0".into(),
+            Duration::from_millis(2),
+            vec![],
+            Box::new(|| {}),
+            None,
+            None,
+            Some(dc),
+        )
+        .wait();
+        let other = Arc::new(StepStatsCollector::new(TraceLevel::Full));
+        let odc = DeviceCollector::new(other.register_device("dev"), other.clone());
+        s.submit("k1".into(), Duration::ZERO, vec![], Box::new(|| {}), None, None, Some(odc))
+            .wait();
+        s.submit("k2".into(), Duration::ZERO, vec![], Box::new(|| {}), None, None, None).wait();
         let stats = collector.finish();
         let kernels = &stats.devices[0].kernel_stats;
         assert_eq!(kernels.len(), 1);
         assert_eq!(kernels[0].kernel, "k0");
         assert_eq!(kernels[0].stream, "dev/compute");
         assert!(kernels[0].end_us - kernels[0].start_us >= 2_000);
+        let other_stats = other.finish();
+        assert_eq!(other_stats.devices[0].kernel_stats.len(), 1);
+        assert_eq!(other_stats.devices[0].kernel_stats[0].kernel, "k1");
     }
 
     #[test]
     fn cross_stream_dependency_blocks() {
         let tracer = Tracer::new();
-        let a = Stream::spawn("a".into(), tracer.clone(), CollectorSlot::new());
-        let b = Stream::spawn("b".into(), tracer, CollectorSlot::new());
+        let a = Stream::spawn("a".into(), tracer.clone());
+        let b = Stream::spawn("b".into(), tracer);
         let counter = Arc::new(AtomicUsize::new(0));
 
         let c1 = counter.clone();
@@ -399,6 +430,7 @@ mod tests {
             }),
             None,
             None,
+            None,
         );
         let c2 = counter.clone();
         let e2 = b.submit(
@@ -409,6 +441,7 @@ mod tests {
                 // Must observe the first kernel's full completion.
                 assert_eq!(c2.load(Ordering::SeqCst), 1);
             }),
+            None,
             None,
             None,
         );

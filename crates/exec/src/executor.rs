@@ -24,7 +24,7 @@ use crate::token::{Charge, ExecError, Token};
 use crate::Result;
 use dcf_device::{
     Device, DeviceCollector, FrameStats, Kernel, NodeStats, RendezvousKind, RendezvousWait,
-    StreamKind,
+    StreamKind, TraceLevel,
 };
 use dcf_graph::{NodeId, OpKind, TensorRef};
 use dcf_sync::{Condvar, Mutex};
@@ -761,7 +761,7 @@ impl RunShared {
                 Ok(Some(vec![Token::live(v)]))
             }
             OpKind::StackCreate { swap } => {
-                let id = self.resources.stack_create(*swap);
+                let id = self.resources.stack_create(self.step, *swap);
                 Ok(Some(vec![Token::live(Tensor::scalar_i64(id as i64))]))
             }
             OpKind::StackPush => {
@@ -795,7 +795,7 @@ impl RunShared {
             OpKind::TensorArrayNew { dtype, accumulate } => {
                 let size = take(&mut tokens, 0)?;
                 let n = size.value.scalar_as_i64().map_err(|e| kerr(e.to_string()))?.max(0);
-                let id = self.resources.array_create(*dtype, *accumulate, n as usize);
+                let id = self.resources.array_create(self.step, *dtype, *accumulate, n as usize);
                 Ok(Some(vec![
                     Token::live(Tensor::scalar_i64(id as i64)),
                     Token::live(Tensor::scalar_f32(0.0)),
@@ -884,6 +884,7 @@ impl RunShared {
                             modeled: duration,
                             wait_for: vec![],
                             cancel: self.cancel_flag.clone(),
+                            collector: self.kernel_collector(),
                             compute: Box::new(move || {
                                 let refs: Vec<&Tensor> = owned.iter().collect();
                                 execute_op(&op, &refs)
@@ -938,6 +939,15 @@ impl RunShared {
         }
     }
 
+    /// The collector handle attached to this run's device kernel
+    /// submissions, so stream threads record kernel timings into the
+    /// owning step's stats (not a device-global slot another concurrent
+    /// run could be using). Kernel timings are device-level events, so
+    /// only [`TraceLevel::Full`] runs pay for the clone per submission.
+    fn kernel_collector(&self) -> Option<DeviceCollector> {
+        self.collector.as_ref().filter(|dc| dc.collector().level() >= TraceLevel::Full).cloned()
+    }
+
     /// Wraps a freshly produced tensor in a token, charging device memory at
     /// modeled size when appropriate.
     fn materialize(&self, value: Tensor) -> Result<Token> {
@@ -983,6 +993,7 @@ impl RunShared {
                         modeled: cm.copy_duration(bytes),
                         wait_for: vec![],
                         cancel: self.cancel_flag.clone(),
+                        collector: self.kernel_collector(),
                         compute: Box::new(move || {
                             drop(charge);
                             Ok(vec![])
@@ -1101,6 +1112,7 @@ impl RunShared {
                         modeled: cm.copy_duration(bytes),
                         wait_for: vec![d2h_done],
                         cancel: self.cancel_flag.clone(),
+                        collector: self.kernel_collector(),
                         compute: Box::new(move || Ok(vec![value])),
                     },
                     Box::new(move |result| match result {

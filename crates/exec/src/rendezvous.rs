@@ -115,6 +115,19 @@ impl InMemoryRendezvous {
         self.state.lock().table.values().map(|step| step.len()).sum()
     }
 
+    /// Live entries (values + waiter slots) belonging to `step`. Zero
+    /// means the step left no rendezvous state behind.
+    pub fn live_entries_for(&self, step: StepId) -> usize {
+        self.state.lock().table.get(&step).map(|entries| entries.len()).unwrap_or(0)
+    }
+
+    /// Steps that currently hold at least one live entry, so callers
+    /// tracking the set of in-flight runs can distinguish their state from
+    /// leaked state of already-ended steps.
+    pub fn steps_with_entries(&self) -> Vec<StepId> {
+        self.state.lock().table.keys().copied().collect()
+    }
+
     /// Clears all state across every step, including the tombstones of
     /// dropped steps (between unrelated test runs; prefer
     /// [`Rendezvous::drop_step`] for per-run teardown).
@@ -315,6 +328,9 @@ mod tests {
         );
         assert_eq!(got.load(Ordering::SeqCst), 80);
         assert_eq!(r.pending_values(), 1, "step 7's value is untouched");
+        assert_eq!(r.live_entries_for(7), 1);
+        assert_eq!(r.live_entries_for(8), 0, "step 8 consumed its value");
+        assert_eq!(r.steps_with_entries(), vec![7]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Stateful resources: variables, stacks, and TensorArrays.
 
+use crate::rendezvous::StepId;
 use crate::token::Token;
 use dcf_device::Event;
 use dcf_sync::Mutex;
@@ -44,11 +45,15 @@ pub(crate) enum SlotEntry {
 }
 
 pub(crate) struct StackRes {
+    /// Step that created the stack; teardown drops only its own resources.
+    pub owner: StepId,
     pub swap: bool,
     pub slots: HashMap<i64, SlotEntry>,
 }
 
 pub(crate) struct ArrayRes {
+    /// Step that created the array; teardown drops only its own resources.
+    pub owner: StepId,
     pub dtype: DType,
     pub accumulate: bool,
     pub elems: Vec<Option<Token>>,
@@ -58,11 +63,15 @@ pub(crate) struct ArrayRes {
 }
 
 /// Holds all stateful resources of a session: variables persist across
-/// `run` calls; stacks and TensorArrays are per-run transients.
+/// `run` calls; stacks and TensorArrays are per-run transients owned by
+/// the step that created them.
 ///
 /// One manager is shared by every device executor in a session, making
 /// resource handles globally addressable (handles are `i64` scalars minted
-/// here).
+/// here). Handles are never reused, so concurrent steps cannot collide on
+/// one; the owner step id exists solely so teardown
+/// ([`ResourceManager::drop_step_transients`]) can drop exactly the
+/// finishing step's state while other steps are mid-flight.
 #[derive(Default)]
 pub struct ResourceManager {
     vars: Mutex<HashMap<String, Tensor>>,
@@ -126,10 +135,10 @@ impl ResourceManager {
     // Stacks (§5.1 state saving)
     // ------------------------------------------------------------------
 
-    /// Creates a stack; returns its handle.
-    pub fn stack_create(&self, swap: bool) -> u64 {
+    /// Creates a stack owned by `step`; returns its handle.
+    pub fn stack_create(&self, step: StepId, swap: bool) -> u64 {
         let id = self.fresh_id();
-        self.stacks.lock().insert(id, StackRes { swap, slots: HashMap::new() });
+        self.stacks.lock().insert(id, StackRes { owner: step, swap, slots: HashMap::new() });
         id
     }
 
@@ -137,12 +146,14 @@ impl ResourceManager {
     // TensorArrays (§5.2)
     // ------------------------------------------------------------------
 
-    /// Creates a TensorArray with `size` (possibly 0) initial slots.
-    pub fn array_create(&self, dtype: DType, accumulate: bool, size: usize) -> u64 {
+    /// Creates a TensorArray owned by `step` with `size` (possibly 0)
+    /// initial slots.
+    pub fn array_create(&self, step: StepId, dtype: DType, accumulate: bool, size: usize) -> u64 {
         let id = self.fresh_id();
-        self.arrays
-            .lock()
-            .insert(id, ArrayRes { dtype, accumulate, elems: vec![None; size], source: None });
+        self.arrays.lock().insert(
+            id,
+            ArrayRes { owner: step, dtype, accumulate, elems: vec![None; size], source: None },
+        );
         id
     }
 
@@ -259,24 +270,45 @@ impl ResourceManager {
             return Ok(g);
         }
         let mut arrays = self.arrays.lock();
-        let (dtype, len) = {
+        let (owner, dtype, len) = {
             let arr = arrays.get(&id).ok_or_else(|| format!("no TensorArray {id}"))?;
-            (arr.dtype, arr.elems.len())
+            (arr.owner, arr.dtype, arr.elems.len())
         };
         let gid = self.fresh_id();
+        // The gradient array belongs to the same step as its forward array,
+        // so one step's teardown releases the pair together.
         arrays.insert(
             gid,
-            ArrayRes { dtype, accumulate: true, elems: vec![None; len], source: Some(id) },
+            ArrayRes { owner, dtype, accumulate: true, elems: vec![None; len], source: Some(id) },
         );
         grad_map.insert((id, source.to_owned()), gid);
         Ok(gid)
     }
 
-    /// Drops all per-run transients (stacks, arrays); variables persist.
-    pub fn clear_transients(&self) {
-        self.stacks.lock().clear();
-        self.arrays.lock().clear();
-        self.grad_map.lock().clear();
+    /// Drops the per-run transients (stacks, arrays, gradient-array
+    /// mappings) owned by `step`; variables and other steps' transients
+    /// persist.
+    pub fn drop_step_transients(&self, step: StepId) {
+        self.stacks.lock().retain(|_, s| s.owner != step);
+        let mut arrays = self.arrays.lock();
+        arrays.retain(|_, a| a.owner != step);
+        // Gradient-map entries are keyed by forward handle; an entry whose
+        // forward array is gone can never be looked up again, so purge it.
+        self.grad_map.lock().retain(|(fwd, _), _| arrays.contains_key(fwd));
+    }
+
+    /// Number of live transient resources (stacks + arrays) owned by
+    /// `step`. Zero after [`ResourceManager::drop_step_transients`]; a
+    /// non-zero count for an ended step indicates a teardown leak.
+    pub fn step_transients(&self, step: StepId) -> usize {
+        self.stacks.lock().values().filter(|s| s.owner == step).count()
+            + self.arrays.lock().values().filter(|a| a.owner == step).count()
+    }
+
+    /// Total live transient resources (stacks + arrays) across every step.
+    /// Zero whenever no run is in flight.
+    pub fn transient_count(&self) -> usize {
+        self.stacks.lock().len() + self.arrays.lock().len()
     }
 }
 
@@ -302,7 +334,7 @@ mod tests {
     #[test]
     fn array_write_once_enforced() {
         let rm = ResourceManager::new();
-        let id = rm.array_create(DType::F32, false, 2);
+        let id = rm.array_create(1, DType::F32, false, 2);
         rm.array_write(id, 0, Token::live(Tensor::scalar_f32(1.0))).unwrap();
         assert!(rm.array_write(id, 0, Token::live(Tensor::scalar_f32(2.0))).is_err());
         assert!(rm.array_write(id, -1, Token::live(Tensor::scalar_f32(2.0))).is_err());
@@ -314,7 +346,7 @@ mod tests {
     #[test]
     fn gradient_arrays_accumulate() {
         let rm = ResourceManager::new();
-        let fwd = rm.array_create(DType::F32, false, 2);
+        let fwd = rm.array_create(1, DType::F32, false, 2);
         rm.array_write(fwd, 0, Token::live(Tensor::ones(&[2]))).unwrap();
         rm.array_write(fwd, 1, Token::live(Tensor::ones(&[2]))).unwrap();
         let g = rm.array_grad(fwd, "grad").unwrap();
@@ -332,7 +364,7 @@ mod tests {
     #[test]
     fn pack_unpack_roundtrip() {
         let rm = ResourceManager::new();
-        let id = rm.array_create(DType::F32, false, 0);
+        let id = rm.array_create(1, DType::F32, false, 0);
         let x = Tensor::from_vec_f32(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
         rm.array_unpack(id, &x, None).unwrap();
         assert_eq!(rm.array_size(id).unwrap(), 2);
@@ -345,22 +377,47 @@ mod tests {
     #[test]
     fn pack_reports_holes_and_empty() {
         let rm = ResourceManager::new();
-        let id = rm.array_create(DType::F32, false, 2);
+        let id = rm.array_create(1, DType::F32, false, 2);
         rm.array_write(id, 1, Token::live(Tensor::scalar_f32(5.0))).unwrap();
         assert!(rm.array_pack(id).is_err());
-        let empty = rm.array_create(DType::F32, false, 0);
+        let empty = rm.array_create(1, DType::F32, false, 0);
         assert_eq!(rm.array_pack(empty).unwrap().shape().dims(), &[0]);
     }
 
     #[test]
-    fn transients_cleared_variables_kept() {
+    fn step_teardown_keeps_variables_and_other_steps() {
         let rm = ResourceManager::new();
         rm.assign("w", Tensor::scalar_f32(5.0));
-        let sid = rm.stack_create(false);
-        let aid = rm.array_create(DType::F32, false, 1);
-        rm.clear_transients();
+        let sid1 = rm.stack_create(1, false);
+        let aid1 = rm.array_create(1, DType::F32, false, 1);
+        let sid2 = rm.stack_create(2, false);
+        let aid2 = rm.array_create(2, DType::F32, false, 1);
+        assert_eq!(rm.step_transients(1), 2);
+        assert_eq!(rm.step_transients(2), 2);
+        rm.drop_step_transients(1);
+        // Variables and step 2's transients survive step 1's teardown.
         assert!(rm.variable_value("w").is_some());
-        assert!(rm.array_size(aid).is_err());
-        assert!(!rm.stacks.lock().contains_key(&sid));
+        assert!(rm.array_size(aid1).is_err());
+        assert!(!rm.stacks.lock().contains_key(&sid1));
+        assert_eq!(rm.array_size(aid2).unwrap(), 1);
+        assert!(rm.stacks.lock().contains_key(&sid2));
+        assert_eq!(rm.step_transients(1), 0);
+        assert_eq!(rm.step_transients(2), 2);
+    }
+
+    #[test]
+    fn gradient_arrays_dropped_with_their_step() {
+        let rm = ResourceManager::new();
+        let fwd = rm.array_create(7, DType::F32, false, 1);
+        rm.array_write(fwd, 0, Token::live(Tensor::ones(&[2]))).unwrap();
+        let g = rm.array_grad(fwd, "grad").unwrap();
+        rm.drop_step_transients(7);
+        assert!(rm.array_size(fwd).is_err());
+        assert!(rm.array_size(g).is_err());
+        assert!(rm.grad_map.lock().is_empty());
+        // A fresh step with a fresh forward array gets a fresh gradient id.
+        let fwd2 = rm.array_create(8, DType::F32, false, 1);
+        let g2 = rm.array_grad(fwd2, "grad").unwrap();
+        assert_ne!(g2, g);
     }
 }

@@ -35,6 +35,11 @@ pub enum ExecError {
         /// Delivery attempts made (1 initial + retries) before giving up.
         attempts: u32,
     },
+    /// The session rejected the run up front because its configuration
+    /// cannot execute it (e.g. an admission limit of zero that can never
+    /// admit a step). Structured so concurrent callers see a hard error
+    /// instead of silent corruption or an eternal queue wait.
+    InvalidConfig(String),
     /// Internal invariant violation; indicates a bug or a malformed graph.
     Internal(String),
 }
@@ -51,6 +56,7 @@ impl fmt::Display for ExecError {
             ExecError::TransferFailed { key, attempts } => {
                 write!(f, "transfer {key} failed after {attempts} attempts")
             }
+            ExecError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
             ExecError::Internal(s) => write!(f, "internal: {s}"),
         }
     }

@@ -130,12 +130,15 @@ struct SchedulerState {
 }
 
 /// Per-run transport context: how the run's transfers retry, what faults
-/// they suffer, and where retries/faults are logged.
+/// they suffer, where retries/faults are logged, and (for traced runs)
+/// where modeled transfers are recorded. Keyed by step id so concurrent
+/// runs never observe each other's policies or stats.
 struct RunCtx {
     retry: RetryPolicy,
     #[cfg_attr(not(feature = "faultinject"), allow(dead_code))]
     plan: Option<FaultPlan>,
     log: Arc<FaultLog>,
+    collector: Option<Arc<StepStatsCollector>>,
 }
 
 /// Outcome of a transfer's delivery attempts, computed synchronously at
@@ -175,10 +178,9 @@ pub struct NetworkRendezvous {
     state: Arc<(Mutex<SchedulerState>, Condvar)>,
     timer: Option<thread::JoinHandle<()>>,
     /// Per-run transport contexts, installed by the session around a run.
+    /// The key set doubles as the set of in-flight steps for
+    /// [`NetworkRendezvous::quiescent`].
     runs: Mutex<HashMap<StepId, RunCtx>>,
-    /// Per-run step-stats sink for modeled transfers (attached by the
-    /// session for traced runs, detached at run end).
-    collector: Mutex<Option<Arc<StepStatsCollector>>>,
 }
 
 impl NetworkRendezvous {
@@ -231,14 +233,23 @@ impl NetworkRendezvous {
             state,
             timer: Some(timer),
             runs: Mutex::new(HashMap::new()),
-            collector: Mutex::new(None),
         })
     }
 
-    /// Installs the transport context for `step`: its retry policy and
-    /// (optionally) a fault plan. Call before the run's executors start.
-    pub fn begin_run(&self, step: StepId, retry: RetryPolicy, plan: Option<FaultPlan>) {
-        self.runs.lock().insert(step, RunCtx { retry, plan, log: Arc::new(FaultLog::default()) });
+    /// Installs the transport context for `step`: its retry policy,
+    /// (optionally) a fault plan, and (optionally, for traced runs) the
+    /// step-stats collector its transfers are recorded into. Call before
+    /// the run's executors start.
+    pub fn begin_run(
+        &self,
+        step: StepId,
+        retry: RetryPolicy,
+        plan: Option<FaultPlan>,
+        collector: Option<Arc<StepStatsCollector>>,
+    ) {
+        self.runs
+            .lock()
+            .insert(step, RunCtx { retry, plan, log: Arc::new(FaultLog::default()), collector });
     }
 
     /// Removes the transport context for `step`, returning the retries
@@ -256,11 +267,24 @@ impl NetworkRendezvous {
         self.inner.clear();
     }
 
-    /// `true` when no transfer is in flight on the timer and no rendezvous
-    /// entry (value or blocked receiver) is live — the post-run/abort
-    /// invariant the session asserts.
+    /// `true` when no *leaked* state is live: every in-flight transfer on
+    /// the timer and every rendezvous entry (value or blocked receiver)
+    /// belongs to a step whose run is still active (between `begin_run`
+    /// and `end_run`). An ended or never-begun step with live state is a
+    /// teardown leak and reports non-quiescence; a concurrent step
+    /// mid-flight does not.
     pub fn quiescent(&self) -> bool {
-        self.state.0.lock().heap.is_empty() && self.inner.live_entries() == 0
+        let active: std::collections::HashSet<StepId> = self.runs.lock().keys().copied().collect();
+        let heap_ok = self.state.0.lock().heap.iter().all(|Reverse(p)| active.contains(&p.step));
+        heap_ok && self.inner.steps_with_entries().iter().all(|s| active.contains(s))
+    }
+
+    /// `true` when `step` has no in-flight transfer on the timer and no
+    /// live rendezvous entry — the post-run/abort invariant the session
+    /// asserts for one finished step, regardless of other concurrent steps.
+    pub fn quiescent_step(&self, step: StepId) -> bool {
+        self.state.0.lock().heap.iter().all(|Reverse(p)| p.step != step)
+            && self.inner.live_entries_for(step) == 0
     }
 
     /// Live rendezvous-table entries across all steps (diagnostics).
@@ -271,12 +295,6 @@ impl NetworkRendezvous {
     /// Receivers blocked on values that have not arrived (diagnostics).
     pub fn pending_waiters(&self) -> usize {
         self.inner.pending_waiters()
-    }
-
-    /// Attaches (or, with `None`, detaches) the step-stats collector that
-    /// cross-device transfers are recorded into.
-    pub fn set_collector(&self, collector: Option<Arc<StepStatsCollector>>) {
-        *self.collector.lock() = collector;
     }
 
     fn parse_machines(key: &str) -> Option<(usize, usize)> {
@@ -291,13 +309,22 @@ impl NetworkRendezvous {
     /// `faultinject` feature on), walks the deterministic attempt sequence
     /// accumulating backoffs and injected delays; otherwise a clean
     /// delivery after the base network delay, still subject to the
-    /// policy's per-transfer deadline.
-    fn decide_fate(&self, step: StepId, key: &str, src_machine: usize, base: Duration) -> Fate {
+    /// policy's per-transfer deadline. Also returns the owning step's
+    /// collector (resolved under the same lock) so the transfer is
+    /// recorded into exactly its own run's stats.
+    fn decide_fate(
+        &self,
+        step: StepId,
+        key: &str,
+        src_machine: usize,
+        base: Duration,
+    ) -> (Fate, Option<Arc<StepStatsCollector>>) {
         let runs = self.runs.lock();
         let Some(ctx) = runs.get(&step) else {
             let _ = src_machine;
-            return Fate::clean(base);
+            return (Fate::clean(base), None);
         };
+        let collector = ctx.collector.clone();
         let retry = ctx.retry;
         let mut fate = Fate::clean(base);
 
@@ -316,7 +343,7 @@ impl NetworkRendezvous {
                 }
             }
         }
-        fate
+        (fate, collector)
     }
 
     /// Walks the attempt sequence under `plan`. Each attempt rolls drop /
@@ -410,22 +437,19 @@ impl Rendezvous for NetworkRendezvous {
             Some((a, b)) => self.model.delay(a, b, &token),
             None => Duration::ZERO,
         };
-        let fate = match machines {
+        let (fate, collector) = match machines {
             Some((src, _)) => self.decide_fate(step, &key, src, base),
             // Same-device (unprefixed) edges bypass the network model and
             // the fault plan entirely.
-            None => Fate::clean(Duration::ZERO),
+            None => (Fate::clean(Duration::ZERO), None),
         };
-        if machines.is_some() {
-            let collector = self.collector.lock().clone();
-            if let Some(c) = collector {
-                c.record_transfer(TransferStats {
-                    key: key.clone(),
-                    bytes: self.model.modeled_bytes(&token) as u64,
-                    start_us: c.now_us(),
-                    delay_us: fate.total.as_micros() as u64,
-                });
-            }
+        if let Some(c) = collector {
+            c.record_transfer(TransferStats {
+                key: key.clone(),
+                bytes: self.model.modeled_bytes(&token) as u64,
+                start_us: c.now_us(),
+                delay_us: fate.total.as_micros() as u64,
+            });
         }
         if let Some(err) = fate.error {
             self.schedule(Instant::now() + fate.total, step, key, Payload::Fail(err));
@@ -546,6 +570,22 @@ mod tests {
     }
 
     #[test]
+    fn quiescent_ignores_active_steps_but_not_leaks() {
+        let model =
+            NetworkModel { cross_latency: Duration::from_millis(50), ..NetworkModel::default() };
+        let r = NetworkRendezvous::new(model);
+        r.begin_run(11, RetryPolicy::default(), None, None);
+        r.send(11, "m0>m1/x".into(), Token::live(Tensor::scalar_f32(1.0)));
+        assert!(!r.quiescent_step(11), "step 11 has live transfer state");
+        assert!(r.quiescent(), "an active step mid-flight is not a leak");
+        r.end_run(11);
+        assert!(!r.quiescent(), "an ended step with live state is a leak");
+        r.drop_step(11, ExecError::Cancelled("cleanup".into()));
+        assert!(r.quiescent());
+        assert!(r.quiescent_step(11));
+    }
+
+    #[test]
     fn transfer_deadline_fails_structurally() {
         let model =
             NetworkModel { cross_latency: Duration::from_millis(20), ..NetworkModel::default() };
@@ -554,7 +594,7 @@ mod tests {
             transfer_deadline: Some(Duration::from_millis(1)),
             ..RetryPolicy::default()
         };
-        r.begin_run(9, retry, None);
+        r.begin_run(9, retry, None, None);
         let got = Arc::new(Mutex::new(None));
         let g = got.clone();
         r.recv_async(9, "m0>m1/slow".into(), Box::new(move |res| *g.lock() = Some(res)));
@@ -579,7 +619,7 @@ mod tests {
         // still gets through, with retries logged.
         let plan = FaultPlan::seeded(7).with_drop(0.6);
         let retry = RetryPolicy { max_retries: 16, ..RetryPolicy::default() };
-        r.begin_run(1, retry, Some(plan));
+        r.begin_run(1, retry, Some(plan), None);
         let mut delivered = 0;
         for i in 0..32 {
             let key = format!("m0>m1/k{i}");
@@ -605,7 +645,7 @@ mod tests {
     fn retry_budget_exhaustion_is_structured() {
         let r = NetworkRendezvous::new(NetworkModel::disabled());
         let plan = FaultPlan::seeded(3).with_drop(1.0); // every attempt drops
-        r.begin_run(2, RetryPolicy { max_retries: 2, ..RetryPolicy::default() }, Some(plan));
+        r.begin_run(2, RetryPolicy { max_retries: 2, ..RetryPolicy::default() }, Some(plan), None);
         let got = Arc::new(Mutex::new(None));
         let g = got.clone();
         r.recv_async(2, "m0>m1/doomed".into(), Box::new(move |res| *g.lock() = Some(res)));
@@ -632,7 +672,7 @@ mod tests {
     fn duplicates_are_absorbed() {
         let r = NetworkRendezvous::new(NetworkModel::disabled());
         let plan = FaultPlan::seeded(11).with_duplicate(1.0);
-        r.begin_run(4, RetryPolicy::default(), Some(plan));
+        r.begin_run(4, RetryPolicy::default(), Some(plan), None);
         let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let h = hits.clone();
         r.recv_async(
@@ -662,7 +702,7 @@ mod tests {
     fn stall_is_one_shot() {
         let r = NetworkRendezvous::new(NetworkModel::disabled());
         let plan = FaultPlan::seeded(5).with_stall(0, Duration::from_millis(30));
-        r.begin_run(6, RetryPolicy::default(), Some(plan));
+        r.begin_run(6, RetryPolicy::default(), Some(plan), None);
         let t0 = Instant::now();
         let hit = Arc::new(AtomicBool::new(false));
         let h = hit.clone();

@@ -11,6 +11,7 @@ use dcf_exec::{
     CancelToken, ExecGraph, Executor, ExecutorOptions, Rendezvous, ResourceManager, RunConfig,
 };
 use dcf_graph::{Graph, TensorRef};
+use dcf_sync::{Condvar, Mutex};
 use dcf_tensor::Tensor;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,12 +30,23 @@ pub struct SessionOptions {
     pub executor: ExecutorOptions,
     /// Network model for cross-device transfers.
     pub network: NetworkModel,
+    /// Admission limit for concurrent `run` calls. `None` (the default)
+    /// admits every caller immediately; `Some(n)` lets at most `n` steps
+    /// execute at once, queueing the rest in strict FIFO arrival order so
+    /// a burst of clients cannot starve an early caller. `Some(0)` is an
+    /// unsatisfiable configuration and every run fails with
+    /// [`dcf_exec::ExecError::InvalidConfig`].
+    pub max_concurrent_steps: Option<usize>,
 }
 
 impl SessionOptions {
     /// Options for functional tests: no modeled network delay.
     pub fn functional() -> SessionOptions {
-        SessionOptions { executor: ExecutorOptions::default(), network: NetworkModel::disabled() }
+        SessionOptions {
+            executor: ExecutorOptions::default(),
+            network: NetworkModel::disabled(),
+            max_concurrent_steps: None,
+        }
     }
 
     /// Replaces the executor tunables (builder style).
@@ -47,6 +59,82 @@ impl SessionOptions {
     pub fn with_network(mut self, network: NetworkModel) -> SessionOptions {
         self.network = network;
         self
+    }
+
+    /// Caps concurrently executing steps at `limit` (builder style).
+    pub fn with_max_concurrent_steps(mut self, limit: usize) -> SessionOptions {
+        self.max_concurrent_steps = Some(limit);
+        self
+    }
+}
+
+/// FIFO admission gate implementing [`SessionOptions::max_concurrent_steps`].
+///
+/// Ticket-based: each arriving run takes the next ticket and is admitted
+/// only when its ticket reaches the head of the queue *and* a concurrency
+/// slot is free. Head-of-line ordering means a continuous stream of new
+/// arrivals can never overtake (and thus starve) an earlier waiter.
+struct Admission {
+    limit: Option<usize>,
+    state: Mutex<AdmissionState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct AdmissionState {
+    next_ticket: u64,
+    head: u64,
+    active: usize,
+}
+
+impl Admission {
+    fn new(limit: Option<usize>) -> Admission {
+        Admission { limit, state: Mutex::new(AdmissionState::default()), cv: Condvar::new() }
+    }
+
+    /// Blocks until this caller may start a step; the returned guard frees
+    /// the slot on drop (including on panic or error paths). Free when no
+    /// limit is configured.
+    fn acquire(&self) -> Result<AdmissionGuard<'_>> {
+        let Some(limit) = self.limit else {
+            return Ok(AdmissionGuard { gate: None });
+        };
+        if limit == 0 {
+            return Err(dcf_exec::ExecError::InvalidConfig(
+                "max_concurrent_steps is 0: the session can never admit a step".into(),
+            ));
+        }
+        let mut st = self.state.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        while ticket != st.head || st.active >= limit {
+            self.cv.wait(&mut st);
+        }
+        st.head += 1;
+        st.active += 1;
+        drop(st);
+        // The next ticket in line may also fit if slots remain.
+        self.cv.notify_all();
+        Ok(AdmissionGuard { gate: Some(self) })
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock();
+        st.active -= 1;
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+struct AdmissionGuard<'a> {
+    gate: Option<&'a Admission>,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(gate) = self.gate {
+            gate.release();
+        }
     }
 }
 
@@ -118,6 +206,10 @@ pub struct RunMetadata {
     /// [`RunOptions::trace_level`] enabled collection. Render with
     /// [`dcf_device::chrome_trace_json`] or [`StepStats::summary_report`].
     pub step_stats: Option<StepStats>,
+    /// The globally unique step id this run executed under; usable with
+    /// [`Session::quiescent_step`]. `0` iff the run was rejected before a
+    /// step was allocated (e.g. by an unsatisfiable admission limit).
+    pub step: u64,
     /// Wall-clock duration of the run as observed by the session.
     pub wall: Duration,
     /// Node activations executed across all partitions (live or dead).
@@ -145,6 +237,7 @@ pub struct Session {
     executors: Vec<(DeviceId, Executor)>,
     resources: Arc<ResourceManager>,
     rendezvous: Arc<NetworkRendezvous>,
+    admission: Admission,
 }
 
 impl Session {
@@ -186,7 +279,8 @@ impl Session {
                 ),
             ));
         }
-        Ok(Session { cluster, pg, executors, resources, rendezvous })
+        let admission = Admission::new(options.max_concurrent_steps);
+        Ok(Session { cluster, pg, executors, resources, rendezvous, admission })
     }
 
     /// Convenience: a session on a single simulated CPU.
@@ -234,11 +328,25 @@ impl Session {
         result.map(|values| (values, metadata))
     }
 
-    /// `true` when the session's network layer holds no in-flight transfer
-    /// and no live rendezvous entry — the invariant every run (successful
-    /// or aborted) must restore before `run` returns.
+    /// `true` when the session's network layer holds no *leaked* state: no
+    /// in-flight transfer and no live rendezvous entry belonging to a step
+    /// that has already ended. State owned by steps still mid-flight is
+    /// not a leak, so this stays `true` while other clients' runs execute
+    /// concurrently — the invariant every run (successful or aborted) must
+    /// restore for its own step before `run` returns. To ask about one
+    /// specific finished run, use [`Session::quiescent_step`].
     pub fn quiescent(&self) -> bool {
         self.rendezvous.quiescent()
+    }
+
+    /// `true` when step `step` (from [`RunMetadata::step`]) has left no
+    /// state behind anywhere in the session: no in-flight transfer, no
+    /// rendezvous entry, and no per-run transient resources (stacks,
+    /// `TensorArray`s, gradient maps). Meaningful once that step's `run`
+    /// has returned; unlike [`Session::quiescent`] it is unaffected by
+    /// whatever other steps are doing.
+    pub fn quiescent_step(&self, step: u64) -> bool {
+        self.rendezvous.quiescent_step(step) && self.resources.step_transients(step) == 0
     }
 
     /// Like [`Session::run`], but always returns the [`RunMetadata`] —
@@ -252,9 +360,17 @@ impl Session {
         fetches: &[TensorRef],
     ) -> (Result<Vec<Tensor>>, RunMetadata) {
         let start = Instant::now();
-        let step = NEXT_STEP.fetch_add(1, Ordering::Relaxed);
         let mut metadata = RunMetadata { tag: options.tag.clone(), ..RunMetadata::default() };
-        let result = self.run_step(options, feeds, fetches, step, &mut metadata);
+        // Admission (if limited) happens before the step id is allocated;
+        // queueing time is part of the reported wall time.
+        let result = match self.admission.acquire() {
+            Ok(_slot) => {
+                let step = NEXT_STEP.fetch_add(1, Ordering::Relaxed);
+                metadata.step = step;
+                self.run_step(options, feeds, fetches, step, &mut metadata)
+            }
+            Err(e) => Err(e),
+        };
         metadata.wall = start.elapsed();
         if let Err(e) = &result {
             metadata.abort_reason = Some(e.to_string());
@@ -283,31 +399,27 @@ impl Session {
             per_exec_fetches[idx].push(t);
         }
 
-        // One collector shared by every partition of the run. Devices are
-        // registered in cluster order, so a collector device index equals
-        // the `DeviceId`. `Full` additionally hooks the device stream
-        // threads and the network rendezvous; a traced run assumes
-        // exclusive use of the session for its duration.
+        // One collector shared by every partition of the run, and owned by
+        // this step alone: executors stamp it onto each kernel they submit
+        // and the network layer resolves it per step, so concurrent traced
+        // runs never observe each other's events. Devices are registered in
+        // cluster order, so a collector device index equals the `DeviceId`.
         let collector = if options.trace_level.is_enabled() {
             let c = Arc::new(StepStatsCollector::new(options.trace_level));
             for dev in self.cluster.devices() {
                 let idx = c.register_device(dev.name());
                 debug_assert_eq!(idx as usize, dev.id().0);
             }
-            if options.trace_level >= TraceLevel::Full {
-                for dev in self.cluster.devices() {
-                    dev.set_collector(Some(DeviceCollector::new(dev.id().0 as u16, c.clone())));
-                }
-                self.rendezvous.set_collector(Some(c.clone()));
-            }
             Some(c)
         } else {
             None
         };
 
-        // Install the run's transport context (retry policy, fault plan)
-        // before any executor can send.
-        self.rendezvous.begin_run(step, options.retry, options.fault_plan.clone());
+        // Install the run's transport context (retry policy, fault plan,
+        // and — at `Full` — the step's transfer-stats collector) before
+        // any executor can send.
+        let net_collector = collector.as_ref().filter(|c| c.level() >= TraceLevel::Full).cloned();
+        self.rendezvous.begin_run(step, options.retry, options.fault_plan.clone(), net_collector);
 
         let cancel = CancelToken::new();
         // One shared copy of the feed dictionary for every partition.
@@ -337,24 +449,22 @@ impl Session {
                 .collect()
         });
 
-        // Tear down exactly this run's network state: purge still-delayed
-        // transfers, reclaim unconsumed rendezvous values, and fail any
-        // receiver stranded by an abort — then record what the transport
-        // observed. Per-run transients (stacks, TensorArrays) are dropped
-        // too; variables persist. Hooks detach before any error propagates.
+        // Tear down exactly this run's state and nothing else: purge its
+        // still-delayed transfers, reclaim its unconsumed rendezvous
+        // values, fail any of its receivers stranded by an abort, and drop
+        // only the transients (stacks, TensorArrays, gradient maps) this
+        // step created — variables, and other steps still mid-flight,
+        // persist untouched. Then record what the transport observed.
         self.rendezvous
             .drop_step(step, dcf_exec::ExecError::Cancelled(format!("step {step} torn down")));
         let (retries, fault_events) = self.rendezvous.end_run(step);
         metadata.retries = retries;
         metadata.fault_events = fault_events;
-        self.resources.clear_transients();
+        self.resources.drop_step_transients(step);
         let step_stats = collector.map(|c| {
-            if c.level() >= TraceLevel::Full {
-                for dev in self.cluster.devices() {
-                    dev.set_collector(None);
-                }
-                self.rendezvous.set_collector(None);
-            }
+            // Memory snapshots read the device-global allocator counters:
+            // under concurrent steps, `in_use`/`peak` reflect the whole
+            // device at this instant, not this step's share.
             for dev in self.cluster.devices() {
                 c.record_memory(dev.id().0 as u16, dev.allocator().snapshot());
             }

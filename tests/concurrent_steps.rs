@@ -1,0 +1,249 @@
+//! Concurrent multi-client steps on one shared session.
+//!
+//! These tests pin the invariants behind the cross-step state-clobbering
+//! fix: per-run transients (stacks, TensorArrays, gradient maps) are torn
+//! down per step, step-stats collectors are routed per step, and the
+//! network layer's bookkeeping is keyed by step — so N client threads can
+//! drive one session simultaneously, traced or not, and each run behaves
+//! exactly as it would alone.
+
+use dcf::prelude::*;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+const THREADS: usize = 4;
+const RUNS_PER_THREAD: usize = 6;
+
+/// A while-loop gradient graph whose scale is fed: `x` runs 4 iterations
+/// of `tanh(x · w)`, the loss is `sum((s·x_out)²)`, and we fetch both the
+/// loss and `d loss / d w`. Loop gradients exercise the stack-based
+/// backprop state that the old `clear_transients` wiped globally.
+fn loop_grad_graph() -> (GraphBuilder, TensorRef, TensorRef) {
+    let mut g = GraphBuilder::new();
+    let mut rng = TensorRng::new(42);
+    let w = g.variable("w", rng.uniform(&[4, 4], -0.5, 0.5));
+    let x = g.constant(rng.uniform(&[2, 4], -1.0, 1.0));
+    let s = g.placeholder("s", DType::F32);
+    let i0 = g.scalar_i64(0);
+    let lim = g.scalar_i64(4);
+    let outs = g
+        .while_loop(
+            &[i0, x],
+            |g, v| g.less(v[0], lim),
+            |g, v| {
+                let one = g.scalar_i64(1);
+                let z = g.matmul(v[1], w)?;
+                let y = g.tanh(z)?;
+                Ok(vec![g.add(v[0], one)?, y])
+            },
+            WhileOptions::default(),
+        )
+        .unwrap();
+    let scaled = g.mul(outs[1], s).unwrap();
+    let sq = g.square(scaled).unwrap();
+    let loss = g.reduce_sum(sq).unwrap();
+    let grads = dcf::autodiff::gradients(&mut g, loss, &[w]).unwrap();
+    (g, loss, grads[0])
+}
+
+fn feed_for(thread: usize) -> HashMap<String, Tensor> {
+    let mut feeds = HashMap::new();
+    feeds.insert("s".to_string(), Tensor::scalar_f32(0.5 + thread as f32 * 0.75));
+    feeds
+}
+
+#[test]
+fn concurrent_mixed_runs_match_serial_bit_for_bit() {
+    let (g, loss, grad) = loop_grad_graph();
+    // A (fast-simulated) GPU device so Full traces carry stream-kernel
+    // events — the per-step routing under test.
+    let mut cluster = Cluster::new();
+    cluster.add_device(0, DeviceProfile::gpu_k40().with_time_scale(0.01));
+    let sess = Session::new(g.finish().unwrap(), cluster, SessionOptions::functional()).unwrap();
+    let fetches = [loss, grad];
+
+    // Serial baselines, one per thread's feed, plus the kernel count a
+    // traced run records when it has the session to itself.
+    let mut expected = Vec::new();
+    for t in 0..THREADS {
+        expected.push(sess.run_simple(&feed_for(t), &fetches).unwrap());
+    }
+    let (_, serial_meta) =
+        sess.run(&RunOptions::traced(TraceLevel::Full), &feed_for(0), &fetches).unwrap();
+    let serial_stats = serial_meta.step_stats.expect("trace requested");
+    let serial_kernels: usize = serial_stats.devices.iter().map(|d| d.kernel_stats.len()).sum();
+    assert!(serial_kernels > 0, "Full trace must record kernels");
+    let serial_nodes: usize = serial_stats.devices.iter().map(|d| d.node_stats.len()).sum();
+
+    // N threads × M runs, every other run traced at Full. Each result must
+    // be bit-identical to the serial baseline for the same feed, and each
+    // traced run's stats must look exactly like a solo traced run — no
+    // missing events (stolen by a peer) and no extra ones (leaked in).
+    let steps: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let sess = &sess;
+            let expected = &expected[t];
+            let steps = &steps;
+            scope.spawn(move || {
+                for r in 0..RUNS_PER_THREAD {
+                    let traced = r % 2 == 1;
+                    let opts = if traced {
+                        RunOptions::traced(TraceLevel::Full)
+                    } else {
+                        RunOptions::default()
+                    };
+                    let (out, meta) = sess.run(&opts, &feed_for(t), &fetches).unwrap();
+                    for (got, want) in out.iter().zip(expected) {
+                        assert!(
+                            got.allclose(want, 0.0),
+                            "thread {t} run {r}: concurrent result differs from serial"
+                        );
+                    }
+                    if traced {
+                        let stats = meta.step_stats.expect("trace requested");
+                        let kernels: usize =
+                            stats.devices.iter().map(|d| d.kernel_stats.len()).sum();
+                        let nodes: usize = stats.devices.iter().map(|d| d.node_stats.len()).sum();
+                        assert_eq!(
+                            kernels, serial_kernels,
+                            "thread {t} run {r}: per-step kernel stats interleaved"
+                        );
+                        assert_eq!(
+                            nodes, serial_nodes,
+                            "thread {t} run {r}: per-step node stats interleaved"
+                        );
+                    } else {
+                        assert!(meta.step_stats.is_none(), "no stats unless requested");
+                    }
+                    assert!(meta.step > 0, "metadata must carry the step id");
+                    steps.lock().unwrap().push(meta.step);
+                }
+            });
+        }
+    });
+
+    // Every step tore down exactly its own state; the session as a whole
+    // leaked nothing.
+    let steps = steps.into_inner().unwrap();
+    assert_eq!(steps.len(), THREADS * RUNS_PER_THREAD);
+    for step in steps {
+        assert!(sess.quiescent_step(step), "step {step} left state behind");
+    }
+    assert!(sess.quiescent(), "session leaked rendezvous or network state");
+    assert_eq!(
+        sess.resources().transient_count(),
+        0,
+        "per-run transients must not outlive their steps"
+    );
+}
+
+#[test]
+fn aborting_one_step_leaves_concurrent_steps_untouched() {
+    // The loop limit is fed: one client hangs on a huge limit under a
+    // short timeout while the others run small limits to completion.
+    let mut g = GraphBuilder::new();
+    let lim = g.placeholder("lim", DType::I64);
+    let init = g.scalar_i64(0);
+    let outs = g
+        .while_loop(
+            &[init],
+            |g, v| g.less(v[0], lim),
+            |g, v| {
+                let one = g.scalar_i64(1);
+                Ok(vec![g.add(v[0], one)?])
+            },
+            WhileOptions::default(),
+        )
+        .unwrap();
+    let fetch = outs[0];
+    let sess = Session::local(g.finish().unwrap()).unwrap();
+
+    let sess = &sess;
+    std::thread::scope(|scope| {
+        let aborter = scope.spawn(move || {
+            let mut feeds = HashMap::new();
+            feeds.insert("lim".to_string(), Tensor::scalar_i64(i64::MAX));
+            let opts = RunOptions::default().with_timeout(Duration::from_millis(30));
+            sess.run_full(&opts, &feeds, &[fetch])
+        });
+        // Healthy clients keep completing while the aborter spins and dies.
+        for t in 0..3 {
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    let mut feeds = HashMap::new();
+                    feeds.insert("lim".to_string(), Tensor::scalar_i64(40 + t));
+                    let out = sess.run_simple(&feeds, &[fetch]).unwrap();
+                    assert_eq!(out[0].scalar_as_i64().unwrap(), 40 + t);
+                }
+            });
+        }
+        let (result, meta) = aborter.join().unwrap();
+        let err = result.unwrap_err();
+        assert!(
+            matches!(err, dcf::exec::ExecError::DeadlineExceeded(_)),
+            "unexpected abort error: {err}"
+        );
+        // The aborted step's own state must be fully reclaimed even while
+        // its peers are still mid-flight.
+        assert!(sess.quiescent_step(meta.step), "aborted step leaked state");
+    });
+    assert!(sess.quiescent(), "abort left the session non-quiescent");
+}
+
+#[test]
+fn admission_limit_queues_fifo_and_preserves_results() {
+    let (g, loss, grad) = loop_grad_graph();
+    let mut cluster = Cluster::new();
+    cluster.add_device(0, DeviceProfile::cpu());
+    let sess = Session::new(
+        g.finish().unwrap(),
+        cluster,
+        SessionOptions::functional().with_max_concurrent_steps(2),
+    )
+    .unwrap();
+    let fetches = [loss, grad];
+    let expected: Vec<_> =
+        (0..THREADS).map(|t| sess.run_simple(&feed_for(t), &fetches).unwrap()).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let sess = &sess;
+            let expected = &expected[t];
+            scope.spawn(move || {
+                for _ in 0..RUNS_PER_THREAD {
+                    let out = sess.run_simple(&feed_for(t), &fetches).unwrap();
+                    for (got, want) in out.iter().zip(expected) {
+                        assert!(got.allclose(want, 0.0), "admission-limited run differs");
+                    }
+                }
+            });
+        }
+    });
+    assert!(sess.quiescent());
+}
+
+#[test]
+fn zero_admission_limit_is_a_structured_error() {
+    let mut g = GraphBuilder::new();
+    let x = g.scalar_f32(1.0);
+    let y = g.scalar_f32(2.0);
+    let z = g.add(x, y).unwrap();
+    let mut cluster = Cluster::new();
+    cluster.add_device(0, DeviceProfile::cpu());
+    let sess = Session::new(
+        g.finish().unwrap(),
+        cluster,
+        SessionOptions::functional().with_max_concurrent_steps(0),
+    )
+    .unwrap();
+    let (result, meta) = sess.run_full(&RunOptions::default(), &HashMap::new(), &[z]);
+    let err = result.unwrap_err();
+    assert!(
+        matches!(err, dcf::exec::ExecError::InvalidConfig(_)),
+        "expected InvalidConfig, got: {err}"
+    );
+    assert_eq!(meta.step, 0, "rejected runs never allocate a step");
+    assert_eq!(meta.abort_reason.as_deref(), Some(err.to_string().as_str()));
+}

@@ -181,6 +181,7 @@ fn memory_swapping_preserves_values() {
                     ..Default::default()
                 },
                 network: NetworkModel::disabled(),
+                ..Default::default()
             },
         )
         .unwrap();
