@@ -1,0 +1,28 @@
+use dcf_exec::ResourceManager;
+use dcf_tensor::DType;
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn abba_probe() {
+    let rm = Arc::new(ResourceManager::new());
+    let mut hs = vec![];
+    for t in 0..4u64 {
+        let rm2 = rm.clone();
+        hs.push(thread::spawn(move || {
+            for _ in 0..100000u64 {
+                let id = rm2.array_create(t, DType::F32, false, 1);
+                let _ = rm2.array_grad(id, "g");
+            }
+        }));
+        let rm3 = rm.clone();
+        hs.push(thread::spawn(move || {
+            for _ in 0..100000u64 {
+                rm3.drop_step_transients(t);
+            }
+        }));
+    }
+    for h in hs {
+        h.join().unwrap();
+    }
+}
