@@ -1,0 +1,15 @@
+//! Dynamic batching vs per-request steps on one shared session.
+//!
+//! Usage: `cargo run --release -p dcf-bench --bin serve_batching [--quick]`
+//!
+//! Sweeps client counts; for each, N closed-loop clients issue
+//! single-example requests either through the `dcf-serve` dynamic batcher
+//! (one coalesced step per round) or as N concurrent one-row steps.
+//! Reports requests/sec, p50/p99 latency, and rows per step, and merges
+//! the cases into `BENCH_serve.json` at the repo root.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let clients: &[usize] = if quick { &[4] } else { &[2, 4, 8] };
+    let requests = if quick { 30 } else { 200 };
+    println!("{}", dcf_bench::serve_batching::run(clients, requests).render());
+}

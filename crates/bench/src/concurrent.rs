@@ -149,7 +149,18 @@ pub fn run(client_counts: &[usize], runs_per_client: usize) -> Report {
     }
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-    write_json(&cases, path);
+    let entries: Vec<(String, String)> = cases
+        .iter()
+        .map(|c| {
+            let obj = format!(
+                "{{\"name\": \"{}\", \"clients\": {}, \"total_steps\": {}, \
+                 \"steps_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                c.name, c.clients, c.total_steps, c.steps_per_sec, c.p50_ms, c.p99_ms
+            );
+            (c.name.clone(), obj)
+        })
+        .collect();
+    crate::merge_bench_json(path, &entries);
 
     let mut report = Report::new(
         "Concurrent steps: multi-client serving on one session",
@@ -172,25 +183,4 @@ pub fn run(client_counts: &[usize], runs_per_client: usize) -> Report {
     ));
     report.note("admit2 = same workload under max_concurrent_steps = 2 (FIFO admission)");
     report
-}
-
-fn write_json(cases: &[ServeCase], path: &str) {
-    let mut out = String::from("[\n");
-    for (i, c) in cases.iter().enumerate() {
-        out.push_str("  {");
-        out.push_str(&format!("\"name\": \"{}\", ", c.name));
-        out.push_str(&format!("\"clients\": {}, ", c.clients));
-        out.push_str(&format!("\"total_steps\": {}, ", c.total_steps));
-        out.push_str(&format!("\"steps_per_sec\": {:.1}, ", c.steps_per_sec));
-        out.push_str(&format!("\"p50_ms\": {:.3}, ", c.p50_ms));
-        out.push_str(&format!("\"p99_ms\": {:.3}", c.p99_ms));
-        out.push('}');
-        if i + 1 < cases.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("]\n");
-    std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    println!("wrote {path}");
 }

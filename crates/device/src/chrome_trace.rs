@@ -56,11 +56,22 @@ fn push_event(
 pub fn chrome_trace_json(stats: &StepStats) -> String {
     let mut events: Vec<String> = Vec::new();
 
+    // A non-empty run tag (e.g. a serving batch id from
+    // `RunOptions::with_tag`) suffixes every process and track name, so
+    // traces of several tagged steps remain distinguishable after merging.
+    let tagged = |name: &str| -> String {
+        if stats.tag.is_empty() {
+            name.to_string()
+        } else {
+            format!("{name} [{}]", stats.tag)
+        }
+    };
+
     for (idx, dev) in stats.devices.iter().enumerate() {
         let pid = idx as u64 + 1;
         {
             let mut m = String::new();
-            push_meta(&mut m, pid, None, "process_name", &dev.device);
+            push_meta(&mut m, pid, None, "process_name", &tagged(&dev.device));
             events.push(m);
         }
 
@@ -76,7 +87,7 @@ pub fn chrome_trace_json(stats: &StepStats) -> String {
                 .map(|s| s.trim_start_matches('/'))
                 .unwrap_or(stream);
             let mut m = String::new();
-            push_meta(&mut m, pid, Some(tid), "thread_name", short);
+            push_meta(&mut m, pid, Some(tid), "thread_name", &tagged(short));
             events.push(m);
             for k in dev.kernel_stats.iter().filter(|k| k.stream == *stream) {
                 let mut e = String::new();
@@ -102,7 +113,7 @@ pub fn chrome_trace_json(stats: &StepStats) -> String {
         for w in &workers {
             let tid = SCHEDULER_TID_BASE + *w as u64;
             let mut m = String::new();
-            push_meta(&mut m, pid, Some(tid), "thread_name", &format!("scheduler/{w}"));
+            push_meta(&mut m, pid, Some(tid), "thread_name", &tagged(&format!("scheduler/{w}")));
             events.push(m);
         }
         for n in &dev.node_stats {
@@ -126,7 +137,7 @@ pub fn chrome_trace_json(stats: &StepStats) -> String {
 
         if !dev.rendezvous.is_empty() {
             let mut m = String::new();
-            push_meta(&mut m, pid, Some(RENDEZVOUS_TID), "thread_name", "rendezvous");
+            push_meta(&mut m, pid, Some(RENDEZVOUS_TID), "thread_name", &tagged("rendezvous"));
             events.push(m);
             for w in &dev.rendezvous {
                 let kind = match w.kind {
@@ -150,10 +161,10 @@ pub fn chrome_trace_json(stats: &StepStats) -> String {
 
     if !stats.transfers.is_empty() {
         let mut m = String::new();
-        push_meta(&mut m, NETWORK_PID, None, "process_name", "network");
+        push_meta(&mut m, NETWORK_PID, None, "process_name", &tagged("network"));
         events.push(m);
         let mut m = String::new();
-        push_meta(&mut m, NETWORK_PID, Some(1), "thread_name", "transfers");
+        push_meta(&mut m, NETWORK_PID, Some(1), "thread_name", &tagged("transfers"));
         events.push(m);
         for t in &stats.transfers {
             let mut e = String::new();
@@ -277,6 +288,33 @@ mod tests {
             Some("root;0/while_frame_4")
         );
         assert_eq!(node.get("args").unwrap().get("iter").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn run_tag_suffixes_every_track_name() {
+        let mut stats = sample_stats();
+        stats.tag = "serve/lstm/batch-7".into();
+        let json = chrome_trace_json(&stats);
+        let doc = parse(&json).expect("tagged JSON parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let meta_names: Vec<&str> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.get("name").and_then(Json::as_str),
+                    Some("process_name") | Some("thread_name")
+                )
+            })
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(!meta_names.is_empty());
+        assert!(
+            meta_names.iter().all(|n| n.ends_with("[serve/lstm/batch-7]")),
+            "untagged track names: {meta_names:?}"
+        );
+        // The untagged export is unchanged.
+        let plain = chrome_trace_json(&sample_stats());
+        assert!(!plain.contains("batch-7"));
     }
 
     #[test]

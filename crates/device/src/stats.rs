@@ -174,6 +174,10 @@ pub struct StepStats {
     pub devices: Vec<DeviceStepStats>,
     /// Modeled network transfers (cross-device sends), in issue order.
     pub transfers: Vec<TransferStats>,
+    /// The run's `RunOptions` tag (empty when untagged). Carried into the
+    /// Chrome-trace export as a track-name suffix so traces of batched
+    /// serving steps stay distinguishable when several are merged.
+    pub tag: String,
 }
 
 /// Number of shard buffers. Recording threads hash to a shard by their
@@ -340,7 +344,7 @@ impl StepStatsCollector {
             dev.rendezvous.sort_by_key(|w| (w.start_us, w.key.clone()));
         }
         transfers.sort_by_key(|t| (t.start_us, t.key.clone()));
-        StepStats { devices, transfers }
+        StepStats { devices, transfers, tag: String::new() }
     }
 }
 

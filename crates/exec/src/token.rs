@@ -35,6 +35,12 @@ pub enum ExecError {
         /// Delivery attempts made (1 initial + retries) before giving up.
         attempts: u32,
     },
+    /// A serving layer rejected the request up front because a bounded
+    /// queue was full (backpressure): the caller should shed load or retry
+    /// later rather than wait. Distinct from [`ExecError::InvalidConfig`]
+    /// (the request could never run) and [`ExecError::DeadlineExceeded`]
+    /// (the request ran out of time). The payload names the full resource.
+    Overloaded(String),
     /// The session rejected the run up front because its configuration
     /// cannot execute it (e.g. an admission limit of zero that can never
     /// admit a step). Structured so concurrent callers see a hard error
@@ -56,6 +62,7 @@ impl fmt::Display for ExecError {
             ExecError::TransferFailed { key, attempts } => {
                 write!(f, "transfer {key} failed after {attempts} attempts")
             }
+            ExecError::Overloaded(s) => write!(f, "overloaded: {s}"),
             ExecError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
             ExecError::Internal(s) => write!(f, "internal: {s}"),
         }

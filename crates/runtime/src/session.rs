@@ -468,7 +468,12 @@ impl Session {
             for dev in self.cluster.devices() {
                 c.record_memory(dev.id().0 as u16, dev.allocator().snapshot());
             }
-            c.finish()
+            let mut stats = c.finish();
+            // Carry the run tag into the stats so the Chrome-trace export
+            // can mark this step's tracks (batched serving steps rely on
+            // this to stay distinguishable).
+            stats.tag = options.tag.clone();
+            stats
         });
 
         metadata.step_stats = step_stats;

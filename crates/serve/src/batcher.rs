@@ -1,0 +1,683 @@
+//! The dynamic batcher: coalesces concurrent client requests into one
+//! batched `Session::run` and scatters the results back.
+//!
+//! One batcher per served model. Clients enqueue ([`Batcher::submit`])
+//! validated feed tensors; a dedicated batcher thread assembles batches
+//! along the leading axis under the model's [`BatchPolicy`] — dispatching
+//! when `max_batch_size` rows are queued or the oldest request has waited
+//! `max_queue_delay` — issues **one** tagged step with the concatenated
+//! feeds, and splits each fetched tensor back into per-request slices.
+//!
+//! Admission control is structural rather than advisory:
+//!
+//! * the queue is bounded in **rows** (`queue_capacity`); a full queue
+//!   rejects immediately with [`ExecError::Overloaded`] instead of
+//!   queueing forever;
+//! * a request's deadline is checked at enqueue *and* again at batch
+//!   assembly, so an expired request never occupies a batch slot;
+//! * two lanes: [`Priority::Interactive`] requests preempt
+//!   [`Priority::Batch`] traffic at assembly time (drained first), while
+//!   each lane stays FIFO so bulk traffic is delayed, never starved.
+//!
+//! A failed batched step (timeout, injected fault past its retry budget,
+//! cancellation) fails exactly the requests in that batch; the batcher
+//! thread survives and keeps serving subsequent batches.
+
+use crate::metrics::ServeMetrics;
+use crate::oneshot;
+use crate::signature::ModelSignature;
+use crate::Result;
+use dcf_exec::ExecError;
+use dcf_runtime::{RunOptions, Session};
+use dcf_sync::{Condvar, Mutex};
+use dcf_tensor::Tensor;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which lane a request queues in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Latency-sensitive: drained into batches before any
+    /// [`Priority::Batch`] request, regardless of arrival order.
+    Interactive,
+    /// Bulk/offline traffic (the default): fills whatever batch capacity
+    /// the interactive lane left.
+    #[default]
+    Batch,
+}
+
+/// Per-model batching policy.
+#[derive(Clone, Debug)]
+pub struct BatchPolicy {
+    /// Maximum rows per batched step; dispatch fires as soon as this many
+    /// rows are queued.
+    pub max_batch_size: usize,
+    /// Maximum time the oldest queued request waits before a (possibly
+    /// partial) batch dispatches anyway.
+    pub max_queue_delay: Duration,
+    /// Bound on queued rows across both lanes; requests beyond it are
+    /// rejected with [`ExecError::Overloaded`] at enqueue.
+    pub queue_capacity: usize,
+    /// Template for every batched step's `RunOptions` (trace level,
+    /// timeout, retry policy, fault plan). The tag is extended per batch
+    /// with `"<model>/batch-<seq>"` so traces of batched steps stay
+    /// distinguishable.
+    pub run_options: RunOptions,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> BatchPolicy {
+        BatchPolicy {
+            max_batch_size: 16,
+            max_queue_delay: Duration::from_millis(2),
+            queue_capacity: 1024,
+            run_options: RunOptions::default(),
+        }
+    }
+}
+
+impl BatchPolicy {
+    pub(crate) fn check(&self) -> Result<()> {
+        if self.max_batch_size == 0 {
+            return Err(ExecError::InvalidConfig("max_batch_size is 0".into()));
+        }
+        if self.queue_capacity < self.max_batch_size {
+            return Err(ExecError::InvalidConfig(format!(
+                "queue_capacity {} is smaller than max_batch_size {}",
+                self.queue_capacity, self.max_batch_size
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One client request: batch-major feed tensors plus scheduling hints.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Feed tensors, one per signature feed, each `[rows] + example_dims`.
+    pub feeds: HashMap<String, Tensor>,
+    /// Lane to queue in.
+    pub priority: Priority,
+    /// Absolute expiry; once past, the request is completed with
+    /// [`ExecError::DeadlineExceeded`] instead of occupying a batch slot.
+    pub deadline: Option<Instant>,
+}
+
+impl Request {
+    /// A bulk-lane request with no deadline.
+    pub fn new(feeds: HashMap<String, Tensor>) -> Request {
+        Request { feeds, priority: Priority::default(), deadline: None }
+    }
+
+    /// Moves the request to the interactive lane (builder style).
+    pub fn interactive(mut self) -> Request {
+        self.priority = Priority::Interactive;
+        self
+    }
+
+    /// Sets the deadline to `budget` from now (builder style).
+    pub fn with_deadline_in(mut self, budget: Duration) -> Request {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+}
+
+/// What a completed request returns.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// This request's slice of each fetched tensor, in signature fetch
+    /// order; every output has this request's row count as its leading
+    /// dimension.
+    pub outputs: Vec<Tensor>,
+    /// Time the request spent queued before its batch was assembled.
+    pub queue_delay: Duration,
+    /// Step id of the batched run that served this request.
+    pub step: u64,
+    /// The batched step's tag (e.g. `"lstm/batch-42"`).
+    pub tag: String,
+    /// Total rows in the batched step that served this request.
+    pub batch_rows: usize,
+}
+
+/// A submitted request's completion handle.
+pub struct Ticket {
+    rx: oneshot::Receiver<Result<Response>>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Ticket")
+    }
+}
+
+impl Ticket {
+    /// Blocks until the request's batch completes (or it is rejected).
+    pub fn wait(self) -> Result<Response> {
+        self.rx.recv().unwrap_or_else(|| {
+            Err(ExecError::Internal("batcher dropped the request without completing it".into()))
+        })
+    }
+}
+
+/// A queued request awaiting batch assembly.
+struct Pending {
+    feeds: HashMap<String, Tensor>,
+    rows: usize,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    tx: oneshot::Sender<Result<Response>>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    interactive: VecDeque<Pending>,
+    batch: VecDeque<Pending>,
+    queued_rows: usize,
+    shutdown: bool,
+}
+
+impl QueueState {
+    fn is_empty(&self) -> bool {
+        self.interactive.is_empty() && self.batch.is_empty()
+    }
+
+    /// Earliest enqueue instant across both lanes.
+    fn oldest(&self) -> Option<Instant> {
+        let a = self.interactive.front().map(|p| p.enqueued);
+        let b = self.batch.front().map(|p| p.enqueued);
+        match (a, b) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+
+    /// Earliest request deadline across both lanes (for prompt expiry).
+    fn earliest_deadline(&self) -> Option<Instant> {
+        self.interactive.iter().chain(self.batch.iter()).filter_map(|p| p.deadline).min()
+    }
+}
+
+/// Drains up to `max_rows` rows from `state`, interactive lane first,
+/// completing expired requests with [`ExecError::DeadlineExceeded`] along
+/// the way (they never occupy a slot). Each lane stays FIFO: assembly
+/// stops at the first live request that does not fit.
+///
+/// Free function so the lane/expiry/row-cap policy is unit-testable
+/// without a live session or batcher thread.
+fn assemble(
+    state: &mut QueueState,
+    max_rows: usize,
+    now: Instant,
+    metrics: &ServeMetrics,
+) -> Vec<Pending> {
+    let mut out = Vec::new();
+    let mut rows = 0usize;
+    for lane in [&mut state.interactive, &mut state.batch] {
+        while let Some(front) = lane.front() {
+            if front.deadline.is_some_and(|d| d <= now) {
+                let p = lane.pop_front().expect("front exists");
+                state.queued_rows -= p.rows;
+                metrics.expired.fetch_add(1, Ordering::Relaxed);
+                p.tx.send(Err(ExecError::DeadlineExceeded(
+                    now.saturating_duration_since(p.enqueued),
+                )));
+                continue;
+            }
+            if rows + front.rows > max_rows {
+                break;
+            }
+            let p = lane.pop_front().expect("front exists");
+            state.queued_rows -= p.rows;
+            rows += p.rows;
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// The per-model dynamic batcher. Dropping it drains the queue (pending
+/// requests complete with [`ExecError::Cancelled`]) and joins the thread.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+struct Shared {
+    name: String,
+    session: Arc<Session>,
+    signature: ModelSignature,
+    policy: BatchPolicy,
+    metrics: Arc<ServeMetrics>,
+    batch_seq: AtomicU64,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl Batcher {
+    /// Validates `policy` against `signature`/`session` and spawns the
+    /// batcher thread for model `name`.
+    pub fn new(
+        name: impl Into<String>,
+        session: Arc<Session>,
+        signature: ModelSignature,
+        policy: BatchPolicy,
+    ) -> Result<Batcher> {
+        policy.check()?;
+        if signature.feeds.is_empty() || signature.fetches.is_empty() {
+            return Err(ExecError::InvalidConfig(
+                "serving signature needs at least one feed and one fetch".into(),
+            ));
+        }
+        let shared = Arc::new(Shared {
+            name: name.into(),
+            session,
+            signature,
+            policy,
+            metrics: Arc::new(ServeMetrics::default()),
+            batch_seq: AtomicU64::new(0),
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+        });
+        let worker = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("dcf-serve/{}", worker.name))
+            .spawn(move || worker.run_loop())
+            .map_err(|e| ExecError::Internal(format!("spawning batcher thread: {e}")))?;
+        Ok(Batcher { shared, thread: Some(thread) })
+    }
+
+    /// The model name this batcher serves.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// The batching policy in force.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.shared.policy
+    }
+
+    /// The live metrics handle.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.shared.metrics
+    }
+
+    /// A point-in-time metrics snapshot (occupancy uses this batcher's
+    /// `max_batch_size`).
+    pub fn snapshot(&self) -> crate::MetricsSnapshot {
+        self.shared.metrics.snapshot(self.shared.policy.max_batch_size)
+    }
+
+    /// Validates and enqueues `request`, returning a [`Ticket`] for its
+    /// completion. Every rejection is immediate and structured:
+    /// [`ExecError::BadFeedOrFetch`] for a signature mismatch,
+    /// [`ExecError::Overloaded`] for a full queue,
+    /// [`ExecError::DeadlineExceeded`] for an already-expired deadline,
+    /// [`ExecError::InvalidConfig`] for a request larger than any batch.
+    pub fn submit(&self, request: Request) -> Result<Ticket> {
+        let m = &self.shared.metrics;
+        let rows = self.shared.signature.validate(&request.feeds).inspect_err(|_| {
+            m.rejected_shape.fetch_add(1, Ordering::Relaxed);
+        })?;
+        if rows > self.shared.policy.max_batch_size {
+            m.rejected_shape.fetch_add(1, Ordering::Relaxed);
+            return Err(ExecError::InvalidConfig(format!(
+                "request has {rows} rows, max_batch_size is {}",
+                self.shared.policy.max_batch_size
+            )));
+        }
+        let now = Instant::now();
+        if request.deadline.is_some_and(|d| d <= now) {
+            m.expired.fetch_add(1, Ordering::Relaxed);
+            return Err(ExecError::DeadlineExceeded(Duration::ZERO));
+        }
+        let (tx, rx) = oneshot::channel();
+        {
+            let mut state = self.shared.state.lock();
+            if state.shutdown {
+                return Err(ExecError::Cancelled("batcher is shut down".into()));
+            }
+            if state.queued_rows + rows > self.shared.policy.queue_capacity {
+                m.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                return Err(ExecError::Overloaded(format!(
+                    "model '{}' queue is full ({} of {} rows)",
+                    self.shared.name, state.queued_rows, self.shared.policy.queue_capacity
+                )));
+            }
+            let pending = Pending {
+                feeds: request.feeds,
+                rows,
+                enqueued: now,
+                deadline: request.deadline,
+                tx,
+            };
+            match request.priority {
+                Priority::Interactive => state.interactive.push_back(pending),
+                Priority::Batch => state.batch.push_back(pending),
+            }
+            state.queued_rows += rows;
+        }
+        m.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.cv.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// Convenience: [`Batcher::submit`] then block for the response.
+    pub fn run(&self, request: Request) -> Result<Response> {
+        self.submit(request)?.wait()
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Shared {
+    /// The batcher thread: wait for work, assemble, run one batched step,
+    /// scatter. Runs until shutdown, then drains the queue with
+    /// `Cancelled`.
+    fn run_loop(&self) {
+        loop {
+            let batch = {
+                let mut state = self.state.lock();
+                // Wait for the first request (or shutdown).
+                while state.is_empty() && !state.shutdown {
+                    self.cv.wait(&mut state);
+                }
+                if state.shutdown {
+                    let mut drained = Vec::new();
+                    drained.extend(state.interactive.drain(..));
+                    drained.extend(state.batch.drain(..));
+                    state.queued_rows = 0;
+                    drop(state);
+                    for p in drained {
+                        p.tx.send(Err(ExecError::Cancelled("batcher shut down".into())));
+                    }
+                    return;
+                }
+                // Linger for co-batchable requests: until the row cap is
+                // reached, the oldest request has waited `max_queue_delay`,
+                // or a queued deadline needs expiring.
+                loop {
+                    if state.shutdown || state.queued_rows >= self.policy.max_batch_size {
+                        break;
+                    }
+                    let Some(oldest) = state.oldest() else { break };
+                    let mut wake = oldest + self.policy.max_queue_delay;
+                    if let Some(d) = state.earliest_deadline() {
+                        wake = wake.min(d);
+                    }
+                    if Instant::now() >= wake {
+                        break;
+                    }
+                    self.cv.wait_until(&mut state, wake);
+                }
+                assemble(&mut state, self.policy.max_batch_size, Instant::now(), &self.metrics)
+            };
+            if batch.is_empty() {
+                continue; // everything queued had expired
+            }
+            self.run_batch(batch);
+        }
+    }
+
+    /// Concatenates the batch's feeds, runs one tagged step, splits each
+    /// fetch by per-request row counts, and completes every request.
+    fn run_batch(&self, batch: Vec<Pending>) {
+        let assembled = Instant::now();
+        let rows: Vec<usize> = batch.iter().map(|p| p.rows).collect();
+        let total_rows: usize = rows.iter().sum();
+        for p in &batch {
+            self.metrics.record_queue_delay_us(
+                assembled.saturating_duration_since(p.enqueued).as_micros() as u64,
+            );
+        }
+
+        // Merge: one concat0 per signature feed, in batch order.
+        let mut merged: HashMap<String, Tensor> =
+            HashMap::with_capacity(self.signature.feeds.len());
+        for spec in &self.signature.feeds {
+            let parts: Vec<Tensor> = batch
+                .iter()
+                .map(|p| p.feeds.get(&spec.name).expect("validated at enqueue").clone())
+                .collect();
+            match Tensor::concat0(&parts) {
+                Ok(t) => {
+                    merged.insert(spec.name.clone(), t);
+                }
+                Err(e) => {
+                    let err = ExecError::Internal(format!(
+                        "batch concat of feed '{}' failed after enqueue validation: {e}",
+                        spec.name
+                    ));
+                    return self.fail_batch(batch, err);
+                }
+            }
+        }
+
+        let seq = self.batch_seq.fetch_add(1, Ordering::Relaxed);
+        let tag = if self.policy.run_options.tag.is_empty() {
+            format!("{}/batch-{seq}", self.name)
+        } else {
+            format!("{}/batch-{seq}", self.policy.run_options.tag)
+        };
+        let options = self.policy.run_options.clone().with_tag(tag.clone());
+
+        self.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.batched_rows.fetch_add(total_rows as u64, Ordering::Relaxed);
+        let (result, meta) = self.session.run_full(&options, &merged, &self.signature.fetches);
+        self.metrics.record_step_latency_us(meta.wall.as_micros() as u64);
+        self.metrics.retries.fetch_add(meta.retries, Ordering::Relaxed);
+        self.metrics.fault_events.fetch_add(meta.fault_events.len() as u64, Ordering::Relaxed);
+
+        let outputs = match result {
+            Ok(v) => v,
+            Err(e) => {
+                self.metrics.steps_failed.fetch_add(1, Ordering::Relaxed);
+                return self.fail_batch(batch, e);
+            }
+        };
+
+        // Scatter: split every fetch along axis 0 by per-request rows.
+        // `sliced[f][r]` = request r's slice of fetch f.
+        let mut sliced: Vec<Vec<Tensor>> = Vec::with_capacity(outputs.len());
+        for (f, out) in outputs.iter().enumerate() {
+            if out.shape().is_scalar() || out.shape().dim(0) != total_rows {
+                let err = ExecError::InvalidConfig(format!(
+                    "fetch #{f} of model '{}' is not batch-major: got shape {:?}, \
+                     expected leading dimension {total_rows}",
+                    self.name,
+                    out.shape().dims()
+                ));
+                return self.fail_batch(batch, err);
+            }
+            match out.split0(&rows) {
+                Ok(parts) => sliced.push(parts),
+                Err(e) => {
+                    let err = ExecError::Internal(format!("scattering fetch #{f} of a batch: {e}"));
+                    return self.fail_batch(batch, err);
+                }
+            }
+        }
+
+        for (r, p) in batch.into_iter().enumerate() {
+            let outputs: Vec<Tensor> =
+                sliced.iter().map(|per_fetch| per_fetch[r].clone()).collect();
+            self.metrics.served.fetch_add(1, Ordering::Relaxed);
+            p.tx.send(Ok(Response {
+                outputs,
+                queue_delay: assembled.saturating_duration_since(p.enqueued),
+                step: meta.step,
+                tag: tag.clone(),
+                batch_rows: total_rows,
+            }));
+        }
+    }
+
+    fn fail_batch(&self, batch: Vec<Pending>, err: ExecError) {
+        for p in batch {
+            self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            p.tx.send(Err(err.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_graph::GraphBuilder;
+    use dcf_tensor::DType;
+
+    fn pending(
+        rows: usize,
+        lane_deadline: Option<Instant>,
+    ) -> (Pending, oneshot::Receiver<Result<Response>>) {
+        let (tx, rx) = oneshot::channel();
+        let mut feeds = HashMap::new();
+        feeds.insert(
+            "x".to_string(),
+            Tensor::from_vec_f32(vec![0.0; rows * 2], &[rows, 2]).unwrap(),
+        );
+        (Pending { feeds, rows, enqueued: Instant::now(), deadline: lane_deadline, tx }, rx)
+    }
+
+    #[test]
+    fn assembly_prefers_interactive_and_respects_row_cap() {
+        let metrics = ServeMetrics::default();
+        let mut state = QueueState::default();
+        let (b1, _rb1) = pending(2, None);
+        let (b2, _rb2) = pending(2, None);
+        let (i1, _ri1) = pending(3, None);
+        state.batch.push_back(b1);
+        state.batch.push_back(b2);
+        state.interactive.push_back(i1);
+        state.queued_rows = 7;
+        let batch = assemble(&mut state, 5, Instant::now(), &metrics);
+        // Interactive (3 rows) first, then the first bulk request (2
+        // rows); the second bulk request does not fit.
+        assert_eq!(batch.iter().map(|p| p.rows).collect::<Vec<_>>(), vec![3, 2]);
+        assert_eq!(state.queued_rows, 2);
+        assert_eq!(state.batch.len(), 1);
+    }
+
+    #[test]
+    fn assembly_expires_requests_without_granting_slots() {
+        let metrics = ServeMetrics::default();
+        let mut state = QueueState::default();
+        let past = Instant::now() - Duration::from_millis(1);
+        let (dead, rx_dead) = pending(2, Some(past));
+        let (live, _rx_live) = pending(2, None);
+        state.batch.push_back(dead);
+        state.batch.push_back(live);
+        state.queued_rows = 4;
+        let batch = assemble(&mut state, 2, Instant::now(), &metrics);
+        // The expired request was skipped (completed with an error), and
+        // the live one behind it took the slot it would have occupied.
+        assert_eq!(batch.len(), 1);
+        assert!(batch[0].deadline.is_none());
+        assert_eq!(metrics.expired.load(Ordering::Relaxed), 1);
+        drop(batch);
+        match rx_dead.recv() {
+            Some(Err(ExecError::DeadlineExceeded(_))) => {}
+            other => panic!("expired request got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn head_of_line_blocking_stays_fifo_within_a_lane() {
+        let metrics = ServeMetrics::default();
+        let mut state = QueueState::default();
+        let (big, _r1) = pending(4, None);
+        let (small, _r2) = pending(1, None);
+        state.batch.push_back(big);
+        state.batch.push_back(small);
+        state.queued_rows = 5;
+        // Cap 3: the 4-row head does not fit, and the 1-row request behind
+        // it must NOT overtake (FIFO within a lane).
+        let batch = assemble(&mut state, 3, Instant::now(), &metrics);
+        assert!(batch.is_empty());
+        assert_eq!(state.batch.len(), 2);
+        assert_eq!(state.queued_rows, 5);
+    }
+
+    fn double_model() -> (Arc<Session>, ModelSignature) {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x", DType::F32);
+        let two = b.scalar_f32(2.0);
+        let y = b.mul(x, two).unwrap();
+        let sig = ModelSignature::new().feed("x", DType::F32, &[2]).fetch(y);
+        let sess = Arc::new(Session::local(b.finish().unwrap()).unwrap());
+        (sess, sig)
+    }
+
+    #[test]
+    fn batcher_serves_and_scatters() {
+        let (sess, sig) = double_model();
+        let batcher = Batcher::new(
+            "double",
+            sess,
+            sig,
+            BatchPolicy { max_queue_delay: Duration::from_millis(1), ..BatchPolicy::default() },
+        )
+        .unwrap();
+        let mut feeds = HashMap::new();
+        feeds.insert("x".into(), Tensor::from_vec_f32(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let resp = batcher.run(Request::new(feeds)).unwrap();
+        assert_eq!(resp.outputs.len(), 1);
+        assert_eq!(resp.outputs[0].shape().dims(), &[2, 2]);
+        assert_eq!(resp.outputs[0].as_f32_slice().unwrap(), &[2.0, 4.0, 6.0, 8.0]);
+        assert!(resp.tag.starts_with("double/batch-"));
+        assert!(resp.step > 0);
+        let snap = batcher.snapshot();
+        assert_eq!(snap.served, 1);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.batched_rows, 2);
+    }
+
+    #[test]
+    fn oversized_request_and_bad_policy_are_invalid_config() {
+        let (sess, sig) = double_model();
+        assert!(matches!(
+            Batcher::new(
+                "m",
+                sess.clone(),
+                sig.clone(),
+                BatchPolicy { max_batch_size: 0, ..BatchPolicy::default() }
+            ),
+            Err(ExecError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Batcher::new(
+                "m",
+                sess.clone(),
+                sig.clone(),
+                BatchPolicy { max_batch_size: 8, queue_capacity: 4, ..BatchPolicy::default() }
+            ),
+            Err(ExecError::InvalidConfig(_))
+        ));
+        let batcher = Batcher::new(
+            "m",
+            sess,
+            sig,
+            BatchPolicy { max_batch_size: 2, ..BatchPolicy::default() },
+        )
+        .unwrap();
+        let mut feeds = HashMap::new();
+        feeds.insert("x".into(), Tensor::from_vec_f32(vec![0.0; 6], &[3, 2]).unwrap());
+        assert!(matches!(
+            batcher.submit(Request::new(feeds)).unwrap_err(),
+            ExecError::InvalidConfig(_)
+        ));
+    }
+}

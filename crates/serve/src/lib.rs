@@ -1,0 +1,57 @@
+//! `dcf-serve`: a dynamic-batching serving frontend over concurrent
+//! sessions.
+//!
+//! PR 4 made `Session::run` safe for concurrent multi-client steps, but a
+//! step per client request still pays the full executor-dispatch cost per
+//! request. This crate adds the serving layer that amortizes it, the same
+//! way the paper's dynamic control flow amortizes graph dispatch across
+//! loop iterations: many small inference requests are coalesced into one
+//! batched step, run once, and the results scattered back — TensorFlow's
+//! deployment-side batching frontend, rebuilt over this runtime.
+//!
+//! Three pieces:
+//!
+//! * [`ModelRegistry`] — named `(Graph, Cluster, SessionOptions)` entries;
+//!   the session (and its batcher thread) is instantiated lazily on the
+//!   first request and shared by every subsequent one.
+//! * [`Batcher`] — one per model. Clients enqueue feed tensors
+//!   ([`Request`]); the batcher thread coalesces queued requests along the
+//!   leading batch dimension under a [`BatchPolicy`]
+//!   (`max_batch_size` rows / `max_queue_delay` wait), issues **one**
+//!   tagged `Session::run` with the concatenated feed, and splits each
+//!   fetched tensor back into per-request slices delivered through
+//!   one-shot channels. Admission control is structural: every queue is
+//!   bounded (rejecting with [`dcf_exec::ExecError::Overloaded`] instead
+//!   of queueing forever), per-request deadlines expire *before* a request
+//!   can occupy a batch slot, and an interactive priority lane preempts
+//!   bulk traffic at batch-assembly time.
+//! * [`ServeMetrics`] — per-model counters threaded from each step's
+//!   `RunMetadata`: batch occupancy, queue-delay and step-latency
+//!   percentiles, rejects, expirations, transfer retries and injected
+//!   faults.
+//!
+//! Correctness contract (property-tested in `tests/serve_batching.rs` and
+//! `tests/proptest_serve.rs`): for batch-linear models — every fetch
+//! carries the leading batch axis and row `i` of the output depends only
+//! on row `i` of the input, which is what a serving signature means —
+//! concat → run → scatter is **bit-identical** to running each request as
+//! its own step, including when the batched step retries under an injected
+//! fault plan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod metrics;
+mod oneshot;
+pub mod registry;
+pub mod signature;
+
+pub use batcher::{BatchPolicy, Batcher, Priority, Request, Response, Ticket};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use registry::{ModelRegistry, ModelSpec};
+pub use signature::{FeedSpec, ModelSignature};
+
+/// Crate-wide result type: serving surfaces the runtime's structured
+/// [`dcf_exec::ExecError`]s.
+pub type Result<T> = dcf_exec::Result<T>;

@@ -1,0 +1,216 @@
+//! Per-model serving metrics, threaded from each batched step's
+//! `RunMetadata` into lock-free counters plus two fixed-size log-bucket
+//! histograms (queue delay, step latency).
+//!
+//! Counters are atomics and histogram buckets are atomics, so the batcher
+//! thread and any number of snapshot readers never contend on a lock; a
+//! snapshot is a relaxed read of every cell, which is exactly as
+//! consistent as serving dashboards need.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets: bucket `i` holds values with
+/// `floor(log2(us + 1)) == i`, so 40 buckets span ~18 minutes.
+const BUCKETS: usize = 40;
+
+/// A fixed-size log₂ histogram of microsecond durations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn record_us(&self, us: u64) {
+        let b = (64 - (us + 1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Upper-bound estimate of quantile `q` (0..=1), in milliseconds;
+    /// `0.0` when empty. Resolution is the 2× bucket width — enough to
+    /// tell a 1 ms queue delay from an 8 ms one, which is what the
+    /// batching policy knobs act on.
+    fn quantile_ms(&self, q: f64) -> f64 {
+        let n = self.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0.0;
+        }
+        let target = ((n as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Upper edge of bucket i: 2^(i+1) - 1 µs.
+                return ((1u64 << (i + 1)) - 1) as f64 / 1e3;
+            }
+        }
+        ((1u64 << BUCKETS) - 1) as f64 / 1e3
+    }
+
+    fn mean_ms(&self) -> f64 {
+        let n = self.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_us.load(Ordering::Relaxed) as f64 / n as f64 / 1e3
+    }
+}
+
+/// Live counters for one served model. All methods are callable from any
+/// thread; the batcher is the only writer of batch/step cells.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests admitted into the queue.
+    pub submitted: AtomicU64,
+    /// Requests rejected at enqueue by signature validation (shape/dtype).
+    pub rejected_shape: AtomicU64,
+    /// Requests rejected at enqueue by a full queue (backpressure).
+    pub rejected_overload: AtomicU64,
+    /// Requests whose deadline expired before they reached a batch slot.
+    pub expired: AtomicU64,
+    /// Requests completed successfully.
+    pub served: AtomicU64,
+    /// Requests completed with an error from their batched step.
+    pub failed: AtomicU64,
+    /// Batched steps issued.
+    pub batches: AtomicU64,
+    /// Total rows across all batched steps.
+    pub batched_rows: AtomicU64,
+    /// Batched steps that returned an error.
+    pub steps_failed: AtomicU64,
+    /// Transfer retries summed over batched steps' `RunMetadata`.
+    pub retries: AtomicU64,
+    /// Injected fault events summed over batched steps' `RunMetadata`.
+    pub fault_events: AtomicU64,
+    queue_delay: Histogram,
+    step_latency: Histogram,
+}
+
+impl ServeMetrics {
+    /// Records one request's time from enqueue to batch assembly.
+    pub fn record_queue_delay_us(&self, us: u64) {
+        self.queue_delay.record_us(us);
+    }
+
+    /// Records one batched step's wall latency.
+    pub fn record_step_latency_us(&self, us: u64) {
+        self.step_latency.record_us(us);
+    }
+
+    /// A point-in-time copy of every counter, with derived rates. `max
+    /// batch size` comes from the model's policy and fixes the occupancy
+    /// denominator.
+    pub fn snapshot(&self, max_batch_size: usize) -> MetricsSnapshot {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let batches = ld(&self.batches);
+        let rows = ld(&self.batched_rows);
+        MetricsSnapshot {
+            submitted: ld(&self.submitted),
+            rejected_shape: ld(&self.rejected_shape),
+            rejected_overload: ld(&self.rejected_overload),
+            expired: ld(&self.expired),
+            served: ld(&self.served),
+            failed: ld(&self.failed),
+            batches,
+            batched_rows: rows,
+            steps_failed: ld(&self.steps_failed),
+            retries: ld(&self.retries),
+            fault_events: ld(&self.fault_events),
+            mean_batch_rows: if batches == 0 { 0.0 } else { rows as f64 / batches as f64 },
+            occupancy: if batches == 0 || max_batch_size == 0 {
+                0.0
+            } else {
+                rows as f64 / (batches as f64 * max_batch_size as f64)
+            },
+            queue_delay_mean_ms: self.queue_delay.mean_ms(),
+            queue_delay_p50_ms: self.queue_delay.quantile_ms(0.50),
+            queue_delay_p99_ms: self.queue_delay.quantile_ms(0.99),
+            step_latency_p50_ms: self.step_latency.quantile_ms(0.50),
+            step_latency_p99_ms: self.step_latency.quantile_ms(0.99),
+        }
+    }
+}
+
+/// A point-in-time copy of a model's [`ServeMetrics`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Enqueue-time signature rejections.
+    pub rejected_shape: u64,
+    /// Enqueue-time backpressure rejections.
+    pub rejected_overload: u64,
+    /// Deadline expirations before batching.
+    pub expired: u64,
+    /// Requests completed successfully.
+    pub served: u64,
+    /// Requests failed by their batched step.
+    pub failed: u64,
+    /// Batched steps issued.
+    pub batches: u64,
+    /// Rows across all batched steps.
+    pub batched_rows: u64,
+    /// Batched steps that errored.
+    pub steps_failed: u64,
+    /// Transfer retries across batched steps.
+    pub retries: u64,
+    /// Injected fault events across batched steps.
+    pub fault_events: u64,
+    /// Average rows per batched step.
+    pub mean_batch_rows: f64,
+    /// `batched_rows / (batches * max_batch_size)` — how full batches ran.
+    pub occupancy: f64,
+    /// Mean enqueue→assembly delay, ms.
+    pub queue_delay_mean_ms: f64,
+    /// Median enqueue→assembly delay, ms.
+    pub queue_delay_p50_ms: f64,
+    /// 99th-percentile enqueue→assembly delay, ms.
+    pub queue_delay_p99_ms: f64,
+    /// Median batched-step wall latency, ms.
+    pub step_latency_p50_ms: f64,
+    /// 99th-percentile batched-step wall latency, ms.
+    pub step_latency_p99_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_upper_bounds() {
+        let h = Histogram::default();
+        for us in [100u64, 200, 400, 800, 100_000] {
+            h.record_us(us);
+        }
+        // The median (3rd of 5) is 400µs, bucket 256..=511: upper edge 511.
+        assert!((h.quantile_ms(0.5) - 0.511).abs() < 1e-9, "{}", h.quantile_ms(0.5));
+        // p99 falls in the 100ms value's bucket.
+        assert!(h.quantile_ms(0.99) >= 100.0);
+        assert_eq!(Histogram::default().quantile_ms(0.5), 0.0);
+        assert!(h.mean_ms() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_derives_occupancy() {
+        let m = ServeMetrics::default();
+        m.batches.store(4, Ordering::Relaxed);
+        m.batched_rows.store(24, Ordering::Relaxed);
+        let s = m.snapshot(8);
+        assert!((s.mean_batch_rows - 6.0).abs() < 1e-9);
+        assert!((s.occupancy - 0.75).abs() < 1e-9);
+        assert_eq!(ServeMetrics::default().snapshot(8).occupancy, 0.0);
+    }
+}

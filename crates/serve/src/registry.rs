@@ -1,0 +1,224 @@
+//! The model registry: named servable models, lazily instantiated.
+//!
+//! A registered model is just its ingredients — `(Graph, Cluster,
+//! SessionOptions)` plus a serving signature and a batch policy. Nothing
+//! is placed, partitioned, or spawned until the first request arrives;
+//! then one shared `Session` and one [`Batcher`] are built, and every
+//! subsequent request for that model rides the same session's batched
+//! steps. This is the multi-tenant frontend: many models, one process,
+//! each with its own bounded queue, lanes, and metrics.
+
+use crate::batcher::{Batcher, Request, Response, Ticket};
+use crate::metrics::MetricsSnapshot;
+use crate::signature::ModelSignature;
+use crate::{BatchPolicy, Result};
+use dcf_exec::ExecError;
+use dcf_graph::Graph;
+use dcf_runtime::{Cluster, Session, SessionOptions};
+use dcf_sync::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything needed to serve one model.
+pub struct ModelSpec {
+    /// The model graph; consumed when the session is instantiated.
+    pub graph: Graph,
+    /// Devices to place it on.
+    pub cluster: Cluster,
+    /// Session construction options (executor tunables, network model,
+    /// step admission limit).
+    pub session_options: SessionOptions,
+    /// What requests feed and fetch.
+    pub signature: ModelSignature,
+    /// Batching/admission policy.
+    pub policy: BatchPolicy,
+}
+
+impl ModelSpec {
+    /// A spec serving `graph` on a single simulated CPU with default
+    /// batching.
+    pub fn local(graph: Graph, signature: ModelSignature) -> ModelSpec {
+        ModelSpec {
+            graph,
+            cluster: Cluster::single_cpu(),
+            session_options: SessionOptions::functional(),
+            signature,
+            policy: BatchPolicy::default(),
+        }
+    }
+
+    /// Replaces the batch policy (builder style).
+    pub fn with_policy(mut self, policy: BatchPolicy) -> ModelSpec {
+        self.policy = policy;
+        self
+    }
+}
+
+/// One registry slot: the uninstantiated spec, then the live batcher.
+struct ModelEntry {
+    /// `Some` until first use; taken by instantiation.
+    spec: Mutex<Option<ModelSpec>>,
+    /// `Some` once instantiated.
+    batcher: Mutex<Option<Arc<Batcher>>>,
+}
+
+impl ModelEntry {
+    /// Returns the live batcher, building the session on first use. The
+    /// per-entry lock serializes concurrent first requests so exactly one
+    /// session is built; later calls are a lock + clone.
+    fn instantiate(&self, name: &str) -> Result<Arc<Batcher>> {
+        let mut slot = self.batcher.lock();
+        if let Some(b) = slot.as_ref() {
+            return Ok(b.clone());
+        }
+        let spec = self
+            .spec
+            .lock()
+            .take()
+            .ok_or_else(|| ExecError::Internal(format!("model '{name}' lost its spec")))?;
+        spec.signature.check_against(&spec.graph)?;
+        let session = Arc::new(Session::new(spec.graph, spec.cluster, spec.session_options)?);
+        let batcher = Arc::new(Batcher::new(name, session, spec.signature, spec.policy)?);
+        *slot = Some(batcher.clone());
+        Ok(batcher)
+    }
+}
+
+/// A multi-tenant registry of servable models.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Registers `spec` under `name`. The signature is checked against the
+    /// graph and the policy validated *now*, so a bad model fails at
+    /// registration rather than on some client's first request. The
+    /// session itself is still built lazily.
+    pub fn register(&self, name: impl Into<String>, spec: ModelSpec) -> Result<()> {
+        let name = name.into();
+        spec.signature.check_against(&spec.graph)?;
+        spec.policy.check()?;
+        let mut models = self.models.write();
+        if models.contains_key(&name) {
+            return Err(ExecError::InvalidConfig(format!("model '{name}' is already registered")));
+        }
+        models.insert(
+            name,
+            Arc::new(ModelEntry { spec: Mutex::new(Some(spec)), batcher: Mutex::new(None) }),
+        );
+        Ok(())
+    }
+
+    /// Removes a model; its batcher (if instantiated) drains pending
+    /// requests with `Cancelled` as the last handle drops.
+    pub fn unload(&self, name: &str) -> bool {
+        self.models.write().remove(name).is_some()
+    }
+
+    /// Registered model names, sorted.
+    pub fn models(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn batcher(&self, name: &str) -> Result<Arc<Batcher>> {
+        let entry =
+            self.models.read().get(name).cloned().ok_or_else(|| {
+                ExecError::BadFeedOrFetch(format!("no model '{name}' registered"))
+            })?;
+        entry.instantiate(name)
+    }
+
+    /// Enqueues `request` for `name`, instantiating the model on first
+    /// use. Rejections (unknown model, signature mismatch, full queue,
+    /// expired deadline) are immediate and structured.
+    pub fn submit(&self, name: &str, request: Request) -> Result<Ticket> {
+        self.batcher(name)?.submit(request)
+    }
+
+    /// [`ModelRegistry::submit`] then block for the response.
+    pub fn serve(&self, name: &str, request: Request) -> Result<Response> {
+        self.batcher(name)?.run(request)
+    }
+
+    /// A metrics snapshot for `name`; `None` if the model is unknown or
+    /// not yet instantiated (no request has arrived).
+    pub fn metrics(&self, name: &str) -> Option<MetricsSnapshot> {
+        let entry = self.models.read().get(name).cloned()?;
+        let slot = entry.batcher.lock();
+        slot.as_ref().map(|b| b.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_graph::GraphBuilder;
+    use dcf_tensor::{DType, Tensor};
+
+    fn spec(scale: f32) -> ModelSpec {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x", DType::F32);
+        let k = b.scalar_f32(scale);
+        let y = b.mul(x, k).unwrap();
+        let sig = ModelSignature::new().feed("x", DType::F32, &[2]).fetch(y);
+        ModelSpec::local(b.finish().unwrap(), sig)
+    }
+
+    fn one_row(v: f32) -> HashMap<String, Tensor> {
+        let mut m = HashMap::new();
+        m.insert("x".into(), Tensor::from_vec_f32(vec![v, v + 1.0], &[1, 2]).unwrap());
+        m
+    }
+
+    #[test]
+    fn multi_tenant_serving_with_lazy_instantiation() {
+        let reg = ModelRegistry::new();
+        reg.register("double", spec(2.0)).unwrap();
+        reg.register("triple", spec(3.0)).unwrap();
+        assert_eq!(reg.models(), vec!["double".to_string(), "triple".to_string()]);
+        // Not instantiated yet → no metrics.
+        assert!(reg.metrics("double").is_none());
+
+        let r = reg.serve("double", Request::new(one_row(1.0))).unwrap();
+        assert_eq!(r.outputs[0].as_f32_slice().unwrap(), &[2.0, 4.0]);
+        let r = reg.serve("triple", Request::new(one_row(1.0))).unwrap();
+        assert_eq!(r.outputs[0].as_f32_slice().unwrap(), &[3.0, 6.0]);
+
+        let m = reg.metrics("double").expect("instantiated now");
+        assert_eq!(m.served, 1);
+        assert!(reg.unload("double"));
+        assert!(!reg.unload("double"));
+        assert!(reg.serve("double", Request::new(one_row(1.0))).is_err());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_models_are_structured_errors() {
+        let reg = ModelRegistry::new();
+        reg.register("m", spec(1.0)).unwrap();
+        assert!(matches!(reg.register("m", spec(1.0)).unwrap_err(), ExecError::InvalidConfig(_)));
+        assert!(matches!(
+            reg.serve("ghost", Request::new(one_row(0.0))).unwrap_err(),
+            ExecError::BadFeedOrFetch(_)
+        ));
+    }
+
+    #[test]
+    fn bad_signature_rejected_at_registration() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x", DType::F32);
+        let _ = x;
+        let g = b.finish().unwrap();
+        let sig = ModelSignature::new(); // no feeds/fetches
+        let spec = ModelSpec::local(g, sig);
+        let reg = ModelRegistry::new();
+        assert!(matches!(reg.register("bad", spec).unwrap_err(), ExecError::InvalidConfig(_)));
+    }
+}

@@ -1,0 +1,256 @@
+//! The serving signature of a model: which placeholders a request must
+//! feed (dtype and per-example shape) and which tensors it fetches.
+//!
+//! Validation happens at **enqueue** time, so a malformed request is
+//! rejected with a structured error before it can reach a batch — a shape
+//! mismatch discovered mid-step would otherwise abort the whole batched
+//! step and take every co-batched request down with it.
+
+use crate::Result;
+use dcf_exec::ExecError;
+use dcf_graph::{Graph, OpKind, TensorRef};
+use dcf_tensor::{DType, Tensor};
+use std::collections::HashMap;
+
+/// One feed slot of a serving signature.
+#[derive(Clone, Debug)]
+pub struct FeedSpec {
+    /// Placeholder name the feed binds to.
+    pub name: String,
+    /// Required element type.
+    pub dtype: DType,
+    /// Per-example shape: the shape of **one batch row**, without the
+    /// leading batch axis. A fed tensor must have shape
+    /// `[rows] + example_dims` with `rows >= 1`.
+    pub example_dims: Vec<usize>,
+}
+
+/// What a servable model accepts and returns.
+///
+/// Feeds are batch-major: every fed tensor carries a leading batch axis,
+/// and every fetch must produce a tensor whose leading axis equals the
+/// summed rows of the batch (checked at scatter time).
+#[derive(Clone, Debug, Default)]
+pub struct ModelSignature {
+    /// Required feeds, validated per request at enqueue.
+    pub feeds: Vec<FeedSpec>,
+    /// Tensors fetched by every batched step, in response order.
+    pub fetches: Vec<TensorRef>,
+}
+
+impl ModelSignature {
+    /// An empty signature; add feeds with [`ModelSignature::feed`] and
+    /// fetches with [`ModelSignature::fetch`].
+    pub fn new() -> ModelSignature {
+        ModelSignature::default()
+    }
+
+    /// Adds a feed slot (builder style). `example_dims` excludes the batch
+    /// axis: a `[B, 8]` input declares `&[8]`.
+    pub fn feed(mut self, name: impl Into<String>, dtype: DType, example_dims: &[usize]) -> Self {
+        self.feeds.push(FeedSpec { name: name.into(), dtype, example_dims: example_dims.to_vec() });
+        self
+    }
+
+    /// Adds a fetch (builder style).
+    pub fn fetch(mut self, t: TensorRef) -> Self {
+        self.fetches.push(t);
+        self
+    }
+
+    /// Checks the signature itself against `graph` at registration time:
+    /// at least one feed and one fetch, no duplicate feed names, and every
+    /// feed naming a placeholder of the declared dtype. Catching this at
+    /// `register` keeps per-request validation meaningful.
+    pub fn check_against(&self, graph: &Graph) -> Result<()> {
+        if self.feeds.is_empty() {
+            return Err(ExecError::InvalidConfig(
+                "serving signature has no feeds: nothing to batch along".into(),
+            ));
+        }
+        if self.fetches.is_empty() {
+            return Err(ExecError::InvalidConfig("serving signature has no fetches".into()));
+        }
+        let mut placeholders: HashMap<&str, DType> = HashMap::new();
+        for node in graph.nodes() {
+            if let OpKind::Placeholder { name, dtype, .. } = &node.op {
+                placeholders.insert(name.as_str(), *dtype);
+            }
+        }
+        for (i, spec) in self.feeds.iter().enumerate() {
+            if self.feeds[..i].iter().any(|s| s.name == spec.name) {
+                return Err(ExecError::InvalidConfig(format!(
+                    "serving signature declares feed '{}' twice",
+                    spec.name
+                )));
+            }
+            match placeholders.get(spec.name.as_str()) {
+                None => {
+                    return Err(ExecError::InvalidConfig(format!(
+                        "serving signature feed '{}' names no placeholder in the graph",
+                        spec.name
+                    )))
+                }
+                Some(dt) if *dt != spec.dtype => {
+                    return Err(ExecError::InvalidConfig(format!(
+                        "serving signature feed '{}' declares {:?} but the placeholder is {:?}",
+                        spec.name, spec.dtype, dt
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates one request's feeds against the signature and returns the
+    /// request's batch-row count.
+    ///
+    /// Enforced per feed: present, declared dtype, rank
+    /// `1 + example_dims.len()`, trailing dims equal to `example_dims`,
+    /// and at least one row; all feeds of the request must agree on the
+    /// row count, and the request must not feed anything outside the
+    /// signature. Every violation is a structured
+    /// [`ExecError::BadFeedOrFetch`] raised at enqueue, never mid-step.
+    pub fn validate(&self, feeds: &HashMap<String, Tensor>) -> Result<usize> {
+        let mut rows: Option<usize> = None;
+        for spec in &self.feeds {
+            let t = feeds.get(&spec.name).ok_or_else(|| {
+                ExecError::BadFeedOrFetch(format!("request is missing feed '{}'", spec.name))
+            })?;
+            if t.dtype() != spec.dtype {
+                return Err(ExecError::BadFeedOrFetch(format!(
+                    "feed '{}' has dtype {:?}, signature requires {:?}",
+                    spec.name,
+                    t.dtype(),
+                    spec.dtype
+                )));
+            }
+            let dims = t.shape().dims();
+            if dims.len() != spec.example_dims.len() + 1 || dims[1..] != spec.example_dims[..] {
+                return Err(ExecError::BadFeedOrFetch(format!(
+                    "feed '{}' has shape {:?}, signature requires [rows]+{:?}",
+                    spec.name, dims, spec.example_dims
+                )));
+            }
+            if dims[0] == 0 {
+                return Err(ExecError::BadFeedOrFetch(format!(
+                    "feed '{}' has zero batch rows",
+                    spec.name
+                )));
+            }
+            match rows {
+                None => rows = Some(dims[0]),
+                Some(r) if r != dims[0] => {
+                    return Err(ExecError::BadFeedOrFetch(format!(
+                        "feed '{}' has {} rows, another feed of the request has {r}",
+                        spec.name, dims[0]
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(extra) = feeds.keys().find(|k| !self.feeds.iter().any(|s| &s.name == *k)) {
+            return Err(ExecError::BadFeedOrFetch(format!(
+                "request feeds '{extra}', which is not in the serving signature"
+            )));
+        }
+        Ok(rows.expect("signature has at least one feed"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_graph::GraphBuilder;
+
+    fn sig_and_graph() -> (ModelSignature, Graph) {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x", DType::F32);
+        let two = b.scalar_f32(2.0);
+        let y = b.mul(x, two).unwrap();
+        let sig = ModelSignature::new().feed("x", DType::F32, &[2]).fetch(y);
+        (sig, b.finish().unwrap())
+    }
+
+    fn feed(rows: usize) -> HashMap<String, Tensor> {
+        let mut m = HashMap::new();
+        m.insert("x".into(), Tensor::from_vec_f32(vec![1.0; rows * 2], &[rows, 2]).unwrap());
+        m
+    }
+
+    #[test]
+    fn valid_request_reports_rows() {
+        let (sig, g) = sig_and_graph();
+        sig.check_against(&g).unwrap();
+        assert_eq!(sig.validate(&feed(3)).unwrap(), 3);
+    }
+
+    #[test]
+    fn enqueue_validation_rejects_structurally() {
+        let (sig, _) = sig_and_graph();
+        // Missing feed.
+        let err = sig.validate(&HashMap::new()).unwrap_err();
+        assert!(matches!(err, ExecError::BadFeedOrFetch(_)), "{err}");
+        // Wrong dtype.
+        let mut m = HashMap::new();
+        m.insert("x".into(), Tensor::from_vec_i64(vec![1, 2], &[1, 2]).unwrap());
+        assert!(matches!(sig.validate(&m).unwrap_err(), ExecError::BadFeedOrFetch(_)));
+        // Wrong trailing shape.
+        let mut m = HashMap::new();
+        m.insert("x".into(), Tensor::from_vec_f32(vec![1.0; 3], &[1, 3]).unwrap());
+        assert!(matches!(sig.validate(&m).unwrap_err(), ExecError::BadFeedOrFetch(_)));
+        // Missing batch axis.
+        let mut m = HashMap::new();
+        m.insert("x".into(), Tensor::from_vec_f32(vec![1.0; 2], &[2]).unwrap());
+        assert!(matches!(sig.validate(&m).unwrap_err(), ExecError::BadFeedOrFetch(_)));
+        // Zero rows.
+        let mut m = HashMap::new();
+        m.insert("x".into(), Tensor::from_vec_f32(vec![], &[0, 2]).unwrap());
+        assert!(matches!(sig.validate(&m).unwrap_err(), ExecError::BadFeedOrFetch(_)));
+        // Extra feed.
+        let mut m = feed(1);
+        m.insert("y".into(), Tensor::scalar_f32(0.0));
+        assert!(matches!(sig.validate(&m).unwrap_err(), ExecError::BadFeedOrFetch(_)));
+    }
+
+    #[test]
+    fn mismatched_rows_across_feeds_rejected() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x", DType::F32);
+        let y = b.placeholder("y", DType::F32);
+        let z = b.add(x, y).unwrap();
+        let sig =
+            ModelSignature::new().feed("x", DType::F32, &[2]).feed("y", DType::F32, &[2]).fetch(z);
+        let g = b.finish().unwrap();
+        sig.check_against(&g).unwrap();
+        let mut m = HashMap::new();
+        m.insert("x".into(), Tensor::from_vec_f32(vec![1.0; 4], &[2, 2]).unwrap());
+        m.insert("y".into(), Tensor::from_vec_f32(vec![1.0; 6], &[3, 2]).unwrap());
+        assert!(matches!(sig.validate(&m).unwrap_err(), ExecError::BadFeedOrFetch(_)));
+    }
+
+    #[test]
+    fn registration_checks_signature_against_graph() {
+        let (_, g) = sig_and_graph();
+        // No feeds.
+        let e = ModelSignature::new().check_against(&g).unwrap_err();
+        assert!(matches!(e, ExecError::InvalidConfig(_)));
+        // Unknown placeholder.
+        let sig = ModelSignature::new()
+            .feed("nope", DType::F32, &[2])
+            .fetch(TensorRef { node: dcf_graph::NodeId(0), port: 0 });
+        assert!(matches!(sig.check_against(&g).unwrap_err(), ExecError::InvalidConfig(_)));
+        // Dtype mismatch with the placeholder.
+        let sig = ModelSignature::new()
+            .feed("x", DType::I64, &[2])
+            .fetch(TensorRef { node: dcf_graph::NodeId(0), port: 0 });
+        assert!(matches!(sig.check_against(&g).unwrap_err(), ExecError::InvalidConfig(_)));
+        // Duplicate feed.
+        let sig = ModelSignature::new()
+            .feed("x", DType::F32, &[2])
+            .feed("x", DType::F32, &[2])
+            .fetch(TensorRef { node: dcf_graph::NodeId(0), port: 0 });
+        assert!(matches!(sig.check_against(&g).unwrap_err(), ExecError::InvalidConfig(_)));
+    }
+}

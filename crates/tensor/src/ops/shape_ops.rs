@@ -65,6 +65,48 @@ impl Tensor {
         Tensor::from_parts(out_shape, data)
     }
 
+    /// Splits along axis 0 into consecutive blocks of `sizes` leading rows.
+    ///
+    /// The inverse of [`Tensor::concat0`] for the serving batcher's
+    /// gather/scatter: `concat0(&parts)?.split0(&row_counts)` returns the
+    /// original parts bit-identically. `sizes` must be non-empty and sum to
+    /// the leading dimension; a zero-sized part yields a tensor with zero
+    /// leading rows and the same trailing shape.
+    pub fn split0(&self, sizes: &[usize]) -> Result<Vec<Tensor>> {
+        if self.shape().is_scalar() {
+            return Err(TensorError::ShapeMismatch {
+                op: "split0",
+                lhs: self.shape().clone(),
+                rhs: None,
+            });
+        }
+        if sizes.is_empty() {
+            return Err(TensorError::InvalidArgument("split0 into zero parts".into()));
+        }
+        let lead = self.shape().dim(0);
+        if sizes.iter().sum::<usize>() != lead {
+            return Err(TensorError::InvalidArgument(format!(
+                "split0 sizes sum to {}, leading dimension is {lead}",
+                sizes.iter().sum::<usize>()
+            )));
+        }
+        let tail = self.shape().drop_leading()?;
+        let block = tail.num_elements();
+        let mut parts = Vec::with_capacity(sizes.len());
+        let mut row = 0usize;
+        for &n in sizes {
+            let (a, b) = (row * block, (row + n) * block);
+            let data = match self.data() {
+                Data::F32(v) => Data::F32(Arc::new(v[a..b].to_vec())),
+                Data::I64(v) => Data::I64(Arc::new(v[a..b].to_vec())),
+                Data::Bool(v) => Data::Bool(Arc::new(v[a..b].to_vec())),
+            };
+            parts.push(Tensor::from_parts(tail.prepend(n), data)?);
+            row += n;
+        }
+        Ok(parts)
+    }
+
     /// Concatenates rank-2 tensors along axis 1 (columns).
     ///
     /// This is the common "concatenate input and hidden state" step of an
@@ -328,6 +370,32 @@ mod tests {
         assert_eq!(parts[0].as_f32_slice().unwrap(), &[1.0, 4.0]);
         assert_eq!(parts[2].as_f32_slice().unwrap(), &[3.0, 6.0]);
         assert!(a.split1(3).is_err());
+    }
+
+    #[test]
+    fn split0_inverts_concat0() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![5.0, 6.0], &[1, 2]);
+        let c = t(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let merged = Tensor::concat0(&[a.clone(), b.clone(), c.clone()]).unwrap();
+        let parts = merged.split0(&[2, 1, 3]).unwrap();
+        assert!(parts[0].value_eq(&a));
+        assert!(parts[1].value_eq(&b));
+        assert!(parts[2].value_eq(&c));
+    }
+
+    #[test]
+    fn split0_validates_and_allows_empty_parts() {
+        let x = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        assert!(x.split0(&[]).is_err());
+        assert!(x.split0(&[2, 2]).is_err());
+        assert!(Tensor::scalar_f32(1.0).split0(&[1]).is_err());
+        let parts = x.split0(&[0, 3]).unwrap();
+        assert_eq!(parts[0].shape().dims(), &[0, 2]);
+        assert!(parts[1].value_eq(&x));
+        let i = Tensor::from_vec_i64(vec![7, 8], &[2]).unwrap();
+        let parts = i.split0(&[1, 1]).unwrap();
+        assert_eq!(parts[1].as_i64_slice().unwrap(), &[8]);
     }
 
     #[test]

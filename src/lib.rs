@@ -20,6 +20,9 @@
 //!   timeline.
 //! * [`exec`] — the tagged-token executor (mostly used via the session).
 //! * [`ml`] — LSTM / dynamic_rnn / MoE / DQN reference models.
+//! * [`serve`] — the dynamic-batching serving frontend:
+//!   [`serve::ModelRegistry`], per-model [`serve::Batcher`]s, admission
+//!   control, and serving metrics.
 //!
 //! # Quickstart
 //!
@@ -58,6 +61,7 @@ pub use dcf_exec as exec;
 pub use dcf_graph as graph;
 pub use dcf_ml as ml;
 pub use dcf_runtime as runtime;
+pub use dcf_serve as serve;
 pub use dcf_tensor as tensor;
 
 /// The most commonly used items, for glob import.
@@ -68,5 +72,6 @@ pub mod prelude {
     pub use dcf_runtime::{
         Cluster, NetworkModel, RunMetadata, RunOptions, Session, SessionOptions, TraceLevel,
     };
+    pub use dcf_serve::{BatchPolicy, ModelRegistry, ModelSignature, ModelSpec, Request};
     pub use dcf_tensor::{DType, Tensor, TensorRng};
 }
