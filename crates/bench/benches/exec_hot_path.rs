@@ -7,6 +7,19 @@
 //! wide (`parallel_iterations = 100`) variant. Throughput is derived from
 //! the executor's exact `ops_executed` counter, not an estimate, so the
 //! elem/s column is ops/s.
+//!
+//! Two further families judge the graph-optimization PR:
+//! `elemwise_chain/opt_{off,on}` measures full `Session` steps over a deep
+//! f32 elementwise chain with and without the optimization pipeline (the
+//! opt-on session must report at least one fused kernel or the bench
+//! aborts), and `pool_wakeup/workersN` isolates the worker pool's
+//! Mutex+Condvar hand-off cost on a strictly sequential job chain —
+//! the pure wake-up overhead that makes `tight_loop/workers8` slower
+//! than `workers1` on few-core hosts.
+//!
+//! Pass `--quick` for a CI smoke run: tiny sample counts, and the JSON
+//! report is *not* rewritten (the committed `BENCH_exec.json` stays a
+//! full-run artifact). The fused-kernel assertion still fires.
 
 use dcf_bench::microbench::Bench;
 use dcf_device::{
@@ -16,8 +29,12 @@ use dcf_exec::{
     ExecGraph, Executor, ExecutorOptions, InMemoryRendezvous, ResourceManager, RunConfig,
 };
 use dcf_graph::{GraphBuilder, TensorRef, WhileOptions};
-use std::collections::HashMap;
+use dcf_runtime::{Cluster, OptLevel, Session, SessionOptions};
+use dcf_sync::{Condvar, Mutex};
+use dcf_tensor::{DType, Tensor};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::thread;
 
 /// Builds an executor for `b`'s graph with `workers` worker threads.
 fn executor_for(b: GraphBuilder, workers: usize) -> Executor {
@@ -123,8 +140,172 @@ fn measure_traced(b: &mut Bench, name: &str, exec: &Executor, fetches: &[TensorR
     });
 }
 
+/// Builds a [`Session`] over a `depth`-round f32 elementwise chain
+/// (`mul → add → relu` per round) — the optimizer's fusion target.
+/// Returns the session and the chain's tail fetch.
+fn elemwise_chain_session(depth: usize, opt: OptLevel) -> (Session, TensorRef) {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", DType::F32);
+    let scale = g.scalar_f32(1.01);
+    let offset = g.scalar_f32(-0.005);
+    let mut t = x;
+    for _ in 0..depth {
+        t = g.mul(t, scale).expect("mul should build");
+        t = g.add(t, offset).expect("add should build");
+        t = g.relu(t).expect("relu should build");
+    }
+    let graph = g.finish().expect("chain graph should validate");
+    let sess = Session::new(
+        graph,
+        Cluster::single_cpu(),
+        SessionOptions::functional().with_optimization(opt),
+    )
+    .expect("session should build");
+    (sess, t)
+}
+
+/// Measures whole `Session` steps (feed → execute → fetch) of the
+/// elementwise chain under `opt`, reporting chain rounds per second.
+fn measure_chain(b: &mut Bench, name: &str, depth: usize, len: usize, opt: OptLevel) {
+    let (sess, tail) = elemwise_chain_session(depth, opt);
+    if opt != OptLevel::None {
+        let stats = sess.optimize_stats().expect("opt-on session must report stats");
+        assert!(
+            stats.fused >= 1,
+            "elemwise chain must produce at least one fused kernel, got {stats:?}"
+        );
+    }
+    let mut feeds = HashMap::new();
+    let data: Vec<f32> = (0..len).map(|i| (i as f32) / (len as f32) - 0.5).collect();
+    feeds.insert("x".to_string(), Tensor::from_vec_f32(data, &[len]).expect("feed tensor"));
+    let fetches = [tail];
+    b.throughput_case(name, depth as f64, || {
+        sess.run_simple(&feeds, &fetches).expect("bench step should run");
+    });
+}
+
+/// A bench-local replica of the executor worker pool's channel (a
+/// `Mutex<VecDeque>` + `Condvar`, see `crates/exec/src/pool.rs`): `workers`
+/// threads block on the condvar, and the submitter pushes jobs one at a
+/// time, waiting for each completion before the next push — the access
+/// pattern of a sequential dependency chain, where at most one node is
+/// ready at any instant. The measured cost is pure hand-off: futex wake,
+/// context switch to whichever worker wins, and the completion signal
+/// back. More parked workers mean more wake-up lottery and cache churn
+/// with zero extra parallelism to show for it.
+struct WakeupPool {
+    queue: Arc<PoolShared>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+struct PoolShared {
+    jobs: Mutex<(VecDeque<u64>, bool)>,
+    available: Condvar,
+    done: Mutex<u64>,
+    completed: Condvar,
+}
+
+impl WakeupPool {
+    fn new(workers: usize) -> WakeupPool {
+        let shared = Arc::new(PoolShared {
+            jobs: Mutex::new((VecDeque::new(), false)),
+            available: Condvar::new(),
+            done: Mutex::new(0),
+            completed: Condvar::new(),
+        });
+        let threads = (0..workers)
+            .map(|_| {
+                let s = shared.clone();
+                thread::spawn(move || loop {
+                    let job = {
+                        let mut guard = s.jobs.lock();
+                        loop {
+                            if let Some(j) = guard.0.pop_front() {
+                                break j;
+                            }
+                            if guard.1 {
+                                return;
+                            }
+                            s.available.wait(&mut guard);
+                        }
+                    };
+                    let _ = job;
+                    *s.done.lock() += 1;
+                    s.completed.notify_all();
+                })
+            })
+            .collect();
+        WakeupPool { queue: shared, threads }
+    }
+
+    /// Submits `jobs` strictly sequentially: each push waits for the
+    /// previous job's completion signal first.
+    fn run_sequential(&self, jobs: u64) {
+        let start = *self.queue.done.lock();
+        for i in 0..jobs {
+            {
+                let mut guard = self.queue.jobs.lock();
+                guard.0.push_back(i);
+            }
+            self.queue.available.notify_one();
+            let mut done = self.queue.done.lock();
+            while *done < start + i + 1 {
+                self.queue.completed.wait(&mut done);
+            }
+        }
+    }
+}
+
+impl Drop for WakeupPool {
+    fn drop(&mut self) {
+        {
+            let mut guard = self.queue.jobs.lock();
+            guard.1 = true;
+        }
+        self.queue.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
 fn main() {
-    let mut b = Bench::new().sample_size(15).warmup(3);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut b = if quick {
+        Bench::new().sample_size(3).warmup(1)
+    } else {
+        Bench::new().sample_size(15).warmup(3)
+    };
+    let wakeup_jobs: u64 = if quick { 200 } else { 2000 };
+    let chain_depth = if quick { 16 } else { 64 };
+
+    // Per-step session latency over a deep elementwise chain, optimization
+    // off vs on: the headline for the graph-optimization PR. The opt-on
+    // leg asserts the fused-kernel counter is live (CI smoke relies on
+    // this), so a silent fusion regression fails the bench rather than
+    // quietly converging the two numbers.
+    for (name, opt) in
+        [("elemwise_chain/opt_off", OptLevel::None), ("elemwise_chain/opt_on", OptLevel::Standard)]
+    {
+        measure_chain(&mut b, name, chain_depth, 1024, opt);
+    }
+
+    // Pool wake-up overhead: a sequential job chain through the pool's
+    // Mutex+Condvar channel at increasing worker counts. No real work per
+    // job, so the slope across workers is pure scheduling overhead.
+    for workers in [1usize, 2, 4, 8] {
+        let pool = WakeupPool::new(workers);
+        b.throughput_case(&format!("pool_wakeup/workers{workers}"), wakeup_jobs as f64, || {
+            pool.run_sequential(wakeup_jobs);
+        });
+    }
+
+    if quick {
+        // Smoke mode: the remaining families are full-run only, and the
+        // committed JSON artifact is left untouched.
+        println!("--quick: skipping full families and JSON report");
+        return;
+    }
 
     // Tight loop, 1000 trips, default window: the worker-scaling headline.
     for workers in [1usize, 2, 4, 8] {

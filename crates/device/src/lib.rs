@@ -45,8 +45,8 @@ pub use device::{Device, DeviceId, Kernel, KernelOutput, StreamKind};
 pub use memory::{MemoryError, TrackingAllocator};
 pub use profile::DeviceProfile;
 pub use stats::{
-    DeviceCollector, DeviceStepStats, FrameStats, KernelStats, MemStats, NodeStats, RendezvousKind,
-    RendezvousWait, StepStats, StepStatsCollector, TraceLevel, TransferStats,
+    DeviceCollector, DeviceStepStats, FrameStats, KernelStats, MemStats, NodeStats, OptimizeStats,
+    RendezvousKind, RendezvousWait, StepStats, StepStatsCollector, TraceLevel, TransferStats,
 };
 pub use stream::Event;
 pub use timeline::{TimelineEvent, Tracer};

@@ -166,6 +166,31 @@ pub struct DeviceStepStats {
     pub memory: Option<MemStats>,
 }
 
+/// Per-pass rewrite counters of the session's one-time graph optimization.
+///
+/// Filled at session construction and copied into every run's metadata:
+/// optimization happens once per compiled graph, not per step, so these
+/// are compile-time facts about the graph the steps execute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Nodes replaced by constants (constant propagation).
+    pub folded: usize,
+    /// Duplicate nodes merged by common-subexpression elimination.
+    pub cse: usize,
+    /// Dead nodes physically removed (and the node table compacted) by
+    /// the pruning pass: CSE duplicates and fusion-absorbed members.
+    pub pruned: usize,
+    /// `Fused` nodes created by elementwise-chain fusion.
+    pub fused: usize,
+    /// Original elementwise nodes collapsed into those `Fused` nodes.
+    pub fused_away: usize,
+    /// Wall time of the whole pipeline, µs.
+    pub wall_us: u64,
+    /// `true` if the session reused a cached compiled graph (the counters
+    /// then describe the cached artifact's original optimization).
+    pub cache_hit: bool,
+}
+
 /// The merged statistics of one traced run, returned inside the session's
 /// `RunMetadata`.
 #[derive(Clone, Debug, Default)]
@@ -178,6 +203,9 @@ pub struct StepStats {
     /// Chrome-trace export as a track-name suffix so traces of batched
     /// serving steps stay distinguishable when several are merged.
     pub tag: String,
+    /// The session's one-time graph-optimization counters, when the
+    /// session ran the pipeline (`None` under `OptLevel::None`).
+    pub optimization: Option<OptimizeStats>,
 }
 
 /// Number of shard buffers. Recording threads hash to a shard by their
@@ -344,7 +372,7 @@ impl StepStatsCollector {
             dev.rendezvous.sort_by_key(|w| (w.start_us, w.key.clone()));
         }
         transfers.sort_by_key(|t| (t.start_us, t.key.clone()));
-        StepStats { devices, transfers, tag: String::new() }
+        StepStats { devices, transfers, tag: String::new(), optimization: None }
     }
 }
 
@@ -503,6 +531,19 @@ impl StepStats {
     /// high-water marks, and network transfers.
     pub fn summary_report(&self, top_n: usize) -> String {
         let mut out = String::new();
+        if let Some(o) = &self.optimization {
+            out.push_str(&format!(
+                "graph optimization: {} folded, {} CSE'd, {} pruned, {} fused ({} nodes \
+                 collapsed), {} us{}\n",
+                o.folded,
+                o.cse,
+                o.pruned,
+                o.fused,
+                o.fused_away,
+                o.wall_us,
+                if o.cache_hit { " (cached compile)" } else { "" }
+            ));
+        }
         for dev in &self.devices {
             out.push_str(&format!("== {} ==\n", dev.device));
 

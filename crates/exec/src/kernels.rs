@@ -112,8 +112,126 @@ pub fn execute_op(op: &OpKind, inputs: &[&Tensor]) -> Result<Vec<Tensor>, String
         OpKind::ScatterAdd0 { rows } => {
             one(Tensor::scatter_add0(*rows, inputs[0], inputs[1]).map_err(e)?)
         }
+        OpKind::Fused(spec) => one(execute_fused(spec, inputs)?),
         other => Err(format!("execute_op called on non-pure op {}", other.name())),
     }
+}
+
+/// Executes a fused elementwise program in one pass.
+///
+/// Fast path (all-`f32` inputs that are either full-size with identical
+/// dims or single-element broadcasts): a register-file interpreter runs
+/// the whole program per element, touching one output allocation instead
+/// of one per chain link. Anything else falls back to evaluating the
+/// steps with ordinary tensor ops (full broadcasting semantics).
+fn execute_fused(spec: &dcf_graph::FusedSpec, inputs: &[&Tensor]) -> Result<Tensor, String> {
+    if inputs.len() != spec.n_inputs {
+        return Err(format!(
+            "Fused({}): expected {} inputs, got {}",
+            spec.label,
+            spec.n_inputs,
+            inputs.len()
+        ));
+    }
+    if spec.steps.is_empty() {
+        return Err(format!("Fused({}): empty program", spec.label));
+    }
+    for (k, step) in spec.steps.iter().enumerate() {
+        let live = spec.n_inputs + k;
+        // `b` is ignored for unary ops but must still be in bounds (the
+        // interpreter indexes it unconditionally; the pass emits 0).
+        let b_bound = if step.op.arity() == 2 { live } else { spec.n_inputs + spec.steps.len() };
+        if step.a >= live || step.b >= b_bound {
+            return Err(format!(
+                "Fused({}): step {k} reads a register that is not yet written",
+                spec.label
+            ));
+        }
+    }
+
+    // Fast-path eligibility.
+    let mut slices: Vec<&[f32]> = Vec::with_capacity(inputs.len());
+    let mut fast = true;
+    for t in inputs {
+        match t.as_f32_slice() {
+            Ok(s) => slices.push(s),
+            Err(_) => {
+                fast = false;
+                break;
+            }
+        }
+    }
+    let mut out_dims: Option<&[usize]> = None;
+    if fast {
+        for t in inputs {
+            if t.num_elements() == 1 {
+                continue;
+            }
+            match out_dims {
+                None => out_dims = Some(t.shape().dims()),
+                Some(d) if d == t.shape().dims() => {}
+                _ => {
+                    fast = false;
+                    break;
+                }
+            }
+        }
+        // All-single-element inputs with differing shapes (e.g. `[]` vs
+        // `[1]`) need real broadcasting to pick the output rank.
+        if fast && out_dims.is_none() {
+            let d0 = inputs[0].shape().dims();
+            if inputs.iter().all(|t| t.shape().dims() == d0) {
+                out_dims = Some(d0);
+            } else {
+                fast = false;
+            }
+        }
+    }
+
+    if fast {
+        let dims = out_dims.expect("set above").to_vec();
+        let n: usize = dims.iter().product::<usize>().max(1);
+        let n_regs = spec.n_inputs + spec.steps.len();
+        let mut regs = vec![0f32; n_regs];
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            for (k, s) in slices.iter().enumerate() {
+                regs[k] = if s.len() == 1 { s[0] } else { s[i] };
+            }
+            for (k, step) in spec.steps.iter().enumerate() {
+                regs[spec.n_inputs + k] = step.op.apply(regs[step.a], regs[step.b]);
+            }
+            out.push(regs[n_regs - 1]);
+        }
+        return Tensor::from_vec_f32(out, &dims).map_err(|e| e.to_string());
+    }
+
+    // Fallback: evaluate step by step with broadcasting tensor ops.
+    let e = |s: dcf_tensor::TensorError| s.to_string();
+    let mut regs: Vec<Tensor> = inputs.iter().map(|t| (*t).clone()).collect();
+    for step in &spec.steps {
+        use dcf_graph::FusedOp;
+        let a = &regs[step.a];
+        let r = match step.op {
+            FusedOp::Add => a.add(&regs[step.b]).map_err(e)?,
+            FusedOp::Sub => a.sub(&regs[step.b]).map_err(e)?,
+            FusedOp::Mul => a.mul(&regs[step.b]).map_err(e)?,
+            FusedOp::Div => a.div(&regs[step.b]).map_err(e)?,
+            FusedOp::Maximum => a.maximum(&regs[step.b]).map_err(e)?,
+            FusedOp::Minimum => a.minimum(&regs[step.b]).map_err(e)?,
+            FusedOp::Neg => a.neg().map_err(e)?,
+            FusedOp::Exp => a.exp().map_err(e)?,
+            FusedOp::Log => a.log().map_err(e)?,
+            FusedOp::Sqrt => a.sqrt().map_err(e)?,
+            FusedOp::Square => a.square().map_err(e)?,
+            FusedOp::Abs => a.abs().map_err(e)?,
+            FusedOp::Sigmoid => a.sigmoid().map_err(e)?,
+            FusedOp::Tanh => a.tanh().map_err(e)?,
+            FusedOp::Relu => a.relu().map_err(e)?,
+        };
+        regs.push(r);
+    }
+    Ok(regs.pop().expect("steps is non-empty"))
 }
 
 /// Estimates the device cost of one operation application.
@@ -159,7 +277,8 @@ pub fn op_cost(op: &OpKind, inputs: &[&Tensor], cm: &CostModel) -> OpCost {
         | OpKind::BroadcastLike
         | OpKind::Concat0Grad { .. }
         | OpKind::Concat1Grad { .. }
-        | OpKind::Index0Grad => {
+        | OpKind::Index0Grad
+        | OpKind::Fused(_) => {
             // Use the largest operand as the traffic estimate.
             let shape = inputs
                 .iter()

@@ -290,11 +290,15 @@ impl ResourceManager {
     /// persist.
     pub fn drop_step_transients(&self, step: StepId) {
         self.stacks.lock().retain(|_, s| s.owner != step);
+        // Lock order: grad_map before arrays, matching `array_grad` — the
+        // reverse order deadlocks (ABBA) against a concurrent gradient
+        // lookup that holds grad_map while it waits for arrays.
+        let mut grad_map = self.grad_map.lock();
         let mut arrays = self.arrays.lock();
         arrays.retain(|_, a| a.owner != step);
         // Gradient-map entries are keyed by forward handle; an entry whose
         // forward array is gone can never be looked up again, so purge it.
-        self.grad_map.lock().retain(|(fwd, _), _| arrays.contains_key(fwd));
+        grad_map.retain(|(fwd, _), _| arrays.contains_key(fwd));
     }
 
     /// Number of live transient resources (stacks + arrays) owned by

@@ -1,3 +1,8 @@
+//! Lock-order probe: gradient-array lookups (`array_grad`: grad_map →
+//! arrays) racing step teardown (`drop_step_transients`, which must take
+//! the same order). With the orders reversed this deadlocked within
+//! milliseconds on a single-core host — the probe hung, it did not fail.
+
 use dcf_exec::ResourceManager;
 use dcf_tensor::DType;
 use std::sync::Arc;
@@ -5,19 +10,23 @@ use std::thread;
 
 #[test]
 fn abba_probe() {
+    // 10k iterations per thread keep the probe's wall time bounded on a
+    // contended single core (the futex ping-pong dominates); the original
+    // deadlock fired on the first few hand-offs, so depth adds nothing.
+    const ITERS: u64 = 10_000;
     let rm = Arc::new(ResourceManager::new());
     let mut hs = vec![];
     for t in 0..4u64 {
         let rm2 = rm.clone();
         hs.push(thread::spawn(move || {
-            for _ in 0..100000u64 {
+            for _ in 0..ITERS {
                 let id = rm2.array_create(t, DType::F32, false, 1);
                 let _ = rm2.array_grad(id, "g");
             }
         }));
         let rm3 = rm.clone();
         hs.push(thread::spawn(move || {
-            for _ in 0..100000u64 {
+            for _ in 0..ITERS {
                 rm3.drop_step_transients(t);
             }
         }));

@@ -381,6 +381,7 @@ impl Graph {
             ScatterAdd0 { rows } => {
                 one(get(1).and_then(|s| s.drop_leading().ok()).map(|t| t.prepend(*rows)))
             }
+            Fused(_) => one(bcast()),
             Switch => vec![get(0), get(0)],
             Merge => {
                 let a = get(0);
@@ -690,7 +691,250 @@ impl Graph {
             Send { .. } => vec![],
             Recv { dtype, .. } => vec![*dtype],
             NoOp | ControlTrigger => vec![],
+            Fused(spec) => {
+                for i in 0..spec.n_inputs {
+                    req(i, DType::F32)?;
+                }
+                vec![DType::F32]
+            }
         })
+    }
+
+    /// A 64-bit structural fingerprint of the graph.
+    ///
+    /// Two graphs built by the same construction code hash identically:
+    /// the hash covers ops (including constant values and attributes),
+    /// data and control edges, contexts, device specs, and output dtypes —
+    /// but **not** node names, so the builder's name counters do not
+    /// perturb it. Used to key the process-wide compiled-graph cache;
+    /// collisions only cost a duplicate compile if the keyed map also
+    /// compares the fingerprint's companion fields, so callers should pair
+    /// the hash with cheap discriminants (node count, cluster spec).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        fnv(&mut h, &self.nodes.len().to_le_bytes());
+        for n in &self.nodes {
+            // Debug renderings are faithful (derived, f32 round-trips) and
+            // deterministic; 0xff separators cannot occur in UTF-8.
+            fnv(&mut h, format!("{:?}", n.op).as_bytes());
+            fnv(&mut h, &[0xff]);
+            for i in &n.inputs {
+                fnv(&mut h, &i.node.0.to_le_bytes());
+                fnv(&mut h, &i.port.to_le_bytes());
+            }
+            fnv(&mut h, &[0xff]);
+            for c in &n.control_inputs {
+                fnv(&mut h, &c.0.to_le_bytes());
+            }
+            fnv(&mut h, &[0xff]);
+            fnv(&mut h, &n.ctx.0.to_le_bytes());
+            fnv(&mut h, n.device.as_deref().unwrap_or("").as_bytes());
+            fnv(&mut h, &[0xff]);
+            for d in &n.out_dtypes {
+                fnv(&mut h, format!("{d:?}").as_bytes());
+            }
+            fnv(&mut h, &[0xff]);
+        }
+        for c in &self.contexts {
+            fnv(&mut h, &c.id.0.to_le_bytes());
+            fnv(&mut h, &c.parent.map(|p| p.0 + 1).unwrap_or(0).to_le_bytes());
+            fnv(&mut h, format!("{:?}", c.kind).as_bytes());
+            fnv(&mut h, &[0xff]);
+        }
+        h
+    }
+
+    /// Redirects every use of `from` (data inputs on any port, control
+    /// edges, and control-flow context metadata) to `to`, deduplicating
+    /// control edges that collapse together. The `from` node itself is
+    /// left in place (typically for a later [`Graph::prune_nodes`]).
+    ///
+    /// Common-subexpression elimination uses this to merge structurally
+    /// identical nodes; it is only meaningful when `from` and `to` have
+    /// the same output signature.
+    pub fn replace_uses(&mut self, from: NodeId, to: NodeId) {
+        if from == to {
+            return;
+        }
+        for n in &mut self.nodes {
+            for inp in &mut n.inputs {
+                if inp.node == from {
+                    inp.node = to;
+                }
+            }
+            let mut changed = false;
+            for c in &mut n.control_inputs {
+                if *c == from {
+                    *c = to;
+                    changed = true;
+                }
+            }
+            if changed {
+                let mut seen: Vec<NodeId> = Vec::with_capacity(n.control_inputs.len());
+                n.control_inputs.retain(|c| {
+                    if seen.contains(c) {
+                        false
+                    } else {
+                        seen.push(*c);
+                        true
+                    }
+                });
+            }
+        }
+        for_each_context_ref(&mut self.contexts, |t| {
+            if t.node == from {
+                t.node = to;
+            }
+        });
+    }
+
+    /// Rewrites a node's operation and data inputs in place, keeping its
+    /// id, name, context, device, control inputs, and output signature
+    /// (dtypes/shapes). Fusion uses this to turn the last node of an
+    /// elementwise chain into the [`OpKind::Fused`] node; the caller must
+    /// ensure the new op produces the same outputs.
+    pub fn rewrite_node(&mut self, id: NodeId, op: OpKind, inputs: Vec<TensorRef>) {
+        let n = &mut self.nodes[id.0];
+        n.op = op;
+        n.inputs = inputs;
+    }
+
+    /// Removes every node whose `keep` entry is `false`, compacting the
+    /// node table and remapping all ids (edges and context metadata).
+    ///
+    /// Returns the old-id → new-id map so callers can translate
+    /// outstanding `TensorRef`s (`None` for dropped nodes). Fails without
+    /// modifying the graph if a kept node or a context still references a
+    /// dropped node.
+    pub fn prune_nodes(&mut self, keep: &[bool]) -> Result<Vec<Option<NodeId>>> {
+        if keep.len() != self.nodes.len() {
+            return Err(GraphError::Invalid(format!(
+                "prune_nodes: keep mask has {} entries for {} nodes",
+                keep.len(),
+                self.nodes.len()
+            )));
+        }
+        let mut remap: Vec<Option<NodeId>> = Vec::with_capacity(self.nodes.len());
+        let mut next = 0usize;
+        for &k in keep {
+            if k {
+                remap.push(Some(NodeId(next)));
+                next += 1;
+            } else {
+                remap.push(None);
+            }
+        }
+        for n in &self.nodes {
+            if remap[n.id.0].is_none() {
+                continue;
+            }
+            for inp in &n.inputs {
+                if remap[inp.node.0].is_none() {
+                    return Err(GraphError::DanglingRef(format!(
+                        "prune_nodes would orphan {}: data input from dropped node {:?}",
+                        n.name, inp.node
+                    )));
+                }
+            }
+            for c in &n.control_inputs {
+                if remap[c.0].is_none() {
+                    return Err(GraphError::DanglingRef(format!(
+                        "prune_nodes would orphan {}: control input from dropped node {:?}",
+                        n.name, c
+                    )));
+                }
+            }
+        }
+        let mut dangling_ctx: Option<NodeId> = None;
+        for_each_context_ref(&mut self.contexts, |t| {
+            if remap[t.node.0].is_none() && dangling_ctx.is_none() {
+                dangling_ctx = Some(t.node);
+            }
+        });
+        if let Some(id) = dangling_ctx {
+            return Err(GraphError::DanglingRef(format!(
+                "prune_nodes: a control-flow context references dropped node {id:?}"
+            )));
+        }
+        let old = std::mem::take(&mut self.nodes);
+        for mut n in old {
+            let Some(new_id) = remap[n.id.0] else { continue };
+            n.id = new_id;
+            for inp in &mut n.inputs {
+                inp.node = remap[inp.node.0].expect("checked above");
+            }
+            for c in &mut n.control_inputs {
+                *c = remap[c.0].expect("checked above");
+            }
+            self.nodes.push(n);
+        }
+        for_each_context_ref(&mut self.contexts, |t| {
+            t.node = remap[t.node.0].expect("checked above");
+        });
+        Ok(remap)
+    }
+}
+
+/// FNV-1a accumulation step.
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h = (*h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Applies `f` to every `TensorRef` stored in control-flow context
+/// metadata (predicates, captures, merges, loop plumbing).
+fn for_each_context_ref(contexts: &mut [Context], mut f: impl FnMut(&mut TensorRef)) {
+    for ctx in contexts {
+        match &mut ctx.kind {
+            ContextKind::Root => {}
+            ContextKind::Cond(c) => {
+                f(&mut c.pred);
+                for (a, b) in &mut c.captures {
+                    f(a);
+                    f(b);
+                }
+                for t in &mut c.results {
+                    f(t);
+                }
+                for t in &mut c.merges {
+                    f(t);
+                }
+            }
+            ContextKind::While(w) => {
+                for t in &mut w.enters {
+                    f(t);
+                }
+                for t in &mut w.merges {
+                    f(t);
+                }
+                for t in &mut w.body_inputs {
+                    f(t);
+                }
+                for t in &mut w.body_results {
+                    f(t);
+                }
+                for t in &mut w.exits {
+                    f(t);
+                }
+                if let Some(t) = w.loop_cond.as_mut() {
+                    f(t);
+                }
+                if let Some(t) = w.counter_merge.as_mut() {
+                    f(t);
+                }
+                if let Some(t) = w.counter_body.as_mut() {
+                    f(t);
+                }
+                if let Some(t) = w.counter_exit.as_mut() {
+                    f(t);
+                }
+                for (a, b) in &mut w.captures {
+                    f(a);
+                    f(b);
+                }
+            }
+        }
     }
 }
 

@@ -67,7 +67,7 @@ pub use control_flow::WhileOptions;
 pub use error::GraphError;
 pub use graph::{Graph, NodeId, TensorRef};
 pub use node::Node;
-pub use op::OpKind;
+pub use op::{FusedOp, FusedSpec, FusedStep, OpKind};
 pub use tensor_array::TensorArrayHandle;
 
 /// Convenience alias for fallible graph-construction operations.

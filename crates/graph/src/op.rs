@@ -356,6 +356,153 @@ pub enum OpKind {
     /// A source that emits one live signal when its frame starts. Used by
     /// the partition-local control-loop state machine (§4.4).
     ControlTrigger,
+
+    /// A straight-line elementwise program produced by the fusion pass.
+    ///
+    /// Replaces a chain of `f32` elementwise nodes with one node executed
+    /// by a single interpreter kernel (one output allocation instead of one
+    /// per chain link, one scheduler activation instead of N). Never built
+    /// by `GraphBuilder`; only the optimizer creates these.
+    Fused(FusedSpec),
+}
+
+/// A primitive scalar operation inside a [`FusedSpec`] program.
+///
+/// The set mirrors the pure `f32` elementwise subset of [`OpKind`] that
+/// the fusion pass is allowed to collapse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants mirror the identically-named OpKind ops
+pub enum FusedOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Maximum,
+    Minimum,
+    Neg,
+    Exp,
+    Log,
+    Sqrt,
+    Square,
+    Abs,
+    Sigmoid,
+    Tanh,
+    Relu,
+}
+
+impl FusedOp {
+    /// Number of scalar operands (1 or 2).
+    pub fn arity(&self) -> usize {
+        match self {
+            FusedOp::Add
+            | FusedOp::Sub
+            | FusedOp::Mul
+            | FusedOp::Div
+            | FusedOp::Maximum
+            | FusedOp::Minimum => 2,
+            _ => 1,
+        }
+    }
+
+    /// Short stable name (used in fused-node labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FusedOp::Add => "Add",
+            FusedOp::Sub => "Sub",
+            FusedOp::Mul => "Mul",
+            FusedOp::Div => "Div",
+            FusedOp::Maximum => "Maximum",
+            FusedOp::Minimum => "Minimum",
+            FusedOp::Neg => "Neg",
+            FusedOp::Exp => "Exp",
+            FusedOp::Log => "Log",
+            FusedOp::Sqrt => "Sqrt",
+            FusedOp::Square => "Square",
+            FusedOp::Abs => "Abs",
+            FusedOp::Sigmoid => "Sigmoid",
+            FusedOp::Tanh => "Tanh",
+            FusedOp::Relu => "Relu",
+        }
+    }
+
+    /// Maps a fusable [`OpKind`] to its scalar primitive; `None` for ops
+    /// the fusion pass must not touch.
+    pub fn from_op_kind(op: &OpKind) -> Option<FusedOp> {
+        match op {
+            OpKind::Add => Some(FusedOp::Add),
+            OpKind::Sub => Some(FusedOp::Sub),
+            OpKind::Mul => Some(FusedOp::Mul),
+            OpKind::Div => Some(FusedOp::Div),
+            OpKind::Maximum => Some(FusedOp::Maximum),
+            OpKind::Minimum => Some(FusedOp::Minimum),
+            OpKind::Neg => Some(FusedOp::Neg),
+            OpKind::Exp => Some(FusedOp::Exp),
+            OpKind::Log => Some(FusedOp::Log),
+            OpKind::Sqrt => Some(FusedOp::Sqrt),
+            OpKind::Square => Some(FusedOp::Square),
+            OpKind::Abs => Some(FusedOp::Abs),
+            OpKind::Sigmoid => Some(FusedOp::Sigmoid),
+            OpKind::Tanh => Some(FusedOp::Tanh),
+            OpKind::Relu => Some(FusedOp::Relu),
+            _ => None,
+        }
+    }
+
+    /// Applies the scalar primitive (`b` is ignored for unary ops).
+    #[inline]
+    pub fn apply(&self, a: f32, b: f32) -> f32 {
+        match self {
+            FusedOp::Add => a + b,
+            FusedOp::Sub => a - b,
+            FusedOp::Mul => a * b,
+            FusedOp::Div => a / b,
+            FusedOp::Maximum => a.max(b),
+            FusedOp::Minimum => a.min(b),
+            FusedOp::Neg => -a,
+            FusedOp::Exp => a.exp(),
+            FusedOp::Log => a.ln(),
+            FusedOp::Sqrt => a.sqrt(),
+            FusedOp::Square => a * a,
+            FusedOp::Abs => a.abs(),
+            FusedOp::Sigmoid => 1.0 / (1.0 + (-a).exp()),
+            FusedOp::Tanh => a.tanh(),
+            FusedOp::Relu => a.max(0.0),
+        }
+    }
+}
+
+/// One step of a fused program: three-address code over a register file.
+///
+/// Registers `0..n_inputs` hold the node's data inputs; register
+/// `n_inputs + k` holds the result of step `k`. The node's single output
+/// is the last step's register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FusedStep {
+    /// The scalar primitive.
+    pub op: FusedOp,
+    /// First operand register.
+    pub a: usize,
+    /// Second operand register (ignored when `op` is unary).
+    pub b: usize,
+}
+
+/// The program carried by an [`OpKind::Fused`] node.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FusedSpec {
+    /// Number of external data inputs (registers `0..n_inputs`).
+    pub n_inputs: usize,
+    /// The straight-line program; never empty.
+    pub steps: Vec<FusedStep>,
+    /// Human-readable summary, e.g. `"Mul+Add+Tanh"`. Derived
+    /// deterministically from `steps`, so equal programs have equal labels.
+    pub label: String,
+}
+
+impl FusedSpec {
+    /// The register index holding the node's output.
+    pub fn output_register(&self) -> usize {
+        self.n_inputs + self.steps.len() - 1
+    }
 }
 
 impl OpKind {
@@ -448,6 +595,7 @@ impl OpKind {
             OpKind::Recv { .. } => "Recv",
             OpKind::NoOp => "NoOp",
             OpKind::ControlTrigger => "ControlTrigger",
+            OpKind::Fused(_) => "Fused",
         }
     }
 

@@ -34,16 +34,16 @@ mod session;
 pub use cluster::Cluster;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RetryPolicy, WorkerStall};
 pub use netsim::{NetworkModel, NetworkRendezvous};
-pub use optimize::fold_constants;
+pub use optimize::{fold_constants, optimize, OptLevel, OptimizeOutcome};
 pub use partition::{partition_graph, PartitionedGraph};
 pub use placer::place_nodes;
-pub use session::{RunMetadata, RunOptions, Session, SessionOptions};
+pub use session::{compile_count, RunMetadata, RunOptions, Session, SessionOptions};
 
 // Step-stats vocabulary, re-exported so session users need not depend on
 // `dcf-device` directly.
 pub use dcf_device::{
     chrome_trace_json, DeviceStepStats, FrameStats, KernelStats, MemStats, NodeStats,
-    RendezvousKind, RendezvousWait, StepStats, TraceLevel, TransferStats,
+    OptimizeStats, RendezvousKind, RendezvousWait, StepStats, TraceLevel, TransferStats,
 };
 
 /// Convenience alias: runtime errors are executor errors.

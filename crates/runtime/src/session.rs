@@ -3,17 +3,20 @@
 use crate::cluster::Cluster;
 use crate::fault::{FaultEvent, FaultPlan, RetryPolicy};
 use crate::netsim::{NetworkModel, NetworkRendezvous};
+use crate::optimize::{optimize, OptLevel};
 use crate::partition::{partition_graph, PartitionedGraph};
 use crate::placer::place_nodes;
 use crate::Result;
-use dcf_device::{DeviceCollector, DeviceId, StepStats, StepStatsCollector, TraceLevel};
+use dcf_device::{
+    DeviceCollector, DeviceId, OptimizeStats, StepStats, StepStatsCollector, TraceLevel,
+};
 use dcf_exec::{
     CancelToken, ExecGraph, Executor, ExecutorOptions, Rendezvous, ResourceManager, RunConfig,
 };
-use dcf_graph::{Graph, TensorRef};
+use dcf_graph::{Graph, NodeId, TensorRef};
 use dcf_sync::{Condvar, Mutex};
 use dcf_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,6 +40,11 @@ pub struct SessionOptions {
     /// unsatisfiable configuration and every run fails with
     /// [`dcf_exec::ExecError::InvalidConfig`].
     pub max_concurrent_steps: Option<usize>,
+    /// How much graph rewriting to perform at session build time. The
+    /// default honors the `DCF_OPT` environment variable (see
+    /// [`OptLevel::default`]); [`OptLevel::None`] executes the graph
+    /// exactly as built, with no hidden re-folding.
+    pub opt: OptLevel,
 }
 
 impl SessionOptions {
@@ -46,6 +54,7 @@ impl SessionOptions {
             executor: ExecutorOptions::default(),
             network: NetworkModel::disabled(),
             max_concurrent_steps: None,
+            opt: OptLevel::default(),
         }
     }
 
@@ -64,6 +73,15 @@ impl SessionOptions {
     /// Caps concurrently executing steps at `limit` (builder style).
     pub fn with_max_concurrent_steps(mut self, limit: usize) -> SessionOptions {
         self.max_concurrent_steps = Some(limit);
+        self
+    }
+
+    /// Sets the graph-optimization level (builder style).
+    /// [`OptLevel::None`] disables all rewriting, making the session an
+    /// honest baseline for benchmarking and a fallback for fetching
+    /// intermediate nodes that the optimizer would collapse.
+    pub fn with_optimization(mut self, opt: OptLevel) -> SessionOptions {
+        self.opt = opt;
         self
     }
 }
@@ -224,6 +242,73 @@ pub struct RunMetadata {
     /// a successful run. Populated even when the error itself is returned,
     /// so metadata consumers need not re-derive it.
     pub abort_reason: Option<String>,
+    /// Compile-time graph-optimization counters for the graph this run
+    /// executed (folded/CSE'd/pruned/fused, pipeline wall time, and
+    /// whether the compilation was served from the process-wide cache).
+    /// `None` when the session was built with [`OptLevel::None`].
+    pub optimization: Option<OptimizeStats>,
+}
+
+/// The device-independent product of compiling a graph for a cluster:
+/// the optimized, placed, partitioned graph plus the per-device dataflow
+/// structures. Everything device-*bound* (executors, rendezvous,
+/// resources) is rebuilt per session; everything here is shared between
+/// sessions with identical (graph, cluster, optimization) specs via the
+/// process-wide cache.
+struct CompiledGraph {
+    pg: PartitionedGraph,
+    exec_graphs: Vec<(DeviceId, Arc<ExecGraph>)>,
+    /// Pre-optimization node id → post-optimization node id (`None` if
+    /// the node was folded into a fused kernel or pruned).
+    remap: Vec<Option<NodeId>>,
+    stats: OptimizeStats,
+    fingerprint: u64,
+}
+
+/// Process-wide compiled-graph cache, keyed by (graph fingerprint, node
+/// count, cluster fingerprint, optimization level). Bounded FIFO: the
+/// oldest entry is evicted past [`GRAPH_CACHE_CAP`]. Compilation happens
+/// *under* the lock so per-fingerprint compile counts are exact and
+/// concurrent sessions for the same spec compile exactly once.
+type CacheKey = (u64, usize, u64, OptLevel);
+
+const GRAPH_CACHE_CAP: usize = 32;
+
+#[derive(Default)]
+struct GraphCache {
+    map: HashMap<CacheKey, Arc<CompiledGraph>>,
+    order: VecDeque<CacheKey>,
+    compiles: HashMap<u64, u64>,
+}
+
+static GRAPH_CACHE: Mutex<Option<GraphCache>> = Mutex::new(None);
+
+/// How many real (non-cache-hit) compilations this process has performed
+/// for graphs with structural fingerprint `fingerprint` (see
+/// [`dcf_graph::Graph::fingerprint`]). Lets model registries and tests
+/// verify that identical specs share one compile.
+pub fn compile_count(fingerprint: u64) -> u64 {
+    let guard = GRAPH_CACHE.lock();
+    guard.as_ref().and_then(|c| c.compiles.get(&fingerprint).copied()).unwrap_or(0)
+}
+
+/// Structural fingerprint of a cluster for cache keying: device names
+/// (which encode machine and kind) in registration order.
+fn cluster_fingerprint(cluster: &Cluster) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for dev in cluster.devices() {
+        eat(dev.name().as_bytes());
+        eat(&(dev.machine() as u64).to_le_bytes());
+    }
+    h
 }
 
 /// Drives a dataflow graph on a cluster of simulated devices.
@@ -233,11 +318,15 @@ pub struct RunMetadata {
 /// there is no per-iteration central coordinator, matching §4.4.
 pub struct Session {
     cluster: Cluster,
-    pg: PartitionedGraph,
+    compiled: Arc<CompiledGraph>,
     executors: Vec<(DeviceId, Executor)>,
     resources: Arc<ResourceManager>,
     rendezvous: Arc<NetworkRendezvous>,
     admission: Admission,
+    /// Optimization counters for this session's compile (with
+    /// `cache_hit` reflecting whether *this* session reused a cached
+    /// compile); `None` under [`OptLevel::None`].
+    opt_stats: Option<OptimizeStats>,
 }
 
 impl Session {
@@ -250,28 +339,40 @@ impl Session {
     /// several sessions (e.g. separate act/train/sync graphs of an
     /// out-of-graph training driver) share one set of variables.
     pub fn new_shared(
-        mut graph: Graph,
+        graph: Graph,
         cluster: Cluster,
         options: SessionOptions,
         resources: Arc<ResourceManager>,
     ) -> Result<Session> {
-        // Whole-graph optimization before placement (§3: constant
-        // propagation on the unified dataflow graph).
-        let _folded = crate::optimize::fold_constants(&mut graph);
-        let placement = place_nodes(&graph, &cluster)?;
-        let pg = partition_graph(graph, placement, &cluster)?;
+        let key: CacheKey =
+            (graph.fingerprint(), graph.len(), cluster_fingerprint(&cluster), options.opt);
+        let (compiled, cache_hit) = {
+            let mut guard = GRAPH_CACHE.lock();
+            let cache = guard.get_or_insert_with(GraphCache::default);
+            match cache.map.get(&key) {
+                Some(c) => (c.clone(), true),
+                None => {
+                    let compiled = Arc::new(Session::compile(graph, &cluster, options.opt, key.0)?);
+                    *cache.compiles.entry(key.0).or_insert(0) += 1;
+                    cache.map.insert(key, compiled.clone());
+                    cache.order.push_back(key);
+                    if cache.order.len() > GRAPH_CACHE_CAP {
+                        if let Some(old) = cache.order.pop_front() {
+                            cache.map.remove(&old);
+                        }
+                    }
+                    (compiled, false)
+                }
+            }
+        };
         let rendezvous = NetworkRendezvous::new(options.network.clone());
         let mut executors = Vec::new();
-        for (dev_idx, members) in pg.members.iter().enumerate() {
-            if members.is_empty() {
-                continue;
-            }
-            let eg = ExecGraph::partition(pg.graph.clone(), members);
-            let device = cluster.devices()[dev_idx].clone();
+        for (dev, eg) in &compiled.exec_graphs {
+            let device = cluster.devices()[dev.0].clone();
             executors.push((
-                DeviceId(dev_idx),
+                *dev,
                 Executor::new(
-                    eg,
+                    eg.clone(),
                     device,
                     resources.clone(),
                     rendezvous.clone(),
@@ -280,7 +381,37 @@ impl Session {
             ));
         }
         let admission = Admission::new(options.max_concurrent_steps);
-        Ok(Session { cluster, pg, executors, resources, rendezvous, admission })
+        let opt_stats =
+            (options.opt != OptLevel::None).then(|| OptimizeStats { cache_hit, ..compiled.stats });
+        Ok(Session { cluster, compiled, executors, resources, rendezvous, admission, opt_stats })
+    }
+
+    /// Optimizes, places, and partitions `graph`: the cacheable,
+    /// device-independent part of session construction (§3: graph
+    /// rewriting on the unified dataflow graph before placement).
+    fn compile(
+        mut graph: Graph,
+        cluster: &Cluster,
+        opt: OptLevel,
+        fingerprint: u64,
+    ) -> Result<CompiledGraph> {
+        let outcome = optimize(&mut graph, opt)?;
+        let placement = place_nodes(&graph, cluster)?;
+        let pg = partition_graph(graph, placement, cluster)?;
+        let mut exec_graphs = Vec::new();
+        for (dev_idx, members) in pg.members.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            exec_graphs.push((DeviceId(dev_idx), ExecGraph::partition(pg.graph.clone(), members)));
+        }
+        Ok(CompiledGraph {
+            pg,
+            exec_graphs,
+            remap: outcome.remap,
+            stats: outcome.stats,
+            fingerprint,
+        })
     }
 
     /// Convenience: a session on a single simulated CPU.
@@ -295,7 +426,37 @@ impl Session {
 
     /// The partitioned graph (diagnostics).
     pub fn partitioned(&self) -> &PartitionedGraph {
-        &self.pg
+        &self.compiled.pg
+    }
+
+    /// Structural fingerprint of the (pre-optimization) graph this
+    /// session was built from; the primary compiled-graph cache key. See
+    /// [`dcf_graph::Graph::fingerprint`] and [`compile_count`].
+    pub fn graph_fingerprint(&self) -> u64 {
+        self.compiled.fingerprint
+    }
+
+    /// Compile-time optimization counters for this session, with
+    /// `cache_hit` set when construction reused a cached compile.
+    /// `None` when the session was built with [`OptLevel::None`].
+    pub fn optimize_stats(&self) -> Option<OptimizeStats> {
+        self.opt_stats
+    }
+
+    /// Translates a caller-held (pre-optimization) tensor handle into the
+    /// optimized graph, erroring with a structured diagnostic if its
+    /// producer was folded into a fused kernel or pruned.
+    fn translate_fetch(&self, t: TensorRef) -> Result<TensorRef> {
+        match self.compiled.remap.get(t.node.0).copied().flatten() {
+            Some(node) => Ok(TensorRef { node, port: t.port }),
+            None => Err(dcf_exec::ExecError::BadFeedOrFetch(format!(
+                "fetch of node {} port {} refers to a node the optimizer removed \
+                 (constant-folded away, collapsed into a fused kernel, or pruned as dead); \
+                 build the session with SessionOptions::with_optimization(OptLevel::None) \
+                 to fetch intermediate nodes",
+                t.node.0, t.port
+            ))),
+        }
     }
 
     /// The session's persistent resources (variables survive across runs).
@@ -386,10 +547,17 @@ impl Session {
         step: u64,
         metadata: &mut RunMetadata,
     ) -> Result<Vec<Tensor>> {
+        metadata.optimization = self.opt_stats;
+        // Callers hold handles into the graph as they built it; translate
+        // them into the optimized graph up front (identity when the
+        // session was built with `OptLevel::None`).
+        let fetches: Vec<TensorRef> =
+            fetches.iter().map(|&t| self.translate_fetch(t)).collect::<Result<_>>()?;
+        let fetches = &fetches[..];
         // Route each fetch to the partition that produces it.
         let mut per_exec_fetches: Vec<Vec<TensorRef>> = vec![Vec::new(); self.executors.len()];
         for &t in fetches {
-            let dev = self.pg.placement[t.node.0];
+            let dev = self.compiled.pg.placement[t.node.0];
             let idx = self.executors.iter().position(|(d, _)| *d == dev).ok_or_else(|| {
                 dcf_exec::ExecError::BadFeedOrFetch(format!(
                     "fetch targets empty partition on device {}",
@@ -473,6 +641,7 @@ impl Session {
             // can mark this step's tracks (batched serving steps rely on
             // this to stay distinguishable).
             stats.tag = options.tag.clone();
+            stats.optimization = self.opt_stats;
             stats
         });
 
@@ -504,7 +673,7 @@ impl Session {
         }
         let mut out = Vec::with_capacity(fetches.len());
         for &t in fetches {
-            let dev = self.pg.placement[t.node.0];
+            let dev = self.compiled.pg.placement[t.node.0];
             let idx = self.executors.iter().position(|(d, _)| *d == dev).ok_or_else(|| {
                 dcf_exec::ExecError::Internal("fetch routed to unknown partition".into())
             })?;
@@ -648,6 +817,131 @@ mod session_tests {
         assert!(meta.fault_events.is_empty());
         assert!(meta.abort_reason.is_none());
         assert!(sess.quiescent());
+    }
+
+    #[test]
+    fn optimized_session_matches_unoptimized() {
+        use dcf_tensor::DType;
+        fn build() -> (Graph, TensorRef) {
+            let mut b = GraphBuilder::new();
+            let x = b.placeholder("x", DType::F32);
+            let two = b.scalar_f32(2.0);
+            let two_dup = b.scalar_f32(2.0);
+            let one = b.scalar_f32(1.0);
+            let m = b.mul(x, two).unwrap();
+            let m_dup = b.mul(x, two_dup).unwrap();
+            let s = b.add(m, m_dup).unwrap();
+            let a = b.add(s, one).unwrap();
+            let y = b.sigmoid(a).unwrap();
+            (b.finish().unwrap(), y)
+        }
+        let feeds: HashMap<String, Tensor> =
+            [("x".to_string(), Tensor::from_vec_f32(vec![0.5, -1.25, 3.0], &[3]).unwrap())]
+                .into_iter()
+                .collect();
+        let (g_opt, y_opt) = build();
+        let (g_raw, y_raw) = build();
+        let opt_sess = Session::new(
+            g_opt,
+            Cluster::single_cpu(),
+            SessionOptions::functional().with_optimization(OptLevel::Standard),
+        )
+        .unwrap();
+        let raw_sess = Session::new(
+            g_raw,
+            Cluster::single_cpu(),
+            SessionOptions::functional().with_optimization(OptLevel::None),
+        )
+        .unwrap();
+        let (opt_out, opt_meta) = opt_sess.run(&RunOptions::default(), &feeds, &[y_opt]).unwrap();
+        let (raw_out, raw_meta) = raw_sess.run(&RunOptions::default(), &feeds, &[y_raw]).unwrap();
+        assert!(opt_out[0].value_eq(&raw_out[0]), "optimization changed the result");
+        let stats = opt_meta.optimization.expect("optimized run reports counters");
+        assert!(stats.cse > 0 && stats.fused > 0, "stats: {stats:?}");
+        assert!(raw_meta.optimization.is_none(), "OptLevel::None reports no counters");
+        assert!(
+            opt_meta.ops_executed < raw_meta.ops_executed,
+            "optimized step must activate fewer nodes ({} vs {})",
+            opt_meta.ops_executed,
+            raw_meta.ops_executed
+        );
+    }
+
+    #[test]
+    fn fetching_optimized_away_node_errors_with_guidance() {
+        use dcf_tensor::DType;
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x", DType::F32);
+        let two = b.scalar_f32(2.0);
+        let one = b.scalar_f32(1.0);
+        let m = b.mul(x, two).unwrap();
+        let a = b.add(m, one).unwrap();
+        let y = b.relu(a).unwrap();
+        let sess = Session::new(
+            b.finish().unwrap(),
+            Cluster::single_cpu(),
+            SessionOptions::functional().with_optimization(OptLevel::Standard),
+        )
+        .unwrap();
+        let feeds: HashMap<String, Tensor> =
+            [("x".to_string(), Tensor::scalar_f32(4.0))].into_iter().collect();
+        // The chain tail is fetchable...
+        let out = sess.run_simple(&feeds, &[y]).unwrap();
+        assert_eq!(out[0].scalar_as_f32().unwrap(), 9.0);
+        // ...but the collapsed interior is gone, with a structured error
+        // pointing at the opt-off escape hatch.
+        let err = sess.run_simple(&feeds, &[m]).unwrap_err();
+        match err {
+            dcf_exec::ExecError::BadFeedOrFetch(msg) => {
+                assert!(msg.contains("OptLevel::None"), "message: {msg}")
+            }
+            other => panic!("expected BadFeedOrFetch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn compiled_graph_cache_shares_compiles() {
+        fn build() -> Graph {
+            let mut b = GraphBuilder::new();
+            // A value unique to this test keeps the fingerprint from
+            // colliding with other tests' graphs in the process cache.
+            let x = b.scalar_f32(8_675.309);
+            let y = b.scalar_f32(2.0);
+            let two = b.scalar_f32(2.0);
+            let m = b.mul(x, y).unwrap();
+            let _ = b.mul(m, two).unwrap();
+            b.finish().unwrap()
+        }
+        let fp = build().fingerprint();
+        let before = super::compile_count(fp);
+        let opts = || SessionOptions::functional().with_optimization(OptLevel::Standard);
+        let s1 = Session::new(build(), Cluster::single_cpu(), opts()).unwrap();
+        let s2 = Session::new(build(), Cluster::single_cpu(), opts()).unwrap();
+        assert_eq!(s1.graph_fingerprint(), fp);
+        assert_eq!(s2.graph_fingerprint(), fp);
+        assert_eq!(
+            super::compile_count(fp),
+            before + 1,
+            "two identical specs must share one compile"
+        );
+        assert!(
+            s2.optimize_stats().expect("standard level reports stats").cache_hit,
+            "second session must reuse the cached compile"
+        );
+        // A different optimization level is a different spec: it compiles
+        // separately rather than reusing the optimized artifact.
+        let s3 = Session::new(
+            build(),
+            Cluster::single_cpu(),
+            SessionOptions::functional().with_optimization(OptLevel::None),
+        )
+        .unwrap();
+        assert_eq!(super::compile_count(fp), before + 2);
+        drop(s3);
+        // The shared compile is behavioral, not just counted: both
+        // sessions run independently to the same result.
+        let r1 = s1.run_simple(&HashMap::new(), &[]).unwrap();
+        assert!(r1.is_empty());
     }
 
     #[test]

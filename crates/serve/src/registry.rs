@@ -7,6 +7,11 @@
 //! subsequent request for that model rides the same session's batched
 //! steps. This is the multi-tenant frontend: many models, one process,
 //! each with its own bounded queue, lanes, and metrics.
+//!
+//! Instantiation rides the runtime's process-wide compiled-graph cache:
+//! entries whose specs are structurally identical (same graph and cluster
+//! fingerprints, same optimization level) share one optimize/place/
+//! partition, so N replicas of a model pay for a single compile.
 
 use crate::batcher::{Batcher, Request, Response, Ticket};
 use crate::metrics::MetricsSnapshot;
@@ -208,6 +213,37 @@ mod tests {
             reg.serve("ghost", Request::new(one_row(0.0))).unwrap_err(),
             ExecError::BadFeedOrFetch(_)
         ));
+    }
+
+    #[test]
+    fn identical_replicas_share_one_compile() {
+        use dcf_runtime::compile_count;
+        // Two registry entries built from byte-identical specs (same
+        // graph structure, same cluster shape): instantiating both must
+        // pay for exactly one optimize/place/partition, with the second
+        // session served from the process-wide compiled-graph cache. The
+        // scale constant is unique to this test so the fingerprint cannot
+        // collide with other tests' graphs.
+        let fingerprint = {
+            let mut b = GraphBuilder::new();
+            let x = b.placeholder("x", DType::F32);
+            let k = b.scalar_f32(90_210.5);
+            let _ = b.mul(x, k).unwrap();
+            b.finish().unwrap().fingerprint()
+        };
+        let before = compile_count(fingerprint);
+        let reg = ModelRegistry::new();
+        reg.register("replica-a", spec(90_210.5)).unwrap();
+        reg.register("replica-b", spec(90_210.5)).unwrap();
+        let r = reg.serve("replica-a", Request::new(one_row(2.0))).unwrap();
+        assert_eq!(r.outputs[0].as_f32_slice().unwrap()[0], 2.0 * 90_210.5);
+        let r = reg.serve("replica-b", Request::new(one_row(2.0))).unwrap();
+        assert_eq!(r.outputs[0].as_f32_slice().unwrap()[0], 2.0 * 90_210.5);
+        assert_eq!(
+            compile_count(fingerprint),
+            before + 1,
+            "second replica must reuse the cached compile"
+        );
     }
 
     #[test]

@@ -70,7 +70,8 @@ pub mod prelude {
     pub use dcf_device::DeviceProfile;
     pub use dcf_graph::{GraphBuilder, TensorRef, WhileOptions};
     pub use dcf_runtime::{
-        Cluster, NetworkModel, RunMetadata, RunOptions, Session, SessionOptions, TraceLevel,
+        Cluster, NetworkModel, OptLevel, RunMetadata, RunOptions, Session, SessionOptions,
+        TraceLevel,
     };
     pub use dcf_serve::{BatchPolicy, ModelRegistry, ModelSignature, ModelSpec, Request};
     pub use dcf_tensor::{DType, Tensor, TensorRng};

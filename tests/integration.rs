@@ -271,3 +271,109 @@ fn higher_order_functions_compose_with_gradients() {
     let analytic = out[1].as_f32_slice().unwrap()[0];
     assert!((analytic - numeric).abs() < 0.05, "{analytic} vs {numeric}");
 }
+
+/// Deterministic mirror of the `proptest_optimizer` suite (which needs the
+/// opt-in `proptest` feature): a grid of programs with elementwise chains,
+/// duplicated subexpressions, nested while/cond, and variable state must
+/// produce bit-identical results with and without graph optimization.
+#[test]
+fn optimizer_grid_bit_identical_with_and_without() {
+    struct Case {
+        chain: &'static [u8],
+        duplicate: bool,
+        trips: i64,
+        alternating: bool,
+    }
+    let cases = [
+        Case { chain: &[], duplicate: false, trips: 0, alternating: false },
+        Case { chain: &[0, 1], duplicate: false, trips: 1, alternating: false },
+        Case { chain: &[0, 1, 2], duplicate: true, trips: 3, alternating: true },
+        Case { chain: &[3, 0, 4, 1], duplicate: true, trips: 5, alternating: false },
+        Case { chain: &[2, 2, 2], duplicate: false, trips: 4, alternating: true },
+        Case { chain: &[1], duplicate: true, trips: 0, alternating: false },
+    ];
+    let build = |c: &Case| -> (dcf::graph::Graph, Vec<TensorRef>) {
+        let mut g = GraphBuilder::new();
+        let x0 = g.placeholder("x", DType::F32);
+        let scale = g.scalar_f32(0.8);
+        let offset = g.scalar_f32(-0.4);
+        let apply_chain = |g: &mut GraphBuilder, mut t: TensorRef| -> TensorRef {
+            for op in c.chain {
+                t = match op {
+                    0 => g.mul(t, scale).unwrap(),
+                    1 => g.add(t, offset).unwrap(),
+                    2 => g.tanh(t).unwrap(),
+                    3 => g.relu(t).unwrap(),
+                    _ => g.neg(t).unwrap(),
+                };
+            }
+            t
+        };
+        let chain_a = apply_chain(&mut g, x0);
+        let root_out = if c.duplicate {
+            let chain_b = apply_chain(&mut g, x0);
+            g.add(chain_a, chain_b).unwrap()
+        } else {
+            chain_a
+        };
+        let i0 = g.scalar_i64(0);
+        let lim = g.scalar_i64(c.trips);
+        let alternating = c.alternating;
+        let outs = g
+            .while_loop(
+                &[i0, root_out],
+                |g, v| g.less(v[0], lim),
+                |g, v| {
+                    let one = g.scalar_i64(1);
+                    let scaled = g.mul(v[1], scale)?;
+                    let shifted = g.add(scaled, offset)?;
+                    let squashed = g.tanh(shifted)?;
+                    let next = if alternating {
+                        let half_c = g.scalar_f32(0.5);
+                        let fi = g.cast(v[0], DType::F32)?;
+                        let half = g.mul(fi, half_c)?;
+                        let trunc = g.cast(half, DType::I64)?;
+                        let back = g.cast(trunc, DType::F32)?;
+                        let even = g.equal(half, back)?;
+                        let stepped = g.cond(
+                            even,
+                            |g| Ok(vec![g.add(squashed, offset)?]),
+                            |g| Ok(vec![g.sub(squashed, offset)?]),
+                        )?;
+                        stepped[0]
+                    } else {
+                        squashed
+                    };
+                    Ok(vec![g.add(v[0], one)?, next])
+                },
+                WhileOptions::default(),
+            )
+            .unwrap();
+        let w = g.variable("w", Tensor::scalar_f32(0.25));
+        let upd = g.assign_add(w, outs[1]).unwrap();
+        (g.finish().unwrap(), vec![root_out, outs[1], upd])
+    };
+    let run = |c: &Case, opt: OptLevel| -> Vec<Tensor> {
+        let (graph, fetches) = build(c);
+        let sess = Session::new(
+            graph,
+            Cluster::single_cpu(),
+            SessionOptions::functional().with_optimization(opt),
+        )
+        .unwrap();
+        let mut feeds = HashMap::new();
+        feeds.insert("x".to_string(), Tensor::scalar_f32(0.6));
+        // Two steps: the second observes variable state the first wrote.
+        let mut out = sess.run_simple(&feeds, &fetches).unwrap();
+        out.extend(sess.run_simple(&feeds, &fetches).unwrap());
+        out
+    };
+    for (i, c) in cases.iter().enumerate() {
+        let optimized = run(c, OptLevel::Standard);
+        let baseline = run(c, OptLevel::None);
+        assert_eq!(optimized.len(), baseline.len());
+        for (j, (a, b)) in optimized.iter().zip(&baseline).enumerate() {
+            assert!(a.value_eq(b), "case {i} fetch {j} diverged: {a:?} vs {b:?}");
+        }
+    }
+}
