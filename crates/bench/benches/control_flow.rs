@@ -35,11 +35,11 @@ fn loop_session(iterations: i64, parallel: usize) -> (Session, Vec<TensorRef>) {
 fn bench_while_iteration(b: &mut Bench) {
     let (sess, outs) = loop_session(100, 32);
     b.throughput_case("while_loop/100_iterations", 100.0, || {
-        sess.run_simple(&HashMap::new(), &outs).unwrap();
+        sess.eval(&HashMap::new(), &outs).unwrap();
     });
     let (sess, outs) = loop_session(100, 1);
     b.throughput_case("while_loop/100_iterations_sequential", 100.0, || {
-        sess.run_simple(&HashMap::new(), &outs).unwrap();
+        sess.eval(&HashMap::new(), &outs).unwrap();
     });
 }
 
@@ -53,7 +53,7 @@ fn bench_cond(b: &mut Bench) {
     let mut feeds = HashMap::new();
     feeds.insert("p".to_string(), Tensor::scalar_bool(true));
     b.case("cond/one_branch", || {
-        sess.run_simple(&feeds, &outs).unwrap();
+        sess.eval(&feeds, &outs).unwrap();
     });
 }
 
@@ -65,7 +65,7 @@ fn bench_session_dispatch(b: &mut Bench) {
     let y = g.neg(x).unwrap();
     let sess = Session::local(g.finish().unwrap()).unwrap();
     b.case("session/trivial_run", || {
-        sess.run_simple(&HashMap::new(), &[y]).unwrap();
+        sess.eval(&HashMap::new(), &[y]).unwrap();
     });
 }
 
@@ -95,7 +95,7 @@ fn bench_tensor_array_loop(b: &mut Bench) {
     let s = g.reduce_sum(packed).unwrap();
     let sess = Session::local(g.finish().unwrap()).unwrap();
     b.throughput_case("tensor_array/32_writes_pack", n as f64, || {
-        sess.run_simple(&HashMap::new(), &[s]).unwrap();
+        sess.eval(&HashMap::new(), &[s]).unwrap();
     });
 }
 

@@ -180,7 +180,7 @@ fn measure_chain(b: &mut Bench, name: &str, depth: usize, len: usize, opt: OptLe
     feeds.insert("x".to_string(), Tensor::from_vec_f32(data, &[len]).expect("feed tensor"));
     let fetches = [tail];
     b.throughput_case(name, depth as f64, || {
-        sess.run_simple(&feeds, &fetches).expect("bench step should run");
+        sess.eval(&feeds, &fetches).expect("bench step should run");
     });
 }
 

@@ -81,7 +81,7 @@ pub fn run(samples: usize) -> Report {
     let sess = Session::local(b.finish().expect("graph validates")).expect("session builds");
     let opts = RunOptions::default().with_timeout(Duration::from_millis(20));
     bench.case("session/timeout_abort (20ms budget)", || {
-        let (result, _) = sess.run_full(&opts, &HashMap::new(), &[fetch]);
+        let (result, _) = sess.run(&opts, &HashMap::new(), &[fetch]);
         assert!(result.is_err(), "unbounded loop must abort");
         assert!(sess.quiescent(), "abort must leave the runtime quiescent");
     });

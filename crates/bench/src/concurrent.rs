@@ -81,7 +81,7 @@ fn drive(
     runs_per_client: usize,
 ) -> ServeCase {
     let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(clients * runs_per_client));
-    let baseline = session.run_simple(&HashMap::new(), &[grad]).expect("warmup run").remove(0);
+    let baseline = session.eval(&HashMap::new(), &[grad]).expect("warmup run").remove(0);
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..clients {
@@ -91,7 +91,7 @@ fn drive(
                 let mut local = Vec::with_capacity(runs_per_client);
                 for _ in 0..runs_per_client {
                     let t = Instant::now();
-                    let out = session.run_simple(&HashMap::new(), &[grad]).expect("serving step");
+                    let out = session.eval(&HashMap::new(), &[grad]).expect("serving step");
                     local.push(t.elapsed().as_nanos() as f64);
                     assert!(
                         out[0].allclose(baseline, 0.0),

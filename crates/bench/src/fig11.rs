@@ -73,9 +73,9 @@ pub fn measure(machines: usize, barrier: bool, iterations: i64) -> f64 {
     .expect("session");
 
     // Warm-up run, then the measured run.
-    sess.run_simple(&HashMap::new(), &[outs[0]]).expect("warmup");
+    sess.eval(&HashMap::new(), &[outs[0]]).expect("warmup");
     let t0 = Instant::now();
-    let out = sess.run_simple(&HashMap::new(), &[outs[0]]).expect("measured run");
+    let out = sess.eval(&HashMap::new(), &[outs[0]]).expect("measured run");
     let wall = t0.elapsed();
     assert_eq!(out[0].scalar_as_i64().expect("counter"), iterations);
     iterations as f64 / wall.as_secs_f64()
@@ -130,9 +130,12 @@ pub fn trace(machines: usize, iterations: i64) -> String {
         SessionOptions { network: NetworkModel::default(), ..SessionOptions::functional() },
     )
     .expect("session");
-    let (_, meta) = sess
-        .run(&RunOptions::traced(TraceLevel::Full).with_tag("fig11"), &HashMap::new(), &[outs[0]])
-        .expect("traced run");
+    let (result, meta) = sess.run(
+        &RunOptions::traced(TraceLevel::Full).with_tag("fig11"),
+        &HashMap::new(),
+        &[outs[0]],
+    );
+    result.expect("traced run");
     dcf_runtime::chrome_trace_json(&meta.step_stats.expect("trace requested"))
 }
 

@@ -78,9 +78,9 @@ pub fn measure(profile: DeviceProfile, parallel: usize, iterations: i64) -> f64 
     )
     .expect("session");
 
-    sess.run_simple(&HashMap::new(), &[outs[0]]).expect("warmup");
+    sess.eval(&HashMap::new(), &[outs[0]]).expect("warmup");
     let t0 = Instant::now();
-    sess.run_simple(&HashMap::new(), &[outs[0]]).expect("measured run");
+    sess.eval(&HashMap::new(), &[outs[0]]).expect("measured run");
     iterations as f64 / t0.elapsed().as_secs_f64()
 }
 

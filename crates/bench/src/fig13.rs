@@ -53,9 +53,12 @@ pub fn run(seq_len: usize, time_scale: f64) -> (Report, String) {
             .with_executor(dcf_exec::ExecutorOptions { swap_threshold: 0.3, ..Default::default() }),
     )
     .expect("session");
-    let (_, meta) = sess
-        .run(&RunOptions::traced(TraceLevel::Full), &HashMap::new(), &[loss, grads[0], grads[1]])
-        .expect("traced run");
+    let (result, meta) = sess.run(
+        &RunOptions::traced(TraceLevel::Full),
+        &HashMap::new(),
+        &[loss, grads[0], grads[1]],
+    );
+    result.expect("traced run");
     let stats = meta.step_stats.expect("trace requested");
 
     let busy = stats.busy_per_stream();

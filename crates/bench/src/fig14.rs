@@ -59,10 +59,10 @@ pub fn measure(
         Session::new(g.finish().expect("valid graph"), cluster, SessionOptions::functional())
             .expect("session");
     // Warm-up then measure.
-    sess.run_simple(&HashMap::new(), &fetches).expect("warmup");
+    sess.eval(&HashMap::new(), &fetches).expect("warmup");
     device.allocator().reset();
     let t0 = Instant::now();
-    sess.run_simple(&HashMap::new(), &fetches).expect("measured run");
+    sess.eval(&HashMap::new(), &fetches).expect("measured run");
     (t0.elapsed().as_secs_f64(), device.allocator().peak())
 }
 
@@ -116,9 +116,12 @@ pub fn trace(batch_modeled: usize, seq_len: usize, time_scale: f64) -> String {
             .with_executor(dcf_exec::ExecutorOptions { swap_threshold: 0.3, ..Default::default() }),
     )
     .expect("session");
-    let (_, meta) = sess
-        .run(&RunOptions::traced(TraceLevel::Full).with_tag("fig14"), &HashMap::new(), &fetches)
-        .expect("traced run");
+    let (result, meta) = sess.run(
+        &RunOptions::traced(TraceLevel::Full).with_tag("fig14"),
+        &HashMap::new(),
+        &fetches,
+    );
+    result.expect("traced run");
     dcf_runtime::chrome_trace_json(&meta.step_stats.expect("trace requested"))
 }
 

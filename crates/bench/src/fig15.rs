@@ -82,9 +82,9 @@ pub fn measure(gpus: usize, timesteps: usize, time_scale: f64) -> f64 {
         },
     )
     .expect("session");
-    sess.run_simple(&HashMap::new(), &fetches).expect("warmup");
+    sess.eval(&HashMap::new(), &fetches).expect("warmup");
     let t0 = Instant::now();
-    sess.run_simple(&HashMap::new(), &fetches).expect("measured run");
+    sess.eval(&HashMap::new(), &fetches).expect("measured run");
     t0.elapsed().as_secs_f64()
 }
 

@@ -16,9 +16,10 @@
 //! `concurrent_steps` entries) at the repo root.
 
 use crate::Report;
+use dcf_device::DeviceProfile;
 use dcf_graph::{Graph, GraphBuilder, WhileOptions};
-use dcf_runtime::Session;
-use dcf_serve::{BatchPolicy, Batcher, ModelSignature, Request};
+use dcf_runtime::{Cluster, Session};
+use dcf_serve::{BatchPolicy, Batcher, ModelRegistry, ModelSignature, ModelSpec, Request};
 use dcf_tensor::{DType, Tensor, TensorRng};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -29,10 +30,13 @@ use std::time::{Duration, Instant};
 pub struct BatchingCase {
     /// Case name, e.g. `"serve_batched_c8"`.
     pub name: String,
-    /// `"batched"` or `"unbatched"`.
+    /// `"batched"`, `"unbatched"`, or `"replicated"`.
     pub mode: &'static str,
     /// Client threads driving the model.
     pub clients: usize,
+    /// Serving replicas behind the router (1 for the single-batcher
+    /// modes).
+    pub replicas: usize,
     /// Requests completed across all clients.
     pub total_requests: usize,
     /// Aggregate throughput, requests per second.
@@ -89,6 +93,7 @@ fn case_from(
     name: String,
     mode: &'static str,
     clients: usize,
+    replicas: usize,
     mut ns: Vec<f64>,
     wall: f64,
     mean_batch_rows: f64,
@@ -98,6 +103,7 @@ fn case_from(
         name,
         mode,
         clients,
+        replicas,
         total_requests: ns.len(),
         reqs_per_sec: ns.len() as f64 / wall,
         p50_ms: percentile_ms(&ns, 0.50),
@@ -123,7 +129,7 @@ fn drive_unbatched(clients: usize, requests_per_client: usize) -> BatchingCase {
                 let mut local = Vec::with_capacity(requests_per_client);
                 for _ in 0..requests_per_client {
                     let t = Instant::now();
-                    session.run_simple(&feeds, fetches).expect("unbatched step");
+                    session.eval(&feeds, fetches).expect("unbatched step");
                     local.push(t.elapsed().as_nanos() as f64);
                 }
                 latencies.lock().unwrap().extend(local);
@@ -132,7 +138,7 @@ fn drive_unbatched(clients: usize, requests_per_client: usize) -> BatchingCase {
     });
     let wall = t0.elapsed().as_secs_f64();
     let ns = latencies.into_inner().unwrap();
-    case_from(format!("serve_unbatched_c{clients}"), "unbatched", clients, ns, wall, 1.0)
+    case_from(format!("serve_unbatched_c{clients}"), "unbatched", clients, 1, ns, wall, 1.0)
 }
 
 /// N clients submitting through one [`Batcher`]; each response is checked
@@ -141,7 +147,7 @@ fn drive_batched(clients: usize, requests_per_client: usize) -> BatchingCase {
     let (graph, sig) = served_model();
     let session = Arc::new(Session::local(graph).expect("session builds"));
     let baselines: Vec<Tensor> = (0..clients)
-        .map(|c| session.run_simple(&client_feed(c), &sig.fetches).expect("baseline")[0].clone())
+        .map(|c| session.eval(&client_feed(c), &sig.fetches).expect("baseline")[0].clone())
         .collect();
     let batcher = Batcher::new(
         "bench",
@@ -179,7 +185,196 @@ fn drive_batched(clients: usize, requests_per_client: usize) -> BatchingCase {
     let wall = t0.elapsed().as_secs_f64();
     let ns = latencies.into_inner().unwrap();
     let mean_batch_rows = batcher.snapshot().mean_batch_rows;
-    case_from(format!("serve_batched_c{clients}"), "batched", clients, ns, wall, mean_batch_rows)
+    case_from(format!("serve_batched_c{clients}"), "batched", clients, 1, ns, wall, mean_batch_rows)
+}
+
+/// Max rows per batched step in the replica sweep. Deliberately far below
+/// the client count: once a round's queue exceeds one batch, a lone
+/// batcher must run the steps back to back, while N replicas run them
+/// concurrently — the contrast the sweep measures.
+const REPLICA_SWEEP_BATCH: usize = 3;
+
+/// The simulated accelerator the replica sweep serves on. Two properties
+/// matter:
+///
+/// * kernel durations are **slept**, not computed — so N forked-cluster
+///   replicas overlap their steps even on a single host core (real host
+///   compute stays a tiny [B,8] matmul);
+/// * per-kernel cost is **row-proportional** (low modeled FLOP/s and
+///   memory bandwidth relative to the model's shapes), so a step's cost
+///   tracks the rows it carries. Throughput then measures rows processed
+///   per second — the quantity replicas multiply — rather than rewarding
+///   whichever configuration happens to pack fuller batches.
+///
+/// Every modeled duration clears the stream's 100µs spin threshold
+/// (launch overhead alone is 150µs), so waiting never burns the core.
+fn sweep_accelerator() -> DeviceProfile {
+    DeviceProfile {
+        name: "sim-accel",
+        is_gpu: true,
+        flops: 3.2e5,
+        mem_bandwidth: 2.0e6,
+        copy_bandwidth: 1.0e9,
+        launch_overhead: Duration::from_micros(150),
+        memory_capacity: 12 << 30,
+        shape_scale: 1,
+        time_scale: 1.0,
+    }
+}
+
+/// Spec for the replica sweep: the same loop model on one
+/// [`sweep_accelerator`] device per replica (forked clusters).
+fn replicated_spec(replicas: usize) -> ModelSpec {
+    let (graph, sig) = served_model();
+    let mut cluster = Cluster::new();
+    cluster.add_device(0, sweep_accelerator());
+    let mut spec = ModelSpec::local(graph, sig)
+        .with_policy(BatchPolicy {
+            max_batch_size: REPLICA_SWEEP_BATCH,
+            max_queue_delay: Duration::from_millis(1),
+            ..BatchPolicy::default()
+        })
+        .with_replicas(replicas);
+    spec.cluster = cluster;
+    spec
+}
+
+/// N closed-loop clients against a `ReplicaSet` of `replicas` batching
+/// replicas behind one [`dcf_serve::ModelHandle`]; every response is
+/// checked bit-identical against the client's private single-replica
+/// baseline.
+fn drive_replicated(
+    clients: usize,
+    replicas: usize,
+    requests_per_client: usize,
+    baselines: &[Tensor],
+) -> BatchingCase {
+    let registry = ModelRegistry::new();
+    let handle = registry.register("bench", replicated_spec(replicas)).expect("spec registers");
+    // Instantiate the replica set (and pay the shared compile) before the
+    // clock starts.
+    handle.serve(Request::new(client_feed(0))).expect("warmup");
+
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(clients * requests_per_client));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (client, baseline) in baselines.iter().enumerate().take(clients) {
+            let latencies = &latencies;
+            let handle = &handle;
+            scope.spawn(move || {
+                let feeds = client_feed(client);
+                let mut local = Vec::with_capacity(requests_per_client);
+                for _ in 0..requests_per_client {
+                    let t = Instant::now();
+                    let resp = handle.serve(Request::new(feeds.clone())).expect("routed request");
+                    local.push(t.elapsed().as_nanos() as f64);
+                    assert!(
+                        resp.outputs[0].value_eq(baseline),
+                        "replicated slice diverged from single-replica baseline"
+                    );
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let ns = latencies.into_inner().unwrap();
+    let mean_batch_rows = handle.metrics().aggregate.mean_batch_rows;
+    case_from(
+        format!("serve_replicated_c{clients}_r{replicas}"),
+        "replicated",
+        clients,
+        replicas,
+        ns,
+        wall,
+        mean_batch_rows,
+    )
+}
+
+/// Runs the replica-scaling sweep: for each client count, N closed-loop
+/// clients drive the same GPU-profile model behind 1/2/4/8 routed
+/// replicas. With `write_json`, merges the cases into `BENCH_serve.json`;
+/// the CI smoke gate passes `false` so a short gate run never clobbers
+/// the committed full-sweep numbers. Returns the cases alongside the
+/// rendered report.
+pub fn run_replicated(
+    client_counts: &[usize],
+    replica_counts: &[usize],
+    requests_per_client: usize,
+    write_json: bool,
+) -> (Report, Vec<BatchingCase>) {
+    let mut cases = Vec::new();
+    for &clients in client_counts {
+        // Per-client reference outputs from a private single-replica
+        // session on the same simulated hardware.
+        let (graph, sig) = served_model();
+        let mut cluster = Cluster::new();
+        cluster.add_device(0, sweep_accelerator());
+        let reference = Session::new(graph, cluster, dcf_runtime::SessionOptions::functional())
+            .expect("reference session builds");
+        let baselines: Vec<Tensor> = (0..clients)
+            .map(|c| reference.eval(&client_feed(c), &sig.fetches).expect("baseline")[0].clone())
+            .collect();
+        drop(reference);
+        for &replicas in replica_counts {
+            cases.push(drive_replicated(clients, replicas, requests_per_client, &baselines));
+        }
+    }
+    if write_json {
+        write_cases(&cases);
+    }
+
+    let mut report = Report::new(
+        "Replica router: closed-loop clients vs 1/2/4/8 batching replicas",
+        &["case", "clients", "replicas", "requests", "req/s", "p50", "p99", "rows/step"],
+    );
+    for c in &cases {
+        report.row(vec![
+            c.name.clone(),
+            c.clients.to_string(),
+            c.replicas.to_string(),
+            c.total_requests.to_string(),
+            format!("{:.0}", c.reqs_per_sec),
+            format!("{:.2} ms", c.p50_ms),
+            format!("{:.2} ms", c.p99_ms),
+            format!("{:.1}", c.mean_batch_rows),
+        ]);
+    }
+    report.note(format!(
+        "served model: 6 while-loop iterations of tanh(x·W) on [B,8] on a simulated \
+         accelerator with row-proportional slept kernel costs; max_batch_size \
+         {REPLICA_SWEEP_BATCH}; {requests_per_client} requests per closed-loop client; \
+         p2c-routed ModelHandle; every response checked bit-identical against a \
+         single-replica baseline"
+    ));
+    (report, cases)
+}
+
+/// Merges cases into `BENCH_serve.json` at the repo root (by name: a
+/// re-run replaces its own entries and leaves everything else).
+fn write_cases(cases: &[BatchingCase]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let entries: Vec<(String, String)> = cases
+        .iter()
+        .map(|c| {
+            let obj = format!(
+                "{{\"name\": \"{}\", \"mode\": \"{}\", \"clients\": {}, \"replicas\": {}, \
+                 \"total_requests\": {}, \"reqs_per_sec\": {:.1}, \"p50_ms\": {:.3}, \
+                 \"p99_ms\": {:.3}, \"mean_batch_rows\": {:.2}}}",
+                c.name,
+                c.mode,
+                c.clients,
+                c.replicas,
+                c.total_requests,
+                c.reqs_per_sec,
+                c.p50_ms,
+                c.p99_ms,
+                c.mean_batch_rows
+            );
+            (c.name.clone(), obj)
+        })
+        .collect();
+    crate::merge_bench_json(path, &entries);
 }
 
 /// Runs the batched-vs-unbatched sweep and returns the report; merges the
@@ -191,27 +386,7 @@ pub fn run(client_counts: &[usize], requests_per_client: usize) -> Report {
         cases.push(drive_batched(clients, requests_per_client));
     }
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-    let entries: Vec<(String, String)> = cases
-        .iter()
-        .map(|c| {
-            let obj = format!(
-                "{{\"name\": \"{}\", \"mode\": \"{}\", \"clients\": {}, \
-                 \"total_requests\": {}, \"reqs_per_sec\": {:.1}, \"p50_ms\": {:.3}, \
-                 \"p99_ms\": {:.3}, \"mean_batch_rows\": {:.2}}}",
-                c.name,
-                c.mode,
-                c.clients,
-                c.total_requests,
-                c.reqs_per_sec,
-                c.p50_ms,
-                c.p99_ms,
-                c.mean_batch_rows
-            );
-            (c.name.clone(), obj)
-        })
-        .collect();
-    crate::merge_bench_json(path, &entries);
+    write_cases(&cases);
 
     let mut report = Report::new(
         "Dynamic batching: coalesced vs per-request steps, one shared session",

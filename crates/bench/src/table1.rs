@@ -95,7 +95,7 @@ pub fn measure_with_threshold(
     )
     .expect("session");
     let t0 = Instant::now();
-    match sess.run_simple(&HashMap::new(), &fetches) {
+    match sess.eval(&HashMap::new(), &fetches) {
         Ok(_) => Outcome::MsPerIteration(t0.elapsed().as_secs_f64() * 1e3 / seq_len as f64),
         Err(ExecError::OutOfMemory(e)) => {
             if std::env::var("DCF_OOM_DEBUG").is_ok() {
@@ -148,13 +148,12 @@ pub fn trace(seq_len: usize, time_scale: f64) -> String {
         },
     )
     .expect("session");
-    let (_, meta) = sess
-        .run(
-            &RunOptions::traced(TraceLevel::Full).with_tag("table1"),
-            &HashMap::new(),
-            &[loss, grads[0]],
-        )
-        .expect("traced run");
+    let (result, meta) = sess.run(
+        &RunOptions::traced(TraceLevel::Full).with_tag("table1"),
+        &HashMap::new(),
+        &[loss, grads[0]],
+    );
+    result.expect("traced run");
     dcf_runtime::chrome_trace_json(&meta.step_stats.expect("trace requested"))
 }
 
@@ -187,7 +186,7 @@ fn probe_peak(probe_len: usize) -> usize {
     let sess =
         Session::new(g.finish().expect("valid graph"), cluster, SessionOptions::functional())
             .expect("session");
-    sess.run_simple(&HashMap::new(), &[loss, grads[0]]).expect("probe run");
+    sess.eval(&HashMap::new(), &[loss, grads[0]]).expect("probe run");
     device.allocator().peak()
 }
 

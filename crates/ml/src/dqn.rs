@@ -310,7 +310,7 @@ impl InGraphDqn {
         }
         let out = self
             .session
-            .run_simple(&feeds, &fetches)
+            .eval(&feeds, &fetches)
             .map_err(|e| dcf_graph::GraphError::Invalid(format!("run: {e}")))?;
         self.steps += 1;
         let action = out[0].as_i64_slice().map_err(dcf_graph::GraphError::Tensor)?[0] as usize;
@@ -460,7 +460,7 @@ impl OutOfGraphDqn {
         feeds.insert("reward".into(), row(&[prev.reward]));
         feeds.insert("next_state".into(), row(&prev.next_state));
         self.dispatch();
-        let out = self.write.run_simple(&feeds, &[self.write_fetch]).map_err(mk_err)?;
+        let out = self.write.eval(&feeds, &[self.write_fetch]).map_err(mk_err)?;
         let count = out[0].scalar_as_i64().map_err(dcf_graph::GraphError::Tensor)? as usize;
 
         // 2. Client-side conditional training.
@@ -469,14 +469,14 @@ impl OutOfGraphDqn {
             let mut fetches = vec![self.loss_fetch];
             fetches.extend(&self.train_updates);
             self.dispatch();
-            let out = self.train.run_simple(&HashMap::new(), &fetches).map_err(mk_err)?;
+            let out = self.train.eval(&HashMap::new(), &fetches).map_err(mk_err)?;
             loss = out[0].scalar_as_f32().map_err(dcf_graph::GraphError::Tensor)?;
         }
 
         // 3. Client-side conditional target sync.
         if self.steps.is_multiple_of(self.cfg.sync_every) {
             self.dispatch();
-            self.sync.run_simple(&HashMap::new(), &[self.sync_fetch]).map_err(mk_err)?;
+            self.sync.eval(&HashMap::new(), &[self.sync_fetch]).map_err(mk_err)?;
         }
 
         // 4. Client-side epsilon-greedy action.
@@ -486,7 +486,7 @@ impl OutOfGraphDqn {
             let mut feeds = HashMap::new();
             feeds.insert("cur_state".into(), row(cur_state));
             self.dispatch();
-            let out = self.act.run_simple(&feeds, &[self.act_fetch]).map_err(mk_err)?;
+            let out = self.act.eval(&feeds, &[self.act_fetch]).map_err(mk_err)?;
             out[0].as_i64_slice().map_err(dcf_graph::GraphError::Tensor)?[0] as usize
         };
         Ok((action, loss))

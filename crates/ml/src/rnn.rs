@@ -215,7 +215,7 @@ mod tests {
                 dcf_runtime::SessionOptions::functional(),
             )
             .unwrap();
-            sess.run_simple(&std::collections::HashMap::new(), &[out.outputs]).unwrap().remove(0)
+            sess.eval(&std::collections::HashMap::new(), &[out.outputs]).unwrap().remove(0)
         };
         let local = build([None, None]);
         let distributed = build([Some("/machine:0/cpu:0".into()), Some("/machine:1/cpu:0".into())]);

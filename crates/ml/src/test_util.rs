@@ -8,5 +8,5 @@ use std::collections::HashMap;
 /// Runs a graph on a local CPU session and returns the fetched tensors.
 pub(crate) fn run1(b: GraphBuilder, fetches: &[TensorRef]) -> Vec<Tensor> {
     let sess = Session::local(b.finish().expect("graph should validate")).expect("session");
-    sess.run_simple(&HashMap::new(), fetches).expect("run should succeed")
+    sess.eval(&HashMap::new(), fetches).expect("run should succeed")
 }

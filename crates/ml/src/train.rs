@@ -53,7 +53,7 @@ mod tests {
         let sess = Session::local(g.finish().unwrap()).unwrap();
         let mut losses = Vec::new();
         for _ in 0..60 {
-            let out = sess.run_simple(&HashMap::new(), &[loss, updates[0]]).unwrap();
+            let out = sess.eval(&HashMap::new(), &[loss, updates[0]]).unwrap();
             losses.push(out[0].scalar_as_f32().unwrap());
         }
         assert!(losses[0] > 0.1, "initial loss should be substantial");

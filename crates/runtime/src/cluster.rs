@@ -15,6 +15,7 @@ pub struct Cluster {
     aliases: HashMap<String, DeviceId>,
     tracer: Tracer,
     per_machine_class: HashMap<(usize, &'static str), usize>,
+    recipe: Vec<(usize, DeviceProfile)>,
 }
 
 impl Cluster {
@@ -25,11 +26,27 @@ impl Cluster {
             aliases: HashMap::new(),
             tracer: Tracer::new(),
             per_machine_class: HashMap::new(),
+            recipe: Vec::new(),
         }
+    }
+
+    /// Rebuilds this cluster's topology — same machines, same device
+    /// profiles, same aliases — with **fresh** devices (allocators, stream
+    /// threads, kernel timelines). A forked cluster is what a session
+    /// replica runs on: structurally identical (same
+    /// fingerprint, so replicas share one compiled graph) but sharing no
+    /// device state with its sibling replicas.
+    pub fn fork(&self) -> Cluster {
+        let mut c = Cluster::new();
+        for (machine, profile) in &self.recipe {
+            c.add_device(*machine, profile.clone());
+        }
+        c
     }
 
     /// Adds a device on `machine` with the given profile; returns its id.
     pub fn add_device(&mut self, machine: usize, profile: DeviceProfile) -> DeviceId {
+        self.recipe.push((machine, profile.clone()));
         let id = DeviceId(self.devices.len());
         let class = if profile.is_gpu { "gpu" } else { "cpu" };
         let ordinal = self.per_machine_class.entry((machine, class)).or_insert(0);
@@ -131,6 +148,21 @@ mod cluster_tests {
         assert_eq!(c.resolve("/machine:0/cpu:0"), Some(DeviceId(0)));
         assert_eq!(c.resolve("/machine:9/gpu:0"), None);
         assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn fork_rebuilds_topology_with_fresh_devices() {
+        let mut c = Cluster::new();
+        c.add_device(0, DeviceProfile::cpu());
+        c.add_device(1, DeviceProfile::gpu_k40());
+        let f = c.fork();
+        assert_eq!(f.len(), c.len());
+        for (a, b) in c.devices().iter().zip(f.devices()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.machine(), b.machine());
+            assert!(!Arc::ptr_eq(a, b), "fork must not share device state");
+        }
+        assert_eq!(f.resolve("/machine:1/gpu:0"), c.resolve("/machine:1/gpu:0"));
     }
 
     #[test]

@@ -464,29 +464,16 @@ impl Session {
         &self.resources
     }
 
-    /// Executes the graph: feeds placeholders, runs every partition to
-    /// quiescence, and returns the fetched tensors in request order —
-    /// ignoring metadata. Equivalent to `run` with default [`RunOptions`].
-    pub fn run_simple(
+    /// Executes the graph with default [`RunOptions`]: feeds placeholders,
+    /// runs every partition to quiescence, and returns the fetched tensors
+    /// in request order — ignoring metadata. The convenience wrapper over
+    /// [`Session::run`] for callers that only want values.
+    pub fn eval(
         &self,
         feeds: &HashMap<String, Tensor>,
         fetches: &[TensorRef],
     ) -> Result<Vec<Tensor>> {
-        self.run(&RunOptions::default(), feeds, fetches).map(|(values, _)| values)
-    }
-
-    /// Executes the graph under `options`: feeds placeholders, runs every
-    /// partition to quiescence, and returns the fetched tensors in request
-    /// order together with the run's [`RunMetadata`] (step stats when
-    /// tracing was requested, wall time, op counts).
-    pub fn run(
-        &self,
-        options: &RunOptions,
-        feeds: &HashMap<String, Tensor>,
-        fetches: &[TensorRef],
-    ) -> Result<(Vec<Tensor>, RunMetadata)> {
-        let (result, metadata) = self.run_full(options, feeds, fetches);
-        result.map(|values| (values, metadata))
+        self.run(&RunOptions::default(), feeds, fetches).0
     }
 
     /// `true` when the session's network layer holds no *leaked* state: no
@@ -510,11 +497,15 @@ impl Session {
         self.rendezvous.quiescent_step(step) && self.resources.step_transients(step) == 0
     }
 
-    /// Like [`Session::run`], but always returns the [`RunMetadata`] —
-    /// including for failed runs, where `abort_reason`, `retries`, and
-    /// `fault_events` describe what went wrong and what the network layer
-    /// observed on the way down.
-    pub fn run_full(
+    /// The canonical entry point: executes the graph under `options` —
+    /// feeds placeholders, runs every partition to quiescence — and
+    /// returns the fetched tensors in request order alongside the run's
+    /// [`RunMetadata`]. The metadata comes back for failed runs too:
+    /// `abort_reason`, `retries`, and `fault_events` describe what went
+    /// wrong and what the network layer observed on the way down. Callers
+    /// that only want values with default options can use
+    /// [`Session::eval`].
+    pub fn run(
         &self,
         options: &RunOptions,
         feeds: &HashMap<String, Tensor>,
@@ -700,7 +691,7 @@ mod session_tests {
         let y = b.scalar_f32(7.0);
         let z = b.mul(x, y).unwrap();
         let sess = Session::local(b.finish().unwrap()).unwrap();
-        let out = sess.run_simple(&HashMap::new(), &[z]).unwrap();
+        let out = sess.eval(&HashMap::new(), &[z]).unwrap();
         assert_eq!(out[0].scalar_as_f32().unwrap(), 42.0);
     }
 
@@ -712,7 +703,8 @@ mod session_tests {
         let z = b.add(x, y).unwrap();
         let sess = Session::local(b.finish().unwrap()).unwrap();
         let opts = RunOptions::default().with_tag("step-7");
-        let (out, meta) = sess.run(&opts, &HashMap::new(), &[z]).unwrap();
+        let (out, meta) = sess.run(&opts, &HashMap::new(), &[z]);
+        let out = out.unwrap();
         assert_eq!(out[0].scalar_as_f32().unwrap(), 5.0);
         assert_eq!(meta.tag, "step-7");
         assert!(meta.ops_executed > 0);
@@ -727,7 +719,8 @@ mod session_tests {
         let z = b.add(x, y).unwrap();
         let sess = Session::local(b.finish().unwrap()).unwrap();
         let opts = RunOptions::traced(TraceLevel::Full);
-        let (_, meta) = sess.run(&opts, &HashMap::new(), &[z]).unwrap();
+        let (result, meta) = sess.run(&opts, &HashMap::new(), &[z]);
+        result.unwrap();
         let stats = meta.step_stats.expect("stats requested");
         assert_eq!(stats.devices.len(), 1);
         let nodes = &stats.devices[0].node_stats;
@@ -757,7 +750,7 @@ mod session_tests {
         let sess = Session::local(b.finish().unwrap()).unwrap();
         let opts = RunOptions::default().with_timeout(Duration::from_millis(50));
         let t0 = Instant::now();
-        let (result, meta) = sess.run_full(&opts, &HashMap::new(), &[outs[0]]);
+        let (result, meta) = sess.run(&opts, &HashMap::new(), &[outs[0]]);
         let err = result.unwrap_err();
         assert!(matches!(err, dcf_exec::ExecError::DeadlineExceeded(_)), "unexpected error: {err}");
         assert!(t0.elapsed() < Duration::from_secs(10), "run did not abort promptly");
@@ -794,13 +787,13 @@ mod session_tests {
         let mut feeds = HashMap::new();
         feeds.insert("lim".to_string(), Tensor::scalar_i64(1_000_000_000));
         let opts = RunOptions::default().with_timeout(Duration::from_millis(50));
-        let (result, _) = sess.run_full(&opts, &feeds, &[outs[0]]);
+        let (result, _) = sess.run(&opts, &feeds, &[outs[0]]);
         assert!(matches!(result, Err(dcf_exec::ExecError::DeadlineExceeded(_))));
         assert!(sess.quiescent());
 
         // Same session, satisfiable limit, no timeout: must succeed.
         feeds.insert("lim".to_string(), Tensor::scalar_i64(25));
-        let out = sess.run_simple(&feeds, &[outs[0]]).unwrap();
+        let out = sess.eval(&feeds, &[outs[0]]).unwrap();
         assert_eq!(out[0].scalar_as_i64().unwrap(), 25);
         assert!(sess.quiescent());
     }
@@ -812,7 +805,8 @@ mod session_tests {
         let y = b.scalar_f32(2.0);
         let z = b.add(x, y).unwrap();
         let sess = Session::local(b.finish().unwrap()).unwrap();
-        let (_, meta) = sess.run(&RunOptions::default(), &HashMap::new(), &[z]).unwrap();
+        let (result, meta) = sess.run(&RunOptions::default(), &HashMap::new(), &[z]);
+        result.unwrap();
         assert_eq!(meta.retries, 0);
         assert!(meta.fault_events.is_empty());
         assert!(meta.abort_reason.is_none());
@@ -853,8 +847,9 @@ mod session_tests {
             SessionOptions::functional().with_optimization(OptLevel::None),
         )
         .unwrap();
-        let (opt_out, opt_meta) = opt_sess.run(&RunOptions::default(), &feeds, &[y_opt]).unwrap();
-        let (raw_out, raw_meta) = raw_sess.run(&RunOptions::default(), &feeds, &[y_raw]).unwrap();
+        let (opt_out, opt_meta) = opt_sess.run(&RunOptions::default(), &feeds, &[y_opt]);
+        let (raw_out, raw_meta) = raw_sess.run(&RunOptions::default(), &feeds, &[y_raw]);
+        let (opt_out, raw_out) = (opt_out.unwrap(), raw_out.unwrap());
         assert!(opt_out[0].value_eq(&raw_out[0]), "optimization changed the result");
         let stats = opt_meta.optimization.expect("optimized run reports counters");
         assert!(stats.cse > 0 && stats.fused > 0, "stats: {stats:?}");
@@ -886,11 +881,11 @@ mod session_tests {
         let feeds: HashMap<String, Tensor> =
             [("x".to_string(), Tensor::scalar_f32(4.0))].into_iter().collect();
         // The chain tail is fetchable...
-        let out = sess.run_simple(&feeds, &[y]).unwrap();
+        let out = sess.eval(&feeds, &[y]).unwrap();
         assert_eq!(out[0].scalar_as_f32().unwrap(), 9.0);
         // ...but the collapsed interior is gone, with a structured error
         // pointing at the opt-off escape hatch.
-        let err = sess.run_simple(&feeds, &[m]).unwrap_err();
+        let err = sess.eval(&feeds, &[m]).unwrap_err();
         match err {
             dcf_exec::ExecError::BadFeedOrFetch(msg) => {
                 assert!(msg.contains("OptLevel::None"), "message: {msg}")
@@ -940,7 +935,7 @@ mod session_tests {
         drop(s3);
         // The shared compile is behavioral, not just counted: both
         // sessions run independently to the same result.
-        let r1 = s1.run_simple(&HashMap::new(), &[]).unwrap();
+        let r1 = s1.eval(&HashMap::new(), &[]).unwrap();
         assert!(r1.is_empty());
     }
 

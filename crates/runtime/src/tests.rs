@@ -10,7 +10,7 @@ use std::collections::HashMap;
 fn run_on(b: GraphBuilder, cluster: Cluster, fetches: &[TensorRef]) -> crate::Result<Vec<Tensor>> {
     let sess =
         Session::new(b.finish().expect("valid graph"), cluster, SessionOptions::functional())?;
-    sess.run_simple(&HashMap::new(), fetches)
+    sess.eval(&HashMap::new(), fetches)
 }
 
 fn two_machines() -> Cluster {
@@ -202,7 +202,7 @@ fn network_delay_does_not_change_values() {
         },
     )
     .unwrap();
-    let out = sess.run_simple(&HashMap::new(), &[y]).unwrap();
+    let out = sess.eval(&HashMap::new(), &[y]).unwrap();
     assert_eq!(out[0].scalar_as_f32().unwrap(), -25.0);
 }
 
@@ -219,7 +219,7 @@ fn failure_on_one_device_aborts_the_run() {
     let x = b.with_device("/machine:1/gpu:0", |b| b.matmul(a, a).unwrap());
     let y = b.with_device("/machine:0/cpu:0", |b| b.reduce_sum(x).unwrap());
     let sess = Session::new(b.finish().unwrap(), c, SessionOptions::functional()).unwrap();
-    let err = sess.run_simple(&HashMap::new(), &[y]).unwrap_err();
+    let err = sess.eval(&HashMap::new(), &[y]).unwrap_err();
     assert!(
         matches!(err, dcf_exec::ExecError::OutOfMemory(_)),
         "expected OOM to surface, got: {err}"
@@ -251,7 +251,7 @@ fn variables_shared_across_devices_and_runs() {
     let sess =
         Session::new(b.finish().unwrap(), two_machines(), SessionOptions::functional()).unwrap();
     for expect in [1.0f32, 2.0, 3.0] {
-        let out = sess.run_simple(&HashMap::new(), &[upd]).unwrap();
+        let out = sess.eval(&HashMap::new(), &[upd]).unwrap();
         assert_eq!(out[0].scalar_as_f32().unwrap(), expect);
     }
 }
@@ -266,6 +266,6 @@ fn placeholder_feeds_reach_remote_partitions() {
         Session::new(b.finish().unwrap(), two_machines(), SessionOptions::functional()).unwrap();
     let mut feeds = HashMap::new();
     feeds.insert("x".to_string(), Tensor::scalar_f32(3.5));
-    let out = sess.run_simple(&feeds, &[z]).unwrap();
+    let out = sess.eval(&feeds, &[z]).unwrap();
     assert_eq!(out[0].scalar_as_f32().unwrap(), -3.5);
 }

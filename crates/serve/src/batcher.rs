@@ -36,6 +36,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Error text of the [`ExecError::Cancelled`] a batcher uses to drain its
+/// queue at shutdown. The replica router retries exactly this rejection:
+/// it means "this replica went away", not "your request failed".
+pub(crate) const SHUTDOWN_MSG: &str = "batcher shut down";
+
 /// Which lane a request queues in.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Priority {
@@ -220,6 +225,7 @@ fn assemble(
             if front.deadline.is_some_and(|d| d <= now) {
                 let p = lane.pop_front().expect("front exists");
                 state.queued_rows -= p.rows;
+                metrics.queued_rows.fetch_sub(p.rows as u64, Ordering::Relaxed);
                 metrics.expired.fetch_add(1, Ordering::Relaxed);
                 p.tx.send(Err(ExecError::DeadlineExceeded(
                     now.saturating_duration_since(p.enqueued),
@@ -231,6 +237,7 @@ fn assemble(
             }
             let p = lane.pop_front().expect("front exists");
             state.queued_rows -= p.rows;
+            metrics.queued_rows.fetch_sub(p.rows as u64, Ordering::Relaxed);
             rows += p.rows;
             out.push(p);
         }
@@ -304,6 +311,12 @@ impl Batcher {
         &self.shared.metrics
     }
 
+    /// Instantaneous load in rows (queued + mid-step), lock-free. The
+    /// signal the replica router's power-of-two-choices dispatch compares.
+    pub fn load(&self) -> u64 {
+        self.shared.metrics.load()
+    }
+
     /// A point-in-time metrics snapshot (occupancy uses this batcher's
     /// `max_batch_size`).
     pub fn snapshot(&self) -> crate::MetricsSnapshot {
@@ -358,6 +371,7 @@ impl Batcher {
                 Priority::Batch => state.batch.push_back(pending),
             }
             state.queued_rows += rows;
+            m.queued_rows.fetch_add(rows as u64, Ordering::Relaxed);
         }
         m.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.cv.notify_all();
@@ -400,9 +414,10 @@ impl Shared {
                     drained.extend(state.interactive.drain(..));
                     drained.extend(state.batch.drain(..));
                     state.queued_rows = 0;
+                    self.metrics.queued_rows.store(0, Ordering::Relaxed);
                     drop(state);
                     for p in drained {
-                        p.tx.send(Err(ExecError::Cancelled("batcher shut down".into())));
+                        p.tx.send(Err(ExecError::Cancelled(SHUTDOWN_MSG.into())));
                     }
                     return;
                 }
@@ -476,7 +491,9 @@ impl Shared {
 
         self.metrics.batches.fetch_add(1, Ordering::Relaxed);
         self.metrics.batched_rows.fetch_add(total_rows as u64, Ordering::Relaxed);
-        let (result, meta) = self.session.run_full(&options, &merged, &self.signature.fetches);
+        self.metrics.running_rows.fetch_add(total_rows as u64, Ordering::Relaxed);
+        let (result, meta) = self.session.run(&options, &merged, &self.signature.fetches);
+        self.metrics.running_rows.fetch_sub(total_rows as u64, Ordering::Relaxed);
         self.metrics.record_step_latency_us(meta.wall.as_micros() as u64);
         self.metrics.retries.fetch_add(meta.retries, Ordering::Relaxed);
         self.metrics.fault_events.fetch_add(meta.fault_events.len() as u64, Ordering::Relaxed);
@@ -485,9 +502,11 @@ impl Shared {
             Ok(v) => v,
             Err(e) => {
                 self.metrics.steps_failed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.consecutive_step_failures.fetch_add(1, Ordering::Relaxed);
                 return self.fail_batch(batch, e);
             }
         };
+        self.metrics.consecutive_step_failures.store(0, Ordering::Relaxed);
 
         // Scatter: split every fetch along axis 0 by per-request rows.
         // `sliced[f][r]` = request r's slice of fetch f.

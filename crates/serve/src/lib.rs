@@ -9,12 +9,22 @@
 //! batched step, run once, and the results scattered back — TensorFlow's
 //! deployment-side batching frontend, rebuilt over this runtime.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
-//! * [`ModelRegistry`] — named `(Graph, Cluster, SessionOptions)` entries;
-//!   the session (and its batcher thread) is instantiated lazily on the
-//!   first request and shared by every subsequent one.
-//! * [`Batcher`] — one per model. Clients enqueue feed tensors
+//! * [`ModelRegistry`] — named `(Graph, Cluster, SessionOptions)` entries
+//!   behind typed [`ModelHandle`] capabilities. [`ModelRegistry::register`]
+//!   returns the handle; all request traffic ([`ModelHandle::submit`] /
+//!   [`ModelHandle::serve`]) and observability ([`ModelHandle::metrics`])
+//!   flow through it. The replica set is instantiated lazily on the first
+//!   request.
+//! * [`replica::ReplicaSet`] — N `(Session, Batcher)` replicas per model,
+//!   each on a [`dcf_runtime::Cluster::fork`] of the spec's cluster (one
+//!   shared compile, no shared device state). Requests are routed
+//!   power-of-two-choices over lock-free load gauges; sustained windowed
+//!   queue-delay p99 drives replica scale-up/scale-down under a
+//!   [`ScalingPolicy`]; a replica whose steps keep aborting is evicted and
+//!   replaced while the model keeps serving.
+//! * [`Batcher`] — one per replica. Clients enqueue feed tensors
 //!   ([`Request`]); the batcher thread coalesces queued requests along the
 //!   leading batch dimension under a [`BatchPolicy`]
 //!   (`max_batch_size` rows / `max_queue_delay` wait), issues **one**
@@ -25,10 +35,12 @@
 //!   of queueing forever), per-request deadlines expire *before* a request
 //!   can occupy a batch slot, and an interactive priority lane preempts
 //!   bulk traffic at batch-assembly time.
-//! * [`ServeMetrics`] — per-model counters threaded from each step's
+//! * [`ServeMetrics`] — per-replica counters threaded from each step's
 //!   `RunMetadata`: batch occupancy, queue-delay and step-latency
 //!   percentiles, rejects, expirations, transfer retries and injected
-//!   faults.
+//!   faults. [`ModelMetrics`] rolls them up per model: one
+//!   [`MetricsSnapshot`] per live replica plus an aggregate that also
+//!   folds in retired (evicted or scaled-down) replicas.
 //!
 //! Correctness contract (property-tested in `tests/serve_batching.rs` and
 //! `tests/proptest_serve.rs`): for batch-linear models — every fetch
@@ -45,11 +57,13 @@ pub mod batcher;
 pub mod metrics;
 mod oneshot;
 pub mod registry;
+pub mod replica;
 pub mod signature;
 
 pub use batcher::{BatchPolicy, Batcher, Priority, Request, Response, Ticket};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use registry::{ModelRegistry, ModelSpec};
+pub use registry::{ModelHandle, ModelRegistry, ModelSpec};
+pub use replica::{ModelMetrics, ReplicaMetrics, ScalingPolicy};
 pub use signature::{FeedSpec, ModelSignature};
 
 /// Crate-wide result type: serving surfaces the runtime's structured

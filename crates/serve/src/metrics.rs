@@ -1,4 +1,4 @@
-//! Per-model serving metrics, threaded from each batched step's
+//! Per-replica serving metrics, threaded from each batched step's
 //! `RunMetadata` into lock-free counters plus two fixed-size log-bucket
 //! histograms (queue delay, step latency).
 //!
@@ -6,12 +6,90 @@
 //! thread and any number of snapshot readers never contend on a lock; a
 //! snapshot is a relaxed read of every cell, which is exactly as
 //! consistent as serving dashboards need.
+//!
+//! Two kinds of cells coexist:
+//!
+//! * monotone **counters** (submitted, served, batches, …) and the two
+//!   histograms — these merge across replicas by addition, which is how
+//!   the crate-internal `RawMetrics` builds the aggregated view of a
+//!   replicated model (including replicas that have since been evicted
+//!   or scaled away);
+//! * point-in-time **gauges** (`queued_rows`, `running_rows`) — the
+//!   router's load signal. [`ServeMetrics::load`] reads them without a
+//!   lock, which is what makes power-of-two-choices dispatch cheap.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of power-of-two latency buckets: bucket `i` holds values with
 /// `floor(log2(us + 1)) == i`, so 40 buckets span ~18 minutes.
 const BUCKETS: usize = 40;
+
+/// Plain (non-atomic) histogram contents: per-bucket counts plus count and
+/// sum. Mergeable by addition, so aggregated and *windowed* percentiles
+/// (the delta between two snapshots, which drives the scaling policy) both
+/// reduce to arithmetic on these.
+#[derive(Clone, Debug)]
+pub(crate) struct HistData {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+}
+
+impl Default for HistData {
+    fn default() -> HistData {
+        HistData { counts: [0; BUCKETS], count: 0, sum_us: 0 }
+    }
+}
+
+impl HistData {
+    pub(crate) fn merge(&mut self, other: &HistData) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+    }
+
+    /// Per-cell `self - earlier`, for windowed percentiles between two
+    /// cumulative snapshots. Saturating: a replica evicted mid-window can
+    /// make the cumulative total dip below the window start.
+    pub(crate) fn since(&self, earlier: &HistData) -> HistData {
+        let mut out = HistData::default();
+        for (o, (a, b)) in out.counts.iter_mut().zip(self.counts.iter().zip(&earlier.counts)) {
+            *o = a.saturating_sub(*b);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum_us = self.sum_us.saturating_sub(earlier.sum_us);
+        out
+    }
+
+    /// Upper-bound estimate of quantile `q` (0..=1), in milliseconds;
+    /// `0.0` when empty. Resolution is the 2× bucket width — enough to
+    /// tell a 1 ms queue delay from an 8 ms one, which is what the
+    /// batching and scaling policy knobs act on.
+    pub(crate) fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.counts.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                // Upper edge of bucket i: 2^(i+1) - 1 µs.
+                return ((1u64 << (i + 1)) - 1) as f64 / 1e3;
+            }
+        }
+        ((1u64 << BUCKETS) - 1) as f64 / 1e3
+    }
+
+    fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_us as f64 / self.count as f64 / 1e3
+    }
+}
 
 /// A fixed-size log₂ histogram of microsecond durations.
 #[derive(Debug)]
@@ -39,38 +117,18 @@ impl Histogram {
         self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
-    /// Upper-bound estimate of quantile `q` (0..=1), in milliseconds;
-    /// `0.0` when empty. Resolution is the 2× bucket width — enough to
-    /// tell a 1 ms queue delay from an 8 ms one, which is what the
-    /// batching policy knobs act on.
-    fn quantile_ms(&self, q: f64) -> f64 {
-        let n = self.count.load(Ordering::Relaxed);
-        if n == 0 {
-            return 0.0;
+    fn data(&self) -> HistData {
+        HistData {
+            counts: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
         }
-        let target = ((n as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                // Upper edge of bucket i: 2^(i+1) - 1 µs.
-                return ((1u64 << (i + 1)) - 1) as f64 / 1e3;
-            }
-        }
-        ((1u64 << BUCKETS) - 1) as f64 / 1e3
-    }
-
-    fn mean_ms(&self) -> f64 {
-        let n = self.count.load(Ordering::Relaxed);
-        if n == 0 {
-            return 0.0;
-        }
-        self.sum_us.load(Ordering::Relaxed) as f64 / n as f64 / 1e3
     }
 }
 
-/// Live counters for one served model. All methods are callable from any
-/// thread; the batcher is the only writer of batch/step cells.
+/// Live counters for one serving replica. All methods are callable from
+/// any thread; the replica's batcher is the only writer of batch/step
+/// cells.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     /// Requests admitted into the queue.
@@ -91,10 +149,19 @@ pub struct ServeMetrics {
     pub batched_rows: AtomicU64,
     /// Batched steps that returned an error.
     pub steps_failed: AtomicU64,
+    /// Batched steps that failed with no intervening success — the
+    /// replica-health signal. Reset to zero by every successful step;
+    /// a replica whose value reaches the scaling policy's threshold is
+    /// evicted and replaced.
+    pub consecutive_step_failures: AtomicU64,
     /// Transfer retries summed over batched steps' `RunMetadata`.
     pub retries: AtomicU64,
     /// Injected fault events summed over batched steps' `RunMetadata`.
     pub fault_events: AtomicU64,
+    /// Gauge: rows currently waiting in the replica's queue.
+    pub queued_rows: AtomicU64,
+    /// Gauge: rows in the batch the replica is currently running.
+    pub running_rows: AtomicU64,
     queue_delay: Histogram,
     step_latency: Histogram,
 }
@@ -110,30 +177,116 @@ impl ServeMetrics {
         self.step_latency.record_us(us);
     }
 
-    /// A point-in-time copy of every counter, with derived rates. `max
-    /// batch size` comes from the model's policy and fixes the occupancy
-    /// denominator.
-    pub fn snapshot(&self, max_batch_size: usize) -> MetricsSnapshot {
+    /// The replica's instantaneous load in rows: queued plus mid-step.
+    /// Lock-free — this is the signal power-of-two-choices routing
+    /// compares per request.
+    pub fn load(&self) -> u64 {
+        self.queued_rows.load(Ordering::Relaxed) + self.running_rows.load(Ordering::Relaxed)
+    }
+
+    /// A plain, mergeable copy of every cell.
+    pub(crate) fn raw(&self) -> RawMetrics {
         let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        let batches = ld(&self.batches);
-        let rows = ld(&self.batched_rows);
-        MetricsSnapshot {
+        RawMetrics {
             submitted: ld(&self.submitted),
             rejected_shape: ld(&self.rejected_shape),
             rejected_overload: ld(&self.rejected_overload),
             expired: ld(&self.expired),
             served: ld(&self.served),
             failed: ld(&self.failed),
-            batches,
-            batched_rows: rows,
+            batches: ld(&self.batches),
+            batched_rows: ld(&self.batched_rows),
             steps_failed: ld(&self.steps_failed),
             retries: ld(&self.retries),
             fault_events: ld(&self.fault_events),
-            mean_batch_rows: if batches == 0 { 0.0 } else { rows as f64 / batches as f64 },
-            occupancy: if batches == 0 || max_batch_size == 0 {
+            queued_rows: ld(&self.queued_rows),
+            running_rows: ld(&self.running_rows),
+            queue_delay: self.queue_delay.data(),
+            step_latency: self.step_latency.data(),
+        }
+    }
+
+    /// A point-in-time copy of every counter, with derived rates. `max
+    /// batch size` comes from the model's policy and fixes the occupancy
+    /// denominator.
+    pub fn snapshot(&self, max_batch_size: usize) -> MetricsSnapshot {
+        self.raw().snapshot(max_batch_size)
+    }
+}
+
+/// Plain mergeable counters: one replica's [`ServeMetrics`] read out, or
+/// several replicas' summed. The aggregated view of a replicated model is
+/// the merge of every live replica plus the retained totals of replicas
+/// that were evicted or scaled away — counters never go backwards when
+/// the replica set changes.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RawMetrics {
+    pub submitted: u64,
+    pub rejected_shape: u64,
+    pub rejected_overload: u64,
+    pub expired: u64,
+    pub served: u64,
+    pub failed: u64,
+    pub batches: u64,
+    pub batched_rows: u64,
+    pub steps_failed: u64,
+    pub retries: u64,
+    pub fault_events: u64,
+    pub queued_rows: u64,
+    pub running_rows: u64,
+    pub queue_delay: HistData,
+    pub step_latency: HistData,
+}
+
+impl RawMetrics {
+    pub(crate) fn merge(&mut self, other: &RawMetrics) {
+        self.submitted += other.submitted;
+        self.rejected_shape += other.rejected_shape;
+        self.rejected_overload += other.rejected_overload;
+        self.expired += other.expired;
+        self.served += other.served;
+        self.failed += other.failed;
+        self.batches += other.batches;
+        self.batched_rows += other.batched_rows;
+        self.steps_failed += other.steps_failed;
+        self.retries += other.retries;
+        self.fault_events += other.fault_events;
+        self.queued_rows += other.queued_rows;
+        self.running_rows += other.running_rows;
+        self.queue_delay.merge(&other.queue_delay);
+        self.step_latency.merge(&other.step_latency);
+    }
+
+    /// The cumulative queue-delay histogram, for windowed (delta)
+    /// percentiles in the scaling control loop.
+    pub(crate) fn queue_delay_data(&self) -> &HistData {
+        &self.queue_delay
+    }
+
+    pub(crate) fn snapshot(&self, max_batch_size: usize) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted,
+            rejected_shape: self.rejected_shape,
+            rejected_overload: self.rejected_overload,
+            expired: self.expired,
+            served: self.served,
+            failed: self.failed,
+            batches: self.batches,
+            batched_rows: self.batched_rows,
+            steps_failed: self.steps_failed,
+            retries: self.retries,
+            fault_events: self.fault_events,
+            queued_rows: self.queued_rows,
+            running_rows: self.running_rows,
+            mean_batch_rows: if self.batches == 0 {
                 0.0
             } else {
-                rows as f64 / (batches as f64 * max_batch_size as f64)
+                self.batched_rows as f64 / self.batches as f64
+            },
+            occupancy: if self.batches == 0 || max_batch_size == 0 {
+                0.0
+            } else {
+                self.batched_rows as f64 / (self.batches as f64 * max_batch_size as f64)
             },
             queue_delay_mean_ms: self.queue_delay.mean_ms(),
             queue_delay_p50_ms: self.queue_delay.quantile_ms(0.50),
@@ -144,7 +297,8 @@ impl ServeMetrics {
     }
 }
 
-/// A point-in-time copy of a model's [`ServeMetrics`].
+/// A point-in-time copy of a replica's — or, merged, a whole model's —
+/// [`ServeMetrics`].
 #[derive(Clone, Debug, Default)]
 pub struct MetricsSnapshot {
     /// Requests admitted into the queue.
@@ -169,6 +323,10 @@ pub struct MetricsSnapshot {
     pub retries: u64,
     /// Injected fault events across batched steps.
     pub fault_events: u64,
+    /// Gauge at snapshot time: rows waiting in the queue.
+    pub queued_rows: u64,
+    /// Gauge at snapshot time: rows in currently executing batches.
+    pub running_rows: u64,
     /// Average rows per batched step.
     pub mean_batch_rows: f64,
     /// `batched_rows / (batches * max_batch_size)` — how full batches ran.
@@ -196,11 +354,12 @@ mod tests {
             h.record_us(us);
         }
         // The median (3rd of 5) is 400µs, bucket 256..=511: upper edge 511.
-        assert!((h.quantile_ms(0.5) - 0.511).abs() < 1e-9, "{}", h.quantile_ms(0.5));
+        let d = h.data();
+        assert!((d.quantile_ms(0.5) - 0.511).abs() < 1e-9, "{}", d.quantile_ms(0.5));
         // p99 falls in the 100ms value's bucket.
-        assert!(h.quantile_ms(0.99) >= 100.0);
-        assert_eq!(Histogram::default().quantile_ms(0.5), 0.0);
-        assert!(h.mean_ms() > 0.0);
+        assert!(d.quantile_ms(0.99) >= 100.0);
+        assert_eq!(Histogram::default().data().quantile_ms(0.5), 0.0);
+        assert!(d.mean_ms() > 0.0);
     }
 
     #[test]
@@ -212,5 +371,43 @@ mod tests {
         assert!((s.mean_batch_rows - 6.0).abs() < 1e-9);
         assert!((s.occupancy - 0.75).abs() < 1e-9);
         assert_eq!(ServeMetrics::default().snapshot(8).occupancy, 0.0);
+    }
+
+    #[test]
+    fn raw_metrics_merge_and_window() {
+        let a = ServeMetrics::default();
+        let b = ServeMetrics::default();
+        a.served.store(3, Ordering::Relaxed);
+        b.served.store(4, Ordering::Relaxed);
+        a.queued_rows.store(2, Ordering::Relaxed);
+        b.running_rows.store(5, Ordering::Relaxed);
+        a.record_queue_delay_us(100);
+        b.record_queue_delay_us(100_000);
+        let mut total = a.raw();
+        total.merge(&b.raw());
+        assert_eq!(total.served, 7);
+        assert_eq!((total.queued_rows, total.running_rows), (2, 5));
+        let snap = total.snapshot(8);
+        assert_eq!(snap.served, 7);
+        // Aggregated p99 sees the slow replica's sample.
+        assert!(snap.queue_delay_p99_ms >= 100.0);
+
+        // Windowed view: only what happened after the `earlier` snapshot.
+        let earlier = total.queue_delay_data().clone();
+        b.record_queue_delay_us(200);
+        let mut later = a.raw();
+        later.merge(&b.raw());
+        let window = later.queue_delay_data().since(&earlier);
+        assert_eq!(window.count, 1);
+        assert!(window.quantile_ms(0.99) < 1.0);
+    }
+
+    #[test]
+    fn load_is_queued_plus_running() {
+        let m = ServeMetrics::default();
+        assert_eq!(m.load(), 0);
+        m.queued_rows.store(3, Ordering::Relaxed);
+        m.running_rows.store(4, Ordering::Relaxed);
+        assert_eq!(m.load(), 7);
     }
 }

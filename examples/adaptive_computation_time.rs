@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grads = dcf::autodiff::gradients(&mut g, loss, &[w, w_halt])?;
 
     let sess = Session::local(g.finish()?)?;
-    let out = sess.run_simple(&HashMap::new(), &[loss, total_ponder, grads[0], grads[1]])?;
+    let out = sess.eval(&HashMap::new(), &[loss, total_ponder, grads[0], grads[1]])?;
     println!("ACT over {seq} timesteps:");
     println!("  loss                 = {:.5}", out[0].scalar_as_f32()?);
     println!(

@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let t0 = Instant::now();
-    let out = sess.run_simple(&HashMap::new(), &outs)?;
+    let out = sess.eval(&HashMap::new(), &outs)?;
     let wall = t0.elapsed();
     println!(
         "50 distributed iterations -> i = {}, x = {:.4} in {wall:?} ({:.0} iterations/s, \

@@ -40,19 +40,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let srnn = static_rnn(&mut g, &cell, x, h0, c0, seq)?;
 
     let sess = Session::local(g.finish()?)?;
-    let out = sess.run_simple(&HashMap::new(), &[rnn.outputs, srnn.outputs])?;
+    let out = sess.eval(&HashMap::new(), &[rnn.outputs, srnn.outputs])?;
     assert!(out[0].allclose(&out[1], 1e-4), "dynamic and static RNN outputs must match");
     println!("dynamic_rnn output [T,B,H] = {:?} matches static unrolling", out[0].shape().dims());
 
     let mut fetches = vec![loss];
     fetches.extend(&updates);
     for step in 0..40 {
-        let out = sess.run_simple(&HashMap::new(), &fetches)?;
+        let out = sess.eval(&HashMap::new(), &fetches)?;
         if step % 10 == 0 {
             println!("step {step:>3}: loss = {:.5}", out[0].scalar_as_f32()?);
         }
     }
-    let out = sess.run_simple(&HashMap::new(), &fetches)?;
+    let out = sess.eval(&HashMap::new(), &fetches)?;
     println!("final loss = {:.5}", out[0].scalar_as_f32()?);
     Ok(())
 }

@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let sess = Session::local(g.finish()?)?;
-    let out = sess.run_simple(&HashMap::new(), &outs)?;
+    let out = sess.eval(&HashMap::new(), &outs)?;
     let steps = out[0].scalar_as_i64()?;
     let w = out[1].as_f32_slice()?.to_vec();
     println!("converged in {steps} in-graph steps (single Session::run)");

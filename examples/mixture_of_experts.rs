@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for step in 0..5 {
         let mut feeds = HashMap::new();
         feeds.insert("x".to_string(), data_rng.uniform(&[8, 4], -1.0, 1.0));
-        let out = sess.run_simple(&feeds, &fetches)?;
+        let out = sess.eval(&feeds, &fetches)?;
         println!(
             "step {step}: loss = {:.5}, output shape = {:?} (one expert executed, two dead)",
             out[1].scalar_as_f32()?,

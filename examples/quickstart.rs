@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for xv in [-3.0f32, 0.5, 9.0] {
         let mut feeds = HashMap::new();
         feeds.insert("x".to_string(), Tensor::scalar_f32(xv));
-        let out = sess.run_simple(&feeds, &[y, z, grads[0]])?;
+        let out = sess.eval(&feeds, &[y, z, grads[0]])?;
         println!(
             "x = {xv:>5}: branch output = {:>8.2}, loop output = {:>8.2}, dz/dx = {:>8.2}",
             out[0].scalar_as_f32()?,

@@ -21,8 +21,10 @@
 //! * [`exec`] — the tagged-token executor (mostly used via the session).
 //! * [`ml`] — LSTM / dynamic_rnn / MoE / DQN reference models.
 //! * [`serve`] — the dynamic-batching serving frontend:
-//!   [`serve::ModelRegistry`], per-model [`serve::Batcher`]s, admission
-//!   control, and serving metrics.
+//!   [`serve::ModelRegistry`] handing out typed [`serve::ModelHandle`]s,
+//!   a replica router (power-of-two-choices dispatch, health eviction,
+//!   queue-delay-driven autoscaling) over per-replica [`serve::Batcher`]s,
+//!   admission control, and serving metrics.
 //!
 //! # Quickstart
 //!
@@ -48,7 +50,7 @@
 //!     )
 //!     .unwrap();
 //! let sess = Session::local(g.finish().unwrap()).unwrap();
-//! let out = sess.run_simple(&HashMap::new(), &[outs[1]]).unwrap();
+//! let out = sess.eval(&HashMap::new(), &[outs[1]]).unwrap();
 //! assert_eq!(out[0].scalar_as_f32().unwrap(), 1024.0);
 //! ```
 
@@ -73,6 +75,8 @@ pub mod prelude {
         Cluster, NetworkModel, OptLevel, RunMetadata, RunOptions, Session, SessionOptions,
         TraceLevel,
     };
-    pub use dcf_serve::{BatchPolicy, ModelRegistry, ModelSignature, ModelSpec, Request};
+    pub use dcf_serve::{
+        BatchPolicy, ModelHandle, ModelRegistry, ModelSignature, ModelSpec, Request, ScalingPolicy,
+    };
     pub use dcf_tensor::{DType, Tensor, TensorRng};
 }

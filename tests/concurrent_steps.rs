@@ -67,10 +67,11 @@ fn concurrent_mixed_runs_match_serial_bit_for_bit() {
     // traced run records when it has the session to itself.
     let mut expected = Vec::new();
     for t in 0..THREADS {
-        expected.push(sess.run_simple(&feed_for(t), &fetches).unwrap());
+        expected.push(sess.eval(&feed_for(t), &fetches).unwrap());
     }
-    let (_, serial_meta) =
-        sess.run(&RunOptions::traced(TraceLevel::Full), &feed_for(0), &fetches).unwrap();
+    let (serial_result, serial_meta) =
+        sess.run(&RunOptions::traced(TraceLevel::Full), &feed_for(0), &fetches);
+    serial_result.unwrap();
     let serial_stats = serial_meta.step_stats.expect("trace requested");
     let serial_kernels: usize = serial_stats.devices.iter().map(|d| d.kernel_stats.len()).sum();
     assert!(serial_kernels > 0, "Full trace must record kernels");
@@ -94,7 +95,8 @@ fn concurrent_mixed_runs_match_serial_bit_for_bit() {
                     } else {
                         RunOptions::default()
                     };
-                    let (out, meta) = sess.run(&opts, &feed_for(t), &fetches).unwrap();
+                    let (out, meta) = sess.run(&opts, &feed_for(t), &fetches);
+                    let out = out.unwrap();
                     for (got, want) in out.iter().zip(expected) {
                         assert!(
                             got.allclose(want, 0.0),
@@ -166,7 +168,7 @@ fn aborting_one_step_leaves_concurrent_steps_untouched() {
             let mut feeds = HashMap::new();
             feeds.insert("lim".to_string(), Tensor::scalar_i64(i64::MAX));
             let opts = RunOptions::default().with_timeout(Duration::from_millis(30));
-            sess.run_full(&opts, &feeds, &[fetch])
+            sess.run(&opts, &feeds, &[fetch])
         });
         // Healthy clients keep completing while the aborter spins and dies.
         for t in 0..3 {
@@ -174,7 +176,7 @@ fn aborting_one_step_leaves_concurrent_steps_untouched() {
                 for _ in 0..5 {
                     let mut feeds = HashMap::new();
                     feeds.insert("lim".to_string(), Tensor::scalar_i64(40 + t));
-                    let out = sess.run_simple(&feeds, &[fetch]).unwrap();
+                    let out = sess.eval(&feeds, &[fetch]).unwrap();
                     assert_eq!(out[0].scalar_as_i64().unwrap(), 40 + t);
                 }
             });
@@ -205,7 +207,7 @@ fn admission_limit_queues_fifo_and_preserves_results() {
     .unwrap();
     let fetches = [loss, grad];
     let expected: Vec<_> =
-        (0..THREADS).map(|t| sess.run_simple(&feed_for(t), &fetches).unwrap()).collect();
+        (0..THREADS).map(|t| sess.eval(&feed_for(t), &fetches).unwrap()).collect();
 
     std::thread::scope(|scope| {
         for t in 0..THREADS {
@@ -213,7 +215,7 @@ fn admission_limit_queues_fifo_and_preserves_results() {
             let expected = &expected[t];
             scope.spawn(move || {
                 for _ in 0..RUNS_PER_THREAD {
-                    let out = sess.run_simple(&feed_for(t), &fetches).unwrap();
+                    let out = sess.eval(&feed_for(t), &fetches).unwrap();
                     for (got, want) in out.iter().zip(expected) {
                         assert!(got.allclose(want, 0.0), "admission-limited run differs");
                     }
@@ -238,7 +240,7 @@ fn zero_admission_limit_is_a_structured_error() {
         SessionOptions::functional().with_max_concurrent_steps(0),
     )
     .unwrap();
-    let (result, meta) = sess.run_full(&RunOptions::default(), &HashMap::new(), &[z]);
+    let (result, meta) = sess.run(&RunOptions::default(), &HashMap::new(), &[z]);
     let err = result.unwrap_err();
     assert!(
         matches!(err, dcf::exec::ExecError::InvalidConfig(_)),

@@ -136,8 +136,7 @@ fn assert_structured(err: &ExecError) {
 #[test]
 fn seeded_fault_sweep_is_identical_or_structured_error() {
     let (sess, fetch, expected) = fig13_session();
-    let baseline =
-        sess.run_simple(&HashMap::new(), &[fetch]).expect("fault-free baseline must succeed");
+    let baseline = sess.eval(&HashMap::new(), &[fetch]).expect("fault-free baseline must succeed");
     assert_eq!(baseline[0].scalar_as_i64().unwrap(), expected);
 
     let seeds: &[u64] = if cfg!(debug_assertions) { &[1, 2, 3] } else { &[1, 2, 3, 4, 5, 6] };
@@ -149,7 +148,7 @@ fn seeded_fault_sweep_is_identical_or_structured_error() {
                 .with_fault_plan(plan)
                 .with_retry(retry)
                 .with_tag(format!("{name}/seed{seed}"));
-            let (result, meta) = sess.run_full(&opts, &HashMap::new(), &[fetch]);
+            let (result, meta) = sess.run(&opts, &HashMap::new(), &[fetch]);
             match result {
                 Ok(values) => {
                     ok_runs += 1;
@@ -186,7 +185,7 @@ fn seeded_fault_sweep_is_identical_or_structured_error() {
 
     // The session is still healthy: a fault-free run on the same session
     // reproduces the baseline.
-    let again = sess.run_simple(&HashMap::new(), &[fetch]).expect("post-sweep run");
+    let again = sess.eval(&HashMap::new(), &[fetch]).expect("post-sweep run");
     assert_eq!(again[0].scalar_as_i64().unwrap(), expected);
 }
 
@@ -199,7 +198,7 @@ fn same_seed_same_faults() {
         let opts = RunOptions::default()
             .with_fault_plan(FaultPlan::seeded(seed).with_drop(0.4).with_duplicate(0.3))
             .with_retry(RetryPolicy { max_retries: 16, ..RetryPolicy::default() });
-        let (result, meta) = sess.run_full(&opts, &HashMap::new(), &[fetch]);
+        let (result, meta) = sess.run(&opts, &HashMap::new(), &[fetch]);
         result.expect("generous retries must succeed");
         let mut kinds: Vec<String> = meta
             .fault_events
@@ -242,7 +241,7 @@ fn abort_then_rerun_on_same_session() {
         .expect("session should build");
 
     let opts = RunOptions::default().with_timeout(Duration::from_millis(50));
-    let (result, meta) = sess.run_full(&opts, &HashMap::new(), &[fetch]);
+    let (result, meta) = sess.run(&opts, &HashMap::new(), &[fetch]);
     let err = result.expect_err("unbounded loop must time out");
     assert!(
         matches!(err, ExecError::DeadlineExceeded(_) | ExecError::Cancelled(_)),
@@ -258,7 +257,7 @@ fn abort_then_rerun_on_same_session() {
     let z = g.add(x, y).unwrap();
     let sess2 = Session::new(g.finish().unwrap(), two_machines(), SessionOptions::functional())
         .expect("session should build");
-    let out = sess2.run_simple(&HashMap::new(), &[z]).expect("fresh run");
+    let out = sess2.eval(&HashMap::new(), &[z]).expect("fresh run");
     assert_eq!(out[0].scalar_as_i64().unwrap(), 42);
 
     // And the aborted session itself still works with a satisfiable limit.
@@ -280,12 +279,12 @@ fn abort_then_rerun_on_same_session() {
         .unwrap();
     let sess3 = Session::new(g.finish().unwrap(), two_machines(), SessionOptions::functional())
         .expect("session should build");
-    let out = sess3.run_simple(&HashMap::new(), &[outs[0]]).expect("bounded loop");
+    let out = sess3.eval(&HashMap::new(), &[outs[0]]).expect("bounded loop");
     assert_eq!(out[0].scalar_as_i64().unwrap(), 10);
 
     // Re-running the *aborted* session again still behaves: same timeout,
     // same structured error, still quiescent (no state accreted).
-    let (result, _) = sess.run_full(&opts, &HashMap::new(), &[fetch]);
+    let (result, _) = sess.run(&opts, &HashMap::new(), &[fetch]);
     let err = result.expect_err("second timed-out run");
     assert!(matches!(err, ExecError::DeadlineExceeded(_) | ExecError::Cancelled(_)));
     assert!(sess.quiescent());

@@ -31,7 +31,7 @@ fn lstm_training_reduces_loss_end_to_end() {
     let mut first = None;
     let mut last = 0.0;
     for _ in 0..30 {
-        let out = sess.run_simple(&HashMap::new(), &fetches).unwrap();
+        let out = sess.eval(&HashMap::new(), &fetches).unwrap();
         last = out[0].scalar_as_f32().unwrap();
         if first.is_none() {
             first = Some(last);
@@ -87,7 +87,7 @@ fn distributed_training_step_matches_local() {
         cluster.add_device(1, DeviceProfile::cpu());
         let sess =
             Session::new(g.finish().unwrap(), cluster, SessionOptions::functional()).unwrap();
-        results.push(sess.run_simple(&HashMap::new(), &[grad]).unwrap().remove(0));
+        results.push(sess.eval(&HashMap::new(), &[grad]).unwrap().remove(0));
     }
     assert!(results[0].allclose(&results[1], 1e-5), "distributed gradient differs from local");
 }
@@ -111,7 +111,7 @@ fn dynamic_rnn_gradients_match_static_unrolling() {
         let loss = g.reduce_sum(sq).unwrap();
         let grads = dcf::autodiff::gradients(&mut g, loss, &[cell.w]).unwrap();
         let sess = Session::local(g.finish().unwrap()).unwrap();
-        sess.run_simple(&HashMap::new(), &[grads[0]]).unwrap().remove(0)
+        sess.eval(&HashMap::new(), &[grads[0]]).unwrap().remove(0)
     };
     let dynamic = grad_of(true);
     let fixed = grad_of(false);
@@ -141,7 +141,7 @@ fn session_runs_are_repeatable_and_isolated() {
     for i in 0..5 {
         let mut feeds = HashMap::new();
         feeds.insert("x".to_string(), Tensor::scalar_f32(256.0 + i as f32));
-        let out = sess.run_simple(&feeds, &[outs[1]]).unwrap();
+        let out = sess.eval(&feeds, &[outs[1]]).unwrap();
         let expect = (256.0 + i as f32) / 256.0;
         assert!((out[0].scalar_as_f32().unwrap() - expect).abs() < 1e-5);
     }
@@ -185,7 +185,7 @@ fn memory_swapping_preserves_values() {
             },
         )
         .unwrap();
-        sess.run_simple(&HashMap::new(), &[grads[0]]).unwrap().remove(0)
+        sess.eval(&HashMap::new(), &[grads[0]]).unwrap().remove(0)
     };
     let with = run_with(true);
     let without = run_with(false);
@@ -218,7 +218,7 @@ fn moe_conditional_execution_trains_distributed() {
     fetches.extend(&updates);
     let mut losses = Vec::new();
     for _ in 0..10 {
-        let out = sess.run_simple(&HashMap::new(), &fetches).unwrap();
+        let out = sess.eval(&HashMap::new(), &fetches).unwrap();
         losses.push(out[0].scalar_as_f32().unwrap());
     }
     assert!(losses.iter().all(|l| l.is_finite()));
@@ -249,13 +249,13 @@ fn higher_order_functions_compose_with_gradients() {
     let sess = Session::local(g.finish().unwrap()).unwrap();
     let mut feeds = HashMap::new();
     feeds.insert("x".to_string(), Tensor::from_vec_f32(vec![0.1, 0.2, 0.3], &[3]).unwrap());
-    let out = sess.run_simple(&feeds, &[product, grads[0]]).unwrap();
+    let out = sess.eval(&feeds, &[product, grads[0]]).unwrap();
     // prefix = [0.1, 0.3, 0.6]; product = 1.1 * 1.3 * 1.6.
     assert!((out[0].scalar_as_f32().unwrap() - 1.1 * 1.3 * 1.6).abs() < 1e-4);
     // Numeric check on one coordinate.
     let eval = |v: Vec<f32>| -> f32 {
         let o = sess
-            .run_simple(
+            .eval(
                 &{
                     let mut f = HashMap::new();
                     f.insert("x".to_string(), Tensor::from_vec_f32(v, &[3]).unwrap());
@@ -364,8 +364,8 @@ fn optimizer_grid_bit_identical_with_and_without() {
         let mut feeds = HashMap::new();
         feeds.insert("x".to_string(), Tensor::scalar_f32(0.6));
         // Two steps: the second observes variable state the first wrote.
-        let mut out = sess.run_simple(&feeds, &fetches).unwrap();
-        out.extend(sess.run_simple(&feeds, &fetches).unwrap());
+        let mut out = sess.eval(&feeds, &fetches).unwrap();
+        out.extend(sess.eval(&feeds, &fetches).unwrap());
         out
     };
     for (i, c) in cases.iter().enumerate() {

@@ -86,7 +86,7 @@ fn in_graph(p: &LoopProgram, parallel: usize, machines: usize) -> f32 {
         cluster.add_device(m, DeviceProfile::cpu());
     }
     let sess = Session::new(g.finish().unwrap(), cluster, SessionOptions::functional()).unwrap();
-    sess.run_simple(&HashMap::new(), &[outs[1]]).unwrap()[0].scalar_as_f32().unwrap()
+    sess.eval(&HashMap::new(), &[outs[1]]).unwrap()[0].scalar_as_f32().unwrap()
 }
 
 fn close(a: f32, b: f32) -> bool {
@@ -132,7 +132,7 @@ proptest! {
         let init = g.scalar_f32(0.0);
         let r = g.scan(|g, a, e| g.add(a, e), elems, init, WhileOptions::default()).unwrap();
         let sess = Session::local(g.finish().unwrap()).unwrap();
-        let out = sess.run_simple(&HashMap::new(), &[r]).unwrap().remove(0);
+        let out = sess.eval(&HashMap::new(), &[r]).unwrap().remove(0);
         let got = out.as_f32_slice().unwrap();
         let mut acc = 0.0f32;
         for (i, x) in xs.iter().enumerate() {
@@ -170,7 +170,7 @@ proptest! {
             let sess = Session::local(g.finish().unwrap()).unwrap();
             let mut feeds = HashMap::new();
             feeds.insert("x".to_string(), Tensor::scalar_f32(xv));
-            sess.run_simple(&feeds, &[fetch]).unwrap()[0].scalar_as_f32().unwrap()
+            sess.eval(&feeds, &[fetch]).unwrap()[0].scalar_as_f32().unwrap()
         };
         let x0 = 0.37f32;
         let analytic = eval(x0, true);

@@ -129,8 +129,8 @@ fn run(p: &OptProgram, opt: OptLevel) -> Vec<Tensor> {
     .unwrap();
     let mut feeds = HashMap::new();
     feeds.insert("x".to_string(), Tensor::scalar_f32(p.init));
-    let mut out = sess.run_simple(&feeds, &fetches).unwrap();
-    out.extend(sess.run_simple(&feeds, &fetches).unwrap());
+    let mut out = sess.eval(&feeds, &fetches).unwrap();
+    out.extend(sess.eval(&feeds, &fetches).unwrap());
     out
 }
 

@@ -106,7 +106,7 @@ fn check_scatter_transparency(
         requests.iter().map(|feeds| batcher.submit(Request::new(feeds.clone())).unwrap()).collect();
     for (feeds, ticket) in requests.iter().zip(tickets) {
         let resp = ticket.wait().unwrap();
-        let alone = reference.run_simple(feeds, &ref_sig.fetches).unwrap();
+        let alone = reference.eval(feeds, &ref_sig.fetches).unwrap();
         prop_assert!(resp.outputs[0].value_eq(&alone[0]), "batched slice differs from private run");
         prop_assert_eq!(resp.outputs[0].shape().dim(0), feeds["x"].shape().dim(0));
     }

@@ -1,0 +1,286 @@
+//! Integration tests for the replica router behind the `ModelHandle` API.
+//!
+//! Three properties carry the tier:
+//!
+//! * **Routing** — power-of-two-choices dispatch must actually prefer the
+//!   less-loaded replica: traffic fired while one replica's queue is
+//!   occupied has to land on the idle one.
+//! * **Transparency** — replication and scaling are invisible to clients:
+//!   every response, through scale-up and scale-down transitions, is
+//!   bit-identical to what a private single-replica session returns for
+//!   the same feed.
+//! * **Self-healing** (`--features faultinject`) — a replica whose steps
+//!   keep aborting is evicted and replaced while the model keeps serving.
+
+use dcf::graph::Graph;
+use dcf::prelude::*;
+use dcf::serve::ModelMetrics;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The same batch-linear loop model the batcher tests pin bit-identity
+/// on: three loop iterations of `y = tanh(y · W)` over `x: [B, 4]`.
+fn mlp_loop_model() -> (Graph, ModelSignature) {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", DType::F32);
+    let w = g.constant(TensorRng::new(7).uniform(&[4, 4], -0.8, 0.8));
+    let i0 = g.scalar_i64(0);
+    let trips = g.scalar_i64(3);
+    let outs = g
+        .while_loop(
+            &[i0, x],
+            |g, v| g.less(v[0], trips),
+            |g, v| {
+                let one = g.scalar_i64(1);
+                let h = g.matmul(v[1], w)?;
+                let h = g.tanh(h)?;
+                Ok(vec![g.add(v[0], one)?, h])
+            },
+            WhileOptions::default(),
+        )
+        .expect("while_loop builds");
+    let sig = ModelSignature::new().feed("x", DType::F32, &[4]).fetch(outs[1]);
+    (g.finish().expect("graph validates"), sig)
+}
+
+fn feed_rows(rows: usize, value: f32) -> HashMap<String, Tensor> {
+    let mut m = HashMap::new();
+    m.insert("x".to_string(), Tensor::fill_f32(value, &[rows, 4]));
+    m
+}
+
+/// The replica a response was served by, recovered from its batch tag
+/// (`"mlp[r0]/batch-3"` → `"mlp[r0]"`).
+fn replica_of(tag: &str) -> String {
+    tag.split("/batch-").next().unwrap().to_string()
+}
+
+#[test]
+fn p2c_routes_around_a_loaded_replica() {
+    let (graph, sig) = mlp_loop_model();
+    let reg = ModelRegistry::new();
+    let handle = reg
+        .register(
+            "mlp",
+            ModelSpec::local(graph, sig)
+                .with_policy(BatchPolicy {
+                    max_batch_size: 8,
+                    // Long linger: a partial batch occupies its replica's
+                    // queue for the whole window, so the load imbalance is
+                    // stable while we fire the probe traffic.
+                    max_queue_delay: Duration::from_millis(300),
+                    ..BatchPolicy::default()
+                })
+                .with_replicas(2),
+        )
+        .unwrap();
+
+    // Occupy one replica with a 4-row request that will linger...
+    let occupant = handle.submit(Request::new(feed_rows(4, 0.5))).unwrap();
+    // ...then probe with single-row requests. Each sees loads like
+    // [4, 0] / [4, 1] / [4, 2]: strictly less-loaded, so every probe must
+    // route to the idle replica no matter which pair order the hash picks.
+    let probes: Vec<_> =
+        (0..3).map(|i| handle.submit(Request::new(feed_rows(1, i as f32))).unwrap()).collect();
+
+    let occupant_replica = replica_of(&occupant.wait().unwrap().tag);
+    let probe_replicas: Vec<String> =
+        probes.into_iter().map(|t| replica_of(&t.wait().unwrap().tag)).collect();
+    for p in &probe_replicas {
+        assert_ne!(
+            *p, occupant_replica,
+            "probe landed on the loaded replica (occupant on {occupant_replica})"
+        );
+    }
+
+    let m: ModelMetrics = handle.metrics();
+    assert!(m.instantiated);
+    assert_eq!(m.replicas.len(), 2);
+    assert_eq!(m.aggregate.served, 4);
+    let mut served: Vec<u64> = m.replicas.iter().map(|r| r.snapshot.served).collect();
+    served.sort();
+    assert_eq!(served, vec![1, 3], "one replica took the occupant, the other all probes");
+    assert_eq!(handle.replicas(), 2);
+}
+
+#[test]
+fn scaling_transitions_stay_bit_identical_to_a_single_replica() {
+    let (graph, sig) = mlp_loop_model();
+    // Private single-replica reference: the builder is deterministic, so
+    // its signature's fetch refs address the same nodes.
+    let (ref_graph, ref_sig) = mlp_loop_model();
+    let reference = Session::local(ref_graph).unwrap();
+
+    let reg = ModelRegistry::new();
+    // Thresholds sit between the two phases' queue-delay regimes: phase 1
+    // (single-row requests against max_batch_size 2) always waits out the
+    // 30ms linger, far above the 20ms scale-up trigger; phase 2 (full
+    // 2-row batches) dispatches immediately, far below the 9ms scale-down
+    // trigger even after log2-bucket rounding.
+    let scaling = ScalingPolicy::autoscale(1, 3, 20.0, 9.0).with_cadence(6, 1);
+    let handle = reg
+        .register(
+            "mlp",
+            ModelSpec::local(graph, sig)
+                .with_policy(BatchPolicy {
+                    max_batch_size: 2,
+                    max_queue_delay: Duration::from_millis(30),
+                    ..BatchPolicy::default()
+                })
+                .with_scaling(scaling),
+        )
+        .unwrap();
+
+    let check = |resp: &dcf::serve::Response, feeds: &HashMap<String, Tensor>| {
+        let alone = reference.eval(feeds, &ref_sig.fetches).unwrap();
+        assert!(
+            resp.outputs[0].value_eq(&alone[0]),
+            "replicated response differs from the single-replica reference"
+        );
+    };
+
+    // Phase 1: sustained partial batches — every request eats the full
+    // linger, the windowed p99 crosses the scale-up threshold, and the
+    // set grows. Each response must still be the reference bits.
+    for i in 0..16 {
+        let feeds = feed_rows(1, i as f32 * 0.25 - 1.0);
+        let resp = handle.serve(Request::new(feeds.clone())).unwrap();
+        check(&resp, &feeds);
+    }
+    let grown = handle.metrics();
+    assert!(grown.scale_ups >= 1, "sustained linger-bound p99 must scale up: {grown:?}");
+    assert!(handle.replicas() > 1);
+
+    // Phase 2: full-size batches dispatch without lingering — the
+    // windowed p99 collapses and idle replicas retire, again without
+    // perturbing a bit.
+    for i in 0..20 {
+        let feeds = feed_rows(2, i as f32 * 0.2 - 2.0);
+        let resp = handle.serve(Request::new(feeds.clone())).unwrap();
+        assert_eq!(resp.batch_rows, 2, "full batches must dispatch alone");
+        check(&resp, &feeds);
+    }
+    let shrunk = handle.metrics();
+    assert!(shrunk.scale_downs >= 1, "idle low-p99 replicas must scale down: {shrunk:?}");
+    assert!(
+        handle.replicas() < grown.replicas.len() + grown.scale_ups as usize,
+        "replica count must have come back down"
+    );
+    assert_eq!(shrunk.evicted, 0, "healthy replicas are scaled away, never evicted");
+    assert_eq!(
+        shrunk.aggregate.served, 36,
+        "retired replicas' counters must fold into the aggregate"
+    );
+}
+
+#[cfg(feature = "faultinject")]
+mod faults {
+    //! Health eviction under injected faults: one replica's batched steps
+    //! always fail (total transfer loss, no retries); it must be evicted
+    //! and replaced while the model keeps serving.
+
+    use super::*;
+    use dcf::device::DeviceProfile;
+    use dcf::runtime::{FaultPlan, RetryPolicy};
+
+    /// Tanh on machine 1, loop control on machine 0: every batched step
+    /// crosses the simulated network, which is where the plan bites.
+    fn distributed_model() -> (Graph, ModelSignature) {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", DType::F32);
+        let w = g.constant(TensorRng::new(7).uniform(&[4, 4], -0.8, 0.8));
+        let i0 = g.scalar_i64(0);
+        let trips = g.scalar_i64(3);
+        let outs = g
+            .while_loop(
+                &[i0, x],
+                |g, v| g.less(v[0], trips),
+                |g, v| {
+                    let one = g.scalar_i64(1);
+                    let h = g.matmul(v[1], w)?;
+                    let h = g.with_device("/machine:1/cpu:0", |g| g.tanh(h))?;
+                    Ok(vec![g.add(v[0], one)?, h])
+                },
+                WhileOptions::default(),
+            )
+            .expect("while_loop builds");
+        let sig = ModelSignature::new().feed("x", DType::F32, &[4]).fetch(outs[1]);
+        (g.finish().expect("graph validates"), sig)
+    }
+
+    fn two_machines() -> Cluster {
+        let mut c = Cluster::new();
+        c.add_device(0, DeviceProfile::cpu());
+        c.add_device(1, DeviceProfile::cpu());
+        c
+    }
+
+    #[test]
+    fn faulty_replica_is_evicted_and_replaced_while_serving() {
+        let (graph, sig) = distributed_model();
+        let mut spec = ModelSpec::local(graph, sig)
+            .with_policy(BatchPolicy {
+                max_batch_size: 4,
+                max_queue_delay: Duration::from_millis(1),
+                // No retries: a dropped transfer aborts the step at once,
+                // so the sick replica racks up consecutive failures fast.
+                run_options: RunOptions::default()
+                    .with_retry(RetryPolicy { max_retries: 0, ..RetryPolicy::default() }),
+                ..BatchPolicy::default()
+            })
+            .with_replicas(2)
+            .with_scaling(ScalingPolicy::default().with_eviction_after(2))
+            // Initial replica 0 loses every transfer; its replacement
+            // (a fresh id past the override list) is healthy.
+            .with_replica_fault_plan(0, FaultPlan::seeded(9).with_drop(1.0));
+        spec.cluster = two_machines();
+
+        let reg = ModelRegistry::new();
+        let handle = reg.register("dist", spec).unwrap();
+
+        // Sequential requests spread across both replicas (all idle, so
+        // p2c ties break by hash). Ones landing on replica 0 fail — until
+        // its second consecutive failed step gets it evicted, after which
+        // everything succeeds.
+        let mut failures = 0u32;
+        let mut successes = 0u32;
+        let mut evicted_after: Option<u32> = None;
+        for i in 0..40 {
+            let feeds = feed_rows(1, i as f32 * 0.1);
+            match handle.serve(Request::new(feeds)) {
+                Ok(resp) => {
+                    successes += 1;
+                    assert_eq!(resp.outputs[0].shape().dims(), &[1, 4]);
+                }
+                Err(_) => failures += 1,
+            }
+            if evicted_after.is_none() && handle.metrics().evicted > 0 {
+                evicted_after = Some(i);
+            }
+        }
+
+        let m = handle.metrics();
+        assert_eq!(m.evicted, 1, "the faulty replica must be evicted exactly once: {m:?}");
+        assert_eq!(m.replicas.len(), 2, "eviction must replace, not shrink");
+        assert!(
+            m.replicas.iter().all(|r| r.id != 0),
+            "replica 0 must be gone, replaced by a fresh id: {m:?}"
+        );
+        assert!(
+            m.replicas.iter().all(|r| r.consecutive_step_failures == 0),
+            "live replicas must be healthy: {m:?}"
+        );
+        let evicted_after = evicted_after.expect("eviction must happen during the run");
+        assert!(failures >= 2, "the sick replica failed at least its eviction threshold");
+        assert!(successes >= 20, "the model must keep serving throughout");
+        // Once the sick replica is gone, nothing fails: total failures
+        // are bounded by the requests issued before eviction.
+        assert!(
+            failures <= evicted_after + 1,
+            "failures ({failures}) after eviction (at request {evicted_after})"
+        );
+        // The evicted replica's failed steps survive in the aggregate.
+        assert!(m.aggregate.steps_failed >= 2, "retired counters must fold in: {m:?}");
+        assert_eq!(m.aggregate.served, successes as u64);
+    }
+}

@@ -97,7 +97,7 @@ fn batched_scatter_is_bit_identical_to_individual_runs() {
         for (feeds, ticket) in requests.iter().zip(tickets) {
             let resp = ticket.wait().unwrap();
             let rows = feeds["x"].shape().dim(0);
-            let alone = reference.run_simple(feeds, &ref_sig.fetches).unwrap();
+            let alone = reference.eval(feeds, &ref_sig.fetches).unwrap();
             assert_eq!(resp.outputs.len(), 2);
             for (got, want) in resp.outputs.iter().zip(&alone) {
                 assert_eq!(got.shape().dims(), &[rows, 4]);
@@ -287,7 +287,7 @@ fn batch_tags_mark_chrome_trace_tracks() {
     let mut feeds = HashMap::new();
     feeds.insert("x".to_string(), Tensor::fill_f32(0.1, &[2, 4]));
     let opts = RunOptions::traced(TraceLevel::Full).with_tag("mlp/batch-0");
-    let (result, meta) = session.run_full(&opts, &feeds, &sig.fetches);
+    let (result, meta) = session.run(&opts, &feeds, &sig.fetches);
     result.unwrap();
     assert_eq!(meta.tag, "mlp/batch-0");
     let trace = chrome_trace_json(&meta.step_stats.expect("trace requested"));
@@ -387,7 +387,7 @@ mod faults {
                 let resp = ticket.wait().unwrap_or_else(|e| {
                     panic!("fault-injected batch failed past retries (seed {seed}): {e}")
                 });
-                let alone = reference.run_simple(feeds, &ref_sig.fetches).unwrap();
+                let alone = reference.eval(feeds, &ref_sig.fetches).unwrap();
                 assert!(
                     resp.outputs[0].value_eq(&alone[0]),
                     "faults perturbed a batched slice (seed {seed})"

@@ -144,7 +144,7 @@ fn concurrent_sessions_share_resources() {
             scope.spawn(move || {
                 for _ in 0..rounds {
                     let out = sess
-                        .run_simple(&HashMap::new(), std::slice::from_ref(fetch))
+                        .eval(&HashMap::new(), std::slice::from_ref(fetch))
                         .expect("concurrent run should succeed");
                     assert_eq!(out[0].scalar_as_i64().expect("i64 fetch"), *expected);
                 }

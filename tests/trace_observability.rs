@@ -53,8 +53,8 @@ fn traced_nested_run(workers: usize) -> (i64, StepStats) {
             .with_executor(ExecutorOptions { workers, ..ExecutorOptions::default() }),
     )
     .unwrap();
-    let (out, meta) =
-        sess.run(&RunOptions::traced(TraceLevel::Full), &HashMap::new(), &[outs[1]]).unwrap();
+    let (out, meta) = sess.run(&RunOptions::traced(TraceLevel::Full), &HashMap::new(), &[outs[1]]);
+    let out = out.unwrap();
     (out[0].scalar_as_i64().unwrap(), meta.step_stats.expect("trace requested"))
 }
 
@@ -137,7 +137,8 @@ fn cond_counts_untaken_branch_as_dead() {
     .unwrap();
     let mut feeds = HashMap::new();
     feeds.insert("p".to_string(), Tensor::scalar_bool(true));
-    let (out, meta) = sess.run(&RunOptions::traced(TraceLevel::Full), &feeds, &[outs[0]]).unwrap();
+    let (out, meta) = sess.run(&RunOptions::traced(TraceLevel::Full), &feeds, &[outs[0]]);
+    let out = out.unwrap();
     assert_eq!(out[0].scalar_as_f32().unwrap(), 12.0);
 
     let stats = meta.step_stats.expect("trace requested");
@@ -222,8 +223,9 @@ fn gpu_kernel_streams_are_recorded_and_serial() {
         )
         .unwrap();
     let sess = Session::new(g.finish().unwrap(), cluster, SessionOptions::functional()).unwrap();
-    let (_, meta) =
-        sess.run(&RunOptions::traced(TraceLevel::Full), &HashMap::new(), &[outs[1]]).unwrap();
+    let (result, meta) =
+        sess.run(&RunOptions::traced(TraceLevel::Full), &HashMap::new(), &[outs[1]]);
+    result.unwrap();
     let stats = meta.step_stats.expect("trace requested");
     let dev = &stats.devices[0];
     assert!(!dev.kernel_stats.is_empty(), "Full trace records stream kernels");
@@ -259,8 +261,8 @@ fn software_level_skips_device_events() {
     let y = g.scalar_f32(4.0);
     let z = g.add(x, y).unwrap();
     let sess = Session::local(g.finish().unwrap()).unwrap();
-    let (_, meta) =
-        sess.run(&RunOptions::traced(TraceLevel::Software), &HashMap::new(), &[z]).unwrap();
+    let (result, meta) = sess.run(&RunOptions::traced(TraceLevel::Software), &HashMap::new(), &[z]);
+    result.unwrap();
     let stats = meta.step_stats.expect("trace requested");
     let dev = &stats.devices[0];
     assert!(!dev.node_stats.is_empty(), "software level records node timings");
