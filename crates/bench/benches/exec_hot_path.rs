@@ -17,9 +17,17 @@
 //! the pure wake-up overhead that makes `tight_loop/workers8` slower
 //! than `workers1` on few-core hosts.
 //!
+//! The `alloc_pressure/plan_{off,on}` family judges the static
+//! memory-planning PR: full `Session` steps over a deep f32 matmul chain
+//! on a GPU-profile device, where every kernel output opens an allocator
+//! charge unplanned but the whole chain rides one region reservation
+//! planned. The plan-on leg asserts the planner engaged (`aliased_slots
+//! >= 1`) and that it strictly reduced allocator round-trips.
+//!
 //! Pass `--quick` for a CI smoke run: tiny sample counts, and the JSON
 //! report is *not* rewritten (the committed `BENCH_exec.json` stays a
-//! full-run artifact). The fused-kernel assertion still fires.
+//! full-run artifact). The fused-kernel, planner-engaged, and
+//! fewer-allocs assertions still fire.
 
 use dcf_bench::microbench::Bench;
 use dcf_device::{
@@ -29,7 +37,7 @@ use dcf_exec::{
     ExecGraph, Executor, ExecutorOptions, InMemoryRendezvous, ResourceManager, RunConfig,
 };
 use dcf_graph::{GraphBuilder, TensorRef, WhileOptions};
-use dcf_runtime::{Cluster, OptLevel, Session, SessionOptions};
+use dcf_runtime::{Cluster, MemPlan, OptLevel, Session, SessionOptions};
 use dcf_sync::{Condvar, Mutex};
 use dcf_tensor::{DType, Tensor};
 use std::collections::{HashMap, VecDeque};
@@ -184,6 +192,60 @@ fn measure_chain(b: &mut Bench, name: &str, depth: usize, len: usize, opt: OptLe
     });
 }
 
+/// Builds a [`Session`] over a `depth`-deep f32 matmul chain on a single
+/// GPU-profile device (zero time scale: kernels are synchronous, so the
+/// measurement isolates executor + allocator overhead, not modeled kernel
+/// time). The placeholder root keeps the constant folder away and matmuls
+/// are never fused, so unplanned every link opens its own memory charge —
+/// the allocator-pressure workload the memory planner exists for.
+fn alloc_pressure_session(depth: usize, plan: MemPlan) -> (Session, TensorRef) {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder_shaped("x", DType::F32, &[8, 8]);
+    // 1/8-filled weights keep chain values bounded at any depth.
+    let w = g.constant(Tensor::from_vec_f32(vec![0.125; 64], &[8, 8]).expect("weight tensor"));
+    let mut t = x;
+    for _ in 0..depth {
+        t = g.matmul(t, w).expect("matmul should build");
+    }
+    let graph = g.finish().expect("alloc-pressure graph should validate");
+    let mut cluster = Cluster::new();
+    cluster.add_device(0, DeviceProfile::gpu_k40().with_time_scale(0.0));
+    let sess = Session::new(
+        graph,
+        cluster,
+        SessionOptions::functional().with_optimization(OptLevel::Standard).with_memory_plan(plan),
+    )
+    .expect("session should build");
+    (sess, t)
+}
+
+/// Measures whole `Session` steps of the matmul chain under `plan`,
+/// reporting chain links per second. Returns the median step time and the
+/// exact per-step allocator round-trip count.
+fn measure_alloc_pressure(b: &mut Bench, name: &str, depth: usize, plan: MemPlan) -> (f64, u64) {
+    let (sess, tail) = alloc_pressure_session(depth, plan);
+    if plan == MemPlan::On {
+        let stats = sess.optimize_stats().expect("plan-on session must report stats");
+        assert!(
+            stats.aliased_slots >= 1 && stats.planned_bytes > 0,
+            "matmul chain must engage the memory planner, got {stats:?}"
+        );
+    }
+    let mut feeds = HashMap::new();
+    let data: Vec<f32> = (0..64).map(|i| (i as f32) / 64.0 - 0.5).collect();
+    feeds.insert("x".to_string(), Tensor::from_vec_f32(data, &[8, 8]).expect("feed tensor"));
+    let fetches = [tail];
+    // Exact per-step allocator traffic, probed outside the timed loop;
+    // every step of the same compiled graph allocates identically.
+    let before = sess.cluster().devices()[0].allocator().total_allocs();
+    sess.eval(&feeds, &fetches).expect("bench step should run");
+    let per_step = sess.cluster().devices()[0].allocator().total_allocs() - before;
+    let result = b.throughput_case(name, depth as f64, || {
+        sess.eval(&feeds, &fetches).expect("bench step should run");
+    });
+    (result.median_ns, per_step)
+}
+
 /// A bench-local replica of the executor worker pool's channel (a
 /// `Mutex<VecDeque>` + `Condvar`, see `crates/exec/src/pool.rs`): `workers`
 /// threads block on the condvar, and the submitter pushes jobs one at a
@@ -288,6 +350,26 @@ fn main() {
         [("elemwise_chain/opt_off", OptLevel::None), ("elemwise_chain/opt_on", OptLevel::Standard)]
     {
         measure_chain(&mut b, name, chain_depth, 1024, opt);
+    }
+
+    // Allocator pressure, memory plan off vs on: the headline for the
+    // static memory-planning PR. The alloc-count comparison is exact and
+    // asserted in both modes; the timing comparison is only asserted on
+    // full runs, where the sample count makes the median trustworthy.
+    let alloc_depth = if quick { 64 } else { 256 };
+    let (median_off, allocs_off) =
+        measure_alloc_pressure(&mut b, "alloc_pressure/plan_off", alloc_depth, MemPlan::Off);
+    let (median_on, allocs_on) =
+        measure_alloc_pressure(&mut b, "alloc_pressure/plan_on", alloc_depth, MemPlan::On);
+    assert!(
+        allocs_on < allocs_off,
+        "memory plan must strictly reduce allocator round-trips: on={allocs_on} off={allocs_off}"
+    );
+    if !quick {
+        assert!(
+            median_on < median_off,
+            "memory plan must not regress step latency: on={median_on}ns off={median_off}ns"
+        );
     }
 
     // Pool wake-up overhead: a sequential job chain through the pool's

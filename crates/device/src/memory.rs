@@ -36,6 +36,7 @@ struct Inner {
     peak: usize,
     total_allocs: u64,
     failed_allocs: u64,
+    over_frees: u64,
 }
 
 /// Tracks modeled memory consumption of one device.
@@ -104,12 +105,20 @@ impl TrackingAllocator {
 
     /// Releases `bytes`.
     ///
-    /// Saturates at zero (double-free of modeled bytes is a logic error but
-    /// must not wrap the counter).
+    /// Saturates at zero — but an over-free (freeing more than is charged,
+    /// i.e. a double-drop of a modeled charge) is a caller logic error and
+    /// is counted in [`TrackingAllocator::over_frees`] rather than silently
+    /// corrupting the accounting. Tests assert the counter stays zero so
+    /// memory-planner bugs cannot hide behind the saturation.
     pub fn free(&self, bytes: usize) {
         let (lock, freed) = &*self.inner;
         let mut inner = lock.lock();
-        inner.in_use = inner.in_use.saturating_sub(bytes);
+        if bytes > inner.in_use {
+            inner.over_frees += 1;
+            inner.in_use = 0;
+        } else {
+            inner.in_use -= bytes;
+        }
         freed.notify_all();
     }
 
@@ -143,6 +152,26 @@ impl TrackingAllocator {
         self.inner.0.lock().failed_allocs
     }
 
+    /// Number of over-frees observed: calls to [`TrackingAllocator::free`]
+    /// that released more bytes than were charged. Always zero in a correct
+    /// run; any other value means a modeled charge was double-dropped.
+    pub fn over_frees(&self) -> u64 {
+        self.inner.0.lock().over_frees
+    }
+
+    /// Charges `bytes` as one RAII reservation: the bytes are released when
+    /// the returned [`Reservation`] drops. On a full device, waits up to
+    /// `patience` for concurrent deallocations before reporting OOM (same
+    /// backpressure as [`TrackingAllocator::alloc_retrying`]).
+    ///
+    /// This is the surface the static memory planner uses: one up-front
+    /// reservation covering a whole planned region, instead of one
+    /// alloc/free round-trip per kernel output.
+    pub fn reserve(&self, bytes: usize, patience: Duration) -> Result<Reservation, MemoryError> {
+        self.alloc_retrying(bytes, patience)?;
+        Ok(Reservation { allocator: self.clone(), bytes })
+    }
+
     /// Snapshot of all counters under one lock, for step-stats reporting.
     pub fn snapshot(&self) -> crate::stats::MemStats {
         let inner = self.inner.0.lock();
@@ -152,6 +181,7 @@ impl TrackingAllocator {
             capacity_bytes: self.capacity as u64,
             total_allocs: inner.total_allocs,
             failed_allocs: inner.failed_allocs,
+            over_frees: inner.over_frees,
         }
     }
 
@@ -159,6 +189,29 @@ impl TrackingAllocator {
     pub fn reset(&self) {
         let mut inner = self.inner.0.lock();
         *inner = Inner::default();
+    }
+}
+
+/// An RAII byte reservation against a [`TrackingAllocator`]: created by
+/// [`TrackingAllocator::reserve`], released exactly once on drop. The
+/// reservation counts as a single allocation however many tensors the
+/// caller packs into it.
+#[derive(Debug)]
+pub struct Reservation {
+    allocator: TrackingAllocator,
+    bytes: usize,
+}
+
+impl Reservation {
+    /// The reserved size in (modeled) bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.allocator.free(self.bytes);
     }
 }
 
@@ -204,11 +257,35 @@ mod tests {
     }
 
     #[test]
-    fn free_saturates() {
+    fn free_saturates_and_counts_over_frees() {
         let a = TrackingAllocator::new("gpu:0", 100);
         a.alloc(10).unwrap();
         a.free(50);
         assert_eq!(a.in_use(), 0);
+        assert_eq!(a.over_frees(), 1, "over-free must be counted, not hidden");
+        // A balanced free is not an over-free.
+        a.alloc(30).unwrap();
+        a.free(30);
+        assert_eq!(a.over_frees(), 1);
+        assert_eq!(a.snapshot().over_frees, 1);
+        // reset clears the counter with the rest.
+        a.reset();
+        assert_eq!(a.over_frees(), 0);
+    }
+
+    #[test]
+    fn reservation_charges_once_and_frees_on_drop() {
+        let a = TrackingAllocator::new("gpu:0", 100);
+        let r = a.reserve(60, Duration::ZERO).unwrap();
+        assert_eq!(r.bytes(), 60);
+        assert_eq!(a.in_use(), 60);
+        assert_eq!(a.total_allocs(), 1, "a reservation is one allocation");
+        drop(r);
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.over_frees(), 0);
+        // Reservations respect capacity like any other charge.
+        assert!(a.reserve(200, Duration::ZERO).is_err());
+        assert_eq!(a.failed_allocs(), 1);
     }
 
     #[test]

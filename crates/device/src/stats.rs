@@ -97,6 +97,9 @@ pub struct MemStats {
     pub total_allocs: u64,
     /// Failed (OOM) allocations.
     pub failed_allocs: u64,
+    /// Over-frees observed (more bytes released than charged): always zero
+    /// unless a modeled charge was double-dropped.
+    pub over_frees: u64,
 }
 
 /// Summary of one completed frame activation (one `while_loop` execution).
@@ -189,6 +192,17 @@ pub struct OptimizeStats {
     /// `true` if the session reused a cached compiled graph (the counters
     /// then describe the cached artifact's original optimization).
     pub cache_hit: bool,
+    /// Bytes covered by the static memory plan across all partitions: the
+    /// summed up-front region reservations that replace per-kernel
+    /// allocator round-trips. Zero when planning is off or nothing on a
+    /// charging device was plannable.
+    pub planned_bytes: u64,
+    /// Plan slots hosting more than one output — buffers whose lifetimes
+    /// were proven disjoint and aliased into shared storage.
+    pub aliased_slots: usize,
+    /// Charged outputs that fell back to the dynamic per-token path
+    /// because their shape is unknown at compile time.
+    pub dynamic_fallbacks: usize,
 }
 
 /// The merged statistics of one traced run, returned inside the session's
@@ -543,6 +557,12 @@ impl StepStats {
                 o.wall_us,
                 if o.cache_hit { " (cached compile)" } else { "" }
             ));
+            if o.planned_bytes > 0 || o.dynamic_fallbacks > 0 {
+                out.push_str(&format!(
+                    "memory plan: {} B planned, {} aliased slots, {} dynamic fallbacks\n",
+                    o.planned_bytes, o.aliased_slots, o.dynamic_fallbacks
+                ));
+            }
         }
         for dev in &self.devices {
             out.push_str(&format!("== {} ==\n", dev.device));
@@ -628,8 +648,8 @@ impl StepStats {
 
             if let Some(m) = &dev.memory {
                 out.push_str(&format!(
-                    "memory: peak {} B / {} B capacity, {} allocs ({} failed)\n",
-                    m.peak_bytes, m.capacity_bytes, m.total_allocs, m.failed_allocs
+                    "memory: peak {} B / {} B capacity, {} allocs ({} failed, {} over-frees)\n",
+                    m.peak_bytes, m.capacity_bytes, m.total_allocs, m.failed_allocs, m.over_frees
                 ));
             }
         }

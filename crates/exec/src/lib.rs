@@ -35,6 +35,7 @@ mod exec_graph;
 mod executor;
 mod frame;
 mod kernels;
+mod plan;
 mod pool;
 mod rendezvous;
 mod resources;
@@ -43,6 +44,7 @@ mod token;
 pub use exec_graph::ExecGraph;
 pub use executor::{Executor, ExecutorOptions, RunConfig, RunOutcome};
 pub use kernels::{execute_op, op_cost};
+pub use plan::{MemPlanStats, MemoryPlan};
 pub use rendezvous::{InMemoryRendezvous, RecvCallback, RecvResult, Rendezvous, StepId};
 pub use resources::ResourceManager;
 pub use token::{CancelToken, Charge, ExecError, Token};

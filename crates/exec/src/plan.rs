@@ -1,0 +1,312 @@
+//! Static memory planning: liveness-based buffer-slot aliasing for the
+//! straight-line (root-context) region of a partition.
+//!
+//! The executor's default accounting charges every materialized compute
+//! output individually against the device allocator ([`crate::Charge`]),
+//! one allocator round-trip per kernel. For the static part of a graph —
+//! root-context compute nodes whose output shapes are known at compile
+//! time — the schedule-level lifetime of every output is also known: a
+//! value is born when its producer runs and dies when its last consumer
+//! has run. This pass assigns outputs whose modeled lifetimes do not
+//! overlap (under a topological schedule) to shared *buffer slots*, sizes
+//! each slot at the maximum of its occupants, and sums the slots into one
+//! region reservation the executor acquires up front per run — one
+//! allocator round-trip per step instead of one per kernel.
+//!
+//! Values the plan cannot reason about statically keep the per-token
+//! `Charge` path unchanged:
+//!
+//! * outputs with unknown (dynamic) shapes — counted as
+//!   `dynamic_fallbacks`;
+//! * loop-carried and cross-frame values (any consumer is control flow,
+//!   e.g. `Enter`/`Switch`, or lives outside the root context);
+//! * cross-device values (any consumer is a `Send`);
+//! * multi-output nodes and non-`f32` or sub-threshold outputs, which the
+//!   executor never charges individually either.
+//!
+//! The plan models a *sequential* topological schedule. The tagged-token
+//! executor may run independent branches concurrently, transiently
+//! exceeding a slot's single-occupancy assumption — but the reservation is
+//! a single conservative region charge held for the whole run, so the
+//! modeled footprint never fluctuates below what the schedule needs, and
+//! real tensor buffers are refcounted independently (planning changes
+//! accounting, never values).
+
+use crate::kernels::{op_kind_class, should_charge, OpClass};
+use dcf_device::CostModel;
+use dcf_graph::{ContextId, Graph, NodeId};
+
+/// Counters describing one computed [`MemoryPlan`] (summed across
+/// partitions into `OptimizeStats` by the session).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemPlanStats {
+    /// Total modeled bytes of the planned region (sum of slot sizes).
+    pub planned_bytes: u64,
+    /// Slots hosting more than one output (actual lifetime sharing).
+    pub aliased_slots: usize,
+    /// Root-context compute outputs that were plan candidates but have no
+    /// statically known shape, falling back to per-token charging.
+    pub dynamic_fallbacks: usize,
+    /// Outputs assigned to a slot (charged via the region reservation).
+    pub planned_outputs: usize,
+}
+
+/// A static memory plan for one partition: which node outputs are covered
+/// by the up-front region reservation, and how large that reservation is.
+///
+/// An empty (default) plan covers nothing and reserves nothing — the
+/// executor behaves exactly as without planning.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryPlan {
+    /// `planned[node.0]` is `true` if the node's (single) output is
+    /// charged via the region reservation instead of a fresh `Charge`.
+    planned: Vec<bool>,
+    /// Size of the up-front region reservation, in modeled bytes.
+    region_bytes: usize,
+    stats: MemPlanStats,
+}
+
+impl MemoryPlan {
+    /// `true` if `id`'s output is covered by the region reservation.
+    #[inline]
+    pub fn is_planned(&self, id: NodeId) -> bool {
+        self.planned.get(id.0).copied().unwrap_or(false)
+    }
+
+    /// Modeled bytes the executor reserves up front per run (0 for an
+    /// empty plan: no reservation is made).
+    #[inline]
+    pub fn region_bytes(&self) -> usize {
+        self.region_bytes
+    }
+
+    /// The plan's counters.
+    pub fn stats(&self) -> MemPlanStats {
+        self.stats
+    }
+
+    /// Computes a plan for the `members` partition of `graph`, using `cm`
+    /// for modeled byte sizes (the same model the executor charges with).
+    ///
+    /// Only meaningful for devices that charge memory (GPU profiles); the
+    /// caller gates on the device profile.
+    pub fn compute(graph: &Graph, members: &[NodeId], cm: &CostModel) -> MemoryPlan {
+        let n = graph.len();
+        let mut member = vec![false; n];
+        for id in members {
+            member[id.0] = true;
+        }
+        // Loops make the graph cyclic through back edges, which
+        // `topo_order` tolerates; any other cycle means the graph is
+        // malformed and planning is skipped (the session will surface the
+        // error elsewhere).
+        let Ok(order) = graph.topo_order() else {
+            return MemoryPlan::default();
+        };
+        let mut pos = vec![usize::MAX; n];
+        for (p, id) in order.iter().enumerate() {
+            pos[id.0] = p;
+        }
+
+        // Member consumer lists per node (single-output candidates only
+        // ever look at port 0, but an input from any port disqualifies
+        // multi-output producers earlier anyway).
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for node in graph.nodes() {
+            if !member[node.id.0] {
+                continue;
+            }
+            for inp in &node.inputs {
+                if member[inp.node.0] {
+                    consumers[inp.node.0].push(node.id);
+                }
+            }
+        }
+
+        let mut stats = MemPlanStats::default();
+        // Candidates in topological order: (node, bytes, last_use).
+        let mut candidates: Vec<(NodeId, usize, usize)> = Vec::new();
+        for &id in &order {
+            let node = graph.node(id);
+            if !member[id.0]
+                || node.ctx != ContextId::ROOT
+                || !matches!(op_kind_class(&node.op), OpClass::Compute)
+                || node.out_dtypes.len() != 1
+                || node.out_dtypes[0] != dcf_tensor::DType::F32
+            {
+                continue;
+            }
+            // The value must stay inside this partition's root-context
+            // straight-line region: a control-flow consumer re-frames or
+            // re-routes it (loop-carried / conditional lifetime), a comm
+            // consumer ships it to another device, and a resource consumer
+            // (stack push, TensorArray write) parks it past its scheduled
+            // last use — and the swap engine relieves memory pressure by
+            // dropping a token's *individual* charge, which a region-backed
+            // clone cannot deliver. All three stay on the per-token path.
+            let local = consumers[id.0].iter().all(|&c| {
+                let cn = graph.node(c);
+                cn.ctx == ContextId::ROOT
+                    && !matches!(
+                        op_kind_class(&cn.op),
+                        OpClass::Comm | OpClass::ControlFlow | OpClass::Resource
+                    )
+            });
+            if !local {
+                continue;
+            }
+            let Some(shape) = node.out_shapes[0].as_ref() else {
+                stats.dynamic_fallbacks += 1;
+                continue;
+            };
+            let bytes = cm.scaled_bytes(shape, node.out_dtypes[0].size_of());
+            if !should_charge(node.out_dtypes[0], bytes) {
+                // Never charged individually either; nothing to plan.
+                continue;
+            }
+            let last_use =
+                consumers[id.0].iter().map(|c| pos[c.0]).max().unwrap_or(pos[id.0]).max(pos[id.0]);
+            candidates.push((id, bytes, last_use));
+        }
+
+        // Greedy slot assignment over the topological schedule: a slot is
+        // reusable once its current occupant's last use is strictly before
+        // the new occupant's birth.
+        struct Slot {
+            size: usize,
+            expiry: usize,
+            occupants: usize,
+        }
+        let mut planned = vec![false; n];
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        for &(id, bytes, last_use) in &candidates {
+            let birth = pos[id.0];
+            for (si, slot) in slots.iter().enumerate() {
+                if slot.expiry < birth && !free.contains(&si) {
+                    free.push(si);
+                }
+            }
+            match free.pop() {
+                Some(si) => {
+                    let slot = &mut slots[si];
+                    slot.size = slot.size.max(bytes);
+                    slot.expiry = last_use;
+                    slot.occupants += 1;
+                }
+                None => slots.push(Slot { size: bytes, expiry: last_use, occupants: 1 }),
+            }
+            planned[id.0] = true;
+            stats.planned_outputs += 1;
+        }
+
+        let region_bytes: usize = slots.iter().map(|s| s.size).sum();
+        stats.planned_bytes = region_bytes as u64;
+        stats.aliased_slots = slots.iter().filter(|s| s.occupants > 1).count();
+        MemoryPlan { planned, region_bytes, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_device::DeviceProfile;
+    use dcf_graph::GraphBuilder;
+    use dcf_tensor::{DType, Tensor};
+
+    fn gpu_cm() -> CostModel {
+        CostModel::new(DeviceProfile::gpu_k40().with_time_scale(0.0))
+    }
+
+    fn all_ids(g: &Graph) -> Vec<NodeId> {
+        g.nodes().iter().map(|n| n.id).collect()
+    }
+
+    #[test]
+    fn chain_aliases_to_two_slots() {
+        // x -> m1 -> m2 -> m3 -> m4: at most two values live at once under
+        // the sequential schedule, so four outputs share two slots.
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder_shaped("x", DType::F32, &[8, 8]);
+        let w = b.constant(Tensor::ones(&[8, 8]));
+        let mut cur = x;
+        for _ in 0..4 {
+            cur = b.matmul(cur, w).unwrap();
+        }
+        let g = b.finish().unwrap();
+        let plan = MemoryPlan::compute(&g, &all_ids(&g), &gpu_cm());
+        let stats = plan.stats();
+        assert_eq!(stats.planned_outputs, 4);
+        assert_eq!(stats.aliased_slots, 2, "stats: {stats:?}");
+        assert_eq!(stats.dynamic_fallbacks, 0);
+        // Two slots of an 8x8 f32 tensor each.
+        let one = gpu_cm().scaled_bytes(g.shape(cur).unwrap(), 4);
+        assert_eq!(plan.region_bytes(), 2 * one);
+        assert!(plan.is_planned(cur.node));
+        assert!(!plan.is_planned(x.node), "placeholders are not compute outputs");
+    }
+
+    #[test]
+    fn unknown_shapes_fall_back() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x", DType::F32); // no declared shape
+        let y = b.relu(x).unwrap();
+        let g = b.finish().unwrap();
+        let plan = MemoryPlan::compute(&g, &all_ids(&g), &gpu_cm());
+        assert!(!plan.is_planned(y.node));
+        assert_eq!(plan.stats().dynamic_fallbacks, 1);
+        assert_eq!(plan.region_bytes(), 0);
+    }
+
+    #[test]
+    fn loop_carried_values_are_excluded() {
+        let mut b = GraphBuilder::new();
+        let x = b.constant(Tensor::ones(&[8, 8]));
+        let w = b.constant(Tensor::ones(&[8, 8]));
+        // Feeds a while loop: the pre-loop matmul's consumer is an Enter,
+        // so its lifetime leaves the root region.
+        let seed = b.matmul(x, w).unwrap();
+        let lim = b.scalar_i64(2);
+        let i0 = b.scalar_i64(0);
+        b.while_loop(
+            &[i0, seed],
+            |g, v| g.less(v[0], lim),
+            |g, v| {
+                let one = g.scalar_i64(1);
+                Ok(vec![g.add(v[0], one)?, g.relu(v[1])?])
+            },
+            Default::default(),
+        )
+        .unwrap();
+        let g = b.finish().unwrap();
+        let plan = MemoryPlan::compute(&g, &all_ids(&g), &gpu_cm());
+        assert!(!plan.is_planned(seed.node), "loop-carried value must not be planned");
+        // Loop-body relu is outside the root context: also unplanned.
+        for n in g.nodes() {
+            if n.ctx != ContextId::ROOT {
+                assert!(!plan.is_planned(n.id));
+            }
+        }
+    }
+
+    #[test]
+    fn small_outputs_are_skipped_silently() {
+        let mut b = GraphBuilder::new();
+        let x = b.scalar_f32(2.0);
+        let y = b.scalar_f32(3.0);
+        let _ = b.add(x, y).unwrap();
+        let g = b.finish().unwrap();
+        let plan = MemoryPlan::compute(&g, &all_ids(&g), &gpu_cm());
+        assert_eq!(plan.region_bytes(), 0);
+        assert_eq!(plan.stats().planned_outputs, 0);
+        assert_eq!(plan.stats().dynamic_fallbacks, 0);
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = MemoryPlan::default();
+        assert!(!plan.is_planned(NodeId(0)));
+        assert_eq!(plan.region_bytes(), 0);
+        assert_eq!(plan.stats(), MemPlanStats::default());
+    }
+}

@@ -237,8 +237,15 @@ impl Token {
     }
 
     /// Creates a dead token.
+    ///
+    /// Dead tokens all share one cached placeholder tensor: cond-heavy
+    /// graphs flood untaken branches with these, and the placeholder's
+    /// value is never read, so cloning a refcounted handle beats
+    /// allocating a fresh scalar per dead edge.
     pub fn dead() -> Token {
-        Token { value: Tensor::scalar_f32(0.0), is_dead: true, charge: None }
+        static PLACEHOLDER: std::sync::OnceLock<Tensor> = std::sync::OnceLock::new();
+        let value = PLACEHOLDER.get_or_init(|| Tensor::scalar_f32(0.0)).clone();
+        Token { value, is_dead: true, charge: None }
     }
 }
 

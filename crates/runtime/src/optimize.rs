@@ -73,6 +73,39 @@ impl Default for OptLevel {
     }
 }
 
+/// Whether `Session::new` computes a static memory plan per compiled
+/// partition (see [`dcf_exec::MemoryPlan`]): liveness-based buffer-slot
+/// aliasing over the root-context region, charged as one up-front region
+/// reservation per run instead of one allocator round-trip per kernel.
+///
+/// Planning never changes computed values — it only changes how modeled
+/// device memory is accounted — so [`MemPlan::Off`] is a pure escape
+/// hatch for debugging allocator behavior and for honest plan-off
+/// baselines in benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemPlan {
+    /// No planning: every materialized compute output opens its own
+    /// `Charge` against the device allocator.
+    Off,
+    /// Plan each GPU partition's root region at compile time (cached with
+    /// the compiled graph; shared by all sessions with the same spec).
+    On,
+}
+
+impl Default for MemPlan {
+    /// Reads the `DCF_MEMPLAN` environment variable so CI can run the
+    /// whole test suite with planning disabled (`DCF_MEMPLAN=off`);
+    /// defaults to [`MemPlan::On`].
+    fn default() -> MemPlan {
+        match std::env::var("DCF_MEMPLAN") {
+            Ok(v) if matches!(v.to_ascii_lowercase().as_str(), "0" | "none" | "off") => {
+                MemPlan::Off
+            }
+            _ => MemPlan::On,
+        }
+    }
+}
+
 /// The result of running [`optimize`] on a graph.
 #[derive(Clone, Debug)]
 pub struct OptimizeOutcome {
@@ -455,7 +488,7 @@ pub fn optimize(graph: &mut Graph, level: OptLevel) -> Result<OptimizeOutcome, E
         fused,
         fused_away,
         wall_us: start.elapsed().as_micros() as u64,
-        cache_hit: false,
+        ..OptimizeStats::default()
     };
     Ok(OptimizeOutcome { stats, remap })
 }

@@ -175,9 +175,72 @@ struct ControlState {
     last_decision_submits: u64,
     up_streak: u32,
     down_streak: u32,
+    /// Membership epoch the current window baseline was taken under; when
+    /// the set's epoch has moved past it, the baseline describes a
+    /// different set of replicas and must be re-taken instead of diffed.
+    window_epoch: u64,
     /// Cumulative queue-delay histogram at the last decision; the window
     /// is the delta against it.
     window_start: HistData,
+}
+
+/// What one scaling decision concluded. Split from the replica plumbing so
+/// the decision core is a pure function over histograms (unit-testable
+/// without sessions).
+#[derive(Debug, PartialEq, Eq)]
+enum ScalingAction {
+    /// Membership changed since the baseline was taken: the window delta
+    /// would be garbage (per-cell saturation against histograms that no
+    /// longer describe the same replicas), so the baseline was restarted
+    /// and no decision was made.
+    Rebaseline,
+    /// No threshold crossed (or the streak is not yet sustained).
+    Hold,
+    /// Sustained p99 above the scale-up threshold: add a replica.
+    Up,
+    /// Sustained p99 below the scale-down threshold: retire an idle
+    /// replica if one exists.
+    Down,
+}
+
+/// The pure core of one scaling decision: given the policy, the cumulative
+/// queue-delay histogram, the set's membership epoch, and the live replica
+/// count, update `control` and say what the router should do.
+fn scaling_action(
+    scaling: &ScalingPolicy,
+    control: &mut ControlState,
+    cumulative: HistData,
+    epoch: u64,
+    live_replicas: usize,
+) -> ScalingAction {
+    if control.window_epoch != epoch {
+        control.window_epoch = epoch;
+        control.window_start = cumulative;
+        control.up_streak = 0;
+        control.down_streak = 0;
+        return ScalingAction::Rebaseline;
+    }
+    let window = cumulative.since(&control.window_start);
+    control.window_start = cumulative;
+    let p99 = window.quantile_ms(0.99);
+    if p99 > scaling.scale_up_p99_ms && live_replicas < scaling.max_replicas {
+        control.up_streak += 1;
+        control.down_streak = 0;
+        if control.up_streak >= scaling.sustain {
+            control.up_streak = 0;
+            return ScalingAction::Up;
+        }
+    } else if p99 < scaling.scale_down_p99_ms && live_replicas > scaling.min_replicas {
+        control.down_streak += 1;
+        control.up_streak = 0;
+        if control.down_streak >= scaling.sustain {
+            return ScalingAction::Down;
+        }
+    } else {
+        control.up_streak = 0;
+        control.down_streak = 0;
+    }
+    ScalingAction::Hold
 }
 
 /// Router-level counters (replica-set membership changes).
@@ -196,6 +259,11 @@ pub struct ReplicaSet {
     next_replica_id: AtomicU64,
     submit_seq: AtomicU64,
     control: Mutex<ControlState>,
+    /// Bumped on every membership change (eviction, scale-up, scale-down):
+    /// the scaling loop compares it against the epoch its window baseline
+    /// was taken under and restarts the window on mismatch, instead of
+    /// computing a p99 over a delta between histograms of different sets.
+    membership_epoch: AtomicU64,
     router: RouterMetrics,
     /// Folded-in counters of replicas that were evicted or scaled away,
     /// so aggregate metrics never go backwards.
@@ -248,8 +316,10 @@ impl ReplicaSet {
                 last_decision_submits: 0,
                 up_streak: 0,
                 down_streak: 0,
+                window_epoch: 0,
                 window_start: HistData::default(),
             }),
+            membership_epoch: AtomicU64::new(0),
             router: RouterMetrics::default(),
             retired: Mutex::new(RawMetrics::default()),
         };
@@ -386,6 +456,7 @@ impl ReplicaSet {
             // hole where the sick replica was.
             let replacement = self.build_replica()?;
             replicas.push(replacement);
+            self.membership_epoch.fetch_add(1, Ordering::Relaxed);
             self.router.evicted.fetch_add(1, Ordering::Relaxed);
             self.retire(sick);
         }
@@ -404,9 +475,13 @@ impl ReplicaSet {
         drop(replica);
     }
 
-    /// One scaling decision over the windowed queue-delay p99.
+    /// One scaling decision over the windowed queue-delay p99. The
+    /// decision itself is [`scaling_action`]; this applies it, bumping the
+    /// membership epoch for any change so the *next* window restarts from
+    /// a baseline describing the new set.
     fn decide_scaling(&self, control: &mut ControlState) -> Result<()> {
         let scaling = &self.template.scaling;
+        let epoch = self.membership_epoch.load(Ordering::Relaxed);
         let cumulative = {
             let replicas = self.replicas.read();
             let mut total = self.retired.lock().clone();
@@ -415,24 +490,16 @@ impl ReplicaSet {
             }
             total.queue_delay_data().clone()
         };
-        let window = cumulative.since(&control.window_start);
-        control.window_start = cumulative;
-        let p99 = window.quantile_ms(0.99);
-
         let n = self.replicas.read().len();
-        if p99 > scaling.scale_up_p99_ms && n < scaling.max_replicas {
-            control.up_streak += 1;
-            control.down_streak = 0;
-            if control.up_streak >= scaling.sustain {
-                control.up_streak = 0;
+        match scaling_action(scaling, control, cumulative, epoch, n) {
+            ScalingAction::Rebaseline | ScalingAction::Hold => {}
+            ScalingAction::Up => {
                 let replacement = self.build_replica()?;
                 self.replicas.write().push(replacement);
+                self.membership_epoch.fetch_add(1, Ordering::Relaxed);
                 self.router.scale_ups.fetch_add(1, Ordering::Relaxed);
             }
-        } else if p99 < scaling.scale_down_p99_ms && n > scaling.min_replicas {
-            control.down_streak += 1;
-            control.up_streak = 0;
-            if control.down_streak >= scaling.sustain {
+            ScalingAction::Down => {
                 // Only an idle replica may retire: nothing queued, nothing
                 // mid-step. If every replica is busy the set is not
                 // over-provisioned, whatever the p99 says.
@@ -442,14 +509,12 @@ impl ReplicaSet {
                         let idle = replicas.remove(idx);
                         drop(replicas);
                         control.down_streak = 0;
+                        self.membership_epoch.fetch_add(1, Ordering::Relaxed);
                         self.router.scale_downs.fetch_add(1, Ordering::Relaxed);
                         self.retire(idle);
                     }
                 }
             }
-        } else {
-            control.up_streak = 0;
-            control.down_streak = 0;
         }
         Ok(())
     }
@@ -570,6 +635,76 @@ mod tests {
     fn degenerate_sets_route_to_zero() {
         assert_eq!(choose_replica(&[], 7), 0);
         assert_eq!(choose_replica(&[42], 7), 0);
+    }
+
+    /// A cumulative queue-delay histogram with `n` samples of `us` each.
+    fn delays(n: u64, us: u64) -> HistData {
+        let m = crate::metrics::ServeMetrics::default();
+        for _ in 0..n {
+            m.record_queue_delay_us(us);
+        }
+        m.raw().queue_delay_data().clone()
+    }
+
+    fn control() -> ControlState {
+        ControlState {
+            last_decision_submits: 0,
+            up_streak: 0,
+            down_streak: 0,
+            window_epoch: 0,
+            window_start: HistData::default(),
+        }
+    }
+
+    #[test]
+    fn membership_change_restarts_the_scaling_window() {
+        // Sustain 1 so a single bad window would immediately scale.
+        let policy = ScalingPolicy::autoscale(1, 8, 50.0, 0.1).with_cadence(64, 1);
+        let mut c = control();
+
+        // Decision 1 (epoch 0): a window of fast requests — hold.
+        let fast = delays(1000, 1_000); // 1 ms each
+        assert_eq!(scaling_action(&policy, &mut c, fast, 0, 2), ScalingAction::Hold);
+
+        // A replica is evicted mid-window: its counters vanish from the
+        // cumulative view, so the next cumulative DIPS below the baseline.
+        // Before the fix, `since` saturated per-cell into a garbage delta
+        // whose p99 came out of whatever cells happened not to saturate —
+        // here a handful of slow samples surviving the dip would read as a
+        // catastrophic window p99 and trigger a spurious scale-up.
+        let mut after_evict = delays(10, 200_000); // 10 slow samples, 200 ms
+        after_evict.merge(&delays(100, 1_000)); // plus some fast ones
+        assert_eq!(
+            scaling_action(&policy, &mut c, after_evict.clone(), 1, 2),
+            ScalingAction::Rebaseline,
+            "an epoch bump must restart the window, not act on a garbage delta"
+        );
+        assert_eq!((c.up_streak, c.down_streak), (0, 0), "streaks reset with the baseline");
+
+        // The decision after the rebaseline diffs against the new set's
+        // own cumulative: only what happened since the eviction counts.
+        let mut next = after_evict;
+        next.merge(&delays(500, 1_000));
+        assert_eq!(
+            scaling_action(&policy, &mut c, next, 1, 2),
+            ScalingAction::Hold,
+            "post-eviction window sees only fresh, fast samples"
+        );
+    }
+
+    #[test]
+    fn sustained_slow_windows_still_scale_up() {
+        let policy = ScalingPolicy::autoscale(1, 8, 50.0, 0.1).with_cadence(64, 2);
+        let mut c = control();
+        let mut cumulative = delays(100, 200_000); // 200 ms samples
+        assert_eq!(
+            scaling_action(&policy, &mut c, cumulative.clone(), 0, 2),
+            ScalingAction::Hold,
+            "first slow window only starts the streak"
+        );
+        cumulative.merge(&delays(100, 200_000));
+        assert_eq!(scaling_action(&policy, &mut c, cumulative, 0, 2), ScalingAction::Up);
+        assert_eq!(c.up_streak, 0, "the streak resets once the action fires");
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub mod prelude {
     pub use dcf_device::DeviceProfile;
     pub use dcf_graph::{GraphBuilder, TensorRef, WhileOptions};
     pub use dcf_runtime::{
-        Cluster, NetworkModel, OptLevel, RunMetadata, RunOptions, Session, SessionOptions,
+        Cluster, MemPlan, NetworkModel, OptLevel, RunMetadata, RunOptions, Session, SessionOptions,
         TraceLevel,
     };
     pub use dcf_serve::{

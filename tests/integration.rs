@@ -353,12 +353,17 @@ fn optimizer_grid_bit_identical_with_and_without() {
         let upd = g.assign_add(w, outs[1]).unwrap();
         (g.finish().unwrap(), vec![root_out, outs[1], upd])
     };
-    let run = |c: &Case, opt: OptLevel| -> Vec<Tensor> {
+    // A GPU-profile device (zero time scale keeps kernels synchronous and
+    // fast) so the memory-plan axis is exercised: CPU partitions never
+    // charge memory and are never planned.
+    let run = |c: &Case, opt: OptLevel, plan: MemPlan| -> Vec<Tensor> {
         let (graph, fetches) = build(c);
+        let mut cluster = Cluster::new();
+        cluster.add_device(0, DeviceProfile::gpu_k40().with_time_scale(0.0));
         let sess = Session::new(
             graph,
-            Cluster::single_cpu(),
-            SessionOptions::functional().with_optimization(opt),
+            cluster,
+            SessionOptions::functional().with_optimization(opt).with_memory_plan(plan),
         )
         .unwrap();
         let mut feeds = HashMap::new();
@@ -369,11 +374,23 @@ fn optimizer_grid_bit_identical_with_and_without() {
         out
     };
     for (i, c) in cases.iter().enumerate() {
-        let optimized = run(c, OptLevel::Standard);
-        let baseline = run(c, OptLevel::None);
-        assert_eq!(optimized.len(), baseline.len());
-        for (j, (a, b)) in optimized.iter().zip(&baseline).enumerate() {
-            assert!(a.value_eq(b), "case {i} fetch {j} diverged: {a:?} vs {b:?}");
+        // Full sweep of the optimizer and memory-plan escape hatches
+        // (DCF_OPT=none / DCF_MEMPLAN=off equivalents): all four
+        // combinations must be bit-identical.
+        let baseline = run(c, OptLevel::None, MemPlan::Off);
+        for (opt, plan) in [
+            (OptLevel::Standard, MemPlan::On),
+            (OptLevel::Standard, MemPlan::Off),
+            (OptLevel::None, MemPlan::On),
+        ] {
+            let variant = run(c, opt, plan);
+            assert_eq!(variant.len(), baseline.len());
+            for (j, (a, b)) in variant.iter().zip(&baseline).enumerate() {
+                assert!(
+                    a.value_eq(b),
+                    "case {i} fetch {j} diverged under ({opt:?}, {plan:?}): {a:?} vs {b:?}"
+                );
+            }
         }
     }
 }
