@@ -299,6 +299,137 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // In-graph function gradients
+    // ------------------------------------------------------------------
+
+    /// Gradient of a `Call`: a call of the function's *gradient function*.
+    ///
+    /// `f::grad` takes `f`'s parameters plus one incoming gradient per f32
+    /// result and returns one gradient per f32 parameter. It is built once
+    /// (memoized in the graph's function registry) by cloning `f`'s body
+    /// and differentiating the clone — the per-call-frame intermediates of
+    /// the original call are gone by the time the gradient runs, so the
+    /// gradient function recomputes the forward pass from its arguments.
+    /// A recursive call inside the clone differentiates through this same
+    /// rule and finds `f::grad` already declared, so the gradient of a
+    /// recursive function is itself recursive (and pushes its own `Call`
+    /// frames at run time).
+    pub(crate) fn call_grad(
+        &mut self,
+        gb: &mut GraphBuilder,
+        nid: NodeId,
+        fname: &str,
+        result_dtypes: &[DType],
+        inputs: &[TensorRef],
+        out_grads: &[Option<TensorRef>],
+    ) -> Result<Vec<Option<TensorRef>>> {
+        let param_dtypes = gb
+            .graph()
+            .function(fname)
+            .ok_or_else(|| {
+                GraphError::Invalid(format!("gradient of Call to unknown function '{fname}'"))
+            })?
+            .param_dtypes
+            .clone();
+        if param_dtypes.len() != inputs.len() {
+            return Err(GraphError::Invalid(format!(
+                "gradient of Call('{fname}'): {} call inputs but {} parameters",
+                inputs.len(),
+                param_dtypes.len()
+            )));
+        }
+        let grad_name = format!("{fname}::grad");
+        if gb.graph().function(&grad_name).is_none() {
+            // The rule runs re-entered into the forward node's context;
+            // function definitions live at the root.
+            gb.reenter_context(ContextId::ROOT);
+            let r = Self::define_grad_function(gb, fname, &grad_name);
+            gb.exit_reentered_context();
+            r?;
+        }
+        // Arguments: the resolved forward arguments, then one incoming
+        // gradient per f32 result (zeros where no gradient flowed).
+        let mut args = Vec::with_capacity(inputs.len() + result_dtypes.len());
+        for &a in inputs {
+            args.push(self.resolve(gb, a)?);
+        }
+        for (port, &dt) in result_dtypes.iter().enumerate() {
+            if dt != DType::F32 {
+                continue;
+            }
+            match out_grads.get(port).copied().flatten() {
+                Some(dy) => args.push(dy),
+                None => {
+                    let y = self.resolve(gb, TensorRef { node: nid, port })?;
+                    args.push(gb.zeros_like(y)?);
+                }
+            }
+        }
+        let gouts = gb.call(&grad_name, &args)?;
+        let mut grads = vec![None; inputs.len()];
+        let mut k = 0;
+        for (i, &dt) in param_dtypes.iter().enumerate() {
+            if dt == DType::F32 {
+                grads[i] = Some(gouts[k]);
+                k += 1;
+            }
+        }
+        Ok(grads)
+    }
+
+    /// Builds `grad_name`, the gradient function of `fname` (see
+    /// [`Engine::call_grad`]). Must run at the root context.
+    fn define_grad_function(gb: &mut GraphBuilder, fname: &str, grad_name: &str) -> Result<()> {
+        let f = gb.graph().function(fname).expect("caller checked the function exists");
+        let fwd_params = f.param_dtypes.clone();
+        let fwd_results = f.result_dtypes.clone();
+        let n_fwd = fwd_params.len();
+        let mut param_dtypes = fwd_params.clone();
+        param_dtypes.extend(fwd_results.iter().copied().filter(|&d| d == DType::F32));
+        if param_dtypes.len() == n_fwd {
+            return Err(GraphError::Invalid(format!(
+                "gradient of Call('{fname}'): function has no f32 results"
+            )));
+        }
+        let result_dtypes: Vec<DType> =
+            fwd_params.iter().copied().filter(|&d| d == DType::F32).collect();
+        if result_dtypes.is_empty() {
+            return Err(GraphError::Invalid(format!(
+                "gradient of Call('{fname}'): function has no f32 parameters"
+            )));
+        }
+        gb.define_function(grad_name, &param_dtypes, &result_dtypes, |g, params| {
+            let rets = g.clone_function_body(fname, &params[..n_fwd])?;
+            // A fresh engine *after* cloning, so its topological order
+            // covers the cloned forward nodes.
+            let mut engine = Engine::new(g);
+            let mut seeds = Vec::with_capacity(rets.len());
+            let mut gi = n_fwd;
+            for (i, &dt) in fwd_results.iter().enumerate() {
+                if dt == DType::F32 {
+                    seeds.push((rets[i], params[gi]));
+                    gi += 1;
+                }
+            }
+            let wanted: Vec<TensorRef> = params[..n_fwd]
+                .iter()
+                .zip(&fwd_params)
+                .filter(|&(_, &d)| d == DType::F32)
+                .map(|(&p, _)| p)
+                .collect();
+            let got = engine.region(g, seeds, &wanted)?;
+            wanted
+                .iter()
+                .zip(got)
+                .map(|(&x, gr)| match gr {
+                    Some(gr) => Ok(gr),
+                    None => g.zeros_like(x),
+                })
+                .collect()
+        })
+    }
+
+    // ------------------------------------------------------------------
     // Value resolution (§5.1 stack saves)
     // ------------------------------------------------------------------
 

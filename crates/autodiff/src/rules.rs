@@ -378,6 +378,14 @@ impl Engine {
             TensorArrayPack => self.ta_pack_grad(gb, &inputs, g0),
             TensorArrayUnpack => self.ta_unpack_grad(gb, &inputs),
 
+            // ---------------- In-graph functions ----------------
+            Call { function, results } => {
+                self.call_grad(gb, nid, function, results, &inputs, out_grads)
+            }
+            // Parameters are gradient sinks (the Call rule maps gradients
+            // onto call arguments); rets never accumulate partials.
+            FunctionParam { .. } | FunctionRet { .. } => none(n_in),
+
             other => Err(GraphError::Invalid(format!("no gradient rule for op {}", other.name()))),
         }
     }

@@ -708,3 +708,103 @@ fn gradient_of_variable_parameters() {
     let out = run_graph(b, &HashMap::new(), &grads);
     assert_eq!(out[0].as_f32_slice().unwrap(), &[4.0, -2.0]);
 }
+
+#[test]
+fn function_call_gradient() {
+    // f(x) = x^2 + 3x, called at two sites; y = sum(f(x) + f(2x)).
+    // d/dx = (2x + 3) + 2(4x + 3) = 10x + 9.
+    check_grad(
+        |b, x| {
+            b.define_function("poly", &[DType::F32], &[DType::F32], |g, p| {
+                let sq = g.square(p[0])?;
+                let three = g.scalar_f32(3.0);
+                let lin = g.mul(p[0], three)?;
+                Ok(vec![g.add(sq, lin)?])
+            })
+            .unwrap();
+            let a = b.call1("poly", &[x]).unwrap();
+            let two = b.scalar_f32(2.0);
+            let x2 = b.mul(x, two).unwrap();
+            let c = b.call1("poly", &[x2]).unwrap();
+            let s = b.add(a, c).unwrap();
+            b.reduce_sum(s).unwrap()
+        },
+        vec_t(vec![1.5, -0.4], &[2]),
+        2e-2,
+    );
+}
+
+#[test]
+fn function_capture_gradient() {
+    // The body uses outer `x` directly; the capture becomes an implicit
+    // parameter and the gradient flows back through it: y = x^2 * x = x^3.
+    check_grad(
+        |b, x| {
+            let sq = b.square(x).unwrap();
+            b.define_function("scale", &[DType::F32], &[DType::F32], |g, p| {
+                Ok(vec![g.mul(p[0], x)?])
+            })
+            .unwrap();
+            let y = b.call1("scale", &[sq]).unwrap();
+            b.reduce_sum(y).unwrap()
+        },
+        vec_t(vec![0.7, -1.2], &[2]),
+        2e-2,
+    );
+}
+
+#[test]
+fn nested_function_call_gradient() {
+    // f calls g; differentiating f's call builds f::grad, whose body
+    // differentiates the cloned inner call and builds g::grad.
+    check_grad(
+        |b, x| {
+            b.define_function("inner", &[DType::F32], &[DType::F32], |g, p| {
+                Ok(vec![g.tanh(p[0])?])
+            })
+            .unwrap();
+            b.define_function("outer", &[DType::F32], &[DType::F32], |g, p| {
+                let t = g.call1("inner", &[p[0]])?;
+                Ok(vec![g.mul(t, p[0])?])
+            })
+            .unwrap();
+            let y = b.call1("outer", &[x]).unwrap();
+            b.reduce_sum(y).unwrap()
+        },
+        vec_t(vec![0.4, -0.9], &[2]),
+        2e-2,
+    );
+}
+
+#[test]
+fn recursive_function_gradient() {
+    // pow(x, n) = if n <= 0 { 1 } else { x * pow(x, n - 1) }.
+    // The gradient function is itself recursive: pow::grad calls pow::grad
+    // for the cloned recursive call, terminating through the same
+    // conditional deadness as the forward recursion.
+    check_grad(
+        |b, x| {
+            b.define_function("pow", &[DType::F32, DType::I64], &[DType::F32], |g, p| {
+                let zero = g.scalar_i64(0);
+                let done = g.less_equal(p[1], zero)?;
+                let outs = g.cond(
+                    done,
+                    |g| Ok(vec![g.ones_like(p[0])?]),
+                    |g| {
+                        let one = g.scalar_i64(1);
+                        let m = g.sub(p[1], one)?;
+                        let rec = g.call1("pow", &[p[0], m])?;
+                        Ok(vec![g.mul(p[0], rec)?])
+                    },
+                )?;
+                Ok(vec![outs[0]])
+            })
+            .unwrap();
+            let n = b.scalar_i64(3);
+            let y = b.call1("pow", &[x, n]).unwrap();
+            b.reduce_sum(y).unwrap()
+        },
+        vec_t(vec![1.1, 0.6], &[2]),
+        2e-2,
+    );
+}

@@ -22,6 +22,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod functions;
 pub mod microbench;
 pub mod sec65;
 pub mod serve_batching;

@@ -64,6 +64,13 @@ pub struct ExecGraph {
     enter_counts: Vec<usize>,
     /// `Enter` nodes' interned frame name (`NO_FRAME` otherwise).
     enter_name: Vec<FrameNameId>,
+    /// `Call` nodes' interned call-site frame name (`NO_FRAME` otherwise).
+    /// Every call site gets its own name, so two calls of one function —
+    /// including a recursive call inside the body — push distinct frames.
+    call_name: Vec<FrameNameId>,
+    /// Per function: its `FunctionParam` nodes in parameter order (the
+    /// delivery targets for call arguments).
+    fn_params: HashMap<String, Vec<NodeId>>,
 }
 
 impl ExecGraph {
@@ -113,6 +120,10 @@ impl ExecGraph {
         let mut pending_control = vec![0u32; n];
         let mut input_slots = vec![0u32; n];
         let mut enter_name = vec![NO_FRAME; n];
+        let mut call_name = vec![NO_FRAME; n];
+        let mut fn_params: HashMap<String, Vec<NodeId>> = HashMap::new();
+        // The interner is local to this ExecGraph (each compile builds its
+        // own table), so concurrent sessions cannot race frame ids.
         let mut frame_names: Vec<String> = Vec::new();
         let mut frame_ids: HashMap<String, FrameNameId> = HashMap::new();
         let mut enter_counts: Vec<usize> = Vec::new();
@@ -143,9 +154,31 @@ impl ExecGraph {
                 }
             }
             // Recvs with no local inputs are roots too, but they are
-            // scheduled like sources and resolve asynchronously.
-            if in_degree == 0 {
+            // scheduled like sources and resolve asynchronously. Function
+            // parameters are *not* sources: each waits for the single
+            // argument token a Call injects into its call frame.
+            if let OpKind::FunctionParam { function, index, .. } = &node.op {
+                pending_data[node.id.0] = 1;
+                input_slots[node.id.0] = 1;
+                let params = fn_params.entry(function.clone()).or_default();
+                if params.len() <= *index {
+                    params.resize(*index + 1, NodeId(usize::MAX));
+                }
+                params[*index] = node.id;
+            } else if in_degree == 0 {
                 sources.push(node.id);
+            }
+            if let OpKind::Call { function, .. } = &node.op {
+                // One uniquely named frame per call site; the single
+                // argument-injection event is its only expected "enter".
+                let fname = format!("call:{function}@{}", node.id.0);
+                let fid = *frame_ids.entry(fname.clone()).or_insert_with(|| {
+                    frame_names.push(fname.clone());
+                    enter_counts.push(0);
+                    (frame_names.len() - 1) as FrameNameId
+                });
+                enter_counts[fid as usize] += 1;
+                call_name[node.id.0] = fid;
             }
             if let OpKind::Enter { frame, .. } = &node.op {
                 let fid = *frame_ids.entry(frame.clone()).or_insert_with(|| {
@@ -199,6 +232,8 @@ impl ExecGraph {
             frame_names,
             enter_counts,
             enter_name,
+            call_name,
+            fn_params,
         })
     }
 
@@ -268,6 +303,21 @@ impl ExecGraph {
     /// Total member `Enter` nodes across all frames (diagnostics).
     pub fn total_enters(&self) -> usize {
         self.enter_counts.iter().sum()
+    }
+
+    /// The interned call-site frame name of a `Call` node.
+    #[inline]
+    pub fn call_frame(&self, id: NodeId) -> Option<FrameNameId> {
+        match self.call_name[id.0] {
+            NO_FRAME => None,
+            fid => Some(fid),
+        }
+    }
+
+    /// The `FunctionParam` nodes of `function`, in parameter order.
+    #[inline]
+    pub fn fn_params(&self, function: &str) -> &[NodeId] {
+        self.fn_params.get(function).map(|v| v.as_slice()).unwrap_or(&[])
     }
 }
 

@@ -88,7 +88,6 @@ impl Default for ExecutorOptions {
 /// Per-run execution settings beyond feeds and fetches: cancellation
 /// wiring, an optional step-stats collector handle, and an optional
 /// deadline. Constructed by the session from its `RunOptions`.
-#[derive(Default)]
 pub struct RunConfig {
     /// Shared cancellation token aborting this run when a peer partition
     /// fails (and firing when this one does).
@@ -106,6 +105,27 @@ pub struct RunConfig {
     /// entries when the run finishes or aborts. Defaults to step 0 for
     /// standalone executor runs.
     pub step: crate::rendezvous::StepId,
+    /// Maximum frame nesting depth (loops and function calls combined).
+    /// Pushing a frame beyond this fails the run with
+    /// [`ExecError::FrameDepthExceeded`] — the structured outcome of
+    /// runaway recursion.
+    pub max_frame_depth: usize,
+}
+
+/// Default frame-depth limit: deep enough for any reasonable loop nest or
+/// recursion, small enough to fail fast on unbounded recursion.
+pub const DEFAULT_MAX_FRAME_DEPTH: usize = 256;
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            cancel: None,
+            collector: None,
+            timeout: None,
+            step: Default::default(),
+            max_frame_depth: DEFAULT_MAX_FRAME_DEPTH,
+        }
+    }
 }
 
 /// Result of a run: the fetched tensors, in request order.
@@ -186,6 +206,8 @@ struct RunShared {
     /// Per-run step-stats handle; `None` keeps the hot path at a single
     /// `Option` check per activation.
     collector: Option<DeviceCollector>,
+    /// Frame-depth limit for this run; see [`RunConfig::max_frame_depth`].
+    max_frame_depth: usize,
 }
 
 impl Executor {
@@ -238,7 +260,7 @@ impl Executor {
         fetches: &[TensorRef],
         config: RunConfig,
     ) -> Result<RunOutcome> {
-        let RunConfig { cancel, collector, timeout, step } = config;
+        let RunConfig { cancel, collector, timeout, step, max_frame_depth } = config;
         let fetch_set: HashSet<(usize, usize)> =
             fetches.iter().map(|t| (t.node.0, t.port)).collect();
         // Acquire the static memory plan's region reservation before any
@@ -273,6 +295,7 @@ impl Executor {
             step,
             region_charge,
             collector,
+            max_frame_depth,
         });
         if let Some(token) = &cancel {
             // Abort this run if any peer partition fails.
@@ -310,7 +333,10 @@ impl Executor {
                             // first. In-flight activations observe the
                             // failure and drain as no-ops.
                             drop(done);
-                            shared.fail(ExecError::DeadlineExceeded(budget));
+                            shared.fail(ExecError::DeadlineExceeded {
+                                waited: budget,
+                                past_deadline: std::time::Duration::ZERO,
+                            });
                             done = shared.done.lock();
                         }
                     }
@@ -715,9 +741,24 @@ impl RunShared {
             | OpKind::Exit
             | OpKind::NextIteration
             | OpKind::LoopCond
-            | OpKind::Identity => {
+            | OpKind::Identity
+            | OpKind::FunctionParam { .. }
+            | OpKind::FunctionRet { .. } => {
                 let t = take(&mut tokens, 0)?;
                 Ok(Some(vec![t]))
+            }
+            OpKind::Call { .. } => {
+                // The argument tokens pass straight through to completion,
+                // where `finish_call` injects them into a fresh call frame.
+                let args: Vec<Token> = tokens
+                    .into_iter()
+                    .map(|s| {
+                        s.ok_or_else(|| {
+                            ExecError::Internal(format!("missing call argument of {}", node.name))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                Ok(Some(args))
             }
 
             // ---------------- Communication ----------------
@@ -1235,6 +1276,25 @@ impl RunShared {
                 let mut core = frame.core.lock();
                 self.tail_locked(frame, &mut core, i, node_id, was_dead)
             }
+            // A live Call pushes a fresh call frame and injects its
+            // arguments; a dead Call falls through to the default arm,
+            // delivering one dead token per result port in the current
+            // frame — this is what terminates recursion without pushing
+            // frames down the untaken branch.
+            OpKind::Call { .. } if !was_dead => {
+                self.finish_call(frame, i, node_id, outputs);
+                let mut core = frame.core.lock();
+                self.tail_locked(frame, &mut core, i, node_id, was_dead)
+            }
+            // A FunctionRet delivers its token (live or dead) to the call
+            // site's consumers in the parent frame; dead results propagate
+            // out of the call like any other dead value.
+            OpKind::FunctionRet { index, .. } => {
+                let index = *index;
+                self.finish_ret(frame, index, outputs);
+                let mut core = frame.core.lock();
+                self.tail_locked(frame, &mut core, i, node_id, was_dead)
+            }
             _ => {
                 let mut core = frame.core.lock();
                 for (port, token) in outputs.into_iter().enumerate() {
@@ -1290,6 +1350,13 @@ impl RunShared {
     ) {
         let Some(token) = outputs.into_iter().next() else { return };
         let name_id = self.eg.enter_frame(node_id).expect("Enter node has a frame name");
+        if frame.depth >= self.max_frame_depth {
+            self.fail(ExecError::FrameDepthExceeded {
+                limit: self.max_frame_depth,
+                frame: self.eg.frame_name(name_id).to_string(),
+            });
+            return;
+        }
         let (child, created) = {
             let mut table = self.table.lock();
             match table.index.get(&(frame.id, i, name_id)) {
@@ -1304,6 +1371,7 @@ impl RunShared {
                         (frame.clone(), i),
                         parallel_iterations,
                         self.eg.expected_enters(name_id),
+                        None,
                     );
                     table.index.insert((frame.id, i, name_id), child.clone());
                     (child, true)
@@ -1356,6 +1424,102 @@ impl RunShared {
             let mut pcore = parent.core.lock();
             self.deliver_to_consumers(parent, &mut pcore, *pi, node_id, 0, token);
         }
+    }
+
+    /// `Call` completion: push a fresh call frame (one per call-site
+    /// activation — a recursive call pushes another, dynamically nested
+    /// frame) and inject the argument tokens into the body's
+    /// `FunctionParam` nodes. Lock order matches [`RunShared::finish_enter`]:
+    /// frame table → parent core → child core, never two cores at once.
+    fn finish_call(
+        self: &Arc<Self>,
+        frame: &Arc<Frame>,
+        i: usize,
+        node_id: NodeId,
+        args: Vec<Token>,
+    ) {
+        let name_id = self.eg.call_frame(node_id).expect("Call node has a frame name");
+        if frame.depth >= self.max_frame_depth {
+            self.fail(ExecError::FrameDepthExceeded {
+                limit: self.max_frame_depth,
+                frame: self.eg.frame_name(name_id).to_string(),
+            });
+            return;
+        }
+        let function = match &self.eg.graph.node(node_id).op {
+            OpKind::Call { function, .. } => function.clone(),
+            _ => unreachable!("finish_call on non-Call node"),
+        };
+        let params: Vec<NodeId> = self.eg.fn_params(&function).to_vec();
+        if params.len() != args.len() {
+            self.fail(ExecError::Internal(format!(
+                "call of {function}: {} arguments for {} parameters",
+                args.len(),
+                params.len()
+            )));
+            return;
+        }
+        // A Call node fires at most once per (frame, iteration), so the
+        // table entry is always fresh.
+        let child = {
+            let mut table = self.table.lock();
+            let id = table.next;
+            table.next += 1;
+            let child = Frame::child(
+                id,
+                name_id,
+                self.eg.frame_name(name_id),
+                (frame.clone(), i),
+                1,
+                1,
+                Some(node_id),
+            );
+            table.index.insert((frame.id, i, name_id), child.clone());
+            child
+        };
+        // Register the parent's hold; this Call op is still outstanding in
+        // (frame, i), so the parent iteration cannot concurrently be
+        // observed quiescent before the hold lands.
+        {
+            let mut pcore = frame.core.lock();
+            if let Some(it) = pcore.iterations.get_mut(&i) {
+                it.outstanding_frames += 1;
+            }
+        }
+        let completed_child = {
+            let mut ccore = child.core.lock();
+            // The argument injection is the frame's single expected
+            // "enter" event.
+            ccore.enters_seen += 1;
+            for (k, token) in args.into_iter().enumerate() {
+                self.deliver(&child, &mut ccore, 0, params[k], 0, token);
+            }
+            self.advance_locked(&child, &mut ccore)
+        };
+        if completed_child {
+            self.complete_frame(child);
+        }
+    }
+
+    /// `FunctionRet` completion: deliver the result token — live or dead —
+    /// to the consumers of the call site's matching output port in the
+    /// parent frame. Mirrors [`RunShared::finish_exit`]'s parent-delivery
+    /// path; no dead-exit deferral is needed because every body node
+    /// (dead propagation included) executes exactly once per call frame.
+    fn finish_ret(self: &Arc<Self>, frame: &Arc<Frame>, index: usize, outputs: Vec<Token>) {
+        let Some(token) = outputs.into_iter().next() else { return };
+        let Some((parent, pi)) = &frame.parent else { return };
+        let Some(call_site) = frame.call_site else {
+            self.fail(ExecError::Internal(format!(
+                "FunctionRet fired in non-call frame '{}'",
+                frame.base_tag
+            )));
+            return;
+        };
+        // The parent iteration holds this frame outstanding, so it is
+        // still live; own lock is not held while taking the parent's.
+        let mut pcore = parent.core.lock();
+        self.deliver_to_consumers(parent, &mut pcore, *pi, call_site, index, token);
     }
 
     /// Advances the iteration window of `frame` under its lock, releasing

@@ -134,6 +134,14 @@ pub(crate) struct Frame {
     pub name_id: Option<FrameNameId>,
     /// Parent frame and the parent iteration that spawned this frame.
     pub parent: Option<(Arc<Frame>, usize)>,
+    /// Nesting depth (root = 0). Checked against the run's
+    /// `max_frame_depth` so runaway recursion fails structurally instead
+    /// of exhausting memory.
+    pub depth: usize,
+    /// The `Call` node that pushed this frame, if it is a call frame: the
+    /// body's `FunctionRet` values are delivered to this node's consumers
+    /// in the parent frame.
+    pub call_site: Option<NodeId>,
     /// The §4.3 parallelism knob for this frame.
     pub parallel_iterations: usize,
     /// Total `Enter` tokens this frame will receive.
@@ -152,6 +160,8 @@ impl Frame {
             id: ROOT_FRAME,
             name_id: None,
             parent: None,
+            depth: 0,
+            call_site: None,
             parallel_iterations: 1,
             expected_enters: 0,
             base_tag: "root".into(),
@@ -167,12 +177,16 @@ impl Frame {
         parent: (Arc<Frame>, usize),
         parallel_iterations: usize,
         expected_enters: usize,
+        call_site: Option<NodeId>,
     ) -> Arc<Frame> {
         let base_tag = format!("{};{}/{}", parent.0.base_tag, parent.1, name);
+        let depth = parent.0.depth + 1;
         Arc::new(Frame {
             id,
             name_id: Some(name_id),
             parent: Some(parent),
+            depth,
+            call_site,
             parallel_iterations: parallel_iterations.max(1),
             expected_enters,
             base_tag,
@@ -200,16 +214,18 @@ mod tests {
     fn tags_are_hierarchical() {
         let root = Frame::root();
         assert_eq!(root.tag(0), "root;0");
-        let child = Frame::child(1, 0, "loopA", (root.clone(), 0), 32, 2);
+        let child = Frame::child(1, 0, "loopA", (root.clone(), 0), 32, 2, None);
         assert_eq!(child.tag(3), "root;0/loopA;3");
-        let grand = Frame::child(2, 1, "loopB", (child, 3), 32, 1);
+        assert_eq!(child.depth, 1);
+        let grand = Frame::child(2, 1, "loopB", (child, 3), 32, 1, None);
         assert_eq!(grand.tag(0), "root;0/loopA;3/loopB;0");
+        assert_eq!(grand.depth, 2);
     }
 
     #[test]
     fn window_logic() {
         let root = Frame::root();
-        let f = Frame::child(1, 0, "l", (root, 0), 4, 1);
+        let f = Frame::child(1, 0, "l", (root, 0), 4, 1, None);
         {
             let core = f.core.lock();
             assert!(f.in_window(&core, 0));
@@ -225,7 +241,7 @@ mod tests {
     #[test]
     fn parallel_iterations_clamped_to_one() {
         let root = Frame::root();
-        let f = Frame::child(1, 0, "l", (root, 0), 0, 1);
+        let f = Frame::child(1, 0, "l", (root, 0), 0, 1, None);
         assert_eq!(f.parallel_iterations, 1);
     }
 }

@@ -319,7 +319,15 @@ pub(crate) enum OpClass {
 pub(crate) fn op_kind_class(op: &OpKind) -> OpClass {
     use OpKind::*;
     match op {
-        Switch | Merge | Enter { .. } | Exit | NextIteration | LoopCond => OpClass::ControlFlow,
+        Switch
+        | Merge
+        | Enter { .. }
+        | Exit
+        | NextIteration
+        | LoopCond
+        | Call { .. }
+        | FunctionParam { .. }
+        | FunctionRet { .. } => OpClass::ControlFlow,
         Const(_)
         | Placeholder { .. }
         | Identity

@@ -42,7 +42,7 @@ mod resources;
 mod token;
 
 pub use exec_graph::ExecGraph;
-pub use executor::{Executor, ExecutorOptions, RunConfig, RunOutcome};
+pub use executor::{Executor, ExecutorOptions, RunConfig, RunOutcome, DEFAULT_MAX_FRAME_DEPTH};
 pub use kernels::{execute_op, op_cost};
 pub use plan::{MemPlanStats, MemoryPlan};
 pub use rendezvous::{InMemoryRendezvous, RecvCallback, RecvResult, Rendezvous, StepId};

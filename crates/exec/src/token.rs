@@ -21,8 +21,25 @@ pub enum ExecError {
     BadFeedOrFetch(String),
     /// A fetched tensor was dead (its producing branch was not taken).
     DeadFetch(String),
-    /// The run exceeded the deadline given in its `RunConfig`.
-    DeadlineExceeded(std::time::Duration),
+    /// The run (or queued request) exceeded its deadline.
+    DeadlineExceeded {
+        /// How long the work waited or ran before the deadline fired
+        /// (queue wait for batched requests, run budget for executor
+        /// timeouts).
+        waited: std::time::Duration,
+        /// How far past the deadline the work was when expired. Zero means
+        /// the budget itself elapsed; a positive value on a queued request
+        /// means it starved in the queue after its deadline passed.
+        past_deadline: std::time::Duration,
+    },
+    /// A frame push (function call or loop entry) would exceed the run's
+    /// `max_frame_depth` — the structured outcome of runaway recursion.
+    FrameDepthExceeded {
+        /// The configured depth limit that was hit.
+        limit: usize,
+        /// Name of the frame whose creation was refused.
+        frame: String,
+    },
     /// The run was aborted: either a peer partition failed first, or the
     /// session tore the step down (e.g. a blocked `Recv` whose value can
     /// no longer arrive). The payload names the cancellation source.
@@ -57,7 +74,12 @@ impl fmt::Display for ExecError {
             ExecError::OutOfMemory(e) => write!(f, "{e}"),
             ExecError::BadFeedOrFetch(s) => write!(f, "bad feed/fetch: {s}"),
             ExecError::DeadFetch(s) => write!(f, "fetched dead tensor: {s}"),
-            ExecError::DeadlineExceeded(t) => write!(f, "deadline exceeded after {t:?}"),
+            ExecError::DeadlineExceeded { waited, past_deadline } => {
+                write!(f, "deadline exceeded after {waited:?} ({past_deadline:?} past deadline)")
+            }
+            ExecError::FrameDepthExceeded { limit, frame } => {
+                write!(f, "frame depth limit {limit} exceeded entering frame '{frame}'")
+            }
             ExecError::Cancelled(s) => write!(f, "cancelled: {s}"),
             ExecError::TransferFailed { key, attempts } => {
                 write!(f, "transfer {key} failed after {attempts} attempts")

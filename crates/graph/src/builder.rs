@@ -1,14 +1,16 @@
 //! The graph construction API.
 
 use crate::context::{
-    chain_to, CondBranch, CondContextInfo, Context, ContextId, ContextKind, WhileContextInfo,
+    chain_to, CondBranch, CondContextInfo, Context, ContextId, ContextKind, FunctionContextInfo,
+    WhileContextInfo,
 };
 use crate::error::GraphError;
-use crate::graph::{Graph, NodeId, TensorRef};
+use crate::graph::{Function, Graph, NodeId, TensorRef};
 use crate::node::Node;
 use crate::op::OpKind;
 use crate::Result;
 use dcf_tensor::{DType, Tensor};
+use std::collections::HashMap;
 
 /// Builds a [`Graph`] incrementally, tracking the current control-flow
 /// context and device scope.
@@ -217,6 +219,11 @@ impl GraphBuilder {
                     return Ok(*inner);
                 }
             }
+            ContextKind::Function(info) => {
+                if let Some((_, inner)) = info.captures.iter().find(|(ext, _)| *ext == value) {
+                    return Ok(*inner);
+                }
+            }
             ContextKind::Root => {
                 return Err(GraphError::ControlFlow("cannot capture into the root context".into()))
             }
@@ -245,11 +252,63 @@ impl GraphBuilder {
                 )?;
                 TensorRef { node: en, port: 0 }
             }
+            ContextKind::Function(info) => {
+                // A captured external becomes an implicit trailing
+                // parameter: the function body runs inside a dynamic frame
+                // at call time, so outer values can only reach it as call
+                // arguments (the builder appends them at every call site).
+                let fname = info.name.clone();
+                let fi = self
+                    .graph
+                    .functions
+                    .iter()
+                    .position(|f| f.name == fname)
+                    .expect("function context without a registry entry");
+                let fctx = self.graph.functions[fi].ctx;
+                let mut internal_calls = Vec::new();
+                for n in &self.graph.nodes {
+                    if let OpKind::Call { function, .. } = &n.op {
+                        if *function == fname {
+                            if self.graph.context_is_ancestor_or_self(fctx, n.ctx) {
+                                internal_calls.push(n.id);
+                            } else {
+                                // An outside call site already fixed the
+                                // arity; growing the parameter list would
+                                // strand it.
+                                return Err(GraphError::ControlFlow(format!(
+                                    "cannot capture a value into function '{fname}' after it \
+                                     has been called; pass it as an explicit parameter"
+                                )));
+                            }
+                        }
+                    }
+                }
+                let index = self.graph.functions[fi].params.len();
+                let dtype = self.graph.dtype(value);
+                let pid = self.add_node_raw(
+                    OpKind::FunctionParam { function: fname.clone(), index, dtype },
+                    vec![],
+                    ctx,
+                    "FunctionParam",
+                )?;
+                let inner = TensorRef { node: pid, port: 0 };
+                let f = &mut self.graph.functions[fi];
+                f.params.push(pid);
+                f.param_dtypes.push(dtype);
+                f.captured_exts.push(value);
+                // Recursive call sites inside the body pass the capture
+                // through: inside the frame the value *is* the parameter.
+                for c in internal_calls {
+                    self.graph.nodes[c.0].inputs.push(inner);
+                }
+                inner
+            }
             ContextKind::Root => unreachable!("checked above"),
         };
         match &mut self.graph.contexts[ctx.0].kind {
             ContextKind::Cond(info) => info.captures.push((value, inner)),
             ContextKind::While(info) => info.captures.push((value, inner)),
+            ContextKind::Function(info) => info.captures.push((value, inner)),
             ContextKind::Root => unreachable!(),
         }
         Ok(inner)
@@ -329,6 +388,379 @@ impl GraphBuilder {
             captures: Vec::new(),
             swap_memory,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // In-graph functions
+    // ------------------------------------------------------------------
+
+    /// Declares a function signature without a body.
+    ///
+    /// Needed for mutual recursion: declare `f`, define `g` (which calls
+    /// `f`), then define `f`. A declared-but-undefined function can be
+    /// called during construction, but [`GraphBuilder::finish`] fails if
+    /// any declaration is never defined. Must be invoked at the root
+    /// context.
+    pub fn declare_function(
+        &mut self,
+        name: &str,
+        param_dtypes: &[DType],
+        result_dtypes: &[DType],
+    ) -> Result<()> {
+        if self.current_ctx() != ContextId::ROOT {
+            return Err(GraphError::ControlFlow(format!(
+                "function '{name}' must be declared at the root context"
+            )));
+        }
+        if self.graph.function(name).is_some() {
+            return Err(GraphError::ControlFlow(format!("function '{name}' is already declared")));
+        }
+        if param_dtypes.is_empty() || result_dtypes.is_empty() {
+            return Err(GraphError::ControlFlow(format!(
+                "function '{name}' needs at least one parameter and one result"
+            )));
+        }
+        let ctx = ContextId(self.graph.contexts.len());
+        self.graph.contexts.push(Context {
+            id: ctx,
+            parent: Some(ContextId::ROOT),
+            kind: ContextKind::Function(FunctionContextInfo {
+                name: name.to_owned(),
+                captures: Vec::new(),
+            }),
+        });
+        let mut params = Vec::with_capacity(param_dtypes.len());
+        for (index, &dtype) in param_dtypes.iter().enumerate() {
+            let pid = self.add_node_raw(
+                OpKind::FunctionParam { function: name.to_owned(), index, dtype },
+                vec![],
+                ctx,
+                "FunctionParam",
+            )?;
+            params.push(pid);
+        }
+        self.graph.functions.push(Function {
+            name: name.to_owned(),
+            params,
+            rets: Vec::new(),
+            param_dtypes: param_dtypes.to_vec(),
+            result_dtypes: result_dtypes.to_vec(),
+            ctx,
+            captured_exts: Vec::new(),
+            explicit_params: param_dtypes.len(),
+        });
+        Ok(())
+    }
+
+    /// Defines an in-graph function: `body` receives the parameter tensors
+    /// and returns the result tensors, which must match `result_dtypes`.
+    ///
+    /// The function is registered (auto-declared) *before* `body` runs, so
+    /// the body may [`GraphBuilder::call`] itself — that is how recursion
+    /// is expressed; at run time each recursive call pushes another
+    /// dynamically tagged frame. Outer values used by the body are
+    /// captured as implicit trailing parameters and appended automatically
+    /// at every call site. Must be invoked at the root context.
+    pub fn define_function(
+        &mut self,
+        name: &str,
+        param_dtypes: &[DType],
+        result_dtypes: &[DType],
+        body: impl FnOnce(&mut GraphBuilder, &[TensorRef]) -> Result<Vec<TensorRef>>,
+    ) -> Result<()> {
+        if self.current_ctx() != ContextId::ROOT {
+            return Err(GraphError::ControlFlow(format!(
+                "function '{name}' must be defined at the root context"
+            )));
+        }
+        if self.graph.function(name).is_none() {
+            self.declare_function(name, param_dtypes, result_dtypes)?;
+        }
+        let fi =
+            self.graph.functions.iter().position(|f| f.name == name).expect("declared just above");
+        {
+            let f = &self.graph.functions[fi];
+            if f.is_defined() {
+                return Err(GraphError::ControlFlow(format!(
+                    "function '{name}' is already defined"
+                )));
+            }
+            if f.param_dtypes[..f.explicit_params] != *param_dtypes
+                || f.result_dtypes != result_dtypes
+            {
+                return Err(GraphError::ControlFlow(format!(
+                    "function '{name}': definition signature disagrees with its declaration"
+                )));
+            }
+        }
+        let fctx = self.graph.functions[fi].ctx;
+        let params: Vec<TensorRef> = self.graph.functions[fi]
+            .params
+            .iter()
+            .map(|&p| TensorRef { node: p, port: 0 })
+            .collect();
+        self.reenter_context(fctx);
+        let results = body(self, &params);
+        // Results are captured into the body context (a returned outer
+        // value becomes one more implicit parameter) and anchored with one
+        // FunctionRet per result, still inside the context so `capture`
+        // resolves relative to it.
+        let rets = results.and_then(|results| {
+            if results.len() != result_dtypes.len() {
+                return Err(GraphError::Arity {
+                    op: format!("define_function('{name}')"),
+                    expected: result_dtypes.len(),
+                    found: results.len(),
+                });
+            }
+            let mut rets = Vec::with_capacity(results.len());
+            for (index, &r) in results.iter().enumerate() {
+                let got = self.graph.dtype(r);
+                if got != result_dtypes[index] {
+                    return Err(GraphError::dtype(
+                        format!("define_function('{name}') result {index}").as_str(),
+                        result_dtypes[index],
+                        got,
+                    ));
+                }
+                let rin = self.capture(r)?;
+                let rid = self.add_node_raw(
+                    OpKind::FunctionRet { function: name.to_owned(), index },
+                    vec![rin],
+                    fctx,
+                    "FunctionRet",
+                )?;
+                rets.push(rid);
+            }
+            Ok(rets)
+        });
+        self.exit_reentered_context();
+        self.graph.functions[fi].rets = rets?;
+        Ok(())
+    }
+
+    /// Calls an in-graph function with the explicitly declared arguments;
+    /// returns one tensor per declared result.
+    ///
+    /// Captured externals are appended automatically. The call may target
+    /// a function that is declared but not yet defined (recursion); the
+    /// graph only validates at [`GraphBuilder::finish`].
+    pub fn call(&mut self, name: &str, args: &[TensorRef]) -> Result<Vec<TensorRef>> {
+        let Some(f) = self.graph.function(name) else {
+            return Err(GraphError::ControlFlow(format!("call of unknown function '{name}'")));
+        };
+        if args.len() != f.explicit_params {
+            return Err(GraphError::Arity {
+                op: format!("Call('{name}')"),
+                expected: f.explicit_params,
+                found: args.len(),
+            });
+        }
+        for (i, &a) in args.iter().enumerate() {
+            let want = f.param_dtypes[i];
+            let got = self.graph.dtype(a);
+            if got != want {
+                return Err(GraphError::dtype(
+                    format!("Call('{name}') arg {i}").as_str(),
+                    want,
+                    got,
+                ));
+            }
+        }
+        let captured = f.captured_exts.clone();
+        let results = f.result_dtypes.clone();
+        let mut inputs = Vec::with_capacity(args.len() + captured.len());
+        for &a in args {
+            inputs.push(self.capture(a)?);
+        }
+        for &ext in &captured {
+            inputs.push(self.capture(ext)?);
+        }
+        let cur = self.current_ctx();
+        let id = self.add_node_raw(
+            OpKind::Call { function: name.to_owned(), results: results.clone() },
+            inputs,
+            cur,
+            "Call",
+        )?;
+        Ok((0..results.len()).map(|port| TensorRef { node: id, port }).collect())
+    }
+
+    /// [`GraphBuilder::call`] for single-result functions.
+    pub fn call1(&mut self, name: &str, args: &[TensorRef]) -> Result<TensorRef> {
+        let outs = self.call(name, args)?;
+        if outs.len() != 1 {
+            return Err(GraphError::Invalid(format!(
+                "call1: function '{name}' has {} results",
+                outs.len()
+            )));
+        }
+        Ok(outs[0])
+    }
+
+    /// Clones the body of a defined function into the current context,
+    /// substituting `param_map[i]` for parameter `i`. Returns the cloned
+    /// tensors that fed each `FunctionRet`, in result order.
+    ///
+    /// Automatic differentiation uses this to rematerialize a function's
+    /// forward computation inside the gradient function's own body (the
+    /// per-call-frame intermediates of the original call are gone by the
+    /// time the gradient runs). Nested control-flow contexts are cloned
+    /// with fresh ids, and cloned loop frames get fresh names so the two
+    /// copies never alias in the executor's frame tables. Recursive calls
+    /// inside the body still target the original function.
+    pub fn clone_function_body(
+        &mut self,
+        name: &str,
+        param_map: &[TensorRef],
+    ) -> Result<Vec<TensorRef>> {
+        let fi = self
+            .graph
+            .functions
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| GraphError::ControlFlow(format!("unknown function '{name}'")))?;
+        let f = self.graph.functions[fi].clone();
+        if !f.is_defined() {
+            return Err(GraphError::ControlFlow(format!(
+                "cannot clone undefined function '{name}'"
+            )));
+        }
+        if param_map.len() != f.params.len() {
+            return Err(GraphError::Arity {
+                op: format!("clone_function_body('{name}')"),
+                expected: f.params.len(),
+                found: param_map.len(),
+            });
+        }
+        let target = self.current_ctx();
+        // Clone nested contexts (ids grow parent-before-child, so a single
+        // ascending pass sees each parent before its children). Loop frames
+        // are renamed to keep Enter counts per frame name exact.
+        let mut ctx_map: HashMap<ContextId, ContextId> = HashMap::new();
+        ctx_map.insert(f.ctx, target);
+        let mut frame_rename: HashMap<String, String> = HashMap::new();
+        let first_new_ctx = self.graph.contexts.len();
+        for i in 0..first_new_ctx {
+            let cid = ContextId(i);
+            if cid == f.ctx || !self.graph.context_is_ancestor_or_self(f.ctx, cid) {
+                continue;
+            }
+            let c = self.graph.contexts[i].clone();
+            let new_id = ContextId(self.graph.contexts.len());
+            let mut kind = c.kind;
+            if let ContextKind::While(w) = &mut kind {
+                let renamed = format!("{}@clone{}", w.frame, new_id.0);
+                frame_rename.insert(std::mem::replace(&mut w.frame, renamed.clone()), renamed);
+            }
+            let parent = *ctx_map
+                .get(&c.parent.expect("non-root context has a parent"))
+                .expect("parent context cloned before its children");
+            self.graph.contexts.push(Context { id: new_id, parent: Some(parent), kind });
+            ctx_map.insert(cid, new_id);
+        }
+        // Clone body nodes in two passes: allocate all clones first (loop
+        // back edges make a Merge consume a NextIteration that appears
+        // *later* in any topological order), then remap every edge.
+        let mut node_map: HashMap<NodeId, TensorRef> = HashMap::new();
+        for (j, &p) in f.params.iter().enumerate() {
+            node_map.insert(p, param_map[j]);
+        }
+        let mut ret_input_refs: Vec<Option<TensorRef>> = vec![None; f.rets.len()];
+        // (clone id, original inputs, original control inputs)
+        let mut pending: Vec<(NodeId, Vec<TensorRef>, Vec<NodeId>)> = Vec::new();
+        let body_nodes: Vec<NodeId> = self
+            .graph
+            .nodes
+            .iter()
+            .filter(|n| self.graph.context_is_ancestor_or_self(f.ctx, n.ctx))
+            .map(|n| n.id)
+            .collect();
+        for &nid in &body_nodes {
+            let n = self.graph.nodes[nid.0].clone();
+            match &n.op {
+                OpKind::FunctionParam { function, .. } if *function == f.name => continue,
+                OpKind::FunctionRet { function, index } if *function == f.name => {
+                    ret_input_refs[*index] = Some(n.inputs[0]);
+                    continue;
+                }
+                _ => {}
+            }
+            let mut op = n.op.clone();
+            if let OpKind::Enter { frame, .. } = &mut op {
+                if let Some(renamed) = frame_rename.get(frame) {
+                    *frame = renamed.clone();
+                }
+            }
+            let id = NodeId(self.graph.nodes.len());
+            self.graph.nodes.push(Node {
+                id,
+                name: format!("{}_clone_{}", n.name, id.0),
+                op,
+                inputs: Vec::new(),
+                control_inputs: Vec::new(),
+                device: n.device.clone(),
+                ctx: ctx_map[&n.ctx],
+                out_dtypes: n.out_dtypes.clone(),
+                out_shapes: n.out_shapes.clone(),
+            });
+            node_map.insert(nid, TensorRef { node: id, port: 0 });
+            pending.push((id, n.inputs, n.control_inputs));
+        }
+        let remap = |node_map: &HashMap<NodeId, TensorRef>, t: TensorRef| -> Result<TensorRef> {
+            match node_map.get(&t.node) {
+                Some(m) if t.port == 0 => Ok(*m),
+                Some(m) => Ok(TensorRef { node: m.node, port: t.port }),
+                None => Err(GraphError::DanglingRef(format!(
+                    "clone_function_body('{name}'): body consumes {:?} from outside the body",
+                    t.node
+                ))),
+            }
+        };
+        for (id, inputs, control_inputs) in pending {
+            let mut new_inputs = Vec::with_capacity(inputs.len());
+            for inp in inputs {
+                new_inputs.push(remap(&node_map, inp)?);
+            }
+            let mut new_controls = Vec::with_capacity(control_inputs.len());
+            for c in control_inputs {
+                new_controls.push(remap(&node_map, TensorRef { node: c, port: 0 })?.node);
+            }
+            self.graph.nodes[id.0].inputs = new_inputs;
+            self.graph.nodes[id.0].control_inputs = new_controls;
+        }
+        let mut ret_inputs: Vec<Option<TensorRef>> = Vec::with_capacity(ret_input_refs.len());
+        for r in ret_input_refs {
+            ret_inputs.push(match r {
+                Some(t) => Some(remap(&node_map, t)?),
+                None => None,
+            });
+        }
+        // Patch the metadata of the cloned contexts to point at the clones.
+        let mut bad: Option<NodeId> = None;
+        crate::graph::for_each_context_ref(&mut self.graph.contexts[first_new_ctx..], |t| {
+            match node_map.get(&t.node) {
+                Some(m) => t.node = m.node,
+                None if bad.is_none() => bad = Some(t.node),
+                None => {}
+            }
+        });
+        if let Some(id) = bad {
+            return Err(GraphError::DanglingRef(format!(
+                "clone_function_body('{name}'): cloned context references unmapped node {id:?}"
+            )));
+        }
+        ret_inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.ok_or_else(|| {
+                    GraphError::ControlFlow(format!(
+                        "clone_function_body('{name}'): result {i} was never produced"
+                    ))
+                })
+            })
+            .collect()
     }
 
     // ------------------------------------------------------------------

@@ -92,6 +92,18 @@ pub struct WhileContextInfo {
     pub swap_memory: bool,
 }
 
+/// Metadata recorded for a function body context (see
+/// [`crate::Function`]).
+#[derive(Clone, Debug)]
+pub struct FunctionContextInfo {
+    /// Name of the function whose body this context holds.
+    pub name: String,
+    /// Cached captures: pairs of (external tensor, in-body implicit
+    /// parameter tensor). Captured externals become trailing parameters so
+    /// their values flow into every call frame as arguments.
+    pub captures: Vec<(TensorRef, TensorRef)>,
+}
+
 /// The payload of a context-tree node.
 #[derive(Clone, Debug)]
 pub enum ContextKind {
@@ -101,6 +113,8 @@ pub enum ContextKind {
     Cond(CondContextInfo),
     /// The body of a `while_loop`.
     While(WhileContextInfo),
+    /// The body of an in-graph function.
+    Function(FunctionContextInfo),
 }
 
 /// A node in the control-flow context tree.
@@ -127,6 +141,14 @@ impl Context {
     pub fn as_cond(&self) -> Option<&CondContextInfo> {
         match &self.kind {
             ContextKind::Cond(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Returns the function-context info, if this is a function body.
+    pub fn as_function(&self) -> Option<&FunctionContextInfo> {
+        match &self.kind {
+            ContextKind::Function(f) => Some(f),
             _ => None,
         }
     }

@@ -25,12 +25,55 @@ pub struct TensorRef {
     pub port: usize,
 }
 
+/// A named in-graph function: a body subgraph with typed parameters and
+/// results, invoked via [`crate::OpKind::Call`].
+///
+/// The body lives in its own [`ContextKind::Function`] context inside the
+/// same graph; the executor lowers each call site onto the frame machinery
+/// (a fresh dynamic frame per call, arguments delivered Enter-like to the
+/// parameter nodes, results routed Exit-like back to the `Call`'s
+/// consumers). Because the body appears once regardless of how many call
+/// sites exist, N calls of one function compile N times fewer body nodes
+/// than N inlined copies — and a recursive `Call` inside the body simply
+/// pushes another dynamically tagged frame at run time.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Function name, unique within the graph.
+    pub name: String,
+    /// `FunctionParam` nodes in parameter order: the explicitly declared
+    /// parameters first, then one implicit parameter per captured external.
+    pub params: Vec<NodeId>,
+    /// `FunctionRet` nodes in result order (empty until the body is
+    /// defined; a declared-but-undefined function cannot be called).
+    pub rets: Vec<NodeId>,
+    /// Parameter dtypes, parallel to `params`.
+    pub param_dtypes: Vec<DType>,
+    /// Result dtypes.
+    pub result_dtypes: Vec<DType>,
+    /// The body context.
+    pub ctx: ContextId,
+    /// External tensors captured into the body, parallel to the implicit
+    /// trailing parameters. Call sites append these as extra arguments.
+    pub captured_exts: Vec<TensorRef>,
+    /// Number of explicitly declared parameters (callers pass exactly
+    /// these; the builder appends `captured_exts` automatically).
+    pub explicit_params: usize,
+}
+
+impl Function {
+    /// `true` once the body has been defined (results recorded).
+    pub fn is_defined(&self) -> bool {
+        !self.rets.is_empty()
+    }
+}
+
 /// A complete dataflow graph: nodes, edges (stored as per-node input lists),
-/// and the control-flow context tree.
+/// the control-flow context tree, and the in-graph function registry.
 #[derive(Clone, Debug, Default)]
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
     pub(crate) contexts: Vec<Context>,
+    pub(crate) functions: Vec<Function>,
 }
 
 impl Graph {
@@ -39,7 +82,18 @@ impl Graph {
         Graph {
             nodes: Vec::new(),
             contexts: vec![Context { id: ContextId::ROOT, parent: None, kind: ContextKind::Root }],
+            functions: Vec::new(),
         }
+    }
+
+    /// Returns all in-graph functions, in declaration order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Looks up an in-graph function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
     }
 
     /// Returns the node with the given id.
@@ -128,6 +182,77 @@ impl Graph {
                     n.name,
                     n.inputs.len()
                 )));
+            }
+            if let OpKind::Call { function, results } = &n.op {
+                let Some(f) = self.function(function) else {
+                    return Err(GraphError::ControlFlow(format!(
+                        "{}: Call of unknown function '{function}'",
+                        n.name
+                    )));
+                };
+                if !f.is_defined() {
+                    return Err(GraphError::ControlFlow(format!(
+                        "{}: Call of declared but undefined function '{function}'",
+                        n.name
+                    )));
+                }
+                if n.inputs.len() != f.param_dtypes.len() {
+                    return Err(GraphError::Arity {
+                        op: format!("Call('{function}')"),
+                        expected: f.param_dtypes.len(),
+                        found: n.inputs.len(),
+                    });
+                }
+                for (inp, &want) in n.inputs.iter().zip(&f.param_dtypes) {
+                    let got = self.dtype(*inp);
+                    if got != want {
+                        return Err(GraphError::dtype(n.name.as_str(), want, got));
+                    }
+                }
+                if results != &f.result_dtypes {
+                    return Err(GraphError::ControlFlow(format!(
+                        "{}: Call result dtypes {results:?} disagree with function \
+                         '{function}' ({:?})",
+                        n.name, f.result_dtypes
+                    )));
+                }
+            }
+        }
+        for f in &self.functions {
+            if f.params.is_empty() || f.result_dtypes.is_empty() {
+                return Err(GraphError::ControlFlow(format!(
+                    "function '{}' needs at least one parameter and one result",
+                    f.name
+                )));
+            }
+            for (i, (&p, &want)) in f.params.iter().zip(&f.param_dtypes).enumerate() {
+                let pn = &self.nodes[p.0];
+                match &pn.op {
+                    OpKind::FunctionParam { function, index, dtype }
+                        if *function == f.name
+                            && *index == i
+                            && *dtype == want
+                            && pn.ctx == f.ctx => {}
+                    _ => {
+                        return Err(GraphError::ControlFlow(format!(
+                            "function '{}': node {:?} is not parameter {i}",
+                            f.name, p
+                        )));
+                    }
+                }
+            }
+            for (i, &r) in f.rets.iter().enumerate() {
+                let rn = &self.nodes[r.0];
+                match &rn.op {
+                    OpKind::FunctionRet { function, index }
+                        if *function == f.name && *index == i && rn.ctx == f.ctx => {}
+                    _ => {
+                        return Err(GraphError::ControlFlow(format!(
+                            "function '{}': node {:?} is not result {i}",
+                            f.name, r
+                        )));
+                    }
+                }
             }
         }
         Ok(())
@@ -391,6 +516,7 @@ impl Graph {
             Enter { .. }
             | Exit
             | NextIteration
+            | FunctionRet { .. }
             | Assign { .. }
             | AssignAdd { .. }
             | AssignSub { .. } => one(get(0)),
@@ -637,6 +763,12 @@ impl Graph {
             }
             Merge => same_as_first(1)?,
             Enter { .. } | Exit | NextIteration => same_as_first(1)?,
+            // Call's per-argument dtypes are checked against the function's
+            // declared parameters in `validate` (the op alone does not know
+            // its callee); the embedded result dtypes are authoritative.
+            Call { results, .. } => results.clone(),
+            FunctionParam { dtype, .. } => vec![*dtype],
+            FunctionRet { .. } => same_as_first(1)?,
             LoopCond => {
                 req(0, DType::Bool)?;
                 vec![DType::Bool]
@@ -741,6 +873,10 @@ impl Graph {
             fnv(&mut h, format!("{:?}", c.kind).as_bytes());
             fnv(&mut h, &[0xff]);
         }
+        for f in &self.functions {
+            fnv(&mut h, format!("{f:?}").as_bytes());
+            fnv(&mut h, &[0xff]);
+        }
         h
     }
 
@@ -784,6 +920,11 @@ impl Graph {
         for_each_context_ref(&mut self.contexts, |t| {
             if t.node == from {
                 t.node = to;
+            }
+        });
+        for_each_function_ref(&mut self.functions, |n| {
+            if *n == from {
+                *n = to;
             }
         });
     }
@@ -856,6 +997,17 @@ impl Graph {
                 "prune_nodes: a control-flow context references dropped node {id:?}"
             )));
         }
+        let mut dangling_fn: Option<NodeId> = None;
+        for_each_function_ref(&mut self.functions, |n| {
+            if remap[n.0].is_none() && dangling_fn.is_none() {
+                dangling_fn = Some(*n);
+            }
+        });
+        if let Some(id) = dangling_fn {
+            return Err(GraphError::DanglingRef(format!(
+                "prune_nodes: a function references dropped node {id:?}"
+            )));
+        }
         let old = std::mem::take(&mut self.nodes);
         for mut n in old {
             let Some(new_id) = remap[n.id.0] else { continue };
@@ -871,6 +1023,9 @@ impl Graph {
         for_each_context_ref(&mut self.contexts, |t| {
             t.node = remap[t.node.0].expect("checked above");
         });
+        for_each_function_ref(&mut self.functions, |n| {
+            *n = remap[n.0].expect("checked above");
+        });
         Ok(remap)
     }
 }
@@ -884,7 +1039,7 @@ fn fnv(h: &mut u64, bytes: &[u8]) {
 
 /// Applies `f` to every `TensorRef` stored in control-flow context
 /// metadata (predicates, captures, merges, loop plumbing).
-fn for_each_context_ref(contexts: &mut [Context], mut f: impl FnMut(&mut TensorRef)) {
+pub(crate) fn for_each_context_ref(contexts: &mut [Context], mut f: impl FnMut(&mut TensorRef)) {
     for ctx in contexts {
         match &mut ctx.kind {
             ContextKind::Root => {}
@@ -934,6 +1089,28 @@ fn for_each_context_ref(contexts: &mut [Context], mut f: impl FnMut(&mut TensorR
                     f(b);
                 }
             }
+            ContextKind::Function(fc) => {
+                for (a, b) in &mut fc.captures {
+                    f(a);
+                    f(b);
+                }
+            }
+        }
+    }
+}
+
+/// Applies `f` to every `NodeId` stored in the function registry
+/// (parameter/result nodes and captured externals).
+fn for_each_function_ref(functions: &mut [Function], mut f: impl FnMut(&mut NodeId)) {
+    for func in functions {
+        for p in &mut func.params {
+            f(p);
+        }
+        for r in &mut func.rets {
+            f(r);
+        }
+        for t in &mut func.captured_exts {
+            f(&mut t.node);
         }
     }
 }

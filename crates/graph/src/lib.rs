@@ -62,10 +62,13 @@ mod op;
 mod tensor_array;
 
 pub use builder::GraphBuilder;
-pub use context::{CondBranch, CondContextInfo, Context, ContextId, ContextKind, WhileContextInfo};
+pub use context::{
+    CondBranch, CondContextInfo, Context, ContextId, ContextKind, FunctionContextInfo,
+    WhileContextInfo,
+};
 pub use control_flow::WhileOptions;
 pub use error::GraphError;
-pub use graph::{Graph, NodeId, TensorRef};
+pub use graph::{Function, Graph, NodeId, TensorRef};
 pub use node::Node;
 pub use op::{FusedOp, FusedSpec, FusedStep, OpKind};
 pub use tensor_array::TensorArrayHandle;

@@ -261,6 +261,43 @@ pub enum OpKind {
     LoopCond,
 
     // ------------------------------------------------------------------
+    // In-graph functions (lowered onto the frame machinery at run time)
+    // ------------------------------------------------------------------
+    /// Invokes a named [`crate::Function`]. The executor pushes a fresh
+    /// dynamic frame per call site, delivers the arguments to the
+    /// function's parameter nodes inside it (Enter-like), and routes the
+    /// body's `FunctionRet` values back to this node's output ports
+    /// (Exit-like). Any dead argument makes every output dead *without*
+    /// creating a frame — which is what terminates dead recursive calls on
+    /// untaken conditional branches.
+    Call {
+        /// Name of the called function.
+        function: String,
+        /// Declared result dtypes (one output port per result).
+        results: Vec<DType>,
+    },
+    /// Formal parameter `index` of a function body: a source-like node
+    /// that waits for the one argument token a `Call` injects into the
+    /// call frame, then forwards it (identity).
+    FunctionParam {
+        /// Owning function name.
+        function: String,
+        /// Parameter position.
+        index: usize,
+        /// Declared parameter dtype.
+        dtype: DType,
+    },
+    /// Result `index` of a function body: forwards its input to the
+    /// consumers of output port `index` of the calling `Call` node, in the
+    /// parent frame (Exit-like).
+    FunctionRet {
+        /// Owning function name.
+        function: String,
+        /// Result position.
+        index: usize,
+    },
+
+    // ------------------------------------------------------------------
     // Stateful resource ops
     // ------------------------------------------------------------------
     /// Overwrites a variable with the input value; outputs the new value.
@@ -578,6 +615,9 @@ impl OpKind {
             OpKind::Exit => "Exit",
             OpKind::NextIteration => "NextIteration",
             OpKind::LoopCond => "LoopCond",
+            OpKind::Call { .. } => "Call",
+            OpKind::FunctionParam { .. } => "FunctionParam",
+            OpKind::FunctionRet { .. } => "FunctionRet",
             OpKind::Assign { .. } => "Assign",
             OpKind::AssignAdd { .. } => "AssignAdd",
             OpKind::AssignSub { .. } => "AssignSub",
@@ -604,6 +644,7 @@ impl OpKind {
         match self {
             OpKind::Switch => 2,
             OpKind::Split1 { n } => *n,
+            OpKind::Call { results, .. } => results.len(),
             OpKind::TensorArrayNew { .. } => 2,
             OpKind::TensorArrayGrad { .. } => 2,
             OpKind::Send { .. } | OpKind::NoOp => 0,
@@ -613,7 +654,8 @@ impl OpKind {
     }
 
     /// Returns `true` if this op is one of the five control-flow primitives
-    /// (or `LoopCond`).
+    /// (or `LoopCond`), or one of the function-call ops that the executor
+    /// likewise lowers onto the frame machinery.
     pub fn is_control_flow(&self) -> bool {
         matches!(
             self,
@@ -623,6 +665,9 @@ impl OpKind {
                 | OpKind::Exit
                 | OpKind::NextIteration
                 | OpKind::LoopCond
+                | OpKind::Call { .. }
+                | OpKind::FunctionParam { .. }
+                | OpKind::FunctionRet { .. }
         )
     }
 

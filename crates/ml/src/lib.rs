@@ -15,17 +15,23 @@
 //!   updates.
 //! * [`dqn`] — Deep Q-Network with an in-graph replay database and
 //!   conditional train/sync steps (§6.5), plus an out-of-graph baseline.
+//! * [`lstm_stack_calls`] — an N-layer LSTM step as N `Call`s of one
+//!   shared in-graph cell function (vs. [`lstm_stack_inline`]), and
+//!   [`fib`] — a doubly recursive function whose call tree is a tree of
+//!   dynamically tagged frames.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dqn;
+mod functions;
 mod lstm;
 mod moe;
 mod rnn;
 mod train;
 
-pub use lstm::LstmCell;
+pub use functions::{fib, lstm_stack_calls, lstm_stack_inline};
+pub use lstm::{lstm_step, LstmCell};
 pub use moe::MoeLayer;
 pub use rnn::{dynamic_rnn, stacked_dynamic_rnn, static_rnn, RnnOutputs};
 pub use train::sgd_step;

@@ -57,26 +57,43 @@ impl LstmCell {
         h: TensorRef,
         c: TensorRef,
     ) -> Result<(TensorRef, TensorRef)> {
-        let xh = g.concat1(&[x, h])?;
-        let z = g.matmul(xh, self.w)?;
-        let z = g.add(z, self.b)?;
-        let gates = g.split1(z, 4)?;
-        let i = g.sigmoid(gates[0])?;
-        let f = g.sigmoid(gates[1])?;
-        let gg = g.tanh(gates[2])?;
-        let o = g.sigmoid(gates[3])?;
-        let fc = g.mul(f, c)?;
-        let ig = g.mul(i, gg)?;
-        let c_new = g.add(fc, ig)?;
-        let tc = g.tanh(c_new)?;
-        let h_new = g.mul(o, tc)?;
-        Ok((h_new, c_new))
+        lstm_step(g, x, h, c, self.w, self.b)
     }
 
     /// The trainable parameters.
     pub fn params(&self) -> Vec<TensorRef> {
         vec![self.w, self.b]
     }
+}
+
+/// The raw LSTM cell computation on explicit weight tensors.
+///
+/// Shared by [`LstmCell::step`] (inline expansion) and the
+/// shape-polymorphic cell *function* built by
+/// [`crate::lstm_stack_calls`], where the weights arrive as call
+/// arguments.
+pub fn lstm_step(
+    g: &mut GraphBuilder,
+    x: TensorRef,
+    h: TensorRef,
+    c: TensorRef,
+    w: TensorRef,
+    b: TensorRef,
+) -> Result<(TensorRef, TensorRef)> {
+    let xh = g.concat1(&[x, h])?;
+    let z = g.matmul(xh, w)?;
+    let z = g.add(z, b)?;
+    let gates = g.split1(z, 4)?;
+    let i = g.sigmoid(gates[0])?;
+    let f = g.sigmoid(gates[1])?;
+    let gg = g.tanh(gates[2])?;
+    let o = g.sigmoid(gates[3])?;
+    let fc = g.mul(f, c)?;
+    let ig = g.mul(i, gg)?;
+    let c_new = g.add(fc, ig)?;
+    let tc = g.tanh(c_new)?;
+    let h_new = g.mul(o, tc)?;
+    Ok((h_new, c_new))
 }
 
 #[cfg(test)]

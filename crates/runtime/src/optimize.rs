@@ -241,7 +241,20 @@ fn context_ref_nodes(graph: &Graph) -> Vec<NodeId> {
                     push(b);
                 }
             }
+            ContextKind::Function(fc) => {
+                for (a, b) in &fc.captures {
+                    push(a);
+                    push(b);
+                }
+            }
         }
+    }
+    // Function registry references (parameter/result nodes, captured
+    // externals) are load-bearing for the executor's call lowering.
+    for f in graph.functions() {
+        out.extend(f.params.iter().copied());
+        out.extend(f.rets.iter().copied());
+        out.extend(f.captured_exts.iter().map(|t| t.node));
     }
     out
 }
@@ -734,5 +747,47 @@ mod tests {
         assert_eq!(out.stats.pruned, out.stats.cse + out.stats.fused_away);
         assert_eq!(g.len(), n_before - out.stats.pruned);
         assert_eq!(out.translate(a), out.translate(d));
+    }
+
+    #[test]
+    fn optimization_never_crosses_call_boundaries() {
+        // The same elementwise expression in the root context and inside a
+        // function body, plus two structurally identical call sites. The
+        // pipeline must leave the call structure intact: body and root
+        // nodes never CSE or fuse together (they execute in different
+        // frames), and identical `Call`s are control flow — never merged,
+        // even though they would compute the same value.
+        let mut b = GraphBuilder::new();
+        b.define_function("f", &[dcf_tensor::DType::F32], &[dcf_tensor::DType::F32], |g, p| {
+            let t = g.tanh(p[0])?;
+            Ok(vec![g.neg(t)?])
+        })
+        .unwrap();
+        let x = b.placeholder("x", DType::F32);
+        let root_t = b.tanh(x).unwrap();
+        let root_n = b.neg(root_t).unwrap();
+        let c1 = b.call1("f", &[x]).unwrap();
+        let c2 = b.call1("f", &[x]).unwrap();
+        let s = b.add(c1, c2).unwrap();
+        let y = b.add(s, root_n).unwrap();
+        let mut g = b.finish().unwrap();
+        let out = optimize(&mut g, OptLevel::Standard).unwrap();
+
+        let calls = g.nodes().iter().filter(|n| matches!(n.op, OpKind::Call { .. })).count();
+        assert_eq!(calls, 2, "identical calls must not be CSE'd into one");
+        let f = g.function("f").expect("registry survives optimization");
+        assert!(f.is_defined());
+        for &ret in &f.rets {
+            let body_in = g.node(ret).inputs[0];
+            assert_ne!(
+                g.node(body_in.node).ctx,
+                ContextId::ROOT,
+                "body computation must not be merged with root-context nodes"
+            );
+        }
+        // Every fetched handle is still reachable after the pipeline.
+        for t in [y, c1, c2] {
+            assert!(out.translate(t).is_some(), "{t:?} lost by optimization");
+        }
     }
 }

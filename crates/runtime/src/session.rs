@@ -190,6 +190,12 @@ pub struct RunOptions {
     /// Seeded fault plan applied to this run's cross-machine transfers.
     /// Ignored unless the crate is built with `--features faultinject`.
     pub fault_plan: Option<FaultPlan>,
+    /// Maximum dynamic frame nesting depth (loops and function calls
+    /// combined) per executor; exceeding it fails the run with
+    /// [`dcf_exec::ExecError::FrameDepthExceeded`] — the structured
+    /// outcome of runaway recursion. `None` uses the executor default
+    /// ([`dcf_exec::DEFAULT_MAX_FRAME_DEPTH`]).
+    pub max_frame_depth: Option<usize>,
 }
 
 impl RunOptions {
@@ -226,6 +232,13 @@ impl RunOptions {
     /// effective with the `faultinject` feature.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> RunOptions {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the frame-depth limit for recursion and loop nesting (builder
+    /// style).
+    pub fn with_max_frame_depth(mut self, depth: usize) -> RunOptions {
+        self.max_frame_depth = Some(depth);
         self
     }
 }
@@ -631,6 +644,9 @@ impl Session {
                         .map(|c| DeviceCollector::new(dev.0 as u16, c.clone())),
                     timeout: options.timeout,
                     step,
+                    max_frame_depth: options
+                        .max_frame_depth
+                        .unwrap_or(dcf_exec::DEFAULT_MAX_FRAME_DEPTH),
                 };
                 let feeds = feeds.clone();
                 handles.push(scope.spawn(move || exec.run_with(feeds, &fetches, config)));
@@ -789,7 +805,10 @@ mod session_tests {
         let t0 = Instant::now();
         let (result, meta) = sess.run(&opts, &HashMap::new(), &[outs[0]]);
         let err = result.unwrap_err();
-        assert!(matches!(err, dcf_exec::ExecError::DeadlineExceeded(_)), "unexpected error: {err}");
+        assert!(
+            matches!(err, dcf_exec::ExecError::DeadlineExceeded { .. }),
+            "unexpected error: {err}"
+        );
         assert!(t0.elapsed() < Duration::from_secs(10), "run did not abort promptly");
         assert_eq!(meta.abort_reason.as_deref(), Some(err.to_string().as_str()));
 
@@ -825,7 +844,7 @@ mod session_tests {
         feeds.insert("lim".to_string(), Tensor::scalar_i64(1_000_000_000));
         let opts = RunOptions::default().with_timeout(Duration::from_millis(50));
         let (result, _) = sess.run(&opts, &feeds, &[outs[0]]);
-        assert!(matches!(result, Err(dcf_exec::ExecError::DeadlineExceeded(_))));
+        assert!(matches!(result, Err(dcf_exec::ExecError::DeadlineExceeded { .. })));
         assert!(sess.quiescent());
 
         // Same session, satisfiable limit, no timeout: must succeed.

@@ -208,7 +208,11 @@ impl QueueState {
 /// Drains up to `max_rows` rows from `state`, interactive lane first,
 /// completing expired requests with [`ExecError::DeadlineExceeded`] along
 /// the way (they never occupy a slot). Each lane stays FIFO: assembly
-/// stops at the first live request that does not fit.
+/// stops at the first live request that does not fit, but the expiry
+/// sweep continues over the *whole* lane — an expired request parked
+/// behind a blocked front must not keep holding `queued_rows` (it would
+/// surface as spurious `Overloaded` rejections) or keep its past-due
+/// deadline as the batcher's wake-up target (a busy-spin).
 ///
 /// Free function so the lane/expiry/row-cap policy is unit-testable
 /// without a live session or batcher thread.
@@ -221,25 +225,40 @@ fn assemble(
     let mut out = Vec::new();
     let mut rows = 0usize;
     for lane in [&mut state.interactive, &mut state.batch] {
-        while let Some(front) = lane.front() {
+        // Once a live request does not fit, later live requests may not
+        // overtake it (FIFO within a lane) — but expired ones are still
+        // removed and completed.
+        let mut blocked = false;
+        let mut idx = 0usize;
+        while idx < lane.len() {
+            let front = &lane[idx];
             if front.deadline.is_some_and(|d| d <= now) {
-                let p = lane.pop_front().expect("front exists");
+                let p = lane.remove(idx).expect("index in bounds");
                 state.queued_rows -= p.rows;
                 metrics.queued_rows.fetch_sub(p.rows as u64, Ordering::Relaxed);
                 metrics.expired.fetch_add(1, Ordering::Relaxed);
-                p.tx.send(Err(ExecError::DeadlineExceeded(
-                    now.saturating_duration_since(p.enqueued),
-                )));
+                p.tx.send(Err(ExecError::DeadlineExceeded {
+                    waited: now.saturating_duration_since(p.enqueued),
+                    past_deadline: p
+                        .deadline
+                        .map(|d| now.saturating_duration_since(d))
+                        .unwrap_or(Duration::ZERO),
+                }));
                 continue;
             }
-            if rows + front.rows > max_rows {
-                break;
+            if !blocked && rows + front.rows <= max_rows {
+                // Not blocked means every earlier entry was taken or
+                // expired, so this live request is the lane's front.
+                debug_assert_eq!(idx, 0);
+                let p = lane.remove(idx).expect("index in bounds");
+                state.queued_rows -= p.rows;
+                metrics.queued_rows.fetch_sub(p.rows as u64, Ordering::Relaxed);
+                rows += p.rows;
+                out.push(p);
+                continue;
             }
-            let p = lane.pop_front().expect("front exists");
-            state.queued_rows -= p.rows;
-            metrics.queued_rows.fetch_sub(p.rows as u64, Ordering::Relaxed);
-            rows += p.rows;
-            out.push(p);
+            blocked = true;
+            idx += 1;
         }
     }
     out
@@ -342,9 +361,13 @@ impl Batcher {
             )));
         }
         let now = Instant::now();
-        if request.deadline.is_some_and(|d| d <= now) {
+        if let Some(d) = request.deadline.filter(|d| *d <= now) {
             m.expired.fetch_add(1, Ordering::Relaxed);
-            return Err(ExecError::DeadlineExceeded(Duration::ZERO));
+            // Expired on arrival: it waited nothing in the queue.
+            return Err(ExecError::DeadlineExceeded {
+                waited: Duration::ZERO,
+                past_deadline: now.saturating_duration_since(d),
+            });
         }
         let (tx, rx) = oneshot::channel();
         {
@@ -552,6 +575,120 @@ impl Shared {
     }
 }
 
+/// Plain-data window onto the private `assemble` policy for the
+/// property-based suite in `tests/proptest_serve.rs` (the function and its
+/// queue types stay private; this replay harness is the only seam).
+/// Hidden from docs; not a stable API.
+#[doc(hidden)]
+pub mod assemble_testing {
+    use super::*;
+
+    /// One queued request: row count, lane, and whether its deadline has
+    /// already passed at assembly time.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Entry {
+        /// Rows this request contributes to a batch.
+        pub rows: usize,
+        /// Interactive lane (drained before the bulk lane) when `true`.
+        pub interactive: bool,
+        /// Deadline already passed at assembly time.
+        pub expired: bool,
+    }
+
+    /// What `assemble` did with one entry.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Outcome {
+        /// Taken into the batch at this position.
+        Batched(usize),
+        /// Completed with `DeadlineExceeded`.
+        Expired,
+        /// Still queued after the sweep.
+        Queued,
+    }
+
+    /// The harness result: per-entry outcomes (indexed like the input)
+    /// plus the row accounting after the sweep.
+    #[derive(Debug)]
+    pub struct Replay {
+        /// Outcome per input entry.
+        pub outcomes: Vec<Outcome>,
+        /// The `queued_rows` counter after assembly.
+        pub queued_rows: usize,
+        /// Actual rows still sitting in the two lanes after assembly.
+        pub lane_rows: usize,
+        /// Rows taken into the assembled batch.
+        pub batched_rows: usize,
+    }
+
+    /// Replays `entries` through the real `assemble` with row cap
+    /// `max_rows`. Panics if an expired entry's completion is missing or
+    /// malformed (no `DeadlineExceeded`, or a zero time-past-deadline).
+    pub fn replay(entries: &[Entry], max_rows: usize) -> Replay {
+        let metrics = ServeMetrics::default();
+        let mut state = QueueState::default();
+        let now = Instant::now();
+        let mut rxs = Vec::with_capacity(entries.len());
+        for (i, e) in entries.iter().enumerate() {
+            let (tx, rx) = oneshot::channel();
+            // The entry's index rides along as its feed key so outcomes
+            // can be attributed after requests move between queues.
+            let mut feeds = HashMap::new();
+            feeds.insert(format!("entry-{i}"), Tensor::scalar_f32(i as f32));
+            let p = Pending {
+                feeds,
+                rows: e.rows,
+                enqueued: now - Duration::from_millis(10),
+                deadline: if e.expired { Some(now - Duration::from_millis(5)) } else { None },
+                tx,
+            };
+            if e.interactive {
+                state.interactive.push_back(p);
+            } else {
+                state.batch.push_back(p);
+            }
+            state.queued_rows += e.rows;
+            rxs.push(rx);
+        }
+        let batch = assemble(&mut state, max_rows, now, &metrics);
+
+        let index_of = |p: &Pending| -> usize {
+            let key = p.feeds.keys().next().expect("harness feed key");
+            key.strip_prefix("entry-").expect("harness key form").parse().expect("harness index")
+        };
+        let mut outcomes = vec![Outcome::Expired; entries.len()];
+        let mut batched_rows = 0;
+        for (pos, p) in batch.iter().enumerate() {
+            outcomes[index_of(p)] = Outcome::Batched(pos);
+            batched_rows += p.rows;
+        }
+        let mut lane_rows = 0;
+        for p in state.interactive.iter().chain(state.batch.iter()) {
+            outcomes[index_of(p)] = Outcome::Queued;
+            lane_rows += p.rows;
+        }
+        let queued_rows = state.queued_rows;
+        // Dropping the queue releases the still-queued senders so the
+        // expired completions below are the only pending messages.
+        drop(state);
+        drop(batch);
+        for (i, rx) in rxs.into_iter().enumerate() {
+            if outcomes[i] != Outcome::Expired {
+                continue;
+            }
+            match rx.recv() {
+                Some(Err(ExecError::DeadlineExceeded { past_deadline, .. })) => {
+                    assert!(
+                        past_deadline > Duration::ZERO,
+                        "expired completion must report time past deadline"
+                    );
+                }
+                other => panic!("entry {i} vanished without DeadlineExceeded: {other:?}"),
+            }
+        }
+        Replay { outcomes, queued_rows, lane_rows, batched_rows }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,7 +745,7 @@ mod tests {
         assert_eq!(metrics.expired.load(Ordering::Relaxed), 1);
         drop(batch);
         match rx_dead.recv() {
-            Some(Err(ExecError::DeadlineExceeded(_))) => {}
+            Some(Err(ExecError::DeadlineExceeded { .. })) => {}
             other => panic!("expired request got {other:?}"),
         }
     }
@@ -628,6 +765,67 @@ mod tests {
         assert!(batch.is_empty());
         assert_eq!(state.batch.len(), 2);
         assert_eq!(state.queued_rows, 5);
+    }
+
+    #[test]
+    fn expired_request_behind_blocked_front_is_swept() {
+        let metrics = ServeMetrics::default();
+        let mut state = QueueState::default();
+        let past = Instant::now() - Duration::from_millis(5);
+        let (big, _r_big) = pending(4, None);
+        let (dead, rx_dead) = pending(2, Some(past));
+        state.batch.push_back(big);
+        state.batch.push_back(dead);
+        state.queued_rows = 6;
+        // Cap 3: the live 4-row front does not fit, so nothing assembles —
+        // but the expired request parked behind it must still be swept.
+        let batch = assemble(&mut state, 3, Instant::now(), &metrics);
+        assert!(batch.is_empty());
+        assert_eq!(state.batch.len(), 1, "only the live front remains queued");
+        assert_eq!(state.queued_rows, 4, "the expired request released its rows");
+        assert_eq!(metrics.expired.load(Ordering::Relaxed), 1);
+        // Capacity the expired request held is admittable again: with
+        // queue_capacity 5, a 1-row submit would have been rejected as
+        // Overloaded while the stranded rows were still counted (4 + 2 + 1
+        // > 5); after the sweep it fits.
+        assert!(state.queued_rows < 5);
+        // The batcher's park deadline no longer points at the past-due
+        // deadline of a request that will never be re-examined.
+        assert_eq!(state.earliest_deadline(), None);
+        // The completion reports queue wait and time-past-deadline
+        // separately: this request was enqueued just now but its deadline
+        // passed 5ms ago.
+        match rx_dead.recv() {
+            Some(Err(ExecError::DeadlineExceeded { waited, past_deadline })) => {
+                assert!(past_deadline >= Duration::from_millis(5), "got {past_deadline:?}");
+                assert!(waited < past_deadline, "waited {waited:?} vs {past_deadline:?}");
+            }
+            other => panic!("expired request got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expiry_sweep_preserves_fifo_among_live_requests() {
+        let metrics = ServeMetrics::default();
+        let mut state = QueueState::default();
+        let past = Instant::now() - Duration::from_millis(1);
+        let (a, _ra) = pending(2, None);
+        let (dead, rx_dead) = pending(3, Some(past));
+        let (b, _rb) = pending(2, None);
+        let (c, _rc) = pending(1, None);
+        state.batch.push_back(a);
+        state.batch.push_back(dead);
+        state.batch.push_back(b);
+        state.batch.push_back(c);
+        state.queued_rows = 8;
+        // Cap 3: `a` (2 rows) is taken, the expired 3-row request is swept,
+        // `b` (2 rows) does not fit — and `c` (1 row) must NOT overtake it
+        // even though it would fit.
+        let batch = assemble(&mut state, 3, Instant::now(), &metrics);
+        assert_eq!(batch.iter().map(|p| p.rows).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(state.batch.iter().map(|p| p.rows).collect::<Vec<_>>(), vec![2, 1]);
+        assert_eq!(state.queued_rows, 3);
+        assert!(matches!(rx_dead.recv(), Some(Err(ExecError::DeadlineExceeded { .. }))));
     }
 
     fn double_model() -> (Arc<Session>, ModelSignature) {

@@ -184,7 +184,7 @@ fn aborting_one_step_leaves_concurrent_steps_untouched() {
         let (result, meta) = aborter.join().unwrap();
         let err = result.unwrap_err();
         assert!(
-            matches!(err, dcf::exec::ExecError::DeadlineExceeded(_)),
+            matches!(err, dcf::exec::ExecError::DeadlineExceeded { .. }),
             "unexpected abort error: {err}"
         );
         // The aborted step's own state must be fully reclaimed even while

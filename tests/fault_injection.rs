@@ -125,7 +125,7 @@ fn assert_structured(err: &ExecError) {
             err,
             ExecError::TransferFailed { .. }
                 | ExecError::Cancelled(_)
-                | ExecError::DeadlineExceeded(_)
+                | ExecError::DeadlineExceeded { .. }
         ),
         "fault-injected run must fail with a transport/cancellation error, got: {err}"
     );
@@ -244,7 +244,7 @@ fn abort_then_rerun_on_same_session() {
     let (result, meta) = sess.run(&opts, &HashMap::new(), &[fetch]);
     let err = result.expect_err("unbounded loop must time out");
     assert!(
-        matches!(err, ExecError::DeadlineExceeded(_) | ExecError::Cancelled(_)),
+        matches!(err, ExecError::DeadlineExceeded { .. } | ExecError::Cancelled(_)),
         "unexpected abort error: {err}"
     );
     assert!(meta.abort_reason.is_some());
@@ -286,6 +286,6 @@ fn abort_then_rerun_on_same_session() {
     // same structured error, still quiescent (no state accreted).
     let (result, _) = sess.run(&opts, &HashMap::new(), &[fetch]);
     let err = result.expect_err("second timed-out run");
-    assert!(matches!(err, ExecError::DeadlineExceeded(_) | ExecError::Cancelled(_)));
+    assert!(matches!(err, ExecError::DeadlineExceeded { .. } | ExecError::Cancelled(_)));
     assert!(sess.quiescent());
 }

@@ -188,7 +188,7 @@ fn expired_request_never_occupies_a_batch_slot() {
 
     // Already-expired deadline: rejected synchronously at enqueue.
     let err = batcher.submit(Request::new(feed(1)).with_deadline_in(Duration::ZERO)).unwrap_err();
-    assert!(matches!(err, ExecError::DeadlineExceeded(_)), "got {err:?}");
+    assert!(matches!(err, ExecError::DeadlineExceeded { .. }), "got {err:?}");
 
     // A deadline shorter than the linger window: the batcher must wake for
     // the deadline, complete the request with DeadlineExceeded, and issue
@@ -196,7 +196,7 @@ fn expired_request_never_occupies_a_batch_slot() {
     let doomed =
         batcher.submit(Request::new(feed(2)).with_deadline_in(Duration::from_millis(20))).unwrap();
     let err = doomed.wait().unwrap_err();
-    assert!(matches!(err, ExecError::DeadlineExceeded(_)), "got {err:?}");
+    assert!(matches!(err, ExecError::DeadlineExceeded { .. }), "got {err:?}");
     let snap = batcher.snapshot();
     assert_eq!(snap.expired, 2);
     assert_eq!(snap.batches, 0, "an expired request must never reach a batch");
@@ -262,7 +262,7 @@ fn aborted_batched_step_fails_only_its_batch() {
     // A poison request that loops ~forever: its batched step hits the
     // policy timeout and aborts.
     let err = batcher.run(Request::new(feed(1e9))).unwrap_err();
-    assert!(matches!(err, ExecError::DeadlineExceeded(_)), "got {err:?}");
+    assert!(matches!(err, ExecError::DeadlineExceeded { .. }), "got {err:?}");
     let snap = batcher.snapshot();
     assert_eq!((snap.steps_failed, snap.failed), (1, 1));
 
@@ -400,5 +400,67 @@ mod faults {
         }
         // The sweep must actually have exercised the fault path.
         assert!(fault_events_total > 0, "no faults fired across the sweep");
+    }
+}
+
+/// Seeded randomized sweep of the assemble policy against an independent
+/// model, runnable without the `proptest` feature (the property-based
+/// twin with shrinking lives in `tests/proptest_serve.rs`).
+#[test]
+fn assemble_policy_matches_model_on_seeded_random_lanes() {
+    use dcf::serve::batcher::assemble_testing::{replay, Entry, Outcome};
+
+    // The intended policy, restated independently: per lane (interactive
+    // first), expired entries are removed wherever they sit; live entries
+    // are taken FIFO while they fit; the first live entry that does not
+    // fit blocks all live entries behind it, but expiry continues.
+    fn model(entries: &[Entry], max_rows: usize) -> Vec<Outcome> {
+        let mut outcomes = vec![Outcome::Queued; entries.len()];
+        let (mut rows, mut pos) = (0usize, 0usize);
+        for lane in [true, false] {
+            let mut blocked = false;
+            for (i, e) in entries.iter().enumerate().filter(|(_, e)| e.interactive == lane) {
+                if e.expired {
+                    outcomes[i] = Outcome::Expired;
+                } else if !blocked && rows + e.rows <= max_rows {
+                    rows += e.rows;
+                    outcomes[i] = Outcome::Batched(pos);
+                    pos += 1;
+                } else {
+                    blocked = true;
+                }
+            }
+        }
+        outcomes
+    }
+
+    let mut s = 0x9e37_79b9_7f4a_7c15u64; // splitmix64 stream
+    let mut next = move || {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for case in 0..500 {
+        let n = (next() % 24) as usize;
+        let entries: Vec<Entry> = (0..n)
+            .map(|_| Entry {
+                rows: 1 + (next() % 5) as usize,
+                interactive: next() % 2 == 0,
+                expired: next() % 2 == 0,
+            })
+            .collect();
+        let max_rows = 1 + (next() % 11) as usize;
+        let r = replay(&entries, max_rows);
+        assert_eq!(
+            r.outcomes,
+            model(&entries, max_rows),
+            "case {case}: entries {entries:?} cap {max_rows}"
+        );
+        assert_eq!(r.queued_rows, r.lane_rows, "case {case}: counter must track lanes");
+        assert!(r.batched_rows <= max_rows, "case {case}: cap violated");
+        let live: usize = entries.iter().filter(|e| !e.expired).map(|e| e.rows).sum();
+        assert_eq!(r.batched_rows + r.lane_rows, live, "case {case}: rows not conserved");
     }
 }
