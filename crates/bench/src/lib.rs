@@ -26,6 +26,7 @@ pub mod functions;
 pub mod microbench;
 pub mod sec65;
 pub mod serve_batching;
+pub mod serve_streaming;
 pub mod table1;
 
 /// Parses a `--trace-out <path>` flag from a raw argument list.

@@ -909,6 +909,21 @@ impl RunShared {
                 ]))
             }
 
+            OpKind::StreamStateRead { cell } => {
+                let slots = take(&mut tokens, 0)?;
+                let ids = slots.value.as_i64_slice().map_err(|e| kerr(e.to_string()))?;
+                let v = self.resources.stream_read_rows(cell, ids).map_err(kerr)?;
+                Ok(Some(vec![self.materialize(v)?]))
+            }
+            OpKind::StreamStateWrite { cell } => {
+                let slots = take(&mut tokens, 0)?;
+                let value = take(&mut tokens, 1)?;
+                let ids = slots.value.as_i64_slice().map_err(|e| kerr(e.to_string()))?;
+                self.resources.stream_write_rows(cell, ids, &value.value).map_err(kerr)?;
+                // Forward the value so fetching the output forces the write.
+                Ok(Some(vec![value]))
+            }
+
             // ---------------- Bookkeeping ----------------
             OpKind::NoOp | OpKind::ControlTrigger => Ok(Some(vec![])),
 

@@ -62,6 +62,13 @@ pub(crate) struct ArrayRes {
     pub source: Option<u64>,
 }
 
+/// Per-stream recurrent state for streaming inference: a set of named
+/// cells (e.g. an RNN's `h`/`c`), each stored as a `[1, dims…]` row so a
+/// batch of streams reads as one `concat0` and writes as one `split0`.
+pub(crate) struct StreamRes {
+    pub cells: HashMap<String, Tensor>,
+}
+
 /// Holds all stateful resources of a session: variables persist across
 /// `run` calls; stacks and TensorArrays are per-run transients owned by
 /// the step that created them.
@@ -78,6 +85,7 @@ pub struct ResourceManager {
     pub(crate) stacks: Mutex<HashMap<u64, StackRes>>,
     pub(crate) arrays: Mutex<HashMap<u64, ArrayRes>>,
     grad_map: Mutex<HashMap<(u64, String), u64>>,
+    pub(crate) streams: Mutex<HashMap<u64, StreamRes>>,
     next_id: AtomicU64,
 }
 
@@ -285,6 +293,103 @@ impl ResourceManager {
         Ok(gid)
     }
 
+    // ------------------------------------------------------------------
+    // Stream state slots (serving-tier recurrent state)
+    // ------------------------------------------------------------------
+
+    /// Mints a stream state slot and returns its handle.
+    ///
+    /// Handles come from the same never-reused counter as stack and array
+    /// handles — the `StepId`-style ownership discipline: once a stream is
+    /// dropped its id can never be minted again, so a stale slot index from
+    /// a retired stream can only error, never alias a newer stream's state.
+    pub fn stream_create(&self) -> u64 {
+        let id = self.fresh_id();
+        self.streams.lock().insert(id, StreamRes { cells: HashMap::new() });
+        id
+    }
+
+    /// Installs (or overwrites) the state cell `cell` of stream `id`.
+    ///
+    /// The value must be a `[1, dims…]` row — one stream's worth of state —
+    /// so batched reads are a plain row concatenation.
+    pub fn stream_init_cell(&self, id: u64, cell: &str, value: Tensor) -> Result<(), String> {
+        let dims = value.shape().dims().to_vec();
+        if dims.first() != Some(&1) {
+            return Err(format!("stream state cell '{cell}' must be a [1, ...] row, got {dims:?}"));
+        }
+        let mut streams = self.streams.lock();
+        let s = streams.get_mut(&id).ok_or_else(|| format!("no stream slot {id}"))?;
+        s.cells.insert(cell.to_owned(), value);
+        Ok(())
+    }
+
+    /// Reads cell `cell` of each stream in `slots`, stacked into a
+    /// `[len(slots), dims…]` batch (row order follows `slots`).
+    pub fn stream_read_rows(&self, cell: &str, slots: &[i64]) -> Result<Tensor, String> {
+        if slots.is_empty() {
+            return Err(format!("stream state read of cell '{cell}' with zero slots"));
+        }
+        let streams = self.streams.lock();
+        let mut rows = Vec::with_capacity(slots.len());
+        for &slot in slots {
+            let s = streams
+                .get(&(slot as u64))
+                .ok_or_else(|| format!("no stream slot {slot} (stream closed?)"))?;
+            let row = s
+                .cells
+                .get(cell)
+                .ok_or_else(|| format!("stream {slot} has no state cell '{cell}'"))?;
+            rows.push(row.clone());
+        }
+        Tensor::concat0(&rows).map_err(|e| e.to_string())
+    }
+
+    /// Scatters the rows of `value` (`[len(slots), dims…]`) back into cell
+    /// `cell` of each stream in `slots`.
+    pub fn stream_write_rows(
+        &self,
+        cell: &str,
+        slots: &[i64],
+        value: &Tensor,
+    ) -> Result<(), String> {
+        if slots.is_empty() {
+            return Err(format!("stream state write of cell '{cell}' with zero slots"));
+        }
+        if value.shape().dims().first() != Some(&slots.len()) {
+            return Err(format!(
+                "stream state write of cell '{cell}': value has {:?} rows, expected {}",
+                value.shape().dims().first(),
+                slots.len()
+            ));
+        }
+        let rows = value.split0(&vec![1; slots.len()]).map_err(|e| e.to_string())?;
+        let mut streams = self.streams.lock();
+        // Validate every slot before the first write so a bad batch does
+        // not leave a prefix of streams updated and the rest stale.
+        for &slot in slots {
+            if !streams.contains_key(&(slot as u64)) {
+                return Err(format!("no stream slot {slot} (stream closed?)"));
+            }
+        }
+        for (&slot, row) in slots.iter().zip(rows) {
+            let s = streams.get_mut(&(slot as u64)).expect("slot validated above");
+            s.cells.insert(cell.to_owned(), row);
+        }
+        Ok(())
+    }
+
+    /// Drops a stream state slot; subsequent reads/writes against it fail.
+    /// Returns `false` if the slot was already gone.
+    pub fn stream_drop(&self, id: u64) -> bool {
+        self.streams.lock().remove(&id).is_some()
+    }
+
+    /// Number of live stream state slots.
+    pub fn stream_count(&self) -> usize {
+        self.streams.lock().len()
+    }
+
     /// Drops the per-run transients (stacks, arrays, gradient-array
     /// mappings) owned by `step`; variables and other steps' transients
     /// persist.
@@ -407,6 +512,58 @@ mod tests {
         assert!(rm.stacks.lock().contains_key(&sid2));
         assert_eq!(rm.step_transients(1), 0);
         assert_eq!(rm.step_transients(2), 2);
+    }
+
+    #[test]
+    fn stream_slots_gather_scatter_and_drop() {
+        let rm = ResourceManager::new();
+        let a = rm.stream_create();
+        let b = rm.stream_create();
+        assert_ne!(a, b);
+        assert_eq!(rm.stream_count(), 2);
+        rm.stream_init_cell(a, "h", Tensor::from_vec_f32(vec![1.0, 2.0], &[1, 2]).unwrap())
+            .unwrap();
+        rm.stream_init_cell(b, "h", Tensor::from_vec_f32(vec![3.0, 4.0], &[1, 2]).unwrap())
+            .unwrap();
+        // Rows must be [1, ...]; a batch is rejected.
+        assert!(rm
+            .stream_init_cell(a, "h", Tensor::from_vec_f32(vec![0.0; 4], &[2, 2]).unwrap())
+            .is_err());
+        // Gather follows slot order.
+        let g = rm.stream_read_rows("h", &[b as i64, a as i64]).unwrap();
+        assert_eq!(g.as_f32_slice().unwrap(), &[3.0, 4.0, 1.0, 2.0]);
+        // Scatter updates each stream's row.
+        let v = Tensor::from_vec_f32(vec![30.0, 40.0, 10.0, 20.0], &[2, 2]).unwrap();
+        rm.stream_write_rows("h", &[b as i64, a as i64], &v).unwrap();
+        let ga = rm.stream_read_rows("h", &[a as i64]).unwrap();
+        assert_eq!(ga.as_f32_slice().unwrap(), &[10.0, 20.0]);
+        // Missing cell and empty slot lists are errors.
+        assert!(rm.stream_read_rows("c", &[a as i64]).is_err());
+        assert!(rm.stream_read_rows("h", &[]).is_err());
+        // Dropped slot errors on read and write; ids are never reused.
+        assert!(rm.stream_drop(b));
+        assert!(!rm.stream_drop(b));
+        assert!(rm.stream_read_rows("h", &[b as i64]).is_err());
+        assert!(rm.stream_write_rows("h", &[b as i64], &ga).is_err());
+        let c = rm.stream_create();
+        assert!(c > b);
+        assert_eq!(rm.stream_count(), 2);
+    }
+
+    #[test]
+    fn stream_write_validates_before_mutating() {
+        let rm = ResourceManager::new();
+        let a = rm.stream_create();
+        rm.stream_init_cell(a, "h", Tensor::from_vec_f32(vec![1.0], &[1, 1]).unwrap()).unwrap();
+        let dead = a + 1000;
+        let v = Tensor::from_vec_f32(vec![5.0, 6.0], &[2, 1]).unwrap();
+        // One dead slot in the batch: nothing is written, including the
+        // live stream's row.
+        assert!(rm.stream_write_rows("h", &[a as i64, dead as i64], &v).is_err());
+        let g = rm.stream_read_rows("h", &[a as i64]).unwrap();
+        assert_eq!(g.as_f32_slice().unwrap(), &[1.0]);
+        // Row-count mismatch is rejected up front.
+        assert!(rm.stream_write_rows("h", &[a as i64], &v).is_err());
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub enum ExecError {
     /// admit a step). Structured so concurrent callers see a hard error
     /// instead of silent corruption or an eternal queue wait.
     InvalidConfig(String),
+    /// A streaming operation targeted a stream that is no longer open:
+    /// the client closed it, the server retired it (deadline, drain on
+    /// unload, replica eviction), or a failed iteration destroyed its
+    /// state. Work submitted afterwards can never produce a correct
+    /// continuation, so the caller must open a fresh stream. The payload
+    /// names the stream and why it closed.
+    StreamClosed(String),
     /// Internal invariant violation; indicates a bug or a malformed graph.
     Internal(String),
 }
@@ -86,6 +93,7 @@ impl fmt::Display for ExecError {
             }
             ExecError::Overloaded(s) => write!(f, "overloaded: {s}"),
             ExecError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+            ExecError::StreamClosed(s) => write!(f, "stream closed: {s}"),
             ExecError::Internal(s) => write!(f, "internal: {s}"),
         }
     }

@@ -183,20 +183,27 @@ impl GraphBuilder {
     /// from the other branch of a conditional).
     pub fn capture(&mut self, t: TensorRef) -> Result<TensorRef> {
         let cur = self.current_ctx();
+        self.capture_into(cur, t)
+    }
+
+    /// [`GraphBuilder::capture`] into an explicit target context rather
+    /// than the current one (used to retrofit captured arguments onto
+    /// call sites that predate a function capture).
+    fn capture_into(&mut self, target: ContextId, t: TensorRef) -> Result<TensorRef> {
         let pctx = self.graph.nodes[t.node.0].ctx;
-        if pctx == cur {
+        if pctx == target {
             return Ok(t);
         }
-        if !self.graph.context_is_ancestor_or_self(pctx, cur) {
+        if !self.graph.context_is_ancestor_or_self(pctx, target) {
             return Err(GraphError::ControlFlow(format!(
                 "tensor {} (ctx {}) is not visible from ctx {}; values may only be used in the \
                  context that produced them or nested contexts",
-                self.graph.nodes[t.node.0].name, pctx.0, cur.0
+                self.graph.nodes[t.node.0].name, pctx.0, target.0
             )));
         }
-        // Walk from just below pctx down to cur, capturing one level at a
-        // time.
-        let chain = chain_to(&self.graph.contexts, cur);
+        // Walk from just below pctx down to the target, capturing one
+        // level at a time.
+        let chain = chain_to(&self.graph.contexts, target);
         let start = chain.iter().position(|&c| c == pctx).expect("pctx is an ancestor") + 1;
         let mut value = t;
         for &ctx in &chain[start..] {
@@ -266,19 +273,14 @@ impl GraphBuilder {
                     .expect("function context without a registry entry");
                 let fctx = self.graph.functions[fi].ctx;
                 let mut internal_calls = Vec::new();
+                let mut outside_calls = Vec::new();
                 for n in &self.graph.nodes {
                     if let OpKind::Call { function, .. } = &n.op {
                         if *function == fname {
                             if self.graph.context_is_ancestor_or_self(fctx, n.ctx) {
                                 internal_calls.push(n.id);
                             } else {
-                                // An outside call site already fixed the
-                                // arity; growing the parameter list would
-                                // strand it.
-                                return Err(GraphError::ControlFlow(format!(
-                                    "cannot capture a value into function '{fname}' after it \
-                                     has been called; pass it as an explicit parameter"
-                                )));
+                                outside_calls.push((n.id, n.ctx));
                             }
                         }
                     }
@@ -296,12 +298,29 @@ impl GraphBuilder {
                 f.params.push(pid);
                 f.param_dtypes.push(dtype);
                 f.captured_exts.push(value);
+                // Register the capture in the cache *before* patching call
+                // sites: patching an outside site may recursively capture
+                // the same value back into this function (mutual
+                // recursion), and the cache hit is what terminates that
+                // cycle.
+                match &mut self.graph.contexts[ctx.0].kind {
+                    ContextKind::Function(info) => info.captures.push((value, inner)),
+                    _ => unreachable!("context kind changed mid-capture"),
+                }
                 // Recursive call sites inside the body pass the capture
                 // through: inside the frame the value *is* the parameter.
                 for c in internal_calls {
                     self.graph.nodes[c.0].inputs.push(inner);
                 }
-                inner
+                // Call sites elsewhere fixed their arity when the function
+                // had fewer parameters; grow them in place by capturing the
+                // external into each site's own context (mutually recursive
+                // bodies defined after their first call site land here).
+                for (c, cctx) in outside_calls {
+                    let arg = self.capture_into(cctx, value)?;
+                    self.graph.nodes[c.0].inputs.push(arg);
+                }
+                return Ok(inner);
             }
             ContextKind::Root => unreachable!("checked above"),
         };
@@ -1310,6 +1329,29 @@ impl GraphBuilder {
         // inferred; fix it up.
         self.graph.nodes[id.0].out_dtypes = vec![dtype];
         Ok(TensorRef { node: id, port: 0 })
+    }
+
+    /// Gathers the per-stream state cell `cell` for each stream slot in
+    /// `slots` (`i64` `[B]`), producing a `[B, dims…]` `f32` batch.
+    ///
+    /// Slots are minted server-side by the serving tier's continuous
+    /// batcher; the same fed slot batch must be passed to the matching
+    /// [`GraphBuilder::stream_state_write`] so each stream reads and
+    /// writes its own row.
+    pub fn stream_state_read(&mut self, slots: TensorRef, cell: &str) -> Result<TensorRef> {
+        self.add_op1(OpKind::StreamStateRead { cell: cell.to_owned() }, &[slots])
+    }
+
+    /// Scatters the rows of `value` (`[B, dims…]`) into the per-stream
+    /// state cell `cell` for each stream slot in `slots`; forwards
+    /// `value`, so fetching the output forces the write.
+    pub fn stream_state_write(
+        &mut self,
+        slots: TensorRef,
+        value: TensorRef,
+        cell: &str,
+    ) -> Result<TensorRef> {
+        self.add_op1(OpKind::StreamStateWrite { cell: cell.to_owned() }, &[slots, value])
     }
 
     /// No-op anchor node for control dependencies.

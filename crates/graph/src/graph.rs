@@ -820,6 +820,19 @@ impl Graph {
                 req(0, DType::I64)?;
                 vec![DType::I64, DType::F32]
             }
+            StreamStateRead { .. } => {
+                req(0, DType::I64)?;
+                vec![DType::F32]
+            }
+            StreamStateWrite { .. } => {
+                req(0, DType::I64)?;
+                let d = inputs.get(1).copied().ok_or_else(|| GraphError::Arity {
+                    op: "StreamStateWrite".into(),
+                    expected: 2,
+                    found: inputs.len(),
+                })?;
+                vec![d]
+            }
             Send { .. } => vec![],
             Recv { dtype, .. } => vec![*dtype],
             NoOp | ControlTrigger => vec![],

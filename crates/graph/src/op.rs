@@ -365,6 +365,26 @@ pub enum OpKind {
     },
 
     // ------------------------------------------------------------------
+    // Stream state ops (serving-tier recurrent state)
+    // ------------------------------------------------------------------
+    /// Gathers one `[1, dims…]` state row per stream in the fed slot batch.
+    /// Input: stream slot handles as `i64` `[B]`; output: `[B, dims…]`
+    /// `f32`. The slots are minted by the serving layer (see
+    /// `ResourceManager::stream_create` in `dcf-exec`), so a retired
+    /// stream's handle can only error, never read another stream's state.
+    StreamStateRead {
+        /// Name of the per-stream state cell (e.g. `"h"`, `"c"`).
+        cell: String,
+    },
+    /// Scatters the rows of `value` back into the per-stream state cells.
+    /// Inputs: `(slots [B] i64, value [B, dims…])`; forwards `value`, so
+    /// fetching the output forces the write.
+    StreamStateWrite {
+        /// Name of the per-stream state cell (e.g. `"h"`, `"c"`).
+        cell: String,
+    },
+
+    // ------------------------------------------------------------------
     // Communication (inserted by the partitioner, §3/§4.4)
     // ------------------------------------------------------------------
     /// Publishes its input under a rendezvous key derived from `key_base`
@@ -631,6 +651,8 @@ impl OpKind {
             OpKind::TensorArrayUnpack => "TensorArrayUnpack",
             OpKind::TensorArraySize => "TensorArraySize",
             OpKind::TensorArrayGrad { .. } => "TensorArrayGrad",
+            OpKind::StreamStateRead { .. } => "StreamStateRead",
+            OpKind::StreamStateWrite { .. } => "StreamStateWrite",
             OpKind::Send { .. } => "Send",
             OpKind::Recv { .. } => "Recv",
             OpKind::NoOp => "NoOp",
@@ -690,6 +712,8 @@ impl OpKind {
                 | OpKind::TensorArrayUnpack
                 | OpKind::TensorArraySize
                 | OpKind::TensorArrayGrad { .. }
+                | OpKind::StreamStateRead { .. }
+                | OpKind::StreamStateWrite { .. }
                 | OpKind::Send { .. }
                 | OpKind::Recv { .. }
         )

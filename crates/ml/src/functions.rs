@@ -104,6 +104,46 @@ pub fn fib(g: &mut GraphBuilder, fname: &str, x: TensorRef, n: TensorRef) -> Res
     g.call1(fname, &[x, n])
 }
 
+/// Mutually recursive parity:
+///
+/// ```text
+/// even(n) = 1            if n == 0        odd(n) = 0           if n == 0
+///         = odd(n - 1)   otherwise               = even(n - 1) otherwise
+/// ```
+///
+/// The canonical use of `declare_function`: `even`'s body calls `odd`
+/// before `odd` has a body, so `odd` is forward-declared first — the same
+/// two-step protocol a mutually recursive pair needs in any language with
+/// definition-before-use. Defines `{prefix}_even` / `{prefix}_odd` on
+/// first use and returns `even(n)` as an `i64` 0/1 scalar.
+pub fn parity(g: &mut GraphBuilder, prefix: &str, n: TensorRef) -> Result<TensorRef> {
+    let even = format!("{prefix}_even");
+    let odd = format!("{prefix}_odd");
+    if g.graph().function(&even).is_none() {
+        // Forward-declare odd so even's body can call it.
+        g.declare_function(&odd, &[DType::I64], &[DType::I64])?;
+        let body = |other: String, base_value: i64| {
+            move |g: &mut GraphBuilder, p: &[TensorRef]| {
+                let zero = g.scalar_i64(0);
+                let base = g.equal(p[0], zero)?;
+                let outs = g.cond(
+                    base,
+                    |g: &mut GraphBuilder| Ok(vec![g.scalar_i64(base_value)]),
+                    |g: &mut GraphBuilder| {
+                        let one = g.scalar_i64(1);
+                        let m = g.sub(p[0], one)?;
+                        Ok(vec![g.call1(&other, &[m])?])
+                    },
+                )?;
+                Ok(vec![outs[0]])
+            }
+        };
+        g.define_function(&even, &[DType::I64], &[DType::I64], body(odd.clone(), 1))?;
+        g.define_function(&odd, &[DType::I64], &[DType::I64], body(even.clone(), 0))?;
+    }
+    g.call1(&even, &[n])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +239,19 @@ mod tests {
         let out = sess.eval(&feeds, &[y, grads[0]]).unwrap();
         assert_eq!(out[0].scalar_as_f32().unwrap(), 34.0 * 1.5);
         assert_eq!(out[1].scalar_as_f32().unwrap(), 34.0);
+    }
+
+    #[test]
+    fn parity_alternates_through_mutual_recursion() {
+        let mut g = GraphBuilder::new();
+        let n = g.placeholder("n", DType::I64);
+        let is_even = parity(&mut g, "p", n).unwrap();
+        let sess = Session::local(g.finish().unwrap()).unwrap();
+        for v in 0..=5i64 {
+            let mut feeds = HashMap::new();
+            feeds.insert("n".to_string(), Tensor::scalar_i64(v));
+            let out = sess.eval(&feeds, &[is_even]).unwrap();
+            assert_eq!(out[0].scalar_as_i64().unwrap(), i64::from(v % 2 == 0), "parity({v})");
+        }
     }
 }

@@ -19,6 +19,10 @@
 //!   shared in-graph cell function (vs. [`lstm_stack_inline`]), and
 //!   [`fib`] — a doubly recursive function whose call tree is a tree of
 //!   dynamically tagged frames.
+//! * [`parity`] — a mutually recursive even/odd pair built with
+//!   `declare_function` (forward declaration before definition).
+//! * [`decode_step_model`] — a one-iteration LSTM decode step over
+//!   per-stream state slots: the serving tier's streaming workload.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,12 +32,14 @@ mod functions;
 mod lstm;
 mod moe;
 mod rnn;
+mod streaming;
 mod train;
 
-pub use functions::{fib, lstm_stack_calls, lstm_stack_inline};
+pub use functions::{fib, lstm_stack_calls, lstm_stack_inline, parity};
 pub use lstm::{lstm_step, LstmCell};
 pub use moe::MoeLayer;
 pub use rnn::{dynamic_rnn, stacked_dynamic_rnn, static_rnn, RnnOutputs};
+pub use streaming::{decode_reference_model, decode_step_model, DecodeStepModel};
 pub use train::sgd_step;
 
 /// Convenience alias reusing the graph error type.

@@ -1,0 +1,193 @@
+//! Decode-step model for streaming stateful inference.
+//!
+//! The serving tier's continuous batcher runs one decode iteration per
+//! `Session::run`, feeding one `[B, input]` row batch (one row per live
+//! stream) plus the `[B]` stream slot handles it minted. The model reads
+//! each stream's recurrent state (`h`, `c`) through
+//! [`StreamStateRead`](dcf_graph::OpKind::StreamStateRead), advances one
+//! LSTM step with a real in-graph `while_loop` ([`dynamic_rnn`] over a
+//! length-1 window), and writes the new state back through
+//! `StreamStateWrite` passthroughs that the batcher force-fetches.
+//!
+//! Because every op between read and write (`MatMul`, `Concat1`/`Split1`,
+//! elementwise, broadcast add) computes each batch row independently with
+//! the same reduction order regardless of `B`, a stream's outputs are
+//! bit-identical whether it shares the batch with other streams or runs
+//! alone — the transparency property the serving tests assert.
+
+use crate::lstm::LstmCell;
+use crate::rnn::dynamic_rnn;
+use crate::Result;
+use dcf_graph::{GraphBuilder, TensorRef, WhileOptions};
+use dcf_tensor::{DType, TensorRng};
+
+/// Feed/fetch layout of a [`decode_step_model`].
+#[derive(Clone, Debug)]
+pub struct DecodeStepModel {
+    /// Client-fed input placeholder name; one `[input]` row per timestep.
+    pub x_feed: String,
+    /// Batcher-fed stream-slot placeholder name (`i64` `[B]`).
+    pub slots_feed: String,
+    /// Client-visible output, `[B, output]`.
+    pub y: TensorRef,
+    /// State-write passthroughs; fetching them forces the `h`/`c` writes.
+    pub writes: Vec<TensorRef>,
+    /// Per-stream state cells as `(name, row dims)`; a new stream starts
+    /// from zeros of each shape.
+    pub state_cells: Vec<(String, Vec<usize>)>,
+}
+
+/// Builds a one-iteration LSTM decode step over per-stream state slots.
+///
+/// Weights are drawn from `TensorRng::new(seed)`, so two builds with one
+/// seed are bit-identical — the reference models below rely on this.
+pub fn decode_step_model(
+    g: &mut GraphBuilder,
+    input: usize,
+    hidden: usize,
+    output: usize,
+    seed: u64,
+) -> Result<DecodeStepModel> {
+    let mut rng = TensorRng::new(seed);
+    let cell = LstmCell::new(g, "decode_cell", input, hidden, &mut rng);
+    let w_out = g.constant(rng.uniform(&[hidden, output], -0.5, 0.5));
+    let x = g.placeholder("x", DType::F32);
+    let slots = g.placeholder("slots", DType::I64);
+    let h = g.stream_state_read(slots, "h")?;
+    let c = g.stream_state_read(slots, "c")?;
+    // A length-1 window through the real while_loop machinery: every
+    // serving iteration executes Enter/Merge/Switch/Exit and a TensorArray
+    // round trip, exactly like one iteration of a long dynamic_rnn.
+    let window = g.pack(&[x])?;
+    let rnn = dynamic_rnn(g, &cell, window, h, c, WhileOptions::default())?;
+    let y = g.matmul(rnn.h, w_out)?;
+    let wh = g.stream_state_write(slots, rnn.h, "h")?;
+    let wc = g.stream_state_write(slots, rnn.c, "c")?;
+    Ok(DecodeStepModel {
+        x_feed: "x".into(),
+        slots_feed: "slots".into(),
+        y,
+        writes: vec![wh, wc],
+        state_cells: vec![("h".into(), vec![hidden]), ("c".into(), vec![hidden])],
+    })
+}
+
+/// Builds the full-sequence reference for one stream: the same LSTM (same
+/// `seed` → bit-identical weights) applied to a `[T, input]` placeholder
+/// `"x"` as a batch-1 [`dynamic_rnn`], projecting every timestep's hidden
+/// state. Returns the `[T, output]` fetch whose row `t` must equal the
+/// decode-step output of that stream at step `t`.
+pub fn decode_reference_model(
+    g: &mut GraphBuilder,
+    input: usize,
+    hidden: usize,
+    output: usize,
+    seed: u64,
+    steps: usize,
+) -> Result<TensorRef> {
+    let mut rng = TensorRng::new(seed);
+    let cell = LstmCell::new(g, "decode_cell", input, hidden, &mut rng);
+    let w_out = g.constant(rng.uniform(&[hidden, output], -0.5, 0.5));
+    let x = g.placeholder("x", DType::F32);
+    // [T, input] -> [T, 1, input]: one stream is a batch of one.
+    let seq = g.reshape(x, &[steps, 1, input])?;
+    let zeros = g.constant(dcf_tensor::Tensor::zeros(DType::F32, &[1, hidden]));
+    let rnn = dynamic_rnn(g, &cell, seq, zeros, zeros, WhileOptions::default())?;
+    // [T, 1, hidden] -> [T, hidden]; each row is one timestep's h.
+    let hs = g.reshape(rnn.outputs, &[steps, hidden])?;
+    let y = g.matmul(hs, w_out)?;
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_runtime::Session;
+    use dcf_tensor::Tensor;
+    use std::collections::HashMap;
+
+    /// Drives two interleaved streams through the decode-step model by
+    /// hand (minting slots directly on the session's ResourceManager) and
+    /// checks each stream's outputs are bit-identical to the batch-1
+    /// full-sequence reference.
+    #[test]
+    fn decode_step_matches_full_sequence_reference() {
+        let (input, hidden, output, seed, steps) = (3, 4, 2, 99, 5);
+        let mut g = GraphBuilder::new();
+        let m = decode_step_model(&mut g, input, hidden, output, seed).unwrap();
+        let sess = Session::local(g.finish().unwrap()).unwrap();
+
+        // Mint a slot per stream and zero-init its cells.
+        let rm = sess.resources();
+        let slots: Vec<u64> = (0..2).map(|_| rm.stream_create()).collect();
+        for &s in &slots {
+            for (cell, dims) in &m.state_cells {
+                let mut row = vec![1];
+                row.extend(dims);
+                rm.stream_init_cell(s, cell, Tensor::zeros(DType::F32, &row)).unwrap();
+            }
+        }
+
+        let mut rng = TensorRng::new(7);
+        let seqs: Vec<Tensor> = (0..2).map(|_| rng.uniform(&[steps, input], -1.0, 1.0)).collect();
+        let mut got: Vec<Vec<Tensor>> = vec![Vec::new(), Vec::new()];
+        let mut fetches = vec![m.y];
+        fetches.extend(&m.writes);
+        for t in 0..steps {
+            // Both streams share one batch; row order varies per step to
+            // prove outputs only depend on each stream's own row.
+            let order: Vec<usize> = if t % 2 == 0 { vec![0, 1] } else { vec![1, 0] };
+            let rows: Vec<Tensor> =
+                order.iter().map(|&i| seqs[i].split0(&vec![1; steps]).unwrap().remove(t)).collect();
+            let mut feeds = HashMap::new();
+            feeds.insert(m.x_feed.clone(), Tensor::concat0(&rows).unwrap());
+            feeds.insert(
+                m.slots_feed.clone(),
+                Tensor::from_vec_i64(order.iter().map(|&i| slots[i] as i64).collect(), &[2])
+                    .unwrap(),
+            );
+            let out = sess.eval(&feeds, &fetches).unwrap().remove(0);
+            for (row, &i) in out.split0(&[1, 1]).unwrap().into_iter().zip(&order) {
+                got[i].push(row);
+            }
+        }
+
+        for i in 0..2 {
+            let mut rg = GraphBuilder::new();
+            let y = decode_reference_model(&mut rg, input, hidden, output, seed, steps).unwrap();
+            let rsess = Session::local(rg.finish().unwrap()).unwrap();
+            let mut feeds = HashMap::new();
+            feeds.insert("x".to_string(), seqs[i].clone());
+            let want = rsess.eval(&feeds, &[y]).unwrap().remove(0);
+            let have = Tensor::concat0(&got[i]).unwrap();
+            assert!(
+                have.value_eq(&want),
+                "stream {i}: batched decode must be bit-identical to the reference"
+            );
+        }
+        assert_eq!(rm.stream_count(), 2);
+        for s in slots {
+            assert!(rm.stream_drop(s));
+        }
+    }
+
+    /// Submitting against a dropped slot is a structured kernel error, not
+    /// another stream's state.
+    #[test]
+    fn dropped_slot_errors() {
+        let (input, hidden, output, seed) = (2, 3, 2, 5);
+        let mut g = GraphBuilder::new();
+        let m = decode_step_model(&mut g, input, hidden, output, seed).unwrap();
+        let sess = Session::local(g.finish().unwrap()).unwrap();
+        let rm = sess.resources();
+        let s = rm.stream_create();
+        rm.stream_init_cell(s, "h", Tensor::zeros(DType::F32, &[1, hidden])).unwrap();
+        rm.stream_init_cell(s, "c", Tensor::zeros(DType::F32, &[1, hidden])).unwrap();
+        rm.stream_drop(s);
+        let mut feeds = HashMap::new();
+        feeds.insert(m.x_feed.clone(), Tensor::zeros(DType::F32, &[1, input]));
+        feeds.insert(m.slots_feed.clone(), Tensor::from_vec_i64(vec![s as i64], &[1]).unwrap());
+        let err = sess.eval(&feeds, &[m.y]).unwrap_err();
+        assert!(err.to_string().contains("stream"), "unexpected error: {err}");
+    }
+}

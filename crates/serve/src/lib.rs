@@ -35,12 +35,24 @@
 //!   of queueing forever), per-request deadlines expire *before* a request
 //!   can occupy a batch slot, and an interactive priority lane preempts
 //!   bulk traffic at batch-assembly time.
+//! * [`ContinuousBatcher`] + [`StreamHandle`] — streaming stateful
+//!   inference. [`ModelHandle::open_stream`] returns a sticky stream
+//!   pinned to one replica, whose in-graph state (per-stream slots read
+//!   and written by `StreamStateRead`/`StreamStateWrite` ops) persists
+//!   across submits. The continuous batcher admits and retires streams
+//!   **between** decode iterations — rows are gathered into the live
+//!   batch as streams join and compacted out as they finish, instead of
+//!   stop-the-world re-batching at step boundaries — with per-stream
+//!   deadlines, a structured `StreamClosed`/`Overloaded` surface, and
+//!   drain-on-unload semantics.
 //! * [`ServeMetrics`] — per-replica counters threaded from each step's
 //!   `RunMetadata`: batch occupancy, queue-delay and step-latency
 //!   percentiles, rejects, expirations, transfer retries and injected
-//!   faults. [`ModelMetrics`] rolls them up per model: one
-//!   [`MetricsSnapshot`] per live replica plus an aggregate that also
-//!   folds in retired (evicted or scaled-down) replicas.
+//!   faults, plus the streaming gauges (active streams, joins/retires,
+//!   per-iteration occupancy). [`ModelMetrics`] rolls them up per model:
+//!   one [`MetricsSnapshot`] per live replica plus an aggregate that also
+//!   folds in retired (evicted or scaled-down) replicas, rendered by
+//!   [`ModelMetrics::summary`].
 //!
 //! Correctness contract (property-tested in `tests/serve_batching.rs` and
 //! `tests/proptest_serve.rs`): for batch-linear models — every fetch
@@ -59,12 +71,14 @@ mod oneshot;
 pub mod registry;
 pub mod replica;
 pub mod signature;
+pub mod stream;
 
 pub use batcher::{BatchPolicy, Batcher, Priority, Request, Response, Ticket};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use registry::{ModelHandle, ModelRegistry, ModelSpec};
 pub use replica::{ModelMetrics, ReplicaMetrics, ScalingPolicy};
 pub use signature::{FeedSpec, ModelSignature};
+pub use stream::{ContinuousBatcher, StreamHandle, StreamResponse, StreamSpec, StreamTicket};
 
 /// Crate-wide result type: serving surfaces the runtime's structured
 /// [`dcf_exec::ExecError`]s.

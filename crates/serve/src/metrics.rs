@@ -68,19 +68,26 @@ impl HistData {
     /// tell a 1 ms queue delay from an 8 ms one, which is what the
     /// batching and scaling policy knobs act on.
     pub(crate) fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile_raw(q) as f64 / 1e3
+    }
+
+    /// Upper-bound estimate of quantile `q` in the histogram's raw unit
+    /// (µs for the latency histograms, rows for the iteration-occupancy
+    /// histogram); `0` when empty.
+    pub(crate) fn quantile_raw(&self, q: f64) -> u64 {
         if self.count == 0 {
-            return 0.0;
+            return 0;
         }
         let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, b) in self.counts.iter().enumerate() {
             seen += b;
             if seen >= target {
-                // Upper edge of bucket i: 2^(i+1) - 1 µs.
-                return ((1u64 << (i + 1)) - 1) as f64 / 1e3;
+                // Upper edge of bucket i: 2^(i+1) - 1 raw units.
+                return (1u64 << (i + 1)) - 1;
             }
         }
-        ((1u64 << BUCKETS) - 1) as f64 / 1e3
+        (1u64 << BUCKETS) - 1
     }
 
     fn mean_ms(&self) -> f64 {
@@ -162,8 +169,28 @@ pub struct ServeMetrics {
     pub queued_rows: AtomicU64,
     /// Gauge: rows in the batch the replica is currently running.
     pub running_rows: AtomicU64,
+    /// Streams opened (joins) on this replica's continuous batcher.
+    pub streams_opened: AtomicU64,
+    /// Streams retired: closed and drained, expired, failed, or dropped
+    /// at shutdown — every opened stream eventually retires.
+    pub streams_retired: AtomicU64,
+    /// Stream opens rejected at the live-stream cap.
+    pub streams_rejected: AtomicU64,
+    /// Streams retired by deadline expiry (a subset of
+    /// [`ServeMetrics::streams_retired`]).
+    pub streams_expired: AtomicU64,
+    /// Stream submissions admitted (each spans one or more rows).
+    pub stream_submits: AtomicU64,
+    /// Total rows served through continuous-batched iterations.
+    pub stream_rows: AtomicU64,
+    /// Continuous-batched iterations issued (one `Session::run` each).
+    pub stream_iterations: AtomicU64,
+    /// Gauge: streams currently live on this replica — the signal stream
+    /// routing compares when picking a replica for `open_stream`.
+    pub active_streams: AtomicU64,
     queue_delay: Histogram,
     step_latency: Histogram,
+    iteration_rows: Histogram,
 }
 
 impl ServeMetrics {
@@ -175,6 +202,13 @@ impl ServeMetrics {
     /// Records one batched step's wall latency.
     pub fn record_step_latency_us(&self, us: u64) {
         self.step_latency.record_us(us);
+    }
+
+    /// Records one continuous-batched iteration's row count (its batch
+    /// occupancy). Same log₂ buckets as the latency histograms, read out
+    /// in rows rather than µs.
+    pub fn record_iteration_rows(&self, rows: u64) {
+        self.iteration_rows.record_us(rows);
     }
 
     /// The replica's instantaneous load in rows: queued plus mid-step.
@@ -201,8 +235,17 @@ impl ServeMetrics {
             fault_events: ld(&self.fault_events),
             queued_rows: ld(&self.queued_rows),
             running_rows: ld(&self.running_rows),
+            streams_opened: ld(&self.streams_opened),
+            streams_retired: ld(&self.streams_retired),
+            streams_rejected: ld(&self.streams_rejected),
+            streams_expired: ld(&self.streams_expired),
+            stream_submits: ld(&self.stream_submits),
+            stream_rows: ld(&self.stream_rows),
+            stream_iterations: ld(&self.stream_iterations),
+            active_streams: ld(&self.active_streams),
             queue_delay: self.queue_delay.data(),
             step_latency: self.step_latency.data(),
+            iteration_rows: self.iteration_rows.data(),
         }
     }
 
@@ -234,8 +277,17 @@ pub(crate) struct RawMetrics {
     pub fault_events: u64,
     pub queued_rows: u64,
     pub running_rows: u64,
+    pub streams_opened: u64,
+    pub streams_retired: u64,
+    pub streams_rejected: u64,
+    pub streams_expired: u64,
+    pub stream_submits: u64,
+    pub stream_rows: u64,
+    pub stream_iterations: u64,
+    pub active_streams: u64,
     pub queue_delay: HistData,
     pub step_latency: HistData,
+    pub iteration_rows: HistData,
 }
 
 impl RawMetrics {
@@ -253,8 +305,17 @@ impl RawMetrics {
         self.fault_events += other.fault_events;
         self.queued_rows += other.queued_rows;
         self.running_rows += other.running_rows;
+        self.streams_opened += other.streams_opened;
+        self.streams_retired += other.streams_retired;
+        self.streams_rejected += other.streams_rejected;
+        self.streams_expired += other.streams_expired;
+        self.stream_submits += other.stream_submits;
+        self.stream_rows += other.stream_rows;
+        self.stream_iterations += other.stream_iterations;
+        self.active_streams += other.active_streams;
         self.queue_delay.merge(&other.queue_delay);
         self.step_latency.merge(&other.step_latency);
+        self.iteration_rows.merge(&other.iteration_rows);
     }
 
     /// The cumulative queue-delay histogram, for windowed (delta)
@@ -293,6 +354,21 @@ impl RawMetrics {
             queue_delay_p99_ms: self.queue_delay.quantile_ms(0.99),
             step_latency_p50_ms: self.step_latency.quantile_ms(0.50),
             step_latency_p99_ms: self.step_latency.quantile_ms(0.99),
+            streams_opened: self.streams_opened,
+            streams_retired: self.streams_retired,
+            streams_rejected: self.streams_rejected,
+            streams_expired: self.streams_expired,
+            stream_submits: self.stream_submits,
+            stream_rows: self.stream_rows,
+            stream_iterations: self.stream_iterations,
+            active_streams: self.active_streams,
+            mean_iteration_rows: if self.stream_iterations == 0 {
+                0.0
+            } else {
+                self.stream_rows as f64 / self.stream_iterations as f64
+            },
+            iteration_rows_p50: self.iteration_rows.quantile_raw(0.50),
+            iteration_rows_p99: self.iteration_rows.quantile_raw(0.99),
         }
     }
 }
@@ -341,6 +417,29 @@ pub struct MetricsSnapshot {
     pub step_latency_p50_ms: f64,
     /// 99th-percentile batched-step wall latency, ms.
     pub step_latency_p99_ms: f64,
+    /// Streams opened (continuous batching joins).
+    pub streams_opened: u64,
+    /// Streams retired (closed, expired, failed, or dropped at shutdown).
+    pub streams_retired: u64,
+    /// Stream opens rejected at the live-stream cap.
+    pub streams_rejected: u64,
+    /// Streams retired by deadline expiry.
+    pub streams_expired: u64,
+    /// Stream submissions admitted.
+    pub stream_submits: u64,
+    /// Rows served through continuous-batched iterations.
+    pub stream_rows: u64,
+    /// Continuous-batched iterations issued.
+    pub stream_iterations: u64,
+    /// Gauge at snapshot time: live streams.
+    pub active_streams: u64,
+    /// Average rows per continuous-batched iteration — the occupancy the
+    /// continuous batcher sustained as streams joined and retired.
+    pub mean_iteration_rows: f64,
+    /// Median iteration row count (upper bucket edge, in rows).
+    pub iteration_rows_p50: u64,
+    /// 99th-percentile iteration row count (upper bucket edge, in rows).
+    pub iteration_rows_p99: u64,
 }
 
 #[cfg(test)]
@@ -400,6 +499,32 @@ mod tests {
         let window = later.queue_delay_data().since(&earlier);
         assert_eq!(window.count, 1);
         assert!(window.quantile_ms(0.99) < 1.0);
+    }
+
+    #[test]
+    fn stream_metrics_merge_and_derive_occupancy() {
+        let a = ServeMetrics::default();
+        let b = ServeMetrics::default();
+        a.streams_opened.store(3, Ordering::Relaxed);
+        b.streams_opened.store(2, Ordering::Relaxed);
+        a.active_streams.store(1, Ordering::Relaxed);
+        a.stream_iterations.store(4, Ordering::Relaxed);
+        a.stream_rows.store(12, Ordering::Relaxed);
+        a.record_iteration_rows(3);
+        a.record_iteration_rows(3);
+        a.record_iteration_rows(3);
+        a.record_iteration_rows(3);
+        let mut total = a.raw();
+        total.merge(&b.raw());
+        let snap = total.snapshot(8);
+        assert_eq!(snap.streams_opened, 5);
+        assert_eq!(snap.active_streams, 1);
+        assert!((snap.mean_iteration_rows - 3.0).abs() < 1e-9);
+        // 3 rows falls in the bucket with floor(log2(3+1)) == 2, whose
+        // upper edge is 2^3 - 1 = 7.
+        assert_eq!(snap.iteration_rows_p50, 7);
+        assert_eq!(snap.iteration_rows_p99, 7);
+        assert_eq!(ServeMetrics::default().snapshot(8).mean_iteration_rows, 0.0);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use crate::batcher::{Request, Response, Ticket};
 use crate::replica::{ModelMetrics, ReplicaSet, ReplicaTemplate, ScalingPolicy};
 use crate::signature::ModelSignature;
+use crate::stream::{StreamHandle, StreamSpec};
 use crate::{BatchPolicy, Result};
 use dcf_exec::ExecError;
 use dcf_graph::Graph;
@@ -35,6 +36,7 @@ use dcf_runtime::{Cluster, FaultPlan, SessionOptions};
 use dcf_sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Everything needed to serve one model.
 pub struct ModelSpec {
@@ -61,6 +63,10 @@ pub struct ModelSpec {
     /// `i` runs its batched steps under `replica_fault_plans[i]` when set.
     /// Only effective with the `faultinject` feature.
     pub replica_fault_plans: Vec<Option<FaultPlan>>,
+    /// Streaming configuration. When set, every replica also runs a
+    /// continuous batcher and clients may [`ModelHandle::open_stream`];
+    /// validated against the graph and signature at registration.
+    pub stream: Option<StreamSpec>,
 }
 
 impl ModelSpec {
@@ -76,6 +82,7 @@ impl ModelSpec {
             replicas: 1,
             scaling: ScalingPolicy::default(),
             replica_fault_plans: Vec::new(),
+            stream: None,
         }
     }
 
@@ -94,6 +101,14 @@ impl ModelSpec {
     /// Replaces the scaling/health policy (builder style).
     pub fn with_scaling(mut self, scaling: ScalingPolicy) -> ModelSpec {
         self.scaling = scaling;
+        self
+    }
+
+    /// Enables streaming under `spec` (builder style): every replica
+    /// runs a continuous batcher and clients may
+    /// [`ModelHandle::open_stream`].
+    pub fn with_stream(mut self, spec: StreamSpec) -> ModelSpec {
+        self.stream = Some(spec);
         self
     }
 
@@ -141,6 +156,7 @@ impl ModelEntry {
             policy: spec.policy,
             scaling: spec.scaling,
             replica_fault_plans: spec.replica_fault_plans,
+            stream: spec.stream,
         };
         let set = Arc::new(ReplicaSet::new(template, initial)?);
         *slot = Some(set.clone());
@@ -194,6 +210,25 @@ impl ModelHandle {
     /// transparently resubmitted.
     pub fn serve(&self, request: Request) -> Result<Response> {
         self.entry.instantiate()?.serve(request)
+    }
+
+    /// Opens a sticky stream session on this model: a [`StreamHandle`]
+    /// pinned to one replica, whose in-graph state (the spec's state
+    /// cells) persists across submits until the handle drops. Routed to
+    /// the replica with the fewest live streams; instantiates the replica
+    /// set on first use. Fails with [`ExecError::InvalidConfig`] if the
+    /// model was registered without [`ModelSpec::with_stream`], and with
+    /// [`ExecError::Overloaded`] at the per-replica stream cap.
+    pub fn open_stream(&self) -> Result<StreamHandle> {
+        self.entry.instantiate()?.open_stream(None)
+    }
+
+    /// [`ModelHandle::open_stream`] with a lifetime budget: once `budget`
+    /// elapses the stream is retired, its pending rows failing with
+    /// [`ExecError::DeadlineExceeded`] and later submits with
+    /// [`ExecError::StreamClosed`].
+    pub fn open_stream_with_deadline(&self, budget: Duration) -> Result<StreamHandle> {
+        self.entry.instantiate()?.open_stream(Some(Instant::now() + budget))
     }
 
     /// Per-replica and aggregated metrics. Never forces instantiation: a
@@ -253,6 +288,9 @@ impl ModelRegistry {
         spec.signature.check_against(&spec.graph)?;
         spec.policy.check()?;
         spec.scaling.check()?;
+        if let Some(s) = &spec.stream {
+            s.check(&spec.graph, &spec.signature)?;
+        }
         let entry = Arc::new(ModelEntry {
             name: name.clone(),
             spec: Mutex::new(Some(spec)),

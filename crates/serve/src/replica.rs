@@ -41,6 +41,7 @@
 use crate::batcher::{BatchPolicy, Batcher, Request, Response, Ticket, SHUTDOWN_MSG};
 use crate::metrics::{HistData, MetricsSnapshot, RawMetrics};
 use crate::signature::ModelSignature;
+use crate::stream::{ContinuousBatcher, StreamHandle, StreamSpec};
 use crate::Result;
 use dcf_exec::ExecError;
 use dcf_graph::Graph;
@@ -163,11 +164,40 @@ pub(crate) struct ReplicaTemplate {
     /// Replacement replicas get fresh ids past the end of this list, so a
     /// replica evicted for injected faults is replaced by a healthy one.
     pub replica_fault_plans: Vec<Option<FaultPlan>>,
+    /// Streaming configuration: when set, every replica also runs a
+    /// [`ContinuousBatcher`] over its session, and the model accepts
+    /// [`ReplicaSet::open_stream`].
+    pub stream: Option<StreamSpec>,
 }
 
 struct Replica {
     id: u64,
     batcher: Arc<Batcher>,
+    /// The replica's continuous batcher, present iff the template has a
+    /// stream spec. Shares the batcher's session, so streams and
+    /// request/response traffic interleave on one model instance.
+    streams: Option<Arc<ContinuousBatcher>>,
+}
+
+impl Replica {
+    /// The replica-health signal: the worst consecutive-failure streak
+    /// across the request batcher and the stream batcher. Either one
+    /// failing repeatedly means the replica's session is sick.
+    fn consecutive_step_failures(&self) -> u64 {
+        let b = self.batcher.metrics().consecutive_step_failures.load(Ordering::Relaxed);
+        let s = self
+            .streams
+            .as_ref()
+            .map_or(0, |s| s.metrics().consecutive_step_failures.load(Ordering::Relaxed));
+        b.max(s)
+    }
+
+    /// Idle for scale-down purposes: nothing queued or running on either
+    /// batcher, and no live streams pinned to this replica.
+    fn is_idle(&self) -> bool {
+        self.batcher.load() == 0
+            && self.streams.as_ref().is_none_or(|s| s.load() == 0 && s.active_streams() == 0)
+    }
 }
 
 /// Scaling control state, touched only every `decision_every` submits.
@@ -344,18 +374,61 @@ impl ReplicaSet {
         }
         let session =
             Arc::new(Session::new(t.graph.clone(), t.cluster.fork(), t.session_options.clone())?);
+        // The stream batcher shares the batcher's run options (after the
+        // fault-plan override, so streaming iterations run under injected
+        // faults too) and the replica's session, where its state slots
+        // live — which is what makes streams sticky to this replica.
+        let streams = match &t.stream {
+            Some(spec) => Some(Arc::new(ContinuousBatcher::new(
+                format!("{}[r{id}]", t.name),
+                session.clone(),
+                t.signature.clone(),
+                spec.clone(),
+                policy.run_options.clone(),
+            )?)),
+            None => None,
+        };
         let batcher = Arc::new(Batcher::new(
             format!("{}[r{id}]", t.name),
             session,
             t.signature.clone(),
             policy,
         )?);
-        Ok(Replica { id, batcher })
+        Ok(Replica { id, batcher, streams })
     }
 
     /// Current replica count.
     pub fn replica_count(&self) -> usize {
         self.replicas.read().len()
+    }
+
+    /// Opens a sticky stream on the replica with the fewest live streams
+    /// (streams are pinned for life, so open-time least-loaded beats
+    /// per-request power-of-two-choices here: there is no second chance
+    /// to rebalance). Fails with [`ExecError::InvalidConfig`] when the
+    /// model was registered without a stream spec.
+    pub(crate) fn open_stream(&self, deadline: Option<std::time::Instant>) -> Result<StreamHandle> {
+        let worker = {
+            let replicas = self.replicas.read();
+            if replicas.is_empty() {
+                return Err(ExecError::Internal(format!(
+                    "model '{}' has no live replicas",
+                    self.template.name
+                )));
+            }
+            replicas
+                .iter()
+                .filter_map(|r| r.streams.clone())
+                .min_by_key(|s| s.active_streams())
+                .ok_or_else(|| {
+                    ExecError::InvalidConfig(format!(
+                        "model '{}' was registered without a stream spec",
+                        self.template.name
+                    ))
+                })?
+        };
+        let slot = worker.open(deadline)?;
+        Ok(StreamHandle::attach(worker, slot))
     }
 
     /// Routes `request` to the less loaded of two candidate replicas and
@@ -436,17 +509,15 @@ impl ReplicaSet {
     /// reached the policy threshold.
     fn evict_sick(&self) -> Result<()> {
         let threshold = self.template.scaling.max_consecutive_step_failures;
-        let any_sick = self.replicas.read().iter().any(|r| {
-            r.batcher.metrics().consecutive_step_failures.load(Ordering::Relaxed) >= threshold
-        });
+        let any_sick =
+            self.replicas.read().iter().any(|r| r.consecutive_step_failures() >= threshold);
         if !any_sick {
             return Ok(());
         }
         let mut replicas = self.replicas.write();
         let mut idx = 0;
         while idx < replicas.len() {
-            let failures =
-                replicas[idx].batcher.metrics().consecutive_step_failures.load(Ordering::Relaxed);
+            let failures = replicas[idx].consecutive_step_failures();
             if failures < threshold {
                 idx += 1;
                 continue;
@@ -465,12 +536,23 @@ impl ReplicaSet {
 
     /// Folds a removed replica's counters into the retired aggregate and
     /// drops it (draining its queue with `Cancelled`, joining its thread).
+    /// Streams pinned to the replica are hard-closed first — their state
+    /// lives in this replica's session, so unlike queued requests they
+    /// cannot fail over; clients get [`ExecError::StreamClosed`].
     fn retire(&self, replica: Replica) {
+        if let Some(s) = &replica.streams {
+            s.close_all("replica retired");
+        }
         let mut raw = replica.batcher.metrics().raw();
+        if let Some(s) = &replica.streams {
+            raw.merge(&s.metrics().raw());
+        }
         // Gauges die with the replica; only monotone counters are
-        // meaningful in the retired aggregate.
+        // meaningful in the retired aggregate. (close_all already zeroed
+        // the stream gauges.)
         raw.queued_rows = 0;
         raw.running_rows = 0;
+        raw.active_streams = 0;
         self.retired.lock().merge(&raw);
         drop(replica);
     }
@@ -505,7 +587,7 @@ impl ReplicaSet {
                 // over-provisioned, whatever the p99 says.
                 let mut replicas = self.replicas.write();
                 if replicas.len() > scaling.min_replicas {
-                    if let Some(idx) = replicas.iter().rposition(|r| r.batcher.load() == 0) {
+                    if let Some(idx) = replicas.iter().rposition(|r| r.is_idle()) {
                         let idle = replicas.remove(idx);
                         drop(replicas);
                         control.down_streak = 0;
@@ -523,19 +605,26 @@ impl ReplicaSet {
     /// lock-free; the replica list itself is held only long enough to
     /// clone the batcher handles.
     pub fn metrics(&self) -> ModelMetrics {
-        let batchers: Vec<(u64, Arc<Batcher>)> =
-            self.replicas.read().iter().map(|r| (r.id, r.batcher.clone())).collect();
+        let handles: Vec<(u64, Arc<Batcher>, Option<Arc<ContinuousBatcher>>)> = self
+            .replicas
+            .read()
+            .iter()
+            .map(|r| (r.id, r.batcher.clone(), r.streams.clone()))
+            .collect();
         let max_rows = self.template.policy.max_batch_size;
         let mut aggregate = self.retired.lock().clone();
-        let mut per_replica = Vec::with_capacity(batchers.len());
-        for (id, b) in &batchers {
-            let raw = b.metrics().raw();
+        let mut per_replica = Vec::with_capacity(handles.len());
+        for (id, b, s) in &handles {
+            let mut raw = b.metrics().raw();
+            let mut failures = b.metrics().consecutive_step_failures.load(Ordering::Relaxed);
+            if let Some(s) = s {
+                raw.merge(&s.metrics().raw());
+                failures =
+                    failures.max(s.metrics().consecutive_step_failures.load(Ordering::Relaxed));
+            }
             per_replica.push(ReplicaMetrics {
                 id: *id,
-                consecutive_step_failures: b
-                    .metrics()
-                    .consecutive_step_failures
-                    .load(Ordering::Relaxed),
+                consecutive_step_failures: failures,
                 snapshot: raw.snapshot(max_rows),
             });
             aggregate.merge(&raw);
@@ -575,6 +664,72 @@ pub struct ModelMetrics {
     pub scale_downs: u64,
     /// Requests transparently re-routed off a dying replica.
     pub resubmitted: u64,
+}
+
+impl ModelMetrics {
+    /// A human-readable multi-line summary: request/batch counters,
+    /// latency percentiles, the streaming section (joins/retires, live
+    /// streams, per-iteration occupancy), and router events.
+    pub fn summary(&self) -> String {
+        let a = &self.aggregate;
+        let mut out = String::new();
+        if !self.instantiated {
+            return "registered, not yet instantiated (no traffic)\n".to_string();
+        }
+        out.push_str(&format!(
+            "requests: {} submitted, {} served, {} failed, {} expired, \
+             {} rejected (shape {}, overload {})\n",
+            a.submitted,
+            a.served,
+            a.failed,
+            a.expired,
+            a.rejected_shape + a.rejected_overload,
+            a.rejected_shape,
+            a.rejected_overload,
+        ));
+        out.push_str(&format!(
+            "batches: {} steps, {} rows, mean {:.2} rows/batch, occupancy {:.0}%\n",
+            a.batches,
+            a.batched_rows,
+            a.mean_batch_rows,
+            a.occupancy * 100.0,
+        ));
+        out.push_str(&format!(
+            "latency: queue p50 {:.3} ms / p99 {:.3} ms, step p50 {:.3} ms / p99 {:.3} ms\n",
+            a.queue_delay_p50_ms,
+            a.queue_delay_p99_ms,
+            a.step_latency_p50_ms,
+            a.step_latency_p99_ms,
+        ));
+        if a.streams_opened > 0 {
+            out.push_str(&format!(
+                "streams: {} joined, {} retired ({} expired), {} rejected, {} active\n",
+                a.streams_opened,
+                a.streams_retired,
+                a.streams_expired,
+                a.streams_rejected,
+                a.active_streams,
+            ));
+            out.push_str(&format!(
+                "streaming: {} iterations, {} rows, mean {:.2} rows/iteration \
+                 (p50 ≤ {}, p99 ≤ {})\n",
+                a.stream_iterations,
+                a.stream_rows,
+                a.mean_iteration_rows,
+                a.iteration_rows_p50,
+                a.iteration_rows_p99,
+            ));
+        }
+        out.push_str(&format!(
+            "router: {} replicas, {} evicted, {} scale-ups, {} scale-downs, {} resubmitted\n",
+            self.replicas.len(),
+            self.evicted,
+            self.scale_ups,
+            self.scale_downs,
+            self.resubmitted,
+        ));
+        out
+    }
 }
 
 /// One live replica's identity, health, and counters.

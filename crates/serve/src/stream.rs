@@ -1,0 +1,1190 @@
+//! Streaming stateful inference: sticky stream sessions and continuous
+//! batching.
+//!
+//! The [`crate::Batcher`] serves stateless request/response traffic: any
+//! request can ride any batch on any replica. A *stream* is different —
+//! it owns in-graph state (an RNN decoder's hidden state) that must
+//! persist across submissions, so a stream is **sticky**: opened against
+//! one replica, whose session holds a per-stream state slot (minted from
+//! the executor's `ResourceManager`, ids never reused) for each declared
+//! state cell.
+//!
+//! The [`ContinuousBatcher`] runs one *iteration* per `Session::run`: a
+//! `[B, …]` batch with exactly one row per participating stream, plus a
+//! batcher-fed `[B]` `i64` slots tensor the graph's
+//! `StreamStateRead`/`StreamStateWrite` ops gather and scatter state
+//! through. Batch membership is recomputed **between iterations** — a
+//! stream that joins is gathered into the very next iteration, and a
+//! stream that finishes is compacted out — instead of the stop-the-world
+//! alternative (freeze a batch, run every member to completion, only then
+//! admit waiters). That is the serving-side mirror of the paper's dynamic
+//! control flow: work enters and leaves the computation at iteration
+//! granularity, not step granularity.
+//!
+//! Structured failure surface:
+//!
+//! * [`ExecError::Overloaded`] — opening a stream beyond
+//!   [`StreamSpec::max_streams`], or submitting past
+//!   [`StreamSpec::queue_capacity`] queued rows;
+//! * [`ExecError::DeadlineExceeded`] — a stream's deadline passed; its
+//!   pending rows fail and the stream is retired;
+//! * [`ExecError::StreamClosed`] — any use of a stream that no longer
+//!   exists: client-closed, deadline-retired, destroyed by a failed
+//!   iteration (state integrity is lost mid-decode), or its replica was
+//!   evicted/retired.
+//!
+//! Dropping the last handle (model unload) **drains**: no new streams or
+//! rows are admitted, pending rows keep being served iteration by
+//! iteration until every accepted submission has completed, then the
+//! remaining slots are dropped and the worker exits.
+
+use crate::metrics::ServeMetrics;
+use crate::oneshot;
+use crate::signature::ModelSignature;
+use crate::Result;
+use dcf_exec::ExecError;
+use dcf_graph::{Graph, OpKind, TensorRef};
+use dcf_runtime::{RunOptions, Session};
+use dcf_sync::{Condvar, Mutex};
+use dcf_tensor::{DType, Tensor};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Error text of the [`ExecError::Cancelled`] a stream batcher uses once
+/// it has begun draining: the worker is going away, not the stream.
+pub(crate) const STREAM_SHUTDOWN_MSG: &str = "stream batcher shut down";
+
+/// How a model serves streams: which placeholder carries the per-row
+/// stream slots, which state cells a new stream starts with, and the
+/// admission/batching knobs of the continuous batcher.
+#[derive(Clone, Debug)]
+pub struct StreamSpec {
+    /// Name of the `i64` placeholder the batcher feeds with the `[B]`
+    /// stream-slot handles of the iteration's participants. Must name a
+    /// placeholder in the graph and must **not** appear in the serving
+    /// signature (clients never feed it).
+    pub slots_feed: String,
+    /// Per-stream state cells as `(name, row dims)`. A freshly opened
+    /// stream starts every cell at `f32` zeros of `[1] + dims`.
+    pub state_cells: Vec<(String, Vec<usize>)>,
+    /// Extra tensors fetched by every iteration besides the signature
+    /// fetches — the `StreamStateWrite` passthroughs, so fetching them
+    /// forces the state writes. Their outputs are not returned to
+    /// clients.
+    pub state_fetches: Vec<TensorRef>,
+    /// Maximum live streams per replica; `open` beyond it is rejected
+    /// with [`ExecError::Overloaded`].
+    pub max_streams: usize,
+    /// Maximum rows (= participating streams) per iteration. When more
+    /// streams have pending rows, a rotating cursor shares iterations
+    /// fairly.
+    pub max_iteration_rows: usize,
+    /// Bound on queued rows across all of a replica's streams; submits
+    /// beyond it are rejected with [`ExecError::Overloaded`].
+    pub queue_capacity: usize,
+    /// How long the worker lingers for co-batchable rows before running
+    /// an under-full iteration. A stream mid-chunk never lingers: its
+    /// next row dispatches immediately.
+    pub iteration_delay: Duration,
+}
+
+impl StreamSpec {
+    /// A spec reading stream slots from placeholder `slots_feed`, with
+    /// default knobs and no state cells yet (add them with
+    /// [`StreamSpec::with_cell`]).
+    pub fn new(slots_feed: impl Into<String>) -> StreamSpec {
+        StreamSpec {
+            slots_feed: slots_feed.into(),
+            state_cells: Vec::new(),
+            state_fetches: Vec::new(),
+            max_streams: 64,
+            max_iteration_rows: 16,
+            queue_capacity: 1024,
+            iteration_delay: Duration::from_micros(500),
+        }
+    }
+
+    /// Adds a state cell (builder style): `dims` is the per-stream row
+    /// shape, without the leading slot axis.
+    pub fn with_cell(mut self, name: impl Into<String>, dims: &[usize]) -> StreamSpec {
+        self.state_cells.push((name.into(), dims.to_vec()));
+        self
+    }
+
+    /// Adds a force-fetched tensor (builder style) — typically a
+    /// `StreamStateWrite` passthrough.
+    pub fn with_state_fetch(mut self, t: TensorRef) -> StreamSpec {
+        self.state_fetches.push(t);
+        self
+    }
+
+    /// Sets the per-replica live-stream cap (builder style).
+    pub fn with_max_streams(mut self, n: usize) -> StreamSpec {
+        self.max_streams = n;
+        self
+    }
+
+    /// Sets the per-iteration row cap (builder style).
+    pub fn with_iteration_rows(mut self, n: usize) -> StreamSpec {
+        self.max_iteration_rows = n;
+        self
+    }
+
+    /// Sets the queued-rows bound (builder style).
+    pub fn with_queue_capacity(mut self, rows: usize) -> StreamSpec {
+        self.queue_capacity = rows;
+        self
+    }
+
+    /// Sets the co-batching linger (builder style).
+    pub fn with_iteration_delay(mut self, d: Duration) -> StreamSpec {
+        self.iteration_delay = d;
+        self
+    }
+
+    /// Graph-independent invariants, re-checked at batcher construction.
+    pub(crate) fn check_basic(&self) -> Result<()> {
+        if self.max_streams == 0 {
+            return Err(ExecError::InvalidConfig("stream max_streams is 0".into()));
+        }
+        if self.max_iteration_rows == 0 {
+            return Err(ExecError::InvalidConfig("stream max_iteration_rows is 0".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ExecError::InvalidConfig("stream queue_capacity is 0".into()));
+        }
+        if self.state_cells.is_empty() {
+            return Err(ExecError::InvalidConfig(
+                "stream spec declares no state cells: nothing is sticky".into(),
+            ));
+        }
+        for (i, (name, _)) in self.state_cells.iter().enumerate() {
+            if self.state_cells[..i].iter().any(|(n, _)| n == name) {
+                return Err(ExecError::InvalidConfig(format!(
+                    "stream spec declares state cell '{name}' twice"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Full validation against the model's graph and serving signature,
+    /// run at registration so a bad streaming model fails before any
+    /// client opens a stream.
+    pub(crate) fn check(&self, graph: &Graph, signature: &ModelSignature) -> Result<()> {
+        self.check_basic()?;
+        let mut found = None;
+        for node in graph.nodes() {
+            if let OpKind::Placeholder { name, dtype, .. } = &node.op {
+                if name == &self.slots_feed {
+                    found = Some(*dtype);
+                }
+            }
+        }
+        match found {
+            None => {
+                return Err(ExecError::InvalidConfig(format!(
+                    "stream slots feed '{}' names no placeholder in the graph",
+                    self.slots_feed
+                )))
+            }
+            Some(dt) if dt != DType::I64 => {
+                return Err(ExecError::InvalidConfig(format!(
+                    "stream slots feed '{}' must be an I64 placeholder, found {dt:?}",
+                    self.slots_feed
+                )))
+            }
+            Some(_) => {}
+        }
+        if signature.feeds.iter().any(|f| f.name == self.slots_feed) {
+            return Err(ExecError::InvalidConfig(format!(
+                "stream slots feed '{}' is also a signature feed; clients must not feed it",
+                self.slots_feed
+            )));
+        }
+        for t in &self.state_fetches {
+            if t.node.0 >= graph.nodes().len() {
+                return Err(ExecError::InvalidConfig(format!(
+                    "stream state fetch references node {} outside the graph",
+                    t.node.0
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What a completed stream submission returns.
+#[derive(Clone, Debug)]
+pub struct StreamResponse {
+    /// One tensor per signature fetch, the per-iteration rows of this
+    /// submission concatenated back in order: shape `[rows] + …`.
+    pub outputs: Vec<Tensor>,
+    /// Rows (= iterations) this submission spanned.
+    pub rows: usize,
+    /// Time from enqueue until the first row was gathered into an
+    /// iteration.
+    pub queue_delay: Duration,
+    /// Step id of the iteration that served the final row.
+    pub last_step: u64,
+    /// Tag of that final iteration (e.g. `"decoder[r0]/iter-17"`).
+    pub tag: String,
+}
+
+/// A submitted stream chunk's completion handle.
+pub struct StreamTicket {
+    rx: oneshot::Receiver<Result<StreamResponse>>,
+}
+
+impl std::fmt::Debug for StreamTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StreamTicket")
+    }
+}
+
+impl StreamTicket {
+    /// Blocks until every row of the submission has been served (or the
+    /// stream failed).
+    pub fn wait(self) -> Result<StreamResponse> {
+        self.rx.recv().unwrap_or_else(|| {
+            Err(ExecError::Internal(
+                "stream batcher dropped the submission without completing it".into(),
+            ))
+        })
+    }
+}
+
+/// One submitted chunk: `rows` decode steps served over `rows`
+/// successive iterations.
+struct Chunk {
+    /// `row_feeds[t][f]` = row `t`'s tensor for signature feed `f`
+    /// (shape `[1] + example_dims`), pre-split at submit.
+    row_feeds: Vec<Vec<Tensor>>,
+    /// Served outputs per signature fetch, accumulated row by row.
+    acc: Vec<Vec<Tensor>>,
+    /// Rows already gathered into an iteration (the queue's consumed
+    /// prefix). `acc` trails it by at most the in-flight row.
+    next_row: usize,
+    enqueued: Instant,
+    first_gather: Option<Instant>,
+    tx: oneshot::Sender<Result<StreamResponse>>,
+}
+
+impl Chunk {
+    fn rows(&self) -> usize {
+        self.row_feeds.len()
+    }
+}
+
+/// One live stream's queue and lifecycle flags.
+struct LiveStream {
+    pending: VecDeque<Chunk>,
+    deadline: Option<Instant>,
+    /// Client closed the stream; it retires once `pending` drains.
+    closing: bool,
+}
+
+/// A slot's entry: live, or a tombstone carrying why it closed (so a
+/// late submit gets a precise [`ExecError::StreamClosed`]; the handle's
+/// drop reaps the tombstone).
+enum Entry {
+    Live(LiveStream),
+    Closed(String),
+}
+
+/// Worker lifecycle.
+enum Mode {
+    Running,
+    /// Last handle dropped: serve pending rows to completion, admit
+    /// nothing new, then exit.
+    Draining,
+    /// Replica retired/evicted: fail everything with `StreamClosed`.
+    Closed(String),
+}
+
+struct StreamsState {
+    streams: HashMap<u64, Entry>,
+    /// Admission order of live slots; gather iterates it (rotated by
+    /// `cursor` when over the row cap) so batch order is deterministic
+    /// and fair.
+    order: Vec<u64>,
+    cursor: usize,
+    /// Unserved rows across all streams (the `queue_capacity` counter).
+    queued_rows: usize,
+    mode: Mode,
+}
+
+/// One iteration's gathered rows, merged and run outside the state lock.
+struct Iteration {
+    /// Participating slots, in batch-row order.
+    slots: Vec<u64>,
+    /// `rows[f]` = each participant's `[1]+dims` tensor for signature
+    /// feed `f`, in batch-row order.
+    rows: Vec<Vec<Tensor>>,
+}
+
+struct StreamShared {
+    name: String,
+    session: Arc<Session>,
+    signature: ModelSignature,
+    spec: StreamSpec,
+    run_options: RunOptions,
+    /// Signature fetches followed by the spec's forced state fetches.
+    fetches: Vec<TensorRef>,
+    metrics: Arc<ServeMetrics>,
+    iter_seq: AtomicU64,
+    state: Mutex<StreamsState>,
+    cv: Condvar,
+}
+
+/// The per-replica continuous batcher. One worker thread owns the
+/// iteration loop; streams join and retire between its iterations.
+/// Dropping the last reference drains (see module docs) and joins the
+/// thread.
+pub struct ContinuousBatcher {
+    shared: Arc<StreamShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ContinuousBatcher {
+    /// Spawns the stream worker for model `name` over `session`.
+    pub(crate) fn new(
+        name: impl Into<String>,
+        session: Arc<Session>,
+        signature: ModelSignature,
+        spec: StreamSpec,
+        run_options: RunOptions,
+    ) -> Result<ContinuousBatcher> {
+        spec.check_basic()?;
+        if signature.feeds.is_empty() || signature.fetches.is_empty() {
+            return Err(ExecError::InvalidConfig(
+                "serving signature needs at least one feed and one fetch".into(),
+            ));
+        }
+        let mut fetches = signature.fetches.clone();
+        fetches.extend(spec.state_fetches.iter().copied());
+        let shared = Arc::new(StreamShared {
+            name: name.into(),
+            session,
+            signature,
+            spec,
+            run_options,
+            fetches,
+            metrics: Arc::new(ServeMetrics::default()),
+            iter_seq: AtomicU64::new(0),
+            state: Mutex::new(StreamsState {
+                streams: HashMap::new(),
+                order: Vec::new(),
+                cursor: 0,
+                queued_rows: 0,
+                mode: Mode::Running,
+            }),
+            cv: Condvar::new(),
+        });
+        let worker = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("dcf-serve/{}/stream", worker.name))
+            .spawn(move || worker.run_loop())
+            .map_err(|e| ExecError::Internal(format!("spawning stream batcher thread: {e}")))?;
+        Ok(ContinuousBatcher { shared, thread: Some(thread) })
+    }
+
+    /// The model name this batcher serves streams for.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// The live metrics handle.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.shared.metrics
+    }
+
+    /// Gauge: live streams on this replica — the signal stream routing
+    /// compares.
+    pub fn active_streams(&self) -> u64 {
+        self.shared.metrics.active_streams.load(Ordering::Relaxed)
+    }
+
+    /// Instantaneous load in rows (queued + mid-iteration), lock-free.
+    pub fn load(&self) -> u64 {
+        self.shared.metrics.load()
+    }
+
+    /// Opens a stream: mints a state slot, zero-initializes every
+    /// declared cell, and admits the stream into the iteration loop.
+    /// Returns the slot id. Rejects with [`ExecError::Overloaded`] at
+    /// the live-stream cap.
+    pub fn open(&self, deadline: Option<Instant>) -> Result<u64> {
+        self.shared.open(deadline)
+    }
+
+    /// Validates and enqueues `feeds` (each `[rows] + example_dims`) on
+    /// stream `stream`; the rows are served over `rows` successive
+    /// iterations.
+    pub fn submit(&self, stream: u64, feeds: HashMap<String, Tensor>) -> Result<StreamTicket> {
+        self.shared.submit(stream, feeds)
+    }
+
+    /// Closes a stream. Pending rows still complete; the stream retires
+    /// (slot dropped) once drained.
+    pub fn close(&self, stream: u64) {
+        self.shared.close(stream);
+    }
+
+    /// Hard-closes every stream with [`ExecError::StreamClosed`]
+    /// carrying `reason` and rejects all future use — the replica is
+    /// going away. Synchronous: pending completions are delivered and
+    /// slots dropped before this returns.
+    pub(crate) fn close_all(&self, reason: &str) {
+        {
+            let mut st = self.shared.state.lock();
+            st.mode = Mode::Closed(reason.to_string());
+            self.shared.hard_close(&mut st, reason);
+        }
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Drop for ContinuousBatcher {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            if matches!(st.mode, Mode::Running) {
+                st.mode = Mode::Draining;
+            }
+        }
+        self.shared.cv.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl StreamShared {
+    fn open(&self, deadline: Option<Instant>) -> Result<u64> {
+        let m = &self.metrics;
+        let slot = {
+            let mut st = self.state.lock();
+            match &st.mode {
+                Mode::Running => {}
+                Mode::Draining => {
+                    return Err(ExecError::Cancelled(STREAM_SHUTDOWN_MSG.into()));
+                }
+                Mode::Closed(r) => return Err(ExecError::StreamClosed(r.clone())),
+            }
+            if st.order.len() >= self.spec.max_streams {
+                m.streams_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ExecError::Overloaded(format!(
+                    "model '{}' already serves {} of {} streams",
+                    self.name,
+                    st.order.len(),
+                    self.spec.max_streams
+                )));
+            }
+            let rm = self.session.resources();
+            let slot = rm.stream_create();
+            for (cell, dims) in &self.spec.state_cells {
+                let mut row = vec![1];
+                row.extend(dims);
+                if let Err(e) = rm.stream_init_cell(slot, cell, Tensor::zeros(DType::F32, &row)) {
+                    rm.stream_drop(slot);
+                    return Err(ExecError::Internal(format!(
+                        "initializing stream state cell '{cell}': {e}"
+                    )));
+                }
+            }
+            st.streams.insert(
+                slot,
+                Entry::Live(LiveStream { pending: VecDeque::new(), deadline, closing: false }),
+            );
+            st.order.push(slot);
+            m.streams_opened.fetch_add(1, Ordering::Relaxed);
+            m.active_streams.fetch_add(1, Ordering::Relaxed);
+            slot
+        };
+        // Wake the worker so a fresh deadline enters its park target.
+        self.cv.notify_all();
+        Ok(slot)
+    }
+
+    fn submit(&self, stream: u64, feeds: HashMap<String, Tensor>) -> Result<StreamTicket> {
+        let m = &self.metrics;
+        let rows = self.signature.validate(&feeds).inspect_err(|_| {
+            m.rejected_shape.fetch_add(1, Ordering::Relaxed);
+        })?;
+        // Pre-split into per-row feeds outside the lock; the gather path
+        // then only clones tensor handles.
+        let mut row_feeds: Vec<Vec<Tensor>> = vec![Vec::new(); rows];
+        for spec in &self.signature.feeds {
+            let t = feeds.get(&spec.name).expect("validated above");
+            let parts = t.split0(&vec![1; rows]).map_err(|e| {
+                ExecError::Internal(format!("splitting stream feed '{}': {e}", spec.name))
+            })?;
+            for (i, p) in parts.into_iter().enumerate() {
+                row_feeds[i].push(p);
+            }
+        }
+        let (tx, rx) = oneshot::channel();
+        {
+            let mut st = self.state.lock();
+            match &st.mode {
+                Mode::Running => {}
+                Mode::Draining => {
+                    return Err(ExecError::Cancelled(STREAM_SHUTDOWN_MSG.into()));
+                }
+                Mode::Closed(r) => return Err(ExecError::StreamClosed(r.clone())),
+            }
+            let queued = st.queued_rows;
+            let entry = st.streams.get_mut(&stream).ok_or_else(|| {
+                ExecError::StreamClosed(format!("no stream {stream} on model '{}'", self.name))
+            })?;
+            let live = match entry {
+                Entry::Closed(r) => return Err(ExecError::StreamClosed(r.clone())),
+                Entry::Live(s) => s,
+            };
+            if live.closing {
+                return Err(ExecError::StreamClosed("stream closed by the client".into()));
+            }
+            if queued + rows > self.spec.queue_capacity {
+                m.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                return Err(ExecError::Overloaded(format!(
+                    "model '{}' stream queue is full ({queued} of {} rows)",
+                    self.name, self.spec.queue_capacity
+                )));
+            }
+            live.pending.push_back(Chunk {
+                row_feeds,
+                acc: vec![Vec::new(); self.signature.fetches.len()],
+                next_row: 0,
+                enqueued: Instant::now(),
+                first_gather: None,
+                tx,
+            });
+            st.queued_rows += rows;
+            m.queued_rows.fetch_add(rows as u64, Ordering::Relaxed);
+        }
+        m.submitted.fetch_add(1, Ordering::Relaxed);
+        m.stream_submits.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+        Ok(StreamTicket { rx })
+    }
+
+    fn close(&self, stream: u64) {
+        {
+            let mut st = self.state.lock();
+            match st.streams.get_mut(&stream) {
+                None => {}
+                Some(Entry::Closed(_)) => {
+                    // The handle is gone; nobody will ask why it closed.
+                    st.streams.remove(&stream);
+                }
+                Some(Entry::Live(live)) => {
+                    if live.pending.is_empty() {
+                        self.retire_live(&mut st, stream);
+                    } else {
+                        live.closing = true;
+                    }
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Removes a drained live stream entirely: drop the slot, free the
+    /// order entry, bump retire counters. Caller holds the lock.
+    fn retire_live(&self, st: &mut StreamsState, slot: u64) {
+        st.streams.remove(&slot);
+        st.order.retain(|&x| x != slot);
+        self.session.resources().stream_drop(slot);
+        self.metrics.streams_retired.fetch_add(1, Ordering::Relaxed);
+        self.metrics.active_streams.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Expires past-deadline streams (failing their pending rows) and
+    /// retires drained closing streams. Runs between iterations.
+    fn sweep(&self, st: &mut StreamsState, now: Instant) {
+        let m = &self.metrics;
+        let expired: Vec<u64> = st
+            .order
+            .iter()
+            .copied()
+            .filter(|slot| {
+                matches!(st.streams.get(slot),
+                    Some(Entry::Live(s)) if s.deadline.is_some_and(|d| d <= now))
+            })
+            .collect();
+        for slot in expired {
+            let Some(Entry::Live(live)) = st.streams.remove(&slot) else { continue };
+            st.order.retain(|&x| x != slot);
+            self.session.resources().stream_drop(slot);
+            m.streams_expired.fetch_add(1, Ordering::Relaxed);
+            m.streams_retired.fetch_add(1, Ordering::Relaxed);
+            m.active_streams.fetch_sub(1, Ordering::Relaxed);
+            let deadline = live.deadline.expect("filtered on deadline");
+            for chunk in live.pending {
+                let remaining = chunk.rows() - chunk.next_row;
+                st.queued_rows -= remaining;
+                m.queued_rows.fetch_sub(remaining as u64, Ordering::Relaxed);
+                m.expired.fetch_add(1, Ordering::Relaxed);
+                chunk.tx.send(Err(ExecError::DeadlineExceeded {
+                    waited: now.saturating_duration_since(chunk.enqueued),
+                    past_deadline: now.saturating_duration_since(deadline),
+                }));
+            }
+            st.streams.insert(slot, Entry::Closed("stream deadline exceeded".into()));
+        }
+        let drained: Vec<u64> = st
+            .order
+            .iter()
+            .copied()
+            .filter(|slot| {
+                matches!(st.streams.get(slot),
+                    Some(Entry::Live(s)) if s.closing && s.pending.is_empty())
+            })
+            .collect();
+        for slot in drained {
+            self.retire_live(st, slot);
+        }
+    }
+
+    /// `(eligible streams, oldest unstarted front chunk, any mid-chunk)`
+    /// — the dispatch/linger signals. Caller holds the lock.
+    fn readiness(&self, st: &StreamsState) -> (usize, Option<Instant>, bool) {
+        let mut n = 0;
+        let mut oldest: Option<Instant> = None;
+        let mut started = false;
+        for slot in &st.order {
+            let Some(Entry::Live(s)) = st.streams.get(slot) else { continue };
+            let Some(c) = s.pending.front() else { continue };
+            if c.next_row >= c.rows() {
+                continue;
+            }
+            n += 1;
+            if c.first_gather.is_some() {
+                started = true;
+            } else {
+                oldest = Some(oldest.map_or(c.enqueued, |o: Instant| o.min(c.enqueued)));
+            }
+        }
+        (n, oldest, started)
+    }
+
+    /// Earliest deadline across live streams (pending or idle — an idle
+    /// expired stream must still be retired promptly).
+    fn earliest_deadline(&self, st: &StreamsState) -> Option<Instant> {
+        st.order
+            .iter()
+            .filter_map(|slot| match st.streams.get(slot) {
+                Some(Entry::Live(s)) => s.deadline,
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Takes one row from each eligible stream (rotating past the row
+    /// cap), consuming queue accounting. Caller holds the lock and has
+    /// established at least one eligible stream.
+    fn gather(&self, st: &mut StreamsState, now: Instant) -> Iteration {
+        let eligible: Vec<u64> = st
+            .order
+            .iter()
+            .copied()
+            .filter(|slot| {
+                matches!(st.streams.get(slot),
+                    Some(Entry::Live(s)) if s.pending.front().is_some_and(|c| c.next_row < c.rows()))
+            })
+            .collect();
+        let cap = self.spec.max_iteration_rows;
+        let take: Vec<u64> = if eligible.len() > cap {
+            let start = st.cursor % eligible.len();
+            let picked = (0..cap).map(|k| eligible[(start + k) % eligible.len()]).collect();
+            st.cursor = st.cursor.wrapping_add(cap);
+            picked
+        } else {
+            eligible
+        };
+        let m = &self.metrics;
+        let mut rows: Vec<Vec<Tensor>> =
+            vec![Vec::with_capacity(take.len()); self.signature.feeds.len()];
+        for slot in &take {
+            let Some(Entry::Live(s)) = st.streams.get_mut(slot) else { continue };
+            let chunk = s.pending.front_mut().expect("eligible stream has a front chunk");
+            if chunk.first_gather.is_none() {
+                chunk.first_gather = Some(now);
+                m.record_queue_delay_us(
+                    now.saturating_duration_since(chunk.enqueued).as_micros() as u64
+                );
+            }
+            for (f, per_feed) in rows.iter_mut().enumerate() {
+                per_feed.push(chunk.row_feeds[chunk.next_row][f].clone());
+            }
+            chunk.next_row += 1;
+            st.queued_rows -= 1;
+            m.queued_rows.fetch_sub(1, Ordering::Relaxed);
+        }
+        Iteration { slots: take, rows }
+    }
+
+    /// The stream worker: sweep, gather, run one iteration, deliver.
+    fn run_loop(&self) {
+        loop {
+            let iteration = {
+                let mut st = self.state.lock();
+                loop {
+                    let now = Instant::now();
+                    self.sweep(&mut st, now);
+                    if let Mode::Closed(reason) = &st.mode {
+                        let reason = reason.clone();
+                        self.hard_close(&mut st, &reason);
+                        return;
+                    }
+                    let (ready, oldest, started) = self.readiness(&st);
+                    if ready == 0 {
+                        if matches!(st.mode, Mode::Draining) {
+                            // Everything accepted has been served; drop
+                            // the remaining slots and exit.
+                            for slot in std::mem::take(&mut st.order) {
+                                st.streams.remove(&slot);
+                                self.session.resources().stream_drop(slot);
+                                self.metrics.streams_retired.fetch_add(1, Ordering::Relaxed);
+                            }
+                            self.metrics.active_streams.store(0, Ordering::Relaxed);
+                            return;
+                        }
+                        match self.earliest_deadline(&st) {
+                            Some(w) => {
+                                self.cv.wait_until(&mut st, w);
+                            }
+                            None => self.cv.wait(&mut st),
+                        }
+                        continue;
+                    }
+                    // Linger for co-batchable rows — but never stall a
+                    // stream that is already mid-chunk, and never while
+                    // draining.
+                    if ready < self.spec.max_iteration_rows
+                        && !started
+                        && !matches!(st.mode, Mode::Draining)
+                    {
+                        let Some(oldest) = oldest else { break self.gather(&mut st, now) };
+                        let mut wake = oldest + self.spec.iteration_delay;
+                        if let Some(d) = self.earliest_deadline(&st) {
+                            wake = wake.min(d);
+                        }
+                        if now < wake {
+                            self.cv.wait_until(&mut st, wake);
+                            continue;
+                        }
+                    }
+                    break self.gather(&mut st, now);
+                }
+            };
+            if !iteration.slots.is_empty() {
+                self.run_iteration(iteration);
+            }
+        }
+    }
+
+    /// Merges one iteration's rows, runs the tagged step, and scatters
+    /// each signature fetch back to the participating streams.
+    fn run_iteration(&self, iter: Iteration) {
+        let n = iter.slots.len();
+        let mut merged: HashMap<String, Tensor> =
+            HashMap::with_capacity(self.signature.feeds.len() + 1);
+        for (spec, parts) in self.signature.feeds.iter().zip(&iter.rows) {
+            match Tensor::concat0(parts) {
+                Ok(t) => {
+                    merged.insert(spec.name.clone(), t);
+                }
+                Err(e) => {
+                    return self.fail_streams(
+                        &iter.slots,
+                        ExecError::Internal(format!(
+                            "iteration concat of feed '{}' failed after enqueue validation: {e}",
+                            spec.name
+                        )),
+                    );
+                }
+            }
+        }
+        let slot_ids: Vec<i64> = iter.slots.iter().map(|&s| s as i64).collect();
+        match Tensor::from_vec_i64(slot_ids, &[n]) {
+            Ok(t) => {
+                merged.insert(self.spec.slots_feed.clone(), t);
+            }
+            Err(e) => {
+                return self.fail_streams(
+                    &iter.slots,
+                    ExecError::Internal(format!("building stream slots tensor: {e}")),
+                );
+            }
+        }
+
+        let seq = self.iter_seq.fetch_add(1, Ordering::Relaxed);
+        let tag = if self.run_options.tag.is_empty() {
+            format!("{}/iter-{seq}", self.name)
+        } else {
+            format!("{}/iter-{seq}", self.run_options.tag)
+        };
+        let options = self.run_options.clone().with_tag(tag.clone());
+
+        let m = &self.metrics;
+        m.stream_iterations.fetch_add(1, Ordering::Relaxed);
+        m.stream_rows.fetch_add(n as u64, Ordering::Relaxed);
+        m.record_iteration_rows(n as u64);
+        m.running_rows.fetch_add(n as u64, Ordering::Relaxed);
+        let (result, meta) = self.session.run(&options, &merged, &self.fetches);
+        m.running_rows.fetch_sub(n as u64, Ordering::Relaxed);
+        m.record_step_latency_us(meta.wall.as_micros() as u64);
+        m.retries.fetch_add(meta.retries, Ordering::Relaxed);
+        m.fault_events.fetch_add(meta.fault_events.len() as u64, Ordering::Relaxed);
+
+        let outputs = match result {
+            Ok(v) => v,
+            Err(e) => {
+                m.steps_failed.fetch_add(1, Ordering::Relaxed);
+                m.consecutive_step_failures.fetch_add(1, Ordering::Relaxed);
+                return self.fail_streams(&iter.slots, e);
+            }
+        };
+        m.consecutive_step_failures.store(0, Ordering::Relaxed);
+
+        // Scatter only the signature fetches; the trailing state fetches
+        // existed to force the writes.
+        let nf = self.signature.fetches.len();
+        let mut sliced: Vec<Vec<Tensor>> = Vec::with_capacity(nf);
+        for (f, out) in outputs.iter().take(nf).enumerate() {
+            if out.shape().is_scalar() || out.shape().dim(0) != n {
+                return self.fail_streams(
+                    &iter.slots,
+                    ExecError::InvalidConfig(format!(
+                        "fetch #{f} of model '{}' is not batch-major: got shape {:?}, \
+                         expected leading dimension {n}",
+                        self.name,
+                        out.shape().dims()
+                    )),
+                );
+            }
+            match out.split0(&vec![1; n]) {
+                Ok(parts) => sliced.push(parts),
+                Err(e) => {
+                    return self.fail_streams(
+                        &iter.slots,
+                        ExecError::Internal(format!("scattering fetch #{f} of an iteration: {e}")),
+                    );
+                }
+            }
+        }
+
+        let mut st = self.state.lock();
+        for (r, &slot) in iter.slots.iter().enumerate() {
+            let Some(Entry::Live(live)) = st.streams.get_mut(&slot) else { continue };
+            let Some(chunk) = live.pending.front_mut() else { continue };
+            for (f, parts) in sliced.iter().enumerate() {
+                chunk.acc[f].push(parts[r].clone());
+            }
+            if chunk.acc[0].len() < chunk.rows() {
+                continue;
+            }
+            let chunk = live.pending.pop_front().expect("front exists");
+            let outs: std::result::Result<Vec<Tensor>, _> =
+                chunk.acc.iter().map(|rows| Tensor::concat0(rows)).collect();
+            match outs {
+                Ok(outputs) => {
+                    m.served.fetch_add(1, Ordering::Relaxed);
+                    let first = chunk.first_gather.unwrap_or(chunk.enqueued);
+                    chunk.tx.send(Ok(StreamResponse {
+                        outputs,
+                        rows: chunk.row_feeds.len(),
+                        queue_delay: first.saturating_duration_since(chunk.enqueued),
+                        last_step: meta.step,
+                        tag: tag.clone(),
+                    }));
+                }
+                Err(e) => {
+                    m.failed.fetch_add(1, Ordering::Relaxed);
+                    chunk.tx.send(Err(ExecError::Internal(format!(
+                        "reassembling stream outputs: {e}"
+                    ))));
+                }
+            }
+        }
+    }
+
+    /// A failed iteration destroys the participating streams: their
+    /// state slots may hold a half-applied update, so transparent
+    /// continuation is impossible. Pending chunks fail with the step's
+    /// error; the slots are dropped; tombstones make later submits a
+    /// structured [`ExecError::StreamClosed`].
+    fn fail_streams(&self, slots: &[u64], err: ExecError) {
+        let m = &self.metrics;
+        let rm = self.session.resources();
+        let mut st = self.state.lock();
+        for &slot in slots {
+            let Some(Entry::Live(live)) = st.streams.remove(&slot) else { continue };
+            st.order.retain(|&x| x != slot);
+            rm.stream_drop(slot);
+            m.streams_retired.fetch_add(1, Ordering::Relaxed);
+            m.active_streams.fetch_sub(1, Ordering::Relaxed);
+            for chunk in live.pending {
+                let remaining = chunk.rows() - chunk.next_row;
+                st.queued_rows -= remaining;
+                m.queued_rows.fetch_sub(remaining as u64, Ordering::Relaxed);
+                m.failed.fetch_add(1, Ordering::Relaxed);
+                chunk.tx.send(Err(err.clone()));
+            }
+            st.streams.insert(slot, Entry::Closed(format!("a batched iteration failed: {err}")));
+        }
+    }
+
+    /// Fails every live stream with `StreamClosed(reason)` and clears
+    /// all state. Idempotent; runs under the state lock.
+    fn hard_close(&self, st: &mut StreamsState, reason: &str) {
+        let m = &self.metrics;
+        let rm = self.session.resources();
+        for slot in std::mem::take(&mut st.order) {
+            let Some(Entry::Live(live)) = st.streams.remove(&slot) else { continue };
+            rm.stream_drop(slot);
+            m.streams_retired.fetch_add(1, Ordering::Relaxed);
+            let err = ExecError::StreamClosed(reason.to_string());
+            for chunk in live.pending {
+                m.failed.fetch_add(1, Ordering::Relaxed);
+                chunk.tx.send(Err(err.clone()));
+            }
+        }
+        st.streams.clear();
+        st.queued_rows = 0;
+        m.queued_rows.store(0, Ordering::Relaxed);
+        m.active_streams.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A sticky stream session: pinned to one replica, whose in-graph state
+/// persists across [`StreamHandle::submit`] calls. Obtained from
+/// [`crate::ModelHandle::open_stream`]. Dropping the handle closes the
+/// stream (pending rows still complete).
+pub struct StreamHandle {
+    worker: Arc<ContinuousBatcher>,
+    stream: u64,
+}
+
+impl std::fmt::Debug for StreamHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamHandle").field("stream", &self.stream).finish()
+    }
+}
+
+impl StreamHandle {
+    pub(crate) fn attach(worker: Arc<ContinuousBatcher>, stream: u64) -> StreamHandle {
+        StreamHandle { worker, stream }
+    }
+
+    /// The stream's slot id (unique per replica session, never reused).
+    pub fn id(&self) -> u64 {
+        self.stream
+    }
+
+    /// Enqueues `feeds` (each `[rows] + example_dims`); the rows are
+    /// decoded over `rows` successive iterations against this stream's
+    /// state.
+    pub fn submit(&self, feeds: HashMap<String, Tensor>) -> Result<StreamTicket> {
+        self.worker.submit(self.stream, feeds)
+    }
+
+    /// [`StreamHandle::submit`] then block for the response.
+    pub fn send(&self, feeds: HashMap<String, Tensor>) -> Result<StreamResponse> {
+        self.submit(feeds)?.wait()
+    }
+
+    /// Closes the stream explicitly (equivalent to dropping the handle):
+    /// pending rows still complete, then the state slot is dropped.
+    pub fn close(self) {}
+}
+
+impl Drop for StreamHandle {
+    fn drop(&mut self) {
+        self.worker.close(self.stream);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcf_graph::GraphBuilder;
+    use dcf_runtime::Session;
+
+    /// A running-sum model: y = acc + x, with the sum written back to
+    /// the per-stream cell — the smallest model whose outputs prove
+    /// state stickiness (each response depends on the stream's whole
+    /// history).
+    fn acc_batcher(spec: StreamSpec) -> ContinuousBatcher {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x", DType::F32);
+        let slots = b.placeholder("slots", DType::I64);
+        let acc = b.stream_state_read(slots, "acc").unwrap();
+        let y = b.add(acc, x).unwrap();
+        let w = b.stream_state_write(slots, y, "acc").unwrap();
+        let sig = ModelSignature::new().feed("x", DType::F32, &[1]).fetch(y);
+        let spec = spec.with_cell("acc", &[1]).with_state_fetch(w);
+        let sess = Arc::new(Session::local(b.finish().unwrap()).unwrap());
+        ContinuousBatcher::new("acc", sess, sig, spec, RunOptions::default()).unwrap()
+    }
+
+    fn rows(vals: &[f32]) -> HashMap<String, Tensor> {
+        let mut m = HashMap::new();
+        m.insert("x".into(), Tensor::from_vec_f32(vals.to_vec(), &[vals.len(), 1]).unwrap());
+        m
+    }
+
+    #[test]
+    fn streams_are_sticky_and_transparent() {
+        let cb = acc_batcher(StreamSpec::new("slots"));
+        let a = cb.open(None).unwrap();
+        let b = cb.open(None).unwrap();
+        assert_eq!(cb.active_streams(), 2);
+
+        // Both streams in flight together; each must see only its own
+        // running sum whatever batches they shared.
+        let ta = cb.submit(a, rows(&[1.0, 2.0, 3.0])).unwrap();
+        let tb = cb.submit(b, rows(&[10.0])).unwrap();
+        let ra = ta.wait().unwrap();
+        assert_eq!(ra.rows, 3);
+        assert_eq!(ra.outputs[0].as_f32_slice().unwrap(), &[1.0, 3.0, 6.0]);
+        assert!(ra.tag.contains("/iter-"), "{}", ra.tag);
+        let rb = tb.wait().unwrap();
+        assert_eq!(rb.outputs[0].as_f32_slice().unwrap(), &[10.0]);
+
+        // State persists across submits: stream b continues from 10.
+        let rb2 = cb.submit(b, rows(&[20.0])).unwrap().wait().unwrap();
+        assert_eq!(rb2.outputs[0].as_f32_slice().unwrap(), &[30.0]);
+
+        let m = cb.metrics();
+        assert!(m.stream_iterations.load(Ordering::Relaxed) >= 3);
+        assert_eq!(m.stream_rows.load(Ordering::Relaxed), 5);
+        assert_eq!(m.served.load(Ordering::Relaxed), 3);
+
+        cb.close(a);
+        cb.close(b);
+        assert_eq!(cb.active_streams(), 0);
+        assert_eq!(m.streams_retired.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn overload_and_closed_are_structured() {
+        let cb = acc_batcher(StreamSpec::new("slots").with_max_streams(1).with_queue_capacity(2));
+        let a = cb.open(None).unwrap();
+        assert!(matches!(cb.open(None).unwrap_err(), ExecError::Overloaded(_)));
+        assert_eq!(cb.metrics().streams_rejected.load(Ordering::Relaxed), 1);
+        // Queue bound is in rows.
+        assert!(matches!(
+            cb.submit(a, rows(&[1.0, 2.0, 3.0])).unwrap_err(),
+            ExecError::Overloaded(_)
+        ));
+        // A closed stream rejects with StreamClosed; an unknown slot too.
+        cb.close(a);
+        assert!(matches!(cb.submit(a, rows(&[1.0])).unwrap_err(), ExecError::StreamClosed(_)));
+        assert!(matches!(cb.submit(999, rows(&[1.0])).unwrap_err(), ExecError::StreamClosed(_)));
+    }
+
+    #[test]
+    fn deadline_retires_the_stream() {
+        let cb = acc_batcher(StreamSpec::new("slots"));
+        let s = cb.open(Some(Instant::now() + Duration::from_millis(5))).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        // Whether the sweep beat the submit or not, the outcome is
+        // structured: the pending rows expire or the submit is rejected.
+        match cb.submit(s, rows(&[1.0])) {
+            Ok(t) => match t.wait() {
+                Err(ExecError::DeadlineExceeded { .. }) | Err(ExecError::StreamClosed(_)) => {}
+                other => panic!("expired stream returned {other:?}"),
+            },
+            Err(ExecError::StreamClosed(_)) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        // Give the worker a moment to sweep if it has not yet.
+        for _ in 0..100 {
+            if cb.metrics().streams_expired.load(Ordering::Relaxed) == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(cb.metrics().streams_expired.load(Ordering::Relaxed), 1);
+        assert!(matches!(cb.submit(s, rows(&[1.0])).unwrap_err(), ExecError::StreamClosed(_)));
+    }
+
+    #[test]
+    fn dropping_the_batcher_drains_pending_rows() {
+        let cb = acc_batcher(StreamSpec::new("slots"));
+        let s = cb.open(None).unwrap();
+        let t = cb.submit(s, rows(&[1.0, 2.0, 3.0])).unwrap();
+        drop(cb); // Drain: accepted rows complete, then the worker exits.
+        let r = t.wait().unwrap();
+        assert_eq!(r.outputs[0].as_f32_slice().unwrap(), &[1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn close_all_fails_streams_with_stream_closed() {
+        let cb = acc_batcher(StreamSpec::new("slots").with_iteration_delay(Duration::from_secs(5)));
+        let s = cb.open(None).unwrap();
+        // Long linger so the rows are still queued when the axe falls.
+        let extra = cb.submit(s, rows(&[1.0, 2.0])).unwrap();
+        cb.close_all("replica retired");
+        match extra.wait() {
+            // The worker may have gathered the first row before the
+            // close; either way the ticket resolves with StreamClosed.
+            Err(ExecError::StreamClosed(r)) => assert!(r.contains("replica retired"), "{r}"),
+            other => {
+                let err = other.expect_err("close_all must fail pending submissions");
+                panic!("expected StreamClosed, got {err}");
+            }
+        }
+        assert!(matches!(cb.open(None).unwrap_err(), ExecError::StreamClosed(_)));
+        assert!(matches!(cb.submit(s, rows(&[1.0])).unwrap_err(), ExecError::StreamClosed(_)));
+        assert_eq!(cb.active_streams(), 0);
+    }
+
+    #[test]
+    fn spec_validation_catches_bad_wiring() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x", DType::F32);
+        let slots = b.placeholder("slots", DType::I64);
+        let acc = b.stream_state_read(slots, "acc").unwrap();
+        let y = b.add(acc, x).unwrap();
+        let sig = ModelSignature::new().feed("x", DType::F32, &[1]).fetch(y);
+        let g = b.finish().unwrap();
+        let ok = StreamSpec::new("slots").with_cell("acc", &[1]);
+        ok.check(&g, &sig).unwrap();
+        // Unknown slots placeholder.
+        let e = StreamSpec::new("nope").with_cell("acc", &[1]).check(&g, &sig).unwrap_err();
+        assert!(matches!(e, ExecError::InvalidConfig(_)));
+        // Wrong dtype for the slots placeholder.
+        let e = StreamSpec::new("x").with_cell("acc", &[1]).check(&g, &sig).unwrap_err();
+        assert!(matches!(e, ExecError::InvalidConfig(_)));
+        // Slots feed must not be a client feed.
+        let sig2 = ModelSignature::new()
+            .feed("x", DType::F32, &[1])
+            .feed("slots", DType::I64, &[])
+            .fetch(y);
+        let e = StreamSpec::new("slots").with_cell("acc", &[1]).check(&g, &sig2).unwrap_err();
+        assert!(matches!(e, ExecError::InvalidConfig(_)));
+        // No cells, duplicate cells, zero caps.
+        assert!(StreamSpec::new("slots").check_basic().is_err());
+        assert!(StreamSpec::new("slots")
+            .with_cell("a", &[1])
+            .with_cell("a", &[2])
+            .check_basic()
+            .is_err());
+        assert!(StreamSpec::new("slots")
+            .with_cell("a", &[1])
+            .with_max_streams(0)
+            .check_basic()
+            .is_err());
+        assert!(StreamSpec::new("slots")
+            .with_cell("a", &[1])
+            .with_iteration_rows(0)
+            .check_basic()
+            .is_err());
+    }
+}

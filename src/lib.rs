@@ -24,7 +24,11 @@
 //!   [`serve::ModelRegistry`] handing out typed [`serve::ModelHandle`]s,
 //!   a replica router (power-of-two-choices dispatch, health eviction,
 //!   queue-delay-driven autoscaling) over per-replica [`serve::Batcher`]s,
-//!   admission control, and serving metrics.
+//!   admission control, serving metrics, and streaming stateful
+//!   inference: sticky [`serve::StreamHandle`] sessions whose in-graph
+//!   state persists across submits, continuously batched by a
+//!   [`serve::ContinuousBatcher`] that admits and retires streams between
+//!   decode iterations.
 //!
 //! # Quickstart
 //!
@@ -77,6 +81,7 @@ pub mod prelude {
     };
     pub use dcf_serve::{
         BatchPolicy, ModelHandle, ModelRegistry, ModelSignature, ModelSpec, Request, ScalingPolicy,
+        StreamHandle, StreamSpec,
     };
     pub use dcf_tensor::{DType, Tensor, TensorRng};
 }
